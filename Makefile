@@ -1,0 +1,35 @@
+# Development targets. The module is stdlib-only; plain `go build ./...`
+# works everywhere.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-full vet cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B bench per paper table/figure (laptop scale).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full paper-scale reproduction (400 nodes; several minutes).
+bench-full:
+	$(GO) run ./cmd/domo-bench -exp all
+
+clean:
+	$(GO) clean ./...
+	rm -f trace.json

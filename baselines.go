@@ -1,0 +1,122 @@
+package domo
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/domo-net/domo/internal/baseline/mnt"
+	"github.com/domo-net/domo/internal/baseline/msgtrace"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// MNTResult holds the MNT baseline's reconstruction (bounds plus midpoint
+// estimates), for comparison against Domo per the paper's §VI.
+type MNTResult struct {
+	res *mnt.Result
+}
+
+// MNT runs the MNT baseline (Keller et al., SenSys'12) on a trace. MNT sees
+// the same sink data as Domo except the sum-of-delays field.
+func MNT(tr *Trace) (*MNTResult, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	res, err := mnt.Reconstruct(tr.inner, mnt.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("MNT reconstruction: %w", err)
+	}
+	return &MNTResult{res: res}, nil
+}
+
+// ArrivalBounds returns MNT's per-hop arrival-time bounds.
+func (m *MNTResult) ArrivalBounds(id PacketID) (lower, upper []time.Duration, err error) {
+	lo, hi, err := m.res.ArrivalBounds(toInternalID(id))
+	if err != nil {
+		return nil, nil, fmt.Errorf("MNT bounds: %w", err)
+	}
+	return lo, hi, nil
+}
+
+// Arrivals returns MNT's midpoint arrival-time estimates.
+func (m *MNTResult) Arrivals(id PacketID) ([]time.Duration, error) {
+	arr, err := m.res.Arrivals(toInternalID(id))
+	if err != nil {
+		return nil, fmt.Errorf("MNT arrivals: %w", err)
+	}
+	return arr, nil
+}
+
+// NodeDelays returns MNT's per-hop delay estimates.
+func (m *MNTResult) NodeDelays(id PacketID) ([]time.Duration, error) {
+	d, err := m.res.NodeDelays(toInternalID(id))
+	if err != nil {
+		return nil, fmt.Errorf("MNT node delays: %w", err)
+	}
+	return d, nil
+}
+
+// Event is one send/receive event in a global event order.
+type Event struct {
+	Node   NodeID
+	Send   bool // false = receive
+	Packet PacketID
+}
+
+func fromInternalEvent(e msgtrace.EventRef) Event {
+	return Event{
+		Node:   NodeID(e.Node),
+		Send:   e.Kind == trace.EventSend,
+		Packet: fromInternalID(e.Packet),
+	}
+}
+
+func convertEvents(in []msgtrace.EventRef) []Event {
+	out := make([]Event, len(in))
+	for i, e := range in {
+		out[i] = fromInternalEvent(e)
+	}
+	return out
+}
+
+// GroundTruthEventOrder returns the true global order of all logged
+// send/receive events (requires SimConfig.NodeLogs).
+func GroundTruthEventOrder(tr *Trace) ([]Event, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	order, err := msgtrace.GroundTruthOrder(tr.inner)
+	if err != nil {
+		return nil, fmt.Errorf("ground-truth order: %w", err)
+	}
+	return convertEvents(order), nil
+}
+
+// MessageTracingOrder runs the MessageTracing baseline's offline log merge
+// and returns its reconstructed global event order.
+func MessageTracingOrder(tr *Trace) ([]Event, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	order, err := msgtrace.Reconstruct(tr.inner)
+	if err != nil {
+		return nil, fmt.Errorf("MessageTracing order: %w", err)
+	}
+	return convertEvents(order), nil
+}
+
+// EventOrderFromEstimates sorts the trace's logged events by a
+// reconstruction's estimated arrival times — how the paper derives Domo's
+// event order for the displacement comparison (Fig. 6c).
+func EventOrderFromEstimates(tr *Trace, rec *Reconstruction) ([]Event, error) {
+	if tr == nil || rec == nil {
+		return nil, fmt.Errorf("nil trace or reconstruction: %w", ErrBadInput)
+	}
+	order, err := msgtrace.OrderFromArrivals(tr.inner, func(id trace.PacketID) ([]sim.Time, error) {
+		return rec.est.Arrivals(id)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ordering by estimates: %w", err)
+	}
+	return convertEvents(order), nil
+}

@@ -1,0 +1,159 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation.
+// Each bench runs its experiment on the laptop-scale Small scenario and
+// reports the headline metric via b.ReportMetric, so `go test -bench=.`
+// produces a compact reproduction summary. The full paper-scale runs are
+// `cmd/domo-bench -exp all` (400 nodes).
+package domo_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/experiments"
+)
+
+// benchScenario is small enough for -bench=. to finish in minutes.
+func benchScenario() experiments.Scenario {
+	s := experiments.Small()
+	s.Duration = 6 * time.Minute
+	s.BoundSample = 150
+	return s
+}
+
+var _benchBundle *experiments.Bundle
+
+func benchBundle(b *testing.B) *experiments.Bundle {
+	b.Helper()
+	if _benchBundle == nil {
+		bundle, err := experiments.Prepare(benchScenario())
+		if err != nil {
+			b.Fatalf("preparing bundle: %v", err)
+		}
+		_benchBundle = bundle
+	}
+	return _benchBundle
+}
+
+func BenchmarkTable1Overhead(b *testing.B) {
+	s := benchScenario()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MeasuredPCPerDelay.Microseconds()), "µs/delay")
+	}
+}
+
+func BenchmarkFig1DelayMaps(b *testing.B) {
+	s := benchScenario()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FracChangedOverHalf*100, "%nodes>50%change")
+	}
+}
+
+func BenchmarkFig6aEstimates(b *testing.B) {
+	bundle := benchBundle(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6a(bundle, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DomoErr.Mean, "domo_err_ms")
+		b.ReportMetric(res.MNTErr.Mean, "mnt_err_ms")
+	}
+}
+
+func BenchmarkFig6bBounds(b *testing.B) {
+	bundle := benchBundle(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6b(bundle, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DomoWidth.Mean, "domo_width_ms")
+		b.ReportMetric(res.MNTWidth.Mean, "mnt_width_ms")
+	}
+}
+
+func BenchmarkFig6cDisplacement(b *testing.B) {
+	bundle := benchBundle(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6c(bundle, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DomoDisplacement, "domo_disp")
+		b.ReportMetric(res.MsgDisplacement, "msgtracing_disp")
+	}
+}
+
+func BenchmarkFig7Loss(b *testing.B) {
+	s := benchScenario()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.DomoErr.Mean, "domo_err_ms@30%loss")
+		b.ReportMetric(float64(last.Violations), "violations")
+	}
+}
+
+func BenchmarkFig8Scale(b *testing.B) {
+	s := benchScenario()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8(s, io.Discard, []int{40, 80})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.DomoErr.Mean, "domo_err_ms@80nodes")
+	}
+}
+
+func BenchmarkFig9WindowRatio(b *testing.B) {
+	s := benchScenario()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig9(s, io.Discard, []float64{0.3, 0.5, 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.Ratio == 0.5 {
+				b.ReportMetric(float64(p.TimePerDelay.Microseconds()), "µs/delay@0.5")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10GraphCut(b *testing.B) {
+	s := benchScenario()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig10(s, io.Discard, []int{100, 400, 1600})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.Width.Mean, "width_ms@largestcut")
+		b.ReportMetric(float64(last.TimePerBound.Microseconds()), "µs/bound")
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	s := benchScenario()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblations(s, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SumOnWidth.Mean, "width_ms_sum_on")
+		b.ReportMetric(res.SumOffWidth.Mean, "width_ms_sum_off")
+	}
+}

@@ -1,0 +1,136 @@
+// Command domo-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	domo-bench -exp all                      # everything, paper scale
+//	domo-bench -exp fig6 -nodes 100          # one experiment, custom scale
+//	domo-bench -exp fig9 -duration 10m
+//
+// Experiments: table1, fig1, fig6 (or fig6a/fig6b/fig6c), fig7, fig8,
+// fig9, fig10, ablations, all. At the default paper scale (400 nodes,
+// 20 simulated minutes) the full run takes several minutes of wall time;
+// use -nodes/-duration/-sample to shrink it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/domo-net/domo/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "domo-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig6|fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablations|ext-paths|ext-traffic|ext-failure|all")
+		nodes    = flag.Int("nodes", 400, "network size (including the sink)")
+		duration = flag.Duration("duration", 20*time.Minute, "simulated collection time")
+		period   = flag.Duration("period", 30*time.Second, "per-node data generation period")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		sample   = flag.Int("sample", 600, "bound-solver sample size (0 = all unknowns)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "bound-solver goroutines (results identical for any count)")
+	)
+	flag.Parse()
+
+	s := experiments.Scenario{
+		NumNodes:    *nodes,
+		Duration:    *duration,
+		DataPeriod:  *period,
+		Seed:        *seed,
+		BoundSample: *sample,
+		Workers:     *workers,
+	}
+	w := os.Stdout
+	start := time.Now()
+
+	needBundle := map[string]bool{"fig6": true, "fig6a": true, "fig6b": true, "fig6c": true, "all": true}
+	var bundle *experiments.Bundle
+	if needBundle[*exp] {
+		fmt.Fprintf(w, "preparing %d-node bundle (simulate + Domo + MNT)...\n", s.NumNodes)
+		var err error
+		bundle, err = experiments.Prepare(s)
+		if err != nil {
+			return fmt.Errorf("preparing bundle: %w", err)
+		}
+		fmt.Fprintf(w, "bundle ready: %d packets, estimate %v, bounds %v\n\n",
+			bundle.Trace.NumRecords(), bundle.EstimateWall, bundle.BoundsWall)
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			_, err := experiments.RunTable1(s, w)
+			return err
+		case "fig1":
+			_, err := experiments.RunFig1(s, w)
+			return err
+		case "fig6a":
+			_, err := experiments.RunFig6a(bundle, w)
+			return err
+		case "fig6b":
+			_, err := experiments.RunFig6b(bundle, w)
+			return err
+		case "fig6c":
+			_, err := experiments.RunFig6c(bundle, w)
+			return err
+		case "fig6":
+			if _, err := experiments.RunFig6a(bundle, w); err != nil {
+				return err
+			}
+			if _, err := experiments.RunFig6b(bundle, w); err != nil {
+				return err
+			}
+			_, err := experiments.RunFig6c(bundle, w)
+			return err
+		case "fig7":
+			_, err := experiments.RunFig7(s, w)
+			return err
+		case "fig8":
+			_, err := experiments.RunFig8(s, w, nil)
+			return err
+		case "fig9":
+			_, err := experiments.RunFig9(s, w, nil)
+			return err
+		case "fig10":
+			_, err := experiments.RunFig10(s, w, nil)
+			return err
+		case "ablations":
+			_, err := experiments.RunAblations(s, w)
+			return err
+		case "ext-paths":
+			_, err := experiments.RunExtPaths(s, w)
+			return err
+		case "ext-traffic":
+			_, err := experiments.RunExtTraffic(s, w)
+			return err
+		case "ext-failure":
+			_, err := experiments.RunExtFailure(s, w)
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "ext-paths", "ext-traffic", "ext-failure"} {
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(w)
+		}
+	} else if err := runOne(*exp); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "total wall time: %v\n", time.Since(start))
+	return nil
+}

@@ -1,0 +1,151 @@
+// Command domo-recon reconstructs per-hop per-packet delays from a trace
+// produced by domo-sim and reports accuracy against the trace's ground
+// truth.
+//
+// Usage:
+//
+//	domo-sim -nodes 100 -o trace.json
+//	domo-recon -i trace.json                 # estimates + accuracy
+//	domo-recon -i trace.json -bounds         # also bound reconstruction
+//	domo-recon -i trace.json -baseline       # also the MNT comparison
+//	domo-recon -i trace.json -packet 17:3    # dump one packet's breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	domo "github.com/domo-net/domo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "domo-recon: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in       = flag.String("i", "", "input trace file (required)")
+		bounds   = flag.Bool("bounds", false, "also compute arrival-time bounds")
+		baseline = flag.Bool("baseline", false, "also run the MNT baseline")
+		sample   = flag.Int("sample", 0, "bound sample size (0 = all unknowns)")
+		ratio    = flag.Float64("ratio", 0.5, "effective time window ratio")
+		cut      = flag.Int("cut", 10000, "graph cut size for bounds")
+		packet   = flag.String("packet", "", "dump one packet's per-hop breakdown (source:seq)")
+		paths    = flag.Bool("paths", false, "rebuild routing paths from the 4-byte header before reconstructing")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("missing -i trace file")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return fmt.Errorf("opening trace: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "domo-recon: closing %s: %v\n", *in, cerr)
+		}
+	}()
+	tr, err := domo.ReadTrace(f)
+	if err != nil {
+		return fmt.Errorf("reading trace: %w", err)
+	}
+	fmt.Printf("trace: %d nodes, %d packets, %v\n", tr.NumNodes(), tr.NumRecords(), tr.Duration())
+
+	if *paths {
+		recon, stats, err := domo.ReconstructPaths(tr)
+		if err != nil {
+			return fmt.Errorf("reconstructing paths: %w", err)
+		}
+		fmt.Printf("paths: %d/%d exact (%d ambiguous, %d unresolved); continuing on reconstructed paths\n",
+			stats.Exact, stats.Total, stats.Ambiguous, stats.Unresolved)
+		tr = recon
+	}
+
+	cfg := domo.Config{EffectiveWindowRatio: *ratio, GraphCutSize: *cut, BoundSample: *sample}
+	rec, err := domo.Estimate(tr, cfg)
+	if err != nil {
+		return fmt.Errorf("estimating: %w", err)
+	}
+	st := rec.Stats()
+	fmt.Printf("estimate: %d unknowns in %d windows, %v\n", st.Unknowns, st.Windows, st.WallTime)
+
+	errs, err := domo.EstimateErrors(tr, rec)
+	if err != nil {
+		return fmt.Errorf("scoring estimates: %w", err)
+	}
+	s := domo.Summarize(errs)
+	fmt.Printf("estimate error: mean %.2fms, median %.2fms, p90 %.2fms (n=%d)\n",
+		s.Mean, s.Median, s.P90, s.N)
+
+	if *bounds {
+		b, err := domo.Bounds(tr, cfg)
+		if err != nil {
+			return fmt.Errorf("bounding: %w", err)
+		}
+		widths, err := domo.BoundWidths(tr, b)
+		if err != nil {
+			return fmt.Errorf("scoring bounds: %w", err)
+		}
+		ws := domo.Summarize(widths)
+		viol, err := domo.BoundViolations(tr, b, 10*time.Microsecond)
+		if err != nil {
+			return fmt.Errorf("checking bounds: %w", err)
+		}
+		fmt.Printf("bounds: mean width %.2fms, p90 %.2fms, violations %d, %v\n",
+			ws.Mean, ws.P90, viol, b.Stats().WallTime)
+	}
+
+	if *baseline {
+		m, err := domo.MNT(tr)
+		if err != nil {
+			return fmt.Errorf("running MNT: %w", err)
+		}
+		merrs, err := domo.MNTEstimateErrors(tr, m)
+		if err != nil {
+			return fmt.Errorf("scoring MNT: %w", err)
+		}
+		msum := domo.Summarize(merrs)
+		fmt.Printf("MNT baseline error: mean %.2fms, median %.2fms (Domo is %.1fx better)\n",
+			msum.Mean, msum.Median, msum.Mean/s.Mean)
+	}
+
+	if *packet != "" {
+		var src, seq uint32
+		if _, err := fmt.Sscanf(*packet, "%d:%d", &src, &seq); err != nil {
+			return fmt.Errorf("parsing -packet %q (want source:seq): %w", *packet, err)
+		}
+		id := domo.PacketID{Source: domo.NodeID(src), Seq: seq}
+		if err := dumpPacket(tr, rec, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dumpPacket(tr *domo.Trace, rec *domo.Reconstruction, id domo.PacketID) error {
+	path, err := tr.Path(id)
+	if err != nil {
+		return fmt.Errorf("packet %v: %w", id, err)
+	}
+	est, err := rec.NodeDelays(id)
+	if err != nil {
+		return fmt.Errorf("packet %v: %w", id, err)
+	}
+	truth, err := tr.GroundTruthArrivals(id)
+	if err != nil {
+		return fmt.Errorf("packet %v: %w", id, err)
+	}
+	fmt.Printf("packet %v path %v\n", id, path)
+	fmt.Printf("  %6s %8s %14s %14s\n", "hop", "node", "est delay", "true delay")
+	for i := 0; i+1 < len(path); i++ {
+		fmt.Printf("  %6d %8d %14v %14v\n", i, path[i], est[i], truth[i+1]-truth[i])
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command domo-viz renders terminal delay maps from a trace: the paper's
+// Fig. 1 visual (per-source end-to-end delays over the deployment plane)
+// and the per-hop view only tomography can draw (per-node sojourn times,
+// reconstructed by Domo).
+//
+// Usage:
+//
+//	domo-sim -nodes 100 -duration 10m -o trace.json
+//	domo-viz -i trace.json            # end-to-end delay map
+//	domo-viz -i trace.json -perhop    # reconstructed per-node sojourn map
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	domo "github.com/domo-net/domo"
+	"github.com/domo-net/domo/internal/render"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "domo-viz: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in     = flag.String("i", "", "input trace file (required)")
+		perhop = flag.Bool("perhop", false, "render per-node sojourns from Domo's reconstruction instead of end-to-end delays")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("missing -i trace file")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return fmt.Errorf("opening trace: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "domo-viz: closing %s: %v\n", *in, cerr)
+		}
+	}()
+	tr, err := domo.ReadTrace(f)
+	if err != nil {
+		return fmt.Errorf("reading trace: %w", err)
+	}
+
+	values := map[domo.NodeID]float64{}
+	counts := map[domo.NodeID]int{}
+	title := "end-to-end delay per source (ms)"
+	if *perhop {
+		title = "Domo-reconstructed sojourn per node (ms)"
+		rec, err := domo.Estimate(tr, domo.Config{})
+		if err != nil {
+			return fmt.Errorf("reconstructing: %w", err)
+		}
+		avgs, err := domo.NodeDelayAverages(tr, rec)
+		if err != nil {
+			return fmt.Errorf("averaging: %w", err)
+		}
+		for n, v := range avgs {
+			values[n] = v
+			counts[n] = 1
+		}
+	} else {
+		for _, id := range tr.Packets() {
+			gen, err := tr.GenerationTime(id)
+			if err != nil {
+				return err
+			}
+			arr, err := tr.SinkArrival(id)
+			if err != nil {
+				return err
+			}
+			values[id.Source] += float64(arr-gen) / float64(time.Millisecond)
+			counts[id.Source]++
+		}
+		for n := range values {
+			values[n] /= float64(counts[n])
+		}
+	}
+
+	var cells []render.Cell
+	side := 0.0
+	for n, v := range values {
+		x, y, err := tr.NodePosition(n)
+		if err != nil {
+			return fmt.Errorf("trace has no positions; re-simulate with a current domo-sim: %w", err)
+		}
+		if x > side {
+			side = x
+		}
+		if y > side {
+			side = y
+		}
+		cells = append(cells, render.Cell{X: x, Y: y, Value: v})
+	}
+	sinkX, sinkY, err := tr.NodePosition(0)
+	if err != nil {
+		return err
+	}
+	render.DelayMap(os.Stdout, title, cells, sinkX, sinkY, side)
+	return nil
+}

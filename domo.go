@@ -1,0 +1,222 @@
+// Package domo is a passive per-packet delay tomography toolkit for
+// multi-hop wireless ad-hoc networks, reproducing the system described in
+// "Domo: Passive Per-Packet Delay Tomography in Wireless Ad-hoc Networks"
+// (Gao et al., ICDCS 2014).
+//
+// Domo decomposes each packet's end-to-end (source→sink) delay into the
+// per-hop sojourn times it spent on every node of its route — without
+// probe packets and with only four bytes of per-packet overhead. The node
+// side timestamps start-frame-delimiter (SFD) events to measure sojourns
+// and maintains a running sum-of-delays field S(p) (the paper's Algorithm
+// 1); the PC side reconstructs all interior arrival times by solving
+// optimization problems built from three constraint families: FIFO queue
+// order, per-path arrival order, and the S(p) sum-of-delays relation.
+//
+// The package bundles:
+//
+//   - a discrete-event wireless network simulator (CSMA/CA MAC with FIFO
+//     queues, CTP-style tree routing, lossy time-varying links) standing in
+//     for the paper's TOSSIM testbed, with exact ground truth;
+//   - the Domo node-side instrumentation and PC-side reconstruction
+//     (estimates via windowed convex optimization with optional
+//     semidefinite-relaxation seeding; bounds via constraint-graph cutting
+//     with balanced label propagation);
+//   - the two baselines the paper compares against (MNT and
+//     MessageTracing) and the paper's evaluation metrics.
+//
+// # Quick start
+//
+//	tr, err := domo.Simulate(domo.SimConfig{NumNodes: 50, Duration: 10 * time.Minute})
+//	rec, err := domo.Estimate(tr, domo.Config{})
+//	for _, id := range tr.Packets() {
+//		delays, _ := rec.NodeDelays(id)
+//		// delays[i] is the packet's sojourn on hop i of its path
+//	}
+package domo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// ErrBadInput is returned for invalid configurations and lookups.
+var ErrBadInput = errors.New("domo: invalid input")
+
+// NodeID identifies a network node; the sink is always node 0.
+type NodeID int32
+
+// PacketID identifies a data packet network-wide.
+type PacketID struct {
+	Source NodeID
+	Seq    uint32
+}
+
+// String renders the id as source:seq.
+func (id PacketID) String() string { return fmt.Sprintf("%d:%d", id.Source, id.Seq) }
+
+func toInternalID(id PacketID) trace.PacketID {
+	return trace.PacketID{Source: radio.NodeID(id.Source), Seq: id.Seq}
+}
+
+func fromInternalID(id trace.PacketID) PacketID {
+	return PacketID{Source: NodeID(id.Source), Seq: id.Seq}
+}
+
+// Trace is a collected run: everything the sink learned plus hidden ground
+// truth for evaluation.
+type Trace struct {
+	inner *trace.Trace
+}
+
+// NumNodes returns the node count of the traced network.
+func (t *Trace) NumNodes() int { return t.inner.NumNodes }
+
+// NumRecords returns the number of delivered packets.
+func (t *Trace) NumRecords() int { return len(t.inner.Records) }
+
+// Duration returns the simulated collection duration.
+func (t *Trace) Duration() time.Duration { return t.inner.Duration }
+
+// Packets lists delivered packets in sink-arrival order.
+func (t *Trace) Packets() []PacketID {
+	out := make([]PacketID, 0, len(t.inner.Records))
+	for _, r := range t.inner.Records {
+		out = append(out, fromInternalID(r.ID))
+	}
+	return out
+}
+
+func (t *Trace) record(id PacketID) (*trace.Record, error) {
+	for _, r := range t.inner.Records {
+		if r.ID == toInternalID(id) {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("packet %v not in trace: %w", id, ErrBadInput)
+}
+
+// Path returns the packet's route, source first, sink last.
+func (t *Trace) Path(id PacketID) ([]NodeID, error) {
+	r, err := t.record(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeID, len(r.Path))
+	for i, n := range r.Path {
+		out[i] = NodeID(n)
+	}
+	return out, nil
+}
+
+// GenerationTime returns t_0(p).
+func (t *Trace) GenerationTime(id PacketID) (time.Duration, error) {
+	r, err := t.record(id)
+	if err != nil {
+		return 0, err
+	}
+	return r.GenTime, nil
+}
+
+// SinkArrival returns the packet's arrival time at the sink.
+func (t *Trace) SinkArrival(id PacketID) (time.Duration, error) {
+	r, err := t.record(id)
+	if err != nil {
+		return 0, err
+	}
+	return r.SinkArrival, nil
+}
+
+// SumDelays returns S(p), the sum-of-delays field the source attached.
+func (t *Trace) SumDelays(id PacketID) (time.Duration, error) {
+	r, err := t.record(id)
+	if err != nil {
+		return 0, err
+	}
+	return r.SumDelays, nil
+}
+
+// NodePosition returns a node's planar placement in meters, when the trace
+// carries positions (simulated traces always do; real deployments supply
+// survey or GPS coordinates).
+func (t *Trace) NodePosition(id NodeID) (x, y float64, err error) {
+	if int(id) < 0 || int(id) >= len(t.inner.Positions) {
+		return 0, 0, fmt.Errorf("no position for node %d: %w", id, ErrBadInput)
+	}
+	p := t.inner.Positions[id]
+	return p[0], p[1], nil
+}
+
+// MeasuredE2EDelay returns the node-accumulated end-to-end delay field
+// (Wang et al., RTSS'12 — the paper's reference [7]): the quantized sum of
+// SFD-measured sojourns along the path. SinkArrival(id) − MeasuredE2EDelay(id)
+// recovers the generation time without synchronized clocks, typically
+// within ~1 ms.
+func (t *Trace) MeasuredE2EDelay(id PacketID) (time.Duration, error) {
+	r, err := t.record(id)
+	if err != nil {
+		return 0, err
+	}
+	return r.E2EDelay, nil
+}
+
+// GroundTruthArrivals returns the simulator-recorded exact arrival times
+// t_0 .. t_{|p|-1}. Reconstruction never reads these; evaluation does.
+func (t *Trace) GroundTruthArrivals(id PacketID) ([]time.Duration, error) {
+	r, err := t.record(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.TruthArrivals) != len(r.Path) {
+		return nil, fmt.Errorf("packet %v has no ground truth: %w", id, ErrBadInput)
+	}
+	return append([]time.Duration(nil), r.TruthArrivals...), nil
+}
+
+// DropRandom returns a copy of the trace with roughly the given fraction of
+// records removed uniformly at random — the paper's Fig. 7 packet-loss
+// experiment.
+func (t *Trace) DropRandom(lossRate float64, seed int64) (*Trace, error) {
+	inner, err := t.inner.DropRandom(lossRate, seed)
+	if err != nil {
+		return nil, fmt.Errorf("dropping records: %w", err)
+	}
+	return &Trace{inner: inner}, nil
+}
+
+// Write serializes the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	if err := t.inner.Write(w); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace deserializes a trace written by Write.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	inner, err := trace.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("reading trace: %w", err)
+	}
+	return &Trace{inner: inner}, nil
+}
+
+// Internal returns the underlying trace for sibling packages inside this
+// module (the command-line tools and benches); external users have no use
+// for it because the internal types are unimportable.
+func (t *Trace) Internal() *trace.Trace { return t.inner }
+
+// WrapTrace adopts an internal trace (used by cmd/ and bench code).
+func WrapTrace(inner *trace.Trace) (*Trace, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	if err := inner.Validate(); err != nil {
+		return nil, fmt.Errorf("validating trace: %w", err)
+	}
+	return &Trace{inner: inner}, nil
+}

@@ -1,0 +1,312 @@
+package domo
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// headlineTrace is a mid-size run shared by the facade tests.
+var _headlineTrace *Trace
+
+func headlineTrace(t *testing.T) *Trace {
+	t.Helper()
+	if _headlineTrace != nil {
+		return _headlineTrace
+	}
+	tr, err := Simulate(SimConfig{
+		NumNodes:   60,
+		Duration:   8 * time.Minute,
+		DataPeriod: 15 * time.Second,
+		Seed:       7,
+		NodeLogs:   true,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if tr.NumRecords() < 100 {
+		t.Fatalf("thin trace: %d records", tr.NumRecords())
+	}
+	_headlineTrace = tr
+	return tr
+}
+
+func TestSimulateDefaultsAndDeterminism(t *testing.T) {
+	a, err := Simulate(SimConfig{NumNodes: 20, Duration: 2 * time.Minute, DataPeriod: 10 * time.Second, Seed: 3})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	b, err := Simulate(SimConfig{NumNodes: 20, Duration: 2 * time.Minute, DataPeriod: 10 * time.Second, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRecords() != b.NumRecords() {
+		t.Errorf("same seed: %d vs %d records", a.NumRecords(), b.NumRecords())
+	}
+	if a.NumNodes() != 20 {
+		t.Errorf("NumNodes = %d, want 20", a.NumNodes())
+	}
+	if a.Duration() == 0 {
+		t.Error("Duration unset")
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr := headlineTrace(t)
+	ids := tr.Packets()
+	if len(ids) != tr.NumRecords() {
+		t.Fatalf("Packets() length %d != NumRecords %d", len(ids), tr.NumRecords())
+	}
+	id := ids[0]
+	path, err := tr.Path(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != id.Source || path[len(path)-1] != 0 {
+		t.Errorf("path %v does not run source→sink", path)
+	}
+	gen, err := tr.GenerationTime(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := tr.SinkArrival(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr <= gen {
+		t.Errorf("sink arrival %v not after generation %v", arr, gen)
+	}
+	if _, err := tr.SumDelays(id); err != nil {
+		t.Fatal(err)
+	}
+	truth, err := tr.GroundTruthArrivals(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != len(path) {
+		t.Errorf("truth length %d != path length %d", len(truth), len(path))
+	}
+	if _, err := tr.Path(PacketID{Source: 999, Seq: 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("missing packet error = %v, want ErrBadInput", err)
+	}
+}
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	tr := headlineTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if back.NumRecords() != tr.NumRecords() {
+		t.Errorf("round trip lost records: %d vs %d", back.NumRecords(), tr.NumRecords())
+	}
+}
+
+// The paper's headline claim, end to end: Domo beats MNT on estimate error
+// and bound width, and beats MessageTracing on event-order displacement.
+func TestHeadlineComparison(t *testing.T) {
+	tr := headlineTrace(t)
+
+	rec, err := Estimate(tr, Config{})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	mnt, err := MNT(tr)
+	if err != nil {
+		t.Fatalf("MNT: %v", err)
+	}
+
+	domoErrs, err := EstimateErrors(tr, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mntErrs, err := MNTEstimateErrors(tr, mnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domoErr := Summarize(domoErrs).Mean
+	mntErr := Summarize(mntErrs).Mean
+	t.Logf("estimate error: domo=%.2fms mnt=%.2fms (paper: 3.58 vs 9.33)", domoErr, mntErr)
+	if domoErr >= mntErr {
+		t.Errorf("Domo error %.2fms not below MNT %.2fms", domoErr, mntErr)
+	}
+
+	bounds, err := Bounds(tr, Config{})
+	if err != nil {
+		t.Fatalf("Bounds: %v", err)
+	}
+	domoWidths, err := BoundWidths(tr, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mntWidths, err := MNTBoundWidths(tr, mnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domoW := Summarize(domoWidths).Mean
+	mntW := Summarize(mntWidths).Mean
+	t.Logf("bound width: domo=%.2fms mnt=%.2fms (paper: 16.11 vs 40.97)", domoW, mntW)
+	if domoW >= mntW {
+		t.Errorf("Domo width %.2fms not below MNT %.2fms", domoW, mntW)
+	}
+	viol, err := BoundViolations(tr, bounds, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol != 0 {
+		t.Errorf("bound violations = %d, want 0", viol)
+	}
+
+	truth, err := GroundTruthEventOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domoOrder, err := EventOrderFromEstimates(tr, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtOrder, err := MessageTracingOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domoDisp, err := Displacement(truth, domoOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtDisp, err := Displacement(truth, mtOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("displacement: domo=%.3f msgtracing=%.3f (paper: 0.03 vs 3.39)", domoDisp, mtDisp)
+	if domoDisp >= mtDisp {
+		t.Errorf("Domo displacement %.3f not below MessageTracing %.3f", domoDisp, mtDisp)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	tr := headlineTrace(t)
+	lossy, err := tr.DropRandom(0.2, 9)
+	if err != nil {
+		t.Fatalf("DropRandom: %v", err)
+	}
+	kept := float64(lossy.NumRecords()) / float64(tr.NumRecords())
+	if kept < 0.7 || kept > 0.9 {
+		t.Errorf("kept fraction %.2f, want ≈ 0.8", kept)
+	}
+	// Reconstruction on the lossy trace must stay sound.
+	bounds, err := Bounds(lossy, Config{BoundSample: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol, err := BoundViolations(lossy, bounds, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol != 0 {
+		t.Errorf("violations under loss = %d, want 0", viol)
+	}
+}
+
+func TestNodeDelayAverages(t *testing.T) {
+	tr := headlineTrace(t)
+	truthAvgs, err := NodeDelayAverages(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truthAvgs) == 0 {
+		t.Fatal("no per-node averages")
+	}
+	rec, err := Estimate(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estAvgs, err := NodeDelayAverages(tr, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(estAvgs) != len(truthAvgs) {
+		t.Errorf("estimate covers %d nodes, truth %d", len(estAvgs), len(truthAvgs))
+	}
+}
+
+func TestNetworkIntrospection(t *testing.T) {
+	net, err := NewNetwork(SimConfig{NumNodes: 10, Duration: time.Minute, DataPeriod: 10 * time.Second, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 10 {
+		t.Errorf("NumNodes = %d, want 10", net.NumNodes())
+	}
+	x, y, err := net.Position(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x == 0 && y == 0 {
+		t.Error("center sink at origin; expected center placement")
+	}
+	if _, _, err := net.Position(99); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad node error = %v, want ErrBadInput", err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilArguments(t *testing.T) {
+	if _, err := Estimate(nil, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Error("Estimate(nil) accepted")
+	}
+	if _, err := Bounds(nil, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Error("Bounds(nil) accepted")
+	}
+	if _, err := MNT(nil); !errors.Is(err, ErrBadInput) {
+		t.Error("MNT(nil) accepted")
+	}
+	if _, err := WrapTrace(nil); !errors.Is(err, ErrBadInput) {
+		t.Error("WrapTrace(nil) accepted")
+	}
+	if _, err := GroundTruthEventOrder(nil); !errors.Is(err, ErrBadInput) {
+		t.Error("GroundTruthEventOrder(nil) accepted")
+	}
+}
+
+// Path reconstruction from the 4-byte header must recover nearly all paths
+// and compose with the estimator.
+func TestReconstructPaths(t *testing.T) {
+	tr := headlineTrace(t)
+	recon, stats, err := ReconstructPaths(tr)
+	if err != nil {
+		t.Fatalf("ReconstructPaths: %v", err)
+	}
+	if stats.Total != tr.NumRecords() {
+		t.Errorf("examined %d of %d records", stats.Total, tr.NumRecords())
+	}
+	exactFrac := float64(stats.Exact) / float64(stats.Total)
+	t.Logf("paths: %.1f%% exact, %d ambiguous, %d unresolved",
+		exactFrac*100, stats.Ambiguous, stats.Unresolved)
+	if exactFrac < 0.85 {
+		t.Errorf("exact fraction %.2f too low", exactFrac)
+	}
+	// Domo still reconstructs delays on the path-reconstructed trace.
+	rec, err := Estimate(recon, Config{})
+	if err != nil {
+		t.Fatalf("Estimate on reconstructed paths: %v", err)
+	}
+	errs, err := EstimateErrors(recon, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(errs)
+	if s.N == 0 {
+		t.Fatal("no scored unknowns on reconstructed-path trace")
+	}
+	t.Logf("estimate error on reconstructed paths: %.2fms mean", s.Mean)
+	if _, _, err := ReconstructPaths(nil); !errors.Is(err, ErrBadInput) {
+		t.Error("ReconstructPaths(nil) accepted")
+	}
+}

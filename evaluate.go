@@ -1,0 +1,144 @@
+package domo
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/domo-net/domo/internal/metrics"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// Summary holds order statistics over a sample (values in milliseconds for
+// the error/width helpers, positions for displacement).
+type Summary struct {
+	N                      int
+	Mean, Median, P90, Max float64
+}
+
+func fromInternalSummary(s metrics.Summary) Summary {
+	return Summary{N: s.N, Mean: s.Mean, Median: s.Median, P90: s.P90, Max: s.Max}
+}
+
+// arrivalsFunc adapts public reconstructions to the metrics helpers.
+type arrivalsFunc func(trace.PacketID) ([]sim.Time, error)
+
+func (r *Reconstruction) arrivalsFunc() arrivalsFunc {
+	return func(id trace.PacketID) ([]sim.Time, error) { return r.est.Arrivals(id) }
+}
+
+func (m *MNTResult) arrivalsFunc() arrivalsFunc {
+	return func(id trace.PacketID) ([]sim.Time, error) { return m.res.Arrivals(id) }
+}
+
+// EstimateErrors returns |estimate − truth| in milliseconds for every
+// interior arrival time, for CDFs and summaries (Figs. 6a/7a/8a).
+func EstimateErrors(tr *Trace, rec *Reconstruction) ([]float64, error) {
+	if tr == nil || rec == nil {
+		return nil, fmt.Errorf("nil trace or reconstruction: %w", ErrBadInput)
+	}
+	errs, err := metrics.EstimateErrorsMS(tr.inner, rec.arrivalsFunc())
+	if err != nil {
+		return nil, fmt.Errorf("estimate errors: %w", err)
+	}
+	return errs, nil
+}
+
+// MNTEstimateErrors is EstimateErrors for the MNT baseline's midpoints.
+func MNTEstimateErrors(tr *Trace, m *MNTResult) ([]float64, error) {
+	if tr == nil || m == nil {
+		return nil, fmt.Errorf("nil trace or MNT result: %w", ErrBadInput)
+	}
+	errs, err := metrics.EstimateErrorsMS(tr.inner, m.arrivalsFunc())
+	if err != nil {
+		return nil, fmt.Errorf("MNT estimate errors: %w", err)
+	}
+	return errs, nil
+}
+
+// BoundWidths returns upper−lower in milliseconds for every interior
+// arrival time whose bounds were computed (Figs. 6b/7b/8b/10a).
+func BoundWidths(tr *Trace, b *BoundsResult) ([]float64, error) {
+	if tr == nil || b == nil {
+		return nil, fmt.Errorf("nil trace or bounds: %w", ErrBadInput)
+	}
+	widths, err := metrics.BoundWidthsMS(tr.inner,
+		func(id trace.PacketID) ([]sim.Time, []sim.Time, error) { return b.b.ArrivalBounds(id) },
+		func(id trace.PacketID, hop int) bool { return b.b.Computed(id, hop) })
+	if err != nil {
+		return nil, fmt.Errorf("bound widths: %w", err)
+	}
+	return widths, nil
+}
+
+// MNTBoundWidths is BoundWidths for the MNT baseline.
+func MNTBoundWidths(tr *Trace, m *MNTResult) ([]float64, error) {
+	if tr == nil || m == nil {
+		return nil, fmt.Errorf("nil trace or MNT result: %w", ErrBadInput)
+	}
+	widths, err := metrics.BoundWidthsMS(tr.inner,
+		func(id trace.PacketID) ([]sim.Time, []sim.Time, error) { return m.res.ArrivalBounds(id) },
+		nil)
+	if err != nil {
+		return nil, fmt.Errorf("MNT bound widths: %w", err)
+	}
+	return widths, nil
+}
+
+// BoundViolations counts interior arrival times whose ground truth escapes
+// the reconstructed bounds by more than tol; sound bounds yield zero.
+func BoundViolations(tr *Trace, b *BoundsResult, tol time.Duration) (int, error) {
+	if tr == nil || b == nil {
+		return 0, fmt.Errorf("nil trace or bounds: %w", ErrBadInput)
+	}
+	v, err := metrics.BoundViolations(tr.inner,
+		func(id trace.PacketID) ([]sim.Time, []sim.Time, error) { return b.b.ArrivalBounds(id) }, tol)
+	if err != nil {
+		return 0, fmt.Errorf("bound violations: %w", err)
+	}
+	return v, nil
+}
+
+// Displacement computes the paper's average-displacement metric between a
+// ground-truth event order and a reconstructed one (Fig. 6c).
+func Displacement(truth, recon []Event) (float64, error) {
+	d, err := metrics.Displacement(truth, recon)
+	if err != nil {
+		return 0, fmt.Errorf("displacement: %w", err)
+	}
+	return d, nil
+}
+
+// Summarize computes order statistics over a sample.
+func Summarize(values []float64) Summary {
+	return fromInternalSummary(metrics.Summarize(values))
+}
+
+// CDF returns, for each point, the fraction of values ≤ that point.
+func CDF(values, points []float64) []float64 {
+	return metrics.CDF(values, points)
+}
+
+// NodeDelayAverages returns each node's average per-packet sojourn in
+// milliseconds under the given reconstruction (nil = ground truth); the
+// Fig. 6a per-node series and the Fig. 1 delay-map data.
+func NodeDelayAverages(tr *Trace, rec *Reconstruction) (map[NodeID]float64, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	var fn arrivalsFunc
+	if rec == nil {
+		fn = metrics.TruthArrivals(tr.inner)
+	} else {
+		fn = rec.arrivalsFunc()
+	}
+	avgs, err := metrics.NodeDelayAverages(tr.inner, fn)
+	if err != nil {
+		return nil, fmt.Errorf("node delay averages: %w", err)
+	}
+	out := make(map[NodeID]float64, len(avgs))
+	for n, v := range avgs {
+		out[NodeID(n)] = v
+	}
+	return out, nil
+}

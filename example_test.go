@@ -1,0 +1,109 @@
+package domo_test
+
+import (
+	"fmt"
+	"time"
+
+	domo "github.com/domo-net/domo"
+)
+
+// ExampleSimulate shows the minimal collect→reconstruct loop.
+func ExampleSimulate() {
+	tr, err := domo.Simulate(domo.SimConfig{
+		NumNodes:   30,
+		Duration:   3 * time.Minute,
+		DataPeriod: 10 * time.Second,
+		Seed:       1,
+	})
+	if err != nil {
+		fmt.Println("simulate:", err)
+		return
+	}
+	rec, err := domo.Estimate(tr, domo.Config{})
+	if err != nil {
+		fmt.Println("estimate:", err)
+		return
+	}
+	errs, err := domo.EstimateErrors(tr, rec)
+	if err != nil {
+		fmt.Println("score:", err)
+		return
+	}
+	fmt.Println("delivered packets:", tr.NumRecords() > 100)
+	fmt.Println("mean error below 5ms:", domo.Summarize(errs).Mean < 5)
+	// Output:
+	// delivered packets: true
+	// mean error below 5ms: true
+}
+
+// ExampleBounds shows guaranteed per-hop bounds and their soundness check.
+func ExampleBounds() {
+	tr, err := domo.Simulate(domo.SimConfig{
+		NumNodes:   30,
+		Duration:   3 * time.Minute,
+		DataPeriod: 10 * time.Second,
+		Seed:       2,
+	})
+	if err != nil {
+		fmt.Println("simulate:", err)
+		return
+	}
+	bounds, err := domo.Bounds(tr, domo.Config{})
+	if err != nil {
+		fmt.Println("bounds:", err)
+		return
+	}
+	violations, err := domo.BoundViolations(tr, bounds, 10*time.Microsecond)
+	if err != nil {
+		fmt.Println("check:", err)
+		return
+	}
+	fmt.Println("ground truth always inside the bounds:", violations == 0)
+	// Output:
+	// ground truth always inside the bounds: true
+}
+
+// ExampleTrace_DropRandom shows the paper's packet-loss experiment setup.
+func ExampleTrace_DropRandom() {
+	tr, err := domo.Simulate(domo.SimConfig{
+		NumNodes:   20,
+		Duration:   2 * time.Minute,
+		DataPeriod: 10 * time.Second,
+		Seed:       3,
+	})
+	if err != nil {
+		fmt.Println("simulate:", err)
+		return
+	}
+	lossy, err := tr.DropRandom(0.3, 42)
+	if err != nil {
+		fmt.Println("drop:", err)
+		return
+	}
+	fmt.Println("records shrank:", lossy.NumRecords() < tr.NumRecords())
+	// Output:
+	// records shrank: true
+}
+
+// ExampleReconstructPaths shows the path-reconstruction substrate.
+func ExampleReconstructPaths() {
+	tr, err := domo.Simulate(domo.SimConfig{
+		NumNodes:   25,
+		Duration:   3 * time.Minute,
+		DataPeriod: 8 * time.Second,
+		Seed:       4,
+	})
+	if err != nil {
+		fmt.Println("simulate:", err)
+		return
+	}
+	_, stats, err := domo.ReconstructPaths(tr)
+	if err != nil {
+		fmt.Println("paths:", err)
+		return
+	}
+	fmt.Println("most paths rebuilt from the 4-byte header:",
+		stats.Exact > stats.Total*9/10)
+	// Output:
+	// most paths rebuilt from the 4-byte header: true
+}

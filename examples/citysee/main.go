@@ -1,0 +1,134 @@
+// CitySee-style network diagnosis: the paper's motivating scenario
+// (Fig. 1). End-to-end delays alone show that some regions of an urban
+// sensing deployment are slow, but not why. Domo's per-hop decomposition
+// pinpoints the congested relays.
+//
+// The example simulates a deployment with time-varying links, renders the
+// end-to-end delay map for two time windows, and then uses the per-hop
+// reconstruction to rank the actual bottleneck nodes — which end-to-end
+// numbers alone cannot do.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	domo "github.com/domo-net/domo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "citysee: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net, err := domo.NewNetwork(domo.SimConfig{
+		NumNodes:   80,
+		Duration:   12 * time.Minute,
+		DataPeriod: 15 * time.Second,
+		Seed:       7,
+		LinkDrift:  0.05, // pronounced temporal variation, as in Fig. 1
+	})
+	if err != nil {
+		return fmt.Errorf("building network: %w", err)
+	}
+	tr, err := net.Run()
+	if err != nil {
+		return fmt.Errorf("running: %w", err)
+	}
+
+	// ---- What the operator sees without Domo: end-to-end delays only ----
+	half := tr.Duration() / 2
+	e2e1 := map[domo.NodeID][]float64{}
+	e2e2 := map[domo.NodeID][]float64{}
+	for _, id := range tr.Packets() {
+		gen, err := tr.GenerationTime(id)
+		if err != nil {
+			return err
+		}
+		arr, err := tr.SinkArrival(id)
+		if err != nil {
+			return err
+		}
+		ms := float64(arr-gen) / float64(time.Millisecond)
+		if arr < half {
+			e2e1[id.Source] = append(e2e1[id.Source], ms)
+		} else {
+			e2e2[id.Source] = append(e2e2[id.Source], ms)
+		}
+	}
+	fmt.Println("end-to-end delay map (mean ms per source), two time windows:")
+	fmt.Printf("%-6s %-8s %-8s %-12s %-12s\n", "node", "x", "y", "window 1", "window 2")
+	shown := 0
+	for n := domo.NodeID(1); int(n) < net.NumNodes() && shown < 10; n++ {
+		s1, s2 := domo.Summarize(e2e1[n]), domo.Summarize(e2e2[n])
+		if s1.N == 0 || s2.N == 0 {
+			continue
+		}
+		x, y, err := net.Position(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6d %-8.1f %-8.1f %-12.1f %-12.1f\n", n, x, y, s1.Mean, s2.Mean)
+		shown++
+	}
+	fmt.Println("... delays differ across nodes and across time — but WHICH relay is slow?")
+
+	// ---- What Domo adds: per-hop attribution ----
+	rec, err := domo.Estimate(tr, domo.Config{})
+	if err != nil {
+		return fmt.Errorf("reconstructing: %w", err)
+	}
+	perNode, err := domo.NodeDelayAverages(tr, rec)
+	if err != nil {
+		return err
+	}
+	truthPerNode, err := domo.NodeDelayAverages(tr, nil)
+	if err != nil {
+		return err
+	}
+
+	type hotspot struct {
+		node  domo.NodeID
+		est   float64
+		truth float64
+	}
+	var ranked []hotspot
+	for n, est := range perNode {
+		ranked = append(ranked, hotspot{node: n, est: est, truth: truthPerNode[n]})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].est > ranked[j].est })
+
+	fmt.Println("\ntop bottleneck relays by reconstructed per-hop sojourn (Domo):")
+	fmt.Printf("%-6s %-18s %-18s\n", "node", "domo avg sojourn", "true avg sojourn")
+	for i, h := range ranked {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("%-6d %-18.2f %-18.2f\n", h.node, h.est, h.truth)
+	}
+
+	// Verify Domo's ranking finds genuinely slow nodes: its top-5 should
+	// substantially overlap the ground-truth top-5.
+	var truthRanked []hotspot
+	for n, truth := range truthPerNode {
+		truthRanked = append(truthRanked, hotspot{node: n, truth: truth})
+	}
+	sort.Slice(truthRanked, func(i, j int) bool { return truthRanked[i].truth > truthRanked[j].truth })
+	truthTop := map[domo.NodeID]bool{}
+	for i := 0; i < 5 && i < len(truthRanked); i++ {
+		truthTop[truthRanked[i].node] = true
+	}
+	hits := 0
+	for i := 0; i < 5 && i < len(ranked); i++ {
+		if truthTop[ranked[i].node] {
+			hits++
+		}
+	}
+	fmt.Printf("\nDomo's top-5 bottleneck list matches ground truth on %d/5 nodes\n", hits)
+	return nil
+}

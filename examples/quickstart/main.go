@@ -1,0 +1,88 @@
+// Quickstart: simulate a small collection network, reconstruct per-hop
+// per-packet delays with Domo, and print one packet's decomposition next
+// to the simulator's ground truth.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	domo "github.com/domo-net/domo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Collect a trace: 50 nodes reporting every 15s for 5 simulated
+	//    minutes. In a real deployment this comes from the sink's serial
+	//    port; here the bundled simulator provides it (with ground truth).
+	tr, err := domo.Simulate(domo.SimConfig{
+		NumNodes:   50,
+		Duration:   5 * time.Minute,
+		DataPeriod: 15 * time.Second,
+		Seed:       42,
+	})
+	if err != nil {
+		return fmt.Errorf("simulating: %w", err)
+	}
+	fmt.Printf("collected %d packets from %d nodes\n", tr.NumRecords(), tr.NumNodes())
+
+	// 2. Reconstruct every packet's per-hop arrival times.
+	rec, err := domo.Estimate(tr, domo.Config{})
+	if err != nil {
+		return fmt.Errorf("reconstructing: %w", err)
+	}
+	stats := rec.Stats()
+	fmt.Printf("reconstructed %d interior arrival times in %v\n\n", stats.Unknowns, stats.WallTime)
+
+	// 3. Inspect the first genuinely multi-hop packet.
+	for _, id := range tr.Packets() {
+		path, err := tr.Path(id)
+		if err != nil {
+			return err
+		}
+		if len(path) < 3 {
+			continue
+		}
+		delays, err := rec.NodeDelays(id)
+		if err != nil {
+			return err
+		}
+		unc, err := rec.Uncertainty(id)
+		if err != nil {
+			return err
+		}
+		truth, err := tr.GroundTruthArrivals(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("packet %v traveled %v\n", id, path)
+		fmt.Printf("%-6s %-6s %-16s %-16s %-16s\n", "hop", "node", "domo delay", "true delay", "±uncertainty")
+		for i := 0; i+1 < len(path); i++ {
+			// A hop's delay spans two arrival times; report the larger of
+			// the two envelopes as its uncertainty.
+			u := unc[i]
+			if unc[i+1] > u {
+				u = unc[i+1]
+			}
+			fmt.Printf("%-6d %-6d %-16v %-16v %-16v\n", i, path[i], delays[i], truth[i+1]-truth[i], u)
+		}
+		break
+	}
+
+	// 4. Overall accuracy against ground truth.
+	errs, err := domo.EstimateErrors(tr, rec)
+	if err != nil {
+		return err
+	}
+	s := domo.Summarize(errs)
+	fmt.Printf("\nreconstruction error: mean %.2fms, p90 %.2fms over %d arrival times\n",
+		s.Mean, s.P90, s.N)
+	return nil
+}

@@ -1,0 +1,326 @@
+package domo
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestConfigMapping(t *testing.T) {
+	cfg := Config{
+		EffectiveWindowRatio: 0.7,
+		WindowPackets:        32,
+		EnableSDR:            true,
+		GraphCutSize:         123,
+		ExactBounds:          true,
+		UseUpperSum:          true,
+		AblateSumConstraints: true,
+		AblateBLP:            true,
+	}
+	cc := cfg.toCore()
+	if cc.EffectiveWindowRatio != 0.7 || cc.WindowPackets != 32 || !cc.EnableSDR {
+		t.Errorf("estimator fields lost: %+v", cc)
+	}
+	if cc.GraphCutSize != 123 || !cc.UseUpperSum || !cc.DisableSumConstraints || !cc.DisableBLP {
+		t.Errorf("bound/ablation fields lost: %+v", cc)
+	}
+	if cc.BoundSolverKind == 0 {
+		t.Error("ExactBounds did not select a solver")
+	}
+}
+
+func TestExactBoundsPath(t *testing.T) {
+	tr := headlineTrace(t)
+	b, err := Bounds(tr, Config{ExactBounds: true, GraphCutSize: 80, BoundSample: 20, Seed: 4})
+	if err != nil {
+		t.Fatalf("Bounds exact: %v", err)
+	}
+	viol, err := BoundViolations(tr, b, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol != 0 {
+		t.Errorf("exact bounds violations = %d, want 0", viol)
+	}
+	st := b.Stats()
+	if st.Solved != 20 {
+		t.Errorf("Solved = %d, want 20", st.Solved)
+	}
+}
+
+func TestMNTResultAccessors(t *testing.T) {
+	tr := headlineTrace(t)
+	m, err := MNT(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := tr.Packets()[0]
+	arr, err := m.Arrivals(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays, err := m.NodeDelays(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != len(arr)-1 {
+		t.Errorf("NodeDelays length %d for %d arrivals", len(delays), len(arr))
+	}
+	lo, hi, err := m.ArrivalBounds(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lo {
+		if hi[i] < lo[i] {
+			t.Errorf("MNT bound %d inverted", i)
+		}
+	}
+	if _, err := m.Arrivals(PacketID{Source: 999, Seq: 9}); err == nil {
+		t.Error("unknown packet accepted")
+	}
+}
+
+func TestWrapTraceAndInternal(t *testing.T) {
+	tr := headlineTrace(t)
+	wrapped, err := WrapTrace(tr.Internal())
+	if err != nil {
+		t.Fatalf("WrapTrace: %v", err)
+	}
+	if wrapped.NumRecords() != tr.NumRecords() {
+		t.Error("WrapTrace changed the trace")
+	}
+}
+
+func TestReconstructionStats(t *testing.T) {
+	tr := headlineTrace(t)
+	rec, err := Estimate(tr, Config{WindowPackets: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rec.Stats()
+	if st.Unknowns <= 0 || st.Windows <= 0 || st.WallTime <= 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	if _, err := rec.Arrivals(PacketID{Source: 999, Seq: 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown packet error = %v, want ErrBadInput", err)
+	}
+	if _, err := rec.NodeDelays(PacketID{Source: 999, Seq: 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown packet error = %v, want ErrBadInput", err)
+	}
+}
+
+func TestBoundsResultAccessors(t *testing.T) {
+	tr := headlineTrace(t)
+	b, err := Bounds(tr, Config{BoundSample: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.ArrivalBounds(PacketID{Source: 999, Seq: 1}); err == nil {
+		t.Error("unknown packet accepted")
+	}
+	id := tr.Packets()[0]
+	if b.Computed(id, 0) {
+		t.Error("known hop reported as computed")
+	}
+	if b.Computed(PacketID{Source: 999, Seq: 1}, 1) {
+		t.Error("unknown packet reported as computed")
+	}
+}
+
+func TestUseUpperSumEstimate(t *testing.T) {
+	tr := headlineTrace(t)
+	rec, err := Estimate(tr, Config{UseUpperSum: true})
+	if err != nil {
+		t.Fatalf("Estimate with Eq.6: %v", err)
+	}
+	errs, err := EstimateErrors(tr, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Summarize(errs).N == 0 {
+		t.Fatal("no scored unknowns")
+	}
+}
+
+func TestSummaryAndCDFFacade(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	cdf := CDF([]float64{1, 2, 3, 4}, []float64{2})
+	if len(cdf) != 1 || cdf[0] != 0.5 {
+		t.Errorf("CDF = %v, want [0.5]", cdf)
+	}
+}
+
+func TestPacketIDStringFacade(t *testing.T) {
+	if (PacketID{Source: 3, Seq: 9}).String() != "3:9" {
+		t.Error("PacketID.String wrong")
+	}
+}
+
+func TestEventOrderNilReconstruction(t *testing.T) {
+	tr := headlineTrace(t)
+	if _, err := EventOrderFromEstimates(tr, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil reconstruction error = %v, want ErrBadInput", err)
+	}
+	if _, err := MessageTracingOrder(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil trace error = %v, want ErrBadInput", err)
+	}
+}
+
+func TestDisplacementFacadeErrors(t *testing.T) {
+	a := []Event{{Node: 1, Send: true, Packet: PacketID{Source: 1, Seq: 1}}}
+	if _, err := Displacement(a, nil); err == nil {
+		t.Error("mismatched sequences accepted")
+	}
+	d, err := Displacement(a, a)
+	if err != nil || d != 0 {
+		t.Errorf("identity displacement = %g, %v", d, err)
+	}
+}
+
+func TestSimulateSideOverride(t *testing.T) {
+	tr, err := Simulate(SimConfig{NumNodes: 12, Duration: time.Minute, DataPeriod: 10 * time.Second, Seed: 5, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate with Side: %v", err)
+	}
+	// A 40m square with 28m connected radius is a single-hop star: all
+	// paths have 2 hops.
+	for _, id := range tr.Packets() {
+		path, err := tr.Path(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) > 3 {
+			t.Errorf("packet %v path %v unusually long for a 40m square", id, path)
+		}
+	}
+}
+
+// Shadowed links and Trickle beacons must compose with the full pipeline:
+// the network still delivers, and reconstruction stays sound.
+func TestShadowingAndTrickle(t *testing.T) {
+	tr, err := Simulate(SimConfig{
+		NumNodes:       40,
+		Duration:       5 * time.Minute,
+		DataPeriod:     12 * time.Second,
+		Seed:           31,
+		Shadowing:      6,
+		TrickleBeacons: true,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if tr.NumRecords() < 30 {
+		t.Fatalf("thin trace under shadowing: %d records", tr.NumRecords())
+	}
+	b, err := Bounds(tr, Config{BoundSample: 80, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol, err := BoundViolations(tr, b, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol != 0 {
+		t.Errorf("violations under shadowing+trickle = %d, want 0", viol)
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	net, err := NewNetwork(SimConfig{NumNodes: 15, Duration: 2 * time.Minute, DataPeriod: 8 * time.Second, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	if st.FramesSent == 0 {
+		t.Error("no frames counted")
+	}
+	if st.FramesSent < st.FramesDropped {
+		t.Errorf("dropped %d > sent %d", st.FramesDropped, st.FramesSent)
+	}
+	if net.Side() <= 0 {
+		t.Error("Side not positive")
+	}
+}
+
+func TestNodePosition(t *testing.T) {
+	tr := headlineTrace(t)
+	x, y, err := tr.NodePosition(1)
+	if err != nil {
+		t.Fatalf("NodePosition: %v", err)
+	}
+	if x == 0 && y == 0 {
+		t.Error("node 1 at origin; positions probably missing")
+	}
+	if _, _, err := tr.NodePosition(9999); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad node error = %v, want ErrBadInput", err)
+	}
+}
+
+// Uncertainty must correlate with actual error: the most-confident half of
+// the estimates should be more accurate than the least-confident half.
+func TestUncertaintyCorrelatesWithError(t *testing.T) {
+	tr := headlineTrace(t)
+	rec, err := Estimate(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type scored struct{ width, err float64 }
+	var all []scored
+	for _, id := range tr.Packets() {
+		path, err := tr.Path(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) < 3 {
+			continue
+		}
+		arr, err := rec.Arrivals(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unc, err := rec.Uncertainty(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := tr.GroundTruthArrivals(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if unc[0] != 0 || unc[len(unc)-1] != 0 {
+			t.Fatalf("known endpoints have nonzero uncertainty: %v", unc)
+		}
+		for hop := 1; hop < len(path)-1; hop++ {
+			e := float64(arr[hop]-truth[hop]) / 1e6
+			if e < 0 {
+				e = -e
+			}
+			all = append(all, scored{width: float64(unc[hop]) / 1e6, err: e})
+		}
+	}
+	if len(all) < 100 {
+		t.Fatalf("too few scored hops: %d", len(all))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].width < all[j].width })
+	half := len(all) / 2
+	var confident, vague float64
+	for i, s := range all {
+		if i < half {
+			confident += s.err
+		} else {
+			vague += s.err
+		}
+	}
+	confident /= float64(half)
+	vague /= float64(len(all) - half)
+	t.Logf("mean |err|: most-confident half %.2fms, least-confident half %.2fms", confident, vague)
+	if confident >= vague {
+		t.Errorf("confidence does not separate accuracy: %.2f vs %.2f", confident, vague)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/domo-net/domo
+
+go 1.22

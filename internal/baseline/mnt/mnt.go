@@ -1,0 +1,334 @@
+// Package mnt implements the MNT baseline (Keller, Beutel, Thiele —
+// "How was your journey?", SenSys 2012) as used in the paper's evaluation:
+// per-hop per-packet arrival-time bounds reconstructed from FIFO order
+// inference anchored on local packets' known generation times, improved by
+// correlating packets that share forwarding nodes.
+//
+// MNT sees exactly the same sink information as Domo minus the
+// sum-of-delays field S(p): paths, generation times, and sink arrival
+// times. Its machinery is:
+//
+//   - order constraints along each packet's own path (arrivals increase by
+//     at least the software processing delay ω);
+//   - FIFO inference: packets sharing a node n and the identical
+//     downstream path keep their relative order through every shared
+//     queue, so their sink-arrival order fixes both their arrival order at
+//     n and their next-hop arrival order — local packets of n contribute
+//     known generation times as absolute anchors (the "packet right
+//     before/right after" bracketing of the original paper);
+//   - bound propagation across these constraints ("correlating information
+//     from packets passing through the same forwarding nodes").
+//
+// Estimated values are bound midpoints, the methodology §VI-A of the Domo
+// paper uses for its comparison.
+package mnt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// ErrBadInput is returned for invalid traces or lookups.
+var ErrBadInput = errors.New("mnt: invalid input")
+
+// Config tunes the reconstruction.
+type Config struct {
+	// Omega is the minimum per-hop processing delay. Default 10µs.
+	Omega time.Duration
+	// FIFODelta is the minimum spacing of two departures from one radio.
+	// Default 1ms.
+	FIFODelta time.Duration
+	// FIFOArrivalSlack absorbs the enqueue race when ordering arrivals.
+	// Default 2ms.
+	FIFOArrivalSlack time.Duration
+	// Rounds bounds the propagation fixpoint iteration. Default 30.
+	Rounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Omega <= 0 {
+		c.Omega = 10 * time.Microsecond
+	}
+	if c.FIFODelta <= 0 {
+		c.FIFODelta = time.Millisecond
+	}
+	if c.FIFOArrivalSlack <= 0 {
+		c.FIFOArrivalSlack = 2 * time.Millisecond
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 30
+	}
+	return c
+}
+
+// Result holds MNT's reconstructed bounds and midpoint estimates.
+type Result struct {
+	byID    map[trace.PacketID]int
+	records []*trace.Record
+	// lower/upper[ri][hop] bound t_hop of record ri (ms); knowns have
+	// zero width.
+	lower [][]float64
+	upper [][]float64
+
+	Stats Stats
+}
+
+// Stats reports reconstruction effort.
+type Stats struct {
+	Unknowns    int
+	Constraints int
+	WallTime    time.Duration
+}
+
+type varKey struct {
+	rec, hop int
+}
+
+type row struct {
+	vars   []int
+	coeffs []float64
+	lower  float64
+	upper  float64
+}
+
+const _inf = 1e15
+
+func toMS(t sim.Time) float64 { return float64(t) / float64(time.Millisecond) }
+
+// Reconstruct runs MNT over a trace.
+func Reconstruct(tr *trace.Trace, cfg Config) (*Result, error) {
+	start := time.Now()
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("validating trace: %w", err)
+	}
+	c := cfg.withDefaults()
+
+	records := make([]*trace.Record, len(tr.Records))
+	copy(records, tr.Records)
+	sort.SliceStable(records, func(i, j int) bool { return records[i].GenTime < records[j].GenTime })
+
+	res := &Result{
+		byID:    make(map[trace.PacketID]int, len(records)),
+		records: records,
+		lower:   make([][]float64, len(records)),
+		upper:   make([][]float64, len(records)),
+	}
+	varIdx := map[varKey]int{}
+	var lo, hi []float64
+	for ri, r := range records {
+		res.byID[r.ID] = ri
+		res.lower[ri] = make([]float64, r.Hops())
+		res.upper[ri] = make([]float64, r.Hops())
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			varIdx[varKey{rec: ri, hop: hop}] = len(lo)
+			// Envelope from the packet's own order chain.
+			omega := toMS(c.Omega)
+			lo = append(lo, toMS(r.GenTime)+float64(hop)*omega)
+			hi = append(hi, toMS(r.SinkArrival)-float64(r.Hops()-1-hop)*omega)
+		}
+	}
+	res.Stats.Unknowns = len(lo)
+
+	ref := func(ri, hop int) (isVar bool, idx int, value float64) {
+		r := records[ri]
+		switch hop {
+		case 0:
+			return false, 0, toMS(r.GenTime)
+		case r.Hops() - 1:
+			return false, 0, toMS(r.SinkArrival)
+		default:
+			return true, varIdx[varKey{rec: ri, hop: hop}], 0
+		}
+	}
+
+	var rows []row
+	addDiff := func(riY, hopY, riX, hopX int, minGap float64) {
+		// t_hopY(y) - t_hopX(x) ≥ minGap.
+		yVar, yIdx, yVal := ref(riY, hopY)
+		xVar, xIdx, xVal := ref(riX, hopX)
+		if !yVar && !xVar {
+			return
+		}
+		r := row{lower: minGap, upper: _inf}
+		if yVar {
+			r.vars = append(r.vars, yIdx)
+			r.coeffs = append(r.coeffs, 1)
+		} else {
+			r.lower -= yVal
+			r.upper = _inf
+		}
+		if xVar {
+			r.vars = append(r.vars, xIdx)
+			r.coeffs = append(r.coeffs, -1)
+		} else {
+			r.lower += xVal
+		}
+		rows = append(rows, r)
+	}
+
+	// Order constraints along each path.
+	omega := toMS(c.Omega)
+	for ri, r := range records {
+		for hop := 0; hop < r.Hops()-1; hop++ {
+			addDiff(ri, hop+1, ri, hop, omega)
+		}
+	}
+
+	// FIFO inference over identical downstream suffixes.
+	type passage struct{ rec, hop int }
+	bySuffix := map[string][]passage{}
+	for ri, r := range records {
+		for hop := 0; hop < r.Hops()-1; hop++ {
+			key := suffixKey(r.Path[hop:])
+			bySuffix[key] = append(bySuffix[key], passage{rec: ri, hop: hop})
+		}
+	}
+	delta := toMS(c.FIFODelta)
+	slack := toMS(c.FIFOArrivalSlack)
+	keys := make([]string, 0, len(bySuffix))
+	for k := range bySuffix {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		list := bySuffix[key]
+		sort.SliceStable(list, func(i, j int) bool {
+			return records[list[i].rec].SinkArrival < records[list[j].rec].SinkArrival
+		})
+		for k := 0; k+1 < len(list); k++ {
+			x, y := list[k], list[k+1]
+			addDiff(y.rec, y.hop, x.rec, x.hop, -slack)    // arrival order at n
+			addDiff(y.rec, y.hop+1, x.rec, x.hop+1, delta) // next-hop order
+		}
+	}
+	res.Stats.Constraints = len(rows)
+
+	propagate(rows, lo, hi, c.Rounds)
+
+	for ri, r := range records {
+		for hop := 0; hop < r.Hops(); hop++ {
+			isVar, idx, val := ref(ri, hop)
+			if isVar {
+				res.lower[ri][hop] = lo[idx]
+				res.upper[ri][hop] = hi[idx]
+			} else {
+				res.lower[ri][hop] = val
+				res.upper[ri][hop] = val
+			}
+		}
+	}
+	res.Stats.WallTime = time.Since(start)
+	return res, nil
+}
+
+func suffixKey(suffix []radio.NodeID) string {
+	b := make([]byte, 0, len(suffix)*4)
+	for _, id := range suffix {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// propagate runs interval propagation to a fixpoint over difference rows.
+func propagate(rows []row, lo, hi []float64, maxRounds int) {
+	const tol = 1e-6
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, r := range rows {
+			sumMin, sumMax := 0.0, 0.0
+			for i, v := range r.vars {
+				c := r.coeffs[i]
+				if c > 0 {
+					sumMin += c * lo[v]
+					sumMax += c * hi[v]
+				} else {
+					sumMin += c * hi[v]
+					sumMax += c * lo[v]
+				}
+			}
+			for i, v := range r.vars {
+				c := r.coeffs[i]
+				var termMin, termMax float64
+				if c > 0 {
+					termMin, termMax = c*lo[v], c*hi[v]
+				} else {
+					termMin, termMax = c*hi[v], c*lo[v]
+				}
+				if r.upper < _inf/2 {
+					limit := r.upper - (sumMin - termMin)
+					if c > 0 {
+						if nb := limit / c; nb < hi[v]-tol {
+							hi[v], changed = nb, true
+						}
+					} else if nb := limit / c; nb > lo[v]+tol {
+						lo[v], changed = nb, true
+					}
+				}
+				if r.lower > -_inf/2 {
+					limit := r.lower - (sumMax - termMax)
+					if c > 0 {
+						if nb := limit / c; nb > lo[v]+tol {
+							lo[v], changed = nb, true
+						}
+					} else if nb := limit / c; nb < hi[v]-tol {
+						hi[v], changed = nb, true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// ArrivalBounds returns MNT's per-hop bounds for a packet.
+func (r *Result) ArrivalBounds(id trace.PacketID) (lower, upper []sim.Time, err error) {
+	ri, ok := r.byID[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("packet %v not reconstructed: %w", id, ErrBadInput)
+	}
+	n := len(r.lower[ri])
+	lower = make([]sim.Time, n)
+	upper = make([]sim.Time, n)
+	for hop := 0; hop < n; hop++ {
+		lower[hop] = sim.Time(r.lower[ri][hop] * float64(time.Millisecond))
+		upper[hop] = sim.Time(r.upper[ri][hop] * float64(time.Millisecond))
+	}
+	return lower, upper, nil
+}
+
+// Arrivals returns MNT's midpoint estimates for a packet.
+func (r *Result) Arrivals(id trace.PacketID) ([]sim.Time, error) {
+	lower, upper, err := r.ArrivalBounds(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sim.Time, len(lower))
+	for i := range out {
+		out[i] = lower[i] + (upper[i]-lower[i])/2
+	}
+	return out, nil
+}
+
+// NodeDelays returns MNT's estimated per-hop node delays for a packet.
+func (r *Result) NodeDelays(id trace.PacketID) ([]sim.Time, error) {
+	arr, err := r.Arrivals(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sim.Time, len(arr)-1)
+	for i := range out {
+		out[i] = arr[i+1] - arr[i]
+	}
+	return out, nil
+}

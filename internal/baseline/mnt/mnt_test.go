@@ -1,0 +1,160 @@
+package mnt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/node"
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+func ms(n float64) sim.Time { return sim.Time(n * float64(time.Millisecond)) }
+
+func craftedTrace() *trace.Trace {
+	rec := func(src radio.NodeID, seq uint32, path []radio.NodeID, arrivals []float64) *trace.Record {
+		ta := make([]sim.Time, len(arrivals))
+		for i, a := range arrivals {
+			ta[i] = ms(a)
+		}
+		return &trace.Record{
+			ID:            trace.PacketID{Source: src, Seq: seq},
+			Path:          path,
+			GenTime:       ta[0],
+			SinkArrival:   ta[len(ta)-1],
+			TruthArrivals: ta,
+		}
+	}
+	tr := &trace.Trace{
+		NumNodes: 4,
+		Duration: time.Second,
+		Records: []*trace.Record{
+			// FIFO-consistent at node 1: 2:1 (10→20), 3:1 (41→52),
+			// 1:1 (enqueued 45 → departs 54, after 3:1), 2:2 (58→70).
+			rec(2, 1, []radio.NodeID{2, 1, 0}, []float64{0, 10, 20}),
+			rec(3, 1, []radio.NodeID{3, 1, 0}, []float64{30, 41, 52}),
+			rec(1, 1, []radio.NodeID{1, 0}, []float64{45, 54}),
+			rec(2, 2, []radio.NodeID{2, 1, 0}, []float64{50, 58, 70}),
+		},
+	}
+	tr.SortBySinkArrival()
+	return tr
+}
+
+func TestReconstructValidation(t *testing.T) {
+	if _, err := Reconstruct(nil, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil trace error = %v, want ErrBadInput", err)
+	}
+	if _, err := Reconstruct(&trace.Trace{NumNodes: 1}, Config{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestBoundsContainTruthCrafted(t *testing.T) {
+	tr := craftedTrace()
+	res, err := Reconstruct(tr, Config{})
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	assertSound(t, tr, res)
+	if res.Stats.Unknowns != 3 {
+		t.Errorf("Unknowns = %d, want 3", res.Stats.Unknowns)
+	}
+	if res.Stats.Constraints == 0 {
+		t.Error("no constraints built")
+	}
+}
+
+func assertSound(t *testing.T, tr *trace.Trace, res *Result) {
+	t.Helper()
+	const tol = 10 * time.Microsecond
+	for _, r := range tr.Records {
+		lower, upper, err := res.ArrivalBounds(r.ID)
+		if err != nil {
+			t.Fatalf("ArrivalBounds(%v): %v", r.ID, err)
+		}
+		for hop, truth := range r.TruthArrivals {
+			if truth < lower[hop]-tol || truth > upper[hop]+tol {
+				t.Errorf("packet %v hop %d: truth %v outside [%v, %v]",
+					r.ID, hop, truth, lower[hop], upper[hop])
+			}
+		}
+	}
+}
+
+// Midpoint estimates must respect per-packet ordering and sum to the
+// end-to-end delay.
+func TestArrivalsMidpointsOrdered(t *testing.T) {
+	tr := craftedTrace()
+	res, err := Reconstruct(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Records {
+		arr, err := res.Arrivals(r.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(arr); i++ {
+			if arr[i] < arr[i-1] {
+				t.Errorf("packet %v: midpoint arrivals out of order: %v", r.ID, arr)
+			}
+		}
+		delays, err := res.NodeDelays(r.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum sim.Time
+		for _, d := range delays {
+			sum += d
+		}
+		if sum != r.SinkArrival-r.GenTime {
+			t.Errorf("packet %v: delays sum %v != e2e %v", r.ID, sum, r.SinkArrival-r.GenTime)
+		}
+	}
+}
+
+func TestUnknownPacket(t *testing.T) {
+	res, err := Reconstruct(craftedTrace(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.ArrivalBounds(trace.PacketID{Source: 9, Seq: 9}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown packet error = %v, want ErrBadInput", err)
+	}
+}
+
+// MNT must stay sound on a simulated multi-hop network.
+func TestBoundsContainTruthSimulated(t *testing.T) {
+	net, err := node.NewNetwork(node.NetworkConfig{
+		NumNodes: 16,
+		Side:     70,
+		Seed:     77,
+		Link: radio.LinkConfig{
+			ConnectedRadius: 22,
+			OutageRadius:    45,
+			PRRMax:          0.97,
+		},
+		DataPeriod: 6 * time.Second,
+		DataJitter: time.Second,
+		Warmup:     40 * time.Second,
+		GridJitter: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := net.Run(5 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) < 30 {
+		t.Fatalf("thin trace: %d records", len(tr.Records))
+	}
+	res, err := Reconstruct(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSound(t, tr, res)
+}

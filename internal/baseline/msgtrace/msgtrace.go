@@ -1,0 +1,273 @@
+// Package msgtrace implements the MessageTracing baseline (Sundaram &
+// Eugster, DSN 2013) as used in the paper's evaluation: every node logs the
+// packets it sends and receives into local storage (no timestamps — that is
+// the point of the approach's zero message overhead), and an offline
+// analysis merges the per-node logs into one global order of send/receive
+// events.
+//
+// The offline merge builds the happens-before DAG the logs imply — each
+// node's log is a chain, and a packet's send at hop i precedes its receive
+// at hop i+1 — then linearizes it by propagating the only absolute times
+// the sink knows (packet generation times and sink arrivals) through the
+// DAG as lower bounds. The Domo paper evaluates order quality with the
+// average-displacement metric (§VI-A); Domo's own order is produced by
+// sorting the same events by its estimated arrival times.
+package msgtrace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// ErrBadInput is returned for traces without node logs or unknown packets.
+var ErrBadInput = errors.New("msgtrace: invalid input")
+
+// EventRef identifies one send/receive event network-wide.
+type EventRef struct {
+	Node   radio.NodeID
+	Kind   trace.EventKind
+	Packet trace.PacketID
+}
+
+// String renders the event compactly.
+func (e EventRef) String() string {
+	return fmt.Sprintf("%v@%d/%v", e.Packet, e.Node, e.Kind)
+}
+
+// GroundTruthOrder returns the delivered-packet events of the trace's node
+// logs in true temporal order (using the simulator's hidden timestamps).
+func GroundTruthOrder(tr *trace.Trace) ([]EventRef, error) {
+	if tr == nil || len(tr.NodeLogs) == 0 {
+		return nil, fmt.Errorf("trace has no node logs: %w", ErrBadInput)
+	}
+	delivered := tr.ByID()
+	type stamped struct {
+		ref EventRef
+		at  sim.Time
+	}
+	var all []stamped
+	for node, log := range tr.NodeLogs {
+		for _, entry := range log {
+			if _, ok := delivered[entry.Packet]; !ok {
+				continue
+			}
+			all = append(all, stamped{
+				ref: EventRef{Node: node, Kind: entry.Kind, Packet: entry.Packet},
+				at:  entry.At,
+			})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return less(all[i].ref, all[j].ref) // deterministic tie-break
+	})
+	out := make([]EventRef, len(all))
+	for i, s := range all {
+		out[i] = s.ref
+	}
+	return out, nil
+}
+
+func less(a, b EventRef) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Packet.Source != b.Packet.Source {
+		return a.Packet.Source < b.Packet.Source
+	}
+	return a.Packet.Seq < b.Packet.Seq
+}
+
+// Reconstruct runs the MessageTracing offline analysis and returns its
+// linearized global event order (delivered-packet events only, matching
+// GroundTruthOrder's event set).
+func Reconstruct(tr *trace.Trace) ([]EventRef, error) {
+	if tr == nil || len(tr.NodeLogs) == 0 {
+		return nil, fmt.Errorf("trace has no node logs: %w", ErrBadInput)
+	}
+	delivered := tr.ByID()
+
+	// Index events and the happens-before edges.
+	idxOf := map[EventRef]int{}
+	var events []EventRef
+	add := func(e EventRef) int {
+		if i, ok := idxOf[e]; ok {
+			return i
+		}
+		idxOf[e] = len(events)
+		events = append(events, e)
+		return len(events) - 1
+	}
+	type edge struct{ from, to int }
+	var edges []edge
+	nodes := make([]radio.NodeID, 0, len(tr.NodeLogs))
+	for n := range tr.NodeLogs {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		log := tr.NodeLogs[n]
+		prev := -1
+		for _, entry := range log {
+			if _, ok := delivered[entry.Packet]; !ok {
+				continue
+			}
+			cur := add(EventRef{Node: n, Kind: entry.Kind, Packet: entry.Packet})
+			if prev >= 0 {
+				edges = append(edges, edge{from: prev, to: cur})
+			}
+			prev = cur
+		}
+	}
+	// Cross-node edges: send at hop i precedes receive at hop i+1.
+	for _, r := range tr.Records {
+		for i := 0; i+1 < len(r.Path); i++ {
+			sendRef := EventRef{Node: r.Path[i], Kind: trace.EventSend, Packet: r.ID}
+			recvRef := EventRef{Node: r.Path[i+1], Kind: trace.EventReceive, Packet: r.ID}
+			si, sOK := idxOf[sendRef]
+			ti, tOK := idxOf[recvRef]
+			if sOK && tOK {
+				edges = append(edges, edge{from: si, to: ti})
+			}
+		}
+	}
+
+	// Anchor the only times the PC knows: generation and sink arrival.
+	est := make([]float64, len(events))
+	for i, e := range events {
+		r := delivered[e.Packet]
+		switch {
+		case e.Kind == trace.EventSend && e.Node == e.Packet.Source:
+			est[i] = toMS(r.GenTime)
+		case e.Kind == trace.EventReceive && len(r.Path) > 0 && e.Node == r.Path[len(r.Path)-1]:
+			est[i] = toMS(r.SinkArrival)
+		default:
+			// Unknown interior events start at the packet's generation time;
+			// DAG propagation pushes them forward.
+			est[i] = toMS(r.GenTime)
+		}
+	}
+	// Longest-path style forward propagation to a fixpoint: every event
+	// must come (at least marginally) after its predecessors.
+	const step = 1e-3
+	for round := 0; round < len(events); round++ {
+		changed := false
+		for _, e := range edges {
+			if est[e.to] < est[e.from]+step {
+				est[e.to] = est[e.from] + step
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	order := make([]int, len(events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if est[order[a]] != est[order[b]] {
+			return est[order[a]] < est[order[b]]
+		}
+		return less(events[order[a]], events[order[b]])
+	})
+	out := make([]EventRef, len(events))
+	for i, idx := range order {
+		out[i] = events[idx]
+	}
+	return out, nil
+}
+
+// OrderFromArrivals sorts the trace's logged events by reconstructed
+// arrival times (Domo's or MNT's), producing the order used in the Fig. 6c
+// comparison. arrivals must return the per-hop arrival estimates for a
+// delivered packet.
+func OrderFromArrivals(tr *trace.Trace, arrivals func(trace.PacketID) ([]sim.Time, error)) ([]EventRef, error) {
+	if tr == nil || len(tr.NodeLogs) == 0 {
+		return nil, fmt.Errorf("trace has no node logs: %w", ErrBadInput)
+	}
+	delivered := tr.ByID()
+	cache := map[trace.PacketID][]sim.Time{}
+	timeOf := func(e EventRef) (float64, error) {
+		r := delivered[e.Packet]
+		arr, ok := cache[e.Packet]
+		if !ok {
+			var err error
+			arr, err = arrivals(e.Packet)
+			if err != nil {
+				return 0, err
+			}
+			cache[e.Packet] = arr
+		}
+		hop, found := 0, false
+		for i, n := range r.Path {
+			if n == e.Node {
+				hop, found = i, true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("event %v off the packet path: %w", e, ErrBadInput)
+		}
+		switch e.Kind {
+		case trace.EventReceive:
+			return toMS(arr[hop]), nil
+		case trace.EventSend:
+			// A send SFD at hop i is the arrival at hop i+1.
+			if hop+1 < len(arr) {
+				return toMS(arr[hop+1]), nil
+			}
+			return toMS(arr[hop]), nil
+		default:
+			return 0, fmt.Errorf("event %v has kind %v: %w", e, e.Kind, ErrBadInput)
+		}
+	}
+
+	var events []EventRef
+	for node, log := range tr.NodeLogs {
+		for _, entry := range log {
+			if _, ok := delivered[entry.Packet]; !ok {
+				continue
+			}
+			events = append(events, EventRef{Node: node, Kind: entry.Kind, Packet: entry.Packet})
+		}
+	}
+	type stamped struct {
+		ref EventRef
+		at  float64
+	}
+	all := make([]stamped, 0, len(events))
+	for _, e := range events {
+		t, err := timeOf(e)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, stamped{ref: e, at: t})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return less(all[i].ref, all[j].ref)
+	})
+	out := make([]EventRef, len(all))
+	for i, s := range all {
+		out[i] = s.ref
+	}
+	return out, nil
+}
+
+func toMS(t sim.Time) float64 { return float64(t) / float64(time.Millisecond) }

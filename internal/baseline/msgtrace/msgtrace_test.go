@@ -1,0 +1,193 @@
+package msgtrace
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/metrics"
+	"github.com/domo-net/domo/internal/node"
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+func ms(n float64) sim.Time { return sim.Time(n * float64(time.Millisecond)) }
+
+// twoHopTrace: 2 → 1 → 0 with node logs.
+func twoHopTrace() *trace.Trace {
+	p1 := trace.PacketID{Source: 2, Seq: 1}
+	p2 := trace.PacketID{Source: 2, Seq: 2}
+	rec := func(id trace.PacketID, arrivals []float64) *trace.Record {
+		ta := make([]sim.Time, len(arrivals))
+		for i, a := range arrivals {
+			ta[i] = ms(a)
+		}
+		return &trace.Record{
+			ID:            id,
+			Path:          []radio.NodeID{2, 1, 0},
+			GenTime:       ta[0],
+			SinkArrival:   ta[2],
+			TruthArrivals: ta,
+		}
+	}
+	return &trace.Trace{
+		NumNodes: 3,
+		Duration: time.Second,
+		Records:  []*trace.Record{rec(p1, []float64{0, 10, 20}), rec(p2, []float64{30, 42, 55})},
+		NodeLogs: map[radio.NodeID][]trace.LogEntry{
+			2: {
+				{Kind: trace.EventSend, Packet: p1, At: ms(10)},
+				{Kind: trace.EventSend, Packet: p2, At: ms(42)},
+			},
+			1: {
+				{Kind: trace.EventReceive, Packet: p1, At: ms(10)},
+				{Kind: trace.EventSend, Packet: p1, At: ms(20)},
+				{Kind: trace.EventReceive, Packet: p2, At: ms(42)},
+				{Kind: trace.EventSend, Packet: p2, At: ms(55)},
+			},
+			0: {
+				{Kind: trace.EventReceive, Packet: p1, At: ms(20)},
+				{Kind: trace.EventReceive, Packet: p2, At: ms(55)},
+			},
+		},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := GroundTruthOrder(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil trace error = %v, want ErrBadInput", err)
+	}
+	if _, err := Reconstruct(&trace.Trace{NumNodes: 3}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no-logs error = %v, want ErrBadInput", err)
+	}
+	if _, err := OrderFromArrivals(&trace.Trace{NumNodes: 3}, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no-logs error = %v, want ErrBadInput", err)
+	}
+}
+
+func TestGroundTruthOrder(t *testing.T) {
+	tr := twoHopTrace()
+	order, err := GroundTruthOrder(tr)
+	if err != nil {
+		t.Fatalf("GroundTruthOrder: %v", err)
+	}
+	if len(order) != 8 {
+		t.Fatalf("got %d events, want 8", len(order))
+	}
+	// First events are p1's send at 2 and receive at 1 (both at 10ms).
+	if order[0].Packet.Seq != 1 || order[1].Packet.Seq != 1 {
+		t.Errorf("earliest events not from p1: %v %v", order[0], order[1])
+	}
+	// The final two events are p2's send at node 1 and receive at the sink
+	// — the same SFD instant, so their relative order is a tie-break.
+	lastTwo := map[EventRef]bool{
+		order[len(order)-1]: true,
+		order[len(order)-2]: true,
+	}
+	wantSend := EventRef{Node: 1, Kind: trace.EventSend, Packet: trace.PacketID{Source: 2, Seq: 2}}
+	wantRecv := EventRef{Node: 0, Kind: trace.EventReceive, Packet: trace.PacketID{Source: 2, Seq: 2}}
+	if !lastTwo[wantSend] || !lastTwo[wantRecv] {
+		t.Errorf("final events = %v, want p2's last-hop send/receive pair", lastTwo)
+	}
+}
+
+func TestReconstructPermutation(t *testing.T) {
+	tr := twoHopTrace()
+	truth, err := GroundTruthOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := Reconstruct(tr)
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	if len(recon) != len(truth) {
+		t.Fatalf("recon has %d events, truth %d", len(recon), len(truth))
+	}
+	// Displacement must be computable (same event sets).
+	disp, err := metrics.Displacement(truth, recon)
+	if err != nil {
+		t.Fatalf("Displacement: %v", err)
+	}
+	// This tiny trace is fully determined; the merge should be near-exact.
+	if disp > 1.0 {
+		t.Errorf("displacement %g on trivially ordered trace", disp)
+	}
+}
+
+func TestOrderFromTruthArrivalsIsExact(t *testing.T) {
+	tr := twoHopTrace()
+	truth, err := GroundTruthOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := OrderFromArrivals(tr, metrics.TruthArrivals(tr))
+	if err != nil {
+		t.Fatalf("OrderFromArrivals: %v", err)
+	}
+	disp, err := metrics.Displacement(truth, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != 0 {
+		t.Errorf("truth-fed ordering displacement = %g, want 0", disp)
+	}
+}
+
+// On a simulated network, ordering by ground-truth arrivals must beat the
+// timestamp-free MessageTracing merge.
+func TestSimulatedDisplacementComparison(t *testing.T) {
+	net, err := node.NewNetwork(node.NetworkConfig{
+		NumNodes: 14,
+		Side:     65,
+		Seed:     5,
+		Link: radio.LinkConfig{
+			ConnectedRadius: 22,
+			OutageRadius:    45,
+			PRRMax:          0.97,
+		},
+		DataPeriod:     6 * time.Second,
+		DataJitter:     time.Second,
+		Warmup:         40 * time.Second,
+		GridJitter:     0.3,
+		EnableNodeLogs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := net.Run(5 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := GroundTruthOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) < 100 {
+		t.Fatalf("thin event set: %d", len(truth))
+	}
+	mtOrder, err := Reconstruct(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtDisp, err := metrics.Displacement(truth, mtOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthOrder, err := OrderFromArrivals(tr, metrics.TruthArrivals(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthDisp, err := metrics.Displacement(truth, truthOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("displacement: msgtracing=%.2f, truth-arrivals=%.2f over %d events", mtDisp, truthDisp, len(truth))
+	if truthDisp > 0.2 {
+		t.Errorf("truth-arrival ordering displacement %.2f, want ≈ 0", truthDisp)
+	}
+	if mtDisp <= truthDisp {
+		t.Errorf("MessageTracing (%.2f) not worse than exact ordering (%.2f)", mtDisp, truthDisp)
+	}
+}

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/domo-net/domo/internal/graphcut"
+	"github.com/domo-net/domo/internal/lp"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// Bounds holds per-unknown lower and upper arrival-time bounds (§IV-C).
+type Bounds struct {
+	ds           *Dataset
+	lower, upper []float64 // milliseconds, one per unknown
+	// envLo/envHi hold the immutable order-chain envelope every
+	// sub-problem seeds from; solved results land in lower/upper only, so
+	// targets are independent and safely parallel.
+	envLo, envHi []float64
+	computed     []bool // whether the unknown's bounds were solved
+	byID         map[trace.PacketID]int
+
+	// statsMu guards the per-solver counters when Workers > 1.
+	statsMu sync.Mutex
+	Stats   BoundStats
+}
+
+// BoundStats reports bound-solver effort.
+type BoundStats struct {
+	Unknowns    int
+	Solved      int // unknowns whose bounds were computed (≤ Unknowns when sampling)
+	Simplex     int // unknowns solved with the exact LP
+	Propagation int // unknowns solved with interval propagation
+	WallTime    time.Duration
+}
+
+// BoundOptions tunes a ComputeBounds run beyond the dataset Config.
+type BoundOptions struct {
+	// Sample computes bounds only for this many randomly chosen unknowns
+	// (0 = all). The paper reports average width and per-bound time, which
+	// sampling estimates at a fraction of the cost.
+	Sample int
+	Seed   int64
+	// Workers is the number of goroutines solving targets concurrently.
+	// Each target's sub-problem is independent, so the result is identical
+	// for any worker count. Default 1; use runtime.NumCPU() for batch runs.
+	Workers int
+}
+
+// ArrivalBounds returns lower and upper bounds for every arrival time of
+// the packet; known times have zero-width bounds. Unknowns whose bounds
+// were not computed (sampling) return the trivial order-chain envelope.
+func (b *Bounds) ArrivalBounds(id trace.PacketID) (lower, upper []sim.Time, err error) {
+	ri, ok := b.byID[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("packet %v not in trace: %w", id, ErrBadInput)
+	}
+	r := b.ds.records[ri]
+	lower = make([]sim.Time, r.Hops())
+	upper = make([]sim.Time, r.Hops())
+	for hop := range lower {
+		ref := b.ds.ref(ri, hop)
+		if ref.known {
+			lower[hop] = fromMS(ref.value)
+			upper[hop] = fromMS(ref.value)
+			continue
+		}
+		lower[hop] = fromMS(b.lower[ref.index])
+		upper[hop] = fromMS(b.upper[ref.index])
+	}
+	return lower, upper, nil
+}
+
+// Computed reports whether the unknown arrival t_hop of the packet had its
+// bounds solved (false for knowns and unsampled unknowns).
+func (b *Bounds) Computed(id trace.PacketID, hop int) bool {
+	ri, ok := b.byID[id]
+	if !ok {
+		return false
+	}
+	ref := b.ds.ref(ri, hop)
+	if ref.known {
+		return false
+	}
+	return b.computed[ref.index]
+}
+
+// propRow is a preprocessed guaranteed constraint for propagation.
+type propRow struct {
+	vars   []int
+	coeffs []float64
+	lower  float64
+	upper  float64
+}
+
+// ComputeBounds runs the §IV-C pipeline: constraint graph, per-unknown
+// tuned sub-graph extraction, and min/max solves over the guaranteed
+// constraints.
+func ComputeBounds(d *Dataset, opts BoundOptions) (*Bounds, error) {
+	start := time.Now()
+	b := &Bounds{
+		ds:       d,
+		lower:    make([]float64, len(d.unknowns)),
+		upper:    make([]float64, len(d.unknowns)),
+		computed: make([]bool, len(d.unknowns)),
+		byID:     make(map[trace.PacketID]int, len(d.records)),
+	}
+	for ri, r := range d.records {
+		b.byID[r.ID] = ri
+	}
+	b.Stats.Unknowns = len(d.unknowns)
+	b.seedEnvelope()
+	if len(d.unknowns) == 0 {
+		b.Stats.WallTime = time.Since(start)
+		return b, nil
+	}
+
+	rows, varRows := d.guaranteedRows()
+	graph := buildConstraintGraph(len(d.unknowns), rows)
+
+	targets := b.chooseTargets(opts)
+	workers := opts.Workers
+	if workers <= 1 {
+		for _, target := range targets {
+			if err := b.solveTarget(target, rows, varRows, graph); err != nil {
+				return nil, fmt.Errorf("bounding unknown %d: %w", target, err)
+			}
+			b.Stats.Solved++
+		}
+		b.Stats.WallTime = time.Since(start)
+		return b, nil
+	}
+
+	// Parallel path: targets are independent (rows, varRows, and graph are
+	// read-only; each target writes disjoint b.lower/b.upper/b.computed
+	// slots), so plain fan-out is safe.
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		solveErr error
+		next     atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(targets) {
+					return
+				}
+				if err := b.solveTarget(targets[i], rows, varRows, graph); err != nil {
+					errOnce.Do(func() {
+						solveErr = fmt.Errorf("bounding unknown %d: %w", targets[i], err)
+					})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if solveErr != nil {
+		return nil, solveErr
+	}
+	b.Stats.Solved = len(targets)
+	b.Stats.WallTime = time.Since(start)
+	return b, nil
+}
+
+// seedEnvelope initializes every unknown with the order-chain envelope
+// [gen + hop·ω, sink − (hops−1−hop)·ω].
+func (b *Bounds) seedEnvelope() {
+	omega := toMS(b.ds.cfg.Omega)
+	b.envLo = make([]float64, len(b.ds.unknowns))
+	b.envHi = make([]float64, len(b.ds.unknowns))
+	for k, key := range b.ds.unknowns {
+		r := b.ds.records[key.rec]
+		b.envLo[k] = toMS(r.GenTime) + float64(key.hop)*omega
+		b.envHi[k] = toMS(r.SinkArrival) - float64(r.Hops()-1-key.hop)*omega
+	}
+	copy(b.lower, b.envLo)
+	copy(b.upper, b.envHi)
+}
+
+// guaranteedRows preprocesses the loss-sound constraints and indexes them
+// by variable.
+func (d *Dataset) guaranteedRows() ([]propRow, [][]int) {
+	var rows []propRow
+	varRows := make([][]int, len(d.unknowns))
+	for _, c := range d.constraints {
+		if !c.guaranteed {
+			continue
+		}
+		coeffs := make(map[int]float64)
+		constant := 0.0
+		for _, t := range c.terms {
+			if t.ref.known {
+				constant += t.coeff * t.ref.value
+			} else {
+				coeffs[t.ref.index] += t.coeff
+			}
+		}
+		if len(coeffs) == 0 {
+			continue
+		}
+		row := propRow{lower: c.lower - constant, upper: c.upper - constant}
+		// Deterministic variable order keeps floating-point accumulation
+		// reproducible run to run.
+		vars := make([]int, 0, len(coeffs))
+		for v := range coeffs {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars)
+		for _, v := range vars {
+			co := coeffs[v]
+			if co == 0 {
+				continue
+			}
+			row.vars = append(row.vars, v)
+			row.coeffs = append(row.coeffs, co)
+		}
+		idx := len(rows)
+		rows = append(rows, row)
+		for _, v := range row.vars {
+			varRows[v] = append(varRows[v], idx)
+		}
+	}
+	return rows, varRows
+}
+
+// buildConstraintGraph joins unknowns that co-occur in a constraint. Large
+// rows contribute a star around their first variable instead of a clique,
+// which preserves connectivity without quadratic edge blowup.
+func buildConstraintGraph(n int, rows []propRow) *graphcut.Graph {
+	g := graphcut.NewGraph(n)
+	const cliqueCap = 8
+	for _, row := range rows {
+		if len(row.vars) <= cliqueCap {
+			for i := 0; i < len(row.vars); i++ {
+				for j := i + 1; j < len(row.vars); j++ {
+					// Vertices come from the dataset, so AddEdge cannot fail.
+					_ = g.AddEdge(row.vars[i], row.vars[j])
+				}
+			}
+		} else {
+			hub := row.vars[0]
+			for _, v := range row.vars[1:] {
+				_ = g.AddEdge(hub, v)
+			}
+		}
+	}
+	return g
+}
+
+func (b *Bounds) chooseTargets(opts BoundOptions) []int {
+	n := len(b.ds.unknowns)
+	if opts.Sample <= 0 || opts.Sample >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := rng.Perm(n)
+	return perm[:opts.Sample]
+}
+
+// solveTarget bounds one unknown over its tuned sub-graph.
+func (b *Bounds) solveTarget(target int, rows []propRow, varRows [][]int, graph *graphcut.Graph) error {
+	cfg := b.ds.cfg
+	member, inside := b.extractMembership(target, graph)
+
+	// Collect rows fully inside the sub-graph, in deterministic order so
+	// the propagation fixpoint is bit-reproducible across runs and worker
+	// counts.
+	rowSet := map[int]bool{}
+	rowIDs := make([]int, 0, 64)
+	for _, v := range inside {
+		for _, ri := range varRows[v] {
+			if !rowSet[ri] {
+				rowSet[ri] = true
+				rowIDs = append(rowIDs, ri)
+			}
+		}
+	}
+	sort.Ints(rowIDs)
+	var local []propRow
+	for _, ri := range rowIDs {
+		row := rows[ri]
+		all := true
+		for _, v := range row.vars {
+			if !member[v] {
+				all = false
+				break
+			}
+		}
+		if all {
+			local = append(local, row)
+		}
+	}
+
+	lo := make(map[int]float64, len(inside))
+	hi := make(map[int]float64, len(inside))
+	for _, v := range inside {
+		lo[v] = b.envLo[v]
+		hi[v] = b.envHi[v]
+	}
+	propagate(local, lo, hi, cfg.PropagationRounds)
+
+	useSimplex := cfg.BoundSolverKind == SolverSimplex && len(inside) <= cfg.SimplexMaxVars
+	if useSimplex {
+		lower, upper, err := simplexBounds(target, inside, local, lo, hi)
+		if err == nil {
+			b.lower[target] = lower
+			b.upper[target] = upper
+			b.computed[target] = true
+			b.statsMu.Lock()
+			b.Stats.Simplex++
+			b.statsMu.Unlock()
+			return nil
+		}
+		// Numerical trouble: the propagated interval is still sound.
+	}
+	b.lower[target] = lo[target]
+	b.upper[target] = hi[target]
+	b.computed[target] = true
+	b.statsMu.Lock()
+	b.Stats.Propagation++
+	b.statsMu.Unlock()
+	return nil
+}
+
+// extractMembership returns the tuned sub-graph around target as a
+// membership mask plus the member list.
+func (b *Bounds) extractMembership(target int, graph *graphcut.Graph) ([]bool, []int) {
+	size := b.ds.cfg.GraphCutSize
+	n := graph.NumVertices()
+	if size >= n {
+		member := make([]bool, n)
+		inside := make([]int, n)
+		for i := range inside {
+			member[i] = true
+			inside[i] = i
+		}
+		return member, inside
+	}
+	var sub []int
+	var err error
+	if b.ds.cfg.DisableBLP {
+		sub, err = graph.ExtractSubgraph(target, size)
+	} else {
+		sub, err = graph.ExtractTunedSubgraph(target, size, graphcut.BLPOptions{MaxIter: 4})
+	}
+	if err != nil {
+		// Target is always valid here; fall back to just the target.
+		sub = []int{target}
+	}
+	member := make([]bool, n)
+	for _, v := range sub {
+		member[v] = true
+	}
+	return member, sub
+}
+
+// propagate runs interval constraint propagation to a fixpoint (or the
+// round limit) over the given rows.
+func propagate(rows []propRow, lo, hi map[int]float64, maxRounds int) {
+	const tol = 1e-6
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, row := range rows {
+			// Precompute Σ min and Σ max of c_i t_i over the row.
+			sumMin, sumMax := 0.0, 0.0
+			for i, v := range row.vars {
+				c := row.coeffs[i]
+				if c > 0 {
+					sumMin += c * lo[v]
+					sumMax += c * hi[v]
+				} else {
+					sumMin += c * hi[v]
+					sumMax += c * lo[v]
+				}
+			}
+			for i, v := range row.vars {
+				c := row.coeffs[i]
+				var termMin, termMax float64
+				if c > 0 {
+					termMin, termMax = c*lo[v], c*hi[v]
+				} else {
+					termMin, termMax = c*hi[v], c*lo[v]
+				}
+				restMin := sumMin - termMin
+				restMax := sumMax - termMax
+				// row.lower ≤ c·t + rest ≤ row.upper
+				if row.upper < infMS/2 {
+					// c·t ≤ upper - restMin.
+					limit := row.upper - restMin
+					if c > 0 {
+						if nb := limit / c; nb < hi[v]-tol {
+							hi[v] = nb
+							changed = true
+						}
+					} else {
+						if nb := limit / c; nb > lo[v]+tol {
+							lo[v] = nb
+							changed = true
+						}
+					}
+				}
+				if row.lower > -infMS/2 {
+					// c·t ≥ lower - restMax.
+					limit := row.lower - restMax
+					if c > 0 {
+						if nb := limit / c; nb > lo[v]+tol {
+							lo[v] = nb
+							changed = true
+						}
+					} else {
+						if nb := limit / c; nb < hi[v]-tol {
+							hi[v] = nb
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// simplexBounds solves min t_target and max t_target exactly over the
+// sub-graph constraints.
+func simplexBounds(target int, inside []int, rows []propRow, lo, hi map[int]float64) (float64, float64, error) {
+	localOf := make(map[int]int, len(inside))
+	for i, v := range inside {
+		localOf[v] = i
+	}
+	n := len(inside)
+	objective := make([]float64, n)
+	objective[localOf[target]] = 1
+	varLower := make([]float64, n)
+	varUpper := make([]float64, n)
+	for i, v := range inside {
+		varLower[i] = lo[v]
+		varUpper[i] = hi[v]
+	}
+	constraints := make([]lp.Constraint, 0, len(rows))
+	for _, row := range rows {
+		c := lp.Constraint{Lower: row.lower, Upper: row.upper}
+		if c.Lower < -infMS/2 {
+			c.Lower = -lp.Inf
+		}
+		if c.Upper > infMS/2 {
+			c.Upper = lp.Inf
+		}
+		for i, v := range row.vars {
+			c.Terms = append(c.Terms, lp.Term{Var: localOf[v], Coeff: row.coeffs[i]})
+		}
+		constraints = append(constraints, c)
+	}
+	prob := &lp.Problem{
+		NumVars:     n,
+		Objective:   objective,
+		Constraints: constraints,
+		VarLower:    varLower,
+		VarUpper:    varUpper,
+	}
+	minRes, err := lp.Solve(prob)
+	if err != nil {
+		return 0, 0, err
+	}
+	if minRes.Status != lp.StatusOptimal {
+		return 0, 0, fmt.Errorf("min solve %v: %w", minRes.Status, lp.ErrNumerical)
+	}
+	prob.Maximize = true
+	maxRes, err := lp.Solve(prob)
+	if err != nil {
+		return 0, 0, err
+	}
+	if maxRes.Status != lp.StatusOptimal {
+		return 0, 0, fmt.Errorf("max solve %v: %w", maxRes.Status, lp.ErrNumerical)
+	}
+	return minRes.Objective, maxRes.Objective, nil
+}

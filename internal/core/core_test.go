@@ -1,0 +1,530 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/node"
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+func ms(n float64) sim.Time { return sim.Time(n * float64(time.Millisecond)) }
+
+// craftedTrace builds a tiny, fully hand-checked trace:
+//
+//	topology: 0 = sink, 1 = relay, 2 and 3 = leaves routing via 1.
+//	packets (times in ms):
+//	  a = 2:1 path [2 1 0] gen 0   arrivals [0 10 20]   S = 10 (leaf: S = own delay)
+//	  b = 2:2 path [2 1 0] gen 50  arrivals [50 58 70]  S = 8
+//	  c = 3:1 path [3 1 0] gen 30  arrivals [30 41 52]  S = 11
+//	  d = 1:1 path [1 0]   gen 90  arrivals [90 104]    S = 14 + forwarded sojourns
+//
+// The relay 1 forwarded a (10ms sojourn), c (11ms sojourn), b (12ms
+// sojourn) before d, all after d's (absent) predecessor, so Algorithm 1
+// would record S(d) = 14 + 10 + 11 + 12 = 47 — but d has no previous local
+// packet (seq 1), so no sum constraint forms for it.
+func craftedTrace() *trace.Trace {
+	rec := func(src radio.NodeID, seq uint32, path []radio.NodeID, arrivals []float64, sum float64) *trace.Record {
+		ta := make([]sim.Time, len(arrivals))
+		for i, a := range arrivals {
+			ta[i] = ms(a)
+		}
+		return &trace.Record{
+			ID:            trace.PacketID{Source: src, Seq: seq},
+			Path:          path,
+			GenTime:       ta[0],
+			SinkArrival:   ta[len(ta)-1],
+			SumDelays:     ms(sum),
+			TruthArrivals: ta,
+		}
+	}
+	tr := &trace.Trace{
+		NumNodes: 4,
+		Duration: time.Second,
+		Records: []*trace.Record{
+			rec(2, 1, []radio.NodeID{2, 1, 0}, []float64{0, 10, 20}, 10),
+			rec(3, 1, []radio.NodeID{3, 1, 0}, []float64{30, 41, 52}, 11),
+			rec(2, 2, []radio.NodeID{2, 1, 0}, []float64{50, 58, 70}, 8),
+			rec(1, 1, []radio.NodeID{1, 0}, []float64{90, 104}, 47),
+		},
+	}
+	tr.SortBySinkArrival()
+	return tr
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(nil, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil trace error = %v, want ErrBadInput", err)
+	}
+	bad := &trace.Trace{NumNodes: 1}
+	if _, err := NewDataset(bad, Config{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestDatasetIndexing(t *testing.T) {
+	d, err := NewDataset(craftedTrace(), Config{})
+	if err != nil {
+		t.Fatalf("NewDataset: %v", err)
+	}
+	// Unknowns: t_1 of a, b, c (relay arrivals); d has none (2-hop).
+	if d.NumUnknowns() != 3 {
+		t.Fatalf("NumUnknowns = %d, want 3", d.NumUnknowns())
+	}
+	if d.NumConstraints() == 0 {
+		t.Fatal("no constraints built")
+	}
+	// Records must be generation-sorted: a, c, b, d.
+	wantOrder := []trace.PacketID{{Source: 2, Seq: 1}, {Source: 3, Seq: 1}, {Source: 2, Seq: 2}, {Source: 1, Seq: 1}}
+	for i, want := range wantOrder {
+		if d.records[i].ID != want {
+			t.Errorf("records[%d] = %v, want %v", i, d.records[i].ID, want)
+		}
+	}
+	// prevLocal: only b (2:2) has one, namely a (2:1).
+	for ri, r := range d.records {
+		want := -1
+		if r.ID == (trace.PacketID{Source: 2, Seq: 2}) {
+			want = 0 // a is the first generation-sorted record
+		}
+		if d.prevLocal[ri] != want {
+			t.Errorf("prevLocal[%v] = %d, want %d", r.ID, d.prevLocal[ri], want)
+		}
+	}
+}
+
+// The crafted trace's only sum constraint is for b: S(b)=8 ≥ D_2(b); packet
+// c does not pass node 2, and a arrived at the sink (20) before b was
+// generated (50) — but a was generated (0) before q=a... C*(b) needs
+// x generated after t_0(a)=0 and sink-arrived before t_0(b)=50: only a
+// itself is excluded (x ≠ p, x may equal q? q=a qualifies: gen 0 is NOT
+// strictly after gen q=0). So C*(b) is empty and the constraint is
+// t_1(b) - 50 ≤ 8 + slack.
+func TestSumConstraintTightensLeafBound(t *testing.T) {
+	d, err := NewDataset(craftedTrace(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeBounds(d, BoundOptions{})
+	if err != nil {
+		t.Fatalf("ComputeBounds: %v", err)
+	}
+	lower, upper, err := b.ArrivalBounds(trace.PacketID{Source: 2, Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t_1(b) truth is 58; upper bound must be ≤ gen + S + slack = 50+8+1=59.
+	if upper[1] > ms(59)+time.Microsecond {
+		t.Errorf("upper bound %v, want ≤ 59ms (sum constraint not applied)", upper[1])
+	}
+	if lower[1] > ms(58) || upper[1] < ms(58) {
+		t.Errorf("bounds [%v, %v] exclude ground truth 58ms", lower[1], upper[1])
+	}
+}
+
+func TestBoundsContainTruthCrafted(t *testing.T) {
+	tr := craftedTrace()
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeBounds(d, BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBoundsContainTruth(t, tr, b)
+}
+
+func assertBoundsContainTruth(t *testing.T, tr *trace.Trace, b *Bounds) {
+	t.Helper()
+	const tol = 10 * time.Microsecond
+	for _, r := range tr.Records {
+		lower, upper, err := b.ArrivalBounds(r.ID)
+		if err != nil {
+			t.Fatalf("ArrivalBounds(%v): %v", r.ID, err)
+		}
+		for hop, truth := range r.TruthArrivals {
+			if truth < lower[hop]-tol || truth > upper[hop]+tol {
+				t.Errorf("packet %v hop %d: truth %v outside [%v, %v]",
+					r.ID, hop, truth, lower[hop], upper[hop])
+			}
+		}
+	}
+}
+
+func TestEstimateCrafted(t *testing.T) {
+	tr := craftedTrace()
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if est.Stats.Unknowns != 3 || est.Stats.Windows == 0 {
+		t.Errorf("stats = %+v", est.Stats)
+	}
+	arr, err := est.Arrivals(trace.PacketID{Source: 2, Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr[0] != ms(50) || arr[2] != ms(70) {
+		t.Errorf("knowns passed through wrong: %v", arr)
+	}
+	// The sum constraint caps t_1(b) at 59ms; estimate must respect it
+	// approximately and sit inside (gen, sink).
+	if arr[1] <= arr[0] || arr[1] >= arr[2] {
+		t.Errorf("estimate %v outside (50,70)ms", arr[1])
+	}
+	delays, err := est.NodeDelays(trace.PacketID{Source: 2, Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delays[0]+delays[1] != arr[2]-arr[0] {
+		t.Errorf("node delays %v do not sum to e2e", delays)
+	}
+}
+
+func TestEstimateUnknownPacket(t *testing.T) {
+	d, err := NewDataset(craftedTrace(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Arrivals(trace.PacketID{Source: 99, Seq: 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown packet error = %v, want ErrBadInput", err)
+	}
+}
+
+// simTrace runs a small simulated network once and caches it across tests.
+var _simTrace *trace.Trace
+
+func simTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	if _simTrace != nil {
+		return _simTrace
+	}
+	net, err := node.NewNetwork(node.NetworkConfig{
+		NumNodes: 20,
+		Side:     80,
+		Seed:     42,
+		Link: radio.LinkConfig{
+			ConnectedRadius: 24,
+			OutageRadius:    46,
+			PRRMax:          0.97,
+		},
+		DataPeriod:     8 * time.Second,
+		DataJitter:     2 * time.Second,
+		Warmup:         40 * time.Second,
+		GridJitter:     0.3,
+		EnableNodeLogs: true,
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	tr, err := net.Run(6 * time.Minute)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(tr.Records) < 40 {
+		t.Fatalf("thin trace: %d records", len(tr.Records))
+	}
+	_simTrace = tr
+	return tr
+}
+
+// Soundness: reconstructed bounds must always contain the ground truth.
+func TestBoundsContainTruthSimulated(t *testing.T) {
+	tr := simTrace(t)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeBounds(d, BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBoundsContainTruth(t, tr, b)
+	if b.Stats.Solved != b.Stats.Unknowns {
+		t.Errorf("solved %d of %d unknowns", b.Stats.Solved, b.Stats.Unknowns)
+	}
+}
+
+// Quality: the estimator must clearly beat naive interpolation.
+func TestEstimateBeatsInterpolation(t *testing.T) {
+	tr := simTrace(t)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var estErr, interpErr float64
+	var count int
+	for _, r := range tr.Records {
+		if r.Hops() < 3 {
+			continue
+		}
+		arr, err := est.Arrivals(r.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			truth := toMS(r.TruthArrivals[hop])
+			estErr += math.Abs(toMS(arr[hop]) - truth)
+			interpErr += math.Abs(interpolated(r, hop) - truth)
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("no interior unknowns")
+	}
+	estAvg := estErr / float64(count)
+	interpAvg := interpErr / float64(count)
+	t.Logf("avg |err|: estimator %.2fms vs interpolation %.2fms over %d unknowns", estAvg, interpAvg, count)
+	if estAvg >= interpAvg {
+		t.Errorf("estimator (%.2fms) no better than interpolation (%.2fms)", estAvg, interpAvg)
+	}
+}
+
+// Estimates must respect the hard order constraints.
+func TestEstimateRespectsOrder(t *testing.T) {
+	tr := simTrace(t)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Records {
+		arr, err := est.Arrivals(r.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(arr); i++ {
+			// ADMM tolerance allows tiny violations; anything visible at
+			// 100µs scale indicates a real constraint bug.
+			if arr[i] < arr[i-1]-100*time.Microsecond {
+				t.Errorf("packet %v: estimated arrivals out of order at hop %d: %v", r.ID, i, arr)
+			}
+		}
+	}
+}
+
+// Bound sampling computes only the requested number of unknowns.
+func TestBoundsSampling(t *testing.T) {
+	tr := simTrace(t)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeBounds(d, BoundOptions{Sample: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.Solved != 10 {
+		t.Errorf("Solved = %d, want 10", b.Stats.Solved)
+	}
+	computed := 0
+	for k := range d.unknowns {
+		key := d.unknowns[k]
+		if b.Computed(d.records[key.rec].ID, key.hop) {
+			computed++
+		}
+	}
+	if computed != 10 {
+		t.Errorf("computed flags = %d, want 10", computed)
+	}
+}
+
+// Simplex bounds must be at least as tight as propagation and still sound.
+func TestSimplexBoundsTighterAndSound(t *testing.T) {
+	tr := simTrace(t)
+	dProp, err := NewDataset(tr, Config{GraphCutSize: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSimp, err := NewDataset(tr, Config{GraphCutSize: 120, BoundSolverKind: SolverSimplex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := 25
+	bp, err := ComputeBounds(dProp, BoundOptions{Sample: sample, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := ComputeBounds(dSimp, BoundOptions{Sample: sample, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBoundsContainTruth(t, tr, bs)
+	if bs.Stats.Simplex == 0 {
+		t.Error("simplex path never used")
+	}
+	tightenings := 0
+	for k := range dProp.unknowns {
+		if !bp.computed[k] || !bs.computed[k] {
+			continue
+		}
+		wp := bp.upper[k] - bp.lower[k]
+		ws := bs.upper[k] - bs.lower[k]
+		if ws > wp+1e-3 {
+			t.Errorf("unknown %d: simplex width %.3f looser than propagation %.3f", k, ws, wp)
+		}
+		if ws < wp-1e-3 {
+			tightenings++
+		}
+	}
+	t.Logf("simplex tightened %d sampled bounds", tightenings)
+}
+
+// The SDR stage must run on small windows and not break anything.
+func TestEstimateWithSDR(t *testing.T) {
+	tr := craftedTrace()
+	d, err := NewDataset(tr, Config{EnableSDR: true, SDRIterations: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatalf("Estimate with SDR: %v", err)
+	}
+	if est.Stats.SDRWindows == 0 {
+		t.Error("SDR stage never ran")
+	}
+	arr, err := est.Arrivals(trace.PacketID{Source: 2, Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr[1] <= arr[0] || arr[1] >= arr[2] {
+		t.Errorf("SDR-seeded estimate %v outside (gen, sink)", arr[1])
+	}
+}
+
+// Window-ratio sweep must keep estimates finite and ordered for every ratio
+// (the Fig. 9 parameter).
+func TestEstimateWindowRatios(t *testing.T) {
+	tr := simTrace(t)
+	for _, ratio := range []float64{0.3, 0.5, 0.9} {
+		d, err := NewDataset(tr, Config{EffectiveWindowRatio: ratio})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Estimate(d)
+		if err != nil {
+			t.Fatalf("ratio %.1f: %v", ratio, err)
+		}
+		if est.Stats.Windows == 0 {
+			t.Errorf("ratio %.1f: no windows", ratio)
+		}
+		for _, r := range tr.Records {
+			arr, err := est.Arrivals(r.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(arr); i++ {
+				if arr[i] < arr[i-1]-time.Millisecond {
+					t.Fatalf("ratio %.1f packet %v: bad order", ratio, r.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundsEmptyTrace(t *testing.T) {
+	tr := &trace.Trace{NumNodes: 3, Duration: time.Second}
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeBounds(d, BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.Unknowns != 0 || b.Stats.Solved != 0 {
+		t.Errorf("stats = %+v, want zeros", b.Stats)
+	}
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Stats.Unknowns != 0 {
+		t.Errorf("estimate stats = %+v", est.Stats)
+	}
+}
+
+// Parallel bound solving must produce byte-identical results to serial.
+func TestBoundsParallelEquivalence(t *testing.T) {
+	tr := simTrace(t)
+	d1, err := NewDataset(tr, Config{GraphCutSize: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDataset(tr, Config{GraphCutSize: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ComputeBounds(d1, BoundOptions{Sample: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ComputeBounds(d2, BoundOptions{Sample: 60, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats.Solved != parallel.Stats.Solved {
+		t.Fatalf("solved %d vs %d", serial.Stats.Solved, parallel.Stats.Solved)
+	}
+	for k := range d1.unknowns {
+		if serial.computed[k] != parallel.computed[k] {
+			t.Fatalf("computed flag differs at %d", k)
+		}
+		if serial.lower[k] != parallel.lower[k] || serial.upper[k] != parallel.upper[k] {
+			t.Errorf("bounds differ at %d: [%g,%g] vs [%g,%g]",
+				k, serial.lower[k], serial.upper[k], parallel.lower[k], parallel.upper[k])
+		}
+	}
+	if parallel.Stats.Simplex+parallel.Stats.Propagation != parallel.Stats.Solved {
+		t.Errorf("solver counters %d+%d != solved %d",
+			parallel.Stats.Simplex, parallel.Stats.Propagation, parallel.Stats.Solved)
+	}
+}
+
+// The estimator must be bit-deterministic: same trace, same config, same
+// values (guards against map-iteration order sneaking into float sums).
+func TestEstimateDeterministic(t *testing.T) {
+	tr := simTrace(t)
+	run := func() []float64 {
+		d, err := NewDataset(tr, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Estimate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), est.values...)
+	}
+	a := run()
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("different unknown counts: %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("estimate differs at %d: %g vs %g", k, a[k], b[k])
+		}
+	}
+}

@@ -1,0 +1,577 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/domo-net/domo/internal/mat"
+	"github.com/domo-net/domo/internal/qp"
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sdp"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/sparse"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// Estimates holds the reconstructed arrival times for every delivered
+// packet, plus solve statistics.
+type Estimates struct {
+	ds     *Dataset
+	values []float64 // milliseconds, one per unknown
+	// widths holds each unknown's propagated-bound width (ms), a
+	// per-estimate confidence measure: tightly constrained unknowns have
+	// small widths.
+	widths []float64
+	byID   map[trace.PacketID]int
+
+	Stats EstimateStats
+}
+
+// EstimateStats reports estimator effort.
+type EstimateStats struct {
+	Unknowns   int
+	Windows    int
+	SDRWindows int // windows that ran the SDR seeding stage
+	WallTime   time.Duration
+}
+
+// Arrivals returns the full reconstructed arrival-time vector
+// (t_0 .. t_{|p|-1}) for the packet, with knowns passed through.
+func (e *Estimates) Arrivals(id trace.PacketID) ([]sim.Time, error) {
+	ri, ok := e.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("packet %v not in trace: %w", id, ErrBadInput)
+	}
+	r := e.ds.records[ri]
+	out := make([]sim.Time, r.Hops())
+	for hop := range out {
+		ref := e.ds.ref(ri, hop)
+		if ref.known {
+			out[hop] = fromMS(ref.value)
+		} else {
+			out[hop] = fromMS(e.values[ref.index])
+		}
+	}
+	return out, nil
+}
+
+// Uncertainty returns a per-arrival-time confidence measure: the width of
+// the propagated guaranteed bounds around each reconstructed time (zero
+// for the known generation and sink-arrival entries). Small widths mean
+// the constraint system pinned the estimate tightly.
+func (e *Estimates) Uncertainty(id trace.PacketID) ([]sim.Time, error) {
+	ri, ok := e.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("packet %v not in trace: %w", id, ErrBadInput)
+	}
+	r := e.ds.records[ri]
+	out := make([]sim.Time, r.Hops())
+	for hop := range out {
+		ref := e.ds.ref(ri, hop)
+		if !ref.known {
+			out[hop] = fromMS(e.widths[ref.index])
+		}
+	}
+	return out, nil
+}
+
+// NodeDelays returns the reconstructed per-hop node delays
+// (D at Path[0] .. Path[|p|-2]).
+func (e *Estimates) NodeDelays(id trace.PacketID) ([]sim.Time, error) {
+	arr, err := e.Arrivals(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sim.Time, len(arr)-1)
+	for i := range out {
+		out[i] = arr[i+1] - arr[i]
+	}
+	return out, nil
+}
+
+// Estimate runs the full §IV-B pipeline on a dataset.
+func Estimate(d *Dataset) (*Estimates, error) {
+	start := time.Now()
+	est := &Estimates{
+		ds:     d,
+		values: make([]float64, len(d.unknowns)),
+		byID:   make(map[trace.PacketID]int, len(d.records)),
+	}
+	for ri, r := range d.records {
+		est.byID[r.ID] = ri
+	}
+	// Global initialization: spread each packet's end-to-end delay evenly
+	// across its hops, then clamp into the propagated constraint bounds.
+	// The clamp is where the sum-of-delays information first bites: a small
+	// S(p) caps the first-hop arrival well below the even split.
+	lo, hi := d.propagatedBounds()
+	est.widths = make([]float64, len(d.unknowns))
+	for k, key := range d.unknowns {
+		v := interpolated(d.records[key.rec], key.hop)
+		if v < lo[k] {
+			v = lo[k]
+		}
+		if v > hi[k] {
+			v = hi[k]
+		}
+		est.values[k] = v
+		est.widths[k] = hi[k] - lo[k]
+	}
+	est.Stats.Unknowns = len(d.unknowns)
+
+	if len(d.unknowns) == 0 {
+		est.Stats.WallTime = time.Since(start)
+		return est, nil
+	}
+
+	step := int(math.Round(d.cfg.EffectiveWindowRatio * float64(d.cfg.WindowPackets)))
+	if step < 1 {
+		step = 1
+	}
+	n := len(d.records)
+	for wStart := 0; ; wStart += step {
+		wEnd := wStart + d.cfg.WindowPackets
+		if wEnd > n {
+			wEnd = n
+		}
+		if wStart >= n {
+			break
+		}
+		// Central kept region of width `step`; stretched to the trace edges
+		// on the first and last windows.
+		keepLo := wStart + (d.cfg.WindowPackets-step)/2
+		keepHi := keepLo + step
+		if wStart == 0 {
+			keepLo = 0
+		}
+		if wEnd == n {
+			keepHi = n
+		}
+		if err := estimateWindow(d, est, wStart, wEnd, keepLo, keepHi); err != nil {
+			return nil, fmt.Errorf("window [%d,%d): %w", wStart, wEnd, err)
+		}
+		est.Stats.Windows++
+		if wEnd == n {
+			break
+		}
+	}
+	est.Stats.WallTime = time.Since(start)
+	return est, nil
+}
+
+// propagatedBounds runs one global interval-propagation pass over the
+// guaranteed constraints and returns per-unknown [lo, hi] in milliseconds.
+func (d *Dataset) propagatedBounds() (lo, hi []float64) {
+	lo = make([]float64, len(d.unknowns))
+	hi = make([]float64, len(d.unknowns))
+	omega := toMS(d.cfg.Omega)
+	loM := make(map[int]float64, len(d.unknowns))
+	hiM := make(map[int]float64, len(d.unknowns))
+	for k, key := range d.unknowns {
+		r := d.records[key.rec]
+		loM[k] = toMS(r.GenTime) + float64(key.hop)*omega
+		hiM[k] = toMS(r.SinkArrival) - float64(r.Hops()-1-key.hop)*omega
+	}
+	rows, _ := d.guaranteedRows()
+	propagate(rows, loM, hiM, d.cfg.PropagationRounds)
+	for k := range d.unknowns {
+		lo[k] = loM[k]
+		hi[k] = hiM[k]
+	}
+	return lo, hi
+}
+
+// interpolated is the equal-split initial estimate of t_hop.
+func interpolated(r *trace.Record, hop int) float64 {
+	g := toMS(r.GenTime)
+	s := toMS(r.SinkArrival)
+	frac := float64(hop) / float64(r.Hops()-1)
+	return g + frac*(s-g)
+}
+
+// windowProblem is the per-window local system.
+type windowProblem struct {
+	d         *Dataset
+	recSet    map[int]bool // record indices in the window
+	localOf   map[int]int  // global unknown index → local index
+	globalOf  []int        // local → global
+	origin    float64      // time origin subtracted for conditioning
+	passages  map[radio.NodeID][]hopKey
+	estimates []float64 // local current estimates (origin-relative)
+	// globalEstimates aliases the estimator's full value vector so
+	// constraints can freeze out-of-window unknowns at their current
+	// global estimate.
+	globalEstimates []float64
+	// anchor is the fixed prior (clamped interpolation) each QP round is
+	// regularized toward; anchoring to the drifting estimate compounds
+	// objective bias across rounds.
+	anchor []float64
+}
+
+func estimateWindow(d *Dataset, est *Estimates, wStart, wEnd, keepLo, keepHi int) error {
+	w := &windowProblem{
+		d:               d,
+		recSet:          make(map[int]bool, wEnd-wStart),
+		localOf:         make(map[int]int),
+		passages:        make(map[radio.NodeID][]hopKey),
+		globalEstimates: est.values,
+	}
+	for ri := wStart; ri < wEnd; ri++ {
+		w.recSet[ri] = true
+	}
+	w.origin = toMS(d.records[wStart].GenTime)
+	for ri := wStart; ri < wEnd; ri++ {
+		r := d.records[ri]
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			g := d.varOf[hopKey{rec: ri, hop: hop}]
+			w.localOf[g] = len(w.globalOf)
+			w.globalOf = append(w.globalOf, g)
+		}
+		for hop := 0; hop < r.Hops()-1; hop++ {
+			n := r.Path[hop]
+			w.passages[n] = append(w.passages[n], hopKey{rec: ri, hop: hop})
+		}
+	}
+	nLocal := len(w.globalOf)
+	if nLocal == 0 {
+		return nil
+	}
+	w.estimates = make([]float64, nLocal)
+	for l, g := range w.globalOf {
+		w.estimates[l] = est.values[g] - w.origin
+	}
+	w.anchor = append([]float64(nil), w.estimates...)
+
+	if d.cfg.EnableSDR && nLocal <= d.cfg.SDRMaxUnknowns {
+		if err := w.runSDR(); err != nil && !errors.Is(err, sdp.ErrMaxIterations) {
+			return fmt.Errorf("SDR stage: %w", err)
+		}
+		est.Stats.SDRWindows++
+	}
+
+	prevOrders := ""
+	for round := 0; round < d.cfg.OrderRounds; round++ {
+		orders, sig := w.deriveOrders()
+		if sig == prevOrders && round > 0 {
+			break
+		}
+		prevOrders = sig
+		if err := w.solveQP(orders); err != nil {
+			return err
+		}
+	}
+
+	w.clampToOrder()
+
+	// Write back kept estimates.
+	for ri := keepLo; ri < keepHi && ri < wEnd; ri++ {
+		r := d.records[ri]
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			g := d.varOf[hopKey{rec: ri, hop: hop}]
+			est.values[g] = w.estimates[w.localOf[g]] + w.origin
+		}
+	}
+	return nil
+}
+
+// localRef resolves a dataset varRef into the window: known values and
+// out-of-window unknowns both become constants (the latter frozen at their
+// current global estimate — boundary unknowns act as soft context).
+func (w *windowProblem) localRef(ref varRef, global []float64) (isVar bool, local int, constant float64) {
+	if ref.known {
+		return false, 0, ref.value - w.origin
+	}
+	if l, ok := w.localOf[ref.index]; ok {
+		return true, l, 0
+	}
+	return false, 0, global[ref.index] - w.origin
+}
+
+// value evaluates an arrival-time reference at the current window estimate.
+func (w *windowProblem) value(ref varRef, global []float64) float64 {
+	isVar, l, c := w.localRef(ref, global)
+	if isVar {
+		return w.estimates[l]
+	}
+	return c
+}
+
+// orderPair is one resolved FIFO instance: x departs before y.
+type orderPair struct {
+	arrX, arrY varRef  // arrivals at the shared node
+	depX, depY varRef  // arrivals at the next hop
+	weight     float64 // Eq. 8 pair weight (proximity-decayed)
+}
+
+// deriveOrders fixes packet orders at every shared node from the current
+// estimates, chaining consecutive passages. The signature string detects
+// convergence.
+func (w *windowProblem) deriveOrders() ([]orderPair, string) {
+	d := w.d
+	global := w.globalValues()
+	var pairs []orderPair
+	sig := make([]byte, 0, 256)
+
+	nodes := make([]radio.NodeID, 0, len(w.passages))
+	for n := range w.passages {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		ps := w.passages[n]
+		type entry struct {
+			hk  hopKey
+			arr float64
+		}
+		entries := make([]entry, 0, len(ps))
+		for _, hk := range ps {
+			arr := w.value(d.ref(hk.rec, hk.hop), global)
+			entries = append(entries, entry{hk: hk, arr: arr})
+		}
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].arr < entries[j].arr })
+		eps := toMS(d.cfg.Epsilon)
+		for i := 0; i+1 < len(entries); i++ {
+			for f := 1; f <= d.cfg.PairFanout && i+f < len(entries); f++ {
+				x, y := entries[i], entries[i+f]
+				if y.arr-x.arr > eps {
+					break
+				}
+				genX := d.records[x.hk.rec].GenTime
+				genY := d.records[y.hk.rec].GenTime
+				gap := absDur(genX - genY)
+				if gap > d.cfg.Epsilon {
+					continue
+				}
+				// Delay correlation at a node decays with generation-time
+				// distance; τ = 15s matches a couple of data periods.
+				const basePairWeight = 0.15
+				gapSec := float64(gap) / float64(time.Second)
+				weight := basePairWeight / (1 + (gapSec/15)*(gapSec/15))
+				pairs = append(pairs, orderPair{
+					arrX:   d.ref(x.hk.rec, x.hk.hop),
+					arrY:   d.ref(y.hk.rec, y.hk.hop),
+					depX:   d.ref(x.hk.rec, x.hk.hop+1),
+					depY:   d.ref(y.hk.rec, y.hk.hop+1),
+					weight: weight,
+				})
+				// 16-bit encodings: global record indices exceed 255 on
+				// long traces, and a truncated signature could make two
+				// different orderings look converged.
+				sig = append(sig,
+					byte(x.hk.rec), byte(x.hk.rec>>8), byte(x.hk.hop),
+					byte(y.hk.rec), byte(y.hk.rec>>8), byte(y.hk.hop))
+			}
+		}
+	}
+	return pairs, string(sig)
+}
+
+func absDur(d sim.Time) sim.Time {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// globalValues returns the estimator's full value vector, used to freeze
+// out-of-window unknowns at their current global estimates.
+func (w *windowProblem) globalValues() []float64 { return w.globalEstimates }
+
+// solveQP builds and solves the window QP with the given resolved orders.
+func (w *windowProblem) solveQP(orders []orderPair) error {
+	d := w.d
+	nLocal := len(w.globalOf)
+	global := w.globalValues()
+
+	p := mat.NewMatrix(nLocal, nLocal)
+	q := mat.NewVector(nLocal)
+
+	// addSquared accumulates weight·f² for the linear functional f given by
+	// (ref, coeff) pairs plus an offset: P += 2w·aaᵀ, q += 2w·const·a.
+	addSquared := func(weight float64, refs []varRef, cs []float64, offset float64) {
+		coeffs := make(map[int]float64, len(refs))
+		constant := offset
+		for i, ref := range refs {
+			isVar, l, k := w.localRef(ref, global)
+			if isVar {
+				coeffs[l] += cs[i]
+			} else {
+				constant += cs[i] * k
+			}
+		}
+		if len(coeffs) == 0 {
+			return
+		}
+		for i, ci := range coeffs {
+			for j, cj := range coeffs {
+				p.Add(i, j, 2*weight*ci*cj)
+			}
+			q.Set(i, q.At(i)+2*weight*constant*ci)
+		}
+	}
+
+	// Eq. 8 objective: for consecutive passages at each node, pull
+	// D_n(x) toward D_n(y), down-weighted with generation-time distance
+	// (delay correlation at a node decays fast).
+	for _, op := range orders {
+		addSquared(op.weight,
+			[]varRef{op.depX, op.arrX, op.depY, op.arrY},
+			[]float64{1, -1, -1, 1}, 0)
+	}
+
+	// Soft sum-of-delays equality: S(p) sits between the guaranteed (C*)
+	// and possible (C) sums, so pull Σ star + ½·Σ maybe toward S(p).
+	const sumWeight = 0.6
+	for _, si := range d.sumInfos {
+		if !w.recSet[si.rec] {
+			continue
+		}
+		var refs []varRef
+		var cs []float64
+		for _, t := range si.star {
+			refs = append(refs, t.ref)
+			cs = append(cs, t.coeff)
+		}
+		for _, t := range si.maybe {
+			refs = append(refs, t.ref)
+			cs = append(cs, 0.5*t.coeff)
+		}
+		addSquared(sumWeight, refs, cs, -si.s)
+	}
+
+	// Tikhonov anchor toward the fixed clamped-interpolation prior keeps
+	// flat directions well-posed and stops objective bias from drifting
+	// the solution across rounds.
+	const lambda = 0.25
+	for i := 0; i < nLocal; i++ {
+		p.Add(i, i, 2*lambda)
+		q.Set(i, q.At(i)-2*lambda*w.anchor[i])
+	}
+
+	// Constraints: dataset rows fully inside the window + resolved orders.
+	var entries []sparse.Entry
+	var lows, highs []float64
+	row := 0
+	addRow := func(terms []linTerm, lo, hi float64) {
+		localTerms := make(map[int]float64)
+		constant := 0.0
+		for _, t := range terms {
+			isVar, l, k := w.localRef(t.ref, global)
+			if isVar {
+				localTerms[l] += t.coeff
+			} else {
+				constant += t.coeff * k
+			}
+		}
+		if len(localTerms) == 0 {
+			return
+		}
+		for l, c := range localTerms {
+			entries = append(entries, sparse.Entry{Row: row, Col: l, Value: c})
+		}
+		lo -= constant
+		hi -= constant
+		if lo < -infMS/2 {
+			lo = -qp.Unbounded
+		}
+		if hi > infMS/2 {
+			hi = qp.Unbounded
+		}
+		lows = append(lows, lo)
+		highs = append(highs, hi)
+		row++
+	}
+
+	for _, c := range d.constraints {
+		if !w.constraintInWindow(c) {
+			continue
+		}
+		addRow(c.terms, c.lower, c.upper)
+	}
+	delta := toMS(d.cfg.FIFODelta)
+	for _, op := range orders {
+		// Resolved FIFO: arrivals keep their current order (≥ 0 gap) and
+		// departures follow with at least δ.
+		addRow([]linTerm{{ref: op.arrY, coeff: 1}, {ref: op.arrX, coeff: -1}}, 0, infMS)
+		addRow([]linTerm{{ref: op.depY, coeff: 1}, {ref: op.depX, coeff: -1}}, delta, infMS)
+	}
+
+	a, err := sparse.NewCSR(row, nLocal, entries)
+	if err != nil {
+		return fmt.Errorf("assembling window constraints: %w", err)
+	}
+	prob := &qp.Problem{
+		P:  p,
+		Q:  q,
+		A:  a,
+		L:  mat.NewVectorFrom(lows),
+		U:  mat.NewVectorFrom(highs),
+		X0: mat.NewVectorFrom(w.estimates),
+	}
+	res, err := qp.Solve(prob, qp.Options{MaxIter: 2500, EpsAbs: 1e-4, EpsRel: 1e-4})
+	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
+		return fmt.Errorf("window QP: %w", err)
+	}
+	copy(w.estimates, res.X.Data())
+	return nil
+}
+
+// clampToOrder projects the window estimates onto the hard order
+// constraints of each packet (Eq. 5): a forward pass enforces
+// t_i ≥ t_{i-1} + ω from the known generation time, then a backward pass
+// enforces t_i ≤ t_{i+1} − ω from the known sink arrival. The result is
+// always feasible because the true delays satisfy the same chain, and it
+// removes the residual violations the ADMM tolerance leaves behind.
+func (w *windowProblem) clampToOrder() {
+	d := w.d
+	omega := toMS(d.cfg.Omega)
+	for ri := range w.recSet {
+		r := d.records[ri]
+		if r.Hops() < 3 {
+			continue
+		}
+		gen := toMS(r.GenTime) - w.origin
+		sink := toMS(r.SinkArrival) - w.origin
+		prev := gen
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			l, ok := w.localOf[d.varOf[hopKey{rec: ri, hop: hop}]]
+			if !ok {
+				continue
+			}
+			if w.estimates[l] < prev+omega {
+				w.estimates[l] = prev + omega
+			}
+			prev = w.estimates[l]
+		}
+		next := sink
+		for hop := r.Hops() - 2; hop >= 1; hop-- {
+			l, ok := w.localOf[d.varOf[hopKey{rec: ri, hop: hop}]]
+			if !ok {
+				continue
+			}
+			if w.estimates[l] > next-omega {
+				w.estimates[l] = next - omega
+			}
+			next = w.estimates[l]
+		}
+	}
+}
+
+// constraintInWindow reports whether every unknown the constraint touches
+// is a window variable or has a frozen estimate; constraints whose unknowns
+// are all outside contribute nothing.
+func (w *windowProblem) constraintInWindow(c linConstraint) bool {
+	anyLocal := false
+	for _, t := range c.terms {
+		if t.ref.known {
+			continue
+		}
+		if _, ok := w.localOf[t.ref.index]; ok {
+			anyLocal = true
+		}
+	}
+	return anyLocal
+}

@@ -1,0 +1,561 @@
+// Package core implements the PC side of Domo (§IV of the paper): it turns
+// a collected trace into per-hop per-packet arrival-time estimates and
+// bounds by constructing FIFO, order, and sum-of-delays constraints and
+// solving the resulting optimization problems.
+//
+// The pipeline is:
+//
+//  1. Dataset construction — index every interior (unknown) arrival time,
+//     compute candidate sets C(p)/C*(p), and materialize the three
+//     constraint families with knowns folded into constants.
+//  2. Estimation — overlapping time windows (effective-window-ratio
+//     stitching); per window an optional semidefinite-relaxation stage
+//     seeds packet orders, then an order-resolved convex QP minimizes the
+//     Eq. 8 within-ε node-delay variance.
+//  3. Bounds — a constraint graph is cut around each unknown (BFS +
+//     balanced label propagation) and min t / max t are solved over the
+//     guaranteed-true constraint subset, by interval propagation (default)
+//     or exact simplex LP.
+//
+// All solver-side arithmetic is float64 milliseconds relative to a local
+// time origin, which keeps the QPs and SDPs well conditioned.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// Sentinel errors.
+var (
+	ErrBadInput = errors.New("core: invalid input")
+)
+
+// BoundSolver selects how per-unknown bounds are computed.
+type BoundSolver int
+
+// Bound solver kinds.
+const (
+	// SolverPropagation runs interval constraint propagation to a fixpoint
+	// over the extracted sub-graph. Sound and fast; may be looser than LP.
+	SolverPropagation BoundSolver = iota + 1
+	// SolverSimplex solves the two LPs (min t, max t) exactly.
+	SolverSimplex
+)
+
+// Config tunes the reconstruction. The zero value selects the defaults
+// used in the paper's evaluation where it states them (effective time
+// window ratio 0.5, graph cut size 10000).
+type Config struct {
+	// Omega is ω, the minimum per-hop software processing delay used by
+	// the order constraints (Eq. 5). It must lower-bound every real
+	// sojourn: with zero-floor CSMA backoff a first hop can leave within
+	// tens of microseconds of generation. Default 10µs.
+	Omega time.Duration
+	// FIFODelta is the minimum spacing between two departures of the same
+	// node (back-to-back frames cannot overlap on air). The default of 1ms
+	// is sound for ≥28-byte payloads at 250 kbit/s (≈1.4ms frame airtime);
+	// lower it when reconstructing traces from faster radios or tiny
+	// frames.
+	FIFODelta time.Duration
+	// FIFOArrivalSlack absorbs the enqueue-vs-SFD race between local and
+	// forwarded packets when turning known departure orders into arrival
+	// constraints. Default 2ms.
+	FIFOArrivalSlack time.Duration
+	// QuantizeSlack compensates the floor-quantized on-air S(p) field in
+	// Eq. 7. Default 1ms.
+	QuantizeSlack time.Duration
+	// Epsilon is ε of Eq. 8: only packets generated within ε of each other
+	// contribute variance pairs at a shared node. Default 90s.
+	Epsilon time.Duration
+	// PairFanout chains each packet with up to this many successors at the
+	// same node when forming Eq. 8 pairs (keeps the objective sparse).
+	// Default 3.
+	PairFanout int
+
+	// WindowPackets is the number of records per time window. Default 48.
+	WindowPackets int
+	// EffectiveWindowRatio is the fraction of each window whose estimates
+	// are kept (the paper's key windowing parameter). Default 0.5.
+	EffectiveWindowRatio float64
+
+	// EnableSDR turns on the semidefinite-relaxation seeding stage for
+	// windows with at most SDRMaxUnknowns unknowns. Default off: the
+	// order-refined QP alone matches the relaxation's accuracy at a
+	// fraction of the cost; the SDR path is exercised by SDRMode runs.
+	EnableSDR      bool
+	SDRMaxUnknowns int // default 40
+	SDRIterations  int // ADMM iterations for the SDR stage, default 150
+
+	// OrderRounds is how many order-fix/re-solve rounds the estimator
+	// runs. Default 3.
+	OrderRounds int
+	// UseUpperSum enables the loss-free upper sum-of-delays constraint
+	// (Eq. 6). Default false: it is unsound under packet loss.
+	UseUpperSum bool
+	// UpperSumSlack widens Eq. 6 to absorb ACK-loss retransmission noise
+	// when enabled. Default 5ms.
+	UpperSumSlack time.Duration
+
+	// GraphCutSize is the number of constraint-graph vertices per
+	// extracted sub-graph for bound computation. Default 10000.
+	GraphCutSize int
+	// BoundSolverKind selects propagation (default) or simplex.
+	BoundSolverKind BoundSolver
+	// SimplexMaxVars caps the LP size when BoundSolverKind is
+	// SolverSimplex; larger sub-graphs fall back to propagation.
+	// Default 150.
+	SimplexMaxVars int
+	// PropagationRounds bounds the fixpoint iteration. Default 30.
+	PropagationRounds int
+
+	// DisableSumConstraints drops the Eq. 6/7 sum-of-delays rows entirely
+	// (ablation: Domo's reconstruction minus its key extra information).
+	DisableSumConstraints bool
+	// DisableBLP skips the balanced-label-propagation boundary tuning and
+	// uses the raw BFS ball as the bound sub-graph (ablation for §IV-C).
+	DisableBLP bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Omega <= 0 {
+		c.Omega = 10 * time.Microsecond
+	}
+	if c.FIFODelta <= 0 {
+		c.FIFODelta = time.Millisecond
+	}
+	if c.FIFOArrivalSlack <= 0 {
+		c.FIFOArrivalSlack = 2 * time.Millisecond
+	}
+	if c.QuantizeSlack < 0 {
+		c.QuantizeSlack = 0
+	} else if c.QuantizeSlack == 0 {
+		c.QuantizeSlack = time.Millisecond
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 90 * time.Second
+	}
+	if c.PairFanout <= 0 {
+		c.PairFanout = 3
+	}
+	if c.WindowPackets <= 0 {
+		c.WindowPackets = 48
+	}
+	if c.EffectiveWindowRatio <= 0 || c.EffectiveWindowRatio > 1 {
+		c.EffectiveWindowRatio = 0.5
+	}
+	if c.SDRMaxUnknowns <= 0 {
+		c.SDRMaxUnknowns = 40
+	}
+	if c.SDRIterations <= 0 {
+		c.SDRIterations = 150
+	}
+	if c.OrderRounds <= 0 {
+		c.OrderRounds = 3
+	}
+	if c.UpperSumSlack <= 0 {
+		c.UpperSumSlack = 5 * time.Millisecond
+	}
+	if c.GraphCutSize <= 0 {
+		c.GraphCutSize = 10000
+	}
+	if c.BoundSolverKind == 0 {
+		c.BoundSolverKind = SolverPropagation
+	}
+	if c.SimplexMaxVars <= 0 {
+		c.SimplexMaxVars = 150
+	}
+	if c.PropagationRounds <= 0 {
+		c.PropagationRounds = 30
+	}
+	return c
+}
+
+// varRef addresses one arrival time t_i(p): either a known constant or an
+// unknown variable index.
+type varRef struct {
+	known bool
+	value float64 // milliseconds, valid when known
+	index int     // global unknown index, valid when !known
+}
+
+// linTerm is coeff·t for one arrival time.
+type linTerm struct {
+	ref   varRef
+	coeff float64
+}
+
+// linConstraint is lower ≤ Σ terms ≤ upper in milliseconds.
+type linConstraint struct {
+	terms []linTerm
+	lower float64
+	upper float64
+	// guaranteed marks constraints that are sound under packet loss and
+	// MAC races; only these feed the bound solver.
+	guaranteed bool
+}
+
+// hopKey addresses hop i of a record.
+type hopKey struct {
+	rec int // index into Dataset.records
+	hop int // position in the path, 0-based
+}
+
+// Dataset is the indexed reconstruction problem for one trace.
+type Dataset struct {
+	cfg     Config
+	tr      *trace.Trace
+	records []*trace.Record // sorted by generation time
+
+	// unknowns[k] identifies the k-th unknown arrival time.
+	unknowns []hopKey
+	// varOf maps (record, hop) to the unknown index; knowns are absent.
+	varOf map[hopKey]int
+
+	// nodePassages lists, per non-sink node, the packets passing through
+	// it: (record index, hop index at that node), sorted by generation
+	// time of the record.
+	nodePassages map[radio.NodeID][]hopKey
+
+	constraints []linConstraint
+
+	// prevLocal[i] is the record index of records[i]'s previous local
+	// packet (same source, seq-1) or -1 when it was lost.
+	prevLocal []int
+
+	// sumInfos carries the decomposed S(p) relation for the estimator's
+	// soft equality term: S(p) ≈ Σ star + ½·Σ maybe.
+	sumInfos []sumInfo
+}
+
+// sumInfo decomposes one packet's sum-of-delays relation: star holds the
+// guaranteed contributions (D of p itself plus C*), maybe holds the
+// possible-but-unconfirmed ones (C \ C*), and s is the recorded S(p).
+type sumInfo struct {
+	rec   int
+	star  []linTerm
+	maybe []linTerm
+	s     float64
+}
+
+// toMS converts a simulated time to solver milliseconds.
+func toMS(t sim.Time) float64 { return float64(t) / float64(time.Millisecond) }
+
+// fromMS converts solver milliseconds back to simulated time.
+func fromMS(ms float64) sim.Time { return sim.Time(ms * float64(time.Millisecond)) }
+
+// NewDataset indexes a trace and materializes its constraint system.
+func NewDataset(tr *trace.Trace, cfg Config) (*Dataset, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("validating trace: %w", err)
+	}
+	d := &Dataset{
+		cfg:          cfg.withDefaults(),
+		tr:           tr,
+		varOf:        make(map[hopKey]int),
+		nodePassages: make(map[radio.NodeID][]hopKey),
+	}
+	d.records = make([]*trace.Record, len(tr.Records))
+	copy(d.records, tr.Records)
+	sort.SliceStable(d.records, func(i, j int) bool {
+		return d.records[i].GenTime < d.records[j].GenTime
+	})
+
+	d.indexUnknowns()
+	d.indexPassages()
+	d.indexPrevLocal()
+	d.buildOrderConstraints()
+	d.buildSumConstraints()
+	d.buildGuaranteedFIFOConstraints()
+	return d, nil
+}
+
+// NumUnknowns returns the number of interior arrival times.
+func (d *Dataset) NumUnknowns() int { return len(d.unknowns) }
+
+// NumConstraints returns the number of materialized linear constraints.
+func (d *Dataset) NumConstraints() int { return len(d.constraints) }
+
+// Records returns the records in generation-time order.
+func (d *Dataset) Records() []*trace.Record { return d.records }
+
+// Config returns the effective configuration.
+func (d *Dataset) Config() Config { return d.cfg }
+
+func (d *Dataset) indexUnknowns() {
+	for ri, r := range d.records {
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			key := hopKey{rec: ri, hop: hop}
+			d.varOf[key] = len(d.unknowns)
+			d.unknowns = append(d.unknowns, key)
+		}
+	}
+}
+
+func (d *Dataset) indexPassages() {
+	for ri, r := range d.records {
+		for hop := 0; hop < r.Hops()-1; hop++ { // every non-sink position
+			n := r.Path[hop]
+			d.nodePassages[n] = append(d.nodePassages[n], hopKey{rec: ri, hop: hop})
+		}
+	}
+	// records are generation-sorted, so passages already sort by the
+	// record's generation time; nothing further needed.
+}
+
+func (d *Dataset) indexPrevLocal() {
+	byID := make(map[trace.PacketID]int, len(d.records))
+	for ri, r := range d.records {
+		byID[r.ID] = ri
+	}
+	d.prevLocal = make([]int, len(d.records))
+	for ri, r := range d.records {
+		d.prevLocal[ri] = -1
+		if r.ID.Seq < 2 {
+			continue
+		}
+		if qi, ok := byID[trace.PacketID{Source: r.ID.Source, Seq: r.ID.Seq - 1}]; ok {
+			d.prevLocal[ri] = qi
+		}
+	}
+}
+
+// ref returns the varRef for arrival time t_hop of record ri.
+func (d *Dataset) ref(ri, hop int) varRef {
+	r := d.records[ri]
+	switch hop {
+	case 0:
+		return varRef{known: true, value: toMS(r.GenTime)}
+	case r.Hops() - 1:
+		return varRef{known: true, value: toMS(r.SinkArrival)}
+	default:
+		return varRef{index: d.varOf[hopKey{rec: ri, hop: hop}]}
+	}
+}
+
+// buildOrderConstraints materializes Eq. 5: consecutive arrival times along
+// each path separated by at least ω.
+func (d *Dataset) buildOrderConstraints() {
+	omega := toMS(d.cfg.Omega)
+	for ri, r := range d.records {
+		for hop := 0; hop < r.Hops()-1; hop++ {
+			a := d.ref(ri, hop)
+			b := d.ref(ri, hop+1)
+			if a.known && b.known {
+				continue
+			}
+			// b - a ≥ ω.
+			d.constraints = append(d.constraints, linConstraint{
+				terms:      []linTerm{{ref: b, coeff: 1}, {ref: a, coeff: -1}},
+				lower:      omega,
+				upper:      infMS,
+				guaranteed: true,
+			})
+		}
+	}
+}
+
+// buildSumConstraints materializes Eq. 7 (and optionally Eq. 6).
+func (d *Dataset) buildSumConstraints() {
+	if d.cfg.DisableSumConstraints {
+		return
+	}
+	for ri, r := range d.records {
+		qi := d.prevLocal[ri]
+		if qi < 0 {
+			// The previous local packet was lost, so C*(p) cannot be
+			// formed — but the packet's own sojourn is always inside its
+			// S field (Algorithm 1 line 8 runs before the line 10 write),
+			// so the minimal relation D_{N0(p)}(p) ≤ S(p) stays sound.
+			d.constraints = append(d.constraints, linConstraint{
+				terms:      d.nodeDelayTerms(ri, 0),
+				lower:      -infMS,
+				upper:      toMS(r.SumDelays) + toMS(d.cfg.QuantizeSlack),
+				guaranteed: true,
+			})
+			continue
+		}
+		q := d.records[qi]
+		src := r.ID.Source
+
+		// D_{N0(p)}(p) = t_1(p) - t_0(p).
+		terms := d.nodeDelayTerms(ri, 0)
+		var maybeTerms []linTerm
+		for xi, x := range d.records {
+			if xi == ri {
+				continue
+			}
+			hop, ok := pathIndexOf(x, src)
+			if !ok || hop >= x.Hops()-1 {
+				continue
+			}
+			inStar := x.GenTime > q.GenTime && x.SinkArrival < r.GenTime
+			inC := x.GenTime < r.GenTime && x.SinkArrival > q.GenTime
+			switch {
+			case inStar:
+				terms = append(terms, d.nodeDelayTerms(xi, hop)...)
+			case inC:
+				maybeTerms = append(maybeTerms, d.nodeDelayTerms(xi, hop)...)
+			}
+		}
+		s := toMS(r.SumDelays)
+		d.sumInfos = append(d.sumInfos, sumInfo{
+			rec:   ri,
+			star:  append([]linTerm(nil), terms...),
+			maybe: maybeTerms,
+			s:     s,
+		})
+		slack := toMS(d.cfg.QuantizeSlack)
+		// Eq. 7: Σ delays(C* ∪ {p}) ≤ S(p) + slack. Sound under loss.
+		d.constraints = append(d.constraints, linConstraint{
+			terms:      terms,
+			lower:      -infMS,
+			upper:      s + slack,
+			guaranteed: true,
+		})
+		if d.cfg.UseUpperSum {
+			// Eq. 6: S(p) ≤ Σ delays(C ∪ {p}) + slack6. Loss-free only.
+			all := append(append([]linTerm{}, terms...), maybeTerms...)
+			d.constraints = append(d.constraints, linConstraint{
+				terms: all,
+				lower: s - toMS(d.cfg.UpperSumSlack),
+				upper: infMS,
+			})
+		}
+	}
+}
+
+// nodeDelayTerms returns the linear terms of D at hop `hop` of record ri:
+// t_{hop+1} - t_{hop}.
+func (d *Dataset) nodeDelayTerms(ri, hop int) []linTerm {
+	return []linTerm{
+		{ref: d.ref(ri, hop+1), coeff: 1},
+		{ref: d.ref(ri, hop), coeff: -1},
+	}
+}
+
+// pathIndexOf returns the position of node n in the record's path.
+func pathIndexOf(r *trace.Record, n radio.NodeID) (int, bool) {
+	for i, id := range r.Path {
+		if id == n {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// buildGuaranteedFIFOConstraints materializes the FIFO instances whose
+// direction is fixed by known times (§IV-A specialized):
+//
+//   - two local packets of the same source: generation order fixes the
+//     order of their next-hop arrivals;
+//   - two packets sharing their last forwarder: sink arrival order fixes
+//     the order of their arrivals at that forwarder (with slack for the
+//     enqueue race).
+func (d *Dataset) buildGuaranteedFIFOConstraints() {
+	delta := toMS(d.cfg.FIFODelta)
+	slack := toMS(d.cfg.FIFOArrivalSlack)
+
+	// Same-source local packet pairs: consecutive in generation order.
+	bySource := map[radio.NodeID][]int{}
+	for ri, r := range d.records {
+		if r.Hops() >= 3 { // only packets with an unknown t_1 matter
+			bySource[r.ID.Source] = append(bySource[r.ID.Source], ri)
+		}
+	}
+	for _, list := range bySource {
+		for k := 0; k+1 < len(list); k++ {
+			xi, yi := list[k], list[k+1]
+			x := d.ref(xi, 1)
+			y := d.ref(yi, 1)
+			if x.known && y.known {
+				continue
+			}
+			// t_1(y) - t_1(x) ≥ δ (y generated after x).
+			d.constraints = append(d.constraints, linConstraint{
+				terms:      []linTerm{{ref: y, coeff: 1}, {ref: x, coeff: -1}},
+				lower:      delta,
+				upper:      infMS,
+				guaranteed: true,
+			})
+		}
+	}
+
+	// Same-downstream-suffix pairs: when two packets traverse node n and
+	// then follow the *identical* remaining path to the sink, FIFO at every
+	// shared downstream node preserves their relative order, so the known
+	// sink-arrival order fixes both their arrival order at n (with slack
+	// for the enqueue race) and their next-hop arrival order (two frames
+	// from one radio are at least a frame-time apart).
+	type passage struct {
+		rec int
+		hop int
+	}
+	// Hop 0 passages (local packets) join their groups too: their known
+	// generation times are the absolute anchors that bracket forwarded
+	// packets' unknown arrivals.
+	bySuffix := map[string][]passage{}
+	for ri, r := range d.records {
+		for hop := 0; hop < r.Hops()-1; hop++ {
+			key := suffixKey(r.Path[hop:])
+			bySuffix[key] = append(bySuffix[key], passage{rec: ri, hop: hop})
+		}
+	}
+	keys := make([]string, 0, len(bySuffix))
+	for k := range bySuffix {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		list := bySuffix[key]
+		sort.SliceStable(list, func(i, j int) bool {
+			return d.records[list[i].rec].SinkArrival < d.records[list[j].rec].SinkArrival
+		})
+		for k := 0; k+1 < len(list); k++ {
+			px, py := list[k], list[k+1]
+			x := d.ref(px.rec, px.hop)
+			y := d.ref(py.rec, py.hop)
+			if !x.known || !y.known {
+				// Arrival order at n: t(y) - t(x) ≥ -slack.
+				d.constraints = append(d.constraints, linConstraint{
+					terms:      []linTerm{{ref: y, coeff: 1}, {ref: x, coeff: -1}},
+					lower:      -slack,
+					upper:      infMS,
+					guaranteed: true,
+				})
+			}
+			dx := d.ref(px.rec, px.hop+1)
+			dy := d.ref(py.rec, py.hop+1)
+			if !dx.known || !dy.known {
+				// Next-hop arrival order: t'(y) - t'(x) ≥ δ.
+				d.constraints = append(d.constraints, linConstraint{
+					terms:      []linTerm{{ref: dy, coeff: 1}, {ref: dx, coeff: -1}},
+					lower:      delta,
+					upper:      infMS,
+					guaranteed: true,
+				})
+			}
+		}
+	}
+}
+
+// suffixKey serializes a path suffix for grouping.
+func suffixKey(suffix []radio.NodeID) string {
+	b := make([]byte, 0, len(suffix)*4)
+	for _, id := range suffix {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// infMS is the solver-side infinity (milliseconds).
+const infMS = 1e15

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sdp"
+)
+
+// runSDR executes the paper's semidefinite-relaxation stage (§IV-A) on a
+// window: the FIFO products are kept as order-free lifted constraints
+// Tr(P·U) ≥ margin, the order and sum-of-delays rows become linear
+// constraints on u, and the Eq. 8 variance objective is lifted into the U
+// block. The extracted u seeds the order-resolved QP refinement.
+func (w *windowProblem) runSDR() error {
+	d := w.d
+	nLocal := len(w.globalOf)
+	dim := nLocal + 1
+	global := w.globalValues()
+
+	problem := &sdp.Problem{Dim: dim}
+	problem.Constraints = append(problem.Constraints, sdp.CornerConstraint(dim))
+
+	// Linear dataset rows restricted to the window.
+	for _, c := range d.constraints {
+		if !w.constraintInWindow(c) {
+			continue
+		}
+		coeffs := make(map[int]float64)
+		constant := 0.0
+		for _, t := range c.terms {
+			isVar, l, k := w.localRef(t.ref, global)
+			if isVar {
+				coeffs[l] += t.coeff
+			} else {
+				constant += t.coeff * k
+			}
+		}
+		if len(coeffs) == 0 {
+			continue
+		}
+		vars := make([]int, 0, len(coeffs))
+		for l := range coeffs {
+			vars = append(vars, l)
+		}
+		sort.Ints(vars)
+		cs := make([]float64, len(vars))
+		for i, v := range vars {
+			cs[i] = coeffs[v]
+		}
+		lo, hi := c.lower, c.upper
+		if lo < -infMS/2 {
+			lo = -sdp.Unbounded
+		}
+		if hi > infMS/2 {
+			hi = sdp.Unbounded
+		}
+		lc, err := sdp.LinearConstraint(dim, vars, cs, constant, lo, hi)
+		if err != nil {
+			return fmt.Errorf("lifting linear row: %w", err)
+		}
+		problem.Constraints = append(problem.Constraints, lc)
+	}
+
+	// FIFO product constraints for consecutive passages at shared nodes —
+	// kept order-free, exactly the relaxation the paper performs.
+	w.eachConsecutivePassagePair(func(arrX, depX, arrY, depY varRef) {
+		c := w.liftedFIFO(arrX, depX, arrY, depY, global)
+		if c != nil {
+			problem.Constraints = append(problem.Constraints, *c)
+		}
+	})
+
+	// Lifted Eq. 8 objective plus a small anchor to the current estimate.
+	w.eachConsecutivePassagePair(func(arrX, depX, arrY, depY varRef) {
+		coeffs := make(map[int]float64, 4)
+		constant := 0.0
+		add := func(ref varRef, c float64) {
+			isVar, l, k := w.localRef(ref, global)
+			if isVar {
+				coeffs[l] += c
+			} else {
+				constant += c * k
+			}
+		}
+		add(depX, 1)
+		add(arrX, -1)
+		add(depY, -1)
+		add(arrY, 1)
+		for i, ci := range coeffs {
+			for j, cj := range coeffs {
+				problem.Objective = append(problem.Objective, sdp.Term{I: i, J: j, Coeff: ci * cj})
+			}
+			problem.Objective = append(problem.Objective, sdp.Term{I: i, J: nLocal, Coeff: 2 * constant * ci})
+		}
+	})
+	const lambda = 0.02
+	for l := 0; l < nLocal; l++ {
+		problem.Objective = append(problem.Objective,
+			sdp.Term{I: l, J: l, Coeff: lambda},
+			sdp.Term{I: l, J: nLocal, Coeff: -2 * lambda * w.estimates[l]})
+	}
+
+	res, err := sdp.Solve(problem, sdp.Options{
+		MaxIter: d.cfg.SDRIterations,
+		EpsAbs:  1e-3,
+	})
+	if res == nil {
+		return err
+	}
+	u, uErr := sdp.LiftedVector(res.Z)
+	if uErr != nil {
+		return uErr
+	}
+	copy(w.estimates, u)
+	return err
+}
+
+// eachConsecutivePassagePair visits consecutive (by generation time)
+// passages at every shared node once.
+func (w *windowProblem) eachConsecutivePassagePair(fn func(arrX, depX, arrY, depY varRef)) {
+	d := w.d
+	nodes := make([]radio.NodeID, 0, len(w.passages))
+	for n := range w.passages {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		ps := w.passages[n]
+		for i := 0; i+1 < len(ps); i++ {
+			x, y := ps[i], ps[i+1]
+			if absDur(d.records[x.rec].GenTime-d.records[y.rec].GenTime) > d.cfg.Epsilon {
+				continue
+			}
+			fn(d.ref(x.rec, x.hop), d.ref(x.rec, x.hop+1),
+				d.ref(y.rec, y.hop), d.ref(y.rec, y.hop+1))
+		}
+	}
+}
+
+// liftedFIFO builds (arrX-arrY)(depX-depY) ≥ margin in the lifted space,
+// handling known arrival times by folding them into lower-order terms.
+// Returns nil when the product involves no unknowns.
+func (w *windowProblem) liftedFIFO(arrX, depX, arrY, depY varRef, global []float64) *sdp.Constraint {
+	nLocal := len(w.globalOf)
+	type lin struct {
+		coeffs map[int]float64
+		c      float64
+	}
+	build := func(a, b varRef) lin {
+		l := lin{coeffs: make(map[int]float64, 2)}
+		add := func(ref varRef, c float64) {
+			isVar, idx, k := w.localRef(ref, global)
+			if isVar {
+				l.coeffs[idx] += c
+			} else {
+				l.c += c * k
+			}
+		}
+		add(a, 1)
+		add(b, -1)
+		return l
+	}
+	fa := build(arrX, arrY)
+	fb := build(depX, depY)
+	if len(fa.coeffs) == 0 && len(fb.coeffs) == 0 {
+		return nil
+	}
+	var terms []sdp.Term
+	for i, ci := range fa.coeffs {
+		for j, cj := range fb.coeffs {
+			terms = append(terms, sdp.Term{I: i, J: j, Coeff: ci * cj})
+		}
+		if fb.c != 0 {
+			terms = append(terms, sdp.Term{I: i, J: nLocal, Coeff: ci * fb.c})
+		}
+	}
+	for j, cj := range fb.coeffs {
+		if fa.c != 0 {
+			terms = append(terms, sdp.Term{I: j, J: nLocal, Coeff: cj * fa.c})
+		}
+	}
+	if fa.c != 0 && fb.c != 0 {
+		terms = append(terms, sdp.Term{I: nLocal, J: nLocal, Coeff: fa.c * fb.c})
+	}
+	// A tiny positive margin enforces "same sign" without over-constraining
+	// the relaxation (milliseconds² units).
+	const margin = 0.01
+	return &sdp.Constraint{Terms: terms, Lower: margin, Upper: sdp.Unbounded}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// syntheticRelayTrace builds an exactly FIFO-consistent workload through a
+// single relay without the network simulator: leaf sources 2..k feed relay
+// 1, which serves packets in arrival order with random service times, and
+// the relay itself originates a local packet after every few forwards.
+// Every timing quantity, including Algorithm 1's S(p), is computed from
+// first principles, which makes this an independent check of the
+// reconstruction's soundness (no shared code with the simulator).
+func syntheticRelayTrace(rng *rand.Rand) *trace.Trace {
+	const relay = radio.NodeID(1)
+	numLeaves := 2 + rng.Intn(4)
+	perLeaf := 3 + rng.Intn(5)
+
+	type job struct {
+		src     radio.NodeID
+		seq     uint32
+		gen     sim.Time
+		arrive  sim.Time // at the relay (leaf sojourn added)
+		isLocal bool
+	}
+	var jobs []job
+	seqs := map[radio.NodeID]uint32{}
+	for leaf := 0; leaf < numLeaves; leaf++ {
+		src := radio.NodeID(2 + leaf)
+		t := sim.Time(rng.Intn(50)) * time.Millisecond
+		for k := 0; k < perLeaf; k++ {
+			seqs[src]++
+			leafSojourn := time.Millisecond + sim.Time(rng.Intn(10))*time.Millisecond
+			jobs = append(jobs, job{
+				src: src, seq: seqs[src], gen: t, arrive: t + leafSojourn,
+			})
+			t += sim.Time(30+rng.Intn(120)) * time.Millisecond
+		}
+	}
+	// Relay-local packets at random times; sequence numbers must follow
+	// generation order (as on a real node).
+	relayCount := 2 + rng.Intn(3)
+	relayGens := make([]sim.Time, relayCount)
+	for k := range relayGens {
+		relayGens[k] = sim.Time(rng.Intn(600)) * time.Millisecond
+	}
+	for i := 0; i < relayCount; i++ {
+		for j := i + 1; j < relayCount; j++ {
+			if relayGens[j] < relayGens[i] {
+				relayGens[i], relayGens[j] = relayGens[j], relayGens[i]
+			}
+		}
+	}
+	for k, g := range relayGens {
+		// A microsecond stagger keeps generation times distinct so FIFO
+		// entry order is well defined even when the draws collide.
+		g += sim.Time(k) * time.Microsecond
+		seqs[relay]++
+		jobs = append(jobs, job{src: relay, seq: seqs[relay], gen: g, arrive: g, isLocal: true})
+	}
+	// FIFO service at the relay in arrival order.
+	for i := 0; i < len(jobs); i++ {
+		for j := i + 1; j < len(jobs); j++ {
+			if jobs[j].arrive < jobs[i].arrive {
+				jobs[i], jobs[j] = jobs[j], jobs[i]
+			}
+		}
+	}
+	var (
+		clock   sim.Time
+		records []*trace.Record
+		// Algorithm 1 state at the relay.
+		sumBuf sim.Time
+	)
+	for _, jb := range jobs {
+		if jb.arrive > clock {
+			clock = jb.arrive
+		}
+		service := time.Millisecond + sim.Time(rng.Intn(15))*time.Millisecond
+		depart := clock + service // relay's TX SFD = sink arrival
+		clock = depart
+		relaySojourn := depart - jb.arrive
+
+		var rec *trace.Record
+		if jb.isLocal {
+			s := sumBuf + relaySojourn
+			sumBuf = 0
+			rec = &trace.Record{
+				ID:            trace.PacketID{Source: relay, Seq: jb.seq},
+				Path:          []radio.NodeID{relay, 0},
+				GenTime:       jb.gen,
+				SinkArrival:   depart,
+				SumDelays:     s - s%time.Millisecond,
+				TruthArrivals: []sim.Time{jb.gen, depart},
+			}
+		} else {
+			sumBuf += relaySojourn
+			// Leaf's S(p) is its own sojourn (leaves forward nothing).
+			leafSojourn := jb.arrive - jb.gen
+			rec = &trace.Record{
+				ID:            trace.PacketID{Source: jb.src, Seq: jb.seq},
+				Path:          []radio.NodeID{jb.src, relay, 0},
+				GenTime:       jb.gen,
+				SinkArrival:   depart,
+				SumDelays:     leafSojourn - leafSojourn%time.Millisecond,
+				TruthArrivals: []sim.Time{jb.gen, jb.arrive, depart},
+			}
+		}
+		records = append(records, rec)
+	}
+
+	tr := &trace.Trace{
+		NumNodes: int(2 + radio.NodeID(numLeaves)),
+		Duration: clock + time.Second,
+		Records:  records,
+	}
+	tr.SortBySinkArrival()
+	return tr
+}
+
+// Property: on exactly-consistent synthetic workloads, bounds always
+// contain the truth and estimates always sit inside the bounds' envelope.
+func TestSyntheticRelayProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := syntheticRelayTrace(rng)
+		if err := tr.Validate(); err != nil {
+			t.Logf("seed %d: invalid synthetic trace: %v", seed, err)
+			return false
+		}
+		d, err := NewDataset(tr, Config{})
+		if err != nil {
+			t.Logf("seed %d: NewDataset: %v", seed, err)
+			return false
+		}
+		b, err := ComputeBounds(d, BoundOptions{})
+		if err != nil {
+			t.Logf("seed %d: ComputeBounds: %v", seed, err)
+			return false
+		}
+		est, err := Estimate(d)
+		if err != nil {
+			t.Logf("seed %d: Estimate: %v", seed, err)
+			return false
+		}
+		const tol = 10 * time.Microsecond
+		for _, r := range tr.Records {
+			lower, upper, err := b.ArrivalBounds(r.ID)
+			if err != nil {
+				return false
+			}
+			arr, err := est.Arrivals(r.ID)
+			if err != nil {
+				return false
+			}
+			for hop, truth := range r.TruthArrivals {
+				if truth < lower[hop]-tol || truth > upper[hop]+tol {
+					t.Logf("seed %d: packet %v hop %d: truth %v outside [%v,%v]",
+						seed, r.ID, hop, truth, lower[hop], upper[hop])
+					return false
+				}
+				// Estimates must respect per-packet ordering.
+				if hop > 0 && arr[hop] < arr[hop-1]-100*time.Microsecond {
+					t.Logf("seed %d: packet %v estimates out of order", seed, r.ID)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The synthetic workload's Eq. 7 must hold by construction — a meta-check
+// that the generator implements Algorithm 1 correctly.
+func TestSyntheticRelayEq7(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		tr := syntheticRelayTrace(rng)
+		byID := tr.ByID()
+		for _, p := range tr.Records {
+			if p.ID.Seq < 2 {
+				continue
+			}
+			q, ok := byID[trace.PacketID{Source: p.ID.Source, Seq: p.ID.Seq - 1}]
+			if !ok {
+				continue
+			}
+			src := p.ID.Source
+			rhs := sim.Time(0)
+			if len(p.TruthArrivals) >= 2 {
+				for i := 0; i+1 < len(p.Path); i++ {
+					if p.Path[i] == src {
+						rhs += p.TruthArrivals[i+1] - p.TruthArrivals[i]
+					}
+				}
+			}
+			for _, x := range tr.Records {
+				if x.ID == p.ID || x.GenTime <= q.GenTime || x.SinkArrival >= p.GenTime {
+					continue
+				}
+				for i := 0; i+1 < len(x.Path); i++ {
+					if x.Path[i] == src {
+						rhs += x.TruthArrivals[i+1] - x.TruthArrivals[i]
+					}
+				}
+			}
+			if p.SumDelays+time.Millisecond < rhs {
+				t.Errorf("trial %d: packet %v: S=%v < RHS=%v", trial, p.ID, p.SumDelays, rhs)
+			}
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package ctp implements a Collection Tree Protocol-style routing layer:
+// periodic beacons advertising path ETX, beacon-gap and ACK-based link
+// estimation, gradient parent selection with hysteresis, and parent
+// switching under link dynamics.
+//
+// This is the routing substrate of the paper's evaluation (§VI uses CTP on
+// TOSSIM): it produces the multi-hop collection paths, the forwarding load
+// near the sink, and the routing dynamics that Domo must tolerate.
+package ctp
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+)
+
+// NoParent is reported while a node has not yet joined the tree.
+const NoParent radio.NodeID = -1
+
+// Beacon is the routing advertisement carried in beacon frames.
+type Beacon struct {
+	Src     radio.NodeID
+	Seq     uint32
+	PathETX float64 // advertised cost to the sink, in expected transmissions
+}
+
+// Config tunes the router. The zero value selects defaults.
+type Config struct {
+	BeaconPeriod    time.Duration // default 10s
+	BeaconJitter    time.Duration // uniform [0, jitter) added per beacon, default 2s
+	EWMAAlpha       float64       // link estimator gain, default 0.3
+	SwitchThreshold float64       // ETX improvement required to switch parent, default 0.5
+	MinQuality      float64       // floor when inverting quality to ETX, default 0.05
+	// AckWindow is how many data transmissions form one outbound-quality
+	// sample fed to the EWMA, default 8.
+	AckWindow int
+	// Trickle, when non-nil, replaces fixed-period beaconing with the
+	// Trickle timer real CTP uses: adaptive intervals with suppression,
+	// reset to the minimum interval on parent changes.
+	Trickle *TrickleConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.BeaconPeriod <= 0 {
+		c.BeaconPeriod = 10 * time.Second
+	}
+	if c.BeaconJitter <= 0 {
+		c.BeaconJitter = 2 * time.Second
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 0.3
+	}
+	if c.SwitchThreshold <= 0 {
+		c.SwitchThreshold = 0.5
+	}
+	if c.MinQuality <= 0 {
+		c.MinQuality = 0.05
+	}
+	if c.AckWindow <= 0 {
+		c.AckWindow = 8
+	}
+	return c
+}
+
+type neighborState struct {
+	id          radio.NodeID
+	inQuality   float64 // beacon-derived inbound reception quality
+	hasIn       bool
+	lastSeq     uint32
+	hasSeq      bool
+	outQuality  float64 // ACK-derived outbound quality
+	hasOut      bool
+	ackTx       int
+	ackOK       int
+	advertised  float64
+	hasAdvert   bool
+	lastHeardAt sim.Time
+}
+
+// Router is one node's routing state machine.
+type Router struct {
+	id     radio.NodeID
+	isSink bool
+	engine *sim.Engine
+	cfg    Config
+	emit   func(Beacon) // hands a beacon to the node layer for broadcast
+
+	neighbors map[radio.NodeID]*neighborState
+	parent    radio.NodeID
+	seq       uint32
+	trickle   *trickleState
+
+	// ParentChanges counts parent switches (routing dynamics metric).
+	ParentChanges int
+}
+
+// NewRouter creates a router. emit is called whenever the router wants to
+// broadcast a beacon; the node layer owns the actual MAC send.
+func NewRouter(id radio.NodeID, isSink bool, engine *sim.Engine, cfg Config, emit func(Beacon)) *Router {
+	return &Router{
+		id:        id,
+		isSink:    isSink,
+		engine:    engine,
+		cfg:       cfg.withDefaults(),
+		emit:      emit,
+		neighbors: make(map[radio.NodeID]*neighborState),
+		parent:    NoParent,
+	}
+}
+
+// Start schedules the beacons (fixed-period or Trickle).
+func (r *Router) Start() {
+	if r.cfg.Trickle != nil {
+		r.trickle = newTrickle(*r.cfg.Trickle, r.engine, func() {
+			r.seq++
+			r.emit(Beacon{Src: r.id, Seq: r.seq, PathETX: r.PathETX()})
+		})
+		r.trickle.start()
+		return
+	}
+	r.scheduleBeacon()
+}
+
+// TrickleStats reports the Trickle timer's activity, or zeros when
+// fixed-period beaconing is in use.
+func (r *Router) TrickleStats() (transmissions, suppressions, resets int) {
+	if r.trickle == nil {
+		return 0, 0, 0
+	}
+	return r.trickle.Transmissions, r.trickle.Suppressions, r.trickle.Resets
+}
+
+func (r *Router) scheduleBeacon() {
+	jitter := time.Duration(r.engine.RNG().Int63n(int64(r.cfg.BeaconJitter)))
+	r.engine.Schedule(r.cfg.BeaconPeriod+jitter-r.cfg.BeaconJitter/2, func() {
+		r.seq++
+		r.emit(Beacon{Src: r.id, Seq: r.seq, PathETX: r.PathETX()})
+		r.scheduleBeacon()
+	})
+}
+
+// PathETX returns the node's current advertised cost to the sink.
+func (r *Router) PathETX() float64 {
+	if r.isSink {
+		return 0
+	}
+	if r.parent == NoParent {
+		return math.Inf(1)
+	}
+	n, ok := r.neighbors[r.parent]
+	if !ok || !n.hasAdvert {
+		return math.Inf(1)
+	}
+	return n.advertised + r.linkETX(n)
+}
+
+// Parent returns the current parent and whether one is selected.
+func (r *Router) Parent() (radio.NodeID, bool) {
+	if r.isSink || r.parent == NoParent {
+		return NoParent, false
+	}
+	return r.parent, true
+}
+
+// NeighborCount returns how many neighbors have been heard.
+func (r *Router) NeighborCount() int { return len(r.neighbors) }
+
+// linkETX converts the blended link quality toward a neighbor to ETX.
+func (r *Router) linkETX(n *neighborState) float64 {
+	q := 0.0
+	switch {
+	case n.hasOut && n.hasIn:
+		// Outbound ACK evidence dominates once available; inbound beacon
+		// quality still contributes as the reverse-path prior.
+		q = 0.7*n.outQuality + 0.3*n.inQuality
+	case n.hasOut:
+		q = n.outQuality
+	case n.hasIn:
+		q = n.inQuality
+	default:
+		return math.Inf(1)
+	}
+	if q < r.cfg.MinQuality {
+		q = r.cfg.MinQuality
+	}
+	return 1 / q
+}
+
+// HandleBeacon processes a routing advertisement heard from a neighbor.
+func (r *Router) HandleBeacon(b Beacon) {
+	n := r.neighbor(b.Src)
+	if n.hasSeq && b.Seq > n.lastSeq {
+		gap := float64(b.Seq - n.lastSeq - 1)
+		sample := 1 / (1 + gap)
+		if n.hasIn {
+			n.inQuality = r.cfg.EWMAAlpha*sample + (1-r.cfg.EWMAAlpha)*n.inQuality
+		} else {
+			n.inQuality = sample
+			n.hasIn = true
+		}
+	} else if !n.hasSeq {
+		n.inQuality = 1
+		n.hasIn = true
+	}
+	n.lastSeq = b.Seq
+	n.hasSeq = true
+	n.advertised = b.PathETX
+	n.hasAdvert = true
+	n.lastHeardAt = r.engine.Now()
+	before := r.parent
+	r.reselectParent()
+	if r.trickle != nil {
+		myCost := r.PathETX()
+		switch {
+		case r.parent != before:
+			// Routing inconsistency: spread the news fast.
+			r.trickle.reset()
+		case math.IsInf(b.PathETX, 1) && !math.IsInf(myCost, 1):
+			// A routeless neighbor is soliciting (CTP's pull): advertise
+			// our route quickly instead of backing off.
+			r.trickle.reset()
+		case !math.IsInf(b.PathETX, 1):
+			// A consistent routed beacon counts toward suppression. Routeless
+			// beacons never do — otherwise dense unjoined neighborhoods
+			// suppress each other into a tree that never forms.
+			r.trickle.consistent()
+		}
+	}
+}
+
+// ReportDataOutcome feeds a data transmission result (to the given next
+// hop) into the outbound link estimator.
+func (r *Router) ReportDataOutcome(to radio.NodeID, acked bool) {
+	n := r.neighbor(to)
+	n.ackTx++
+	if acked {
+		n.ackOK++
+	}
+	if n.ackTx >= r.cfg.AckWindow {
+		sample := float64(n.ackOK) / float64(n.ackTx)
+		if n.hasOut {
+			n.outQuality = r.cfg.EWMAAlpha*sample + (1-r.cfg.EWMAAlpha)*n.outQuality
+		} else {
+			n.outQuality = sample
+			n.hasOut = true
+		}
+		n.ackTx, n.ackOK = 0, 0
+		r.reselectParent()
+	}
+}
+
+func (r *Router) neighbor(id radio.NodeID) *neighborState {
+	n, ok := r.neighbors[id]
+	if !ok {
+		n = &neighborState{id: id}
+		r.neighbors[id] = n
+	}
+	return n
+}
+
+// reselectParent applies the gradient rule with hysteresis.
+func (r *Router) reselectParent() {
+	if r.isSink {
+		return
+	}
+	curCost := r.PathETX()
+
+	bestID := NoParent
+	bestCost := math.Inf(1)
+	// Deterministic iteration order keeps simulations reproducible.
+	ids := make([]radio.NodeID, 0, len(r.neighbors))
+	for id := range r.neighbors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := r.neighbors[id]
+		if !n.hasAdvert || math.IsInf(n.advertised, 1) {
+			continue
+		}
+		cost := n.advertised + r.linkETX(n)
+		if math.IsInf(cost, 1) {
+			continue
+		}
+		// Gradient/anti-loop rule: the parent's advertised cost must be
+		// strictly below the total cost we would then advertise.
+		if n.advertised >= cost {
+			continue
+		}
+		if cost < bestCost {
+			bestCost = cost
+			bestID = id
+		}
+	}
+	if bestID == NoParent {
+		return
+	}
+	if r.parent == NoParent || math.IsInf(curCost, 1) || bestCost+r.cfg.SwitchThreshold < curCost {
+		if r.parent != bestID {
+			if r.parent != NoParent {
+				r.ParentChanges++
+			}
+			r.parent = bestID
+		}
+	}
+}

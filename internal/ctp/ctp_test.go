@@ -1,0 +1,193 @@
+package ctp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+)
+
+func newRouter(id radio.NodeID, isSink bool, engine *sim.Engine, emit func(Beacon)) *Router {
+	if emit == nil {
+		emit = func(Beacon) {}
+	}
+	return NewRouter(id, isSink, engine, Config{}, emit)
+}
+
+func TestSinkAdvertisesZero(t *testing.T) {
+	engine := sim.NewEngine(1)
+	r := newRouter(0, true, engine, nil)
+	if r.PathETX() != 0 {
+		t.Errorf("sink PathETX = %g, want 0", r.PathETX())
+	}
+	if _, ok := r.Parent(); ok {
+		t.Error("sink reported a parent")
+	}
+}
+
+func TestJoinsTreeOnBeacon(t *testing.T) {
+	engine := sim.NewEngine(2)
+	r := newRouter(5, false, engine, nil)
+	if !math.IsInf(r.PathETX(), 1) {
+		t.Fatalf("unjoined PathETX = %g, want +Inf", r.PathETX())
+	}
+	r.HandleBeacon(Beacon{Src: 0, Seq: 1, PathETX: 0})
+	parent, ok := r.Parent()
+	if !ok || parent != 0 {
+		t.Fatalf("parent = %v,%v, want 0,true", parent, ok)
+	}
+	cost := r.PathETX()
+	if math.IsInf(cost, 1) || cost <= 0 {
+		t.Errorf("joined PathETX = %g, want finite positive", cost)
+	}
+}
+
+func TestPrefersLowerCostParent(t *testing.T) {
+	engine := sim.NewEngine(3)
+	r := newRouter(5, false, engine, nil)
+	// Neighbor 2 advertises cost 3; neighbor 1 advertises cost 0 (sink).
+	r.HandleBeacon(Beacon{Src: 2, Seq: 1, PathETX: 3})
+	r.HandleBeacon(Beacon{Src: 1, Seq: 1, PathETX: 0})
+	parent, ok := r.Parent()
+	if !ok || parent != 1 {
+		t.Errorf("parent = %v, want the cheaper neighbor 1", parent)
+	}
+}
+
+func TestHysteresisPreventsFlapping(t *testing.T) {
+	engine := sim.NewEngine(4)
+	r := newRouter(5, false, engine, nil)
+	r.HandleBeacon(Beacon{Src: 1, Seq: 1, PathETX: 1.0})
+	first, _ := r.Parent()
+	// A marginally better advertisement must not trigger a switch.
+	r.HandleBeacon(Beacon{Src: 2, Seq: 1, PathETX: 0.9})
+	second, _ := r.Parent()
+	if first != second {
+		t.Errorf("parent flapped from %v to %v on marginal improvement", first, second)
+	}
+	// A clearly better advertisement must.
+	r.HandleBeacon(Beacon{Src: 3, Seq: 1, PathETX: 0})
+	third, _ := r.Parent()
+	if third != 3 {
+		t.Errorf("parent = %v after strong improvement, want 3", third)
+	}
+	if r.ParentChanges == 0 {
+		t.Error("ParentChanges not counted")
+	}
+}
+
+func TestBeaconGapLowersInboundQuality(t *testing.T) {
+	engine := sim.NewEngine(5)
+	r := newRouter(5, false, engine, nil)
+	r.HandleBeacon(Beacon{Src: 1, Seq: 1, PathETX: 0})
+	costBefore := r.PathETX()
+	// Large sequence gaps mean lost beacons → worse quality → higher ETX.
+	r.HandleBeacon(Beacon{Src: 1, Seq: 10, PathETX: 0})
+	r.HandleBeacon(Beacon{Src: 1, Seq: 20, PathETX: 0})
+	costAfter := r.PathETX()
+	if costAfter <= costBefore {
+		t.Errorf("cost %g -> %g; beacon gaps should raise the cost", costBefore, costAfter)
+	}
+}
+
+func TestAckOutcomesDriveOutboundQuality(t *testing.T) {
+	engine := sim.NewEngine(6)
+	r := NewRouter(5, false, engine, Config{AckWindow: 4}, func(Beacon) {})
+	r.HandleBeacon(Beacon{Src: 1, Seq: 1, PathETX: 0})
+	costGood := r.PathETX()
+	// Feed a full window of failures toward the parent.
+	for i := 0; i < 8; i++ {
+		r.ReportDataOutcome(1, false)
+	}
+	costBad := r.PathETX()
+	if costBad <= costGood {
+		t.Errorf("cost %g -> %g; failed ACK windows should raise the cost", costGood, costBad)
+	}
+}
+
+func TestAntiLoopRejectsDescendants(t *testing.T) {
+	engine := sim.NewEngine(7)
+	r := newRouter(5, false, engine, nil)
+	// A neighbor advertising a huge cost (e.g., our own descendant) with a
+	// perfect link must not be chosen over staying unjoined... then a sane
+	// neighbor appears.
+	r.HandleBeacon(Beacon{Src: 9, Seq: 1, PathETX: math.Inf(1)})
+	if _, ok := r.Parent(); ok {
+		t.Error("joined through an infinite-cost neighbor")
+	}
+	r.HandleBeacon(Beacon{Src: 1, Seq: 1, PathETX: 0})
+	if p, ok := r.Parent(); !ok || p != 1 {
+		t.Errorf("parent = %v, want 1", p)
+	}
+}
+
+func TestBeaconEmission(t *testing.T) {
+	engine := sim.NewEngine(8)
+	var beacons []Beacon
+	r := NewRouter(3, false, engine, Config{BeaconPeriod: time.Second, BeaconJitter: 100 * time.Millisecond},
+		func(b Beacon) { beacons = append(beacons, b) })
+	r.Start()
+	engine.Run(10 * time.Second)
+	if len(beacons) < 8 || len(beacons) > 11 {
+		t.Fatalf("emitted %d beacons over 10s with 1s period, want ~10", len(beacons))
+	}
+	for i, b := range beacons {
+		if b.Src != 3 {
+			t.Errorf("beacon %d src = %v, want 3", i, b.Src)
+		}
+		if i > 0 && b.Seq != beacons[i-1].Seq+1 {
+			t.Errorf("beacon seq not consecutive: %d then %d", beacons[i-1].Seq, b.Seq)
+		}
+	}
+}
+
+// A three-node line (sink 0 — relay 1 — leaf 2) must converge so that the
+// leaf routes through the relay.
+func TestLineTopologyConverges(t *testing.T) {
+	engine := sim.NewEngine(9)
+	routers := make([]*Router, 3)
+	// Wire beacon emission to the other routers as if over perfect radios,
+	// with connectivity 0↔1 and 1↔2 only.
+	connected := map[[2]radio.NodeID]bool{
+		{0, 1}: true, {1, 0}: true,
+		{1, 2}: true, {2, 1}: true,
+	}
+	for i := 0; i < 3; i++ {
+		id := radio.NodeID(i)
+		routers[i] = NewRouter(id, i == 0, engine,
+			Config{BeaconPeriod: time.Second, BeaconJitter: 200 * time.Millisecond},
+			func(b Beacon) {
+				for j := 0; j < 3; j++ {
+					if connected[[2]radio.NodeID{b.Src, radio.NodeID(j)}] {
+						routers[j].HandleBeacon(b)
+					}
+				}
+			})
+	}
+	for _, r := range routers {
+		r.Start()
+	}
+	engine.Run(30 * time.Second)
+	if p, ok := routers[1].Parent(); !ok || p != 0 {
+		t.Errorf("relay parent = %v, want sink 0", p)
+	}
+	if p, ok := routers[2].Parent(); !ok || p != 1 {
+		t.Errorf("leaf parent = %v, want relay 1", p)
+	}
+	if routers[2].PathETX() <= routers[1].PathETX() {
+		t.Errorf("leaf cost %g not above relay cost %g", routers[2].PathETX(), routers[1].PathETX())
+	}
+}
+
+func TestNeighborCount(t *testing.T) {
+	engine := sim.NewEngine(10)
+	r := newRouter(4, false, engine, nil)
+	r.HandleBeacon(Beacon{Src: 1, Seq: 1, PathETX: 0})
+	r.HandleBeacon(Beacon{Src: 2, Seq: 1, PathETX: 1})
+	r.HandleBeacon(Beacon{Src: 1, Seq: 2, PathETX: 0})
+	if r.NeighborCount() != 2 {
+		t.Errorf("NeighborCount = %d, want 2", r.NeighborCount())
+	}
+}

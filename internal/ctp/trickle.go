@@ -1,0 +1,103 @@
+package ctp
+
+import (
+	"time"
+
+	"github.com/domo-net/domo/internal/sim"
+)
+
+// TrickleConfig parameterizes the Trickle beacon timer (Levis et al.,
+// NSDI'04), which real CTP uses instead of fixed-period beaconing: the
+// beacon interval doubles from MinInterval to MaxInterval while the
+// topology is quiet, transmissions are suppressed when enough consistent
+// beacons were overheard, and the interval resets to MinInterval on
+// routing inconsistencies (e.g., a parent change).
+type TrickleConfig struct {
+	MinInterval time.Duration // default 1s
+	MaxInterval time.Duration // default 60s
+	// K is the redundancy constant: if at least K consistent beacons were
+	// heard during an interval, the node suppresses its own. Default 2.
+	K int
+}
+
+func (c TrickleConfig) withDefaults() TrickleConfig {
+	if c.MinInterval <= 0 {
+		c.MinInterval = time.Second
+	}
+	if c.MaxInterval < c.MinInterval {
+		c.MaxInterval = 60 * time.Second
+	}
+	if c.K <= 0 {
+		c.K = 2
+	}
+	return c
+}
+
+// trickleState runs one node's Trickle instance.
+type trickleState struct {
+	cfg      TrickleConfig
+	engine   *sim.Engine
+	interval time.Duration
+	heard    int
+	fire     func()
+
+	// Stats.
+	Transmissions int
+	Suppressions  int
+	Resets        int
+}
+
+func newTrickle(cfg TrickleConfig, engine *sim.Engine, fire func()) *trickleState {
+	t := &trickleState{
+		cfg:    cfg.withDefaults(),
+		engine: engine,
+		fire:   fire,
+	}
+	t.interval = t.cfg.MinInterval
+	return t
+}
+
+// start schedules the first interval.
+func (t *trickleState) start() {
+	t.scheduleInterval()
+}
+
+// scheduleInterval picks a firing point uniformly in the second half of
+// the current interval (per the Trickle algorithm) and schedules the next
+// interval at its end.
+func (t *trickleState) scheduleInterval() {
+	half := t.interval / 2
+	offset := half + time.Duration(t.engine.RNG().Int63n(int64(half)))
+	heardAtStart := &t.heard
+	*heardAtStart = 0
+	t.engine.Schedule(offset, func() {
+		if t.heard < t.cfg.K {
+			t.Transmissions++
+			t.fire()
+		} else {
+			t.Suppressions++
+		}
+	})
+	t.engine.Schedule(t.interval, func() {
+		t.interval *= 2
+		if t.interval > t.cfg.MaxInterval {
+			t.interval = t.cfg.MaxInterval
+		}
+		t.scheduleInterval()
+	})
+}
+
+// consistent records an overheard consistent beacon.
+func (t *trickleState) consistent() {
+	t.heard++
+}
+
+// reset reacts to an inconsistency: the interval snaps back to minimum.
+// The currently scheduled interval keeps running (a faithful, simple
+// variant: the shrink takes effect at the next interval boundary).
+func (t *trickleState) reset() {
+	if t.interval != t.cfg.MinInterval {
+		t.Resets++
+	}
+	t.interval = t.cfg.MinInterval
+}

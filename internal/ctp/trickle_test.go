@@ -1,0 +1,112 @@
+package ctp
+
+import (
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+)
+
+func TestTrickleIntervalDoublesToMax(t *testing.T) {
+	engine := sim.NewEngine(1)
+	fires := 0
+	tr := newTrickle(TrickleConfig{MinInterval: time.Second, MaxInterval: 8 * time.Second, K: 100}, engine, func() { fires++ })
+	// K=100 suppresses nothing (heard always < K... actually heard is 0
+	// without consistent() calls, so every interval fires).
+	tr.cfg.K = 1000
+	tr.start()
+	engine.Run(60 * time.Second)
+	// Intervals: 1,2,4,8,8,8,... → by 60s: 1+2+4+8*6 = 55 < 60 → ~9 fires.
+	if fires < 7 || fires > 11 {
+		t.Errorf("fires = %d over 60s, want ≈ 9", fires)
+	}
+	if tr.interval != 8*time.Second {
+		t.Errorf("interval = %v, want capped at 8s", tr.interval)
+	}
+}
+
+func TestTrickleSuppression(t *testing.T) {
+	engine := sim.NewEngine(2)
+	tr := newTrickle(TrickleConfig{MinInterval: time.Second, MaxInterval: time.Second, K: 1}, engine, func() {})
+	tr.start()
+	// Feed a steady stream of consistent beacons: one per 100ms.
+	var feed func()
+	feed = func() {
+		tr.consistent()
+		engine.Schedule(100*time.Millisecond, feed)
+	}
+	engine.Schedule(0, feed)
+	engine.Run(20 * time.Second)
+	if tr.Suppressions == 0 {
+		t.Error("no suppression despite constant consistent traffic")
+	}
+	if tr.Transmissions > tr.Suppressions {
+		t.Errorf("transmissions %d > suppressions %d under heavy redundancy",
+			tr.Transmissions, tr.Suppressions)
+	}
+}
+
+func TestTrickleReset(t *testing.T) {
+	engine := sim.NewEngine(3)
+	tr := newTrickle(TrickleConfig{MinInterval: time.Second, MaxInterval: 32 * time.Second, K: 100}, engine, func() {})
+	tr.cfg.K = 1000
+	tr.start()
+	engine.Run(40 * time.Second) // interval has grown well past min
+	if tr.interval <= time.Second {
+		t.Fatalf("interval did not grow: %v", tr.interval)
+	}
+	tr.reset()
+	if tr.interval != time.Second {
+		t.Errorf("interval after reset = %v, want 1s", tr.interval)
+	}
+	if tr.Resets != 1 {
+		t.Errorf("Resets = %d, want 1", tr.Resets)
+	}
+}
+
+// Routers with Trickle enabled must still converge (sink — relay — leaf)
+// and settle into long beacon intervals once the tree is stable.
+func TestRouterWithTrickleConverges(t *testing.T) {
+	engine := sim.NewEngine(4)
+	trickle := &TrickleConfig{MinInterval: 500 * time.Millisecond, MaxInterval: 30 * time.Second, K: 3}
+	routers := make([]*Router, 3)
+	links := [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 1}}
+	for i := 0; i < 3; i++ {
+		i := i
+		routers[i] = NewRouter(radioID(i), i == 0, engine,
+			Config{Trickle: trickle},
+			func(b Beacon) {
+				for _, l := range links {
+					if radioID(l[0]) == b.Src {
+						routers[l[1]].HandleBeacon(b)
+					}
+				}
+			})
+	}
+	for _, r := range routers {
+		r.Start()
+	}
+	engine.Run(3 * time.Minute)
+	if p, ok := routers[1].Parent(); !ok || p != 0 {
+		t.Errorf("relay parent = %v, want sink", p)
+	}
+	if p, ok := routers[2].Parent(); !ok || p != 1 {
+		t.Errorf("leaf parent = %v, want relay", p)
+	}
+	// The intervals must have backed off once stable: total transmissions
+	// over 3 minutes must be far below the fixed-period equivalent
+	// (3min / 0.5s = 360).
+	for i, r := range routers {
+		tx, _, _ := r.TrickleStats()
+		if tx == 0 {
+			t.Errorf("router %d never beaconed", i)
+		}
+		if tx > 120 {
+			t.Errorf("router %d sent %d beacons; Trickle back-off ineffective", i, tx)
+		}
+	}
+}
+
+// radioID converts loop indices to node ids tersely in tests.
+func radioID(i int) radio.NodeID { return radio.NodeID(i) }

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	domo "github.com/domo-net/domo"
+)
+
+// AblationResult reports the four design-choice ablations DESIGN.md calls
+// out, all on one shared trace.
+type AblationResult struct {
+	// Estimator: full pipeline vs SDR-seeded pipeline.
+	BaseErr     domo.Summary
+	SDRErr      domo.Summary
+	SDRWallMult float64 // SDR wall time / base wall time
+
+	// Sum-of-delays constraints: on vs off (bound width).
+	SumOnWidth  domo.Summary
+	SumOffWidth domo.Summary
+
+	// BLP tuning vs raw BFS ball (bound width + per-bound time).
+	BLPWidth    domo.Summary
+	BFSWidth    domo.Summary
+	BLPPerBound time.Duration
+	BFSPerBound time.Duration
+
+	// Overlapping windows (ratio 0.5) vs disjoint windows (ratio 1.0).
+	OverlapErr  domo.Summary
+	DisjointErr domo.Summary
+}
+
+// RunAblations evaluates all DESIGN.md ablations.
+func RunAblations(s Scenario, w io.Writer) (*AblationResult, error) {
+	tr, err := s.simulate()
+	if err != nil {
+		return nil, fmt.Errorf("ablations: %w", err)
+	}
+	res := &AblationResult{}
+
+	estimateErr := func(cfg domo.Config) (domo.Summary, time.Duration, error) {
+		rec, err := domo.Estimate(tr, cfg)
+		if err != nil {
+			return domo.Summary{}, 0, err
+		}
+		errs, err := domo.EstimateErrors(tr, rec)
+		if err != nil {
+			return domo.Summary{}, 0, err
+		}
+		return domo.Summarize(errs), rec.Stats().WallTime, nil
+	}
+	boundWidth := func(cfg domo.Config) (domo.Summary, time.Duration, error) {
+		cfg.BoundSample = s.BoundSample
+		cfg.Seed = s.Seed + 300
+		cfg.BoundWorkers = s.Workers
+		b, err := domo.Bounds(tr, cfg)
+		if err != nil {
+			return domo.Summary{}, 0, err
+		}
+		widths, err := domo.BoundWidths(tr, b)
+		if err != nil {
+			return domo.Summary{}, 0, err
+		}
+		st := b.Stats()
+		per := time.Duration(0)
+		if st.Solved > 0 {
+			per = st.WallTime / time.Duration(st.Solved)
+		}
+		return domo.Summarize(widths), per, nil
+	}
+
+	var baseWall, sdrWall time.Duration
+	if res.BaseErr, baseWall, err = estimateErr(domo.Config{}); err != nil {
+		return nil, fmt.Errorf("ablation base estimator: %w", err)
+	}
+	if res.SDRErr, sdrWall, err = estimateErr(domo.Config{EnableSDR: true}); err != nil {
+		return nil, fmt.Errorf("ablation SDR estimator: %w", err)
+	}
+	if baseWall > 0 {
+		res.SDRWallMult = float64(sdrWall) / float64(baseWall)
+	}
+
+	if res.SumOnWidth, _, err = boundWidth(domo.Config{}); err != nil {
+		return nil, fmt.Errorf("ablation sum-on bounds: %w", err)
+	}
+	if res.SumOffWidth, _, err = boundWidth(domo.Config{AblateSumConstraints: true}); err != nil {
+		return nil, fmt.Errorf("ablation sum-off bounds: %w", err)
+	}
+
+	// BLP vs BFS matters when the cut is a strict subset of the graph, so
+	// force a small cut.
+	smallCut := 400
+	if res.BLPWidth, res.BLPPerBound, err = boundWidth(domo.Config{GraphCutSize: smallCut}); err != nil {
+		return nil, fmt.Errorf("ablation BLP bounds: %w", err)
+	}
+	if res.BFSWidth, res.BFSPerBound, err = boundWidth(domo.Config{GraphCutSize: smallCut, AblateBLP: true}); err != nil {
+		return nil, fmt.Errorf("ablation BFS bounds: %w", err)
+	}
+
+	if res.OverlapErr, _, err = estimateErr(domo.Config{EffectiveWindowRatio: 0.5}); err != nil {
+		return nil, fmt.Errorf("ablation overlap windows: %w", err)
+	}
+	if res.DisjointErr, _, err = estimateErr(domo.Config{EffectiveWindowRatio: 1.0}); err != nil {
+		return nil, fmt.Errorf("ablation disjoint windows: %w", err)
+	}
+
+	fmt.Fprintf(w, "=== Ablations (%d nodes) ===\n", s.NumNodes)
+	fmt.Fprintf(w, "  estimator:       base err %6.2fms | +SDR seeding %6.2fms (%.1fx wall time)\n",
+		res.BaseErr.Mean, res.SDRErr.Mean, res.SDRWallMult)
+	fmt.Fprintf(w, "  sum-of-delays:   on %6.2fms width | off %6.2fms width\n",
+		res.SumOnWidth.Mean, res.SumOffWidth.Mean)
+	fmt.Fprintf(w, "  graph cut (%d): BLP %6.2fms width %v/bound | BFS %6.2fms width %v/bound\n",
+		smallCut, res.BLPWidth.Mean, res.BLPPerBound, res.BFSWidth.Mean, res.BFSPerBound)
+	fmt.Fprintf(w, "  windows:         overlap(0.5) err %6.2fms | disjoint(1.0) err %6.2fms\n",
+		res.OverlapErr.Mean, res.DisjointErr.Mean)
+	return res, nil
+}

@@ -1,0 +1,163 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI): the Fig. 6 accuracy comparisons, the Fig. 7 packet-loss
+// and Fig. 8 network-scale sweeps, the Fig. 9 effective-time-window-ratio
+// and Fig. 10 graph-cut-size parameter studies, the Table I overhead
+// comparison, the Fig. 1 motivation delay maps, and the design-choice
+// ablations called out in DESIGN.md.
+//
+// Each experiment takes a Scenario (so benches can shrink the workload),
+// prints the same rows/series the paper reports to an io.Writer, and
+// returns the numbers in a struct for programmatic assertions. Absolute
+// values differ from the paper — the substrate is a from-scratch simulator,
+// not the authors' TOSSIM install — but the shapes (who wins, by what
+// rough factor, how the parameters trade off) are the reproduction target.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	domo "github.com/domo-net/domo"
+)
+
+// ErrBadScenario is returned for invalid scenarios.
+var ErrBadScenario = errors.New("experiments: invalid scenario")
+
+// Scenario sizes one evaluation run.
+type Scenario struct {
+	NumNodes    int
+	Duration    time.Duration
+	DataPeriod  time.Duration
+	Seed        int64
+	BoundSample int // bounds computed for this many sampled unknowns (0 = all)
+	// Workers parallelizes the per-unknown bound solves (0/1 = serial;
+	// results are identical for any worker count).
+	Workers int
+}
+
+// Paper is the paper's evaluation setting: 400 nodes, periodic collection.
+// Bound widths are estimated on a sample (§VI reports averages).
+func Paper() Scenario {
+	return Scenario{
+		NumNodes:    400,
+		Duration:    20 * time.Minute,
+		DataPeriod:  30 * time.Second,
+		Seed:        1,
+		BoundSample: 600,
+	}
+}
+
+// Small is a laptop-quick variant used by the Go benches and tests.
+func Small() Scenario {
+	return Scenario{
+		NumNodes:    60,
+		Duration:    8 * time.Minute,
+		DataPeriod:  15 * time.Second,
+		Seed:        1,
+		BoundSample: 200,
+	}
+}
+
+// WithNodes returns a copy with a different network scale.
+func (s Scenario) WithNodes(n int) Scenario {
+	s.NumNodes = n
+	return s
+}
+
+func (s Scenario) validate() error {
+	if s.NumNodes < 2 || s.Duration <= 0 || s.DataPeriod <= 0 {
+		return fmt.Errorf("scenario %+v: %w", s, ErrBadScenario)
+	}
+	return nil
+}
+
+// simulate runs the scenario's network.
+func (s Scenario) simulate() (*domo.Trace, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return domo.Simulate(domo.SimConfig{
+		NumNodes:   s.NumNodes,
+		Duration:   s.Duration,
+		DataPeriod: s.DataPeriod,
+		Seed:       s.Seed,
+		NodeLogs:   true,
+	})
+}
+
+// Bundle is one fully reconstructed run shared by the Fig. 6 experiments.
+type Bundle struct {
+	Scenario Scenario
+	Trace    *domo.Trace
+	Rec      *domo.Reconstruction
+	Mnt      *domo.MNTResult
+	Bounds   *domo.BoundsResult
+
+	EstimateWall time.Duration
+	BoundsWall   time.Duration
+}
+
+// Prepare simulates the scenario and runs Domo (estimates + bounds) and the
+// MNT baseline once.
+func Prepare(s Scenario) (*Bundle, error) {
+	tr, err := s.simulate()
+	if err != nil {
+		return nil, fmt.Errorf("simulating: %w", err)
+	}
+	return PrepareFromTrace(s, tr)
+}
+
+// PrepareFromTrace reconstructs an existing trace (used by the loss sweep,
+// which drops packets from a shared base trace).
+func PrepareFromTrace(s Scenario, tr *domo.Trace) (*Bundle, error) {
+	rec, err := domo.Estimate(tr, domo.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("estimating: %w", err)
+	}
+	bounds, err := domo.Bounds(tr, domo.Config{BoundSample: s.BoundSample, Seed: s.Seed + 100, BoundWorkers: s.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("bounding: %w", err)
+	}
+	m, err := domo.MNT(tr)
+	if err != nil {
+		return nil, fmt.Errorf("running MNT: %w", err)
+	}
+	return &Bundle{
+		Scenario:     s,
+		Trace:        tr,
+		Rec:          rec,
+		Mnt:          m,
+		Bounds:       bounds,
+		EstimateWall: rec.Stats().WallTime,
+		BoundsWall:   bounds.Stats().WallTime,
+	}, nil
+}
+
+// _cdfPointsMS are the millisecond grid points the CDF tables print.
+var _cdfPointsMS = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// printCDFTable renders one CDF per series on the shared grid.
+func printCDFTable(w io.Writer, title string, series map[string][]float64, order []string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-18s", "ms ≤")
+	for _, p := range _cdfPointsMS {
+		fmt.Fprintf(w, "%8.0f", p)
+	}
+	fmt.Fprintln(w)
+	for _, name := range order {
+		values := series[name]
+		cdf := domo.CDF(values, _cdfPointsMS)
+		fmt.Fprintf(w, "%-18s", name)
+		for _, c := range cdf {
+			fmt.Fprintf(w, "%8.2f", c)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func printSummaryRow(w io.Writer, name string, s domo.Summary) {
+	fmt.Fprintf(w, "  %-18s mean %8.2fms  median %8.2fms  p90 %8.2fms  max %8.2fms  (n=%d)\n",
+		name, s.Mean, s.Median, s.P90, s.Max, s.N)
+}

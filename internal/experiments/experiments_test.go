@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny is a fast scenario for CI-grade runs of every experiment.
+func tiny() Scenario {
+	return Scenario{
+		NumNodes:    30,
+		Duration:    5 * time.Minute,
+		DataPeriod:  10 * time.Second,
+		Seed:        3,
+		BoundSample: 120,
+	}
+}
+
+var _tinyBundle *Bundle
+
+func tinyBundle(t *testing.T) *Bundle {
+	t.Helper()
+	if _tinyBundle == nil {
+		b, err := Prepare(tiny())
+		if err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		_tinyBundle = b
+	}
+	return _tinyBundle
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if _, err := Prepare(Scenario{}); err == nil {
+		t.Error("empty scenario accepted")
+	}
+}
+
+func TestFig6a(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFig6a(tinyBundle(t), &buf)
+	if err != nil {
+		t.Fatalf("RunFig6a: %v", err)
+	}
+	if res.DomoErr.N == 0 || res.MNTErr.N == 0 {
+		t.Fatal("empty error samples")
+	}
+	if res.DomoErr.Mean >= res.MNTErr.Mean {
+		t.Errorf("Domo %.2fms not better than MNT %.2fms", res.DomoErr.Mean, res.MNTErr.Mean)
+	}
+	if len(res.PerNode) == 0 {
+		t.Error("no per-node rows")
+	}
+	if !strings.Contains(buf.String(), "Fig 6(a)") {
+		t.Error("missing table header")
+	}
+}
+
+func TestFig6b(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFig6b(tinyBundle(t), &buf)
+	if err != nil {
+		t.Fatalf("RunFig6b: %v", err)
+	}
+	if res.DomoWidth.Mean >= res.MNTWidth.Mean {
+		t.Errorf("Domo width %.2fms not tighter than MNT %.2fms", res.DomoWidth.Mean, res.MNTWidth.Mean)
+	}
+	if !strings.Contains(buf.String(), "bound width CDF") {
+		t.Error("missing CDF table")
+	}
+}
+
+func TestFig6c(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFig6c(tinyBundle(t), &buf)
+	if err != nil {
+		t.Fatalf("RunFig6c: %v", err)
+	}
+	if res.DomoDisplacement >= res.MsgDisplacement {
+		t.Errorf("Domo displacement %.3f not below MessageTracing %.3f",
+			res.DomoDisplacement, res.MsgDisplacement)
+	}
+	if res.Events < 100 {
+		t.Errorf("only %d events", res.Events)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFig7(tiny(), &buf)
+	if err != nil {
+		t.Fatalf("RunFig7: %v", err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("got %d loss points, want 3", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Violations != 0 {
+			t.Errorf("loss %.0f%%: %d bound violations", p.LossRate*100, p.Violations)
+		}
+		if p.DomoErr.Mean >= p.MNTErr.Mean {
+			t.Errorf("loss %.0f%%: Domo err %.2f not below MNT %.2f",
+				p.LossRate*100, p.DomoErr.Mean, p.MNTErr.Mean)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFig8(tiny(), &buf, []int{30, 60})
+	if err != nil {
+		t.Fatalf("RunFig8: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d scale points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Violations != 0 {
+			t.Errorf("scale %d: %d bound violations", p.NumNodes, p.Violations)
+		}
+		if p.DomoW.N == 0 {
+			t.Errorf("scale %d: no interior unknowns; scenario degenerate", p.NumNodes)
+			continue
+		}
+		if p.DomoW.Mean >= p.MNTW.Mean {
+			t.Errorf("scale %d: Domo width %.2f not below MNT %.2f",
+				p.NumNodes, p.DomoW.Mean, p.MNTW.Mean)
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFig9(tiny(), &buf, []float64{0.3, 0.9})
+	if err != nil {
+		t.Fatalf("RunFig9: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d ratio points, want 2", len(res.Points))
+	}
+	// Larger ratio → fewer windows.
+	if res.Points[1].Windows >= res.Points[0].Windows {
+		t.Errorf("windows did not shrink with the ratio: %d vs %d",
+			res.Points[0].Windows, res.Points[1].Windows)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFig10(tiny(), &buf, []int{60, 600})
+	if err != nil {
+		t.Fatalf("RunFig10: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d cut points, want 2", len(res.Points))
+	}
+	small, large := res.Points[0], res.Points[1]
+	if large.Width.Mean > small.Width.Mean+1e-9 {
+		t.Errorf("larger cut loosened bounds: %.2f → %.2f", small.Width.Mean, large.Width.Mean)
+	}
+	for _, p := range res.Points {
+		if p.Violations != 0 {
+			t.Errorf("cut %d: %d violations", p.CutSize, p.Violations)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunTable1(tiny(), &buf)
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	if res.Rows[0].MessageBytes != 4 || res.Rows[2].MessageBytes != 0 {
+		t.Errorf("message overhead wrong: %+v", res.Rows)
+	}
+	if res.MeasuredPCPerDelay <= 0 {
+		t.Error("no measured PC time")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFig1(tiny(), &buf)
+	if err != nil {
+		t.Fatalf("RunFig1: %v", err)
+	}
+	if len(res.Points) < 10 {
+		t.Fatalf("only %d nodes mapped", len(res.Points))
+	}
+	// Link drift must visibly move some delays between snapshots.
+	if res.FracChangedOverHalf == 0 {
+		moved := 0
+		for _, p := range res.Points {
+			if p.ChangeFrac > 0.1 {
+				moved++
+			}
+		}
+		if moved == 0 {
+			t.Error("no node's delay changed between snapshots despite drift")
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunAblations(tiny(), &buf)
+	if err != nil {
+		t.Fatalf("RunAblations: %v", err)
+	}
+	// Sum constraints must tighten bounds.
+	if res.SumOnWidth.Mean >= res.SumOffWidth.Mean {
+		t.Errorf("sum constraints did not tighten bounds: on %.2f vs off %.2f",
+			res.SumOnWidth.Mean, res.SumOffWidth.Mean)
+	}
+	// Both window styles must produce sane errors; overlap should not be
+	// significantly worse than disjoint.
+	if res.OverlapErr.Mean > res.DisjointErr.Mean*1.2+0.5 {
+		t.Errorf("overlapping windows much worse than disjoint: %.2f vs %.2f",
+			res.OverlapErr.Mean, res.DisjointErr.Mean)
+	}
+	if res.SDRErr.N == 0 {
+		t.Error("SDR ablation produced no sample")
+	}
+}
+
+func TestExtPaths(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunExtPaths(tiny(), &buf)
+	if err != nil {
+		t.Fatalf("RunExtPaths: %v", err)
+	}
+	if res.Stats.Total == 0 {
+		t.Fatal("no packets examined")
+	}
+	exact := float64(res.Stats.Exact) / float64(res.Stats.Total)
+	if exact < 0.85 {
+		t.Errorf("exact path fraction %.2f too low", exact)
+	}
+	if res.ErrReconPaths.N == 0 {
+		t.Error("no scored unknowns on reconstructed paths")
+	}
+	// Reconstructed paths should cost at most a mild accuracy penalty.
+	if res.ErrReconPaths.Mean > res.ErrTruePaths.Mean*1.5+1 {
+		t.Errorf("reconstructed-path error %.2f far above true-path %.2f",
+			res.ErrReconPaths.Mean, res.ErrTruePaths.Mean)
+	}
+}
+
+func TestExtTraffic(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunExtTraffic(tiny(), &buf)
+	if err != nil {
+		t.Fatalf("RunExtTraffic: %v", err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("got %d traffic points, want 3", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Violations != 0 {
+			t.Errorf("%s: %d bound violations", p.Name, p.Violations)
+		}
+		if p.DomoErr.N == 0 {
+			t.Errorf("%s: no scored unknowns", p.Name)
+		}
+		if p.DomoErr.Mean >= p.MNTErr.Mean {
+			t.Errorf("%s: Domo %.2f not better than MNT %.2f", p.Name, p.DomoErr.Mean, p.MNTErr.Mean)
+		}
+	}
+}
+
+func TestExtFailure(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunExtFailure(tiny(), &buf)
+	if err != nil {
+		t.Fatalf("RunExtFailure: %v", err)
+	}
+	if res.Records < 20 {
+		t.Fatalf("only %d records survived the failures", res.Records)
+	}
+	if res.Violations != 0 {
+		t.Errorf("%d bound violations after failures", res.Violations)
+	}
+}

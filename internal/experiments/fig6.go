@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	domo "github.com/domo-net/domo"
+)
+
+// Fig6aResult is the estimate-accuracy comparison (paper: Domo 3.58ms vs
+// MNT 9.33ms average error at 400 nodes).
+type Fig6aResult struct {
+	DomoErr domo.Summary
+	MNTErr  domo.Summary
+	// PerNode lists each node's average node delay (ms): ground truth,
+	// Domo's reconstruction, and MNT's — the Fig. 6a series.
+	PerNode []PerNodeDelay
+}
+
+// PerNodeDelay is one Fig. 6a row.
+type PerNodeDelay struct {
+	Node             domo.NodeID
+	Truth, Domo, MNT float64
+}
+
+// RunFig6a evaluates estimate accuracy on a prepared bundle.
+func RunFig6a(b *Bundle, w io.Writer) (*Fig6aResult, error) {
+	domoErrs, err := domo.EstimateErrors(b.Trace, b.Rec)
+	if err != nil {
+		return nil, fmt.Errorf("fig6a: %w", err)
+	}
+	mntErrs, err := domo.MNTEstimateErrors(b.Trace, b.Mnt)
+	if err != nil {
+		return nil, fmt.Errorf("fig6a: %w", err)
+	}
+	res := &Fig6aResult{
+		DomoErr: domo.Summarize(domoErrs),
+		MNTErr:  domo.Summarize(mntErrs),
+	}
+
+	truthAvg, err := domo.NodeDelayAverages(b.Trace, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fig6a: %w", err)
+	}
+	domoAvg, err := domo.NodeDelayAverages(b.Trace, b.Rec)
+	if err != nil {
+		return nil, fmt.Errorf("fig6a: %w", err)
+	}
+	mntAvg, err := mntNodeDelayAverages(b.Trace, b.Mnt)
+	if err != nil {
+		return nil, fmt.Errorf("fig6a: %w", err)
+	}
+	ids := make([]domo.NodeID, 0, len(truthAvg))
+	for id := range truthAvg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		res.PerNode = append(res.PerNode, PerNodeDelay{
+			Node: id, Truth: truthAvg[id], Domo: domoAvg[id], MNT: mntAvg[id],
+		})
+	}
+
+	fmt.Fprintf(w, "=== Fig 6(a): estimated value accuracy, Domo vs MNT (%d nodes) ===\n", b.Scenario.NumNodes)
+	printSummaryRow(w, "Domo |err|", res.DomoErr)
+	printSummaryRow(w, "MNT |err|", res.MNTErr)
+	fmt.Fprintf(w, "  paper reference: Domo 3.58ms, MNT 9.33ms (400 nodes)\n")
+	fmt.Fprintf(w, "  per-node average node delay (first 12 nodes):\n")
+	fmt.Fprintf(w, "  %6s %10s %10s %10s\n", "node", "truth ms", "domo ms", "mnt ms")
+	for i, row := range res.PerNode {
+		if i >= 12 {
+			break
+		}
+		fmt.Fprintf(w, "  %6d %10.2f %10.2f %10.2f\n", row.Node, row.Truth, row.Domo, row.MNT)
+	}
+	return res, nil
+}
+
+// mntNodeDelayAverages mirrors domo.NodeDelayAverages for the MNT result.
+func mntNodeDelayAverages(tr *domo.Trace, m *domo.MNTResult) (map[domo.NodeID]float64, error) {
+	sums := map[domo.NodeID]float64{}
+	counts := map[domo.NodeID]int{}
+	for _, id := range tr.Packets() {
+		path, err := tr.Path(id)
+		if err != nil {
+			return nil, err
+		}
+		arr, err := m.Arrivals(id)
+		if err != nil {
+			return nil, err
+		}
+		for hop := 0; hop+1 < len(path); hop++ {
+			sums[path[hop]] += float64(arr[hop+1]-arr[hop]) / 1e6 // ns → ms
+			counts[path[hop]]++
+		}
+	}
+	out := make(map[domo.NodeID]float64, len(sums))
+	for n, s := range sums {
+		out[n] = s / float64(counts[n])
+	}
+	return out, nil
+}
+
+// Fig6bResult is the bound-accuracy comparison (paper: Domo 16.11ms vs MNT
+// 40.97ms average width).
+type Fig6bResult struct {
+	DomoWidth domo.Summary
+	MNTWidth  domo.Summary
+}
+
+// RunFig6b evaluates bound tightness on a prepared bundle.
+func RunFig6b(b *Bundle, w io.Writer) (*Fig6bResult, error) {
+	domoWidths, err := domo.BoundWidths(b.Trace, b.Bounds)
+	if err != nil {
+		return nil, fmt.Errorf("fig6b: %w", err)
+	}
+	mntWidths, err := domo.MNTBoundWidths(b.Trace, b.Mnt)
+	if err != nil {
+		return nil, fmt.Errorf("fig6b: %w", err)
+	}
+	res := &Fig6bResult{
+		DomoWidth: domo.Summarize(domoWidths),
+		MNTWidth:  domo.Summarize(mntWidths),
+	}
+	fmt.Fprintf(w, "=== Fig 6(b): bound accuracy (upper-lower), Domo vs MNT (%d nodes) ===\n", b.Scenario.NumNodes)
+	printSummaryRow(w, "Domo width", res.DomoWidth)
+	printSummaryRow(w, "MNT width", res.MNTWidth)
+	fmt.Fprintf(w, "  paper reference: Domo 16.11ms, MNT 40.97ms (400 nodes)\n")
+	printCDFTable(w, "  bound width CDF:", map[string][]float64{
+		"Domo": domoWidths,
+		"MNT":  mntWidths,
+	}, []string{"Domo", "MNT"})
+	return res, nil
+}
+
+// Fig6cResult is the event-order comparison (paper: Domo displacement 0.03
+// vs MessageTracing 3.39).
+type Fig6cResult struct {
+	DomoDisplacement float64
+	MsgDisplacement  float64
+	Events           int
+}
+
+// RunFig6c evaluates event-order reconstruction on a prepared bundle.
+func RunFig6c(b *Bundle, w io.Writer) (*Fig6cResult, error) {
+	truth, err := domo.GroundTruthEventOrder(b.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("fig6c: %w", err)
+	}
+	domoOrder, err := domo.EventOrderFromEstimates(b.Trace, b.Rec)
+	if err != nil {
+		return nil, fmt.Errorf("fig6c: %w", err)
+	}
+	msgOrder, err := domo.MessageTracingOrder(b.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("fig6c: %w", err)
+	}
+	domoDisp, err := domo.Displacement(truth, domoOrder)
+	if err != nil {
+		return nil, fmt.Errorf("fig6c: %w", err)
+	}
+	msgDisp, err := domo.Displacement(truth, msgOrder)
+	if err != nil {
+		return nil, fmt.Errorf("fig6c: %w", err)
+	}
+	res := &Fig6cResult{DomoDisplacement: domoDisp, MsgDisplacement: msgDisp, Events: len(truth)}
+	fmt.Fprintf(w, "=== Fig 6(c): event order accuracy, Domo vs MessageTracing (%d nodes) ===\n", b.Scenario.NumNodes)
+	fmt.Fprintf(w, "  Domo displacement          %8.3f\n", res.DomoDisplacement)
+	fmt.Fprintf(w, "  MessageTracing displacement%8.3f\n", res.MsgDisplacement)
+	fmt.Fprintf(w, "  events compared            %8d\n", res.Events)
+	fmt.Fprintf(w, "  paper reference: Domo 0.03, MessageTracing 3.39 (400 nodes)\n")
+	return res, nil
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	domo "github.com/domo-net/domo"
+	"github.com/domo-net/domo/internal/render"
+)
+
+// OverheadRow is one approach's Table I column.
+type OverheadRow struct {
+	Approach     string
+	MessageBytes int
+	NodeCompute  string
+	PCCompute    string
+	NodeMemory   string
+}
+
+// Table1Result is the overhead comparison of §V-A. Message overheads come
+// from the packet formats the implementations define; the PC-side figures
+// are measured on a small reconstruction.
+type Table1Result struct {
+	Rows []OverheadRow
+	// MeasuredPCPerDelay and MeasuredPCPerBound back the "modest" PC
+	// computation claim with numbers from this machine.
+	MeasuredPCPerDelay time.Duration
+	MeasuredPCPerBound time.Duration
+}
+
+// RunTable1 prints the Table I overhead comparison.
+func RunTable1(s Scenario, w io.Writer) (*Table1Result, error) {
+	// Message overhead, from the on-air formats:
+	//   Domo: 2-byte sum-of-delays (S(p), 1ms precision → 65s range) +
+	//         2-byte end-to-end delay timestamp  = 4 bytes.
+	//   MNT:  2-byte timestamp + 2-byte first-hop receiver id = 4 bytes.
+	//   MessageTracing: in-node logging only     = 0 bytes.
+	res := &Table1Result{
+		Rows: []OverheadRow{
+			{Approach: "Domo", MessageBytes: 4, NodeCompute: "low", PCCompute: "modest", NodeMemory: "low (<80B state)"},
+			{Approach: "MNT", MessageBytes: 4, NodeCompute: "low", PCCompute: "modest", NodeMemory: "low"},
+			{Approach: "MsgTracing", MessageBytes: 0, NodeCompute: "low", PCCompute: "low", NodeMemory: "high (full log)"},
+		},
+	}
+
+	// Measure the PC-side cost on this machine to substantiate the rows.
+	b, err := Prepare(s)
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	recStats := b.Rec.Stats()
+	if recStats.Unknowns > 0 {
+		res.MeasuredPCPerDelay = recStats.WallTime / time.Duration(recStats.Unknowns)
+	}
+	bStats := b.Bounds.Stats()
+	if bStats.Solved > 0 {
+		res.MeasuredPCPerBound = bStats.WallTime / time.Duration(bStats.Solved)
+	}
+
+	fmt.Fprintf(w, "=== Table I: overhead comparison ===\n")
+	fmt.Fprintf(w, "  %-12s %10s %14s %12s %18s\n", "approach", "msg bytes", "compute(node)", "compute(PC)", "memory(node)")
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "  %-12s %10d %14s %12s %18s\n",
+			row.Approach, row.MessageBytes, row.NodeCompute, row.PCCompute, row.NodeMemory)
+	}
+	fmt.Fprintf(w, "  measured PC cost (%d nodes): %v per estimated delay, %v per bound\n",
+		s.NumNodes, res.MeasuredPCPerDelay, res.MeasuredPCPerBound)
+	fmt.Fprintf(w, "  paper reference: both Domo and MNT carry 4 bytes/packet; MessageTracing none\n")
+	return res, nil
+}
+
+// Fig1Point is one node of the Fig. 1 delay map.
+type Fig1Point struct {
+	Node       domo.NodeID
+	X, Y       float64
+	DelayT1    float64 // average end-to-end delay (ms) in the first half
+	DelayT2    float64 // and in the second half
+	ChangeFrac float64 // |t2-t1| / t1
+}
+
+// Fig1Result is the motivation delay map: end-to-end delay distributions of
+// the same network at two times (paper: >50% of nodes change >58%).
+type Fig1Result struct {
+	Points []Fig1Point
+	// FracChangedOverHalf is the fraction of nodes whose average delay
+	// moved by more than 50% between the two snapshots.
+	FracChangedOverHalf float64
+}
+
+// RunFig1 simulates one network with link drift and compares per-node
+// average end-to-end delays between the first and second halves of the run.
+func RunFig1(s Scenario, w io.Writer) (*Fig1Result, error) {
+	net, err := domo.NewNetwork(domo.SimConfig{
+		NumNodes:   s.NumNodes,
+		Duration:   s.Duration * 2, // two observation windows
+		DataPeriod: s.DataPeriod,
+		Seed:       s.Seed,
+		LinkDrift:  0.06, // pronounced temporal variation for the snapshot contrast
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+	tr, err := net.Run()
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+
+	// Split packets into the two halves by sink arrival.
+	half := tr.Duration() / 2
+	sum1 := map[domo.NodeID]float64{}
+	sum2 := map[domo.NodeID]float64{}
+	n1 := map[domo.NodeID]int{}
+	n2 := map[domo.NodeID]int{}
+	for _, id := range tr.Packets() {
+		gen, err := tr.GenerationTime(id)
+		if err != nil {
+			return nil, err
+		}
+		arr, err := tr.SinkArrival(id)
+		if err != nil {
+			return nil, err
+		}
+		e2e := float64(arr-gen) / float64(time.Millisecond)
+		src := id.Source
+		if arr < half {
+			sum1[src] += e2e
+			n1[src]++
+		} else {
+			sum2[src] += e2e
+			n2[src]++
+		}
+	}
+
+	res := &Fig1Result{}
+	changed := 0
+	counted := 0
+	for node := domo.NodeID(1); int(node) < s.NumNodes; node++ {
+		if n1[node] == 0 || n2[node] == 0 {
+			continue
+		}
+		x, y, err := net.Position(node)
+		if err != nil {
+			return nil, err
+		}
+		d1 := sum1[node] / float64(n1[node])
+		d2 := sum2[node] / float64(n2[node])
+		change := 0.0
+		if d1 > 0 {
+			change = abs(d2-d1) / d1
+		}
+		res.Points = append(res.Points, Fig1Point{
+			Node: node, X: x, Y: y, DelayT1: d1, DelayT2: d2, ChangeFrac: change,
+		})
+		counted++
+		if change > 0.5 {
+			changed++
+		}
+	}
+	if counted > 0 {
+		res.FracChangedOverHalf = float64(changed) / float64(counted)
+	}
+
+	fmt.Fprintf(w, "=== Fig 1: end-to-end delay maps at two times (%d nodes) ===\n", s.NumNodes)
+	// ASCII rendition of the two snapshots (larger digit = slower node).
+	sinkX, sinkY, err := net.Position(0)
+	if err != nil {
+		return nil, err
+	}
+	var cells1, cells2 []render.Cell
+	for _, p := range res.Points {
+		cells1 = append(cells1, render.Cell{X: p.X, Y: p.Y, Value: p.DelayT1})
+		cells2 = append(cells2, render.Cell{X: p.X, Y: p.Y, Value: p.DelayT2})
+	}
+	render.DelayMap(w, "  delay map at t1", cells1, sinkX, sinkY, net.Side())
+	render.DelayMap(w, "  delay map at t2", cells2, sinkX, sinkY, net.Side())
+	fmt.Fprintf(w, "  %6s %8s %8s %12s %12s %8s\n", "node", "x", "y", "delay@t1 ms", "delay@t2 ms", "change")
+	for i, p := range res.Points {
+		if i >= 15 {
+			fmt.Fprintf(w, "  ... (%d more nodes)\n", len(res.Points)-15)
+			break
+		}
+		fmt.Fprintf(w, "  %6d %8.1f %8.1f %12.2f %12.2f %7.0f%%\n",
+			p.Node, p.X, p.Y, p.DelayT1, p.DelayT2, p.ChangeFrac*100)
+	}
+	fmt.Fprintf(w, "  nodes whose average delay changed >50%% between snapshots: %.0f%%\n",
+		res.FracChangedOverHalf*100)
+	fmt.Fprintf(w, "  paper reference: delays of >50%% of nodes changed more than 58%% (deployed network)\n")
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,259 @@
+// Package graphcut implements the constraint-graph machinery Domo uses to
+// keep each bound computation small (§IV-C of the paper): vertices are
+// unknown arrival times, edges join unknowns that share a constraint, and
+// for each target unknown a fixed-size sub-graph is extracted (seeded BFS)
+// and its boundary tuned with balanced label propagation (BLP, Ugander &
+// Backstrom, WSDM'13) so that as few constraint edges as possible are cut.
+package graphcut
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadGraph is returned for out-of-range vertices and malformed inputs.
+var ErrBadGraph = errors.New("graphcut: malformed graph or arguments")
+
+// Graph is a simple undirected multigraph over vertices 0..n-1. Parallel
+// edges are allowed (two unknowns can share several constraints) and count
+// individually toward cut sizes.
+type Graph struct {
+	adj [][]int32
+}
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// AddEdge inserts an undirected edge between a and b. Self-loops are
+// ignored: a constraint touching one unknown adds no correlation edge.
+func (g *Graph) AddEdge(a, b int) error {
+	if a < 0 || a >= len(g.adj) || b < 0 || b >= len(g.adj) {
+		return fmt.Errorf("edge (%d,%d) outside %d vertices: %w", a, b, len(g.adj), ErrBadGraph)
+	}
+	if a == b {
+		return nil
+	}
+	g.adj[a] = append(g.adj[a], int32(b))
+	g.adj[b] = append(g.adj[b], int32(a))
+	return nil
+}
+
+// Degree returns the number of incident edge endpoints at v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors calls fn for every neighbor of v (with multiplicity).
+func (g *Graph) Neighbors(v int, fn func(w int)) {
+	for _, w := range g.adj[v] {
+		fn(int(w))
+	}
+}
+
+// NumEdges returns the number of undirected edges (with multiplicity).
+func (g *Graph) NumEdges() int {
+	var total int
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// ExtractSubgraph grows a breadth-first ball around target until it holds
+// size vertices (or the whole component). It returns the selected vertex
+// ids; the target is always included and is always the first element.
+func (g *Graph) ExtractSubgraph(target, size int) ([]int, error) {
+	if target < 0 || target >= len(g.adj) {
+		return nil, fmt.Errorf("target %d outside %d vertices: %w", target, len(g.adj), ErrBadGraph)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("size %d: %w", size, ErrBadGraph)
+	}
+	selected := make([]int, 0, size)
+	seen := make(map[int]bool, size*2)
+	queue := []int{target}
+	seen[target] = true
+	for len(queue) > 0 && len(selected) < size {
+		v := queue[0]
+		queue = queue[1:]
+		selected = append(selected, v)
+		for _, w32 := range g.adj[v] {
+			w := int(w32)
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return selected, nil
+}
+
+// CutSize counts edges with exactly one endpoint in the member set.
+func (g *Graph) CutSize(member []bool) (int, error) {
+	if len(member) != len(g.adj) {
+		return 0, fmt.Errorf("membership of length %d for %d vertices: %w", len(member), len(g.adj), ErrBadGraph)
+	}
+	var cut int
+	for v, neigh := range g.adj {
+		if !member[v] {
+			continue
+		}
+		for _, w := range neigh {
+			if !member[w] {
+				cut++
+			}
+		}
+	}
+	return cut, nil
+}
+
+// BLPOptions tunes RefineCut. The zero value selects defaults.
+type BLPOptions struct {
+	MaxIter int // maximum improvement rounds, default 20
+	// MaxSizeDrift bounds how far the inside-set size may drift from its
+	// starting value, as a fraction (default 0.02 = ±2%).
+	MaxSizeDrift float64
+}
+
+func (o BLPOptions) withDefaults() BLPOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 20
+	}
+	if o.MaxSizeDrift <= 0 {
+		o.MaxSizeDrift = 0.02
+	}
+	return o
+}
+
+// RefineCut runs balanced label propagation on a two-way partition: member
+// marks the inside set, keep is a vertex that must remain inside (Domo's
+// target unknown). Each round computes, for every vertex, the gain in cut
+// edges from switching sides, then greedily executes paired moves (one
+// leaving, one entering) plus any unpaired moves that respect the size
+// drift budget, exactly in the spirit of BLP's balanced relocation step.
+// It returns the refined membership (a new slice) and the final cut size.
+func (g *Graph) RefineCut(member []bool, keep int, opts BLPOptions) ([]bool, int, error) {
+	if len(member) != len(g.adj) {
+		return nil, 0, fmt.Errorf("membership of length %d for %d vertices: %w", len(member), len(g.adj), ErrBadGraph)
+	}
+	if keep < 0 || keep >= len(g.adj) || !member[keep] {
+		return nil, 0, fmt.Errorf("keep vertex %d not inside the partition: %w", keep, ErrBadGraph)
+	}
+	o := opts.withDefaults()
+	cur := make([]bool, len(member))
+	copy(cur, member)
+
+	startSize := 0
+	for _, in := range cur {
+		if in {
+			startSize++
+		}
+	}
+	drift := int(float64(startSize) * o.MaxSizeDrift)
+	minSize, maxSize := startSize-drift, startSize+drift
+
+	type move struct {
+		v    int
+		gain int // cut-edge reduction if v switches sides
+	}
+
+	for iter := 0; iter < o.MaxIter; iter++ {
+		var leaving, entering []move // leaving: inside→outside, entering: outside→inside
+		for v := range g.adj {
+			if v == keep {
+				continue
+			}
+			inside, outside := 0, 0
+			for _, w := range g.adj[v] {
+				if cur[w] {
+					inside++
+				} else {
+					outside++
+				}
+			}
+			if cur[v] {
+				// Switching out converts inside-edges to cut, cut to internal.
+				if gain := inside - outside; gain < 0 {
+					leaving = append(leaving, move{v: v, gain: -gain})
+				}
+			} else {
+				if gain := outside - inside; gain < 0 {
+					entering = append(entering, move{v: v, gain: -gain})
+				}
+			}
+		}
+		if len(leaving) == 0 && len(entering) == 0 {
+			break
+		}
+		sort.Slice(leaving, func(i, j int) bool { return leaving[i].gain > leaving[j].gain })
+		sort.Slice(entering, func(i, j int) bool { return entering[i].gain > entering[j].gain })
+
+		size := 0
+		for _, in := range cur {
+			if in {
+				size++
+			}
+		}
+		moved := 0
+		// Paired moves keep the partition size fixed.
+		pairs := len(leaving)
+		if len(entering) < pairs {
+			pairs = len(entering)
+		}
+		for k := 0; k < pairs; k++ {
+			cur[leaving[k].v] = false
+			cur[entering[k].v] = true
+			moved++
+		}
+		// Unpaired moves consume the drift budget.
+		for k := pairs; k < len(leaving) && size-1 >= minSize; k++ {
+			cur[leaving[k].v] = false
+			size--
+			moved++
+		}
+		for k := pairs; k < len(entering) && size+1 <= maxSize; k++ {
+			cur[entering[k].v] = true
+			size++
+			moved++
+		}
+		if moved == 0 {
+			break
+		}
+	}
+
+	cut, err := g.CutSize(cur)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cur, cut, nil
+}
+
+// ExtractTunedSubgraph is the full §IV-C pipeline: BFS ball of the given
+// size around target, then BLP boundary refinement. It returns the vertex
+// ids of the tuned sub-graph (target guaranteed present).
+func (g *Graph) ExtractTunedSubgraph(target, size int, opts BLPOptions) ([]int, error) {
+	initial, err := g.ExtractSubgraph(target, size)
+	if err != nil {
+		return nil, err
+	}
+	member := make([]bool, len(g.adj))
+	for _, v := range initial {
+		member[v] = true
+	}
+	refined, _, err := g.RefineCut(member, target, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(initial))
+	out = append(out, target)
+	for v, in := range refined {
+		if in && v != target {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,502 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs with free variables and two-sided row bounds:
+//
+//	minimize (or maximize)  cᵀx
+//	subject to              l_i ≤ a_iᵀx ≤ u_i
+//	                        lo_j ≤ x_j ≤ hi_j
+//
+// Domo uses it to compute the per-arrival-time lower and upper bounds
+// (min t / max t over a constraint sub-graph, §IV-C of the paper). The
+// solver targets the small-to-moderate instances produced by sub-graph
+// extraction; the scalable bound path in internal/core uses interval
+// propagation and falls back to this solver for exact answers.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is the magnitude treated as an absent bound.
+const Inf = math.MaxFloat64 / 4
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota + 1
+	StatusInfeasible
+	StatusUnbounded
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Sentinel errors.
+var (
+	ErrBadProblem = errors.New("lp: malformed problem")
+	ErrNumerical  = errors.New("lp: numerical failure")
+)
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// Constraint is a two-sided row l ≤ Σ terms ≤ u. Use ±Inf for one-sided rows.
+type Constraint struct {
+	Terms []Term
+	Lower float64
+	Upper float64
+}
+
+// Problem is a general-form LP.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // dense, length NumVars
+	Maximize    bool
+	Constraints []Constraint
+	VarLower    []float64 // optional; nil means all -Inf
+	VarUpper    []float64 // optional; nil means all +Inf
+}
+
+// Result reports the solution of a solve.
+type Result struct {
+	Status    Status
+	X         []float64 // meaningful when Status == StatusOptimal
+	Objective float64
+}
+
+// Solve runs two-phase simplex and returns the result. Infeasible and
+// unbounded problems are reported via Result.Status, not an error; errors
+// indicate malformed input or numerical breakdown.
+func Solve(p *Problem) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	std, err := toStandardForm(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := std.solve()
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != StatusOptimal {
+		return &Result{Status: res.Status}, nil
+	}
+	x := std.recoverOriginal(res.X)
+	obj := 0.0
+	for j, c := range p.Objective {
+		obj += c * x[j]
+	}
+	return &Result{Status: StatusOptimal, X: x, Objective: obj}, nil
+}
+
+func validate(p *Problem) error {
+	if p == nil {
+		return fmt.Errorf("nil problem: %w", ErrBadProblem)
+	}
+	if p.NumVars <= 0 {
+		return fmt.Errorf("NumVars = %d: %w", p.NumVars, ErrBadProblem)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("objective has %d coefficients, want %d: %w", len(p.Objective), p.NumVars, ErrBadProblem)
+	}
+	if p.VarLower != nil && len(p.VarLower) != p.NumVars {
+		return fmt.Errorf("VarLower has %d entries, want %d: %w", len(p.VarLower), p.NumVars, ErrBadProblem)
+	}
+	if p.VarUpper != nil && len(p.VarUpper) != p.NumVars {
+		return fmt.Errorf("VarUpper has %d entries, want %d: %w", len(p.VarUpper), p.NumVars, ErrBadProblem)
+	}
+	for i, c := range p.Constraints {
+		if c.Lower > c.Upper {
+			return fmt.Errorf("constraint %d has lower %g > upper %g: %w", i, c.Lower, c.Upper, ErrBadProblem)
+		}
+		for _, t := range c.Terms {
+			if t.Var < 0 || t.Var >= p.NumVars {
+				return fmt.Errorf("constraint %d references variable %d: %w", i, t.Var, ErrBadProblem)
+			}
+		}
+	}
+	for j := 0; j < p.NumVars; j++ {
+		lo, hi := varBounds(p, j)
+		if lo > hi {
+			return fmt.Errorf("variable %d has lower %g > upper %g: %w", j, lo, hi, ErrBadProblem)
+		}
+	}
+	return nil
+}
+
+func varBounds(p *Problem, j int) (lo, hi float64) {
+	lo, hi = -Inf, Inf
+	if p.VarLower != nil {
+		lo = p.VarLower[j]
+	}
+	if p.VarUpper != nil {
+		hi = p.VarUpper[j]
+	}
+	return lo, hi
+}
+
+// standardForm is min cᵀy s.t. Ay = b, y ≥ 0 plus the mapping back to the
+// original variables: x_j = shift_j + y[pos_j] - y[neg_j] (neg_j < 0 when
+// the variable was only shifted).
+type standardForm struct {
+	numOrig int
+	c       []float64
+	a       [][]float64 // dense rows
+	b       []float64
+	pos     []int // index of y representing the positive part of x_j
+	neg     []int // index of y for the negative part, or -1
+	shift   []float64
+}
+
+func toStandardForm(p *Problem) (*standardForm, error) {
+	s := &standardForm{numOrig: p.NumVars}
+	s.pos = make([]int, p.NumVars)
+	s.neg = make([]int, p.NumVars)
+	s.shift = make([]float64, p.NumVars)
+
+	// Allocate structural columns.
+	var numY int
+	type upperRow struct { // x_j ≤ hi becomes an extra row
+		j  int
+		hi float64
+	}
+	var upperRows []upperRow
+	for j := 0; j < p.NumVars; j++ {
+		lo, hi := varBounds(p, j)
+		switch {
+		case lo <= -Inf:
+			// Free (or only upper-bounded) variable: x = y⁺ - y⁻.
+			s.pos[j] = numY
+			s.neg[j] = numY + 1
+			s.shift[j] = 0
+			numY += 2
+		default:
+			// Lower-bounded: x = lo + y.
+			s.pos[j] = numY
+			s.neg[j] = -1
+			s.shift[j] = lo
+			numY++
+		}
+		if hi < Inf {
+			upperRows = append(upperRows, upperRow{j: j, hi: hi})
+		}
+	}
+
+	// Expand constraints into one-sided rows: aᵀx ≥ l and aᵀx ≤ u.
+	type row struct {
+		terms []Term
+		rhs   float64
+		geq   bool
+	}
+	var rows []row
+	for _, c := range p.Constraints {
+		if c.Lower == c.Upper {
+			rows = append(rows, row{terms: c.Terms, rhs: c.Lower, geq: true})
+			rows = append(rows, row{terms: c.Terms, rhs: c.Upper, geq: false})
+			continue
+		}
+		if c.Lower > -Inf {
+			rows = append(rows, row{terms: c.Terms, rhs: c.Lower, geq: true})
+		}
+		if c.Upper < Inf {
+			rows = append(rows, row{terms: c.Terms, rhs: c.Upper, geq: false})
+		}
+	}
+	for _, ur := range upperRows {
+		rows = append(rows, row{terms: []Term{{Var: ur.j, Coeff: 1}}, rhs: ur.hi, geq: false})
+	}
+
+	m := len(rows)
+	totalY := numY + m // one slack/surplus per row
+	s.c = make([]float64, totalY)
+	for j := 0; j < p.NumVars; j++ {
+		coef := p.Objective[j]
+		if p.Maximize {
+			coef = -coef
+		}
+		s.c[s.pos[j]] += coef
+		if s.neg[j] >= 0 {
+			s.c[s.neg[j]] -= coef
+		}
+	}
+
+	s.a = make([][]float64, m)
+	s.b = make([]float64, m)
+	for i, r := range rows {
+		arow := make([]float64, totalY)
+		rhs := r.rhs
+		for _, t := range r.terms {
+			arow[s.pos[t.Var]] += t.Coeff
+			if s.neg[t.Var] >= 0 {
+				arow[s.neg[t.Var]] -= t.Coeff
+			}
+			rhs -= t.Coeff * s.shift[t.Var]
+		}
+		if r.geq {
+			arow[numY+i] = -1 // surplus
+		} else {
+			arow[numY+i] = 1 // slack
+		}
+		// Normalize to non-negative rhs for phase 1.
+		if rhs < 0 {
+			for k := range arow {
+				arow[k] = -arow[k]
+			}
+			rhs = -rhs
+		}
+		s.a[i] = arow
+		s.b[i] = rhs
+	}
+	return s, nil
+}
+
+func (s *standardForm) recoverOriginal(y []float64) []float64 {
+	x := make([]float64, s.numOrig)
+	for j := 0; j < s.numOrig; j++ {
+		v := s.shift[j] + y[s.pos[j]]
+		if s.neg[j] >= 0 {
+			v -= y[s.neg[j]]
+		}
+		x[j] = v
+	}
+	return x
+}
+
+type stdResult struct {
+	Status Status
+	X      []float64
+}
+
+const (
+	_pivotEps    = 1e-9
+	_feasEps     = 1e-7
+	_maxPivots   = 200000
+	_degenerateK = 64 // consecutive degenerate pivots before switching to Bland's rule
+)
+
+// solve runs two-phase simplex on the standard-form program.
+func (s *standardForm) solve() (*stdResult, error) {
+	m := len(s.a)
+	n := 0
+	if m > 0 {
+		n = len(s.a[0])
+	} else {
+		n = len(s.c)
+	}
+	if m == 0 {
+		// No constraints: optimum is 0 unless some cost is negative (unbounded).
+		for _, cj := range s.c {
+			if cj < -_pivotEps {
+				return &stdResult{Status: StatusUnbounded}, nil
+			}
+		}
+		return &stdResult{Status: StatusOptimal, X: make([]float64, n)}, nil
+	}
+
+	// Phase 1 tableau with artificial variables.
+	total := n + m
+	t := newTableau(m, total)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		copy(t.rows[i], s.a[i])
+		t.rows[i][n+i] = 1
+		t.rhs[i] = s.b[i]
+		basis[i] = n + i
+	}
+	// Phase-1 objective: minimize sum of artificials.
+	cost := make([]float64, total)
+	for j := n; j < total; j++ {
+		cost[j] = 1
+	}
+	if status, err := t.run(cost, basis, total); err != nil {
+		return nil, err
+	} else if status == StatusUnbounded {
+		return nil, fmt.Errorf("phase 1 unbounded: %w", ErrNumerical)
+	}
+	if t.objective(cost, basis) > _feasEps {
+		return &stdResult{Status: StatusInfeasible}, nil
+	}
+	// Drive artificials out of the basis where possible.
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t.rows[i][j]) > _pivotEps {
+				t.pivot(i, j, basis)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; leave the artificial at zero.
+			continue
+		}
+	}
+
+	// Phase 2 with the real objective (artificial columns frozen).
+	cost2 := make([]float64, total)
+	copy(cost2, s.c)
+	for j := n; j < total; j++ {
+		cost2[j] = 0
+	}
+	status, err := t.runRestricted(cost2, basis, n)
+	if err != nil {
+		return nil, err
+	}
+	if status == StatusUnbounded {
+		return &stdResult{Status: StatusUnbounded}, nil
+	}
+	x := make([]float64, n)
+	for i, bj := range basis {
+		if bj < n {
+			x[bj] = t.rhs[i]
+		}
+	}
+	return &stdResult{Status: StatusOptimal, X: x}, nil
+}
+
+type tableau struct {
+	rows [][]float64
+	rhs  []float64
+}
+
+func newTableau(m, cols int) *tableau {
+	t := &tableau{rows: make([][]float64, m), rhs: make([]float64, m)}
+	for i := range t.rows {
+		t.rows[i] = make([]float64, cols)
+	}
+	return t
+}
+
+func (t *tableau) objective(cost []float64, basis []int) float64 {
+	var obj float64
+	for i, bj := range basis {
+		obj += cost[bj] * t.rhs[i]
+	}
+	return obj
+}
+
+// reducedCosts computes c_j - c_Bᵀ B⁻¹ a_j for all columns < limit given the
+// current (already pivoted) tableau.
+func (t *tableau) reducedCosts(cost []float64, basis []int, limit int) []float64 {
+	m := len(t.rows)
+	// y_i = cost of basis row i.
+	rc := make([]float64, limit)
+	copy(rc, cost[:limit])
+	for i := 0; i < m; i++ {
+		cb := cost[basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j < limit; j++ {
+			rc[j] -= cb * row[j]
+		}
+	}
+	return rc
+}
+
+func (t *tableau) pivot(row, col int, basis []int) {
+	pr := t.rows[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	t.rhs[row] *= inv
+	for i := range t.rows {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		t.rhs[i] -= f * t.rhs[row]
+	}
+	basis[row] = col
+}
+
+// run iterates primal simplex over all columns < limit.
+func (t *tableau) run(cost []float64, basis []int, limit int) (Status, error) {
+	return t.runRestricted(cost, basis, limit)
+}
+
+// runRestricted iterates primal simplex considering only entering columns
+// with index < limit (used in phase 2 to freeze artificial columns).
+func (t *tableau) runRestricted(cost []float64, basis []int, limit int) (Status, error) {
+	degenerate := 0
+	for pivots := 0; pivots < _maxPivots; pivots++ {
+		rc := t.reducedCosts(cost, basis, limit)
+		col := -1
+		useBland := degenerate >= _degenerateK
+		if useBland {
+			for j := 0; j < limit; j++ {
+				if rc[j] < -_pivotEps {
+					col = j
+					break
+				}
+			}
+		} else {
+			best := -_pivotEps
+			for j := 0; j < limit; j++ {
+				if rc[j] < best {
+					best = rc[j]
+					col = j
+				}
+			}
+		}
+		if col < 0 {
+			return StatusOptimal, nil
+		}
+		// Ratio test.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := range t.rows {
+			aij := t.rows[i][col]
+			if aij <= _pivotEps {
+				continue
+			}
+			ratio := t.rhs[i] / aij
+			if ratio < bestRatio-_pivotEps ||
+				(math.Abs(ratio-bestRatio) <= _pivotEps && (row < 0 || basis[i] < basis[row])) {
+				bestRatio = ratio
+				row = i
+			}
+		}
+		if row < 0 {
+			return StatusUnbounded, nil
+		}
+		if bestRatio <= _feasEps {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		t.pivot(row, col, basis)
+	}
+	return 0, fmt.Errorf("pivot limit %d exceeded: %w", _maxPivots, ErrNumerical)
+}

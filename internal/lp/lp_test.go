@@ -1,0 +1,356 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveSimpleMax(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x ≤ 2, x,y ≥ 0 → x=2, y=2, obj=10.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{3, 2},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Terms: []Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, Lower: -Inf, Upper: 4},
+			{Terms: []Term{{Var: 0, Coeff: 1}}, Lower: -Inf, Upper: 2},
+		},
+		VarLower: []float64{0, 0},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if math.Abs(res.Objective-10) > 1e-6 {
+		t.Errorf("objective = %g, want 10", res.Objective)
+	}
+	if math.Abs(res.X[0]-2) > 1e-6 || math.Abs(res.X[1]-2) > 1e-6 {
+		t.Errorf("x = %v, want [2 2]", res.X)
+	}
+}
+
+func TestSolveMinWithEquality(t *testing.T) {
+	// min x + y s.t. x + y = 3, x ≥ 1, y ≥ 0 → obj 3.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Terms: []Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, Lower: 3, Upper: 3},
+		},
+		VarLower: []float64{1, 0},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if math.Abs(res.Objective-3) > 1e-6 {
+		t.Errorf("objective = %g, want 3", res.Objective)
+	}
+}
+
+func TestSolveFreeVariables(t *testing.T) {
+	// min t1 s.t. t1 - t0 ≥ 5, t0 = 10 (free variables) → t1 = 15.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{0, 1},
+		Constraints: []Constraint{
+			{Terms: []Term{{Var: 1, Coeff: 1}, {Var: 0, Coeff: -1}}, Lower: 5, Upper: Inf},
+			{Terms: []Term{{Var: 0, Coeff: 1}}, Lower: 10, Upper: 10},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if math.Abs(res.X[1]-15) > 1e-6 {
+		t.Errorf("t1 = %g, want 15", res.X[1])
+	}
+}
+
+func TestSolveMaxFreeVariableUpperBound(t *testing.T) {
+	// max t1 s.t. t1 - t0 ≤ 7, t0 = 2 → t1 = 9.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{0, 1},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Terms: []Term{{Var: 1, Coeff: 1}, {Var: 0, Coeff: -1}}, Lower: -Inf, Upper: 7},
+			{Terms: []Term{{Var: 0, Coeff: 1}}, Lower: 2, Upper: 2},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if math.Abs(res.X[1]-9) > 1e-6 {
+		t.Errorf("t1 = %g, want 9", res.X[1])
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Terms: []Term{{Var: 0, Coeff: 1}}, Lower: 5, Upper: Inf},
+			{Terms: []Term{{Var: 0, Coeff: 1}}, Lower: -Inf, Upper: 3},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Terms: []Term{{Var: 0, Coeff: 1}}, Lower: 0, Upper: Inf},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusUnbounded {
+		t.Errorf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestSolveVariableBoundsOnly(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-1, 1},
+		VarLower:  []float64{-3, 2},
+		VarUpper:  []float64{5, 8},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if math.Abs(res.X[0]-5) > 1e-6 || math.Abs(res.X[1]-2) > 1e-6 {
+		t.Errorf("x = %v, want [5 2]", res.X)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Problem
+	}{
+		{"nil", nil},
+		{"no vars", &Problem{NumVars: 0}},
+		{"wrong objective", &Problem{NumVars: 2, Objective: []float64{1}}},
+		{"bad var ref", &Problem{NumVars: 1, Objective: []float64{1},
+			Constraints: []Constraint{{Terms: []Term{{Var: 3, Coeff: 1}}, Upper: Inf, Lower: -Inf}}}},
+		{"crossed row bounds", &Problem{NumVars: 1, Objective: []float64{1},
+			Constraints: []Constraint{{Terms: []Term{{Var: 0, Coeff: 1}}, Lower: 2, Upper: 1}}}},
+		{"crossed var bounds", &Problem{NumVars: 1, Objective: []float64{1},
+			VarLower: []float64{3}, VarUpper: []float64{1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Solve(tc.p); !errors.Is(err, ErrBadProblem) {
+				t.Errorf("error = %v, want ErrBadProblem", err)
+			}
+		})
+	}
+}
+
+// Difference-constraint LPs: min t_k subject to t_j - t_i ≥ w over a DAG
+// with t_0 fixed equals the longest path from vertex 0 to k. This mirrors
+// exactly how Domo's bound problems are shaped.
+func TestSolveDifferenceConstraintsMatchLongestPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(8)
+		type edge struct {
+			from, to int
+			w        float64
+		}
+		var edges []edge
+		// Spanning chain guarantees reachability of every vertex from 0.
+		for v := 1; v < n; v++ {
+			edges = append(edges, edge{from: v - 1, to: v, w: 1 + rng.Float64()*9})
+		}
+		// Random extra forward edges keep the system a DAG (bounded).
+		for e := 0; e < n; e++ {
+			from := rng.Intn(n - 1)
+			to := from + 1 + rng.Intn(n-from-1)
+			edges = append(edges, edge{from: from, to: to, w: 1 + rng.Float64()*9})
+		}
+
+		// Longest-path distances from 0 (vertices are topologically ordered).
+		dist := make([]float64, n)
+		for v := 1; v < n; v++ {
+			dist[v] = math.Inf(-1)
+		}
+		for v := 0; v < n; v++ {
+			for _, e := range edges {
+				if e.from == v && dist[v] > math.Inf(-1) && dist[v]+e.w > dist[e.to] {
+					dist[e.to] = dist[v] + e.w
+				}
+			}
+		}
+
+		target := n - 1
+		p := &Problem{
+			NumVars:   n,
+			Objective: make([]float64, n),
+			Constraints: []Constraint{
+				{Terms: []Term{{Var: 0, Coeff: 1}}, Lower: 0, Upper: 0},
+			},
+		}
+		p.Objective[target] = 1
+		for _, e := range edges {
+			p.Constraints = append(p.Constraints, Constraint{
+				Terms: []Term{{Var: e.to, Coeff: 1}, {Var: e.from, Coeff: -1}},
+				Lower: e.w,
+				Upper: Inf,
+			})
+		}
+		res, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		if res.Status != StatusOptimal {
+			t.Fatalf("trial %d: status = %v, want optimal", trial, res.Status)
+		}
+		if math.Abs(res.Objective-dist[target]) > 1e-6 {
+			t.Errorf("trial %d: min t_%d = %g, want longest path %g",
+				trial, target, res.Objective, dist[target])
+		}
+	}
+}
+
+func TestSolveNoConstraintsMinimizeZeroObjective(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{0, 0}}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusOptimal {
+		t.Errorf("status = %v, want optimal", res.Status)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusOptimal.String() != "optimal" ||
+		StatusInfeasible.String() != "infeasible" ||
+		StatusUnbounded.String() != "unbounded" {
+		t.Error("Status.String() names wrong")
+	}
+	if Status(99).String() != "Status(99)" {
+		t.Errorf("unknown status = %q", Status(99).String())
+	}
+}
+
+func BenchmarkSolveDifferenceChain(b *testing.B) {
+	n := 60
+	p := &Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		Constraints: []Constraint{
+			{Terms: []Term{{Var: 0, Coeff: 1}}, Lower: 0, Upper: 0},
+		},
+	}
+	p.Objective[n-1] = 1
+	for v := 1; v < n; v++ {
+		p.Constraints = append(p.Constraints, Constraint{
+			Terms: []Term{{Var: v, Coeff: 1}, {Var: v - 1, Coeff: -1}},
+			Lower: 2,
+			Upper: Inf,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSolveTwoSidedRow(t *testing.T) {
+	// max x s.t. 2 ≤ x + y ≤ 6, 0 ≤ y ≤ 1, 0 ≤ x → x = 6 (y = 0).
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 0},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Terms: []Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, Lower: 2, Upper: 6},
+		},
+		VarLower: []float64{0, 0},
+		VarUpper: []float64{Inf, 1},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-6) > 1e-6 {
+		t.Errorf("objective = %g, want 6", res.Objective)
+	}
+	// And the lower side binds when minimizing.
+	p.Maximize = false
+	res, err = Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if sum := res.X[0] + res.X[1]; sum < 2-1e-6 {
+		t.Errorf("lower side violated: x+y = %g", sum)
+	}
+}
+
+func TestSolveDegenerateEqualityChain(t *testing.T) {
+	// A chain of equalities forcing a unique point: x0=1, x1-x0=2, x2-x1=3.
+	p := &Problem{
+		NumVars:   3,
+		Objective: []float64{0, 0, 1},
+		Constraints: []Constraint{
+			{Terms: []Term{{Var: 0, Coeff: 1}}, Lower: 1, Upper: 1},
+			{Terms: []Term{{Var: 1, Coeff: 1}, {Var: 0, Coeff: -1}}, Lower: 2, Upper: 2},
+			{Terms: []Term{{Var: 2, Coeff: 1}, {Var: 1, Coeff: -1}}, Lower: 3, Upper: 3},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	want := []float64{1, 3, 6}
+	for i, v := range want {
+		if math.Abs(res.X[i]-v) > 1e-6 {
+			t.Errorf("x[%d] = %g, want %g", i, res.X[i], v)
+		}
+	}
+}

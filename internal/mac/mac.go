@@ -1,0 +1,440 @@
+// Package mac implements the CSMA/CA link layer of the simulated network:
+// per-node FIFO send queues, clear-channel assessment with random backoff,
+// unicast acknowledgements with retransmission, broadcast frames, a
+// collision model, and — critically for Domo — start-frame-delimiter (SFD)
+// timing callbacks.
+//
+// The SFD callbacks mirror the CC2420 interrupts the paper's TinyOS
+// implementation hooks (§V): OnTxSFD fires at the start of every transmit
+// attempt and the receive SFD time is reported alongside every successful
+// reception. Because radio propagation is effectively instantaneous at
+// these ranges, the transmit and receive SFD timestamps coincide, which is
+// exactly the property Domo's node-delay measurement relies on.
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+)
+
+// Broadcast addresses a frame to every node in radio range.
+const Broadcast radio.NodeID = -1
+
+// Sentinel errors.
+var (
+	ErrQueueFull = errors.New("mac: send queue full")
+	ErrBadFrame  = errors.New("mac: malformed frame")
+)
+
+// FrameKind discriminates link-layer frames.
+type FrameKind int
+
+// Frame kinds.
+const (
+	FrameData FrameKind = iota + 1
+	FrameBeacon
+)
+
+// String returns the frame kind name.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameData:
+		return "data"
+	case FrameBeacon:
+		return "beacon"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", int(k))
+	}
+}
+
+// Frame is a link-layer frame. Payload is owned by the upper layer.
+type Frame struct {
+	Kind    FrameKind
+	Src     radio.NodeID
+	Dst     radio.NodeID // Broadcast for beacons
+	Bytes   int          // payload length used for airtime
+	Payload any
+
+	id      uint64
+	attempt int
+}
+
+// Attempts returns how many transmit attempts the frame has used so far.
+func (f *Frame) Attempts() int { return f.attempt }
+
+// Config holds MAC timing and policy parameters. The zero value selects
+// defaults approximating a 250 kbit/s 802.15.4 radio under TinyOS CSMA.
+type Config struct {
+	ByteTime          time.Duration // airtime per byte, default 32µs
+	FrameOverhead     int           // PHY+MAC header bytes, default 17
+	AckDuration       time.Duration // default 352µs
+	AckTurnaround     time.Duration // RX→TX turnaround before the ACK, default 192µs
+	AckTimeout        time.Duration // wait after TX end, default 1ms
+	InitialBackoffMax time.Duration // uniform [0, max), default 10ms
+	CongestionBackoff time.Duration // uniform [0, max) on busy channel, default 2.5ms
+	MaxRetries        int           // retransmissions after the first attempt, default 5
+	QueueCap          int           // FIFO send queue capacity, default 12
+	CCARange          float64       // carrier-sense / interference range, default 55m
+}
+
+func (c Config) withDefaults() Config {
+	if c.ByteTime <= 0 {
+		c.ByteTime = 32 * time.Microsecond
+	}
+	if c.FrameOverhead <= 0 {
+		c.FrameOverhead = 17
+	}
+	if c.AckDuration <= 0 {
+		c.AckDuration = 352 * time.Microsecond
+	}
+	if c.AckTurnaround <= 0 {
+		c.AckTurnaround = 192 * time.Microsecond
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = time.Millisecond
+	}
+	if c.InitialBackoffMax <= 0 {
+		c.InitialBackoffMax = 10 * time.Millisecond
+	}
+	if c.CongestionBackoff <= 0 {
+		c.CongestionBackoff = 2500 * time.Microsecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 12
+	}
+	if c.CCARange <= 0 {
+		c.CCARange = 55
+	}
+	return c
+}
+
+// Delegate receives upper-layer callbacks from a node's MAC.
+type Delegate interface {
+	// OnTxSFD fires at the start of every transmit attempt of a frame.
+	OnTxSFD(f *Frame, sfdAt sim.Time)
+	// OnReceive fires when a frame is successfully received. sfdAt is the
+	// receive-SFD time (start of the frame on air), at is completion.
+	OnReceive(f *Frame, sfdAt, at sim.Time)
+	// OnSendDone fires when the MAC finishes with a frame: acknowledged
+	// (success) or dropped after exhausting retries.
+	OnSendDone(f *Frame, success bool, at sim.Time)
+}
+
+// Medium is the shared radio channel joining all MACs.
+type Medium struct {
+	engine  *sim.Engine
+	topo    *radio.Topology
+	links   *radio.LinkModel
+	cfg     Config
+	macs    map[radio.NodeID]*MAC
+	active  map[uint64]*transmission
+	frameID uint64
+
+	// Stats observed by benches and tests.
+	StatFramesSent     uint64
+	StatFramesDropped  uint64
+	StatCollisions     uint64
+	StatAcksLost       uint64
+	StatQueueOverflows uint64
+}
+
+type transmission struct {
+	frame     *Frame
+	src       radio.NodeID
+	start     sim.Time
+	end       sim.Time
+	corrupted map[radio.NodeID]bool
+	receivers []radio.NodeID
+}
+
+// NewMedium creates the shared channel.
+func NewMedium(engine *sim.Engine, topo *radio.Topology, links *radio.LinkModel, cfg Config) *Medium {
+	return &Medium{
+		engine: engine,
+		topo:   topo,
+		links:  links,
+		cfg:    cfg.withDefaults(),
+		macs:   make(map[radio.NodeID]*MAC),
+		active: make(map[uint64]*transmission),
+	}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (m *Medium) Config() Config { return m.cfg }
+
+// AttachMAC creates (or returns) the MAC instance for a node.
+func (m *Medium) AttachMAC(id radio.NodeID, delegate Delegate) *MAC {
+	if mc, ok := m.macs[id]; ok {
+		mc.delegate = delegate
+		return mc
+	}
+	mc := &MAC{id: id, medium: m, delegate: delegate}
+	m.macs[id] = mc
+	return mc
+}
+
+// channelBusy reports whether node id senses energy on the channel.
+func (m *Medium) channelBusy(id radio.NodeID) bool {
+	now := m.engine.Now()
+	for _, tx := range m.active {
+		if tx.end <= now {
+			continue
+		}
+		if tx.src == id {
+			return true
+		}
+		if m.topo.Distance(id, tx.src) < m.cfg.CCARange {
+			return true
+		}
+	}
+	return false
+}
+
+// dataDuration returns airtime for a data/beacon frame.
+func (m *Medium) dataDuration(f *Frame) time.Duration {
+	return time.Duration(f.Bytes+m.cfg.FrameOverhead) * m.cfg.ByteTime
+}
+
+// begin starts a transmission and arranges its delivery.
+func (m *Medium) begin(src radio.NodeID, f *Frame, onDone func(acked bool)) {
+	now := m.engine.Now()
+	dur := m.dataDuration(f)
+	m.frameID++
+	tx := &transmission{
+		frame:     f,
+		src:       src,
+		start:     now,
+		end:       now + dur,
+		corrupted: make(map[radio.NodeID]bool),
+	}
+	if f.Dst == Broadcast {
+		for i := 0; i < m.topo.NumNodes(); i++ {
+			n := radio.NodeID(i)
+			if n != src && m.links.Connected(src, n) {
+				tx.receivers = append(tx.receivers, n)
+			}
+		}
+	} else {
+		tx.receivers = []radio.NodeID{f.Dst}
+	}
+
+	// Eager collision marking against concurrently active transmissions.
+	for _, other := range m.active {
+		if other.end <= now {
+			continue
+		}
+		for _, r := range other.receivers {
+			if r != tx.src && m.topo.Distance(r, tx.src) < m.cfg.CCARange {
+				if !other.corrupted[r] {
+					m.StatCollisions++
+				}
+				other.corrupted[r] = true
+			}
+		}
+		for _, r := range tx.receivers {
+			if r != other.src && m.topo.Distance(r, other.src) < m.cfg.CCARange {
+				if !tx.corrupted[r] {
+					m.StatCollisions++
+				}
+				tx.corrupted[r] = true
+			}
+			// A receiver that is itself transmitting cannot hear the frame.
+			if r == other.src {
+				tx.corrupted[r] = true
+			}
+		}
+	}
+
+	id := m.frameID
+	m.active[id] = tx
+	m.StatFramesSent++
+
+	m.engine.ScheduleAt(tx.end, func() {
+		delete(m.active, id)
+		m.deliver(tx, onDone)
+	})
+}
+
+// deliver completes a transmission: per-receiver loss sampling, reception
+// callbacks, and the ACK exchange for unicast data.
+func (m *Medium) deliver(tx *transmission, onDone func(acked bool)) {
+	f := tx.frame
+	if f.Dst == Broadcast {
+		for _, r := range tx.receivers {
+			if tx.corrupted[r] {
+				continue
+			}
+			if !m.links.Sample(tx.src, r) {
+				continue
+			}
+			if rm, ok := m.macs[r]; ok && !rm.down && rm.delegate != nil {
+				rm.delegate.OnReceive(f, tx.start, tx.end)
+			}
+		}
+		if onDone != nil {
+			onDone(true)
+		}
+		return
+	}
+
+	r := f.Dst
+	rm, hasReceiver := m.macs[r]
+	received := hasReceiver && !rm.down && !tx.corrupted[r] && m.links.Sample(tx.src, r)
+	if received && rm.delegate != nil {
+		rm.delegate.OnReceive(f, tx.start, tx.end)
+	}
+	if !received {
+		// The sender can only learn of the loss by waiting out the ACK.
+		m.engine.ScheduleAt(tx.end+m.cfg.AckTimeout, func() {
+			if onDone != nil {
+				onDone(false)
+			}
+		})
+		return
+	}
+	// Hardware-style auto-ACK on the reverse link.
+	acked := m.links.Sample(r, tx.src)
+	doneAt := tx.end + m.cfg.AckTurnaround + m.cfg.AckDuration
+	if !acked {
+		m.StatAcksLost++
+		doneAt = tx.end + m.cfg.AckTimeout
+	}
+	m.engine.ScheduleAt(doneAt, func() {
+		if onDone != nil {
+			onDone(acked)
+		}
+	})
+}
+
+// MAC is one node's link layer: a FIFO send queue plus CSMA state.
+type MAC struct {
+	id       radio.NodeID
+	medium   *Medium
+	delegate Delegate
+	queue    []*Frame
+	sending  bool
+	down     bool
+}
+
+// ID returns the node this MAC belongs to.
+func (mc *MAC) ID() radio.NodeID { return mc.id }
+
+// QueueLen returns the current FIFO queue depth.
+func (mc *MAC) QueueLen() int { return len(mc.queue) }
+
+// SetDown powers the radio off (true) or on (false). A down radio neither
+// receives, acknowledges, nor transmits; its queue is discarded.
+func (mc *MAC) SetDown(down bool) {
+	mc.down = down
+	if down {
+		mc.queue = nil
+		mc.sending = false
+	}
+}
+
+// Down reports whether the radio is powered off.
+func (mc *MAC) Down() bool { return mc.down }
+
+// Send appends a frame to the FIFO send queue.
+func (mc *MAC) Send(f *Frame) error {
+	if f == nil || f.Kind == 0 {
+		return fmt.Errorf("nil or kindless frame: %w", ErrBadFrame)
+	}
+	if f.Kind == FrameData && f.Dst == Broadcast {
+		return fmt.Errorf("data frames must be unicast: %w", ErrBadFrame)
+	}
+	if f.Src != mc.id {
+		return fmt.Errorf("frame src %d sent from node %d: %w", f.Src, mc.id, ErrBadFrame)
+	}
+	if mc.down {
+		return fmt.Errorf("node %d radio is down: %w", mc.id, ErrBadFrame)
+	}
+	if len(mc.queue) >= mc.medium.cfg.QueueCap {
+		mc.medium.StatQueueOverflows++
+		return fmt.Errorf("node %d at capacity %d: %w", mc.id, mc.medium.cfg.QueueCap, ErrQueueFull)
+	}
+	mc.queue = append(mc.queue, f)
+	if !mc.sending {
+		mc.startHead()
+	}
+	return nil
+}
+
+// startHead begins the CSMA cycle for the frame at the queue head.
+func (mc *MAC) startHead() {
+	if len(mc.queue) == 0 {
+		mc.sending = false
+		return
+	}
+	mc.sending = true
+	backoff := mc.randomDelay(mc.medium.cfg.InitialBackoffMax)
+	mc.medium.engine.Schedule(backoff, mc.cca)
+}
+
+// cca performs clear-channel assessment, backing off while busy.
+func (mc *MAC) cca() {
+	if mc.down || len(mc.queue) == 0 {
+		mc.sending = false
+		return
+	}
+	if mc.medium.channelBusy(mc.id) {
+		mc.medium.engine.Schedule(mc.randomDelay(mc.medium.cfg.CongestionBackoff), mc.cca)
+		return
+	}
+	mc.transmitHead()
+}
+
+// transmitHead puts the head frame on air.
+func (mc *MAC) transmitHead() {
+	f := mc.queue[0]
+	f.attempt++
+	if mc.delegate != nil {
+		mc.delegate.OnTxSFD(f, mc.medium.engine.Now())
+	}
+	mc.medium.begin(mc.id, f, func(acked bool) {
+		mc.onAttemptDone(f, acked)
+	})
+}
+
+// onAttemptDone handles ACK success, retransmission, and final drop.
+func (mc *MAC) onAttemptDone(f *Frame, acked bool) {
+	if f.Kind == FrameBeacon {
+		mc.finishHead(f, true)
+		return
+	}
+	if acked {
+		mc.finishHead(f, true)
+		return
+	}
+	if f.attempt > mc.medium.cfg.MaxRetries {
+		mc.medium.StatFramesDropped++
+		mc.finishHead(f, false)
+		return
+	}
+	mc.medium.engine.Schedule(mc.randomDelay(mc.medium.cfg.CongestionBackoff), mc.cca)
+}
+
+// finishHead pops the head frame, notifies the delegate, and moves on.
+func (mc *MAC) finishHead(f *Frame, success bool) {
+	if len(mc.queue) > 0 && mc.queue[0] == f {
+		mc.queue = mc.queue[1:]
+	}
+	if mc.delegate != nil {
+		mc.delegate.OnSendDone(f, success, mc.medium.engine.Now())
+	}
+	mc.startHead()
+}
+
+func (mc *MAC) randomDelay(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(mc.medium.engine.RNG().Int63n(int64(max)))
+}

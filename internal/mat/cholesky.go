@@ -1,0 +1,156 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization
+// encounters a non-positive pivot.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of A = L·Lᵀ.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle (full storage for simplicity)
+}
+
+// NewCholesky factorizes the symmetric positive-definite matrix a.
+// Only the lower triangle of a is read.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("cholesky of %dx%d: %w", a.Rows(), a.Cols(), ErrDimensionMismatch)
+	}
+	n := a.Rows()
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("pivot %d is %g: %w", i, s, ErrNotPositiveDefinite)
+				}
+				l[i*n+i] = math.Sqrt(s)
+			} else {
+				l[i*n+j] = s / l[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Order returns the dimension of the factorized matrix.
+func (c *Cholesky) Order() int { return c.n }
+
+// Solve solves A·x = b and returns x.
+func (c *Cholesky) Solve(b *Vector) (*Vector, error) {
+	if b.Len() != c.n {
+		return nil, fmt.Errorf("cholesky solve with rhs %d (order %d): %w", b.Len(), c.n, ErrDimensionMismatch)
+	}
+	x := b.Clone()
+	c.SolveInPlace(x)
+	return x, nil
+}
+
+// SolveInPlace solves A·x = b, overwriting b with x. The length of b must
+// equal the factorization order.
+func (c *Cholesky) SolveInPlace(b *Vector) {
+	n := c.n
+	d := b.Data()
+	// Forward substitution: L·y = b.
+	for i := 0; i < n; i++ {
+		s := d[i]
+		row := c.l[i*n : i*n+i]
+		for k, lv := range row {
+			s -= lv * d[k]
+		}
+		d[i] = s / c.l[i*n+i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := d[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l[k*n+i] * d[k]
+		}
+		d[i] = s / c.l[i*n+i]
+	}
+}
+
+// LDL holds the factors of A = L·D·Lᵀ for a symmetric (possibly indefinite
+// but factorizable without pivoting) matrix. It tolerates semi-definite
+// matrices better than plain Cholesky when pivots stay away from zero.
+type LDL struct {
+	n int
+	l []float64
+	d []float64
+}
+
+// NewLDL factorizes the symmetric matrix a as L·D·Lᵀ without pivoting.
+// It fails if any pivot magnitude falls below tol.
+func NewLDL(a *Matrix, tol float64) (*LDL, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("ldl of %dx%d: %w", a.Rows(), a.Cols(), ErrDimensionMismatch)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	n := a.Rows()
+	l := make([]float64, n*n)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		l[i*n+i] = 1
+	}
+	for j := 0; j < n; j++ {
+		dj := a.At(j, j)
+		for k := 0; k < j; k++ {
+			dj -= l[j*n+k] * l[j*n+k] * d[k]
+		}
+		if math.Abs(dj) < tol {
+			return nil, fmt.Errorf("pivot %d is %g (tol %g): %w", j, dj, tol, ErrNotPositiveDefinite)
+		}
+		d[j] = dj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k] * d[k]
+			}
+			l[i*n+j] = s / dj
+		}
+	}
+	return &LDL{n: n, l: l, d: d}, nil
+}
+
+// Solve solves A·x = b and returns x.
+func (f *LDL) Solve(b *Vector) (*Vector, error) {
+	if b.Len() != f.n {
+		return nil, fmt.Errorf("ldl solve with rhs %d (order %d): %w", b.Len(), f.n, ErrDimensionMismatch)
+	}
+	n := f.n
+	x := b.Clone()
+	d := x.Data()
+	// L·y = b.
+	for i := 0; i < n; i++ {
+		s := d[i]
+		for k := 0; k < i; k++ {
+			s -= f.l[i*n+k] * d[k]
+		}
+		d[i] = s
+	}
+	// D·z = y.
+	for i := 0; i < n; i++ {
+		d[i] /= f.d[i]
+	}
+	// Lᵀ·x = z.
+	for i := n - 1; i >= 0; i-- {
+		s := d[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.l[k*n+i] * d[k]
+		}
+		d[i] = s
+	}
+	return x, nil
+}

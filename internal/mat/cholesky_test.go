@@ -1,0 +1,166 @@
+package mat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randomSPD builds a random symmetric positive-definite matrix A = BᵀB + εI.
+func randomSPD(n int, rng *rand.Rand) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data() {
+		b.Data()[i] = rng.NormFloat64()
+	}
+	a, err := b.Transpose().Mul(b)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 0.5)
+	}
+	return a
+}
+
+func TestCholeskySolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		a := randomSPD(n, rng)
+		chol, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: NewCholesky: %v", n, err)
+		}
+		b := NewVector(n)
+		for i := 0; i < n; i++ {
+			b.Set(i, rng.NormFloat64())
+		}
+		x, err := chol.Solve(b)
+		if err != nil {
+			t.Fatalf("n=%d: Solve: %v", n, err)
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ax.Sub(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NormInf() > 1e-8*(1+b.NormInf()) {
+			t.Errorf("n=%d: residual %g too large", n, res.NormInf())
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a, err := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCholesky(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Errorf("NewCholesky(indefinite) error = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := NewCholesky(NewMatrix(2, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("NewCholesky(2x3) error = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestCholeskySolveWrongRHS(t *testing.T) {
+	chol, err := NewCholesky(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chol.Solve(NewVector(2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Solve wrong rhs error = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestLDLSolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 3, 10, 40} {
+		a := randomSPD(n, rng)
+		f, err := NewLDL(a, 0)
+		if err != nil {
+			t.Fatalf("n=%d: NewLDL: %v", n, err)
+		}
+		b := NewVector(n)
+		for i := 0; i < n; i++ {
+			b.Set(i, rng.NormFloat64())
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatalf("n=%d: Solve: %v", n, err)
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ax.Sub(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NormInf() > 1e-8*(1+b.NormInf()) {
+			t.Errorf("n=%d: residual %g too large", n, res.NormInf())
+		}
+	}
+}
+
+func TestLDLHandlesIndefinite(t *testing.T) {
+	// Symmetric indefinite but LDL-factorizable without pivoting.
+	a, err := NewMatrixFrom(2, 2, []float64{2, 3, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewLDL(a, 0)
+	if err != nil {
+		t.Fatalf("NewLDL(indefinite): %v", err)
+	}
+	b := NewVectorFrom([]float64{5, 4})
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, err := a.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ax.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NormInf() > 1e-10 {
+		t.Errorf("LDL indefinite residual %g too large", res.NormInf())
+	}
+}
+
+func TestLDLRejectsZeroPivot(t *testing.T) {
+	a, err := NewMatrixFrom(2, 2, []float64{0, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLDL(a, 1e-9); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Errorf("NewLDL(zero pivot) error = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func BenchmarkCholeskyFactorSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(100, rng)
+	rhs := NewVector(100)
+	for i := 0; i < 100; i++ {
+		rhs.Set(i, rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chol, err := NewCholesky(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chol.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi method. It returns the eigenvalues in ascending order
+// and the matching eigenvectors as the columns of the returned matrix, so
+// that A = V·diag(λ)·Vᵀ.
+//
+// The Jacobi method is quadratic-cost per sweep but unconditionally stable
+// and accurate for the moderate orders (≤ a few hundred) the Domo SDR
+// produces.
+func EigenSym(a *Matrix) (eigenvalues []float64, eigenvectors *Matrix, err error) {
+	if a.Rows() != a.Cols() {
+		return nil, nil, fmt.Errorf("eigensym of %dx%d: %w", a.Rows(), a.Cols(), ErrDimensionMismatch)
+	}
+	n := a.Rows()
+	if n == 0 {
+		return nil, NewMatrix(0, 0), nil
+	}
+	w := a.Clone()
+	if err := w.Symmetrize(); err != nil {
+		return nil, nil, err
+	}
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= 1e-13*(1+w.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Skip rotations that cannot improve the result.
+				if math.Abs(apq) <= 1e-16*(math.Abs(app)+math.Abs(aqq)) {
+					w.Set(p, q, 0)
+					w.Set(q, p, 0)
+					continue
+				}
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				applyJacobiRotation(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	eigenvalues = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eigenvalues[i] = w.At(i, i)
+	}
+	// Sort eigenvalues ascending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return eigenvalues[idx[i]] < eigenvalues[idx[j]] })
+	sorted := make([]float64, n)
+	vecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sorted[newCol] = eigenvalues[oldCol]
+		for r := 0; r < n; r++ {
+			vecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sorted, vecs, nil
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	n := m.Rows()
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			x := m.At(i, j)
+			s += 2 * x * x
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// applyJacobiRotation applies the Givens rotation G(p,q,θ) to w (two-sided)
+// and accumulates it into v (one-sided, columns).
+func applyJacobiRotation(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows()
+	app := w.At(p, p)
+	aqq := w.At(q, q)
+	apq := w.At(p, q)
+
+	w.Set(p, p, c*c*app-2*s*c*apq+s*s*aqq)
+	w.Set(q, q, s*s*app+2*s*c*apq+c*c*aqq)
+	w.Set(p, q, 0)
+	w.Set(q, p, 0)
+	for k := 0; k < n; k++ {
+		if k == p || k == q {
+			continue
+		}
+		akp := w.At(k, p)
+		akq := w.At(k, q)
+		w.Set(k, p, c*akp-s*akq)
+		w.Set(p, k, c*akp-s*akq)
+		w.Set(k, q, s*akp+c*akq)
+		w.Set(q, k, s*akp+c*akq)
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// ProjectPSD returns the Euclidean (Frobenius) projection of the symmetric
+// matrix a onto the cone of positive-semidefinite matrices: negative
+// eigenvalues are clipped to zero and the matrix is rebuilt.
+func ProjectPSD(a *Matrix) (*Matrix, error) {
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		return nil, fmt.Errorf("psd projection: %w", err)
+	}
+	n := a.Rows()
+	out := NewMatrix(n, n)
+	for k, lambda := range vals {
+		if lambda <= 0 {
+			continue
+		}
+		// out += λ · v_k v_kᵀ, using the k-th eigenvector column.
+		for i := 0; i < n; i++ {
+			vik := vecs.At(i, k)
+			if vik == 0 {
+				continue
+			}
+			f := lambda * vik
+			row := out.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] += f * vecs.At(j, k)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MinEigenvalue returns the smallest eigenvalue of a symmetric matrix.
+func MinEigenvalue(a *Matrix) (float64, error) {
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(vals) == 0 {
+		return 0, nil
+	}
+	return vals[0], nil
+}

@@ -1,0 +1,235 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSymmetric(n int, rng *rand.Rand) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			x := rng.NormFloat64()
+			a.Set(i, j, x)
+			a.Set(j, i, x)
+		}
+	}
+	return a
+}
+
+// reconstruct builds V·diag(λ)·Vᵀ.
+func reconstruct(vals []float64, vecs *Matrix) *Matrix {
+	n := vecs.Rows()
+	out := NewMatrix(n, n)
+	for k, lambda := range vals {
+		for i := 0; i < n; i++ {
+			f := lambda * vecs.At(i, k)
+			for j := 0; j < n; j++ {
+				out.Add(i, j, f*vecs.At(j, k))
+			}
+		}
+	}
+	return out
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 8, 25, 60} {
+		a := randomSymmetric(n, rng)
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			t.Fatalf("n=%d: EigenSym: %v", n, err)
+		}
+		back := reconstruct(vals, vecs)
+		d, err := a.MaxAbsDiff(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 1e-8*(1+a.FrobeniusNorm()) {
+			t.Errorf("n=%d: reconstruction error %g too large", n, d)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1] {
+				t.Errorf("n=%d: eigenvalues not ascending at %d: %g < %g", n, i, vals[i], vals[i-1])
+			}
+		}
+	}
+}
+
+func TestEigenSymOrthonormalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomSymmetric(20, rng)
+	_, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtv, err := vecs.Transpose().Mul(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := vtv.MaxAbsDiff(Identity(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-9 {
+		t.Errorf("VᵀV deviates from identity by %g", d)
+	}
+}
+
+func TestEigenSymKnownValues(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a, err := NewMatrixFrom(2, 2, []float64{2, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(vals[0], 1, 1e-10) || !almostEqual(vals[1], 3, 1e-10) {
+		t.Errorf("eigenvalues = %v, want [1 3]", vals)
+	}
+}
+
+func TestEigenSymEmptyAndRejectsNonSquare(t *testing.T) {
+	vals, vecs, err := EigenSym(NewMatrix(0, 0))
+	if err != nil || len(vals) != 0 || vecs.Rows() != 0 {
+		t.Errorf("EigenSym(empty) = %v, %v, %v", vals, vecs, err)
+	}
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Error("EigenSym(2x3) succeeded, want error")
+	}
+}
+
+func TestProjectPSDAlreadyPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomSPD(10, rng)
+	p, err := ProjectPSD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.MaxAbsDiff(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-8*(1+a.FrobeniusNorm()) {
+		t.Errorf("PSD projection changed a PSD matrix by %g", d)
+	}
+}
+
+func TestProjectPSDClipsNegative(t *testing.T) {
+	// diag(-1, 2) projects to diag(0, 2).
+	a, err := NewMatrixFrom(2, 2, []float64{-1, 0, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProjectPSD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p.At(0, 0), 0, 1e-10) || !almostEqual(p.At(1, 1), 2, 1e-10) {
+		t.Errorf("projection = [[%g,%g],[%g,%g]], want diag(0,2)",
+			p.At(0, 0), p.At(0, 1), p.At(1, 0), p.At(1, 1))
+	}
+	min, err := MinEigenvalue(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min < -1e-10 {
+		t.Errorf("projected matrix has negative eigenvalue %g", min)
+	}
+}
+
+// Property: projection onto the PSD cone is idempotent and its output has
+// no significantly negative eigenvalues.
+func TestProjectPSDIdempotentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 2 + r.Intn(6)
+		a := randomSymmetric(n, r)
+		p1, err := ProjectPSD(a)
+		if err != nil {
+			return false
+		}
+		min, err := MinEigenvalue(p1)
+		if err != nil || min < -1e-8 {
+			return false
+		}
+		p2, err := ProjectPSD(p1)
+		if err != nil {
+			return false
+		}
+		d, err := p1.MaxAbsDiff(p2)
+		if err != nil {
+			return false
+		}
+		return d <= 1e-7*(1+p1.FrobeniusNorm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the projection is closer (Frobenius) to A than A's PSD "rival"
+// built by zeroing the whole negative part and adding noise would be — we
+// check the weaker, exactly provable property ‖A - P(A)‖² = Σ min(λ,0)².
+func TestProjectPSDDistanceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randomSymmetric(n, rng)
+		vals, _, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for _, l := range vals {
+			if l < 0 {
+				want += l * l
+			}
+		}
+		p, err := ProjectPSD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := a.Clone()
+		if err := diff.AddScaledMat(-1, p); err != nil {
+			t.Fatal(err)
+		}
+		got := diff.FrobeniusNorm()
+		if !almostEqual(got*got, want, 1e-6*(1+want)) {
+			t.Errorf("trial %d: ‖A-P(A)‖² = %g, want %g", trial, got*got, want)
+		}
+	}
+}
+
+func BenchmarkEigenSym100(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSymmetric(100, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigenSym(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMinEigenvalueEmpty(t *testing.T) {
+	v, err := MinEigenvalue(NewMatrix(0, 0))
+	if err != nil || v != 0 {
+		t.Errorf("MinEigenvalue(empty) = %g, %v", v, err)
+	}
+}
+
+func TestOffDiagNorm(t *testing.T) {
+	a, err := NewMatrixFrom(2, 2, []float64{5, 3, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := offDiagNorm(a); !almostEqual(got, math.Sqrt(18), 1e-12) {
+		t.Errorf("offDiagNorm = %g, want %g", got, math.Sqrt(18))
+	}
+}

@@ -1,0 +1,242 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom builds a matrix from row-major values, copying them.
+func NewMatrixFrom(rows, cols int, values []float64) (*Matrix, error) {
+	if len(values) != rows*cols {
+		return nil, fmt.Errorf("build %dx%d from %d values: %w", rows, cols, len(values), ErrDimensionMismatch)
+	}
+	m := NewMatrix(rows, cols)
+	copy(m.data, values)
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, x float64) { m.data[i*m.cols+j] = x }
+
+// Add adds x to element (i, j).
+func (m *Matrix) Add(i, j int, x float64) { m.data[i*m.cols+j] += x }
+
+// Data exposes the row-major backing slice. Callers must treat it as borrowed.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Row returns a borrowed view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Scale multiplies every element by alpha in place.
+func (m *Matrix) Scale(alpha float64) {
+	for i := range m.data {
+		m.data[i] *= alpha
+	}
+}
+
+// AddScaledMat computes m += alpha*other in place.
+func (m *Matrix) AddScaledMat(alpha float64, other *Matrix) error {
+	if m.rows != other.rows || m.cols != other.cols {
+		return fmt.Errorf("add %dx%d += %dx%d: %w", m.rows, m.cols, other.rows, other.cols, ErrDimensionMismatch)
+	}
+	for i, x := range other.data {
+		m.data[i] += alpha * x
+	}
+	return nil
+}
+
+// MulVec computes y = M·x as a new vector.
+func (m *Matrix) MulVec(x *Vector) (*Vector, error) {
+	if m.cols != x.Len() {
+		return nil, fmt.Errorf("mulvec %dx%d · %d: %w", m.rows, m.cols, x.Len(), ErrDimensionMismatch)
+	}
+	y := NewVector(m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, a := range row {
+			s += a * x.data[j]
+		}
+		y.data[i] = s
+	}
+	return y, nil
+}
+
+// MulVecT computes y = Mᵀ·x as a new vector.
+func (m *Matrix) MulVecT(x *Vector) (*Vector, error) {
+	if m.rows != x.Len() {
+		return nil, fmt.Errorf("mulvecT %dx%d ᵀ· %d: %w", m.rows, m.cols, x.Len(), ErrDimensionMismatch)
+	}
+	y := NewVector(m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		xi := x.data[i]
+		if xi == 0 {
+			continue
+		}
+		for j, a := range row {
+			y.data[j] += a * xi
+		}
+	}
+	return y, nil
+}
+
+// Mul computes M·N as a new matrix.
+func (m *Matrix) Mul(n *Matrix) (*Matrix, error) {
+	if m.cols != n.rows {
+		return nil, fmt.Errorf("mul %dx%d · %dx%d: %w", m.rows, m.cols, n.rows, n.cols, ErrDimensionMismatch)
+	}
+	out := NewMatrix(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		mRow := m.Row(i)
+		outRow := out.Row(i)
+		for k, a := range mRow {
+			if a == 0 {
+				continue
+			}
+			nRow := n.Row(k)
+			for j, b := range nRow {
+				outRow[j] += a * b
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns Mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Symmetrize overwrites m with (M+Mᵀ)/2. The matrix must be square.
+func (m *Matrix) Symmetrize() error {
+	if m.rows != m.cols {
+		return fmt.Errorf("symmetrize %dx%d: %w", m.rows, m.cols, ErrDimensionMismatch)
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			avg := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, avg)
+			m.Set(j, i, avg)
+		}
+	}
+	return nil
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Matrix) Trace() (float64, error) {
+	if m.rows != m.cols {
+		return 0, fmt.Errorf("trace of %dx%d: %w", m.rows, m.cols, ErrDimensionMismatch)
+	}
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		s += m.At(i, i)
+	}
+	return s, nil
+}
+
+// FrobeniusNorm returns sqrt(sum of squared elements).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, x := range m.data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between
+// two equally shaped matrices.
+func (m *Matrix) MaxAbsDiff(other *Matrix) (float64, error) {
+	if m.rows != other.rows || m.cols != other.cols {
+		return 0, fmt.Errorf("diff %dx%d vs %dx%d: %w", m.rows, m.cols, other.rows, other.cols, ErrDimensionMismatch)
+	}
+	var d float64
+	for i, x := range m.data {
+		if a := math.Abs(x - other.data[i]); a > d {
+			d = a
+		}
+	}
+	return d, nil
+}
+
+// OuterProduct returns x·yᵀ as a new matrix.
+func OuterProduct(x, y *Vector) *Matrix {
+	out := NewMatrix(x.Len(), y.Len())
+	for i := 0; i < x.Len(); i++ {
+		xi := x.data[i]
+		if xi == 0 {
+			continue
+		}
+		row := out.Row(i)
+		for j := 0; j < y.Len(); j++ {
+			row[j] = xi * y.data[j]
+		}
+	}
+	return out
+}
+
+// QuadraticForm returns xᵀ·M·x for a square matrix M.
+func (m *Matrix) QuadraticForm(x *Vector) (float64, error) {
+	if m.rows != m.cols || m.cols != x.Len() {
+		return 0, fmt.Errorf("quadform %dx%d with %d: %w", m.rows, m.cols, x.Len(), ErrDimensionMismatch)
+	}
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		xi := x.data[i]
+		if xi == 0 {
+			continue
+		}
+		var inner float64
+		for j, a := range row {
+			inner += a * x.data[j]
+		}
+		s += xi * inner
+	}
+	return s, nil
+}

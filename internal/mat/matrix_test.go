@@ -1,0 +1,179 @@
+package mat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if got := m.At(1, 2); got != 7 {
+		t.Errorf("At(1,2) = %g, want 7", got)
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(4)
+	x := NewVectorFrom([]float64{1, -2, 3, -4})
+	y, err := id.MulVec(x)
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if y.At(i) != x.At(i) {
+			t.Errorf("I·x [%d] = %g, want %g", i, y.At(i), x.At(i))
+		}
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a, err := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMatrixFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("C[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatrixMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Mul mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := a.MulVec(NewVector(2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MulVec mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := a.Trace(); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Trace non-square error = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 7)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	back := a.Transpose().Transpose()
+	d, err := a.MaxAbsDiff(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("Transpose twice changed matrix, max diff %g", d)
+	}
+}
+
+func TestMulVecTMatchesTransposeMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewMatrix(5, 3)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	x := NewVector(5)
+	for i := 0; i < 5; i++ {
+		x.Set(i, rng.NormFloat64())
+	}
+	y1, err := a.MulVecT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := a.Transpose().MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := y1.Sub(y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.NormInf() > 1e-12 {
+		t.Errorf("MulVecT disagrees with explicit transpose by %g", diff.NormInf())
+	}
+}
+
+func TestSymmetrizeAndTrace(t *testing.T) {
+	a, err := NewMatrixFrom(2, 2, []float64{1, 4, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Symmetrize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != 3 || a.At(1, 0) != 3 {
+		t.Errorf("Symmetrize off-diagonals = %g, %g, want 3, 3", a.At(0, 1), a.At(1, 0))
+	}
+	tr, err := a.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != 4 {
+		t.Errorf("Trace = %g, want 4", tr)
+	}
+}
+
+func TestOuterProductAndQuadraticForm(t *testing.T) {
+	x := NewVectorFrom([]float64{1, 2})
+	y := NewVectorFrom([]float64{3, 4, 5})
+	op := OuterProduct(x, y)
+	if op.Rows() != 2 || op.Cols() != 3 {
+		t.Fatalf("outer product shape %dx%d, want 2x3", op.Rows(), op.Cols())
+	}
+	if op.At(1, 2) != 10 {
+		t.Errorf("outer[1][2] = %g, want 10", op.At(1, 2))
+	}
+
+	// xᵀAx with A = [[2,0],[0,3]] and x=(1,2) is 2+12 = 14.
+	a, err := NewMatrixFrom(2, 2, []float64{2, 0, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := a.QuadraticForm(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 14 {
+		t.Errorf("QuadraticForm = %g, want 14", q)
+	}
+}
+
+func TestAddScaledMat(t *testing.T) {
+	a := Identity(2)
+	b := Identity(2)
+	if err := a.AddScaledMat(3, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 4 || a.At(1, 1) != 4 {
+		t.Errorf("AddScaledMat diag = %g, %g, want 4, 4", a.At(0, 0), a.At(1, 1))
+	}
+	c := NewMatrix(3, 2)
+	if err := a.AddScaledMat(1, c); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("AddScaledMat mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestNewMatrixFromWrongLength(t *testing.T) {
+	if _, err := NewMatrixFrom(2, 2, []float64{1, 2, 3}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("NewMatrixFrom error = %v, want ErrDimensionMismatch", err)
+	}
+}

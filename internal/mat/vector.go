@@ -1,0 +1,152 @@
+// Package mat provides the dense linear algebra kernels used by the Domo
+// reconstruction pipeline: vectors, matrices, Cholesky and LDLᵀ
+// factorizations, a symmetric Jacobi eigensolver, and projection onto the
+// positive-semidefinite cone.
+//
+// The package is self-contained (standard library only) and tuned for the
+// moderate problem sizes Domo produces: time windows yield dense systems of
+// a few hundred unknowns, and the semidefinite relaxation lifts those to
+// matrices of a few hundred rows. All storage is row-major float64.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when operands have incompatible shapes.
+var ErrDimensionMismatch = errors.New("mat: dimension mismatch")
+
+// Vector is a dense column vector backed by a float64 slice.
+type Vector struct {
+	data []float64
+}
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("mat: negative vector length %d", n))
+	}
+	return &Vector{data: make([]float64, n)}
+}
+
+// NewVectorFrom returns a vector that copies the provided values.
+func NewVectorFrom(values []float64) *Vector {
+	v := NewVector(len(values))
+	copy(v.data, values)
+	return v
+}
+
+// WrapVector wraps the given slice without copying. Mutations of the
+// returned vector are visible through the original slice.
+func WrapVector(values []float64) *Vector {
+	return &Vector{data: values}
+}
+
+// Len returns the number of elements.
+func (v *Vector) Len() int { return len(v.data) }
+
+// At returns the i-th element.
+func (v *Vector) At(i int) float64 { return v.data[i] }
+
+// Set assigns the i-th element.
+func (v *Vector) Set(i int, x float64) { v.data[i] = x }
+
+// Data exposes the backing slice. Callers must treat it as borrowed.
+func (v *Vector) Data() []float64 { return v.data }
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	return NewVectorFrom(v.data)
+}
+
+// CopyFrom overwrites v with the contents of src.
+func (v *Vector) CopyFrom(src *Vector) error {
+	if len(v.data) != len(src.data) {
+		return fmt.Errorf("copy %d <- %d: %w", len(v.data), len(src.data), ErrDimensionMismatch)
+	}
+	copy(v.data, src.data)
+	return nil
+}
+
+// Fill sets every element to x.
+func (v *Vector) Fill(x float64) {
+	for i := range v.data {
+		v.data[i] = x
+	}
+}
+
+// AddScaled computes v += alpha*w in place.
+func (v *Vector) AddScaled(alpha float64, w *Vector) error {
+	if len(v.data) != len(w.data) {
+		return fmt.Errorf("axpy %d += %d: %w", len(v.data), len(w.data), ErrDimensionMismatch)
+	}
+	for i, x := range w.data {
+		v.data[i] += alpha * x
+	}
+	return nil
+}
+
+// Scale multiplies every element by alpha in place.
+func (v *Vector) Scale(alpha float64) {
+	for i := range v.data {
+		v.data[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v *Vector) Dot(w *Vector) (float64, error) {
+	if len(v.data) != len(w.data) {
+		return 0, fmt.Errorf("dot %d·%d: %w", len(v.data), len(w.data), ErrDimensionMismatch)
+	}
+	var s float64
+	for i, x := range v.data {
+		s += x * w.data[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm.
+func (v *Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v.data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute element, or 0 for an empty vector.
+func (v *Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v.data {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sub returns v - w as a new vector.
+func (v *Vector) Sub(w *Vector) (*Vector, error) {
+	if len(v.data) != len(w.data) {
+		return nil, fmt.Errorf("sub %d-%d: %w", len(v.data), len(w.data), ErrDimensionMismatch)
+	}
+	out := NewVector(len(v.data))
+	for i, x := range v.data {
+		out.data[i] = x - w.data[i]
+	}
+	return out, nil
+}
+
+// Add returns v + w as a new vector.
+func (v *Vector) Add(w *Vector) (*Vector, error) {
+	if len(v.data) != len(w.data) {
+		return nil, fmt.Errorf("add %d+%d: %w", len(v.data), len(w.data), ErrDimensionMismatch)
+	}
+	out := NewVector(len(v.data))
+	for i, x := range v.data {
+		out.data[i] = x + w.data[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(3)
+	if v.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", v.Len())
+	}
+	v.Set(0, 1)
+	v.Set(1, -2)
+	v.Set(2, 2)
+	if got := v.At(1); got != -2 {
+		t.Errorf("At(1) = %g, want -2", got)
+	}
+	if got := v.Norm2(); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("Norm2() = %g, want 3", got)
+	}
+	if got := v.NormInf(); got != 2 {
+		t.Errorf("NormInf() = %g, want 2", got)
+	}
+}
+
+func TestVectorCloneIsIndependent(t *testing.T) {
+	v := NewVectorFrom([]float64{1, 2, 3})
+	w := v.Clone()
+	w.Set(0, 99)
+	if v.At(0) != 1 {
+		t.Errorf("clone mutated original: At(0) = %g", v.At(0))
+	}
+}
+
+func TestWrapVectorShares(t *testing.T) {
+	backing := []float64{1, 2}
+	v := WrapVector(backing)
+	v.Set(0, 7)
+	if backing[0] != 7 {
+		t.Errorf("WrapVector did not share backing slice")
+	}
+}
+
+func TestVectorDotAndAddScaled(t *testing.T) {
+	v := NewVectorFrom([]float64{1, 2, 3})
+	w := NewVectorFrom([]float64{4, 5, 6})
+	d, err := v.Dot(w)
+	if err != nil {
+		t.Fatalf("Dot: %v", err)
+	}
+	if d != 32 {
+		t.Errorf("Dot = %g, want 32", d)
+	}
+	if err := v.AddScaled(2, w); err != nil {
+		t.Fatalf("AddScaled: %v", err)
+	}
+	want := []float64{9, 12, 15}
+	for i, x := range want {
+		if v.At(i) != x {
+			t.Errorf("AddScaled result[%d] = %g, want %g", i, v.At(i), x)
+		}
+	}
+}
+
+func TestVectorDimensionMismatch(t *testing.T) {
+	v := NewVector(2)
+	w := NewVector(3)
+	if _, err := v.Dot(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Dot mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+	if err := v.AddScaled(1, w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("AddScaled mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := v.Sub(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Sub mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := v.Add(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Add mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+	if err := v.CopyFrom(w); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("CopyFrom mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestVectorFillAndScale(t *testing.T) {
+	v := NewVector(4)
+	v.Fill(3)
+	v.Scale(-2)
+	for i := 0; i < v.Len(); i++ {
+		if v.At(i) != -6 {
+			t.Fatalf("element %d = %g, want -6", i, v.At(i))
+		}
+	}
+}
+
+// Property: Cauchy-Schwarz |v·w| ≤ ‖v‖‖w‖ for arbitrary vectors.
+func TestVectorCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		if anyNonFinite(a, b, c, d, e, g) {
+			return true
+		}
+		v := NewVectorFrom([]float64{clamp(a), clamp(b), clamp(c)})
+		w := NewVectorFrom([]float64{clamp(d), clamp(e), clamp(g)})
+		dot, err := v.Dot(w)
+		if err != nil {
+			return false
+		}
+		return math.Abs(dot) <= v.Norm2()*w.Norm2()*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality ‖v+w‖ ≤ ‖v‖+‖w‖.
+func TestVectorTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		if anyNonFinite(a, b, c, d) {
+			return true
+		}
+		v := NewVectorFrom([]float64{clamp(a), clamp(b)})
+		w := NewVectorFrom([]float64{clamp(c), clamp(d)})
+		sum, err := v.Add(w)
+		if err != nil {
+			return false
+		}
+		return sum.Norm2() <= v.Norm2()+w.Norm2()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyNonFinite(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// clamp keeps quick-generated magnitudes in a numerically sane range.
+func clamp(x float64) float64 {
+	const lim = 1e6
+	if x > lim {
+		return lim
+	}
+	if x < -lim {
+		return -lim
+	}
+	return x
+}

@@ -1,0 +1,222 @@
+// Package metrics implements the evaluation metrics of the paper's §VI:
+// absolute estimate error against ground truth, bound width (upper minus
+// lower), the average-displacement sequence metric, per-node average node
+// delays (Fig. 6a), and CDF/summary helpers for the figure harness.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// ErrBadInput is returned for mismatched or empty inputs.
+var ErrBadInput = errors.New("metrics: invalid input")
+
+// Displacement computes the paper's sequence error: the average absolute
+// difference between each element's position in truth and in recon. The two
+// sequences must be permutations of each other.
+func Displacement[T comparable](truth, recon []T) (float64, error) {
+	if len(truth) != len(recon) {
+		return 0, fmt.Errorf("sequences of length %d and %d: %w", len(truth), len(recon), ErrBadInput)
+	}
+	if len(truth) == 0 {
+		return 0, nil
+	}
+	pos := make(map[T]int, len(recon))
+	for i, v := range recon {
+		if _, dup := pos[v]; dup {
+			return 0, fmt.Errorf("duplicate element in reconstruction: %w", ErrBadInput)
+		}
+		pos[v] = i
+	}
+	var total float64
+	for i, v := range truth {
+		j, ok := pos[v]
+		if !ok {
+			return 0, fmt.Errorf("element missing from reconstruction: %w", ErrBadInput)
+		}
+		total += math.Abs(float64(i - j))
+	}
+	return total / float64(len(truth)), nil
+}
+
+// Summary is a set of order statistics over a sample.
+type Summary struct {
+	N                      int
+	Mean, Median, P90, Max float64
+}
+
+// Summarize computes order statistics (returns a zero Summary for empty
+// input).
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	quantile := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   sum / float64(len(sorted)),
+		Median: quantile(0.5),
+		P90:    quantile(0.9),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// CDF returns, for each point, the fraction of values ≤ that point.
+func CDF(values, points []float64) []float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = float64(sort.SearchFloat64s(sorted, math.Nextafter(p, math.Inf(1)))) / float64(max(1, len(sorted)))
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// toMS converts a duration to float milliseconds.
+func toMS(t sim.Time) float64 { return float64(t) / float64(time.Millisecond) }
+
+// EstimateErrorsMS collects |estimated − truth| in milliseconds for every
+// interior (reconstructed) arrival time of every delivered packet.
+func EstimateErrorsMS(tr *trace.Trace, arrivals func(trace.PacketID) ([]sim.Time, error)) ([]float64, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	var out []float64
+	for _, r := range tr.Records {
+		if r.Hops() < 3 || len(r.TruthArrivals) != r.Hops() {
+			continue
+		}
+		arr, err := arrivals(r.ID)
+		if err != nil {
+			return nil, fmt.Errorf("arrivals(%v): %w", r.ID, err)
+		}
+		if len(arr) != r.Hops() {
+			return nil, fmt.Errorf("packet %v: %d arrivals for %d hops: %w", r.ID, len(arr), r.Hops(), ErrBadInput)
+		}
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			out = append(out, math.Abs(toMS(arr[hop])-toMS(r.TruthArrivals[hop])))
+		}
+	}
+	return out, nil
+}
+
+// BoundWidthsMS collects upper − lower in milliseconds for every interior
+// arrival time. keep filters which (packet, hop) pairs count (nil = all);
+// use it to restrict to bounds actually computed under sampling.
+func BoundWidthsMS(tr *trace.Trace, bounds func(trace.PacketID) (lower, upper []sim.Time, err error),
+	keep func(id trace.PacketID, hop int) bool) ([]float64, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	var out []float64
+	for _, r := range tr.Records {
+		if r.Hops() < 3 {
+			continue
+		}
+		lower, upper, err := bounds(r.ID)
+		if err != nil {
+			return nil, fmt.Errorf("bounds(%v): %w", r.ID, err)
+		}
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			if keep != nil && !keep(r.ID, hop) {
+				continue
+			}
+			out = append(out, toMS(upper[hop])-toMS(lower[hop]))
+		}
+	}
+	return out, nil
+}
+
+// BoundViolations counts interior arrival times whose ground truth falls
+// outside the reconstructed [lower, upper] by more than tol. A sound bound
+// reconstruction returns zero.
+func BoundViolations(tr *trace.Trace, bounds func(trace.PacketID) (lower, upper []sim.Time, err error),
+	tol sim.Time) (int, error) {
+	if tr == nil {
+		return 0, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	violations := 0
+	for _, r := range tr.Records {
+		if len(r.TruthArrivals) != r.Hops() {
+			continue
+		}
+		lower, upper, err := bounds(r.ID)
+		if err != nil {
+			return 0, fmt.Errorf("bounds(%v): %w", r.ID, err)
+		}
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			truth := r.TruthArrivals[hop]
+			if truth < lower[hop]-tol || truth > upper[hop]+tol {
+				violations++
+			}
+		}
+	}
+	return violations, nil
+}
+
+// NodeDelayAverages computes each node's average node delay in ms across
+// all packets it forwarded or originated (the Fig. 6a series), from
+// arbitrary arrival-time vectors (ground truth or a reconstruction).
+func NodeDelayAverages(tr *trace.Trace, arrivals func(trace.PacketID) ([]sim.Time, error)) (map[radio.NodeID]float64, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	sums := map[radio.NodeID]float64{}
+	counts := map[radio.NodeID]int{}
+	for _, r := range tr.Records {
+		arr, err := arrivals(r.ID)
+		if err != nil {
+			return nil, fmt.Errorf("arrivals(%v): %w", r.ID, err)
+		}
+		if len(arr) != r.Hops() {
+			return nil, fmt.Errorf("packet %v: %d arrivals for %d hops: %w", r.ID, len(arr), r.Hops(), ErrBadInput)
+		}
+		for hop := 0; hop < r.Hops()-1; hop++ {
+			n := r.Path[hop]
+			sums[n] += toMS(arr[hop+1]) - toMS(arr[hop])
+			counts[n]++
+		}
+	}
+	out := make(map[radio.NodeID]float64, len(sums))
+	for n, s := range sums {
+		out[n] = s / float64(counts[n])
+	}
+	return out, nil
+}
+
+// TruthArrivals adapts a trace's ground truth to the arrivals-function
+// signature the other helpers take.
+func TruthArrivals(tr *trace.Trace) func(trace.PacketID) ([]sim.Time, error) {
+	byID := tr.ByID()
+	return func(id trace.PacketID) ([]sim.Time, error) {
+		r, ok := byID[id]
+		if !ok || len(r.TruthArrivals) != r.Hops() {
+			return nil, fmt.Errorf("packet %v has no ground truth: %w", id, ErrBadInput)
+		}
+		return r.TruthArrivals, nil
+	}
+}

@@ -1,0 +1,256 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+func ms(n float64) sim.Time { return sim.Time(n * float64(time.Millisecond)) }
+
+func TestDisplacementPaperExample(t *testing.T) {
+	// Ground truth (a,b,c,d,e), reconstruction (b,a,e,d,c) → 1.2 (§VI-A).
+	truth := []string{"a", "b", "c", "d", "e"}
+	recon := []string{"b", "a", "e", "d", "c"}
+	d, err := Displacement(truth, recon)
+	if err != nil {
+		t.Fatalf("Displacement: %v", err)
+	}
+	if math.Abs(d-1.2) > 1e-12 {
+		t.Errorf("displacement = %g, want 1.2", d)
+	}
+}
+
+func TestDisplacementIdentityAndEmpty(t *testing.T) {
+	d, err := Displacement([]int{1, 2, 3}, []int{1, 2, 3})
+	if err != nil || d != 0 {
+		t.Errorf("identity displacement = %g, %v", d, err)
+	}
+	d, err = Displacement([]int{}, []int{})
+	if err != nil || d != 0 {
+		t.Errorf("empty displacement = %g, %v", d, err)
+	}
+}
+
+func TestDisplacementValidation(t *testing.T) {
+	if _, err := Displacement([]int{1}, []int{1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("length mismatch error = %v, want ErrBadInput", err)
+	}
+	if _, err := Displacement([]int{1, 2}, []int{1, 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("duplicate error = %v, want ErrBadInput", err)
+	}
+	if _, err := Displacement([]int{1, 3}, []int{1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("missing element error = %v, want ErrBadInput", err)
+	}
+}
+
+// Property: displacement is symmetric and bounded by n-1.
+func TestDisplacementProperties(t *testing.T) {
+	f := func(perm []byte) bool {
+		n := len(perm) % 12
+		truth := make([]int, n)
+		recon := make([]int, n)
+		for i := range truth {
+			truth[i] = i
+			recon[i] = i
+		}
+		// Derive a permutation from the random bytes via swaps.
+		for i, b := range perm {
+			if n > 1 {
+				a, c := i%n, int(b)%n
+				recon[a], recon[c] = recon[c], recon[a]
+			}
+		}
+		d1, err1 := Displacement(truth, recon)
+		d2, err2 := Displacement(recon, truth)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(d1-d2) < 1e-12 && d1 <= float64(n) && d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Mean != 2.5 || s.Max != 4 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.Median != 2 { // index floor(0.5*3) = 1 → sorted[1] = 2
+		t.Errorf("Median = %g, want 2", s.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty Summary = %+v", empty)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	values := []float64{1, 2, 3, 4}
+	got := CDF(values, []float64{0, 1, 2.5, 4, 10})
+	want := []float64{0, 0.25, 0.5, 1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("CDF[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func sampleTrace() *trace.Trace {
+	rec := func(src radio.NodeID, seq uint32, arrivals []float64) *trace.Record {
+		ta := make([]sim.Time, len(arrivals))
+		for i, a := range arrivals {
+			ta[i] = ms(a)
+		}
+		return &trace.Record{
+			ID:            trace.PacketID{Source: src, Seq: seq},
+			Path:          []radio.NodeID{src, 1, 0},
+			GenTime:       ta[0],
+			SinkArrival:   ta[len(ta)-1],
+			TruthArrivals: ta,
+		}
+	}
+	return &trace.Trace{
+		NumNodes: 4,
+		Duration: time.Second,
+		Records: []*trace.Record{
+			rec(2, 1, []float64{0, 10, 20}),
+			rec(3, 1, []float64{5, 11, 30}),
+		},
+	}
+}
+
+func TestEstimateErrorsMS(t *testing.T) {
+	tr := sampleTrace()
+	// Estimator that is off by exactly +2ms at each interior hop.
+	arrivals := func(id trace.PacketID) ([]sim.Time, error) {
+		truth, err := TruthArrivals(tr)(id)
+		if err != nil {
+			return nil, err
+		}
+		out := append([]sim.Time(nil), truth...)
+		for hop := 1; hop < len(out)-1; hop++ {
+			out[hop] += ms(2)
+		}
+		return out, nil
+	}
+	errs, err := EstimateErrorsMS(tr, arrivals)
+	if err != nil {
+		t.Fatalf("EstimateErrorsMS: %v", err)
+	}
+	if len(errs) != 2 {
+		t.Fatalf("got %d errors, want 2", len(errs))
+	}
+	for _, e := range errs {
+		if math.Abs(e-2) > 1e-9 {
+			t.Errorf("error = %g, want 2", e)
+		}
+	}
+}
+
+func TestBoundWidthsAndViolations(t *testing.T) {
+	tr := sampleTrace()
+	bounds := func(id trace.PacketID) ([]sim.Time, []sim.Time, error) {
+		truth, err := TruthArrivals(tr)(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		lower := make([]sim.Time, len(truth))
+		upper := make([]sim.Time, len(truth))
+		for i, v := range truth {
+			lower[i] = v - ms(3)
+			upper[i] = v + ms(5)
+		}
+		return lower, upper, nil
+	}
+	widths, err := BoundWidthsMS(tr, bounds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(widths) != 2 || math.Abs(widths[0]-8) > 1e-9 {
+		t.Errorf("widths = %v, want [8 8]", widths)
+	}
+	viol, err := BoundViolations(tr, bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol != 0 {
+		t.Errorf("violations = %d, want 0", viol)
+	}
+	// Shrink bounds to exclude truth.
+	badBounds := func(id trace.PacketID) ([]sim.Time, []sim.Time, error) {
+		truth, err := TruthArrivals(tr)(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		lower := make([]sim.Time, len(truth))
+		upper := make([]sim.Time, len(truth))
+		for i, v := range truth {
+			lower[i] = v + ms(1)
+			upper[i] = v + ms(2)
+		}
+		return lower, upper, nil
+	}
+	viol, err = BoundViolations(tr, badBounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol != 2 {
+		t.Errorf("violations = %d, want 2", viol)
+	}
+}
+
+func TestBoundWidthsKeepFilter(t *testing.T) {
+	tr := sampleTrace()
+	bounds := func(id trace.PacketID) ([]sim.Time, []sim.Time, error) {
+		truth, _ := TruthArrivals(tr)(id)
+		return truth, truth, nil
+	}
+	widths, err := BoundWidthsMS(tr, bounds, func(id trace.PacketID, hop int) bool {
+		return id.Source == 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(widths) != 1 {
+		t.Errorf("kept %d widths, want 1", len(widths))
+	}
+}
+
+func TestNodeDelayAverages(t *testing.T) {
+	tr := sampleTrace()
+	avgs, err := NodeDelayAverages(tr, TruthArrivals(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 forwarded both packets: delays 10 and 19 → 14.5.
+	if math.Abs(avgs[1]-14.5) > 1e-9 {
+		t.Errorf("node 1 avg = %g, want 14.5", avgs[1])
+	}
+	if math.Abs(avgs[2]-10) > 1e-9 {
+		t.Errorf("node 2 avg = %g, want 10", avgs[2])
+	}
+}
+
+func TestHelpersRejectNil(t *testing.T) {
+	if _, err := EstimateErrorsMS(nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Error("EstimateErrorsMS(nil) accepted")
+	}
+	if _, err := BoundWidthsMS(nil, nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Error("BoundWidthsMS(nil) accepted")
+	}
+	if _, err := BoundViolations(nil, nil, 0); !errors.Is(err, ErrBadInput) {
+		t.Error("BoundViolations(nil) accepted")
+	}
+	if _, err := NodeDelayAverages(nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Error("NodeDelayAverages(nil) accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package node
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+)
+
+func TestFailNodeAtValidation(t *testing.T) {
+	net, err := NewNetwork(testNetworkConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailNodeAt(0, time.Minute); !errors.Is(err, ErrBadNetwork) {
+		t.Errorf("failing the sink error = %v, want ErrBadNetwork", err)
+	}
+	if err := net.FailNodeAt(99, time.Minute); !errors.Is(err, ErrBadNetwork) {
+		t.Errorf("failing unknown node error = %v, want ErrBadNetwork", err)
+	}
+}
+
+// Killing a busy relay mid-run must not crash the network: CTP reroutes
+// around the corpse and deliveries continue (possibly degraded).
+func TestNetworkSurvivesRelayFailure(t *testing.T) {
+	cfg := testNetworkConfig(21)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the warmup to find the busiest relay.
+	warmTrace, err := net.Run(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwards := map[radio.NodeID]int{}
+	for _, r := range warmTrace.Records {
+		for _, n := range r.Path[1 : len(r.Path)-1] {
+			forwards[n]++
+		}
+	}
+	var victim radio.NodeID
+	best := -1
+	for n, c := range forwards {
+		if c > best {
+			victim, best = n, c
+		}
+	}
+	if best <= 0 {
+		t.Skip("no multi-hop relay in this seed")
+	}
+
+	// Fresh network, same seed: kill the victim halfway through.
+	net2, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net2.FailNodeAt(victim, 4*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := net2.Run(8 * time.Minute)
+	if err != nil {
+		t.Fatalf("Run with failure: %v", err)
+	}
+	if !net2.Node(victim).Dead() {
+		t.Error("victim still alive")
+	}
+
+	// The victim must stop appearing in paths after its death (allowing
+	// packets already in flight a small grace window).
+	grace := 10 * time.Second
+	for _, r := range tr.Records {
+		if r.SinkArrival < 4*time.Minute+grace {
+			continue
+		}
+		for _, n := range r.Path[:len(r.Path)-1] {
+			if n == victim && r.GenTime > 4*time.Minute {
+				t.Errorf("packet %v routed through dead node %d at %v", r.ID, victim, r.SinkArrival)
+			}
+		}
+	}
+
+	// Deliveries must continue after the failure.
+	after := 0
+	for _, r := range tr.Records {
+		if r.SinkArrival > 5*time.Minute {
+			after++
+		}
+	}
+	if after == 0 {
+		t.Error("no deliveries after the relay failure; network did not reroute")
+	}
+
+	// The trace must still be structurally valid and reconstruction-safe.
+	if err := tr.Validate(); err != nil {
+		t.Errorf("trace invalid after failure: %v", err)
+	}
+}
+
+func TestDeadNodeRejectsTraffic(t *testing.T) {
+	net, err := NewNetwork(testNetworkConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := radio.NodeID(3)
+	if err := net.FailNodeAt(victim, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(3 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	n := net.Node(victim)
+	if !n.Dead() {
+		t.Fatal("node not dead")
+	}
+	if n.Stats.Generated > 1 {
+		t.Errorf("dead node generated %d packets", n.Stats.Generated)
+	}
+}

@@ -1,0 +1,313 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/domo-net/domo/internal/ctp"
+	"github.com/domo-net/domo/internal/mac"
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// ErrBadNetwork is returned for invalid network configurations.
+var ErrBadNetwork = errors.New("node: invalid network configuration")
+
+// TrafficPattern selects how nodes generate data packets.
+type TrafficPattern int
+
+// Traffic patterns. The paper's evaluation uses periodic collection; the
+// other patterns exercise Domo's robustness to irregular workloads.
+const (
+	// TrafficPeriodic sends every DataPeriod plus uniform jitter (default).
+	TrafficPeriodic TrafficPattern = iota + 1
+	// TrafficPoisson draws exponential inter-arrival times with mean
+	// DataPeriod (a memoryless event-reporting workload).
+	TrafficPoisson
+	// TrafficBursty alternates quiet stretches with bursts: every
+	// DataPeriod×4 on average, a burst of 3-6 closely spaced packets
+	// (an alarm/correlated-event workload with the same long-run rate
+	// order of magnitude as periodic).
+	TrafficBursty
+)
+
+// String names the pattern.
+func (p TrafficPattern) String() string {
+	switch p {
+	case TrafficPeriodic:
+		return "periodic"
+	case TrafficPoisson:
+		return "poisson"
+	case TrafficBursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("TrafficPattern(%d)", int(p))
+	}
+}
+
+// NetworkConfig assembles a full simulated deployment.
+type NetworkConfig struct {
+	NumNodes int
+	Side     float64 // square side in meters
+	Sink     radio.SinkPlacement
+	Seed     int64
+
+	Link radio.LinkConfig
+	MAC  mac.Config
+	CTP  ctp.Config
+
+	DataPeriod   time.Duration // per-node generation period, default 10s
+	DataJitter   time.Duration // extra uniform jitter per packet, default 2s
+	Warmup       time.Duration // routing warmup before data starts, default 60s
+	PayloadBytes int           // data payload size, default 28
+	BeaconBytes  int           // beacon payload size, default 10
+
+	// Quantize is the S(p) field granularity (the on-air field is a 2-byte
+	// millisecond counter), default 1ms. Zero keeps full precision.
+	Quantize time.Duration
+
+	// DriftPeriod is how often link qualities take a random-walk step,
+	// default 30s (0 disables when Link.DriftStdDev is 0 anyway).
+	DriftPeriod time.Duration
+
+	// EnableNodeLogs turns on MessageTracing-style local logs.
+	EnableNodeLogs bool
+
+	// GridJitter forwards to the topology generator (0 = uniform random).
+	GridJitter float64
+
+	// Traffic selects the generation pattern (default TrafficPeriodic).
+	Traffic TrafficPattern
+}
+
+func (c NetworkConfig) withDefaults() NetworkConfig {
+	if c.DataPeriod <= 0 {
+		c.DataPeriod = 10 * time.Second
+	}
+	if c.DataJitter <= 0 {
+		c.DataJitter = 2 * time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 60 * time.Second
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 28
+	}
+	if c.BeaconBytes <= 0 {
+		c.BeaconBytes = 10
+	}
+	if c.Quantize < 0 {
+		c.Quantize = 0
+	} else if c.Quantize == 0 {
+		c.Quantize = time.Millisecond
+	}
+	if c.DriftPeriod <= 0 {
+		c.DriftPeriod = 30 * time.Second
+	}
+	if c.Traffic == 0 {
+		c.Traffic = TrafficPeriodic
+	}
+	return c
+}
+
+// Network is an assembled simulated deployment.
+type Network struct {
+	cfg    NetworkConfig
+	engine *sim.Engine
+	topo   *radio.Topology
+	links  *radio.LinkModel
+	medium *mac.Medium
+	nodes  []*Node
+
+	records []*trace.Record
+}
+
+// NewNetwork builds the deployment; node 0 is the sink.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	c := cfg.withDefaults()
+	if c.NumNodes < 2 {
+		return nil, fmt.Errorf("%d nodes: %w", c.NumNodes, ErrBadNetwork)
+	}
+	if c.Side <= 0 {
+		return nil, fmt.Errorf("side %g: %w", c.Side, ErrBadNetwork)
+	}
+	engine := sim.NewEngine(c.Seed)
+	topo, err := radio.NewTopology(radio.TopologyConfig{
+		NumNodes:   c.NumNodes,
+		Side:       c.Side,
+		Sink:       c.Sink,
+		Seed:       c.Seed + 1,
+		GridJitter: c.GridJitter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building topology: %w", err)
+	}
+	linkCfg := c.Link
+	if linkCfg.Seed == 0 {
+		linkCfg.Seed = c.Seed + 2
+	}
+	links, err := radio.NewLinkModel(topo, linkCfg)
+	if err != nil {
+		return nil, fmt.Errorf("building link model: %w", err)
+	}
+	n := &Network{
+		cfg:    c,
+		engine: engine,
+		topo:   topo,
+		links:  links,
+		medium: mac.NewMedium(engine, topo, links, c.MAC),
+	}
+	n.nodes = make([]*Node, c.NumNodes)
+	for i := 0; i < c.NumNodes; i++ {
+		n.nodes[i] = newNode(radio.NodeID(i), i == 0, n)
+	}
+	return n, nil
+}
+
+// Engine exposes the simulation engine (tests and tooling).
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Topology exposes node placement.
+func (n *Network) Topology() *radio.Topology { return n.topo }
+
+// Medium exposes the shared channel (stats).
+func (n *Network) Medium() *mac.Medium { return n.medium }
+
+// Node returns the node with the given id.
+func (n *Network) Node(id radio.NodeID) *Node { return n.nodes[id] }
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// deliver finalizes a packet at the sink.
+func (n *Network) deliver(p *Packet, arrival sim.Time) {
+	rec := &trace.Record{
+		ID:            p.ID,
+		Path:          append([]radio.NodeID(nil), p.Path...),
+		GenTime:       p.GenTime,
+		SinkArrival:   arrival,
+		SumDelays:     p.SumDelays,
+		TruthArrivals: append([]sim.Time(nil), p.TruthArrivals...),
+	}
+	// Path-reconstruction header: the source wrote its parent id into the
+	// packet (which is necessarily the actual first receiver), and every
+	// hop folded itself into the path hash.
+	if len(p.Path) > 1 {
+		rec.FirstHop = p.Path[1]
+		rec.PathHash = trace.ComputePathHash(p.Path)
+	}
+	// Reference [7]'s field, quantized like the on-air 2-byte counter.
+	rec.E2EDelay = quantize(p.E2EAccum, n.cfg.Quantize)
+	n.records = append(n.records, rec)
+	src := int(p.ID.Source)
+	if src >= 0 && src < len(n.nodes) {
+		n.nodes[src].Stats.Delivered++
+	}
+}
+
+// FailNodeAt schedules a node's death at the given simulated time (before
+// calling Run). Failing the sink is rejected.
+func (n *Network) FailNodeAt(id radio.NodeID, at sim.Time) error {
+	if id <= 0 || int(id) >= len(n.nodes) {
+		return fmt.Errorf("cannot fail node %d of %d (sink is unkillable): %w", id, len(n.nodes), ErrBadNetwork)
+	}
+	target := n.nodes[id]
+	n.engine.ScheduleAt(at, target.Fail)
+	return nil
+}
+
+// Run simulates for the given duration (including warmup) and returns the
+// collected trace.
+func (n *Network) Run(duration time.Duration) (*trace.Trace, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("duration %v: %w", duration, ErrBadNetwork)
+	}
+	for _, nd := range n.nodes {
+		nd.start()
+	}
+	if n.cfg.Link.DriftStdDev > 0 {
+		pairs := n.connectedPairs()
+		var tick func()
+		tick = func() {
+			n.links.AdvanceDrift(pairs)
+			n.engine.Schedule(n.cfg.DriftPeriod, tick)
+		}
+		n.engine.Schedule(n.cfg.DriftPeriod, tick)
+	}
+	n.engine.Run(duration)
+
+	t := &trace.Trace{
+		NumNodes: len(n.nodes),
+		Duration: duration,
+		Records:  n.records,
+	}
+	t.Positions = make([][2]float64, len(n.nodes))
+	for i := range n.nodes {
+		p := n.topo.Position(radio.NodeID(i))
+		t.Positions[i] = [2]float64{p.X, p.Y}
+	}
+	if n.cfg.EnableNodeLogs {
+		t.NodeLogs = make(map[radio.NodeID][]trace.LogEntry, len(n.nodes))
+		for _, nd := range n.nodes {
+			if len(nd.log) > 0 {
+				t.NodeLogs[nd.id] = nd.log
+			}
+		}
+	}
+	t.SortBySinkArrival()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("collected trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// connectedPairs lists all directed in-range pairs for drift tracking.
+func (n *Network) connectedPairs() [][2]radio.NodeID {
+	var pairs [][2]radio.NodeID
+	for i := 0; i < len(n.nodes); i++ {
+		for j := 0; j < len(n.nodes); j++ {
+			if i == j {
+				continue
+			}
+			a, b := radio.NodeID(i), radio.NodeID(j)
+			if n.links.Connected(a, b) {
+				pairs = append(pairs, [2]radio.NodeID{a, b})
+			}
+		}
+	}
+	return pairs
+}
+
+// TreeDepths returns each node's hop distance to the sink along current
+// parents (-1 when unjoined); a coarse health metric used by tests.
+func (n *Network) TreeDepths() []int {
+	depths := make([]int, len(n.nodes))
+	for i := range depths {
+		depths[i] = -1
+	}
+	depths[0] = 0
+	// Iterate to fixpoint; the parent graph is nearly a tree so a few
+	// passes suffice.
+	for pass := 0; pass < len(n.nodes); pass++ {
+		changed := false
+		for i := 1; i < len(n.nodes); i++ {
+			p, ok := n.nodes[i].router.Parent()
+			if !ok {
+				continue
+			}
+			if int(p) < len(depths) && depths[p] >= 0 {
+				d := depths[p] + 1
+				if depths[i] == -1 || d < depths[i] {
+					depths[i] = d
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return depths
+}

@@ -1,0 +1,425 @@
+package node
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// testNetworkConfig is a small but genuinely multi-hop deployment that runs
+// in well under a second.
+func testNetworkConfig(seed int64) NetworkConfig {
+	return NetworkConfig{
+		NumNodes: 16,
+		Side:     70,
+		Seed:     seed,
+		Link: radio.LinkConfig{
+			ConnectedRadius: 22,
+			OutageRadius:    45,
+			PRRMax:          0.97,
+		},
+		DataPeriod:     5 * time.Second,
+		DataJitter:     time.Second,
+		Warmup:         40 * time.Second,
+		GridJitter:     0.3,
+		EnableNodeLogs: true,
+	}
+}
+
+func runTestNetwork(t *testing.T, seed int64, d time.Duration) (*Network, *trace.Trace) {
+	t.Helper()
+	net, err := NewNetwork(testNetworkConfig(seed))
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	tr, err := net.Run(d)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return net, tr
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(NetworkConfig{NumNodes: 1, Side: 10}); !errors.Is(err, ErrBadNetwork) {
+		t.Errorf("1 node error = %v, want ErrBadNetwork", err)
+	}
+	if _, err := NewNetwork(NetworkConfig{NumNodes: 5, Side: 0}); !errors.Is(err, ErrBadNetwork) {
+		t.Errorf("zero side error = %v, want ErrBadNetwork", err)
+	}
+	net, err := NewNetwork(testNetworkConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(0); !errors.Is(err, ErrBadNetwork) {
+		t.Errorf("zero duration error = %v, want ErrBadNetwork", err)
+	}
+}
+
+func TestNetworkDeliversPackets(t *testing.T) {
+	net, tr := runTestNetwork(t, 1, 4*time.Minute)
+	if len(tr.Records) < 30 {
+		t.Fatalf("delivered %d packets, want a healthy flow (≥30)", len(tr.Records))
+	}
+	// Every record ends at the sink and starts at its source.
+	for _, r := range tr.Records {
+		if r.Path[len(r.Path)-1] != 0 {
+			t.Errorf("packet %v path ends at %d, want sink 0", r.ID, r.Path[len(r.Path)-1])
+		}
+		if r.Path[0] != r.ID.Source {
+			t.Errorf("packet %v path starts at %d", r.ID, r.Path[0])
+		}
+	}
+	// The tree must actually be multi-hop.
+	multihop := 0
+	for _, r := range tr.Records {
+		if r.Hops() > 2 {
+			multihop++
+		}
+	}
+	if multihop == 0 {
+		t.Error("no multi-hop deliveries; topology degenerate")
+	}
+	_ = net
+}
+
+func TestTreeForms(t *testing.T) {
+	net, _ := runTestNetwork(t, 2, 2*time.Minute)
+	depths := net.TreeDepths()
+	joined := 0
+	for i := 1; i < len(depths); i++ {
+		if depths[i] > 0 {
+			joined++
+		}
+	}
+	if joined < net.NumNodes()*3/4 {
+		t.Errorf("only %d/%d nodes joined the tree", joined, net.NumNodes()-1)
+	}
+}
+
+// Ground-truth arrival times must strictly increase along each path: the
+// order constraint (Eq. 5) is valid with a positive software delay ω.
+func TestTruthArrivalsStrictlyIncreasing(t *testing.T) {
+	_, tr := runTestNetwork(t, 3, 4*time.Minute)
+	for _, r := range tr.Records {
+		for i := 1; i < len(r.TruthArrivals); i++ {
+			if r.TruthArrivals[i] <= r.TruthArrivals[i-1] {
+				t.Fatalf("packet %v arrivals not increasing: %v", r.ID, r.TruthArrivals)
+			}
+		}
+		if r.TruthArrivals[0] != r.GenTime {
+			t.Errorf("packet %v truth[0] != GenTime", r.ID)
+		}
+		if r.TruthArrivals[len(r.TruthArrivals)-1] != r.SinkArrival {
+			t.Errorf("packet %v truth[last] != SinkArrival", r.ID)
+		}
+	}
+}
+
+// truthDelayAt returns the ground-truth sojourn of record x at node n, or
+// false when n is not a forwarding hop of x.
+func truthDelayAt(x *trace.Record, n radio.NodeID) (sim.Time, bool) {
+	for i := 0; i+1 < len(x.Path); i++ {
+		if x.Path[i] == n {
+			return x.TruthArrivals[i+1] - x.TruthArrivals[i], true
+		}
+	}
+	return 0, false
+}
+
+// The sum-of-delays lower-bound constraint (Eq. 7) must hold for every
+// delivered packet whose previous local packet was also delivered:
+// S(p) ≥ D_{N0(p)}(p) + Σ_{x ∈ C*(p)} D_{N0(p)}(x), up to quantization.
+func TestSumOfDelaysLowerBoundInvariant(t *testing.T) {
+	_, tr := runTestNetwork(t, 4, 6*time.Minute)
+	byID := tr.ByID()
+	checked := 0
+	for _, p := range tr.Records {
+		if p.ID.Seq < 2 {
+			continue
+		}
+		q, ok := byID[trace.PacketID{Source: p.ID.Source, Seq: p.ID.Seq - 1}]
+		if !ok {
+			continue // predecessor lost; the sink would skip this constraint
+		}
+		own, ok := truthDelayAt(p, p.ID.Source)
+		if !ok {
+			t.Fatalf("packet %v has no delay at its own source", p.ID)
+		}
+		rhs := own
+		for _, x := range tr.Records {
+			if x.ID == p.ID {
+				continue
+			}
+			if x.GenTime <= q.GenTime || x.SinkArrival >= p.GenTime {
+				continue
+			}
+			if d, onPath := truthDelayAt(x, p.ID.Source); onPath {
+				rhs += d
+			}
+		}
+		// 1ms slack: S(p) is floor-quantized to the on-air millisecond field.
+		if p.SumDelays+time.Millisecond < rhs {
+			t.Errorf("packet %v violates Eq.7: S=%v < RHS=%v", p.ID, p.SumDelays, rhs)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d packets checkable; trace too thin", checked)
+	}
+}
+
+// S(p) must never be absurdly large: it is bounded by the elapsed time
+// since the previous local packet plus queue-depth airtime.
+func TestSumOfDelaysSanity(t *testing.T) {
+	_, tr := runTestNetwork(t, 5, 4*time.Minute)
+	byID := tr.ByID()
+	for _, p := range tr.Records {
+		if p.ID.Seq < 2 {
+			continue
+		}
+		q, ok := byID[trace.PacketID{Source: p.ID.Source, Seq: p.ID.Seq - 1}]
+		if !ok {
+			continue
+		}
+		// Generous envelope: the buffer accumulates sojourns of packets that
+		// left this node within roughly (gen gap + own sojourn) wall time,
+		// and a 12-deep queue cannot hold more than 12 concurrent sojourns.
+		envelope := 13 * (p.SinkArrival - q.GenTime)
+		if p.SumDelays > envelope {
+			t.Errorf("packet %v S=%v exceeds envelope %v", p.ID, p.SumDelays, envelope)
+		}
+	}
+}
+
+// FIFO ground truth: among local packets of the same source, generation
+// order must match next-hop arrival order (this is the guaranteed subset of
+// FIFO constraints Domo's bound solver uses).
+func TestFIFOAmongLocalPackets(t *testing.T) {
+	_, tr := runTestNetwork(t, 6, 5*time.Minute)
+	bySource := map[radio.NodeID][]*trace.Record{}
+	for _, r := range tr.Records {
+		bySource[r.ID.Source] = append(bySource[r.ID.Source], r)
+	}
+	for src, recs := range bySource {
+		for i := 0; i < len(recs); i++ {
+			for j := i + 1; j < len(recs); j++ {
+				x, y := recs[i], recs[j]
+				if len(x.TruthArrivals) < 2 || len(y.TruthArrivals) < 2 {
+					continue
+				}
+				genDiff := x.GenTime - y.GenTime
+				depDiff := x.TruthArrivals[1] - y.TruthArrivals[1]
+				if genDiff < 0 && depDiff >= 0 || genDiff > 0 && depDiff <= 0 {
+					t.Errorf("FIFO violated at source %d: %v vs %v (gen %v vs %v, dep %v vs %v)",
+						src, x.ID, y.ID, x.GenTime, y.GenTime, x.TruthArrivals[1], y.TruthArrivals[1])
+				}
+			}
+		}
+	}
+}
+
+func TestNodeLogsRecorded(t *testing.T) {
+	net, tr := runTestNetwork(t, 7, 3*time.Minute)
+	if len(tr.NodeLogs) == 0 {
+		t.Fatal("no node logs despite EnableNodeLogs")
+	}
+	// Log entries at each node must be time-ordered (they are appended as
+	// events happen).
+	for id, log := range tr.NodeLogs {
+		for i := 1; i < len(log); i++ {
+			if log[i].At < log[i-1].At {
+				t.Errorf("node %d log out of order at %d", id, i)
+			}
+		}
+	}
+	_ = net
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	net, tr := runTestNetwork(t, 8, 4*time.Minute)
+	// Sink must never record the same packet twice.
+	seen := map[trace.PacketID]bool{}
+	for _, r := range tr.Records {
+		if seen[r.ID] {
+			t.Fatalf("packet %v delivered twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	_ = net
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	net, tr := runTestNetwork(t, 9, 4*time.Minute)
+	var generated, delivered int
+	for i := 1; i < net.NumNodes(); i++ {
+		s := net.Node(radio.NodeID(i)).Stats
+		generated += s.Generated
+		delivered += s.Delivered
+	}
+	if generated == 0 {
+		t.Fatal("no packets generated")
+	}
+	if delivered != len(tr.Records) {
+		t.Errorf("per-node delivered sum %d != trace records %d", delivered, len(tr.Records))
+	}
+	if delivered > generated {
+		t.Errorf("delivered %d > generated %d", delivered, generated)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, tr1 := runTestNetwork(t, 10, 2*time.Minute)
+	_, tr2 := runTestNetwork(t, 10, 2*time.Minute)
+	if len(tr1.Records) != len(tr2.Records) {
+		t.Fatalf("same seed, different record counts: %d vs %d", len(tr1.Records), len(tr2.Records))
+	}
+	for i := range tr1.Records {
+		a, b := tr1.Records[i], tr2.Records[i]
+		if a.ID != b.ID || a.SinkArrival != b.SinkArrival || a.SumDelays != b.SumDelays {
+			t.Fatalf("same seed diverged at record %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	_, tr := runTestNetwork(t, 11, 3*time.Minute)
+	for _, r := range tr.Records {
+		if r.SumDelays%time.Millisecond != 0 {
+			t.Fatalf("packet %v S=%v not millisecond-quantized", r.ID, r.SumDelays)
+		}
+	}
+}
+
+// Reference [7]'s end-to-end delay field must closely track the true
+// end-to-end delay: floor quantization can lose up to 1ms, and lost ACKs
+// can inflate a hop's measured sojourn past the receiver's true arrival.
+func TestE2EDelayFieldTracksTruth(t *testing.T) {
+	_, tr := runTestNetwork(t, 12, 5*time.Minute)
+	checked := 0
+	for _, r := range tr.Records {
+		truth := r.SinkArrival - r.GenTime
+		if r.E2EDelay > truth+time.Millisecond {
+			// Inflation must come from retransmissions only; allow a
+			// generous envelope of 3 ACK timeouts per hop.
+			envelope := truth + time.Duration(r.Hops())*30*time.Millisecond
+			if r.E2EDelay > envelope {
+				t.Errorf("packet %v: e2e field %v wildly above truth %v", r.ID, r.E2EDelay, truth)
+			}
+			continue
+		}
+		if r.E2EDelay < truth-time.Duration(r.Hops())*time.Millisecond {
+			t.Errorf("packet %v: e2e field %v below truth %v minus quantization", r.ID, r.E2EDelay, truth)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d packets checked", checked)
+	}
+}
+
+// The reconstructed generation time (sink arrival − e2e field) must land
+// within a few ms of the true generation time for nearly all packets.
+func TestGenTimeReconstructionFromE2EField(t *testing.T) {
+	_, tr := runTestNetwork(t, 13, 5*time.Minute)
+	var worst time.Duration
+	within3ms := 0
+	for _, r := range tr.Records {
+		rec := r.SinkArrival - r.E2EDelay
+		diff := rec - r.GenTime
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > worst {
+			worst = diff
+		}
+		if diff <= 3*time.Millisecond {
+			within3ms++
+		}
+	}
+	frac := float64(within3ms) / float64(len(tr.Records))
+	t.Logf("gen-time reconstruction: %.0f%% within 3ms, worst %v", frac*100, worst)
+	if frac < 0.9 {
+		t.Errorf("only %.0f%% of reconstructed generation times within 3ms", frac*100)
+	}
+}
+
+// Non-periodic traffic patterns must keep the Eq. 7 invariant (Algorithm 1
+// is workload-agnostic) and produce plausibly different arrival processes.
+func TestTrafficPatterns(t *testing.T) {
+	rates := map[TrafficPattern]int{}
+	for _, pattern := range []TrafficPattern{TrafficPeriodic, TrafficPoisson, TrafficBursty} {
+		cfg := testNetworkConfig(30)
+		cfg.Traffic = pattern
+		net, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatalf("%v: NewNetwork: %v", pattern, err)
+		}
+		tr, err := net.Run(5 * time.Minute)
+		if err != nil {
+			t.Fatalf("%v: Run: %v", pattern, err)
+		}
+		if len(tr.Records) < 20 {
+			t.Fatalf("%v: only %d records", pattern, len(tr.Records))
+		}
+		rates[pattern] = len(tr.Records)
+
+		// Eq. 7 must hold regardless of traffic shape.
+		byID := tr.ByID()
+		for _, p := range tr.Records {
+			if p.ID.Seq < 2 {
+				continue
+			}
+			q, ok := byID[trace.PacketID{Source: p.ID.Source, Seq: p.ID.Seq - 1}]
+			if !ok {
+				continue
+			}
+			own, ok := truthDelayAt(p, p.ID.Source)
+			if !ok {
+				continue
+			}
+			rhs := own
+			for _, x := range tr.Records {
+				if x.ID == p.ID || x.GenTime <= q.GenTime || x.SinkArrival >= p.GenTime {
+					continue
+				}
+				if d, onPath := truthDelayAt(x, p.ID.Source); onPath {
+					rhs += d
+				}
+			}
+			if p.SumDelays+time.Millisecond < rhs {
+				t.Errorf("%v: packet %v violates Eq.7: S=%v < %v", pattern, p.ID, p.SumDelays, rhs)
+			}
+		}
+	}
+	t.Logf("deliveries: periodic=%d poisson=%d bursty=%d",
+		rates[TrafficPeriodic], rates[TrafficPoisson], rates[TrafficBursty])
+}
+
+func TestTrafficPatternString(t *testing.T) {
+	if TrafficPeriodic.String() != "periodic" || TrafficPoisson.String() != "poisson" ||
+		TrafficBursty.String() != "bursty" {
+		t.Error("pattern names wrong")
+	}
+	if TrafficPattern(9).String() != "TrafficPattern(9)" {
+		t.Errorf("unknown pattern = %q", TrafficPattern(9))
+	}
+}
+
+func BenchmarkNetworkRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := testNetworkConfig(int64(i + 1))
+		net, err := NewNetwork(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := net.Run(2 * time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tr.NumNodes), "nodes")
+	}
+}

@@ -1,0 +1,311 @@
+package node
+
+import (
+	"time"
+
+	"github.com/domo-net/domo/internal/ctp"
+	"github.com/domo-net/domo/internal/mac"
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// Stats counts per-node application events.
+type Stats struct {
+	Generated     int
+	Delivered     int // packets this node originated that reached the sink
+	ForwardDrops  int // queue-full or no-parent drops while forwarding
+	NoParentSkips int // generations skipped because the node has no route
+	Duplicates    int // duplicate receptions suppressed
+}
+
+// Node is one network participant: application, Domo instrumentation,
+// routing, and MAC delegate.
+type Node struct {
+	id     radio.NodeID
+	isSink bool
+	engine *sim.Engine
+	mac    *mac.MAC
+	router *ctp.Router
+	net    *Network
+
+	seq uint32
+
+	// Algorithm 1 state.
+	sumHopDelays sim.Time
+	// arrivalAt maps an in-flight packet (by pointer) to its t1: the RX SFD
+	// for forwarded packets, the generation time for local packets.
+	arrivalAt map[*Packet]sim.Time
+	// lastTxSFD is the most recent transmit-SFD time per in-flight packet.
+	lastTxSFD map[*Packet]sim.Time
+
+	// Duplicate suppression: recently seen packet ids, FIFO-evicted.
+	seen      map[trace.PacketID]bool
+	seenOrder []trace.PacketID
+
+	// MessageTracing local log.
+	log []trace.LogEntry
+
+	dead bool
+
+	Stats Stats
+}
+
+const _seenCap = 128
+
+func newNode(id radio.NodeID, isSink bool, net *Network) *Node {
+	n := &Node{
+		id:        id,
+		isSink:    isSink,
+		engine:    net.engine,
+		net:       net,
+		arrivalAt: make(map[*Packet]sim.Time),
+		lastTxSFD: make(map[*Packet]sim.Time),
+		seen:      make(map[trace.PacketID]bool),
+	}
+	n.mac = net.medium.AttachMAC(id, n)
+	n.router = ctp.NewRouter(id, isSink, net.engine, net.cfg.CTP, n.emitBeacon)
+	return n
+}
+
+// ID returns the node id.
+func (n *Node) ID() radio.NodeID { return n.id }
+
+// Router exposes the routing state (read-only use).
+func (n *Node) Router() *ctp.Router { return n.router }
+
+// Log returns the node's MessageTracing log.
+func (n *Node) Log() []trace.LogEntry { return n.log }
+
+// Fail kills the node: its radio goes down, queued packets are lost, and
+// it stops generating data. Used for failure-injection experiments.
+func (n *Node) Fail() {
+	n.dead = true
+	n.mac.SetDown(true)
+}
+
+// Dead reports whether the node has been failed.
+func (n *Node) Dead() bool { return n.dead }
+
+// start kicks off beacons and, for non-sinks, data generation.
+func (n *Node) start() {
+	n.router.Start()
+	if n.isSink {
+		return
+	}
+	n.scheduleGeneration(true)
+}
+
+func (n *Node) scheduleGeneration(first bool) {
+	cfg := n.net.cfg
+	if first {
+		// Desynchronize sources across the warmup boundary.
+		delay := cfg.Warmup + time.Duration(n.engine.RNG().Int63n(int64(cfg.DataPeriod)))
+		n.engine.Schedule(delay, func() {
+			n.generate()
+			n.scheduleGeneration(false)
+		})
+		return
+	}
+	switch cfg.Traffic {
+	case TrafficPoisson:
+		// Exponential inter-arrivals with mean DataPeriod.
+		delay := time.Duration(n.engine.RNG().ExpFloat64() * float64(cfg.DataPeriod))
+		if delay > 10*cfg.DataPeriod {
+			delay = 10 * cfg.DataPeriod
+		}
+		n.engine.Schedule(delay, func() {
+			n.generate()
+			n.scheduleGeneration(false)
+		})
+	case TrafficBursty:
+		// A quiet gap then a burst of 3-6 packets spaced 200-700ms apart.
+		gap := time.Duration(n.engine.RNG().ExpFloat64() * float64(4*cfg.DataPeriod))
+		if gap > 20*cfg.DataPeriod {
+			gap = 20 * cfg.DataPeriod
+		}
+		burst := 3 + n.engine.RNG().Intn(4)
+		n.engine.Schedule(gap, func() {
+			var fire func(left int)
+			fire = func(left int) {
+				n.generate()
+				if left <= 1 {
+					n.scheduleGeneration(false)
+					return
+				}
+				spacing := 200*time.Millisecond +
+					time.Duration(n.engine.RNG().Int63n(int64(500*time.Millisecond)))
+				n.engine.Schedule(spacing, func() { fire(left - 1) })
+			}
+			fire(burst)
+		})
+	default: // TrafficPeriodic
+		delay := cfg.DataPeriod
+		if cfg.DataJitter > 0 {
+			delay += time.Duration(n.engine.RNG().Int63n(int64(cfg.DataJitter)))
+		}
+		n.engine.Schedule(delay, func() {
+			n.generate()
+			n.scheduleGeneration(false)
+		})
+	}
+}
+
+// generate creates and enqueues one local data packet.
+func (n *Node) generate() {
+	if n.dead {
+		return
+	}
+	if _, ok := n.router.Parent(); !ok {
+		n.Stats.NoParentSkips++
+		return
+	}
+	n.seq++
+	now := n.engine.Now()
+	p := &Packet{
+		ID:            trace.PacketID{Source: n.id, Seq: n.seq},
+		Path:          []radio.NodeID{n.id},
+		GenTime:       now,
+		TruthArrivals: []sim.Time{now},
+	}
+	n.Stats.Generated++
+	n.arrivalAt[p] = now // t1 for a local packet is its generation time
+	n.forward(p, true)
+}
+
+// forward enqueues a packet toward the current parent.
+func (n *Node) forward(p *Packet, local bool) {
+	parent, ok := n.router.Parent()
+	if !ok {
+		n.Stats.ForwardDrops++
+		n.abandon(p)
+		return
+	}
+	f := &mac.Frame{
+		Kind:    mac.FrameData,
+		Src:     n.id,
+		Dst:     parent,
+		Bytes:   n.net.cfg.PayloadBytes,
+		Payload: p,
+	}
+	if err := n.mac.Send(f); err != nil {
+		n.Stats.ForwardDrops++
+		n.abandon(p)
+		return
+	}
+	_ = local
+}
+
+// abandon drops instrumentation state for a packet that will not continue.
+func (n *Node) abandon(p *Packet) {
+	delete(n.arrivalAt, p)
+	delete(n.lastTxSFD, p)
+}
+
+func (n *Node) emitBeacon(b ctp.Beacon) {
+	f := &mac.Frame{
+		Kind:    mac.FrameBeacon,
+		Src:     n.id,
+		Dst:     mac.Broadcast,
+		Bytes:   n.net.cfg.BeaconBytes,
+		Payload: b,
+	}
+	// Beacon loss on a full queue is normal protocol behaviour.
+	_ = n.mac.Send(f)
+}
+
+// OnTxSFD implements mac.Delegate: the transmit-SFD interrupt (Algorithm 1
+// lines 6-7 and, for local packets, the S(p) write of line 10).
+func (n *Node) OnTxSFD(f *mac.Frame, sfdAt sim.Time) {
+	p, ok := f.Payload.(*Packet)
+	if !ok {
+		return // beacons carry no Domo state
+	}
+	n.lastTxSFD[p] = sfdAt
+	// Reference [7]'s end-to-end field: rewrite base + own sojourn-so-far
+	// into the outgoing frame on every attempt.
+	p.E2EAccum = p.e2eBase + (sfdAt - n.arrivalAt[p])
+	if p.ID.Source == n.id {
+		// Line 10: write sum-hop-delays (buffer + this packet's own delay
+		// so far) into the outgoing local packet. Re-written on every
+		// attempt exactly as the radio's transmit RAM would be.
+		own := sfdAt - n.arrivalAt[p]
+		p.SumDelays = quantize(n.sumHopDelays+own, n.net.cfg.Quantize)
+	}
+}
+
+// OnReceive implements mac.Delegate: reception of a frame.
+func (n *Node) OnReceive(f *mac.Frame, sfdAt, at sim.Time) {
+	switch f.Kind {
+	case mac.FrameBeacon:
+		if b, ok := f.Payload.(ctp.Beacon); ok {
+			n.router.HandleBeacon(b)
+		}
+		return
+	case mac.FrameData:
+	default:
+		return
+	}
+	if f.Dst != n.id {
+		return
+	}
+	p, ok := f.Payload.(*Packet)
+	if !ok {
+		return
+	}
+	if n.seen[p.ID] {
+		n.Stats.Duplicates++
+		return
+	}
+	n.remember(p.ID)
+	if n.net.cfg.EnableNodeLogs {
+		n.log = append(n.log, trace.LogEntry{Kind: trace.EventReceive, Packet: p.ID, At: sfdAt})
+	}
+
+	// Ground truth: arrival time at this node is the receive SFD.
+	p.Path = append(p.Path, n.id)
+	p.TruthArrivals = append(p.TruthArrivals, sfdAt)
+
+	if n.isSink {
+		n.net.deliver(p, sfdAt)
+		return
+	}
+	n.arrivalAt[p] = sfdAt // Algorithm 1 lines 4-5
+	p.e2eBase = p.E2EAccum // snapshot the carried end-to-end field
+	n.forward(p, false)
+}
+
+// OnSendDone implements mac.Delegate: commit the packet's sojourn into the
+// Algorithm 1 buffer (line 8) and reset it after a local packet (line 11).
+func (n *Node) OnSendDone(f *mac.Frame, success bool, at sim.Time) {
+	p, ok := f.Payload.(*Packet)
+	if !ok {
+		return
+	}
+	if n.router != nil && f.Kind == mac.FrameData {
+		n.router.ReportDataOutcome(f.Dst, success)
+	}
+	t1, okT1 := n.arrivalAt[p]
+	t2, okT2 := n.lastTxSFD[p]
+	if okT1 && okT2 {
+		n.sumHopDelays += t2 - t1
+	}
+	if n.net.cfg.EnableNodeLogs && okT2 {
+		n.log = append(n.log, trace.LogEntry{Kind: trace.EventSend, Packet: p.ID, At: t2})
+	}
+	if p.ID.Source == n.id {
+		// Line 11: the freshly transmitted local packet carried the buffer.
+		n.sumHopDelays = 0
+	}
+	n.abandon(p)
+}
+
+func (n *Node) remember(id trace.PacketID) {
+	n.seen[id] = true
+	n.seenOrder = append(n.seenOrder, id)
+	if len(n.seenOrder) > _seenCap {
+		old := n.seenOrder[0]
+		n.seenOrder = n.seenOrder[1:]
+		delete(n.seen, old)
+	}
+}

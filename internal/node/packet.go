@@ -1,0 +1,57 @@
+// Package node implements the node-side half of Domo together with the
+// application layer of the simulated network: periodic data generation,
+// CTP-driven forwarding over the CSMA MAC, duplicate suppression, and the
+// paper's Algorithm 1 — per-packet sojourn measurement from SFD interrupts
+// and the sum-of-delays field S(p) attached to every local packet. It also
+// assembles whole networks and produces the sink-side trace.
+package node
+
+import (
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// Packet is a data packet travelling through the network. One instance is
+// shared along the whole path (the simulation is single-process); the
+// fields below mirror what the real packet carries on air plus the
+// simulator-recorded ground truth.
+type Packet struct {
+	ID trace.PacketID
+
+	// Path accumulates the nodes visited, source first. The paper assumes
+	// per-packet paths are available through path reconstruction (MNT,
+	// Pathfinder, PathZip); carrying the ground-truth path is the
+	// simulation equivalent.
+	Path []radio.NodeID
+
+	// GenTime is t_0(p). The paper obtains it at the sink through existing
+	// time-reconstruction methods; the simulator provides it directly.
+	GenTime sim.Time
+
+	// SumDelays is S(p), written by the source's Algorithm 1 state at the
+	// transmit SFD of this packet, quantized like the on-air 2-byte field.
+	SumDelays sim.Time
+
+	// E2EAccum is the running end-to-end delay field (Wang et al.,
+	// RTSS'12): at every transmit SFD the current hop writes its measured
+	// sojourn-so-far on top of the value the packet arrived with, exactly
+	// like the radio rewrites the transmit RAM on each attempt.
+	E2EAccum sim.Time
+	// e2eBase is the E2EAccum value the packet arrived at this hop with.
+	e2eBase sim.Time
+
+	// TruthArrivals are the exact arrival times t_i(p), one per Path entry.
+	TruthArrivals []sim.Time
+}
+
+// quantize floors d to the given granularity (the on-node field stores
+// integer milliseconds, so values truncate).
+func quantize(d sim.Time, q time.Duration) sim.Time {
+	if q <= 0 {
+		return d
+	}
+	return d - d%q
+}

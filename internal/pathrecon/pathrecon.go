@@ -1,0 +1,260 @@
+// Package pathrecon reconstructs per-packet routing paths from the small
+// per-packet header Domo's node side attaches: the first-hop receiver id
+// and a 16-bit order-sensitive path hash.
+//
+// The paper assumes per-packet paths are available through existing path
+// reconstruction systems (MNT — SenSys'12, Pathfinder — ICNP'13, PathZip —
+// MASS'12) and this package implements that substrate in their spirit:
+//
+//   - every node's own (local) packets reveal that node's parent over
+//     time, because a local packet's first hop *is* the parent when it was
+//     sent;
+//   - a forwarded packet's path is therefore the chain of parents: follow
+//     the source's parent at the generation time, then that node's parent
+//     at (approximately) the same time, and so on to the sink;
+//   - routing dynamics make "the parent at time t" ambiguous near parent
+//     switches, so reconstruction searches the few temporally-nearby
+//     parent candidates at every hop and accepts exactly the chains whose
+//     hash matches the packet's PathHash (PathZip's verification idea).
+//
+// Reconstruction is conservative: a packet whose hash cannot be matched,
+// or that matches more than one distinct candidate path, is reported as
+// failed rather than guessed.
+package pathrecon
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// ErrBadInput is returned for invalid traces.
+var ErrBadInput = errors.New("pathrecon: invalid input")
+
+// Hash computes the order-sensitive 16-bit path hash the node side
+// attaches; it aliases the trace package's definition of the on-air
+// header format.
+func Hash(path []radio.NodeID) uint16 { return trace.ComputePathHash(path) }
+
+// parentSample is one observation of a node's parent at a point in time.
+type parentSample struct {
+	at     sim.Time
+	parent radio.NodeID
+}
+
+// Config tunes the reconstruction search.
+type Config struct {
+	// MaxCandidates bounds how many temporally-nearest parent samples are
+	// tried per hop. Default 3.
+	MaxCandidates int
+	// MaxDepth bounds the path length explored (loop protection).
+	// Default 32.
+	MaxDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 3
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 32
+	}
+	return c
+}
+
+// Result reports a reconstruction pass over a trace.
+type Result struct {
+	// Paths maps each packet to its reconstructed path (source..sink).
+	// Packets absent from the map could not be reconstructed unambiguously.
+	Paths map[trace.PacketID][]radio.NodeID
+	Stats Stats
+}
+
+// Stats summarizes reconstruction outcomes.
+type Stats struct {
+	Total      int // packets examined
+	Exact      int // hash-verified, unique path found
+	Ambiguous  int // more than one distinct hash-matching path
+	Unresolved int // no hash-matching chain found
+}
+
+// Reconstructor builds per-node parent timelines from a trace and answers
+// path queries.
+type Reconstructor struct {
+	cfg      Config
+	sink     radio.NodeID
+	timeline map[radio.NodeID][]parentSample
+}
+
+// NewReconstructor indexes the trace's first-hop observations.
+func NewReconstructor(tr *trace.Trace, cfg Config) (*Reconstructor, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("validating trace: %w", err)
+	}
+	r := &Reconstructor{
+		cfg:      cfg.withDefaults(),
+		sink:     0,
+		timeline: make(map[radio.NodeID][]parentSample),
+	}
+	for _, rec := range tr.Records {
+		if rec.FirstHop < 0 {
+			continue // trace collected without the path-reconstruction header
+		}
+		r.timeline[rec.ID.Source] = append(r.timeline[rec.ID.Source], parentSample{
+			at:     rec.GenTime,
+			parent: rec.FirstHop,
+		})
+	}
+	for _, samples := range r.timeline {
+		sort.Slice(samples, func(i, j int) bool { return samples[i].at < samples[j].at })
+	}
+	return r, nil
+}
+
+// candidates returns up to MaxCandidates distinct parent candidates of
+// node n around time t, nearest first.
+func (r *Reconstructor) candidates(n radio.NodeID, t sim.Time) []radio.NodeID {
+	samples := r.timeline[n]
+	if len(samples) == 0 {
+		return nil
+	}
+	// Locate the insertion point and walk outward.
+	idx := sort.Search(len(samples), func(i int) bool { return samples[i].at >= t })
+	lo, hi := idx-1, idx
+	var out []radio.NodeID
+	seen := map[radio.NodeID]bool{}
+	push := func(p radio.NodeID) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for len(out) < r.cfg.MaxCandidates && (lo >= 0 || hi < len(samples)) {
+		switch {
+		case lo < 0:
+			push(samples[hi].parent)
+			hi++
+		case hi >= len(samples):
+			push(samples[lo].parent)
+			lo--
+		case t-samples[lo].at <= samples[hi].at-t:
+			push(samples[lo].parent)
+			lo--
+		default:
+			push(samples[hi].parent)
+			hi++
+		}
+	}
+	return out
+}
+
+// Path reconstructs one packet's path given its header fields. It returns
+// the unique hash-verified chain, or ok=false when none or several match.
+func (r *Reconstructor) Path(source radio.NodeID, genTime sim.Time, firstHop radio.NodeID, pathHash uint16) (path []radio.NodeID, ok bool) {
+	var found [][]radio.NodeID
+	prefix := []radio.NodeID{source, firstHop}
+	r.search(prefix, genTime, pathHash, &found)
+	if len(found) == 0 {
+		return nil, false
+	}
+	first := found[0]
+	for _, other := range found[1:] {
+		if !equalPath(first, other) {
+			return nil, false // ambiguous
+		}
+	}
+	return first, true
+}
+
+// search extends prefix hop by hop, trying nearby parent candidates and
+// collecting hash-verified complete chains.
+func (r *Reconstructor) search(prefix []radio.NodeID, t sim.Time, want uint16, found *[][]radio.NodeID) {
+	if len(prefix) > r.cfg.MaxDepth || len(*found) > 4 {
+		return
+	}
+	last := prefix[len(prefix)-1]
+	if last == r.sink {
+		if Hash(prefix) == want {
+			*found = append(*found, append([]radio.NodeID(nil), prefix...))
+		}
+		return
+	}
+	// Loop protection: a valid path never revisits a node.
+	onPath := map[radio.NodeID]bool{}
+	for _, n := range prefix {
+		onPath[n] = true
+	}
+	for _, cand := range r.candidates(last, t) {
+		if onPath[cand] {
+			continue
+		}
+		r.search(append(prefix, cand), t, want, found)
+	}
+}
+
+func equalPath(a, b []radio.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReconstructAll runs path reconstruction for every record of a trace and
+// scores it against the records' true paths.
+func ReconstructAll(tr *trace.Trace, cfg Config) (*Result, error) {
+	r, err := NewReconstructor(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Paths: make(map[trace.PacketID][]radio.NodeID, len(tr.Records))}
+	for _, rec := range tr.Records {
+		res.Stats.Total++
+		path, ok := r.Path(rec.ID.Source, rec.GenTime, rec.FirstHop, rec.PathHash)
+		if !ok {
+			if path == nil {
+				res.Stats.Unresolved++
+			} else {
+				res.Stats.Ambiguous++
+			}
+			continue
+		}
+		res.Stats.Exact++
+		res.Paths[rec.ID] = path
+	}
+	return res, nil
+}
+
+// ApplyToTrace returns a copy of the trace whose records carry the
+// reconstructed paths instead of the ground-truth ones, dropping records
+// whose path could not be reconstructed. Ground-truth arrivals are kept
+// only for records whose reconstructed path matches the true one (they
+// would be meaningless otherwise), so downstream accuracy evaluation stays
+// honest.
+func (res *Result) ApplyToTrace(tr *trace.Trace) *trace.Trace {
+	out := &trace.Trace{NumNodes: tr.NumNodes, Duration: tr.Duration, NodeLogs: tr.NodeLogs}
+	for _, rec := range tr.Records {
+		path, ok := res.Paths[rec.ID]
+		if !ok {
+			continue
+		}
+		clone := *rec
+		clone.Path = append([]radio.NodeID(nil), path...)
+		if !equalPath(path, rec.Path) {
+			clone.TruthArrivals = nil
+		}
+		out.Records = append(out.Records, &clone)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package pathrecon
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/node"
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+func ms(n float64) sim.Time { return sim.Time(n * float64(time.Millisecond)) }
+
+func TestHashOrderSensitive(t *testing.T) {
+	a := Hash([]radio.NodeID{1, 2, 3})
+	b := Hash([]radio.NodeID{3, 2, 1})
+	if a == b {
+		t.Error("hash ignores order")
+	}
+	if Hash([]radio.NodeID{1, 2, 3}) != a {
+		t.Error("hash not deterministic")
+	}
+	if Hash([]radio.NodeID{1, 2}) == Hash([]radio.NodeID{1, 2, 0}) {
+		t.Error("hash ignores length")
+	}
+}
+
+// craftedTrace: sources 3 and 4 route via 2 → 1 → 0; node 2's and node 1's
+// own local packets expose their parents.
+func craftedTrace() *trace.Trace {
+	mk := func(src radio.NodeID, seq uint32, path []radio.NodeID, genMs float64) *trace.Record {
+		arr := make([]sim.Time, len(path))
+		for i := range path {
+			arr[i] = ms(genMs + float64(i)*5)
+		}
+		return &trace.Record{
+			ID:            trace.PacketID{Source: src, Seq: seq},
+			Path:          path,
+			GenTime:       arr[0],
+			SinkArrival:   arr[len(arr)-1],
+			TruthArrivals: arr,
+			FirstHop:      path[1],
+			PathHash:      Hash(path),
+		}
+	}
+	tr := &trace.Trace{
+		NumNodes: 5,
+		Duration: time.Second,
+		Records: []*trace.Record{
+			mk(1, 1, []radio.NodeID{1, 0}, 0),
+			mk(2, 1, []radio.NodeID{2, 1, 0}, 10),
+			mk(3, 1, []radio.NodeID{3, 2, 1, 0}, 20),
+			mk(1, 2, []radio.NodeID{1, 0}, 40),
+			mk(2, 2, []radio.NodeID{2, 1, 0}, 50),
+			mk(4, 1, []radio.NodeID{4, 2, 1, 0}, 60),
+		},
+	}
+	tr.SortBySinkArrival()
+	return tr
+}
+
+func TestReconstructAllCrafted(t *testing.T) {
+	tr := craftedTrace()
+	res, err := ReconstructAll(tr, Config{})
+	if err != nil {
+		t.Fatalf("ReconstructAll: %v", err)
+	}
+	if res.Stats.Total != 6 {
+		t.Fatalf("Total = %d, want 6", res.Stats.Total)
+	}
+	if res.Stats.Exact != 6 {
+		t.Errorf("Exact = %d, want 6 (stats %+v)", res.Stats.Exact, res.Stats)
+	}
+	for _, rec := range tr.Records {
+		path, ok := res.Paths[rec.ID]
+		if !ok {
+			t.Errorf("packet %v unresolved", rec.ID)
+			continue
+		}
+		if !equalPath(path, rec.Path) {
+			t.Errorf("packet %v path %v, want %v", rec.ID, path, rec.Path)
+		}
+	}
+}
+
+func TestPathRejectsWrongHash(t *testing.T) {
+	tr := craftedTrace()
+	r, err := NewReconstructor(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Path(3, ms(20), 2, 0xBEEF); ok {
+		t.Error("accepted a path with a non-matching hash")
+	}
+}
+
+func TestNewReconstructorValidation(t *testing.T) {
+	if _, err := NewReconstructor(nil, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil trace error = %v, want ErrBadInput", err)
+	}
+	if _, err := NewReconstructor(&trace.Trace{NumNodes: 1}, Config{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestApplyToTrace(t *testing.T) {
+	tr := craftedTrace()
+	res, err := ReconstructAll(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.ApplyToTrace(tr)
+	if len(out.Records) != res.Stats.Exact {
+		t.Errorf("applied trace has %d records, want %d", len(out.Records), res.Stats.Exact)
+	}
+	for _, rec := range out.Records {
+		if len(rec.TruthArrivals) == 0 {
+			t.Errorf("packet %v lost ground truth despite a correct path", rec.ID)
+		}
+	}
+}
+
+// End-to-end: reconstruct paths on a simulated network with routing
+// dynamics and verify high exactness and zero wrong paths.
+func TestReconstructSimulated(t *testing.T) {
+	net, err := node.NewNetwork(node.NetworkConfig{
+		NumNodes: 25,
+		Side:     85,
+		Seed:     13,
+		Link: radio.LinkConfig{
+			ConnectedRadius: 24,
+			OutageRadius:    46,
+			PRRMax:          0.97,
+			DriftStdDev:     0.03, // parent switches make reconstruction non-trivial
+		},
+		DataPeriod: 6 * time.Second,
+		DataJitter: time.Second,
+		Warmup:     40 * time.Second,
+		GridJitter: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := net.Run(6 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) < 80 {
+		t.Fatalf("thin trace: %d", len(tr.Records))
+	}
+	res, err := ReconstructAll(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactFrac := float64(res.Stats.Exact) / float64(res.Stats.Total)
+	t.Logf("paths: %d total, %d exact (%.0f%%), %d ambiguous, %d unresolved",
+		res.Stats.Total, res.Stats.Exact, exactFrac*100, res.Stats.Ambiguous, res.Stats.Unresolved)
+	if exactFrac < 0.8 {
+		t.Errorf("exact fraction %.2f too low", exactFrac)
+	}
+	// Every reconstructed path must be the true one (hash verification can
+	// collide in principle at 16 bits, but candidates are few).
+	byID := tr.ByID()
+	wrong := 0
+	for id, path := range res.Paths {
+		if !equalPath(path, byID[id].Path) {
+			wrong++
+		}
+	}
+	if wrong > res.Stats.Exact/100 {
+		t.Errorf("%d reconstructed paths are wrong", wrong)
+	}
+}

@@ -1,0 +1,123 @@
+package qp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/domo-net/domo/internal/lp"
+	"github.com/domo-net/domo/internal/mat"
+	"github.com/domo-net/domo/internal/sparse"
+)
+
+// Cross-validation: a QP with a vanishing quadratic term and a linear
+// objective must agree with the exact simplex solver on random bounded,
+// feasible LPs. This ties the two optimization substrates together.
+func TestSolveAgreesWithSimplexOnLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(4)
+		// Random objective.
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		// Box 0 ≤ x ≤ box keeps both problems bounded and feasible.
+		box := 1 + rng.Float64()*4
+		// A few random coupling rows aᵀx ≤ b with b large enough to keep
+		// the origin feasible.
+		mRows := 1 + rng.Intn(3)
+		type row struct {
+			coeffs []float64
+			ub     float64
+		}
+		rows := make([]row, mRows)
+		for k := range rows {
+			coeffs := make([]float64, n)
+			for i := range coeffs {
+				coeffs[i] = rng.NormFloat64()
+			}
+			rows[k] = row{coeffs: coeffs, ub: 0.5 + rng.Float64()*3}
+		}
+
+		// Exact LP solution.
+		lpProb := &lp.Problem{
+			NumVars:   n,
+			Objective: append([]float64(nil), c...),
+			VarLower:  make([]float64, n),
+			VarUpper:  make([]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			lpProb.VarUpper[i] = box
+		}
+		for _, r := range rows {
+			cons := lp.Constraint{Lower: -lp.Inf, Upper: r.ub}
+			for i, co := range r.coeffs {
+				cons.Terms = append(cons.Terms, lp.Term{Var: i, Coeff: co})
+			}
+			lpProb.Constraints = append(lpProb.Constraints, cons)
+		}
+		lpRes, err := lp.Solve(lpProb)
+		if err != nil {
+			t.Fatalf("trial %d: lp.Solve: %v", trial, err)
+		}
+		if lpRes.Status != lp.StatusOptimal {
+			t.Fatalf("trial %d: lp status %v", trial, lpRes.Status)
+		}
+
+		// Same problem as a (regularized) QP.
+		var entries []sparse.Entry
+		lows := make([]float64, 0, n+mRows)
+		highs := make([]float64, 0, n+mRows)
+		rowIdx := 0
+		for i := 0; i < n; i++ {
+			entries = append(entries, sparse.Entry{Row: rowIdx, Col: i, Value: 1})
+			lows = append(lows, 0)
+			highs = append(highs, box)
+			rowIdx++
+		}
+		for _, r := range rows {
+			for i, co := range r.coeffs {
+				if co != 0 {
+					entries = append(entries, sparse.Entry{Row: rowIdx, Col: i, Value: co})
+				}
+			}
+			lows = append(lows, -Unbounded)
+			highs = append(highs, r.ub)
+			rowIdx++
+		}
+		a, err := sparse.NewCSR(rowIdx, n, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tiny Tikhonov term keeps the ADMM subproblems strongly convex
+		// without visibly moving the optimum.
+		const eps = 1e-6
+		p := mat.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			p.Set(i, i, 2*eps)
+		}
+		qpProb := &Problem{
+			P: p,
+			Q: mat.NewVectorFrom(c),
+			A: a,
+			L: mat.NewVectorFrom(lows),
+			U: mat.NewVectorFrom(highs),
+		}
+		qpRes, err := Solve(qpProb, Options{MaxIter: 20000, EpsAbs: 1e-7, EpsRel: 1e-7})
+		if err != nil && !errors.Is(err, ErrMaxIterations) {
+			t.Fatalf("trial %d: qp.Solve: %v", trial, err)
+		}
+
+		// Compare objective values (solutions may differ on degenerate
+		// faces; objectives must agree).
+		qpObj := 0.0
+		for i := 0; i < n; i++ {
+			qpObj += c[i] * qpRes.X.At(i)
+		}
+		if math.Abs(qpObj-lpRes.Objective) > 1e-2*(1+math.Abs(lpRes.Objective)) {
+			t.Errorf("trial %d: qp objective %.6f vs lp %.6f", trial, qpObj, lpRes.Objective)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package qp implements an OSQP-style ADMM solver for convex quadratic
+// programs of the form
+//
+//	minimize   ½ xᵀPx + qᵀx
+//	subject to l ≤ Ax ≤ u
+//
+// with P symmetric positive semidefinite and A sparse. This is the solver
+// Domo uses for the refined estimation stage: the Eq. 8 variance objective
+// is the quadratic term and the order, sum-of-delays, and order-resolved
+// FIFO constraints form the box-constrained linear system l ≤ Ax ≤ u.
+//
+// The implementation follows Stellato et al.'s OSQP iteration: a single
+// Cholesky factorization of the quasi-definite normal matrix
+// P + σI + ρAᵀA is reused across iterations, each of which costs one
+// triangular solve and two sparse mat-vecs.
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/domo-net/domo/internal/mat"
+	"github.com/domo-net/domo/internal/sparse"
+)
+
+// Unbounded is the magnitude used to represent an absent bound.
+const Unbounded = 1e30
+
+// Sentinel errors returned by Solve.
+var (
+	ErrBadProblem    = errors.New("qp: malformed problem")
+	ErrMaxIterations = errors.New("qp: maximum iterations reached without convergence")
+)
+
+// Problem describes a convex QP. P may be nil, which means a zero quadratic
+// term (the problem degenerates to a box-constrained least-distance LP-like
+// program; for true LPs prefer package lp).
+type Problem struct {
+	P  *mat.Matrix // n×n PSD quadratic term, may be nil
+	Q  *mat.Vector // length-n linear term
+	A  *sparse.CSR // m×n constraint matrix
+	L  *mat.Vector // length-m lower bounds (use -Unbounded when absent)
+	U  *mat.Vector // length-m upper bounds (use +Unbounded when absent)
+	X0 *mat.Vector // optional warm start, length n
+}
+
+// Options tunes the ADMM iteration. The zero value selects defaults.
+type Options struct {
+	MaxIter int     // default 4000
+	EpsAbs  float64 // default 1e-5
+	EpsRel  float64 // default 1e-5
+	Rho     float64 // ADMM penalty, default 0.1
+	Sigma   float64 // regularization, default 1e-6
+	Alpha   float64 // relaxation, default 1.6
+	// DisableAdaptiveRho turns off the OSQP-style penalty adaptation
+	// (rebalancing ρ when the primal and dual residuals diverge by more
+	// than an order of magnitude; each adaptation refactorizes the KKT
+	// matrix).
+	DisableAdaptiveRho bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 4000
+	}
+	if o.EpsAbs <= 0 {
+		o.EpsAbs = 1e-5
+	}
+	if o.EpsRel <= 0 {
+		o.EpsRel = 1e-5
+	}
+	if o.Rho <= 0 {
+		o.Rho = 0.1
+	}
+	if o.Sigma <= 0 {
+		o.Sigma = 1e-6
+	}
+	if o.Alpha <= 0 || o.Alpha >= 2 {
+		o.Alpha = 1.6
+	}
+	return o
+}
+
+// Result reports the solution and solve statistics.
+type Result struct {
+	X          *mat.Vector // primal solution
+	Y          *mat.Vector // dual solution (multipliers for l ≤ Ax ≤ u)
+	Objective  float64
+	Iterations int
+	PrimalRes  float64
+	DualRes    float64
+	Converged  bool
+}
+
+// Solve runs ADMM on the problem and returns the result. When the iteration
+// limit is reached without meeting tolerances, the best iterate is returned
+// together with ErrMaxIterations so callers can still use the approximate
+// solution.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	n := p.A.Cols()
+	m := p.A.Rows()
+
+	rho := o.Rho
+	factorize := func() (*mat.Cholesky, error) {
+		normal, err := p.A.NormalMatrix(p.P, o.Sigma, rho)
+		if err != nil {
+			return nil, fmt.Errorf("forming KKT matrix: %w", err)
+		}
+		chol, err := mat.NewCholesky(normal)
+		if err != nil {
+			return nil, fmt.Errorf("factorizing KKT matrix: %w", err)
+		}
+		return chol, nil
+	}
+	chol, err := factorize()
+	if err != nil {
+		return nil, err
+	}
+
+	x := mat.NewVector(n)
+	if p.X0 != nil {
+		if err := x.CopyFrom(p.X0); err != nil {
+			return nil, fmt.Errorf("warm start: %w", err)
+		}
+	}
+	z, err := p.A.MulVec(x)
+	if err != nil {
+		return nil, err
+	}
+	clipToBox(z, p.L, p.U)
+	y := mat.NewVector(m)
+
+	rhs := mat.NewVector(n)
+	ax := mat.NewVector(m)
+	aty := mat.NewVector(n)
+	zTilde := mat.NewVector(m)
+
+	res := &Result{X: x, Y: y}
+	refactors := 0
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		// rhs = σx - q + Aᵀ(ρz - y)
+		tmp := mat.NewVector(m)
+		for i := 0; i < m; i++ {
+			tmp.Set(i, rho*z.At(i)-y.At(i))
+		}
+		p.A.MulVecTTo(aty, tmp)
+		for i := 0; i < n; i++ {
+			rhs.Set(i, o.Sigma*x.At(i)-p.Q.At(i)+aty.At(i))
+		}
+		chol.SolveInPlace(rhs) // rhs now holds x̃
+		xTilde := rhs
+
+		p.A.MulVecTo(zTilde, xTilde)
+
+		// Relaxed updates.
+		for i := 0; i < n; i++ {
+			x.Set(i, o.Alpha*xTilde.At(i)+(1-o.Alpha)*x.At(i))
+		}
+		zPrev := z.Clone()
+		for i := 0; i < m; i++ {
+			v := o.Alpha*zTilde.At(i) + (1-o.Alpha)*zPrev.At(i) + y.At(i)/rho
+			z.Set(i, boxClip(v, p.L.At(i), p.U.At(i)))
+		}
+		for i := 0; i < m; i++ {
+			y.Set(i, y.At(i)+rho*(o.Alpha*zTilde.At(i)+(1-o.Alpha)*zPrev.At(i)-z.At(i)))
+		}
+
+		// Residuals every few iterations to amortize the mat-vecs.
+		if iter%10 == 0 || iter == o.MaxIter {
+			p.A.MulVecTo(ax, x)
+			primal := 0.0
+			for i := 0; i < m; i++ {
+				if r := math.Abs(ax.At(i) - z.At(i)); r > primal {
+					primal = r
+				}
+			}
+			dual := dualResidual(p, x, y, aty)
+			res.Iterations = iter
+			res.PrimalRes = primal
+			res.DualRes = dual
+
+			epsPrimal := o.EpsAbs + o.EpsRel*math.Max(ax.NormInf(), z.NormInf())
+			epsDual := o.EpsAbs + o.EpsRel*dualScale(p, x, y)
+			if primal <= epsPrimal && dual <= epsDual {
+				res.Converged = true
+				break
+			}
+
+			// OSQP-style penalty adaptation: rebalance ρ when the scaled
+			// residuals diverge by more than an order of magnitude.
+			if !o.DisableAdaptiveRho && refactors < 6 && iter%100 == 0 {
+				pScaled := primal / math.Max(epsPrimal, 1e-12)
+				dScaled := dual / math.Max(epsDual, 1e-12)
+				ratio := math.Sqrt(pScaled / math.Max(dScaled, 1e-12))
+				if ratio > 3 || ratio < 1.0/3 {
+					rho = math.Min(math.Max(rho*ratio, 1e-6), 1e6)
+					newChol, err := factorize()
+					if err != nil {
+						return nil, err
+					}
+					chol = newChol
+					refactors++
+				}
+			}
+		}
+	}
+
+	res.Objective = objective(p, x)
+	if !res.Converged {
+		return res, fmt.Errorf("after %d iterations (primal %g, dual %g): %w",
+			res.Iterations, res.PrimalRes, res.DualRes, ErrMaxIterations)
+	}
+	return res, nil
+}
+
+func validate(p *Problem) error {
+	if p == nil || p.A == nil || p.Q == nil || p.L == nil || p.U == nil {
+		return fmt.Errorf("nil field: %w", ErrBadProblem)
+	}
+	n, m := p.A.Cols(), p.A.Rows()
+	if p.Q.Len() != n {
+		return fmt.Errorf("q has length %d, want %d: %w", p.Q.Len(), n, ErrBadProblem)
+	}
+	if p.L.Len() != m || p.U.Len() != m {
+		return fmt.Errorf("bounds have lengths %d/%d, want %d: %w", p.L.Len(), p.U.Len(), m, ErrBadProblem)
+	}
+	if p.P != nil && (p.P.Rows() != n || p.P.Cols() != n) {
+		return fmt.Errorf("P is %dx%d, want %dx%d: %w", p.P.Rows(), p.P.Cols(), n, n, ErrBadProblem)
+	}
+	if p.X0 != nil && p.X0.Len() != n {
+		return fmt.Errorf("x0 has length %d, want %d: %w", p.X0.Len(), n, ErrBadProblem)
+	}
+	for i := 0; i < m; i++ {
+		if p.L.At(i) > p.U.At(i) {
+			return fmt.Errorf("row %d has l=%g > u=%g: %w", i, p.L.At(i), p.U.At(i), ErrBadProblem)
+		}
+	}
+	return nil
+}
+
+func boxClip(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clipToBox(z *mat.Vector, l, u *mat.Vector) {
+	for i := 0; i < z.Len(); i++ {
+		z.Set(i, boxClip(z.At(i), l.At(i), u.At(i)))
+	}
+}
+
+// dualResidual computes ‖Px + q + Aᵀy‖∞, reusing scratch for Aᵀy.
+func dualResidual(p *Problem, x, y, scratch *mat.Vector) float64 {
+	p.A.MulVecTTo(scratch, y)
+	var px *mat.Vector
+	if p.P != nil {
+		var err error
+		px, err = p.P.MulVec(x)
+		if err != nil {
+			return math.Inf(1)
+		}
+	}
+	var worst float64
+	for i := 0; i < x.Len(); i++ {
+		v := p.Q.At(i) + scratch.At(i)
+		if px != nil {
+			v += px.At(i)
+		}
+		if a := math.Abs(v); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+func dualScale(p *Problem, x, y *mat.Vector) float64 {
+	scratch := mat.NewVector(x.Len())
+	p.A.MulVecTTo(scratch, y)
+	s := math.Max(p.Q.NormInf(), scratch.NormInf())
+	if p.P != nil {
+		if px, err := p.P.MulVec(x); err == nil {
+			s = math.Max(s, px.NormInf())
+		}
+	}
+	return s
+}
+
+func objective(p *Problem, x *mat.Vector) float64 {
+	obj, err := p.Q.Dot(x)
+	if err != nil {
+		return math.NaN()
+	}
+	if p.P != nil {
+		quad, err := p.P.QuadraticForm(x)
+		if err != nil {
+			return math.NaN()
+		}
+		obj += 0.5 * quad
+	}
+	return obj
+}

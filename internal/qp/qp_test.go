@@ -1,0 +1,314 @@
+package qp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/domo-net/domo/internal/mat"
+	"github.com/domo-net/domo/internal/sparse"
+)
+
+func mustCSR(t *testing.T, rows, cols int, entries []sparse.Entry) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.NewCSR(rows, cols, entries)
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	return m
+}
+
+func vec(values ...float64) *mat.Vector { return mat.NewVectorFrom(values) }
+
+// min (x-3)² subject to 0 ≤ x ≤ 2 → x = 2.
+func TestSolveScalarBoxConstrained(t *testing.T) {
+	p := mat.NewMatrix(1, 1)
+	p.Set(0, 0, 2)
+	prob := &Problem{
+		P: p,
+		Q: vec(-6),
+		A: mustCSR(t, 1, 1, []sparse.Entry{{Row: 0, Col: 0, Value: 1}}),
+		L: vec(0),
+		U: vec(2),
+	}
+	res, err := Solve(prob, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(res.X.At(0)-2) > 1e-3 {
+		t.Errorf("x = %g, want 2", res.X.At(0))
+	}
+}
+
+// Equality-constrained QP with closed form:
+// min ½‖x‖² s.t. x1 + x2 = 1 → x = (0.5, 0.5).
+func TestSolveEqualityConstrained(t *testing.T) {
+	p := mat.Identity(2)
+	prob := &Problem{
+		P: p,
+		Q: vec(0, 0),
+		A: mustCSR(t, 1, 2, []sparse.Entry{
+			{Row: 0, Col: 0, Value: 1},
+			{Row: 0, Col: 1, Value: 1},
+		}),
+		L: vec(1),
+		U: vec(1),
+	}
+	res, err := Solve(prob, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if math.Abs(res.X.At(i)-0.5) > 1e-3 {
+			t.Errorf("x[%d] = %g, want 0.5", i, res.X.At(i))
+		}
+	}
+	if math.Abs(res.Objective-0.25) > 1e-3 {
+		t.Errorf("objective = %g, want 0.25", res.Objective)
+	}
+}
+
+// Separable QP: min Σ (x_i - c_i)² with per-variable boxes; each coordinate
+// clips independently.
+func TestSolveSeparableClipping(t *testing.T) {
+	n := 5
+	targets := []float64{-3, -1, 0, 1, 3}
+	lo, hi := -2.0, 2.0
+	p := mat.NewMatrix(n, n)
+	q := mat.NewVector(n)
+	entries := make([]sparse.Entry, 0, n)
+	l := mat.NewVector(n)
+	u := mat.NewVector(n)
+	for i := 0; i < n; i++ {
+		p.Set(i, i, 2)
+		q.Set(i, -2*targets[i])
+		entries = append(entries, sparse.Entry{Row: i, Col: i, Value: 1})
+		l.Set(i, lo)
+		u.Set(i, hi)
+	}
+	prob := &Problem{P: p, Q: q, A: mustCSR(t, n, n, entries), L: l, U: u}
+	res, err := Solve(prob, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := []float64{-2, -1, 0, 1, 2}
+	for i := 0; i < n; i++ {
+		if math.Abs(res.X.At(i)-want[i]) > 1e-3 {
+			t.Errorf("x[%d] = %g, want %g", i, res.X.At(i), want[i])
+		}
+	}
+}
+
+// Random diagonal box QPs have the closed form x_i = clip(-q_i/p_ii, lo, hi).
+func TestSolveMatchesClosedFormOnDiagonalBoxQPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		p := mat.NewMatrix(n, n)
+		q := mat.NewVector(n)
+		entries := make([]sparse.Entry, n)
+		l := mat.NewVector(n)
+		u := mat.NewVector(n)
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			pii := 0.5 + rng.Float64()*3
+			qi := rng.NormFloat64() * 4
+			lo := -1 - rng.Float64()
+			hi := 1 + rng.Float64()
+			p.Set(i, i, pii)
+			q.Set(i, qi)
+			entries[i] = sparse.Entry{Row: i, Col: i, Value: 1}
+			l.Set(i, lo)
+			u.Set(i, hi)
+			x := -qi / pii
+			want[i] = math.Max(lo, math.Min(hi, x))
+		}
+		prob := &Problem{P: p, Q: q, A: mustCSR(t, n, n, entries), L: l, U: u}
+		res, err := Solve(prob, Options{EpsAbs: 1e-7, EpsRel: 1e-7})
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(res.X.At(i)-want[i]) > 1e-3 {
+				t.Errorf("trial %d: x[%d] = %g, want %g", trial, i, res.X.At(i), want[i])
+			}
+		}
+	}
+}
+
+func TestSolveUnconstrainedDirection(t *testing.T) {
+	// min ½xᵀPx + qᵀx with a huge box is the unconstrained solution -P⁻¹q.
+	rng := rand.New(rand.NewSource(33))
+	n := 6
+	b := mat.NewMatrix(n, n)
+	for i := range b.Data() {
+		b.Data()[i] = rng.NormFloat64()
+	}
+	p, err := b.Transpose().Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		p.Add(i, i, 1)
+	}
+	q := mat.NewVector(n)
+	for i := 0; i < n; i++ {
+		q.Set(i, rng.NormFloat64())
+	}
+	entries := make([]sparse.Entry, n)
+	l := mat.NewVector(n)
+	u := mat.NewVector(n)
+	for i := 0; i < n; i++ {
+		entries[i] = sparse.Entry{Row: i, Col: i, Value: 1}
+		l.Set(i, -Unbounded)
+		u.Set(i, Unbounded)
+	}
+	prob := &Problem{P: p, Q: q, A: mustCSR(t, n, n, entries), L: l, U: u}
+	res, err := Solve(prob, Options{EpsAbs: 1e-7, EpsRel: 1e-7})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	chol, err := mat.NewCholesky(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	negQ := q.Clone()
+	negQ.Scale(-1)
+	want, err := chol.Solve(negQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := res.X.Sub(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.NormInf() > 1e-3 {
+		t.Errorf("unconstrained solution off by %g", diff.NormInf())
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	a := mustCSR(t, 1, 1, []sparse.Entry{{Row: 0, Col: 0, Value: 1}})
+	cases := []struct {
+		name string
+		prob *Problem
+	}{
+		{"nil problem", nil},
+		{"nil A", &Problem{Q: vec(0), L: vec(0), U: vec(0)}},
+		{"wrong q", &Problem{A: a, Q: vec(0, 0), L: vec(0), U: vec(1)}},
+		{"wrong bounds", &Problem{A: a, Q: vec(0), L: vec(0, 0), U: vec(1)}},
+		{"crossed bounds", &Problem{A: a, Q: vec(0), L: vec(2), U: vec(1)}},
+		{"wrong P", &Problem{A: a, Q: vec(0), L: vec(0), U: vec(1), P: mat.NewMatrix(2, 2)}},
+		{"wrong x0", &Problem{A: a, Q: vec(0), L: vec(0), U: vec(1), X0: vec(0, 0)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Solve(tc.prob, Options{}); !errors.Is(err, ErrBadProblem) {
+				t.Errorf("error = %v, want ErrBadProblem", err)
+			}
+		})
+	}
+}
+
+func TestSolveWarmStartConverges(t *testing.T) {
+	p := mat.NewMatrix(1, 1)
+	p.Set(0, 0, 2)
+	prob := &Problem{
+		P:  p,
+		Q:  vec(-6),
+		A:  mustCSR(t, 1, 1, []sparse.Entry{{Row: 0, Col: 0, Value: 1}}),
+		L:  vec(0),
+		U:  vec(2),
+		X0: vec(1.9),
+	}
+	res, err := Solve(prob, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(res.X.At(0)-2) > 1e-3 {
+		t.Errorf("warm-started x = %g, want 2", res.X.At(0))
+	}
+}
+
+func TestSolveReportsMaxIterations(t *testing.T) {
+	p := mat.NewMatrix(1, 1)
+	p.Set(0, 0, 2)
+	prob := &Problem{
+		P: p,
+		Q: vec(-6),
+		A: mustCSR(t, 1, 1, []sparse.Entry{{Row: 0, Col: 0, Value: 1}}),
+		L: vec(0),
+		U: vec(2),
+	}
+	res, err := Solve(prob, Options{MaxIter: 1, EpsAbs: 1e-14, EpsRel: 1e-14})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("error = %v, want ErrMaxIterations", err)
+	}
+	if res == nil || res.X == nil {
+		t.Fatal("best-effort result missing on ErrMaxIterations")
+	}
+}
+
+func BenchmarkSolveChainQP(b *testing.B) {
+	// A chain of order constraints similar to Domo's: x_{i+1} - x_i ≥ 1,
+	// objective pulls all x toward zero.
+	n := 80
+	p := mat.NewMatrix(n, n)
+	q := mat.NewVector(n)
+	for i := 0; i < n; i++ {
+		p.Set(i, i, 2)
+	}
+	entries := make([]sparse.Entry, 0, 2*(n-1))
+	l := mat.NewVector(n - 1)
+	u := mat.NewVector(n - 1)
+	for i := 0; i < n-1; i++ {
+		entries = append(entries,
+			sparse.Entry{Row: i, Col: i, Value: -1},
+			sparse.Entry{Row: i, Col: i + 1, Value: 1})
+		l.Set(i, 1)
+		u.Set(i, Unbounded)
+	}
+	a, err := sparse.NewCSR(n-1, n, entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := &Problem{P: p, Q: q, A: a, L: l, U: u}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(prob, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Badly scaled constraints exercise the adaptive-ρ path: the solver must
+// still converge to the right answer, and the explicit opt-out must work.
+func TestSolveAdaptiveRhoOnScaledProblem(t *testing.T) {
+	// min (x-3)² s.t. 1000·x = 2000 → x = 2, with the constraint row three
+	// orders of magnitude off the objective's scale.
+	p := mat.NewMatrix(1, 1)
+	p.Set(0, 0, 2)
+	prob := &Problem{
+		P: p,
+		Q: vec(-6),
+		A: mustCSR(t, 1, 1, []sparse.Entry{{Row: 0, Col: 0, Value: 1000}}),
+		L: vec(2000),
+		U: vec(2000),
+	}
+	res, err := Solve(prob, Options{MaxIter: 8000})
+	if err != nil {
+		t.Fatalf("adaptive Solve: %v", err)
+	}
+	if math.Abs(res.X.At(0)-2) > 1e-2 {
+		t.Errorf("adaptive x = %g, want 2", res.X.At(0))
+	}
+	// The opt-out path must still produce a usable (if slower) result.
+	res2, err := Solve(prob, Options{MaxIter: 8000, DisableAdaptiveRho: true})
+	if err != nil && !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("fixed-ρ Solve: %v", err)
+	}
+	if math.Abs(res2.X.At(0)-2) > 0.2 {
+		t.Errorf("fixed-ρ x = %g, want ≈2", res2.X.At(0))
+	}
+}

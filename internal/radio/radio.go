@@ -1,0 +1,333 @@
+// Package radio models the physical layer of the simulated wireless ad-hoc
+// network: node placement, distance-driven packet reception ratios (PRR)
+// with temporal variation, and carrier-sense relationships.
+//
+// The model follows the standard empirical shape used by TOSSIM-class
+// simulators: links shorter than a "connected" radius deliver essentially
+// always, links beyond an "outage" radius never, and links in the
+// transitional region between them are lossy with a PRR that decays with
+// distance and drifts over time (a slow per-link random walk). The drift is
+// what makes end-to-end delay distributions differ between the paper's
+// Figure 1(a) and 1(b) snapshots and what exercises CTP's routing dynamics.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadConfig is returned for invalid model parameters.
+var ErrBadConfig = errors.New("radio: invalid configuration")
+
+// NodeID identifies a node. The sink is always node 0.
+type NodeID int32
+
+// Position is a planar coordinate in meters.
+type Position struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance to other.
+func (p Position) Distance(other Position) float64 {
+	dx, dy := p.X-other.X, p.Y-other.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// SinkPlacement selects where the sink (node 0) is placed.
+type SinkPlacement int
+
+// Sink placements.
+const (
+	SinkCorner SinkPlacement = iota + 1
+	SinkCenter
+)
+
+// TopologyConfig describes node placement.
+type TopologyConfig struct {
+	NumNodes int     // total nodes including the sink
+	Side     float64 // square side length in meters
+	Sink     SinkPlacement
+	Seed     int64
+	// GridJitter, when positive, switches placement from uniform-random to
+	// a jittered grid: nodes sit on a √n×√n grid perturbed by ±jitter
+	// fraction of the cell. The paper's evaluation uses nodes "uniformly
+	// distributed in a squared area"; the jittered grid approximates the
+	// same density while guaranteeing connectivity at moderate radii.
+	GridJitter float64
+}
+
+// Topology is an immutable placement of nodes.
+type Topology struct {
+	positions []Position
+	side      float64
+}
+
+// NewTopology places nodes according to cfg.
+func NewTopology(cfg TopologyConfig) (*Topology, error) {
+	if cfg.NumNodes < 2 {
+		return nil, fmt.Errorf("need at least 2 nodes, got %d: %w", cfg.NumNodes, ErrBadConfig)
+	}
+	if cfg.Side <= 0 {
+		return nil, fmt.Errorf("side %g: %w", cfg.Side, ErrBadConfig)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	positions := make([]Position, cfg.NumNodes)
+	switch cfg.Sink {
+	case SinkCenter:
+		positions[0] = Position{X: cfg.Side / 2, Y: cfg.Side / 2}
+	case SinkCorner, 0:
+		positions[0] = Position{X: 0, Y: 0}
+	default:
+		return nil, fmt.Errorf("sink placement %d: %w", cfg.Sink, ErrBadConfig)
+	}
+	if cfg.GridJitter > 0 {
+		cells := int(math.Ceil(math.Sqrt(float64(cfg.NumNodes))))
+		cell := cfg.Side / float64(cells)
+		idx := 1
+		for gy := 0; gy < cells && idx < cfg.NumNodes; gy++ {
+			for gx := 0; gx < cells && idx < cfg.NumNodes; gx++ {
+				jx := (rng.Float64()*2 - 1) * cfg.GridJitter * cell
+				jy := (rng.Float64()*2 - 1) * cfg.GridJitter * cell
+				positions[idx] = Position{
+					X: clampFloat((float64(gx)+0.5)*cell+jx, 0, cfg.Side),
+					Y: clampFloat((float64(gy)+0.5)*cell+jy, 0, cfg.Side),
+				}
+				idx++
+			}
+		}
+		// If the grid filled up before all nodes placed (never with ceil),
+		// fall back to uniform for the remainder.
+		for ; idx < cfg.NumNodes; idx++ {
+			positions[idx] = Position{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side}
+		}
+	} else {
+		for i := 1; i < cfg.NumNodes; i++ {
+			positions[i] = Position{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side}
+		}
+	}
+	return &Topology{positions: positions, side: cfg.Side}, nil
+}
+
+// NewTopologyFromPositions builds a topology with explicit placements
+// (node 0 is the sink). Used for scripted geometries in tests and for
+// replaying real deployment layouts.
+func NewTopologyFromPositions(positions []Position) (*Topology, error) {
+	if len(positions) < 2 {
+		return nil, fmt.Errorf("need at least 2 nodes, got %d: %w", len(positions), ErrBadConfig)
+	}
+	side := 0.0
+	for _, p := range positions {
+		if p.X > side {
+			side = p.X
+		}
+		if p.Y > side {
+			side = p.Y
+		}
+	}
+	return &Topology{
+		positions: append([]Position(nil), positions...),
+		side:      side,
+	}, nil
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return len(t.positions) }
+
+// Side returns the square side length.
+func (t *Topology) Side() float64 { return t.side }
+
+// Position returns the placement of node id.
+func (t *Topology) Position(id NodeID) Position { return t.positions[id] }
+
+// Distance returns the distance between two nodes.
+func (t *Topology) Distance(a, b NodeID) float64 {
+	return t.positions[a].Distance(t.positions[b])
+}
+
+// LinkConfig describes the PRR model.
+type LinkConfig struct {
+	ConnectedRadius float64 // below this distance PRR ≈ PRRMax
+	OutageRadius    float64 // beyond this distance PRR = 0
+	PRRMax          float64 // plateau PRR for short links (e.g., 0.98)
+	// DriftStdDev is the standard deviation of the per-update random-walk
+	// step applied to each link's PRR offset (temporal variation).
+	DriftStdDev float64
+	// DriftClamp bounds the total drift magnitude.
+	DriftClamp float64
+	// ShadowSigma enables static per-link shadowing: each directed link's
+	// effective distance is perturbed once by N(0, ShadowSigma) meters
+	// (the log-normal-shadowing analogue of TOSSIM's link-gain noise),
+	// creating the long unreliable links and short dead links real
+	// deployments exhibit. 0 disables.
+	ShadowSigma float64
+	Seed        int64
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.ConnectedRadius <= 0 {
+		c.ConnectedRadius = 18
+	}
+	if c.OutageRadius <= 0 {
+		c.OutageRadius = 40
+	}
+	if c.PRRMax <= 0 || c.PRRMax > 1 {
+		c.PRRMax = 0.98
+	}
+	if c.DriftStdDev < 0 {
+		c.DriftStdDev = 0
+	}
+	if c.DriftClamp <= 0 {
+		c.DriftClamp = 0.25
+	}
+	return c
+}
+
+// LinkModel computes PRR between node pairs and carries their temporal
+// drift state. It is not safe for concurrent use (the simulator is
+// single-threaded by design).
+type LinkModel struct {
+	topo  *Topology
+	cfg   LinkConfig
+	rng   *rand.Rand
+	drift map[uint64]float64
+}
+
+// NewLinkModel builds a link model over the topology.
+func NewLinkModel(topo *Topology, cfg LinkConfig) (*LinkModel, error) {
+	c := cfg.withDefaults()
+	if c.ConnectedRadius >= c.OutageRadius {
+		return nil, fmt.Errorf("connected radius %g ≥ outage radius %g: %w",
+			c.ConnectedRadius, c.OutageRadius, ErrBadConfig)
+	}
+	return &LinkModel{
+		topo:  topo,
+		cfg:   c,
+		rng:   rand.New(rand.NewSource(c.Seed)),
+		drift: make(map[uint64]float64),
+	}, nil
+}
+
+func linkKey(a, b NodeID) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// basePRR is the distance-only reception ratio.
+func (m *LinkModel) basePRR(d float64) float64 {
+	switch {
+	case d <= m.cfg.ConnectedRadius:
+		return m.cfg.PRRMax
+	case d >= m.cfg.OutageRadius:
+		return 0
+	default:
+		// Smooth cubic fall-off across the transitional region.
+		f := (d - m.cfg.ConnectedRadius) / (m.cfg.OutageRadius - m.cfg.ConnectedRadius)
+		return m.cfg.PRRMax * (1 - f*f*(3-2*f))
+	}
+}
+
+// shadow returns the link's static effective-distance perturbation in
+// meters, derived deterministically from the model seed and link key.
+func (m *LinkModel) shadow(a, b NodeID) float64 {
+	if m.cfg.ShadowSigma == 0 {
+		return 0
+	}
+	// splitmix64 over (seed, link) gives an iid uniform; Box-Muller-lite
+	// via the inverse of a rough normal is overkill — sum of uniforms
+	// (Irwin-Hall, n=4, rescaled) is plenty for a shadowing term.
+	x := uint64(m.cfg.Seed)*0x9e3779b97f4a7c15 ^ linkKey(a, b)
+	var s float64
+	for i := 0; i < 4; i++ {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		s += float64(x%1000000) / 1000000
+	}
+	// Irwin-Hall(4): mean 2, variance 4/12 → standardize.
+	z := (s - 2) / 0.5774
+	return z * m.cfg.ShadowSigma
+}
+
+// effectiveDistance is geometry plus static shadowing, floored at zero.
+func (m *LinkModel) effectiveDistance(a, b NodeID) float64 {
+	d := m.topo.Distance(a, b) + m.shadow(a, b)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// PRR returns the current directional reception ratio from a to b.
+func (m *LinkModel) PRR(a, b NodeID) float64 {
+	base := m.basePRR(m.effectiveDistance(a, b))
+	if base == 0 {
+		return 0
+	}
+	p := base + m.drift[linkKey(a, b)]
+	return clampFloat(p, 0, 1)
+}
+
+// Connected reports whether the link can ever deliver (within outage range).
+func (m *LinkModel) Connected(a, b NodeID) bool {
+	return m.effectiveDistance(a, b) < m.cfg.OutageRadius
+}
+
+// Sample draws a Bernoulli reception outcome for a single frame a→b.
+func (m *LinkModel) Sample(a, b NodeID) bool {
+	return m.rng.Float64() < m.PRR(a, b)
+}
+
+// AdvanceDrift applies one random-walk step to every tracked link and lazily
+// creates drift state for the links listed in active. Call it periodically
+// (e.g., once per simulated minute) to model time-varying link quality.
+func (m *LinkModel) AdvanceDrift(active [][2]NodeID) {
+	if m.cfg.DriftStdDev == 0 {
+		return
+	}
+	for _, pair := range active {
+		k := linkKey(pair[0], pair[1])
+		if _, ok := m.drift[k]; !ok {
+			m.drift[k] = 0
+		}
+	}
+	// Deterministic key order: the RNG draws below must not depend on map
+	// iteration order, or same-seed runs diverge.
+	keys := make([]uint64, 0, len(m.drift))
+	for k := range m.drift {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		v := m.drift[k] + m.rng.NormFloat64()*m.cfg.DriftStdDev
+		m.drift[k] = clampFloat(v, -m.cfg.DriftClamp, m.cfg.DriftClamp)
+	}
+}
+
+// NeighborsWithin returns all nodes other than id closer than radius.
+func (t *Topology) NeighborsWithin(id NodeID, radius float64) []NodeID {
+	var out []NodeID
+	for other := range t.positions {
+		o := NodeID(other)
+		if o == id {
+			continue
+		}
+		if t.Distance(id, o) < radius {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func clampFloat(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,374 @@
+package radio
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTopologyUniform(t *testing.T) {
+	topo, err := NewTopology(TopologyConfig{NumNodes: 50, Side: 100, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewTopology: %v", err)
+	}
+	if topo.NumNodes() != 50 {
+		t.Fatalf("NumNodes = %d, want 50", topo.NumNodes())
+	}
+	if topo.Side() != 100 {
+		t.Errorf("Side = %g, want 100", topo.Side())
+	}
+	sink := topo.Position(0)
+	if sink.X != 0 || sink.Y != 0 {
+		t.Errorf("default sink at %+v, want corner (0,0)", sink)
+	}
+	for i := 0; i < 50; i++ {
+		p := topo.Position(NodeID(i))
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Errorf("node %d at %+v outside the square", i, p)
+		}
+	}
+}
+
+func TestNewTopologySinkCenter(t *testing.T) {
+	topo, err := NewTopology(TopologyConfig{NumNodes: 10, Side: 60, Sink: SinkCenter, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := topo.Position(0)
+	if sink.X != 30 || sink.Y != 30 {
+		t.Errorf("center sink at %+v, want (30,30)", sink)
+	}
+}
+
+func TestNewTopologyGridJitter(t *testing.T) {
+	topo, err := NewTopology(TopologyConfig{NumNodes: 26, Side: 100, Seed: 2, GridJitter: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid placement keeps nodes inside the square and reasonably spread:
+	// no two non-sink nodes may coincide.
+	for i := 1; i < topo.NumNodes(); i++ {
+		for j := i + 1; j < topo.NumNodes(); j++ {
+			if topo.Distance(NodeID(i), NodeID(j)) < 1e-9 {
+				t.Errorf("nodes %d and %d coincide", i, j)
+			}
+		}
+	}
+}
+
+func TestNewTopologyValidation(t *testing.T) {
+	if _, err := NewTopology(TopologyConfig{NumNodes: 1, Side: 10}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("1 node error = %v, want ErrBadConfig", err)
+	}
+	if _, err := NewTopology(TopologyConfig{NumNodes: 5, Side: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero side error = %v, want ErrBadConfig", err)
+	}
+	if _, err := NewTopology(TopologyConfig{NumNodes: 5, Side: 10, Sink: SinkPlacement(9)}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad sink error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	topo, err := NewTopology(TopologyConfig{NumNodes: 20, Side: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			a, b := NodeID(i), NodeID(j)
+			if math.Abs(topo.Distance(a, b)-topo.Distance(b, a)) > 1e-12 {
+				t.Fatalf("distance not symmetric for %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func newTestModel(t *testing.T, drift float64) (*Topology, *LinkModel) {
+	t.Helper()
+	topo, err := NewTopology(TopologyConfig{NumNodes: 30, Side: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewLinkModel(topo, LinkConfig{
+		ConnectedRadius: 20,
+		OutageRadius:    45,
+		PRRMax:          0.95,
+		DriftStdDev:     drift,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, m
+}
+
+func TestLinkModelPRRShape(t *testing.T) {
+	_, m := newTestModel(t, 0)
+	if got := m.basePRR(5); got != 0.95 {
+		t.Errorf("PRR(short) = %g, want 0.95", got)
+	}
+	if got := m.basePRR(50); got != 0 {
+		t.Errorf("PRR(far) = %g, want 0", got)
+	}
+	mid := m.basePRR(32.5)
+	if mid <= 0 || mid >= 0.95 {
+		t.Errorf("PRR(transitional) = %g, want strictly between 0 and max", mid)
+	}
+	// Monotone non-increasing in distance.
+	prev := math.Inf(1)
+	for d := 0.0; d < 60; d += 0.5 {
+		p := m.basePRR(d)
+		if p > prev+1e-12 {
+			t.Fatalf("PRR not monotone at d=%g: %g > %g", d, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestLinkModelValidation(t *testing.T) {
+	topo, err := NewTopology(TopologyConfig{NumNodes: 5, Side: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLinkModel(topo, LinkConfig{ConnectedRadius: 50, OutageRadius: 40}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("crossed radii error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestLinkModelDriftMovesPRR(t *testing.T) {
+	topo, m := newTestModel(t, 0.05)
+	// Find a transitional link.
+	var a, b NodeID
+	found := false
+	for i := 1; i < topo.NumNodes() && !found; i++ {
+		for j := 1; j < topo.NumNodes() && !found; j++ {
+			d := topo.Distance(NodeID(i), NodeID(j))
+			if d > 22 && d < 42 {
+				a, b = NodeID(i), NodeID(j)
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Skip("no transitional link in this topology seed")
+	}
+	before := m.PRR(a, b)
+	active := [][2]NodeID{{a, b}}
+	changed := false
+	for step := 0; step < 50; step++ {
+		m.AdvanceDrift(active)
+		if math.Abs(m.PRR(a, b)-before) > 1e-6 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("drift never moved the PRR of a transitional link")
+	}
+}
+
+func TestLinkModelDriftDisabled(t *testing.T) {
+	topo, m := newTestModel(t, 0)
+	a, b := NodeID(1), NodeID(2)
+	before := m.PRR(a, b)
+	m.AdvanceDrift([][2]NodeID{{a, b}})
+	if m.PRR(a, b) != before {
+		t.Error("drift applied despite DriftStdDev = 0")
+	}
+	_ = topo
+}
+
+// Property: PRR is always within [0, 1] even under heavy drift.
+func TestLinkModelPRRBoundsProperty(t *testing.T) {
+	topo, m := newTestModel(t, 0.2)
+	pairs := [][2]NodeID{}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i != j {
+				pairs = append(pairs, [2]NodeID{NodeID(i), NodeID(j)})
+			}
+		}
+	}
+	f := func(steps uint8) bool {
+		for s := 0; s < int(steps%16); s++ {
+			m.AdvanceDrift(pairs)
+		}
+		for _, p := range pairs {
+			prr := m.PRR(p[0], p[1])
+			if prr < 0 || prr > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	_ = topo
+}
+
+func TestSampleRespectsExtremes(t *testing.T) {
+	topo, m := newTestModel(t, 0)
+	// Far pair never delivers.
+	var far [2]NodeID
+	foundFar := false
+	for i := 1; i < topo.NumNodes() && !foundFar; i++ {
+		for j := 1; j < topo.NumNodes() && !foundFar; j++ {
+			if topo.Distance(NodeID(i), NodeID(j)) > 45 {
+				far = [2]NodeID{NodeID(i), NodeID(j)}
+				foundFar = true
+			}
+		}
+	}
+	if foundFar {
+		for k := 0; k < 100; k++ {
+			if m.Sample(far[0], far[1]) {
+				t.Fatal("out-of-range link delivered a frame")
+			}
+		}
+		if m.Connected(far[0], far[1]) {
+			t.Error("Connected() true for out-of-range link")
+		}
+	}
+}
+
+func TestNeighborsWithin(t *testing.T) {
+	topo, err := NewTopology(TopologyConfig{NumNodes: 40, Side: 80, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := topo.NeighborsWithin(0, 30)
+	for _, n := range ns {
+		if topo.Distance(0, n) >= 30 {
+			t.Errorf("neighbor %d at distance %g ≥ 30", n, topo.Distance(0, n))
+		}
+		if n == 0 {
+			t.Error("node is its own neighbor")
+		}
+	}
+	// Complement check: everything excluded is actually far.
+	inSet := map[NodeID]bool{}
+	for _, n := range ns {
+		inSet[n] = true
+	}
+	for i := 1; i < 40; i++ {
+		id := NodeID(i)
+		if !inSet[id] && topo.Distance(0, id) < 30 {
+			t.Errorf("node %d at distance %g < 30 missing from neighbors", i, topo.Distance(0, id))
+		}
+	}
+}
+
+func TestShadowingDeterministicAndDirectional(t *testing.T) {
+	topo, err := NewTopology(TopologyConfig{NumNodes: 20, Side: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := NewLinkModel(topo, LinkConfig{ShadowSigma: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewLinkModel(topo, LinkConfig{ShadowSigma: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varies := false
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if i == j {
+				continue
+			}
+			a, b := NodeID(i), NodeID(j)
+			if m1.PRR(a, b) != m2.PRR(a, b) {
+				t.Fatalf("shadowing not deterministic for %d->%d", i, j)
+			}
+			if m1.shadow(a, b) != m1.shadow(a, b) {
+				t.Fatal("shadow not stable")
+			}
+			if m1.shadow(a, b) != m1.shadow(b, a) {
+				varies = true // directional shadowing creates asymmetric links
+			}
+		}
+	}
+	if !varies {
+		t.Error("shadowing identical in both directions for every pair")
+	}
+}
+
+func TestShadowingChangesConnectivity(t *testing.T) {
+	topo, err := NewTopology(TopologyConfig{NumNodes: 30, Side: 120, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewLinkModel(topo, LinkConfig{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowed, err := NewLinkModel(topo, LinkConfig{ShadowSigma: 8, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := 0
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if i == j {
+				continue
+			}
+			a, b := NodeID(i), NodeID(j)
+			if plain.Connected(a, b) != shadowed.Connected(a, b) {
+				diffs++
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Error("8m shadowing changed no link's connectivity")
+	}
+}
+
+func TestShadowingZeroSigmaIsNoop(t *testing.T) {
+	topo, err := NewTopology(TopologyConfig{NumNodes: 10, Side: 50, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewLinkModel(topo, LinkConfig{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i != j && m.shadow(NodeID(i), NodeID(j)) != 0 {
+				t.Fatal("shadow nonzero with sigma 0")
+			}
+		}
+	}
+}
+
+func TestNewTopologyFromPositions(t *testing.T) {
+	topo, err := NewTopologyFromPositions([]Position{{X: 0, Y: 0}, {X: 30, Y: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d, want 2", topo.NumNodes())
+	}
+	if d := topo.Distance(0, 1); math.Abs(d-50) > 1e-12 {
+		t.Errorf("Distance = %g, want 50", d)
+	}
+	if topo.Side() != 40 {
+		t.Errorf("Side = %g, want 40", topo.Side())
+	}
+	if _, err := NewTopologyFromPositions([]Position{{X: 1, Y: 1}}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("single position error = %v, want ErrBadConfig", err)
+	}
+	// The constructor must copy its input.
+	positions := []Position{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	topo2, err := NewTopologyFromPositions(positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions[1].X = 99
+	if topo2.Position(1).X != 1 {
+		t.Error("constructor aliased the caller's slice")
+	}
+}

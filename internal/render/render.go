@@ -1,0 +1,75 @@
+// Package render draws terminal visualizations of per-node network
+// metrics: the Fig.-1-style delay map as ASCII art. It is shared by the
+// experiment harness (Fig. 1) and the domo-viz command.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Cell is one node plotted on a map.
+type Cell struct {
+	X, Y  float64
+	Value float64
+}
+
+// DelayMap rasterizes the plane to a character grid: each node prints as a
+// digit 0-9 proportional to its value within the data range (larger =
+// slower), and the sink marks as '#'.
+func DelayMap(w io.Writer, title string, cells []Cell, sinkX, sinkY, side float64) {
+	const (
+		cols = 64
+		rows = 24
+	)
+	if side <= 0 || len(cells) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	lo, hi := cells[0].Value, cells[0].Value
+	for _, c := range cells {
+		if c.Value < lo {
+			lo = c.Value
+		}
+		if c.Value > hi {
+			hi = c.Value
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", cols))
+	}
+	plot := func(x, y float64, ch byte) {
+		cx := clampInt(int(x/side*float64(cols-1)), 0, cols-1)
+		cy := clampInt(int(y/side*float64(rows-1)), 0, rows-1)
+		grid[cy][cx] = ch
+	}
+	for _, c := range cells {
+		level := int((c.Value - lo) / span * 9.999)
+		if level > 9 {
+			level = 9
+		}
+		plot(c.X, c.Y, byte('0'+level))
+	}
+	plot(sinkX, sinkY, '#')
+
+	fmt.Fprintf(w, "%s  [0=%.1fms … 9=%.1fms, #=sink]\n", title, lo, hi)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  %s\n", row)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,51 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderDelayMap(t *testing.T) {
+	var buf bytes.Buffer
+	cells := []Cell{
+		{X: 0, Y: 0, Value: 1},
+		{X: 99, Y: 99, Value: 10},
+		{X: 50, Y: 50, Value: 5},
+	}
+	DelayMap(&buf, "test map", cells, 50, 50, 100)
+	out := buf.String()
+	if !strings.Contains(out, "test map") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("missing sink marker")
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "9") {
+		t.Error("value range not spread across digits 0-9")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 25 { // title + 24 rows
+		t.Errorf("rendered %d lines, want 25", len(lines))
+	}
+}
+
+func TestRenderDelayMapDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	DelayMap(&buf, "empty", nil, 0, 0, 100)
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Error("missing no-data marker")
+	}
+	buf.Reset()
+	// Uniform values must not divide by zero.
+	DelayMap(&buf, "flat", []Cell{{X: 1, Y: 1, Value: 3}, {X: 2, Y: 2, Value: 3}}, 0, 0, 10)
+	if !strings.Contains(buf.String(), "0") {
+		t.Error("flat map did not render")
+	}
+	buf.Reset()
+	// Out-of-range coordinates clamp instead of panicking.
+	DelayMap(&buf, "clamped", []Cell{{X: -5, Y: 500, Value: 1}, {X: 2, Y: 2, Value: 9}}, 0, 0, 10)
+	if len(buf.String()) == 0 {
+		t.Error("clamped map did not render")
+	}
+}

@@ -1,0 +1,381 @@
+// Package sdp implements the semidefinite-programming machinery behind
+// Domo's FIFO-constraint relaxation (§IV-A of the paper).
+//
+// The non-convex FIFO constraint (t_ix(x)-t_iy(y))(t_ix+1(x)-t_iy+1(y)) > 0
+// is lifted with U = uuᵀ into the linear constraint Tr(PU) > 0 and the
+// rank-one equality is relaxed to the Schur-complement PSD condition
+// [[U, u], [uᵀ, 1]] ⪰ 0. The resulting program is
+//
+//	minimize   Tr(C·Z)
+//	subject to l_k ≤ Tr(A_k·Z) ≤ u_k,   k = 1..m
+//	           Z ⪰ 0
+//
+// over the symmetric (n+1)×(n+1) variable Z (the paper writes the relaxed
+// constraint with a flipped inequality sign; the standard — and only
+// feasible — direction is Z ⪰ 0, which is what we solve).
+//
+// The solver is an ADMM splitting: Z is split against a PSD copy S and a
+// constraint image w = A(Z) confined to its box; the Z-update is a
+// regularized least-squares solve performed matrix-free with conjugate
+// gradients, the S-update is a projection onto the PSD cone (Jacobi
+// eigendecomposition), and the w-update is a box clip. First-order accuracy
+// is plenty: Domo only needs the relaxed solution to seed packet orders for
+// the exact convex QP refinement stage.
+package sdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/domo-net/domo/internal/mat"
+)
+
+// Unbounded mirrors qp.Unbounded for absent box sides.
+const Unbounded = 1e30
+
+// Sentinel errors.
+var (
+	ErrBadProblem    = errors.New("sdp: malformed problem")
+	ErrMaxIterations = errors.New("sdp: maximum iterations reached without convergence")
+)
+
+// Term is one coefficient of a linear functional on Z: Coeff·Z[I][J].
+// Because Z is symmetric, callers may reference either triangle; the solver
+// symmetrizes internally.
+type Term struct {
+	I, J  int
+	Coeff float64
+}
+
+// Constraint is a two-sided linear functional l ≤ Σ Terms ≤ u.
+type Constraint struct {
+	Terms []Term
+	Lower float64
+	Upper float64
+}
+
+// Problem describes the SDP. Dim is the order of Z.
+type Problem struct {
+	Dim         int
+	Objective   []Term
+	Constraints []Constraint
+}
+
+// Options tunes the ADMM solver. The zero value selects defaults.
+type Options struct {
+	MaxIter int     // outer ADMM iterations, default 300
+	Rho     float64 // penalty, default 1
+	EpsAbs  float64 // residual tolerance, default 1e-4
+	CGIter  int     // inner CG iterations per Z-update, default 40
+	CGTol   float64 // inner CG tolerance, default 1e-8
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 300
+	}
+	if o.Rho <= 0 {
+		o.Rho = 1
+	}
+	if o.EpsAbs <= 0 {
+		o.EpsAbs = 1e-4
+	}
+	if o.CGIter <= 0 {
+		o.CGIter = 40
+	}
+	if o.CGTol <= 0 {
+		o.CGTol = 1e-8
+	}
+	return o
+}
+
+// Result reports the solution.
+type Result struct {
+	Z          *mat.Matrix
+	Objective  float64
+	Iterations int
+	PrimalRes  float64 // max of ‖Z-S‖∞ and ‖A(Z)-w‖∞ at exit
+	Converged  bool
+}
+
+// symFunctional is a constraint/objective in symmetrized packed form.
+type symFunctional struct {
+	idx   []int // flattened (i*dim+j) positions, both triangles
+	coeff []float64
+	lower float64
+	upper float64
+}
+
+func packFunctional(dim int, terms []Term, lower, upper float64) (symFunctional, error) {
+	f := symFunctional{lower: lower, upper: upper}
+	for _, t := range terms {
+		if t.I < 0 || t.I >= dim || t.J < 0 || t.J >= dim {
+			return f, fmt.Errorf("term (%d,%d) outside dim %d: %w", t.I, t.J, dim, ErrBadProblem)
+		}
+		if t.I == t.J {
+			f.idx = append(f.idx, t.I*dim+t.J)
+			f.coeff = append(f.coeff, t.Coeff)
+		} else {
+			// Split across both triangles so gradients stay symmetric.
+			f.idx = append(f.idx, t.I*dim+t.J, t.J*dim+t.I)
+			f.coeff = append(f.coeff, t.Coeff/2, t.Coeff/2)
+		}
+	}
+	return f, nil
+}
+
+// value evaluates the functional at the flattened matrix z.
+func (f *symFunctional) value(z []float64) float64 {
+	var s float64
+	for k, id := range f.idx {
+		s += f.coeff[k] * z[id]
+	}
+	return s
+}
+
+// addScaledGradient accumulates alpha·∇f into g.
+func (f *symFunctional) addScaledGradient(alpha float64, g []float64) {
+	for k, id := range f.idx {
+		g[id] += alpha * f.coeff[k]
+	}
+}
+
+// Solve runs the ADMM iteration and returns the (approximately) optimal Z.
+// On iteration exhaustion the best iterate is returned with
+// ErrMaxIterations, mirroring package qp.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	if p == nil || p.Dim <= 0 {
+		return nil, fmt.Errorf("nil problem or non-positive dim: %w", ErrBadProblem)
+	}
+	o := opts.withDefaults()
+	dim := p.Dim
+	n2 := dim * dim
+
+	obj, err := packFunctional(dim, p.Objective, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("objective: %w", err)
+	}
+	cons := make([]symFunctional, len(p.Constraints))
+	for k, c := range p.Constraints {
+		if c.Lower > c.Upper {
+			return nil, fmt.Errorf("constraint %d has lower %g > upper %g: %w", k, c.Lower, c.Upper, ErrBadProblem)
+		}
+		f, err := packFunctional(dim, c.Terms, c.Lower, c.Upper)
+		if err != nil {
+			return nil, fmt.Errorf("constraint %d: %w", k, err)
+		}
+		cons[k] = f
+	}
+
+	m := len(cons)
+	z := make([]float64, n2)    // current Z (flattened, symmetric)
+	s := make([]float64, n2)    // PSD copy
+	lamS := make([]float64, n2) // scaled dual for Z = S
+	w := make([]float64, m)     // constraint image copy
+	lamW := make([]float64, m)  // scaled dual for A(Z) = w
+	// Start from identity: strictly PSD interior point.
+	for i := 0; i < dim; i++ {
+		z[i*dim+i] = 1
+		s[i*dim+i] = 1
+	}
+	for k := range cons {
+		w[k] = clip(cons[k].value(z), cons[k].lower, cons[k].upper)
+	}
+
+	// Scratch buffers for CG.
+	rhs := make([]float64, n2)
+	r := make([]float64, n2)
+	pk := make([]float64, n2)
+	ap := make([]float64, n2)
+
+	applyOp := func(dst, src []float64) {
+		// dst = src + Σ_k a_k (a_kᵀ src); operator of (I + AᵀA).
+		copy(dst, src)
+		for k := range cons {
+			v := cons[k].value(src)
+			if v != 0 {
+				cons[k].addScaledGradient(v, dst)
+			}
+		}
+	}
+
+	res := &Result{}
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		// Z-update: (I + AᵀA) z = (s - lamS) + Aᵀ(w - lamW) - c/ρ.
+		for i := range rhs {
+			rhs[i] = s[i] - lamS[i]
+		}
+		obj.addScaledGradient(-1/o.Rho, rhs)
+		for k := range cons {
+			cons[k].addScaledGradient(w[k]-lamW[k], rhs)
+		}
+		// CG from the previous z (warm start).
+		applyOp(ap, z)
+		for i := range r {
+			r[i] = rhs[i] - ap[i]
+		}
+		copy(pk, r)
+		rsOld := dot(r, r)
+		for cg := 0; cg < o.CGIter && rsOld > o.CGTol; cg++ {
+			applyOp(ap, pk)
+			alpha := rsOld / dot(pk, ap)
+			for i := range z {
+				z[i] += alpha * pk[i]
+				r[i] -= alpha * ap[i]
+			}
+			rsNew := dot(r, r)
+			beta := rsNew / rsOld
+			for i := range pk {
+				pk[i] = r[i] + beta*pk[i]
+			}
+			rsOld = rsNew
+		}
+
+		// S-update: project Z + lamS onto the PSD cone.
+		zm := mat.NewMatrix(dim, dim)
+		zd := zm.Data()
+		for i := range zd {
+			zd[i] = z[i] + lamS[i]
+		}
+		if err := zm.Symmetrize(); err != nil {
+			return nil, err
+		}
+		proj, err := mat.ProjectPSD(zm)
+		if err != nil {
+			return nil, fmt.Errorf("iteration %d PSD projection: %w", iter, err)
+		}
+		copy(s, proj.Data())
+
+		// w-update: clip A(Z) + lamW to the box.
+		var resW float64
+		for k := range cons {
+			az := cons[k].value(z)
+			w[k] = clip(az+lamW[k], cons[k].lower, cons[k].upper)
+			lamW[k] += az - w[k]
+			if d := math.Abs(az - w[k]); d > resW {
+				resW = d
+			}
+		}
+
+		// Dual update for Z = S and residuals.
+		var resS float64
+		for i := range z {
+			d := z[i] - s[i]
+			lamS[i] += d
+			if a := math.Abs(d); a > resS {
+				resS = a
+			}
+		}
+
+		res.Iterations = iter
+		res.PrimalRes = math.Max(resS, resW)
+		if res.PrimalRes <= o.EpsAbs {
+			res.Converged = true
+			break
+		}
+	}
+
+	out := mat.NewMatrix(dim, dim)
+	copy(out.Data(), s) // S is the PSD iterate; return it rather than raw Z
+	if err := out.Symmetrize(); err != nil {
+		return nil, err
+	}
+	res.Z = out
+	res.Objective = obj.value(out.Data())
+	if !res.Converged {
+		return res, fmt.Errorf("after %d iterations (residual %g): %w", res.Iterations, res.PrimalRes, ErrMaxIterations)
+	}
+	return res, nil
+}
+
+func clip(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// LiftedVector extracts the vector u from the lifted variable
+// Z = [[U, u], [uᵀ, 1]]: the last column (or row) scaled by Z[n][n] when the
+// corner deviates from exactly 1.
+func LiftedVector(z *mat.Matrix) ([]float64, error) {
+	dim := z.Rows()
+	if dim != z.Cols() || dim < 1 {
+		return nil, fmt.Errorf("lifted variable is %dx%d: %w", z.Rows(), z.Cols(), ErrBadProblem)
+	}
+	n := dim - 1
+	corner := z.At(n, n)
+	if corner <= 0 {
+		return nil, fmt.Errorf("lifted corner Z[n][n] = %g, want > 0: %w", corner, ErrBadProblem)
+	}
+	u := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u[i] = z.At(i, n) / corner
+	}
+	return u, nil
+}
+
+// FIFOConstraint builds the lifted FIFO constraint Tr(P·U) ≥ margin for the
+// four arrival-time variables with indices a1 = t_ix(x), a2 = t_iy(y),
+// b1 = t_ix+1(x), b2 = t_iy+1(y) in a lifted problem of the given Dim
+// (indices refer to u's coordinates, i.e., rows 0..n-1 of Z). The quadratic
+// form (a1-a2)(b1-b2) lands entirely inside the U block.
+func FIFOConstraint(a1, a2, b1, b2 int, margin float64) Constraint {
+	// (u_a1 - u_a2)(u_b1 - u_b2) = Z[a1][b1] - Z[a1][b2] - Z[a2][b1] + Z[a2][b2]
+	return Constraint{
+		Terms: []Term{
+			{I: a1, J: b1, Coeff: 1},
+			{I: a1, J: b2, Coeff: -1},
+			{I: a2, J: b1, Coeff: -1},
+			{I: a2, J: b2, Coeff: 1},
+		},
+		Lower: margin,
+		Upper: Unbounded,
+	}
+}
+
+// LinearConstraint builds l ≤ aᵀu + const·1 ≤ u in the lifted space, using
+// the corner Z[n][n] = 1 to carry the constant term. vars and coeffs list
+// aᵀ sparsely; dim is the order of Z (n+1).
+func LinearConstraint(dim int, vars []int, coeffs []float64, constant, lower, upper float64) (Constraint, error) {
+	if len(vars) != len(coeffs) {
+		return Constraint{}, fmt.Errorf("%d vars but %d coeffs: %w", len(vars), len(coeffs), ErrBadProblem)
+	}
+	n := dim - 1
+	c := Constraint{Lower: lower, Upper: upper}
+	for k, v := range vars {
+		if v < 0 || v >= n {
+			return Constraint{}, fmt.Errorf("variable %d outside [0,%d): %w", v, n, ErrBadProblem)
+		}
+		// u_v = Z[v][n] when the corner is pinned to 1; the symmetrized
+		// split of an off-diagonal term recombines to the full coefficient
+		// on a symmetric Z, so the coefficient passes through unchanged.
+		c.Terms = append(c.Terms, Term{I: v, J: n, Coeff: coeffs[k]})
+	}
+	if constant != 0 {
+		c.Terms = append(c.Terms, Term{I: n, J: n, Coeff: constant})
+	}
+	return c, nil
+}
+
+// CornerConstraint pins Z[n][n] = 1 for a lifted problem of order dim.
+func CornerConstraint(dim int) Constraint {
+	n := dim - 1
+	return Constraint{
+		Terms: []Term{{I: n, J: n, Coeff: 1}},
+		Lower: 1,
+		Upper: 1,
+	}
+}

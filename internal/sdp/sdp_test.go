@@ -1,0 +1,277 @@
+package sdp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/domo-net/domo/internal/mat"
+)
+
+// Tiny SDP with a known answer: minimize Z[0][0] subject to Z[0][0] ≥ 2 and
+// Z ⪰ 0 → optimum 2.
+func TestSolveDiagonalBound(t *testing.T) {
+	p := &Problem{
+		Dim:       2,
+		Objective: []Term{{I: 0, J: 0, Coeff: 1}},
+		Constraints: []Constraint{
+			{Terms: []Term{{I: 0, J: 0, Coeff: 1}}, Lower: 2, Upper: Unbounded},
+			{Terms: []Term{{I: 1, J: 1, Coeff: 1}}, Lower: 1, Upper: 1},
+		},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(res.Z.At(0, 0)-2) > 1e-2 {
+		t.Errorf("Z[0][0] = %g, want 2", res.Z.At(0, 0))
+	}
+	min, err := mat.MinEigenvalue(res.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min < -1e-6 {
+		t.Errorf("solution not PSD, min eigenvalue %g", min)
+	}
+}
+
+// PSD constraint binds: minimize Z[0][0] with off-diagonal pinned to 1 and
+// Z[1][1] = 1. For Z ⪰ 0 we need Z[0][0]·Z[1][1] ≥ Z[0][1]² → Z[0][0] ≥ 1.
+func TestSolvePSDBinding(t *testing.T) {
+	p := &Problem{
+		Dim:       2,
+		Objective: []Term{{I: 0, J: 0, Coeff: 1}},
+		Constraints: []Constraint{
+			{Terms: []Term{{I: 0, J: 1, Coeff: 1}}, Lower: 1, Upper: 1},
+			{Terms: []Term{{I: 1, J: 1, Coeff: 1}}, Lower: 1, Upper: 1},
+		},
+	}
+	res, err := Solve(p, Options{MaxIter: 2000, EpsAbs: 1e-4})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(res.Z.At(0, 0)-1) > 5e-2 {
+		t.Errorf("Z[0][0] = %g, want 1 (PSD-binding)", res.Z.At(0, 0))
+	}
+}
+
+// A lifted chain: two scalar unknowns u0, u1 with u0 = 3, u1 - u0 ≥ 2,
+// minimize u1. Answer u1 = 5. Exercises LinearConstraint + CornerConstraint
+// + LiftedVector end-to-end.
+func TestSolveLiftedLinearChain(t *testing.T) {
+	dim := 3 // u0, u1, corner
+	c0, err := LinearConstraint(dim, []int{0}, []float64{1}, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := LinearConstraint(dim, []int{1, 0}, []float64{1, -1}, 0, 2, Unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		Dim:         dim,
+		Objective:   []Term{{I: 1, J: 2, Coeff: 1}}, // u1 via Z[1][n]
+		Constraints: []Constraint{CornerConstraint(dim), c0, c1},
+	}
+	res, err := Solve(p, Options{MaxIter: 3000, EpsAbs: 1e-6})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	u, err := LiftedVector(res.Z)
+	if err != nil {
+		t.Fatalf("LiftedVector: %v", err)
+	}
+	if math.Abs(u[0]-3) > 5e-2 {
+		t.Errorf("u0 = %g, want 3", u[0])
+	}
+	if math.Abs(u[1]-5) > 1e-1 {
+		t.Errorf("u1 = %g, want 5", u[1])
+	}
+}
+
+// FIFO lifting: with x arriving before y at a node (a1 < a2 pinned), the
+// FIFO constraint should push the departures into the same order.
+func TestSolveFIFOOrdering(t *testing.T) {
+	// Unknowns: u0 = dep(x), u1 = dep(y); knowns folded in via linear pins:
+	// arr(x) = u2 = 0, arr(y) = u3 = 1. Z order = 5.
+	dim := 5
+	pinArrX, err := LinearConstraint(dim, []int{2}, []float64{1}, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinArrY, err := LinearConstraint(dim, []int{3}, []float64{1}, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Departures happen after arrivals (order constraints).
+	depAfterX, err := LinearConstraint(dim, []int{0, 2}, []float64{1, -1}, 0, 1, Unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depAfterY, err := LinearConstraint(dim, []int{1, 3}, []float64{1, -1}, 0, 1, Unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep departures bounded so the objective has a finite optimum.
+	depBoundX, err := LinearConstraint(dim, []int{0}, []float64{1}, 0, -Unbounded, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		Dim: dim,
+		// Maximize dep(x) - dep(y) = minimize dep(y) - dep(x): adversarial
+		// pull against FIFO; the FIFO constraint must keep dep(x) < dep(y).
+		Objective: []Term{{I: 0, J: 4, Coeff: 1}, {I: 1, J: 4, Coeff: -1}},
+		Constraints: []Constraint{
+			CornerConstraint(dim),
+			pinArrX, pinArrY, depAfterX, depAfterY, depBoundX,
+			FIFOConstraint(2, 3, 0, 1, 0.01),
+		},
+	}
+	res, err := Solve(p, Options{MaxIter: 4000, EpsAbs: 1e-5})
+	if err != nil && !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("Solve: %v", err)
+	}
+	u, err := LiftedVector(res.Z)
+	if err != nil {
+		t.Fatalf("LiftedVector: %v", err)
+	}
+	// (arrX - arrY) < 0, so FIFO needs (depX - depY) ≤ 0 too (relaxation
+	// may not hold it strictly, but the order must not inviert hard).
+	if u[0] > u[1]+0.5 {
+		t.Errorf("FIFO violated badly: dep(x) = %g > dep(y) = %g", u[0], u[1])
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(nil, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("Solve(nil) error = %v, want ErrBadProblem", err)
+	}
+	if _, err := Solve(&Problem{Dim: 0}, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("Solve(dim 0) error = %v, want ErrBadProblem", err)
+	}
+	bad := &Problem{Dim: 2, Constraints: []Constraint{{Terms: []Term{{I: 5, J: 0, Coeff: 1}}}}}
+	if _, err := Solve(bad, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("Solve(out-of-range term) error = %v, want ErrBadProblem", err)
+	}
+	crossed := &Problem{Dim: 2, Constraints: []Constraint{{Terms: []Term{{I: 0, J: 0, Coeff: 1}}, Lower: 2, Upper: 1}}}
+	if _, err := Solve(crossed, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("Solve(crossed bounds) error = %v, want ErrBadProblem", err)
+	}
+}
+
+func TestLiftedVectorValidation(t *testing.T) {
+	if _, err := LiftedVector(mat.NewMatrix(2, 3)); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("LiftedVector(2x3) error = %v, want ErrBadProblem", err)
+	}
+	z := mat.NewMatrix(2, 2) // corner 0
+	if _, err := LiftedVector(z); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("LiftedVector(zero corner) error = %v, want ErrBadProblem", err)
+	}
+}
+
+func TestLinearConstraintValidation(t *testing.T) {
+	if _, err := LinearConstraint(3, []int{0, 1}, []float64{1}, 0, 0, 1); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("mismatched vars/coeffs error = %v, want ErrBadProblem", err)
+	}
+	if _, err := LinearConstraint(3, []int{2}, []float64{1}, 0, 0, 1); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("corner-as-variable error = %v, want ErrBadProblem", err)
+	}
+}
+
+func TestSolveReturnsPSDIterateOnMaxIter(t *testing.T) {
+	p := &Problem{
+		Dim:       2,
+		Objective: []Term{{I: 0, J: 0, Coeff: 1}},
+		Constraints: []Constraint{
+			{Terms: []Term{{I: 0, J: 0, Coeff: 1}}, Lower: 2, Upper: Unbounded},
+		},
+	}
+	res, err := Solve(p, Options{MaxIter: 1, EpsAbs: 1e-12})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("error = %v, want ErrMaxIterations", err)
+	}
+	if res == nil || res.Z == nil {
+		t.Fatal("best-effort result missing")
+	}
+	min, err2 := mat.MinEigenvalue(res.Z)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if min < -1e-8 {
+		t.Errorf("returned iterate not PSD: min eigenvalue %g", min)
+	}
+}
+
+func BenchmarkSolveLifted20(b *testing.B) {
+	// 20 unknowns in a chain with order constraints, lifted to a 21×21 SDP.
+	n := 20
+	dim := n + 1
+	constraints := []Constraint{CornerConstraint(dim)}
+	c0, err := LinearConstraint(dim, []int{0}, []float64{1}, 0, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	constraints = append(constraints, c0)
+	for i := 1; i < n; i++ {
+		c, err := LinearConstraint(dim, []int{i, i - 1}, []float64{1, -1}, 0, 1, Unbounded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		constraints = append(constraints, c)
+	}
+	p := &Problem{
+		Dim:         dim,
+		Objective:   []Term{{I: n - 1, J: n, Coeff: 1}},
+		Constraints: constraints,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Options{MaxIter: 200, EpsAbs: 1e-3}); err != nil && !errors.Is(err, ErrMaxIterations) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: on random feasible problems, the returned iterate is PSD and
+// respects the box constraints to within the solver tolerance.
+func TestSolveRandomProblemsPSDAndFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 8; trial++ {
+		dim := 2 + rng.Intn(4)
+		p := &Problem{Dim: dim}
+		// Random diagonal pins keep the problem feasible (identity-like
+		// targets are strictly inside the PSD cone).
+		for i := 0; i < dim; i++ {
+			target := 0.5 + rng.Float64()*2
+			p.Constraints = append(p.Constraints, Constraint{
+				Terms: []Term{{I: i, J: i, Coeff: 1}},
+				Lower: target, Upper: target,
+			})
+		}
+		// Random linear objective over off-diagonals.
+		for k := 0; k < dim; k++ {
+			i, j := rng.Intn(dim), rng.Intn(dim)
+			p.Objective = append(p.Objective, Term{I: i, J: j, Coeff: rng.NormFloat64()})
+		}
+		res, err := Solve(p, Options{MaxIter: 800, EpsAbs: 1e-4})
+		if err != nil && !errors.Is(err, ErrMaxIterations) {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		min, err2 := mat.MinEigenvalue(res.Z)
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		if min < -1e-6 {
+			t.Errorf("trial %d: iterate not PSD (λmin=%g)", trial, min)
+		}
+		for i := 0; i < dim; i++ {
+			got := res.Z.At(i, i)
+			want := p.Constraints[i].Lower
+			if math.Abs(got-want) > 5e-2 {
+				t.Errorf("trial %d: diagonal %d = %g, want %g", trial, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package sim provides the discrete-event simulation engine underneath the
+// wireless network substrate: a time-ordered event queue, a simulated
+// clock, cancellable timers, and seeded deterministic randomness.
+//
+// The engine plays the role TOSSIM plays in the paper's evaluation: it
+// advances virtual time from event to event, so a 400-node hour-long
+// collection run executes in seconds of wall-clock time while preserving
+// exact event ordering and exact ground-truth timestamps.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is absolute simulated time measured from the start of the run.
+type Time = time.Duration
+
+// Timer is a scheduled callback. Cancel prevents a pending timer from
+// firing; cancelling an already-fired or already-cancelled timer is a no-op.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the timer from firing.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// At returns the scheduled fire time.
+func (t *Timer) At() Time { return t.at }
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t, ok := x.(*Timer)
+	if !ok {
+		panic(fmt.Sprintf("sim: pushed %T onto timer heap", x))
+	}
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+type Engine struct {
+	now    Time
+	queue  timerHeap
+	seq    uint64
+	rng    *rand.Rand
+	events uint64
+}
+
+// NewEngine returns an engine whose randomness is derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// EventsProcessed returns the number of events executed so far.
+func (e *Engine) EventsProcessed() uint64 { return e.events }
+
+// Schedule runs fn after the given delay. A negative delay fires
+// immediately (at the current time).
+func (e *Engine) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute time. Times in the past are
+// clamped to the present.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, t)
+	return t
+}
+
+// Run executes events until the queue empties or simulated time would pass
+// until. Events scheduled exactly at until still run.
+func (e *Engine) Run(until Time) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		e.events++
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Step executes exactly one pending (non-cancelled) event and reports
+// whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next, ok := heap.Pop(&e.queue).(*Timer)
+		if !ok {
+			panic("sim: timer heap returned unexpected type")
+		}
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		e.events++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of queued (possibly cancelled) timers.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if e.EventsProcessed() != 3 {
+		t.Errorf("EventsProcessed = %d, want 3", e.EventsProcessed())
+	}
+}
+
+func TestEngineSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestEngineAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Schedule(42*time.Millisecond, func() { at = e.Now() })
+	e.Run(time.Second)
+	if at != 42*time.Millisecond {
+		t.Errorf("event saw Now() = %v, want 42ms", at)
+	}
+	if e.Now() != time.Second {
+		t.Errorf("Now() after Run = %v, want 1s", e.Now())
+	}
+}
+
+func TestEngineRunUntilBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []string
+	e.Schedule(10*time.Millisecond, func() { fired = append(fired, "at") })
+	e.Schedule(11*time.Millisecond, func() { fired = append(fired, "past") })
+	e.Run(10 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != "at" {
+		t.Errorf("fired = %v, want exactly [at]", fired)
+	}
+	// The past-boundary event must still be queued.
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(time.Second)
+	if len(fired) != 2 {
+		t.Errorf("fired after second Run = %v, want both", fired)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Schedule(5*time.Millisecond, func() { fired = true })
+	tm.Cancel()
+	if !tm.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	e.Run(time.Second)
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+}
+
+func TestScheduleDuringEvent(t *testing.T) {
+	e := NewEngine(1)
+	var hits []Time
+	e.Schedule(time.Millisecond, func() {
+		e.Schedule(2*time.Millisecond, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run(time.Second)
+	if len(hits) != 1 || hits[0] != 3*time.Millisecond {
+		t.Errorf("nested event at %v, want [3ms]", hits)
+	}
+}
+
+func TestScheduleNegativeAndPastClamp(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*time.Millisecond, func() {
+		// Scheduling in the past clamps to now.
+		e.ScheduleAt(time.Millisecond, func() {
+			if e.Now() != 10*time.Millisecond {
+				t.Errorf("past-scheduled event ran at %v, want 10ms", e.Now())
+			}
+		})
+	})
+	e.Schedule(-time.Second, func() {
+		if e.Now() != 0 {
+			t.Errorf("negative-delay event ran at %v, want 0", e.Now())
+		}
+	})
+	e.Run(time.Second)
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(time.Millisecond, func() { count++ })
+	e.Schedule(2*time.Millisecond, func() { count++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if count != 1 {
+		t.Fatalf("count after one Step = %d, want 1", count)
+	}
+	if !e.Step() || e.Step() {
+		t.Error("Step sequence wrong")
+	}
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	e1 := NewEngine(99)
+	e2 := NewEngine(99)
+	for i := 0; i < 10; i++ {
+		if e1.RNG().Int63() != e2.RNG().Int63() {
+			t.Fatal("same-seed engines diverge")
+		}
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(int64(i))
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j)*time.Microsecond, func() {})
+		}
+		e.Run(time.Second)
+	}
+}

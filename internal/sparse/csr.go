@@ -1,0 +1,215 @@
+// Package sparse provides compressed sparse row (CSR) matrices and the
+// handful of kernels the ADMM QP solver needs: mat-vec products with the
+// matrix and its transpose, transposition, and formation of the normal
+// matrix PᵀP + σI used by the KKT solves.
+//
+// Constraint matrices in Domo are extremely sparse — each FIFO, order, or
+// sum-of-delays constraint touches a handful of arrival-time unknowns — so
+// CSR keeps the per-window solves linear in the number of constraint terms.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/domo-net/domo/internal/mat"
+)
+
+// ErrDimensionMismatch is returned when operands have incompatible shapes.
+var ErrDimensionMismatch = errors.New("sparse: dimension mismatch")
+
+// Entry is a single (row, col, value) triplet used to build matrices.
+type Entry struct {
+	Row, Col int
+	Value    float64
+}
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	values     []float64
+}
+
+// NewCSR assembles a CSR matrix from triplets. Duplicate (row, col) entries
+// are summed. Triplets outside the shape produce an error.
+func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("shape %dx%d: %w", rows, cols, ErrDimensionMismatch)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("entry (%d,%d) outside %dx%d: %w", e.Row, e.Col, rows, cols, ErrDimensionMismatch)
+		}
+	}
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+
+	m := &CSR{
+		rows:   rows,
+		cols:   cols,
+		rowPtr: make([]int, rows+1),
+		colIdx: make([]int, 0, len(sorted)),
+		values: make([]float64, 0, len(sorted)),
+	}
+	for i := 0; i < len(sorted); {
+		j := i
+		sum := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			sum += sorted[j].Value
+			j++
+		}
+		if sum != 0 {
+			m.colIdx = append(m.colIdx, sorted[i].Col)
+			m.values = append(m.values, sum)
+			m.rowPtr[sorted[i].Row+1]++
+		}
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.values) }
+
+// At returns element (i, j) with a binary search over row i.
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	idx := sort.SearchInts(m.colIdx[lo:hi], j)
+	if lo+idx < hi && m.colIdx[lo+idx] == j {
+		return m.values[lo+idx]
+	}
+	return 0
+}
+
+// RowNNZ calls fn(col, value) for every stored entry of row i.
+func (m *CSR) RowNNZ(i int, fn func(col int, value float64)) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		fn(m.colIdx[k], m.values[k])
+	}
+}
+
+// MulVec computes y = M·x.
+func (m *CSR) MulVec(x *mat.Vector) (*mat.Vector, error) {
+	if x.Len() != m.cols {
+		return nil, fmt.Errorf("mulvec %dx%d · %d: %w", m.rows, m.cols, x.Len(), ErrDimensionMismatch)
+	}
+	y := mat.NewVector(m.rows)
+	m.MulVecTo(y, x)
+	return y, nil
+}
+
+// MulVecTo computes y = M·x into a preallocated y of length Rows().
+func (m *CSR) MulVecTo(y, x *mat.Vector) {
+	xd, yd := x.Data(), y.Data()
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.values[k] * xd[m.colIdx[k]]
+		}
+		yd[i] = s
+	}
+}
+
+// MulVecT computes y = Mᵀ·x.
+func (m *CSR) MulVecT(x *mat.Vector) (*mat.Vector, error) {
+	if x.Len() != m.rows {
+		return nil, fmt.Errorf("mulvecT %dx%d ᵀ· %d: %w", m.rows, m.cols, x.Len(), ErrDimensionMismatch)
+	}
+	y := mat.NewVector(m.cols)
+	m.MulVecTTo(y, x)
+	return y, nil
+}
+
+// MulVecTTo computes y = Mᵀ·x into a preallocated y of length Cols().
+func (m *CSR) MulVecTTo(y, x *mat.Vector) {
+	xd, yd := x.Data(), y.Data()
+	for i := range yd {
+		yd[i] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		xi := xd[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			yd[m.colIdx[k]] += m.values[k] * xi
+		}
+	}
+}
+
+// Transpose returns Mᵀ as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	entries := make([]Entry, 0, m.NNZ())
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			entries = append(entries, Entry{Row: m.colIdx[k], Col: i, Value: m.values[k]})
+		}
+	}
+	t, err := NewCSR(m.cols, m.rows, entries)
+	if err != nil {
+		// Entries come from a valid matrix, so assembly cannot fail.
+		panic(fmt.Sprintf("sparse: transpose assembly failed: %v", err))
+	}
+	return t
+}
+
+// ToDense materializes the matrix densely (for small systems and tests).
+func (m *CSR) ToDense() *mat.Matrix {
+	out := mat.NewMatrix(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			out.Set(i, m.colIdx[k], m.values[k])
+		}
+	}
+	return out
+}
+
+// NormalMatrix returns the dense matrix P + sigma·I + rho·AᵀA, the KKT
+// system matrix of an OSQP-style ADMM iteration, where P is a dense n×n
+// quadratic term (may be nil for a pure LP) and A is this matrix (m×n).
+func (m *CSR) NormalMatrix(p *mat.Matrix, sigma, rho float64) (*mat.Matrix, error) {
+	n := m.cols
+	if p != nil && (p.Rows() != n || p.Cols() != n) {
+		return nil, fmt.Errorf("P is %dx%d, want %dx%d: %w", p.Rows(), p.Cols(), n, n, ErrDimensionMismatch)
+	}
+	out := mat.NewMatrix(n, n)
+	if p != nil {
+		if err := out.AddScaledMat(1, p); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		out.Add(i, i, sigma)
+	}
+	// out += rho · AᵀA, accumulated row by row of A.
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for a := lo; a < hi; a++ {
+			ca, va := m.colIdx[a], m.values[a]
+			f := rho * va
+			row := out.Row(ca)
+			for b := lo; b < hi; b++ {
+				row[m.colIdx[b]] += f * m.values[b]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+package sparse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/domo-net/domo/internal/mat"
+)
+
+func mustCSR(t *testing.T, rows, cols int, entries []Entry) *CSR {
+	t.Helper()
+	m, err := NewCSR(rows, cols, entries)
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	return m
+}
+
+func TestNewCSRBasics(t *testing.T) {
+	m := mustCSR(t, 3, 4, []Entry{
+		{Row: 0, Col: 1, Value: 2},
+		{Row: 2, Col: 3, Value: -1},
+		{Row: 1, Col: 0, Value: 4},
+	})
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 4 || m.At(2, 3) != -1 {
+		t.Errorf("stored values wrong: %g %g %g", m.At(0, 1), m.At(1, 0), m.At(2, 3))
+	}
+	if m.At(0, 0) != 0 {
+		t.Errorf("At(0,0) = %g, want 0", m.At(0, 0))
+	}
+}
+
+func TestNewCSRSumsDuplicates(t *testing.T) {
+	m := mustCSR(t, 2, 2, []Entry{
+		{Row: 0, Col: 0, Value: 1},
+		{Row: 0, Col: 0, Value: 2.5},
+	})
+	if m.At(0, 0) != 3.5 {
+		t.Errorf("duplicate sum = %g, want 3.5", m.At(0, 0))
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1", m.NNZ())
+	}
+}
+
+func TestNewCSRDropsExplicitZeroSums(t *testing.T) {
+	m := mustCSR(t, 1, 1, []Entry{
+		{Row: 0, Col: 0, Value: 1},
+		{Row: 0, Col: 0, Value: -1},
+	})
+	if m.NNZ() != 0 {
+		t.Errorf("NNZ = %d, want 0 after cancellation", m.NNZ())
+	}
+}
+
+func TestNewCSRRejectsOutOfRange(t *testing.T) {
+	if _, err := NewCSR(2, 2, []Entry{{Row: 2, Col: 0, Value: 1}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("out-of-range entry error = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := NewCSR(-1, 2, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("negative shape error = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func randomCSR(rows, cols, nnz int, rng *rand.Rand) *CSR {
+	entries := make([]Entry, 0, nnz)
+	for i := 0; i < nnz; i++ {
+		entries = append(entries, Entry{
+			Row:   rng.Intn(rows),
+			Col:   rng.Intn(cols),
+			Value: rng.NormFloat64(),
+		})
+	}
+	m, err := NewCSR(rows, cols, entries)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randomCSR(rows, cols, rng.Intn(60), rng)
+		x := mat.NewVector(cols)
+		for i := 0; i < cols; i++ {
+			x.Set(i, rng.NormFloat64())
+		}
+		y1, err := m.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y2, err := m.ToDense().MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff, err := y1.Sub(y2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff.NormInf() > 1e-12 {
+			t.Fatalf("trial %d: sparse MulVec deviates from dense by %g", trial, diff.NormInf())
+		}
+	}
+}
+
+func TestMulVecTMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randomCSR(rows, cols, rng.Intn(60), rng)
+		x := mat.NewVector(rows)
+		for i := 0; i < rows; i++ {
+			x.Set(i, rng.NormFloat64())
+		}
+		y1, err := m.MulVecT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y2, err := m.ToDense().MulVecT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff, err := y1.Sub(y2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff.NormInf() > 1e-12 {
+			t.Fatalf("trial %d: sparse MulVecT deviates from dense by %g", trial, diff.NormInf())
+		}
+	}
+}
+
+func TestMulVecDimensionMismatch(t *testing.T) {
+	m := mustCSR(t, 2, 3, nil)
+	if _, err := m.MulVec(mat.NewVector(2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MulVec mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := m.MulVecT(mat.NewVector(3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MulVecT mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+// Property: transposing twice returns the original matrix.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		m := randomCSR(rows, cols, rng.Intn(40), rng)
+		tt := m.Transpose().Transpose()
+		d, err := m.ToDense().MaxAbsDiff(tt.ToDense())
+		return err == nil && d == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (Mᵀ)·x == MulVecT(x).
+func TestTransposeConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		m := randomCSR(rows, cols, rng.Intn(40), rng)
+		x := mat.NewVector(rows)
+		for i := 0; i < rows; i++ {
+			x.Set(i, rng.NormFloat64())
+		}
+		y1, err := m.MulVecT(x)
+		if err != nil {
+			return false
+		}
+		y2, err := m.Transpose().MulVec(x)
+		if err != nil {
+			return false
+		}
+		diff, err := y1.Sub(y2)
+		return err == nil && diff.NormInf() <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randomCSR(6, 4, 15, rng)
+	p := mat.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		p.Set(i, i, float64(i+1))
+	}
+	const sigma, rho = 0.1, 2.0
+	got, err := a.NormalMatrix(p, sigma, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: dense P + σI + ρAᵀA.
+	ad := a.ToDense()
+	ata, err := ad.Transpose().Mul(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Clone()
+	for i := 0; i < 4; i++ {
+		want.Add(i, i, sigma)
+	}
+	if err := want.AddScaledMat(rho, ata); err != nil {
+		t.Fatal(err)
+	}
+	d, err := got.MaxAbsDiff(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
+		t.Errorf("NormalMatrix deviates from dense reference by %g", d)
+	}
+}
+
+func TestNormalMatrixNilP(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randomCSR(3, 3, 5, rng)
+	got, err := a.NormalMatrix(nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := got.MaxAbsDiff(mat.Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
+		t.Errorf("NormalMatrix(nil,1,0) != I, diff %g", d)
+	}
+}
+
+func TestNormalMatrixRejectsWrongP(t *testing.T) {
+	a := mustCSR(t, 2, 3, nil)
+	if _, err := a.NormalMatrix(mat.NewMatrix(2, 2), 1, 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("NormalMatrix wrong P error = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestRowNNZ(t *testing.T) {
+	m := mustCSR(t, 2, 4, []Entry{
+		{Row: 1, Col: 3, Value: 5},
+		{Row: 1, Col: 0, Value: 2},
+	})
+	var cols []int
+	var vals []float64
+	m.RowNNZ(1, func(c int, v float64) {
+		cols = append(cols, c)
+		vals = append(vals, v)
+	})
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 3 || vals[0] != 2 || vals[1] != 5 {
+		t.Errorf("RowNNZ = %v %v, want [0 3] [2 5]", cols, vals)
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomCSR(2000, 1000, 10000, rng)
+	x := mat.NewVector(1000)
+	for i := 0; i < 1000; i++ {
+		x.Set(i, rng.NormFloat64())
+	}
+	y := mat.NewVector(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecTo(y, x)
+	}
+}

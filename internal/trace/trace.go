@@ -1,0 +1,246 @@
+// Package trace defines the data that crosses from the simulated network
+// to the PC-side reconstruction: per-packet sink records (path, generation
+// time, sink arrival, sum-of-delays), exact ground-truth per-hop arrival
+// times for evaluation, and per-node send/receive logs for the
+// MessageTracing baseline. It also provides the random packet-removal used
+// by the paper's packet-loss experiments (Fig. 7) and JSON serialization
+// for the command-line tools.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+)
+
+// ErrBadTrace is returned for malformed traces and records.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// PacketID identifies a data packet network-wide.
+type PacketID struct {
+	Source radio.NodeID `json:"source"`
+	Seq    uint32       `json:"seq"`
+}
+
+// String renders the id as source:seq.
+func (id PacketID) String() string { return fmt.Sprintf("%d:%d", id.Source, id.Seq) }
+
+// Record is everything the sink knows about one delivered packet, plus the
+// simulator's ground truth for evaluation.
+type Record struct {
+	ID   PacketID       `json:"id"`
+	Path []radio.NodeID `json:"path"` // source first, sink last
+
+	// Sink-side knowledge (inputs to reconstruction).
+	GenTime     sim.Time `json:"gen_time"`     // t_0(p)
+	SinkArrival sim.Time `json:"sink_arrival"` // t_{|p|-1}(p)
+	SumDelays   sim.Time `json:"sum_delays"`   // S(p), as recorded by Algorithm 1
+
+	// Path-reconstruction header (the MNT/PathZip-style fields the paper
+	// assumes; §III "routing path information"). FirstHop is the id of the
+	// source's first-hop receiver; PathHash is an order-sensitive 16-bit
+	// hash of the full path for verification.
+	FirstHop radio.NodeID `json:"first_hop"`
+	PathHash uint16       `json:"path_hash"`
+
+	// E2EDelay is the node-measured end-to-end delay field of Wang et al.
+	// (RTSS'12), the paper's reference [7]: every hop adds its SFD-measured
+	// sojourn into a 2-byte millisecond field, which the sink reads to
+	// recover the packet's generation time without synchronized clocks.
+	// It differs from SinkArrival−GenTime by quantization and by
+	// retransmission timing noise.
+	E2EDelay sim.Time `json:"e2e_delay"`
+
+	// TruthArrivals are the exact per-hop arrival times t_i(p) recorded by
+	// the simulator; reconstruction must never read them.
+	TruthArrivals []sim.Time `json:"truth_arrivals"`
+}
+
+// Hops returns |p|, the path length in nodes.
+func (r *Record) Hops() int { return len(r.Path) }
+
+// Validate checks structural invariants of a record.
+func (r *Record) Validate() error {
+	if len(r.Path) < 2 {
+		return fmt.Errorf("packet %v has path of length %d: %w", r.ID, len(r.Path), ErrBadTrace)
+	}
+	if r.Path[0] != r.ID.Source {
+		return fmt.Errorf("packet %v path starts at %d: %w", r.ID, r.Path[0], ErrBadTrace)
+	}
+	if len(r.TruthArrivals) != 0 && len(r.TruthArrivals) != len(r.Path) {
+		return fmt.Errorf("packet %v has %d truth arrivals for %d hops: %w",
+			r.ID, len(r.TruthArrivals), len(r.Path), ErrBadTrace)
+	}
+	if r.SinkArrival < r.GenTime {
+		return fmt.Errorf("packet %v arrives before generation: %w", r.ID, ErrBadTrace)
+	}
+	return nil
+}
+
+// ComputePathHash is the order-sensitive 16-bit path hash the node side
+// folds hop by hop into every packet's path-reconstruction header
+// (FNV-1a folded to 16 bits).
+func ComputePathHash(path []radio.NodeID) uint16 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, id := range path {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint32(id>>shift) & 0xff
+			h *= prime32
+		}
+	}
+	return uint16(h ^ (h >> 16))
+}
+
+// EventKind discriminates node-log entries.
+type EventKind int
+
+// Node-log event kinds.
+const (
+	EventSend EventKind = iota + 1
+	EventReceive
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSend:
+		return "send"
+	case EventReceive:
+		return "receive"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// LogEntry is one entry of a node's local MessageTracing log. Entries carry
+// no timestamps — MessageTracing reconstructs order, not time — but the
+// simulator records At as hidden ground truth for evaluating that order.
+type LogEntry struct {
+	Kind   EventKind `json:"kind"`
+	Packet PacketID  `json:"packet"`
+	At     sim.Time  `json:"at"` // ground truth only
+}
+
+// Trace is a full collection run.
+type Trace struct {
+	NumNodes int      `json:"num_nodes"`
+	Duration sim.Time `json:"duration"`
+	// Records are delivered packets in sink-arrival order.
+	Records []*Record `json:"records"`
+	// NodeLogs hold each node's ordered send/receive log (MessageTracing).
+	NodeLogs map[radio.NodeID][]LogEntry `json:"node_logs,omitempty"`
+	// Positions optionally carries node placements ([x, y] meters, indexed
+	// by node id) for delay-map rendering; real deployments have survey or
+	// GPS coordinates.
+	Positions [][2]float64 `json:"positions,omitempty"`
+}
+
+// Validate checks the whole trace.
+func (t *Trace) Validate() error {
+	if t.NumNodes < 2 {
+		return fmt.Errorf("%d nodes: %w", t.NumNodes, ErrBadTrace)
+	}
+	for i, r := range t.Records {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if i > 0 && t.Records[i].SinkArrival < t.Records[i-1].SinkArrival {
+			return fmt.Errorf("records not in sink-arrival order at %d: %w", i, ErrBadTrace)
+		}
+	}
+	return nil
+}
+
+// ByID indexes the records by packet id.
+func (t *Trace) ByID() map[PacketID]*Record {
+	m := make(map[PacketID]*Record, len(t.Records))
+	for _, r := range t.Records {
+		m[r.ID] = r
+	}
+	return m
+}
+
+// DropRandom returns a copy of the trace with approximately lossRate of the
+// records removed uniformly at random (the Fig. 7 experiment). Node logs
+// and the surviving records' fields — including SumDelays, which real nodes
+// computed before the losses happened — are untouched.
+func (t *Trace) DropRandom(lossRate float64, seed int64) (*Trace, error) {
+	if lossRate < 0 || lossRate >= 1 {
+		return nil, fmt.Errorf("loss rate %g outside [0,1): %w", lossRate, ErrBadTrace)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &Trace{NumNodes: t.NumNodes, Duration: t.Duration, NodeLogs: t.NodeLogs}
+	out.Records = make([]*Record, 0, len(t.Records))
+	for _, r := range t.Records {
+		if rng.Float64() < lossRate {
+			continue
+		}
+		out.Records = append(out.Records, r)
+	}
+	return out, nil
+}
+
+// SortBySinkArrival re-sorts records in place by sink arrival (stable).
+func (t *Trace) SortBySinkArrival() {
+	sort.SliceStable(t.Records, func(i, j int) bool {
+		return t.Records[i].SinkArrival < t.Records[j].SinkArrival
+	})
+}
+
+// SourcesSeen returns the distinct packet sources present, sorted.
+func (t *Trace) SourcesSeen() []radio.NodeID {
+	set := map[radio.NodeID]bool{}
+	for _, r := range t.Records {
+		set[r.ID.Source] = true
+	}
+	out := make([]radio.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TruthNodeDelay returns the ground-truth node delay of record r at hop i
+// (the sojourn on Path[i]), i in [0, Hops()-2].
+func (r *Record) TruthNodeDelay(i int) (sim.Time, error) {
+	if len(r.TruthArrivals) != len(r.Path) {
+		return 0, fmt.Errorf("packet %v has no ground truth: %w", r.ID, ErrBadTrace)
+	}
+	if i < 0 || i >= len(r.Path)-1 {
+		return 0, fmt.Errorf("hop %d of packet %v with %d hops: %w", i, r.ID, len(r.Path), ErrBadTrace)
+	}
+	return r.TruthArrivals[i+1] - r.TruthArrivals[i], nil
+}
+
+// Write serializes the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("encoding trace: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a trace written by Write and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("decoding trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

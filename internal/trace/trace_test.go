@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+)
+
+func ms(n int) sim.Time { return sim.Time(n) * time.Millisecond }
+
+func sampleRecord(src radio.NodeID, seq uint32, arrivalsMs ...int) *Record {
+	path := make([]radio.NodeID, len(arrivalsMs))
+	arr := make([]sim.Time, len(arrivalsMs))
+	path[0] = src
+	for i := range arrivalsMs {
+		if i > 0 {
+			path[i] = radio.NodeID(int(src) + i*10)
+		}
+		arr[i] = ms(arrivalsMs[i])
+	}
+	path[len(path)-1] = 0 // sink
+	return &Record{
+		ID:            PacketID{Source: src, Seq: seq},
+		Path:          path,
+		GenTime:       arr[0],
+		SinkArrival:   arr[len(arr)-1],
+		TruthArrivals: arr,
+	}
+}
+
+func sampleTrace() *Trace {
+	return &Trace{
+		NumNodes: 5,
+		Duration: time.Minute,
+		Records: []*Record{
+			sampleRecord(1, 1, 0, 5, 12),
+			sampleRecord(2, 1, 3, 9, 20),
+			sampleRecord(1, 2, 10, 14, 25),
+		},
+		NodeLogs: map[radio.NodeID][]LogEntry{
+			1: {
+				{Kind: EventSend, Packet: PacketID{Source: 1, Seq: 1}, At: ms(5)},
+				{Kind: EventSend, Packet: PacketID{Source: 1, Seq: 2}, At: ms(14)},
+			},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := sampleTrace().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRecordValidateRejects(t *testing.T) {
+	short := &Record{ID: PacketID{Source: 1, Seq: 1}, Path: []radio.NodeID{1}}
+	if err := short.Validate(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("short path error = %v, want ErrBadTrace", err)
+	}
+	wrongSource := sampleRecord(1, 1, 0, 5, 12)
+	wrongSource.Path[0] = 9
+	if err := wrongSource.Validate(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("wrong source error = %v, want ErrBadTrace", err)
+	}
+	badTruth := sampleRecord(1, 1, 0, 5, 12)
+	badTruth.TruthArrivals = badTruth.TruthArrivals[:2]
+	if err := badTruth.Validate(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad truth error = %v, want ErrBadTrace", err)
+	}
+	timeTravel := sampleRecord(1, 1, 0, 5, 12)
+	timeTravel.SinkArrival = -ms(1)
+	if err := timeTravel.Validate(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("time travel error = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestTraceValidateRejectsOutOfOrder(t *testing.T) {
+	tr := sampleTrace()
+	tr.Records[0], tr.Records[2] = tr.Records[2], tr.Records[0]
+	if err := tr.Validate(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("out-of-order error = %v, want ErrBadTrace", err)
+	}
+	tr.SortBySinkArrival()
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate after sort: %v", err)
+	}
+}
+
+func TestByID(t *testing.T) {
+	tr := sampleTrace()
+	m := tr.ByID()
+	if len(m) != 3 {
+		t.Fatalf("ByID has %d entries, want 3", len(m))
+	}
+	r := m[PacketID{Source: 1, Seq: 2}]
+	if r == nil || r.GenTime != ms(10) {
+		t.Errorf("lookup wrong: %+v", r)
+	}
+}
+
+func TestDropRandom(t *testing.T) {
+	tr := &Trace{NumNodes: 3, Duration: time.Minute}
+	for i := 0; i < 1000; i++ {
+		tr.Records = append(tr.Records, sampleRecord(1, uint32(i), i, i+5, i+9))
+	}
+	dropped, err := tr.DropRandom(0.3, 42)
+	if err != nil {
+		t.Fatalf("DropRandom: %v", err)
+	}
+	frac := float64(len(dropped.Records)) / float64(len(tr.Records))
+	if frac < 0.63 || frac > 0.77 {
+		t.Errorf("kept %.2f of records, want ≈ 0.70", frac)
+	}
+	if len(tr.Records) != 1000 {
+		t.Error("DropRandom mutated the original trace")
+	}
+	if _, err := tr.DropRandom(1.0, 1); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("loss rate 1.0 error = %v, want ErrBadTrace", err)
+	}
+	if _, err := tr.DropRandom(-0.1, 1); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("negative loss error = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestDropRandomDeterministic(t *testing.T) {
+	tr := sampleTrace()
+	a, err := tr.DropRandom(0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.DropRandom(0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Error("same seed produced different drops")
+	}
+}
+
+func TestTruthNodeDelay(t *testing.T) {
+	r := sampleRecord(1, 1, 0, 5, 12)
+	d, err := r.TruthNodeDelay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != ms(5) {
+		t.Errorf("delay hop 0 = %v, want 5ms", d)
+	}
+	d, err = r.TruthNodeDelay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != ms(7) {
+		t.Errorf("delay hop 1 = %v, want 7ms", d)
+	}
+	if _, err := r.TruthNodeDelay(2); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("out-of-range hop error = %v, want ErrBadTrace", err)
+	}
+	bare := &Record{ID: PacketID{Source: 1}, Path: []radio.NodeID{1, 0}}
+	if _, err := bare.TruthNodeDelay(0); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("no-truth error = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if back.NumNodes != tr.NumNodes || back.Duration != tr.Duration {
+		t.Errorf("metadata mismatch: %+v", back)
+	}
+	if len(back.Records) != len(tr.Records) {
+		t.Fatalf("record count %d, want %d", len(back.Records), len(tr.Records))
+	}
+	if back.Records[1].ID != tr.Records[1].ID {
+		t.Errorf("record ids differ after round trip")
+	}
+	if len(back.NodeLogs[1]) != 2 {
+		t.Errorf("node logs lost in round trip")
+	}
+}
+
+func TestReadRejectsGarbageAndInvalid(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("Read accepted garbage")
+	}
+	bad := &Trace{NumNodes: 1}
+	var buf bytes.Buffer
+	if err := bad.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("Read invalid error = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestSourcesSeen(t *testing.T) {
+	tr := sampleTrace()
+	got := tr.SourcesSeen()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("SourcesSeen = %v, want [1 2]", got)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventSend.String() != "send" || EventReceive.String() != "receive" {
+		t.Error("EventKind names wrong")
+	}
+	if EventKind(7).String() != "EventKind(7)" {
+		t.Errorf("unknown kind = %q", EventKind(7))
+	}
+}
+
+func TestPacketIDString(t *testing.T) {
+	id := PacketID{Source: 12, Seq: 34}
+	if id.String() != "12:34" {
+		t.Errorf("PacketID.String() = %q, want 12:34", id.String())
+	}
+}
+
+func TestPositionsRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	tr.Positions = [][2]float64{{0, 0}, {1.5, 2.5}, {3, 4}, {5, 6}, {7, 8}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Positions) != 5 || back.Positions[1] != [2]float64{1.5, 2.5} {
+		t.Errorf("positions lost in round trip: %v", back.Positions)
+	}
+}

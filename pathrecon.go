@@ -1,0 +1,46 @@
+package domo
+
+import (
+	"fmt"
+
+	"github.com/domo-net/domo/internal/pathrecon"
+)
+
+// PathStats summarizes a path-reconstruction pass.
+type PathStats struct {
+	Total      int // packets examined
+	Exact      int // unique hash-verified path found
+	Ambiguous  int // several distinct candidate paths matched
+	Unresolved int // no candidate path matched
+}
+
+// ReconstructPaths rebuilds every packet's routing path from the 4-byte
+// path header alone (first-hop id + 16-bit path hash), without using the
+// trace's recorded paths — the substrate the paper assumes from MNT /
+// Pathfinder / PathZip (§III). It returns a copy of the trace whose
+// records carry the reconstructed paths (records whose path could not be
+// reconstructed unambiguously are dropped) plus outcome statistics.
+//
+// Feeding the returned trace to Estimate/Bounds evaluates Domo under
+// realistic conditions where paths themselves are inferred, not given.
+func ReconstructPaths(tr *Trace) (*Trace, PathStats, error) {
+	if tr == nil {
+		return nil, PathStats{}, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	res, err := pathrecon.ReconstructAll(tr.inner, pathrecon.Config{})
+	if err != nil {
+		return nil, PathStats{}, fmt.Errorf("reconstructing paths: %w", err)
+	}
+	stats := PathStats{
+		Total:      res.Stats.Total,
+		Exact:      res.Stats.Exact,
+		Ambiguous:  res.Stats.Ambiguous,
+		Unresolved: res.Stats.Unresolved,
+	}
+	out := res.ApplyToTrace(tr.inner)
+	out.SortBySinkArrival()
+	if err := out.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("validating reconstructed trace: %w", err)
+	}
+	return &Trace{inner: out}, stats, nil
+}

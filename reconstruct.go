@@ -1,0 +1,199 @@
+package domo
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/domo-net/domo/internal/core"
+)
+
+// publicErr rewraps internal bad-input sentinels as the package's public
+// ErrBadInput so callers can errors.Is against the exported error.
+func publicErr(op string, err error) error {
+	if errors.Is(err, core.ErrBadInput) {
+		return fmt.Errorf("%s: %v: %w", op, err, ErrBadInput)
+	}
+	return fmt.Errorf("%s: %w", op, err)
+}
+
+// Config tunes the PC-side reconstruction. The zero value reproduces the
+// paper's defaults (effective time window ratio 0.5, graph cut size 10000).
+type Config struct {
+	// EffectiveWindowRatio is the fraction of each estimation time window
+	// whose results are kept (§IV-B, Fig. 9). Default 0.5.
+	EffectiveWindowRatio float64
+	// WindowPackets is the number of packets per time window. Default 48.
+	WindowPackets int
+	// EnableSDR turns on the semidefinite-relaxation seeding stage for
+	// small windows (§IV-A). Slower; the order-refined QP alone matches it
+	// on the evaluation workloads.
+	EnableSDR bool
+	// GraphCutSize is the number of constraint-graph vertices per extracted
+	// sub-graph for bound computation (§IV-C, Fig. 10). Default 10000.
+	GraphCutSize int
+	// ExactBounds switches the per-unknown bound solves from interval
+	// propagation to exact simplex LPs (slower, marginally tighter).
+	ExactBounds bool
+	// BoundSample computes bounds only for this many randomly chosen
+	// unknowns (0 = all); average width and per-bound time remain unbiased
+	// estimates, at a fraction of the cost.
+	BoundSample int
+	// BoundWorkers solves bound targets on this many goroutines (results
+	// are identical for any worker count). 0 or 1 means serial.
+	BoundWorkers int
+	// Seed drives sampling randomness.
+	Seed int64
+	// UseUpperSum enables the loss-free Eq. 6 upper sum-of-delays
+	// constraint. Unsound under packet loss; off by default.
+	UseUpperSum bool
+	// AblateSumConstraints drops the sum-of-delays information entirely
+	// (for the design-choice ablations; Domo degenerates toward MNT).
+	AblateSumConstraints bool
+	// AblateBLP replaces the balanced-label-propagation sub-graph tuning
+	// with the raw BFS ball.
+	AblateBLP bool
+}
+
+func (c Config) toCore() core.Config {
+	cc := core.Config{
+		EffectiveWindowRatio:  c.EffectiveWindowRatio,
+		WindowPackets:         c.WindowPackets,
+		EnableSDR:             c.EnableSDR,
+		GraphCutSize:          c.GraphCutSize,
+		UseUpperSum:           c.UseUpperSum,
+		DisableSumConstraints: c.AblateSumConstraints,
+		DisableBLP:            c.AblateBLP,
+	}
+	if c.ExactBounds {
+		cc.BoundSolverKind = core.SolverSimplex
+	}
+	return cc
+}
+
+// EstimateStats reports estimator effort.
+type EstimateStats struct {
+	Unknowns int
+	Windows  int
+	WallTime time.Duration
+}
+
+// Reconstruction holds per-packet arrival-time estimates.
+type Reconstruction struct {
+	est *core.Estimates
+}
+
+// Estimate reconstructs estimated per-hop arrival times for every packet
+// in the trace (§IV-B).
+func Estimate(tr *Trace, cfg Config) (*Reconstruction, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	ds, err := core.NewDataset(tr.inner, cfg.toCore())
+	if err != nil {
+		return nil, fmt.Errorf("building dataset: %w", err)
+	}
+	est, err := core.Estimate(ds)
+	if err != nil {
+		return nil, fmt.Errorf("estimating: %w", err)
+	}
+	return &Reconstruction{est: est}, nil
+}
+
+// Arrivals returns the reconstructed arrival times t_0 .. t_{|p|-1}.
+func (r *Reconstruction) Arrivals(id PacketID) ([]time.Duration, error) {
+	arr, err := r.est.Arrivals(toInternalID(id))
+	if err != nil {
+		return nil, publicErr("arrivals", err)
+	}
+	return arr, nil
+}
+
+// NodeDelays returns the reconstructed per-hop sojourn times; element i is
+// the packet's delay on hop i of its path.
+func (r *Reconstruction) NodeDelays(id PacketID) ([]time.Duration, error) {
+	d, err := r.est.NodeDelays(toInternalID(id))
+	if err != nil {
+		return nil, publicErr("node delays", err)
+	}
+	return d, nil
+}
+
+// Uncertainty returns a per-arrival-time confidence measure: the width of
+// the guaranteed-constraint envelope around each reconstructed time (zero
+// for the known generation and sink-arrival entries). Tightly constrained
+// estimates — e.g., first hops capped by a small S(p) — have small widths.
+func (r *Reconstruction) Uncertainty(id PacketID) ([]time.Duration, error) {
+	u, err := r.est.Uncertainty(toInternalID(id))
+	if err != nil {
+		return nil, publicErr("uncertainty", err)
+	}
+	return u, nil
+}
+
+// Stats reports the estimator's effort.
+func (r *Reconstruction) Stats() EstimateStats {
+	return EstimateStats{
+		Unknowns: r.est.Stats.Unknowns,
+		Windows:  r.est.Stats.Windows,
+		WallTime: r.est.Stats.WallTime,
+	}
+}
+
+// BoundStats reports the bound solver's effort.
+type BoundStats struct {
+	Unknowns int
+	Solved   int
+	WallTime time.Duration
+}
+
+// BoundsResult holds per-packet arrival-time lower/upper bounds.
+type BoundsResult struct {
+	b *core.Bounds
+}
+
+// Bounds reconstructs guaranteed lower and upper bounds for every interior
+// arrival time (§IV-C).
+func Bounds(tr *Trace, cfg Config) (*BoundsResult, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	ds, err := core.NewDataset(tr.inner, cfg.toCore())
+	if err != nil {
+		return nil, fmt.Errorf("building dataset: %w", err)
+	}
+	b, err := core.ComputeBounds(ds, core.BoundOptions{
+		Sample:  cfg.BoundSample,
+		Seed:    cfg.Seed,
+		Workers: cfg.BoundWorkers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("computing bounds: %w", err)
+	}
+	return &BoundsResult{b: b}, nil
+}
+
+// ArrivalBounds returns per-hop [lower, upper] arrival-time bounds; known
+// times (generation, sink arrival) have zero width.
+func (b *BoundsResult) ArrivalBounds(id PacketID) (lower, upper []time.Duration, err error) {
+	lo, hi, err := b.b.ArrivalBounds(toInternalID(id))
+	if err != nil {
+		return nil, nil, publicErr("arrival bounds", err)
+	}
+	return lo, hi, nil
+}
+
+// Computed reports whether the bounds for hop `hop` of the packet were
+// actually solved (false for knowns and for unknowns skipped by sampling).
+func (b *BoundsResult) Computed(id PacketID, hop int) bool {
+	return b.b.Computed(toInternalID(id), hop)
+}
+
+// Stats reports the bound solver's effort.
+func (b *BoundsResult) Stats() BoundStats {
+	return BoundStats{
+		Unknowns: b.b.Stats.Unknowns,
+		Solved:   b.b.Stats.Solved,
+		WallTime: b.b.Stats.WallTime,
+	}
+}

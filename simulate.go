@@ -1,0 +1,207 @@
+package domo
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/domo-net/domo/internal/ctp"
+	"github.com/domo-net/domo/internal/node"
+	"github.com/domo-net/domo/internal/radio"
+)
+
+// SimConfig configures a simulated data-collection deployment. The zero
+// value (plus a node count) reproduces the paper's evaluation setting:
+// nodes uniformly spread over a square whose area scales with the node
+// count (constant density), a center sink, CTP-style tree routing, CSMA
+// MAC, and periodic per-node data generation.
+type SimConfig struct {
+	// NumNodes is the total node count including the sink. Default 100.
+	NumNodes int
+	// Duration is the simulated collection time after warmup. Default 10m.
+	Duration time.Duration
+	// DataPeriod is each node's generation period. Default 30s.
+	DataPeriod time.Duration
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed int64
+	// Side overrides the square side length in meters (0 = scale with
+	// NumNodes at the paper's 400-nodes-per-280m² density).
+	Side float64
+	// LinkDrift sets the per-step PRR random-walk magnitude modelling
+	// time-varying links. Default 0.02; 0 disables drift.
+	LinkDrift float64
+	// NodeLogs enables MessageTracing-style per-node send/receive logs
+	// (needed for the Fig. 6c/7c/8c comparisons).
+	NodeLogs bool
+	// Warmup is the routing-convergence time before data starts.
+	// Default 120s.
+	Warmup time.Duration
+	// Shadowing enables static per-link shadowing with the given sigma in
+	// meters: long flaky links and short dead links, as real deployments
+	// exhibit. 0 disables.
+	Shadowing float64
+	// TrickleBeacons switches routing beacons from fixed-period to the
+	// Trickle timer real CTP uses (adaptive back-off with suppression).
+	TrickleBeacons bool
+	// Traffic selects the generation workload (default periodic; see
+	// TrafficPoisson and TrafficBursty).
+	Traffic Traffic
+}
+
+// Traffic selects a data-generation workload.
+type Traffic int
+
+// Traffic workloads.
+const (
+	// TrafficPeriodic sends every DataPeriod plus jitter (the paper's
+	// evaluation workload; default).
+	TrafficPeriodic Traffic = iota
+	// TrafficPoisson draws exponential inter-arrival times (memoryless
+	// event reporting).
+	TrafficPoisson
+	// TrafficBursty alternates quiet stretches with 3-6 packet bursts
+	// (correlated alarms).
+	TrafficBursty
+)
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.NumNodes <= 0 {
+		c.NumNodes = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Minute
+	}
+	if c.DataPeriod <= 0 {
+		c.DataPeriod = 30 * time.Second
+	}
+	if c.Side <= 0 {
+		// Constant density: 400 nodes ↔ 280m side.
+		c.Side = 280 * math.Sqrt(float64(c.NumNodes)/400)
+	}
+	if c.LinkDrift < 0 {
+		c.LinkDrift = 0
+	} else if c.LinkDrift == 0 {
+		c.LinkDrift = 0.02
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 120 * time.Second
+	}
+	return c
+}
+
+// Simulate runs a deployment and returns the collected trace. The run is
+// deterministic in the seed.
+func Simulate(cfg SimConfig) (*Trace, error) {
+	c := cfg.withDefaults()
+	net, err := NewNetwork(c)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := net.inner.Run(c.Warmup + c.Duration)
+	if err != nil {
+		return nil, fmt.Errorf("running simulation: %w", err)
+	}
+	return &Trace{inner: inner}, nil
+}
+
+// Network is a constructed (but not yet run) simulated deployment, exposed
+// for callers that want topology inspection or stepped runs.
+type Network struct {
+	inner *node.Network
+	cfg   SimConfig
+}
+
+// NewNetwork builds the deployment without running it.
+func NewNetwork(cfg SimConfig) (*Network, error) {
+	c := cfg.withDefaults()
+	cfgNode := node.NetworkConfig{
+		NumNodes: c.NumNodes,
+		Side:     c.Side,
+		Sink:     radio.SinkCenter,
+		Seed:     c.Seed,
+		Link: radio.LinkConfig{
+			ConnectedRadius: 28,
+			OutageRadius:    46,
+			PRRMax:          0.97,
+			DriftStdDev:     c.LinkDrift,
+			ShadowSigma:     c.Shadowing,
+		},
+		DataPeriod:     c.DataPeriod,
+		DataJitter:     c.DataPeriod / 5,
+		Warmup:         c.Warmup,
+		GridJitter:     0.3,
+		EnableNodeLogs: c.NodeLogs,
+	}
+	if c.TrickleBeacons {
+		cfgNode.CTP.Trickle = &ctp.TrickleConfig{}
+	}
+	switch c.Traffic {
+	case TrafficPoisson:
+		cfgNode.Traffic = node.TrafficPoisson
+	case TrafficBursty:
+		cfgNode.Traffic = node.TrafficBursty
+	default:
+		cfgNode.Traffic = node.TrafficPeriodic
+	}
+	inner, err := node.NewNetwork(cfgNode)
+	if err != nil {
+		return nil, fmt.Errorf("building network: %w", err)
+	}
+	return &Network{inner: inner, cfg: c}, nil
+}
+
+// Run simulates the configured warmup plus duration and returns the trace.
+func (n *Network) Run() (*Trace, error) {
+	inner, err := n.inner.Run(n.cfg.Warmup + n.cfg.Duration)
+	if err != nil {
+		return nil, fmt.Errorf("running simulation: %w", err)
+	}
+	return &Trace{inner: inner}, nil
+}
+
+// Position returns a node's planar placement in meters.
+func (n *Network) Position(id NodeID) (x, y float64, err error) {
+	if int(id) < 0 || int(id) >= n.inner.NumNodes() {
+		return 0, 0, fmt.Errorf("node %d outside [0,%d): %w", id, n.inner.NumNodes(), ErrBadInput)
+	}
+	p := n.inner.Topology().Position(radio.NodeID(id))
+	return p.X, p.Y, nil
+}
+
+// NumNodes returns the deployment's node count.
+func (n *Network) NumNodes() int { return n.inner.NumNodes() }
+
+// Side returns the deployment square's side length in meters.
+func (n *Network) Side() float64 { return n.inner.Topology().Side() }
+
+// NetStats summarizes link-layer health after a run.
+type NetStats struct {
+	FramesSent     uint64 // transmit attempts (including retransmissions)
+	FramesDropped  uint64 // frames abandoned after exhausting retries
+	Collisions     uint64 // per-receiver corruption events
+	AcksLost       uint64 // data received but the ACK did not make it back
+	QueueOverflows uint64 // send-queue rejections
+}
+
+// Stats reports the link-layer counters accumulated so far.
+func (n *Network) Stats() NetStats {
+	m := n.inner.Medium()
+	return NetStats{
+		FramesSent:     m.StatFramesSent,
+		FramesDropped:  m.StatFramesDropped,
+		Collisions:     m.StatCollisions,
+		AcksLost:       m.StatAcksLost,
+		QueueOverflows: m.StatQueueOverflows,
+	}
+}
+
+// FailNodeAt schedules a node's death at the given time from simulation
+// start (warmup included). The dead node's radio goes silent, its queued
+// packets are lost, and the routing layer must find paths around it. The
+// sink (node 0) cannot be failed.
+func (n *Network) FailNodeAt(id NodeID, at time.Duration) error {
+	if err := n.inner.FailNodeAt(radio.NodeID(id), at); err != nil {
+		return fmt.Errorf("scheduling failure: %v: %w", err, ErrBadInput)
+	}
+	return nil
+}
