@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"github.com/domo-net/domo/internal/radio"
@@ -175,6 +176,70 @@ func (t *Trace) GroundTruthArrivals(id PacketID) ([]time.Duration, error) {
 		return nil, fmt.Errorf("packet %v has no ground truth: %w", id, ErrBadInput)
 	}
 	return append([]time.Duration(nil), r.TruthArrivals...), nil
+}
+
+// QuarantinedRecord identifies one record rejected by Sanitize and the
+// first invariant it violated.
+type QuarantinedRecord struct {
+	ID     PacketID
+	Reason string
+}
+
+// SanitizeReport summarizes a Sanitize pass: how many records came in, how
+// many survived, and per-invariant counts for the quarantined ones.
+type SanitizeReport struct {
+	Input       int
+	Kept        int
+	Quarantined int
+	// ByReason counts quarantined records per violated invariant, keyed by
+	// the reason name (e.g. "path-loop", "duplicate-id", "gen-after-sink").
+	ByReason map[string]int
+	// Records lists the quarantined records in input order.
+	Records []QuarantinedRecord
+}
+
+// String renders the report as a one-line summary.
+func (r *SanitizeReport) String() string {
+	s := fmt.Sprintf("sanitize: %d in, %d kept, %d quarantined", r.Input, r.Kept, r.Quarantined)
+	reasons := make([]string, 0, len(r.ByReason))
+	for reason := range r.ByReason {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		s += fmt.Sprintf(" %s=%d", reason, r.ByReason[reason])
+	}
+	return s
+}
+
+func fromInternalReport(rep *trace.SanitizeReport) *SanitizeReport {
+	out := &SanitizeReport{
+		Input:       rep.Input,
+		Kept:        rep.Kept,
+		Quarantined: rep.Quarantined,
+		ByReason:    make(map[string]int, len(rep.ByReason)),
+	}
+	for reason, n := range rep.ByReason {
+		out.ByReason[reason.String()] = n
+	}
+	for _, q := range rep.Records {
+		out.Records = append(out.Records, QuarantinedRecord{ID: fromInternalID(q.ID), Reason: q.Reason.String()})
+	}
+	return out
+}
+
+// Sanitize validates every record against the reconstruction's invariants
+// (path structure and loops, on-air path-hash cross-check, ω-respecting
+// generation/arrival order, S(p) plausibility, end-to-end time consistency,
+// duplicate ids) and returns a copy containing only the survivors plus a
+// report of what was quarantined and why. Traces collected from faulty
+// hardware — reboots, clock drift, duplicated or corrupted deliveries —
+// must pass through here (or set Config.AutoSanitize) before Estimate and
+// Bounds, which are strict about their inputs. Sanitizing a clean trace is
+// a no-op that reports zero quarantined records.
+func (t *Trace) Sanitize() (*Trace, *SanitizeReport) {
+	inner, rep := t.inner.Sanitize(trace.SanitizeOptions{})
+	return &Trace{inner: inner}, fromInternalReport(rep)
 }
 
 // DropRandom returns a copy of the trace with roughly the given fraction of

@@ -1,0 +1,241 @@
+package domo
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// faultySimConfig is the shared 100-node fault-injection scenario: roughly
+// 5% of delivered records are corrupted at the sink, relays reboot a
+// handful of times (zeroing their Algorithm-1 counters mid-run), clocks
+// skew, and the S(p) field wraps at 16 bits.
+func faultySimConfig() SimConfig {
+	return SimConfig{
+		NumNodes:   100,
+		Duration:   4 * time.Minute,
+		DataPeriod: 15 * time.Second,
+		Seed:       11,
+		Faults: FaultConfig{
+			RebootMTBF:      40 * time.Minute,
+			ClockSkewPPM:    100,
+			Wrap16:          true,
+			DuplicateRate:   0.02,
+			CorruptPathRate: 0.02,
+			CorruptTimeRate: 0.01,
+		},
+	}
+}
+
+// The headline robustness scenario: with ~5% injected faults the pipeline
+// must complete end-to-end, quarantine and degrade deterministically, and
+// stay accurate on the packets the faults did not touch.
+func TestFaultyPipelineEndToEnd(t *testing.T) {
+	cfg := faultySimConfig()
+	faulty, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("faulty Simulate: %v", err)
+	}
+
+	clean := cfg
+	clean.Faults = FaultConfig{}
+	cleanTr, err := Simulate(clean)
+	if err != nil {
+		t.Fatalf("clean Simulate: %v", err)
+	}
+
+	san, rep := faulty.Sanitize()
+	if rep.Quarantined == 0 {
+		t.Fatalf("fault injection produced nothing to quarantine: %s", rep)
+	}
+	if rep.Input != rep.Kept+rep.Quarantined {
+		t.Fatalf("inconsistent report: %s", rep)
+	}
+	t.Logf("sanitize: %s", rep)
+
+	rec, err := Estimate(san, Config{})
+	if err != nil {
+		t.Fatalf("Estimate on sanitized faulty trace: %v", err)
+	}
+	stats := rec.Stats()
+	if stats.DegradedWindows == 0 {
+		t.Fatalf("expected degraded windows from reboot-corrupted S(p); stats = %+v", stats)
+	}
+	t.Logf("estimate stats: %+v", stats)
+
+	bounds, err := Bounds(san, Config{BoundSample: 200, BoundWorkers: 4, Seed: 5})
+	if err != nil {
+		t.Fatalf("Bounds on sanitized faulty trace: %v", err)
+	}
+	if bs := bounds.Stats(); bs.Solved == 0 {
+		t.Fatalf("bounds solved nothing: %+v", bs)
+	}
+
+	// Accuracy on unaffected packets: mean per-hop estimate error (against
+	// each run's own ground truth) over the surviving records must stay
+	// within 10% of the clean-run baseline over all records.
+	cleanRec, err := Estimate(cleanTr, Config{})
+	if err != nil {
+		t.Fatalf("clean Estimate: %v", err)
+	}
+	cleanErr := meanAbsHopErrorMS(t, cleanTr, cleanRec)
+	faultyErr := meanAbsHopErrorMS(t, san, rec)
+	t.Logf("mean per-hop error: clean %.3f ms, faulty-survivors %.3f ms", cleanErr, faultyErr)
+	if faultyErr > cleanErr*1.10 {
+		t.Fatalf("faulty-run error %.3f ms exceeds clean baseline %.3f ms by more than 10%%", faultyErr, cleanErr)
+	}
+}
+
+// Fixed seed ⇒ bit-identical fault injection, quarantine report, and
+// degradation counts across runs.
+func TestFaultyPipelineDeterministic(t *testing.T) {
+	cfg := faultySimConfig()
+	run := func() (*SanitizeReport, EstimateStats) {
+		tr, err := Simulate(cfg)
+		if err != nil {
+			t.Fatalf("Simulate: %v", err)
+		}
+		san, rep := tr.Sanitize()
+		rec, err := Estimate(san, Config{})
+		if err != nil {
+			t.Fatalf("Estimate: %v", err)
+		}
+		return rep, rec.Stats()
+	}
+	repA, statsA := run()
+	repB, statsB := run()
+	if repA.String() != repB.String() {
+		t.Fatalf("sanitize reports differ:\n  %s\n  %s", repA, repB)
+	}
+	if statsA.DegradedWindows != statsB.DegradedWindows || statsA.RetriedWindows != statsB.RetriedWindows {
+		t.Fatalf("degradation counts differ: %+v vs %+v", statsA, statsB)
+	}
+}
+
+// AutoSanitize folds the quarantine stage into Estimate/Bounds and exposes
+// the report on the results.
+func TestAutoSanitize(t *testing.T) {
+	cfg := faultySimConfig()
+	cfg.Duration = 2 * time.Minute
+	tr, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	rec, err := Estimate(tr, Config{AutoSanitize: true})
+	if err != nil {
+		t.Fatalf("Estimate with AutoSanitize: %v", err)
+	}
+	rep := rec.SanitizeReport()
+	if rep == nil || rep.Quarantined == 0 {
+		t.Fatalf("missing or empty sanitize report: %+v", rep)
+	}
+	bounds, err := Bounds(tr, Config{AutoSanitize: true, BoundSample: 50})
+	if err != nil {
+		t.Fatalf("Bounds with AutoSanitize: %v", err)
+	}
+	if brep := bounds.SanitizeReport(); brep == nil || brep.Quarantined != rep.Quarantined {
+		t.Fatalf("bounds sanitize report %+v disagrees with estimate report %+v", brep, rep)
+	}
+	// Without AutoSanitize the corrupt records must fail dataset validation.
+	if _, err := Estimate(tr, Config{}); err == nil {
+		t.Fatal("Estimate accepted the raw faulty trace")
+	}
+}
+
+// Cancellation and deadlines must interrupt reconstruction mid-run instead
+// of letting it run to completion.
+func TestReconstructionContextCancellation(t *testing.T) {
+	tr := headlineTrace(t)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EstimateCtx(canceled, tr, Config{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimateCtx error = %v, want context.Canceled", err)
+	}
+	if _, err := BoundsCtx(canceled, tr, Config{BoundWorkers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BoundsCtx error = %v, want context.Canceled", err)
+	}
+
+	// A deadline a few milliseconds out expires mid-window: the call must
+	// return DeadlineExceeded in far less time than a full reconstruction
+	// (several seconds on this trace).
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer dcancel()
+	start := time.Now()
+	_, err := EstimateCtx(dctx, tr, Config{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("EstimateCtx error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("EstimateCtx took %v to notice the expired deadline", elapsed)
+	}
+
+	bctx, bcancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer bcancel()
+	start = time.Now()
+	_, err = BoundsCtx(bctx, tr, Config{ExactBounds: true, BoundWorkers: 4})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("BoundsCtx error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("BoundsCtx took %v to notice the expired deadline", elapsed)
+	}
+}
+
+// Every facade accessor routes internal bad-input sentinels through
+// publicErr, so callers can match the package-level ErrBadInput and still
+// see which operation rejected the ID.
+func TestPublicErrRewrapsBadInput(t *testing.T) {
+	tr := headlineTrace(t)
+	rec, err := Estimate(tr, Config{})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	bogus := PacketID{Source: 9999, Seq: 42}
+	if _, err := rec.Uncertainty(bogus); !errors.Is(err, ErrBadInput) {
+		t.Errorf("Uncertainty error = %v, want ErrBadInput", err)
+	} else if !strings.Contains(err.Error(), "uncertainty") {
+		t.Errorf("Uncertainty error %q should name the operation", err)
+	}
+	bounds, err := Bounds(tr, Config{BoundSample: 10, Seed: 3})
+	if err != nil {
+		t.Fatalf("Bounds: %v", err)
+	}
+	if _, _, err := bounds.ArrivalBounds(bogus); !errors.Is(err, ErrBadInput) {
+		t.Errorf("ArrivalBounds error = %v, want ErrBadInput", err)
+	} else if !strings.Contains(err.Error(), "arrival bounds") {
+		t.Errorf("ArrivalBounds error %q should name the operation", err)
+	}
+}
+
+// meanAbsHopErrorMS averages |estimated − truth| in milliseconds over every
+// interior arrival time of every packet carrying ground truth.
+func meanAbsHopErrorMS(t *testing.T, tr *Trace, rec *Reconstruction) float64 {
+	t.Helper()
+	var sum float64
+	var n int
+	for _, id := range tr.Packets() {
+		truth, err := tr.GroundTruthArrivals(id)
+		if err != nil {
+			continue
+		}
+		arr, err := rec.Arrivals(id)
+		if err != nil {
+			t.Fatalf("Arrivals(%v): %v", id, err)
+		}
+		for hop := 1; hop < len(truth)-1; hop++ {
+			diff := arr[hop] - truth[hop]
+			if diff < 0 {
+				diff = -diff
+			}
+			sum += float64(diff) / float64(time.Millisecond)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no interior arrival times with ground truth")
+	}
+	return sum / float64(n)
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -50,6 +52,12 @@ type BoundOptions struct {
 	// Each target's sub-problem is independent, so the result is identical
 	// for any worker count. Default 1; use runtime.NumCPU() for batch runs.
 	Workers int
+
+	// failTarget, when non-nil, is consulted before each solve and its
+	// non-nil error treated as the solve failing. Tests use it to exercise
+	// the deterministic parallel error path; production callers leave it
+	// nil.
+	failTarget func(target int) error
 }
 
 // ArrivalBounds returns lower and upper bounds for every arrival time of
@@ -102,6 +110,17 @@ type propRow struct {
 // tuned sub-graph extraction, and min/max solves over the guaranteed
 // constraints.
 func ComputeBounds(d *Dataset, opts BoundOptions) (*Bounds, error) {
+	return ComputeBoundsCtx(context.Background(), d, opts)
+}
+
+// ComputeBoundsCtx is ComputeBounds with cooperative cancellation: the
+// context is threaded into every per-target LP and polled between targets
+// (by every worker in the parallel path), so deadlines and cancellation
+// abort the run promptly. Worker panics are recovered into errors, and when
+// several targets fail concurrently the reported error is deterministic —
+// the failing target at the lowest position in the target list wins,
+// independent of goroutine scheduling.
+func ComputeBoundsCtx(ctx context.Context, d *Dataset, opts BoundOptions) (*Bounds, error) {
 	start := time.Now()
 	b := &Bounds{
 		ds:       d,
@@ -127,8 +146,11 @@ func ComputeBounds(d *Dataset, opts BoundOptions) (*Bounds, error) {
 	workers := opts.Workers
 	if workers <= 1 {
 		for _, target := range targets {
-			if err := b.solveTarget(target, rows, varRows, graph); err != nil {
-				return nil, fmt.Errorf("bounding unknown %d: %w", target, err)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := b.solveTargetSafe(ctx, target, rows, varRows, graph, opts.failTarget); err != nil {
+				return nil, err
 			}
 			b.Stats.Solved++
 		}
@@ -138,12 +160,19 @@ func ComputeBounds(d *Dataset, opts BoundOptions) (*Bounds, error) {
 
 	// Parallel path: targets are independent (rows, varRows, and graph are
 	// read-only; each target writes disjoint b.lower/b.upper/b.computed
-	// slots), so plain fan-out is safe.
+	// slots), so plain fan-out is safe. Errors land in a per-position slice
+	// and the winner is picked by a post-join ascending scan, which makes
+	// the reported error independent of goroutine scheduling; the first
+	// failure also cancels the inner context so outstanding workers stop
+	// claiming new targets instead of grinding through the rest of the list.
+	workCtx, cancelWork := context.WithCancel(ctx)
+	defer cancelWork()
 	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		solveErr error
-		next     atomic.Int64
+		wg     sync.WaitGroup
+		errs   = make([]error, len(targets))
+		failed atomic.Bool
+		next   atomic.Int64
+		solved atomic.Int64
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -154,22 +183,66 @@ func ComputeBounds(d *Dataset, opts BoundOptions) (*Bounds, error) {
 				if i >= len(targets) {
 					return
 				}
-				if err := b.solveTarget(targets[i], rows, varRows, graph); err != nil {
-					errOnce.Do(func() {
-						solveErr = fmt.Errorf("bounding unknown %d: %w", targets[i], err)
-					})
+				if workCtx.Err() != nil {
+					errs[i] = workCtx.Err()
 					return
 				}
+				if err := b.solveTargetSafe(workCtx, targets[i], rows, varRows, graph, opts.failTarget); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancelWork()
+					return
+				}
+				solved.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
-	if solveErr != nil {
-		return nil, solveErr
+	if failed.Load() || ctx.Err() != nil {
+		// Prefer the caller's context error (the user canceled); otherwise
+		// report the lowest-position failure, skipping the cancellation
+		// errors that the losing workers observed after cancelWork fired.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var firstErr error
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			if !isCtxErr(err) {
+				return nil, err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
 	}
-	b.Stats.Solved = len(targets)
+	b.Stats.Solved = int(solved.Load())
 	b.Stats.WallTime = time.Since(start)
 	return b, nil
+}
+
+// solveTargetSafe wraps solveTarget with the test failure hook, panic
+// isolation, and error annotation.
+func (b *Bounds) solveTargetSafe(ctx context.Context, target int, rows []propRow, varRows [][]int, graph *graphcut.Graph, failTarget func(int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("bounding unknown %d: solver panic: %v", target, r)
+		}
+	}()
+	if failTarget != nil {
+		if err := failTarget(target); err != nil {
+			return fmt.Errorf("bounding unknown %d: %w", target, err)
+		}
+	}
+	if err := b.solveTarget(ctx, target, rows, varRows, graph); err != nil {
+		return fmt.Errorf("bounding unknown %d: %w", target, err)
+	}
+	return nil
 }
 
 // seedEnvelope initializes every unknown with the order-chain envelope
@@ -272,7 +345,7 @@ func (b *Bounds) chooseTargets(opts BoundOptions) []int {
 }
 
 // solveTarget bounds one unknown over its tuned sub-graph.
-func (b *Bounds) solveTarget(target int, rows []propRow, varRows [][]int, graph *graphcut.Graph) error {
+func (b *Bounds) solveTarget(ctx context.Context, target int, rows []propRow, varRows [][]int, graph *graphcut.Graph) error {
 	cfg := b.ds.cfg
 	member, inside := b.extractMembership(target, graph)
 
@@ -315,7 +388,10 @@ func (b *Bounds) solveTarget(target int, rows []propRow, varRows [][]int, graph 
 
 	useSimplex := cfg.BoundSolverKind == SolverSimplex && len(inside) <= cfg.SimplexMaxVars
 	if useSimplex {
-		lower, upper, err := simplexBounds(target, inside, local, lo, hi)
+		lower, upper, err := simplexBounds(ctx, target, inside, local, lo, hi)
+		if isCtxErr(err) {
+			return err
+		}
 		if err == nil {
 			b.lower[target] = lower
 			b.upper[target] = upper
@@ -370,6 +446,13 @@ func (b *Bounds) extractMembership(target int, graph *graphcut.Graph) ([]bool, [
 
 // propagate runs interval constraint propagation to a fixpoint (or the
 // round limit) over the given rows.
+//
+// Tightenings are clamped so an interval can collapse but never cross:
+// on a feasible system the clamp never fires (the true value keeps lo ≤ hi),
+// while on an inconsistent system — e.g. corrupted S(p) rows surviving
+// sanitization — unclamped propagation lets the crossed bounds amplify each
+// other exponentially (1e50-scale after a few rounds), poisoning every
+// estimate seeded from them.
 func propagate(rows []propRow, lo, hi map[int]float64, maxRounds int) {
 	const tol = 1e-6
 	for round := 0; round < maxRounds; round++ {
@@ -402,12 +485,12 @@ func propagate(rows []propRow, lo, hi map[int]float64, maxRounds int) {
 					// c·t ≤ upper - restMin.
 					limit := row.upper - restMin
 					if c > 0 {
-						if nb := limit / c; nb < hi[v]-tol {
+						if nb := math.Max(limit/c, lo[v]); nb < hi[v]-tol {
 							hi[v] = nb
 							changed = true
 						}
 					} else {
-						if nb := limit / c; nb > lo[v]+tol {
+						if nb := math.Min(limit/c, hi[v]); nb > lo[v]+tol {
 							lo[v] = nb
 							changed = true
 						}
@@ -417,12 +500,12 @@ func propagate(rows []propRow, lo, hi map[int]float64, maxRounds int) {
 					// c·t ≥ lower - restMax.
 					limit := row.lower - restMax
 					if c > 0 {
-						if nb := limit / c; nb > lo[v]+tol {
+						if nb := math.Min(limit/c, hi[v]); nb > lo[v]+tol {
 							lo[v] = nb
 							changed = true
 						}
 					} else {
-						if nb := limit / c; nb < hi[v]-tol {
+						if nb := math.Max(limit/c, lo[v]); nb < hi[v]-tol {
 							hi[v] = nb
 							changed = true
 						}
@@ -438,7 +521,7 @@ func propagate(rows []propRow, lo, hi map[int]float64, maxRounds int) {
 
 // simplexBounds solves min t_target and max t_target exactly over the
 // sub-graph constraints.
-func simplexBounds(target int, inside []int, rows []propRow, lo, hi map[int]float64) (float64, float64, error) {
+func simplexBounds(ctx context.Context, target int, inside []int, rows []propRow, lo, hi map[int]float64) (float64, float64, error) {
 	localOf := make(map[int]int, len(inside))
 	for i, v := range inside {
 		localOf[v] = i
@@ -473,7 +556,7 @@ func simplexBounds(target int, inside []int, rows []propRow, lo, hi map[int]floa
 		VarLower:    varLower,
 		VarUpper:    varUpper,
 	}
-	minRes, err := lp.Solve(prob)
+	minRes, err := lp.SolveCtx(ctx, prob)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -481,7 +564,7 @@ func simplexBounds(target int, inside []int, rows []propRow, lo, hi map[int]floa
 		return 0, 0, fmt.Errorf("min solve %v: %w", minRes.Status, lp.ErrNumerical)
 	}
 	prob.Maximize = true
-	maxRes, err := lp.Solve(prob)
+	maxRes, err := lp.SolveCtx(ctx, prob)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -35,7 +36,15 @@ type EstimateStats struct {
 	Unknowns   int
 	Windows    int
 	SDRWindows int // windows that ran the SDR seeding stage
-	WallTime   time.Duration
+	// RetriedWindows counts windows whose first QP attempt failed and were
+	// re-solved with bumped regularization.
+	RetriedWindows int
+	// DegradedWindows counts windows whose QP could not be solved even
+	// after the retry; their kept records fall back to the
+	// interval-propagation estimate (clamped interpolation within the
+	// propagated guaranteed bounds) instead of aborting the whole run.
+	DegradedWindows int
+	WallTime        time.Duration
 }
 
 // Arrivals returns the full reconstructed arrival-time vector
@@ -94,6 +103,18 @@ func (e *Estimates) NodeDelays(id trace.PacketID) ([]sim.Time, error) {
 
 // Estimate runs the full §IV-B pipeline on a dataset.
 func Estimate(d *Dataset) (*Estimates, error) {
+	return EstimateCtx(context.Background(), d)
+}
+
+// EstimateCtx is Estimate with cooperative cancellation and per-window
+// fault isolation. The context is threaded into every QP/SDP solve and
+// polled between windows, so cancellation and deadlines take effect
+// mid-window. A window whose solve fails (non-convergence on an infeasible
+// constraint system, numerical breakdown, or a solver panic) is retried
+// once with bumped regularization and then degraded to the
+// interval-propagation estimate instead of aborting the run; the
+// DegradedWindows stat reports how many windows took the fallback.
+func EstimateCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 	start := time.Now()
 	est := &Estimates{
 		ds:     d,
@@ -150,8 +171,29 @@ func Estimate(d *Dataset) (*Estimates, error) {
 		if wEnd == n {
 			keepHi = n
 		}
-		if err := estimateWindow(d, est, wStart, wEnd, keepLo, keepHi); err != nil {
-			return nil, fmt.Errorf("window [%d,%d): %w", wStart, wEnd, err)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		err := estimateWindowSafe(ctx, d, est, wStart, wEnd, keepLo, keepHi, 1)
+		if err != nil && !isCtxErr(err) {
+			// First line of defense: one retry with a heavier Tikhonov
+			// anchor, which rescues numerically fragile but feasible
+			// windows.
+			est.Stats.RetriedWindows++
+			err = estimateWindowSafe(ctx, d, est, wStart, wEnd, keepLo, keepHi, _retryLambdaScale)
+		}
+		if err != nil {
+			if isCtxErr(err) {
+				return nil, err
+			}
+			// Degraded mode: the kept region keeps its initialization — the
+			// clamped interpolation inside the propagated guaranteed bounds
+			// — re-projected onto each packet's ω order chain. One rotten
+			// window (e.g. an infeasible constraint system built from a
+			// wrapped or reboot-zeroed S(p) field) no longer aborts the
+			// whole reconstruction.
+			est.Stats.DegradedWindows++
+			projectOrder(d, est, keepLo, keepHi)
 		}
 		est.Stats.Windows++
 		if wEnd == n {
@@ -160,6 +202,61 @@ func Estimate(d *Dataset) (*Estimates, error) {
 	}
 	est.Stats.WallTime = time.Since(start)
 	return est, nil
+}
+
+// _retryLambdaScale is the Tikhonov-anchor multiplier for the one-shot
+// window retry.
+const _retryLambdaScale = 8
+
+// isCtxErr reports whether the error is a context cancellation/deadline,
+// which must propagate instead of degrading the window.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// estimateWindowSafe runs estimateWindow with panic isolation: a solver
+// panic (index error or numerical assertion deep in the linear algebra on a
+// hostile constraint system) surfaces as an error so the caller can degrade
+// the window rather than crash the process.
+func estimateWindowSafe(ctx context.Context, d *Dataset, est *Estimates, wStart, wEnd, keepLo, keepHi int, lambdaScale float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("window [%d,%d) solver panic: %v", wStart, wEnd, r)
+		}
+	}()
+	if err := estimateWindow(ctx, d, est, wStart, wEnd, keepLo, keepHi, lambdaScale); err != nil {
+		return fmt.Errorf("window [%d,%d): %w", wStart, wEnd, err)
+	}
+	return nil
+}
+
+// projectOrder re-imposes each kept record's hard ω order chain (Eq. 5) on
+// the global estimate vector — the degraded-window fallback equivalent of
+// windowProblem.clampToOrder.
+func projectOrder(d *Dataset, est *Estimates, riLo, riHi int) {
+	omega := toMS(d.cfg.Omega)
+	for ri := riLo; ri < riHi && ri < len(d.records); ri++ {
+		r := d.records[ri]
+		if r.Hops() < 3 {
+			continue
+		}
+		prev := toMS(r.GenTime)
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			g := d.varOf[hopKey{rec: ri, hop: hop}]
+			if est.values[g] < prev+omega {
+				est.values[g] = prev + omega
+			}
+			prev = est.values[g]
+		}
+		next := toMS(r.SinkArrival)
+		for hop := r.Hops() - 2; hop >= 1; hop-- {
+			g := d.varOf[hopKey{rec: ri, hop: hop}]
+			if est.values[g] > next-omega {
+				est.values[g] = next - omega
+			}
+			next = est.values[g]
+		}
+	}
 }
 
 // propagatedBounds runs one global interval-propagation pass over the
@@ -211,7 +308,7 @@ type windowProblem struct {
 	anchor []float64
 }
 
-func estimateWindow(d *Dataset, est *Estimates, wStart, wEnd, keepLo, keepHi int) error {
+func estimateWindow(ctx context.Context, d *Dataset, est *Estimates, wStart, wEnd, keepLo, keepHi int, lambdaScale float64) error {
 	w := &windowProblem{
 		d:               d,
 		recSet:          make(map[int]bool, wEnd-wStart),
@@ -246,7 +343,7 @@ func estimateWindow(d *Dataset, est *Estimates, wStart, wEnd, keepLo, keepHi int
 	w.anchor = append([]float64(nil), w.estimates...)
 
 	if d.cfg.EnableSDR && nLocal <= d.cfg.SDRMaxUnknowns {
-		if err := w.runSDR(); err != nil && !errors.Is(err, sdp.ErrMaxIterations) {
+		if err := w.runSDR(ctx); err != nil && !errors.Is(err, sdp.ErrMaxIterations) {
 			return fmt.Errorf("SDR stage: %w", err)
 		}
 		est.Stats.SDRWindows++
@@ -259,7 +356,7 @@ func estimateWindow(d *Dataset, est *Estimates, wStart, wEnd, keepLo, keepHi int
 			break
 		}
 		prevOrders = sig
-		if err := w.solveQP(orders); err != nil {
+		if err := w.solveQP(ctx, orders, lambdaScale); err != nil {
 			return err
 		}
 	}
@@ -381,7 +478,9 @@ func absDur(d sim.Time) sim.Time {
 func (w *windowProblem) globalValues() []float64 { return w.globalEstimates }
 
 // solveQP builds and solves the window QP with the given resolved orders.
-func (w *windowProblem) solveQP(orders []orderPair) error {
+// lambdaScale multiplies the Tikhonov anchor weight (1 normally, bumped on
+// the fault-isolation retry).
+func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaScale float64) error {
 	d := w.d
 	nLocal := len(w.globalOf)
 	global := w.globalValues()
@@ -445,7 +544,7 @@ func (w *windowProblem) solveQP(orders []orderPair) error {
 	// Tikhonov anchor toward the fixed clamped-interpolation prior keeps
 	// flat directions well-posed and stops objective bias from drifting
 	// the solution across rounds.
-	const lambda = 0.25
+	lambda := 0.25 * lambdaScale
 	for i := 0; i < nLocal; i++ {
 		p.Add(i, i, 2*lambda)
 		q.Set(i, q.At(i)-2*lambda*w.anchor[i])
@@ -511,13 +610,26 @@ func (w *windowProblem) solveQP(orders []orderPair) error {
 		U:  mat.NewVectorFrom(highs),
 		X0: mat.NewVectorFrom(w.estimates),
 	}
-	res, err := qp.Solve(prob, qp.Options{MaxIter: 2500, EpsAbs: 1e-4, EpsRel: 1e-4})
+	res, err := qp.SolveCtx(ctx, prob, qp.Options{MaxIter: 2500, EpsAbs: 1e-4, EpsRel: 1e-4})
 	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
 		return fmt.Errorf("window QP: %w", err)
+	}
+	// A near-converged iterate (small primal residual at the iteration cap,
+	// in practice under ~10 ms on slow windows of clean traces) is as good
+	// as converged for reconstruction purposes; a large residual signals an
+	// infeasible constraint system (wrapped/zeroed S(p), corrupted
+	// timestamps leave gaps of hundreds of ms and up) and fails the window
+	// so the caller can retry or degrade it.
+	if err != nil && res.PrimalRes > _maxAcceptablePrimalRes {
+		return fmt.Errorf("window QP infeasible (primal residual %.3g ms): %w", res.PrimalRes, err)
 	}
 	copy(w.estimates, res.X.Data())
 	return nil
 }
+
+// _maxAcceptablePrimalRes (ms) is the largest ADMM primal residual accepted
+// from a non-converged window QP iterate.
+const _maxAcceptablePrimalRes = 50
 
 // clampToOrder projects the window estimates onto the hard order
 // constraints of each packet (Eq. 5): a forward pass enforces

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// With several targets failing concurrently, the reported error must be the
+// one at the lowest target-list position regardless of goroutine
+// scheduling. Run under -race to also exercise the data-race-free error
+// collection.
+func TestComputeBoundsDeterministicParallelError(t *testing.T) {
+	tr := simTrace(t)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUnknowns() < 10 {
+		t.Fatalf("want ≥10 unknowns, got %d", d.NumUnknowns())
+	}
+	boom := errors.New("boom")
+	// Without sampling targets are [0..n), so position == target index; the
+	// lowest failing target must win every run.
+	failing := map[int]bool{3: true, 7: true, d.NumUnknowns() - 1: true}
+	for run := 0; run < 5; run++ {
+		_, err := ComputeBounds(d, BoundOptions{
+			Workers: 8,
+			failTarget: func(target int) error {
+				if failing[target] {
+					return fmt.Errorf("target %d: %w", target, boom)
+				}
+				return nil
+			},
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("run %d: error = %v, want wrapped boom", run, err)
+		}
+		if !strings.Contains(err.Error(), "bounding unknown 3:") {
+			t.Fatalf("run %d: error %q should report the lowest failing target 3", run, err)
+		}
+	}
+}
+
+// A failure must stop outstanding workers instead of letting them grind
+// through the rest of the target list.
+func TestComputeBoundsStopsOnFirstFailure(t *testing.T) {
+	tr := simTrace(t)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	var attempts atomic.Int64
+	_, err = ComputeBounds(d, BoundOptions{
+		Workers: 2,
+		failTarget: func(target int) error {
+			attempts.Add(1)
+			if target == 0 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	// Workers claim at most a handful of targets after cancellation fires;
+	// far fewer than the full list means the cancel actually propagated.
+	if n := int(attempts.Load()); n >= d.NumUnknowns() {
+		t.Fatalf("workers attempted %d of %d targets after the failure", n, d.NumUnknowns())
+	}
+}
+
+// A panicking solve must surface as an error naming the target, not crash
+// the process — bound workers run user-facing batch jobs.
+func TestComputeBoundsRecoversWorkerPanic(t *testing.T) {
+	tr := simTrace(t)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		_, err = ComputeBounds(d, BoundOptions{
+			Workers: workers,
+			failTarget: func(target int) error {
+				if target == 2 {
+					panic("synthetic solver panic")
+				}
+				return nil
+			},
+		})
+		if err == nil || !strings.Contains(err.Error(), "solver panic") {
+			t.Fatalf("workers=%d: error = %v, want recovered panic", workers, err)
+		}
+		if !strings.Contains(err.Error(), "bounding unknown 2") {
+			t.Fatalf("workers=%d: error %q should name the panicking target", workers, err)
+		}
+	}
+}
+
+func TestComputeBoundsCtxCanceled(t *testing.T) {
+	tr := simTrace(t)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := ComputeBoundsCtx(ctx, d, BoundOptions{Workers: workers}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: error = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestEstimateCtxCanceledAndDeadline(t *testing.T) {
+	tr := simTrace(t)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EstimateCtx(ctx, d); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := EstimateCtx(dctx, d); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,7 +14,7 @@ import (
 // Tr(P·U) ≥ margin, the order and sum-of-delays rows become linear
 // constraints on u, and the Eq. 8 variance objective is lifted into the U
 // block. The extracted u seeds the order-resolved QP refinement.
-func (w *windowProblem) runSDR() error {
+func (w *windowProblem) runSDR(ctx context.Context) error {
 	d := w.d
 	nLocal := len(w.globalOf)
 	dim := nLocal + 1
@@ -102,7 +103,7 @@ func (w *windowProblem) runSDR() error {
 			sdp.Term{I: l, J: nLocal, Coeff: -2 * lambda * w.estimates[l]})
 	}
 
-	res, err := sdp.Solve(problem, sdp.Options{
+	res, err := sdp.SolveCtx(ctx, problem, sdp.Options{
 		MaxIter: d.cfg.SDRIterations,
 		EpsAbs:  1e-3,
 	})

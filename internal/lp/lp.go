@@ -13,6 +13,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -72,6 +73,10 @@ type Problem struct {
 	Constraints []Constraint
 	VarLower    []float64 // optional; nil means all -Inf
 	VarUpper    []float64 // optional; nil means all +Inf
+	// MaxPivots caps the simplex pivot count per phase before the solver
+	// gives up with ErrNumerical. 0 selects the default (200000); callers
+	// with latency budgets can set it lower to bound worst-case work.
+	MaxPivots int
 }
 
 // Result reports the solution of a solve.
@@ -85,6 +90,13 @@ type Result struct {
 // unbounded problems are reported via Result.Status, not an error; errors
 // indicate malformed input or numerical breakdown.
 func Solve(p *Problem) (*Result, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is polled
+// periodically inside the pivot loops, so long solves abort promptly with
+// the context's error when it is canceled or its deadline expires.
+func SolveCtx(ctx context.Context, p *Problem) (*Result, error) {
 	if err := validate(p); err != nil {
 		return nil, err
 	}
@@ -92,7 +104,11 @@ func Solve(p *Problem) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := std.solve()
+	maxPivots := p.MaxPivots
+	if maxPivots <= 0 {
+		maxPivots = _maxPivots
+	}
+	res, err := std.solve(ctx, maxPivots)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +309,7 @@ const (
 )
 
 // solve runs two-phase simplex on the standard-form program.
-func (s *standardForm) solve() (*stdResult, error) {
+func (s *standardForm) solve(ctx context.Context, maxPivots int) (*stdResult, error) {
 	m := len(s.a)
 	n := 0
 	if m > 0 {
@@ -326,7 +342,7 @@ func (s *standardForm) solve() (*stdResult, error) {
 	for j := n; j < total; j++ {
 		cost[j] = 1
 	}
-	if status, err := t.run(cost, basis, total); err != nil {
+	if status, err := t.run(ctx, cost, basis, total, maxPivots); err != nil {
 		return nil, err
 	} else if status == StatusUnbounded {
 		return nil, fmt.Errorf("phase 1 unbounded: %w", ErrNumerical)
@@ -359,7 +375,7 @@ func (s *standardForm) solve() (*stdResult, error) {
 	for j := n; j < total; j++ {
 		cost2[j] = 0
 	}
-	status, err := t.runRestricted(cost2, basis, n)
+	status, err := t.runRestricted(ctx, cost2, basis, n, maxPivots)
 	if err != nil {
 		return nil, err
 	}
@@ -442,15 +458,20 @@ func (t *tableau) pivot(row, col int, basis []int) {
 }
 
 // run iterates primal simplex over all columns < limit.
-func (t *tableau) run(cost []float64, basis []int, limit int) (Status, error) {
-	return t.runRestricted(cost, basis, limit)
+func (t *tableau) run(ctx context.Context, cost []float64, basis []int, limit, maxPivots int) (Status, error) {
+	return t.runRestricted(ctx, cost, basis, limit, maxPivots)
 }
 
 // runRestricted iterates primal simplex considering only entering columns
 // with index < limit (used in phase 2 to freeze artificial columns).
-func (t *tableau) runRestricted(cost []float64, basis []int, limit int) (Status, error) {
+func (t *tableau) runRestricted(ctx context.Context, cost []float64, basis []int, limit, maxPivots int) (Status, error) {
 	degenerate := 0
-	for pivots := 0; pivots < _maxPivots; pivots++ {
+	for pivots := 0; pivots < maxPivots; pivots++ {
+		if pivots%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		rc := t.reducedCosts(cost, basis, limit)
 		col := -1
 		useBland := degenerate >= _degenerateK
@@ -498,5 +519,5 @@ func (t *tableau) runRestricted(cost []float64, basis []int, limit int) (Status,
 		}
 		t.pivot(row, col, basis)
 	}
-	return 0, fmt.Errorf("pivot limit %d exceeded: %w", _maxPivots, ErrNumerical)
+	return 0, fmt.Errorf("pivot limit %d exceeded: %w", maxPivots, ErrNumerical)
 }

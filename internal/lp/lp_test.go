@@ -1,9 +1,11 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -352,5 +354,59 @@ func TestSolveDegenerateEqualityChain(t *testing.T) {
 		if math.Abs(res.X[i]-v) > 1e-6 {
 			t.Errorf("x[%d] = %g, want %g", i, res.X[i], v)
 		}
+	}
+}
+
+// A tight pivot cap must surface as ErrNumerical with the cap in the
+// message, giving latency-budgeted callers a typed failure instead of a
+// 200k-pivot stall.
+func TestSolvePivotLimitExhaustion(t *testing.T) {
+	// The degenerate equality chain needs many pivots; one is never enough.
+	n := 12
+	p := &Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		VarLower:  make([]float64, n),
+		VarUpper:  make([]float64, n),
+		MaxPivots: 1,
+	}
+	p.Objective[n-1] = 1
+	for i := range p.VarUpper {
+		p.VarUpper[i] = 100
+	}
+	for i := 0; i+1 < n; i++ {
+		p.Constraints = append(p.Constraints, Constraint{
+			Terms: []Term{{Var: i + 1, Coeff: 1}, {Var: i, Coeff: -1}},
+			Lower: 1, Upper: 1,
+		})
+	}
+	_, err := Solve(p)
+	if !errors.Is(err, ErrNumerical) {
+		t.Fatalf("error = %v, want ErrNumerical", err)
+	}
+	if !strings.Contains(err.Error(), "pivot limit 1") {
+		t.Fatalf("error %q should name the exhausted pivot cap", err)
+	}
+	// The default cap solves the same problem.
+	p.MaxPivots = 0
+	res, err := Solve(p)
+	if err != nil || res.Status != StatusOptimal {
+		t.Fatalf("default cap: res=%+v err=%v", res, err)
+	}
+}
+
+func TestSolveCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Terms: []Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, Lower: 1, Upper: Inf},
+		},
+		VarLower: []float64{0, 0},
+	}
+	if _, err := SolveCtx(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
 	}
 }

@@ -79,6 +79,12 @@ type Config struct {
 	MaxRetries        int           // retransmissions after the first attempt, default 5
 	QueueCap          int           // FIFO send queue capacity, default 12
 	CCARange          float64       // carrier-sense / interference range, default 55m
+
+	// FaultDupRX is a fault-injection knob: the probability that a
+	// successfully received unicast data frame raises its reception
+	// callback twice (a duplicate SFD interrupt), which the upper layer's
+	// duplicate suppression must absorb. 0 disables.
+	FaultDupRX float64
 }
 
 func (c Config) withDefaults() Config {
@@ -289,6 +295,10 @@ func (m *Medium) deliver(tx *transmission, onDone func(acked bool)) {
 	received := hasReceiver && !rm.down && !tx.corrupted[r] && m.links.Sample(tx.src, r)
 	if received && rm.delegate != nil {
 		rm.delegate.OnReceive(f, tx.start, tx.end)
+		if m.cfg.FaultDupRX > 0 && f.Kind == FrameData &&
+			m.engine.RNG().Float64() < m.cfg.FaultDupRX {
+			rm.delegate.OnReceive(f, tx.start, tx.end)
+		}
 	}
 	if !received {
 		// The sender can only learn of the loss by waiting out the ACK.

@@ -124,6 +124,35 @@ func EstimateErrorsMS(tr *trace.Trace, arrivals func(trace.PacketID) ([]sim.Time
 	return out, nil
 }
 
+// EstimateErrorsSubsetMS is EstimateErrorsMS restricted to the packets in
+// ids, skipping any id missing from the trace or the reconstruction.
+// Degraded-mode evaluation uses it to measure accuracy over the packets a
+// fault injection left untouched, where the clean and faulty traces can be
+// compared like for like.
+func EstimateErrorsSubsetMS(tr *trace.Trace, arrivals func(trace.PacketID) ([]sim.Time, error),
+	ids map[trace.PacketID]bool) ([]float64, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	var out []float64
+	for _, r := range tr.Records {
+		if !ids[r.ID] || r.Hops() < 3 || len(r.TruthArrivals) != r.Hops() {
+			continue
+		}
+		arr, err := arrivals(r.ID)
+		if err != nil {
+			continue
+		}
+		if len(arr) != r.Hops() {
+			return nil, fmt.Errorf("packet %v: %d arrivals for %d hops: %w", r.ID, len(arr), r.Hops(), ErrBadInput)
+		}
+		for hop := 1; hop <= r.Hops()-2; hop++ {
+			out = append(out, math.Abs(toMS(arr[hop])-toMS(r.TruthArrivals[hop])))
+		}
+	}
+	return out, nil
+}
+
 // BoundWidthsMS collects upper − lower in milliseconds for every interior
 // arrival time. keep filters which (packet, hop) pairs count (nil = all);
 // use it to restrict to bounds actually computed under sampling.

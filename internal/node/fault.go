@@ -1,0 +1,168 @@
+// Fault injection: reproducible hardware failure modes for robustness
+// experiments. Every fault is driven by a dedicated RNG stream so a seed
+// pins the exact same reboots, skews, duplications, and corruptions run
+// after run, independently of the MAC/application randomness.
+package node
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// FaultConfig selects which hardware failure modes the simulation injects.
+// The zero value injects nothing. All failure modes model artifacts real
+// TelosB-class deployments exhibit: watchdog reboots that clear RAM state,
+// crystal skew, 16-bit on-air counter wraparound, and flaky serial logging
+// at the sink.
+type FaultConfig struct {
+	// RebootMTBF is each node's mean time between spontaneous reboots
+	// (exponentially distributed). A reboot clears the node's Algorithm-1
+	// state: the running sum-hop-delays buffer, the per-packet SFD
+	// timestamps, and the duplicate-suppression cache. 0 disables.
+	RebootMTBF time.Duration
+	// ClockSkewPPM is the maximum magnitude of per-node clock rate error in
+	// parts per million; each node draws a fixed skew uniformly from
+	// [−ClockSkewPPM, +ClockSkewPPM] and all its SFD-measured durations
+	// stretch accordingly. 0 disables.
+	ClockSkewPPM float64
+	// Wrap16 wraps the on-air S(p) millisecond field at 16 bits, exactly
+	// like the real 2-byte counter overflows on busy relays.
+	Wrap16 bool
+	// DuplicateRate is the probability that a delivered packet is logged
+	// twice at the sink (serial/logging glitch past the radio dedup).
+	DuplicateRate float64
+	// CorruptPathRate is the probability that a delivered record's stored
+	// path has one entry corrupted (a byte flip), producing loops, unknown
+	// node ids, or hash mismatches for the sanitizer to catch.
+	CorruptPathRate float64
+	// CorruptTimeRate is the probability that a delivered record's
+	// generation timestamp is truncated to a 4-byte nanosecond field,
+	// collapsing it to an implausibly early time.
+	CorruptTimeRate float64
+	// DupRXRate is the probability that the radio delivers a successfully
+	// received data frame twice (duplicate SFD interrupt); node-level
+	// duplicate suppression must absorb these.
+	DupRXRate float64
+	// Seed drives the fault stream; 0 derives it from the network seed.
+	Seed int64
+}
+
+// Enabled reports whether any failure mode is active.
+func (f FaultConfig) Enabled() bool {
+	return f.RebootMTBF > 0 || f.ClockSkewPPM > 0 || f.Wrap16 ||
+		f.DuplicateRate > 0 || f.CorruptPathRate > 0 || f.CorruptTimeRate > 0 ||
+		f.DupRXRate > 0
+}
+
+// faultSeed resolves the effective fault stream seed.
+func (f FaultConfig) faultSeed(networkSeed int64) int64 {
+	if f.Seed != 0 {
+		return f.Seed
+	}
+	return networkSeed ^ 0x5eed_fa17
+}
+
+// assignSkews draws each node's fixed clock-rate error. The sink keeps a
+// perfect clock: its arrival timestamps are the reconstruction's reference
+// frame, mirroring the paper's PC-side timebase.
+func (n *Network) assignSkews(rng *rand.Rand) {
+	if n.cfg.Faults.ClockSkewPPM <= 0 {
+		return
+	}
+	for _, nd := range n.nodes {
+		if nd.isSink {
+			continue
+		}
+		nd.clockSkew = (2*rng.Float64() - 1) * n.cfg.Faults.ClockSkewPPM * 1e-6
+	}
+}
+
+// scheduleReboots lays out every node's reboot times for the whole run up
+// front, so the fault stream stays independent of simulation event order.
+func (n *Network) scheduleReboots(rng *rand.Rand, duration time.Duration) {
+	mtbf := n.cfg.Faults.RebootMTBF
+	if mtbf <= 0 {
+		return
+	}
+	for _, nd := range n.nodes {
+		if nd.isSink {
+			continue
+		}
+		node := nd
+		at := time.Duration(rng.ExpFloat64() * float64(mtbf))
+		for at < duration {
+			n.engine.ScheduleAt(at, node.reboot)
+			at += time.Duration(rng.ExpFloat64() * float64(mtbf))
+		}
+	}
+}
+
+// injectDeliveryFaults applies sink-side faults to a freshly delivered
+// record and returns an optional duplicate to log after it.
+func (n *Network) injectDeliveryFaults(rec *trace.Record) *trace.Record {
+	f := n.cfg.Faults
+	rng := n.faultRNG
+	if rng == nil {
+		return nil
+	}
+	if f.CorruptPathRate > 0 && rng.Float64() < f.CorruptPathRate && len(rec.Path) >= 2 {
+		// Flip a low byte of one non-sink path entry. The on-air path hash
+		// was accumulated hop by hop before the corruption, so the sanitizer
+		// can cross-check — unless the flip lands on Path[0] or forms a
+		// loop, which the structural checks catch first.
+		idx := rng.Intn(len(rec.Path) - 1)
+		rec.Path[idx] ^= radio.NodeID(1 + rng.Intn(255))
+	}
+	if f.CorruptTimeRate > 0 && rng.Float64() < f.CorruptTimeRate {
+		// Truncate the generation timestamp to 4 bytes of nanoseconds; any
+		// realistic collection time collapses to near zero, leaving the
+		// record's end-to-end delay wildly inconsistent with the measured
+		// E2E field.
+		rec.GenTime = sim.Time(uint32(rec.GenTime))
+	}
+	if f.DuplicateRate > 0 && rng.Float64() < f.DuplicateRate {
+		dup := *rec
+		dup.Path = append([]radio.NodeID(nil), rec.Path...)
+		dup.TruthArrivals = append([]sim.Time(nil), rec.TruthArrivals...)
+		dup.SinkArrival += time.Millisecond + time.Duration(rng.Int63n(int64(4*time.Millisecond)))
+		return &dup
+	}
+	return nil
+}
+
+// reboot models a watchdog reset: all volatile Algorithm-1 state is lost
+// while the node keeps running (radio and routing tables are re-established
+// far faster than the data period, so they are kept).
+func (n *Node) reboot() {
+	if n.dead {
+		return
+	}
+	n.Stats.Reboots++
+	n.sumHopDelays = 0
+	n.arrivalAt = make(map[*Packet]sim.Time)
+	n.lastTxSFD = make(map[*Packet]sim.Time)
+	n.seen = make(map[trace.PacketID]bool)
+	n.seenOrder = nil
+}
+
+// localDuration converts a true elapsed duration into the node's measured
+// duration under its clock-rate error.
+func (n *Node) localDuration(d sim.Time) sim.Time {
+	if n.clockSkew == 0 {
+		return d
+	}
+	return d + sim.Time(float64(d)*n.clockSkew)
+}
+
+// wrapSum emulates the 2-byte on-air millisecond counter overflowing.
+func wrapSum(d sim.Time, enabled bool) sim.Time {
+	if !enabled || d < 0 {
+		return d
+	}
+	const span = 65536 * time.Millisecond
+	return d % span
+}

@@ -3,6 +3,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"github.com/domo-net/domo/internal/ctp"
@@ -80,6 +81,9 @@ type NetworkConfig struct {
 
 	// Traffic selects the generation pattern (default TrafficPeriodic).
 	Traffic TrafficPattern
+
+	// Faults selects the injected hardware failure modes (zero = none).
+	Faults FaultConfig
 }
 
 func (c NetworkConfig) withDefaults() NetworkConfig {
@@ -121,6 +125,11 @@ type Network struct {
 	medium *mac.Medium
 	nodes  []*Node
 
+	// faultRNG is the dedicated fault stream (nil when no faults are
+	// configured), kept separate from the MAC/application randomness so a
+	// fault seed reproduces the same failure schedule on any workload.
+	faultRNG *rand.Rand
+
 	records []*trace.Record
 }
 
@@ -152,16 +161,24 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("building link model: %w", err)
 	}
+	macCfg := c.MAC
+	if c.Faults.DupRXRate > 0 {
+		macCfg.FaultDupRX = c.Faults.DupRXRate
+	}
 	n := &Network{
 		cfg:    c,
 		engine: engine,
 		topo:   topo,
 		links:  links,
-		medium: mac.NewMedium(engine, topo, links, c.MAC),
+		medium: mac.NewMedium(engine, topo, links, macCfg),
 	}
 	n.nodes = make([]*Node, c.NumNodes)
 	for i := 0; i < c.NumNodes; i++ {
 		n.nodes[i] = newNode(radio.NodeID(i), i == 0, n)
+	}
+	if c.Faults.Enabled() {
+		n.faultRNG = rand.New(rand.NewSource(c.Faults.faultSeed(c.Seed)))
+		n.assignSkews(n.faultRNG)
 	}
 	return n, nil
 }
@@ -201,6 +218,9 @@ func (n *Network) deliver(p *Packet, arrival sim.Time) {
 	// Reference [7]'s field, quantized like the on-air 2-byte counter.
 	rec.E2EDelay = quantize(p.E2EAccum, n.cfg.Quantize)
 	n.records = append(n.records, rec)
+	if dup := n.injectDeliveryFaults(rec); dup != nil {
+		n.records = append(n.records, dup)
+	}
 	src := int(p.ID.Source)
 	if src >= 0 && src < len(n.nodes) {
 		n.nodes[src].Stats.Delivered++
@@ -226,6 +246,9 @@ func (n *Network) Run(duration time.Duration) (*trace.Trace, error) {
 	}
 	for _, nd := range n.nodes {
 		nd.start()
+	}
+	if n.faultRNG != nil {
+		n.scheduleReboots(n.faultRNG, duration)
 	}
 	if n.cfg.Link.DriftStdDev > 0 {
 		pairs := n.connectedPairs()
@@ -257,8 +280,13 @@ func (n *Network) Run(duration time.Duration) (*trace.Trace, error) {
 		}
 	}
 	t.SortBySinkArrival()
-	if err := t.Validate(); err != nil {
-		return nil, fmt.Errorf("collected trace invalid: %w", err)
+	// Injected faults deliberately break the strict per-record invariants;
+	// the sanitizer (trace.Sanitize) is the stage that deals with them on
+	// the PC side, so a faulty run only keeps the ordering guarantee.
+	if !n.cfg.Faults.Enabled() {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("collected trace invalid: %w", err)
+		}
 	}
 	return t, nil
 }

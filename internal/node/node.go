@@ -17,6 +17,7 @@ type Stats struct {
 	ForwardDrops  int // queue-full or no-parent drops while forwarding
 	NoParentSkips int // generations skipped because the node has no route
 	Duplicates    int // duplicate receptions suppressed
+	Reboots       int // injected watchdog reboots (fault experiments)
 }
 
 // Node is one network participant: application, Domo instrumentation,
@@ -45,6 +46,10 @@ type Node struct {
 
 	// MessageTracing local log.
 	log []trace.LogEntry
+
+	// clockSkew is the node's fixed clock-rate error (fault injection):
+	// every SFD-measured duration stretches by (1 + clockSkew).
+	clockSkew float64
 
 	dead bool
 
@@ -222,15 +227,22 @@ func (n *Node) OnTxSFD(f *mac.Frame, sfdAt sim.Time) {
 		return // beacons carry no Domo state
 	}
 	n.lastTxSFD[p] = sfdAt
+	// A reboot between reception and transmission loses the arrival
+	// timestamp; the real interrupt handler would read garbage RAM, the
+	// model simply skips the measurement for that packet.
+	t1, haveT1 := n.arrivalAt[p]
+	if !haveT1 {
+		return
+	}
 	// Reference [7]'s end-to-end field: rewrite base + own sojourn-so-far
 	// into the outgoing frame on every attempt.
-	p.E2EAccum = p.e2eBase + (sfdAt - n.arrivalAt[p])
+	p.E2EAccum = p.e2eBase + n.localDuration(sfdAt-t1)
 	if p.ID.Source == n.id {
 		// Line 10: write sum-hop-delays (buffer + this packet's own delay
 		// so far) into the outgoing local packet. Re-written on every
 		// attempt exactly as the radio's transmit RAM would be.
-		own := sfdAt - n.arrivalAt[p]
-		p.SumDelays = quantize(n.sumHopDelays+own, n.net.cfg.Quantize)
+		own := n.localDuration(sfdAt - t1)
+		p.SumDelays = wrapSum(quantize(n.sumHopDelays+own, n.net.cfg.Quantize), n.net.cfg.Faults.Wrap16)
 	}
 }
 
@@ -288,7 +300,7 @@ func (n *Node) OnSendDone(f *mac.Frame, success bool, at sim.Time) {
 	t1, okT1 := n.arrivalAt[p]
 	t2, okT2 := n.lastTxSFD[p]
 	if okT1 && okT2 {
-		n.sumHopDelays += t2 - t1
+		n.sumHopDelays += n.localDuration(t2 - t1)
 	}
 	if n.net.cfg.EnableNodeLogs && okT2 {
 		n.log = append(n.log, trace.LogEntry{Kind: trace.EventSend, Packet: p.ID, At: t2})

@@ -16,6 +16,7 @@
 package qp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -98,6 +99,14 @@ type Result struct {
 // together with ErrMaxIterations so callers can still use the approximate
 // solution.
 func Solve(p *Problem, opts Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is polled
+// between ADMM iterations (every residual check, i.e. every 10 iterations)
+// and its error is returned promptly when it expires, making long solves
+// abortable mid-iteration by deadline or cancel.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	if err := validate(p); err != nil {
 		return nil, err
 	}
@@ -172,6 +181,9 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 
 		// Residuals every few iterations to amortize the mat-vecs.
 		if iter%10 == 0 || iter == o.MaxIter {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			p.A.MulVecTo(ax, x)
 			primal := 0.0
 			for i := 0; i < m; i++ {

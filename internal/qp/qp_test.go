@@ -1,6 +1,7 @@
 package qp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -310,5 +311,52 @@ func TestSolveAdaptiveRhoOnScaledProblem(t *testing.T) {
 	}
 	if math.Abs(res2.X.At(0)-2) > 0.2 {
 		t.Errorf("fixed-ρ x = %g, want ≈2", res2.X.At(0))
+	}
+}
+
+// The ctx is polled at every residual check, so a canceled context aborts
+// the ADMM loop with its error rather than grinding to MaxIter.
+func TestSolveCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := mat.NewMatrix(1, 1)
+	p.Set(0, 0, 2)
+	prob := &Problem{
+		P: p,
+		Q: vec(-6),
+		A: mustCSR(t, 1, 1, []sparse.Entry{{Row: 0, Col: 0, Value: 1}}),
+		L: vec(0),
+		U: vec(2),
+	}
+	if _, err := SolveCtx(ctx, prob, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+// An infeasible-in-practice iteration budget must still hand back the best
+// iterate with its residuals, so callers can decide whether to accept it.
+func TestSolveMaxIterationsKeepsResiduals(t *testing.T) {
+	p := mat.NewMatrix(2, 2)
+	p.Set(0, 0, 2)
+	p.Set(1, 1, 2)
+	prob := &Problem{
+		P: p,
+		Q: vec(-2, -2),
+		A: mustCSR(t, 2, 2, []sparse.Entry{
+			{Row: 0, Col: 0, Value: 1}, {Row: 0, Col: 1, Value: 1},
+			{Row: 1, Col: 0, Value: 1}, {Row: 1, Col: 1, Value: -1},
+		}),
+		L: vec(1, 0),
+		U: vec(1, 0),
+	}
+	res, err := Solve(prob, Options{MaxIter: 3, EpsAbs: 1e-14, EpsRel: 1e-14})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("error = %v, want ErrMaxIterations", err)
+	}
+	if res == nil || res.X == nil || res.Converged {
+		t.Fatalf("best-effort result missing or marked converged: %+v", res)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("iteration count not recorded on the best-effort result")
 	}
 }

@@ -24,6 +24,7 @@
 package sdp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -145,6 +146,12 @@ func (f *symFunctional) addScaledGradient(alpha float64, g []float64) {
 // On iteration exhaustion the best iterate is returned with
 // ErrMaxIterations, mirroring package qp.
 func Solve(p *Problem, opts Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is polled
+// once per ADMM iteration and its error returned promptly on expiry.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	if p == nil || p.Dim <= 0 {
 		return nil, fmt.Errorf("nil problem or non-positive dim: %w", ErrBadProblem)
 	}
@@ -202,6 +209,9 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 
 	res := &Result{}
 	for iter := 1; iter <= o.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Z-update: (I + AᵀA) z = (s - lamS) + Aᵀ(w - lamW) - c/ρ.
 		for i := range rhs {
 			rhs[i] = s[i] - lamS[i]

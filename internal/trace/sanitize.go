@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+)
+
+// QuarantineReason classifies why a record was quarantined by Sanitize.
+type QuarantineReason int
+
+// Quarantine reasons, one per violated invariant.
+const (
+	// ReasonShortPath: the path has fewer than two nodes.
+	ReasonShortPath QuarantineReason = iota + 1
+	// ReasonBadSource: Path[0] disagrees with the packet id's source
+	// (corrupted path bytes at the head).
+	ReasonBadSource
+	// ReasonBadSink: the path does not end at the sink.
+	ReasonBadSink
+	// ReasonBadNode: a path entry is outside [0, NumNodes).
+	ReasonBadNode
+	// ReasonPathLoop: a node appears twice in the path.
+	ReasonPathLoop
+	// ReasonPathHashMismatch: the stored path disagrees with the
+	// hop-accumulated on-air path hash (corrupted path bytes).
+	ReasonPathHashMismatch
+	// ReasonGenAfterSink: generation is not at least (hops−1)·ω before the
+	// sink arrival, violating the minimum-processing-delay order chain.
+	ReasonGenAfterSink
+	// ReasonNegativeSum: S(p) is negative (counter corruption).
+	ReasonNegativeSum
+	// ReasonImplausibleSum: S(p) exceeds what the on-air field can carry.
+	ReasonImplausibleSum
+	// ReasonDuplicateID: the packet id was already delivered (duplicate
+	// sink logging); the earliest sink arrival is kept.
+	ReasonDuplicateID
+	// ReasonTimeInconsistent: the node-measured end-to-end delay field
+	// disagrees with SinkArrival − GenTime by more than the tolerance
+	// (truncated or corrupted timestamp fields).
+	ReasonTimeInconsistent
+)
+
+// String names the reason.
+func (r QuarantineReason) String() string {
+	switch r {
+	case ReasonShortPath:
+		return "short-path"
+	case ReasonBadSource:
+		return "bad-source"
+	case ReasonBadSink:
+		return "bad-sink"
+	case ReasonBadNode:
+		return "bad-node"
+	case ReasonPathLoop:
+		return "path-loop"
+	case ReasonPathHashMismatch:
+		return "path-hash-mismatch"
+	case ReasonGenAfterSink:
+		return "gen-after-sink"
+	case ReasonNegativeSum:
+		return "negative-sum"
+	case ReasonImplausibleSum:
+		return "implausible-sum"
+	case ReasonDuplicateID:
+		return "duplicate-id"
+	case ReasonTimeInconsistent:
+		return "time-inconsistent"
+	default:
+		return fmt.Sprintf("QuarantineReason(%d)", int(r))
+	}
+}
+
+// SanitizeOptions tunes the per-record invariants. The zero value selects
+// defaults matching the reconstruction's assumptions.
+type SanitizeOptions struct {
+	// Omega is ω, the minimum per-hop software processing delay: every
+	// record must satisfy SinkArrival ≥ GenTime + (hops−1)·ω. Default 10µs
+	// (the reconstruction's Eq. 5 floor).
+	Omega time.Duration
+	// MaxSumDelays rejects S(p) above this value; the on-air field is a
+	// 2-byte millisecond counter, so the default is 65535ms. Negative
+	// disables the check.
+	MaxSumDelays time.Duration
+	// E2ETolerance is the allowed disagreement between the node-measured
+	// end-to-end delay field and SinkArrival − GenTime. The measured field
+	// is typically within ~1ms of truth plus per-hop quantization, so the
+	// default of 100ms flags only genuinely corrupted timestamps. Negative
+	// disables the check; it is skipped automatically for records carrying
+	// no E2E field (zero).
+	E2ETolerance time.Duration
+	// SkipHashCheck disables the path-hash cross-check for traces whose
+	// collection stack does not populate PathHash.
+	SkipHashCheck bool
+}
+
+func (o SanitizeOptions) withDefaults() SanitizeOptions {
+	if o.Omega <= 0 {
+		o.Omega = 10 * time.Microsecond
+	}
+	if o.MaxSumDelays == 0 {
+		o.MaxSumDelays = 65535 * time.Millisecond
+	}
+	if o.E2ETolerance == 0 {
+		o.E2ETolerance = 100 * time.Millisecond
+	}
+	return o
+}
+
+// QuarantinedRecord identifies one rejected record and the first invariant
+// it violated.
+type QuarantinedRecord struct {
+	ID     PacketID
+	Reason QuarantineReason
+}
+
+// SanitizeReport summarizes a Sanitize pass.
+type SanitizeReport struct {
+	// Input, Kept, and Quarantined count records; Input = Kept + Quarantined.
+	Input       int
+	Kept        int
+	Quarantined int
+	// ByReason counts quarantined records per violated invariant (first
+	// violation wins when a record breaks several).
+	ByReason map[QuarantineReason]int
+	// Records lists the quarantined records in input order.
+	Records []QuarantinedRecord
+}
+
+// Reasons returns the observed reasons sorted for deterministic reporting.
+func (r *SanitizeReport) Reasons() []QuarantineReason {
+	out := make([]QuarantineReason, 0, len(r.ByReason))
+	for reason := range r.ByReason {
+		out = append(out, reason)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the report as a one-line summary.
+func (r *SanitizeReport) String() string {
+	s := fmt.Sprintf("sanitize: %d in, %d kept, %d quarantined", r.Input, r.Kept, r.Quarantined)
+	for _, reason := range r.Reasons() {
+		s += fmt.Sprintf(" %s=%d", reason, r.ByReason[reason])
+	}
+	return s
+}
+
+// Sanitize validates every record against the reconstruction's typed
+// invariants and returns a copy of the trace containing only the survivors
+// plus a report of what was quarantined and why. The input trace is not
+// modified; surviving records are shared, not copied. Sanitize never fails:
+// a fully corrupt trace simply comes back empty.
+//
+// Reconstruction (core.NewDataset) is strict about its inputs, so traces
+// collected from faulty hardware — reboots, clock drift, truncated
+// timestamp fields, duplicate or corrupted deliveries — should pass through
+// Sanitize first; the surviving records keep full fidelity and the report
+// says exactly what was dropped.
+func (t *Trace) Sanitize(opts SanitizeOptions) (*Trace, *SanitizeReport) {
+	o := opts.withDefaults()
+	report := &SanitizeReport{
+		Input:    len(t.Records),
+		ByReason: make(map[QuarantineReason]int),
+	}
+	out := &Trace{
+		NumNodes:  t.NumNodes,
+		Duration:  t.Duration,
+		NodeLogs:  t.NodeLogs,
+		Positions: t.Positions,
+		Records:   make([]*Record, 0, len(t.Records)),
+	}
+	seen := make(map[PacketID]bool, len(t.Records))
+	for _, r := range t.Records {
+		if reason, bad := o.check(r, t.NumNodes, seen); bad {
+			report.Quarantined++
+			report.ByReason[reason]++
+			report.Records = append(report.Records, QuarantinedRecord{ID: r.ID, Reason: reason})
+			continue
+		}
+		seen[r.ID] = true
+		out.Records = append(out.Records, r)
+	}
+	// Records arrive in sink-arrival order but quarantine can only remove,
+	// never reorder; re-sorting is a cheap belt for pre-sorted input and a
+	// real fix for hand-assembled traces.
+	out.SortBySinkArrival()
+	report.Kept = len(out.Records)
+	return out, report
+}
+
+// check returns the first violated invariant of the record, if any.
+// Structural damage is tested before semantic damage so the reported reason
+// points at the root cause rather than a knock-on effect.
+func (o SanitizeOptions) check(r *Record, numNodes int, seen map[PacketID]bool) (QuarantineReason, bool) {
+	if len(r.Path) < 2 {
+		return ReasonShortPath, true
+	}
+	if r.Path[0] != r.ID.Source {
+		return ReasonBadSource, true
+	}
+	if r.Path[len(r.Path)-1] != 0 {
+		return ReasonBadSink, true
+	}
+	onPath := make(map[radio.NodeID]bool, len(r.Path))
+	for _, n := range r.Path {
+		if int(n) < 0 || int(n) >= numNodes {
+			return ReasonBadNode, true
+		}
+		if onPath[n] {
+			return ReasonPathLoop, true
+		}
+		onPath[n] = true
+	}
+	if !o.SkipHashCheck && r.PathHash != 0 && r.PathHash != ComputePathHash(r.Path) {
+		return ReasonPathHashMismatch, true
+	}
+	if r.SinkArrival < r.GenTime+time.Duration(len(r.Path)-1)*o.Omega {
+		return ReasonGenAfterSink, true
+	}
+	if r.SumDelays < 0 {
+		return ReasonNegativeSum, true
+	}
+	if o.MaxSumDelays >= 0 && r.SumDelays > o.MaxSumDelays {
+		return ReasonImplausibleSum, true
+	}
+	if o.E2ETolerance >= 0 && r.E2EDelay != 0 {
+		diff := r.SinkArrival - r.GenTime - r.E2EDelay
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > o.E2ETolerance {
+			return ReasonTimeInconsistent, true
+		}
+	}
+	if seen[r.ID] {
+		return ReasonDuplicateID, true
+	}
+	return 0, false
+}

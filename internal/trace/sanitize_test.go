@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+)
+
+func TestSanitizeCleanTraceIsNoOp(t *testing.T) {
+	tr := sampleTrace()
+	tr.NumNodes = 30 // sampleRecord paths reach node 21
+	out, rep := tr.Sanitize(SanitizeOptions{})
+	if rep.Quarantined != 0 || rep.Kept != len(tr.Records) || rep.Input != len(tr.Records) {
+		t.Fatalf("clean trace: %s", rep)
+	}
+	if len(out.Records) != len(tr.Records) {
+		t.Fatalf("kept %d of %d records", len(out.Records), len(tr.Records))
+	}
+	// Survivors are shared, not copied.
+	if out.Records[0] != tr.Records[0] {
+		t.Fatal("surviving records should be shared pointers")
+	}
+}
+
+func TestSanitizeQuarantinesByReason(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(r *Record)
+		want   QuarantineReason
+	}{
+		{"short path", func(r *Record) { r.Path = r.Path[:1] }, ReasonShortPath},
+		{"bad source", func(r *Record) { r.Path[0] = r.Path[0] + 1 }, ReasonBadSource},
+		{"bad sink", func(r *Record) { r.Path[len(r.Path)-1] = 3 }, ReasonBadSink},
+		{"bad node", func(r *Record) { r.Path[1] = radio.NodeID(99) }, ReasonBadNode},
+		{"path loop", func(r *Record) { r.Path[1] = r.Path[0] }, ReasonPathLoop},
+		{"gen after sink", func(r *Record) { r.GenTime = r.SinkArrival + ms(1) }, ReasonGenAfterSink},
+		{"negative sum", func(r *Record) { r.SumDelays = -ms(1) }, ReasonNegativeSum},
+		{"implausible sum", func(r *Record) { r.SumDelays = 70000 * time.Millisecond }, ReasonImplausibleSum},
+		{"time inconsistent", func(r *Record) { r.E2EDelay = r.SinkArrival - r.GenTime + ms(500) }, ReasonTimeInconsistent},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := sampleTrace()
+			tr.NumNodes = 30 // sampleRecord paths reach node 21
+			tc.mutate(tr.Records[1])
+			out, rep := tr.Sanitize(SanitizeOptions{})
+			if rep.Quarantined != 1 || rep.ByReason[tc.want] != 1 {
+				t.Fatalf("got %s, want one %s", rep, tc.want)
+			}
+			if len(rep.Records) != 1 || rep.Records[0].Reason != tc.want {
+				t.Fatalf("quarantine list = %+v", rep.Records)
+			}
+			if len(out.Records) != len(tr.Records)-1 {
+				t.Fatalf("kept %d records, want %d", len(out.Records), len(tr.Records)-1)
+			}
+		})
+	}
+}
+
+func TestSanitizePathHashMismatch(t *testing.T) {
+	tr := sampleTrace()
+	tr.NumNodes = 30
+	for _, r := range tr.Records {
+		r.PathHash = ComputePathHash(r.Path)
+	}
+	// Corrupt an interior path byte to another valid, loop-free node: only
+	// the hash cross-check can catch it.
+	tr.Records[0].Path[1] = 25
+	_, rep := tr.Sanitize(SanitizeOptions{})
+	if rep.ByReason[ReasonPathHashMismatch] != 1 {
+		t.Fatalf("got %s, want one path-hash-mismatch", rep)
+	}
+	// SkipHashCheck lets the same record through.
+	_, rep = tr.Sanitize(SanitizeOptions{SkipHashCheck: true})
+	if rep.Quarantined != 0 {
+		t.Fatalf("with SkipHashCheck: %s", rep)
+	}
+}
+
+func TestSanitizeDuplicateIDKeepsEarliest(t *testing.T) {
+	tr := sampleTrace()
+	tr.NumNodes = 30
+	dup := *tr.Records[0]
+	dup.SinkArrival += ms(7)
+	tr.Records = append(tr.Records, &dup)
+	tr.SortBySinkArrival()
+	out, rep := tr.Sanitize(SanitizeOptions{})
+	if rep.ByReason[ReasonDuplicateID] != 1 {
+		t.Fatalf("got %s, want one duplicate-id", rep)
+	}
+	for _, r := range out.Records {
+		if r.ID == dup.ID && r.SinkArrival == dup.SinkArrival {
+			t.Fatal("kept the later duplicate instead of the earliest arrival")
+		}
+	}
+}
+
+func TestSanitizeFirstViolationWins(t *testing.T) {
+	tr := sampleTrace()
+	tr.NumNodes = 30
+	// Both a loop and a negative sum: the structural reason is reported.
+	r := tr.Records[2]
+	r.Path[1] = r.Path[0]
+	r.SumDelays = -ms(5)
+	_, rep := tr.Sanitize(SanitizeOptions{})
+	if rep.ByReason[ReasonPathLoop] != 1 || rep.ByReason[ReasonNegativeSum] != 0 {
+		t.Fatalf("got %s, want the structural path-loop reason", rep)
+	}
+}
+
+func TestSanitizeReportString(t *testing.T) {
+	tr := sampleTrace()
+	tr.NumNodes = 30
+	tr.Records[0].SumDelays = -ms(1)
+	tr.Records[1].GenTime = tr.Records[1].SinkArrival + ms(2)
+	_, rep := tr.Sanitize(SanitizeOptions{})
+	got := rep.String()
+	want := "sanitize: 3 in, 1 kept, 2 quarantined gen-after-sink=1 negative-sum=1"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if reasons := rep.Reasons(); len(reasons) != 2 || reasons[0] != ReasonGenAfterSink {
+		t.Fatalf("Reasons() = %v", reasons)
+	}
+}
+
+func TestSanitizeDisabledChecks(t *testing.T) {
+	tr := sampleTrace()
+	tr.NumNodes = 30
+	tr.Records[0].SumDelays = 90000 * time.Millisecond
+	tr.Records[1].E2EDelay = tr.Records[1].SinkArrival - tr.Records[1].GenTime + time.Second
+	_, rep := tr.Sanitize(SanitizeOptions{MaxSumDelays: -1, E2ETolerance: -1})
+	if rep.Quarantined != 0 {
+		t.Fatalf("with checks disabled: %s", rep)
+	}
+}

@@ -1,6 +1,7 @@
 package domo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -53,6 +54,12 @@ type Config struct {
 	// AblateBLP replaces the balanced-label-propagation sub-graph tuning
 	// with the raw BFS ball.
 	AblateBLP bool
+	// AutoSanitize passes the trace through Sanitize before building the
+	// dataset, quarantining records that violate the reconstruction
+	// invariants (reboot-corrupted S(p), duplicated deliveries, corrupted
+	// paths or timestamps) instead of failing on them. The report is
+	// available from Reconstruction.SanitizeReport / BoundsResult.SanitizeReport.
+	AutoSanitize bool
 }
 
 func (c Config) toCore() core.Config {
@@ -75,29 +82,51 @@ func (c Config) toCore() core.Config {
 type EstimateStats struct {
 	Unknowns int
 	Windows  int
-	WallTime time.Duration
+	// RetriedWindows counts windows whose first solve failed and were
+	// retried with bumped regularization.
+	RetriedWindows int
+	// DegradedWindows counts windows whose solve failed even after the
+	// retry; their packets carry the interval-propagation estimate instead
+	// of the refined QP solution. Nonzero values usually mean the trace
+	// should have been sanitized (see Trace.Sanitize / Config.AutoSanitize).
+	DegradedWindows int
+	WallTime        time.Duration
 }
 
 // Reconstruction holds per-packet arrival-time estimates.
 type Reconstruction struct {
 	est *core.Estimates
+	// sanReport is non-nil when Config.AutoSanitize quarantined the input.
+	sanReport *SanitizeReport
 }
 
 // Estimate reconstructs estimated per-hop arrival times for every packet
 // in the trace (§IV-B).
 func Estimate(tr *Trace, cfg Config) (*Reconstruction, error) {
+	return EstimateCtx(context.Background(), tr, cfg)
+}
+
+// EstimateCtx is Estimate with cooperative cancellation: ctx is threaded
+// into every window solve, so canceling it or letting its deadline expire
+// aborts the reconstruction promptly (returning ctx.Err) instead of running
+// the remaining windows to completion.
+func EstimateCtx(ctx context.Context, tr *Trace, cfg Config) (*Reconstruction, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	var rep *SanitizeReport
+	if cfg.AutoSanitize {
+		tr, rep = tr.Sanitize()
 	}
 	ds, err := core.NewDataset(tr.inner, cfg.toCore())
 	if err != nil {
 		return nil, fmt.Errorf("building dataset: %w", err)
 	}
-	est, err := core.Estimate(ds)
+	est, err := core.EstimateCtx(ctx, ds)
 	if err != nil {
 		return nil, fmt.Errorf("estimating: %w", err)
 	}
-	return &Reconstruction{est: est}, nil
+	return &Reconstruction{est: est, sanReport: rep}, nil
 }
 
 // Arrivals returns the reconstructed arrival times t_0 .. t_{|p|-1}.
@@ -134,11 +163,17 @@ func (r *Reconstruction) Uncertainty(id PacketID) ([]time.Duration, error) {
 // Stats reports the estimator's effort.
 func (r *Reconstruction) Stats() EstimateStats {
 	return EstimateStats{
-		Unknowns: r.est.Stats.Unknowns,
-		Windows:  r.est.Stats.Windows,
-		WallTime: r.est.Stats.WallTime,
+		Unknowns:        r.est.Stats.Unknowns,
+		Windows:         r.est.Stats.Windows,
+		RetriedWindows:  r.est.Stats.RetriedWindows,
+		DegradedWindows: r.est.Stats.DegradedWindows,
+		WallTime:        r.est.Stats.WallTime,
 	}
 }
+
+// SanitizeReport returns the quarantine report when Config.AutoSanitize was
+// set, nil otherwise.
+func (r *Reconstruction) SanitizeReport() *SanitizeReport { return r.sanReport }
 
 // BoundStats reports the bound solver's effort.
 type BoundStats struct {
@@ -150,19 +185,33 @@ type BoundStats struct {
 // BoundsResult holds per-packet arrival-time lower/upper bounds.
 type BoundsResult struct {
 	b *core.Bounds
+	// sanReport is non-nil when Config.AutoSanitize quarantined the input.
+	sanReport *SanitizeReport
 }
 
 // Bounds reconstructs guaranteed lower and upper bounds for every interior
 // arrival time (§IV-C).
 func Bounds(tr *Trace, cfg Config) (*BoundsResult, error) {
+	return BoundsCtx(context.Background(), tr, cfg)
+}
+
+// BoundsCtx is Bounds with cooperative cancellation: ctx is threaded into
+// every per-target LP solve (including the parallel BoundWorkers path), so
+// canceling it or letting its deadline expire aborts the run promptly with
+// ctx.Err instead of grinding through the remaining targets.
+func BoundsCtx(ctx context.Context, tr *Trace, cfg Config) (*BoundsResult, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	var rep *SanitizeReport
+	if cfg.AutoSanitize {
+		tr, rep = tr.Sanitize()
 	}
 	ds, err := core.NewDataset(tr.inner, cfg.toCore())
 	if err != nil {
 		return nil, fmt.Errorf("building dataset: %w", err)
 	}
-	b, err := core.ComputeBounds(ds, core.BoundOptions{
+	b, err := core.ComputeBoundsCtx(ctx, ds, core.BoundOptions{
 		Sample:  cfg.BoundSample,
 		Seed:    cfg.Seed,
 		Workers: cfg.BoundWorkers,
@@ -170,8 +219,12 @@ func Bounds(tr *Trace, cfg Config) (*BoundsResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("computing bounds: %w", err)
 	}
-	return &BoundsResult{b: b}, nil
+	return &BoundsResult{b: b, sanReport: rep}, nil
 }
+
+// SanitizeReport returns the quarantine report when Config.AutoSanitize was
+// set, nil otherwise.
+func (b *BoundsResult) SanitizeReport() *SanitizeReport { return b.sanReport }
 
 // ArrivalBounds returns per-hop [lower, upper] arrival-time bounds; known
 // times (generation, sink arrival) have zero width.

@@ -46,6 +46,60 @@ type SimConfig struct {
 	// Traffic selects the generation workload (default periodic; see
 	// TrafficPoisson and TrafficBursty).
 	Traffic Traffic
+	// Faults selects injected hardware failure modes (zero = none); see
+	// FaultConfig. Faulty runs skip the collector's strict trace
+	// validation — pass the result through Trace.Sanitize before
+	// reconstruction, or set Config.AutoSanitize.
+	Faults FaultConfig
+}
+
+// FaultConfig selects which hardware failure modes the simulator injects,
+// reproducing the artifacts real TelosB-class deployments exhibit. Every
+// fault is driven by a dedicated seeded stream, so runs are reproducible.
+// The zero value injects nothing.
+type FaultConfig struct {
+	// RebootMTBF is each node's mean time between watchdog reboots
+	// (exponential). A reboot clears the node's volatile Algorithm-1 state:
+	// the running sum-hop-delays counter, per-packet SFD timestamps, and
+	// the duplicate-suppression cache. 0 disables.
+	RebootMTBF time.Duration
+	// ClockSkewPPM is the maximum per-node clock-rate error in parts per
+	// million; each node draws a fixed skew uniformly from [−x, +x] and all
+	// its SFD-measured durations stretch accordingly. 0 disables.
+	ClockSkewPPM float64
+	// Wrap16 wraps the on-air S(p) millisecond field at 16 bits, like the
+	// real 2-byte counter overflowing on busy relays.
+	Wrap16 bool
+	// DuplicateRate is the probability a delivered packet is logged twice
+	// at the sink (serial/logging glitch past the radio dedup).
+	DuplicateRate float64
+	// CorruptPathRate is the probability a delivered record's stored path
+	// has one entry byte-flipped (loops, unknown ids, hash mismatches).
+	CorruptPathRate float64
+	// CorruptTimeRate is the probability a delivered record's generation
+	// timestamp is truncated to a 4-byte field.
+	CorruptTimeRate float64
+	// DupRXRate is the probability the radio delivers a received data frame
+	// twice (duplicate SFD interrupt); node dedup must absorb these.
+	DupRXRate float64
+	// Seed drives the fault stream; 0 derives it from SimConfig.Seed.
+	Seed int64
+}
+
+// Enabled reports whether any failure mode is active.
+func (f FaultConfig) Enabled() bool { return f.toNode().Enabled() }
+
+func (f FaultConfig) toNode() node.FaultConfig {
+	return node.FaultConfig{
+		RebootMTBF:      f.RebootMTBF,
+		ClockSkewPPM:    f.ClockSkewPPM,
+		Wrap16:          f.Wrap16,
+		DuplicateRate:   f.DuplicateRate,
+		CorruptPathRate: f.CorruptPathRate,
+		CorruptTimeRate: f.CorruptTimeRate,
+		DupRXRate:       f.DupRXRate,
+		Seed:            f.Seed,
+	}
 }
 
 // Traffic selects a data-generation workload.
@@ -131,6 +185,7 @@ func NewNetwork(cfg SimConfig) (*Network, error) {
 		Warmup:         c.Warmup,
 		GridJitter:     0.3,
 		EnableNodeLogs: c.NodeLogs,
+		Faults:         c.Faults.toNode(),
 	}
 	if c.TrickleBeacons {
 		cfgNode.CTP.Trickle = &ctp.TrickleConfig{}
