@@ -6,10 +6,12 @@
 package domo_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
 
+	domo "github.com/domo-net/domo"
 	"github.com/domo-net/domo/internal/experiments"
 )
 
@@ -59,6 +61,7 @@ func BenchmarkFig1DelayMaps(b *testing.B) {
 
 func BenchmarkFig6aEstimates(b *testing.B) {
 	bundle := benchBundle(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig6a(bundle, io.Discard)
 		if err != nil {
@@ -71,6 +74,7 @@ func BenchmarkFig6aEstimates(b *testing.B) {
 
 func BenchmarkFig6bBounds(b *testing.B) {
 	bundle := benchBundle(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig6b(bundle, io.Discard)
 		if err != nil {
@@ -83,6 +87,7 @@ func BenchmarkFig6bBounds(b *testing.B) {
 
 func BenchmarkFig6cDisplacement(b *testing.B) {
 	bundle := benchBundle(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig6c(bundle, io.Discard)
 		if err != nil {
@@ -143,6 +148,58 @@ func BenchmarkFig10GraphCut(b *testing.B) {
 		last := res.Points[len(res.Points)-1]
 		b.ReportMetric(last.Width.Mean, "width_ms@largestcut")
 		b.ReportMetric(float64(last.TimePerBound.Microseconds()), "µs/bound")
+	}
+}
+
+// BenchmarkEstimateWorkers measures the windowed QP estimator's scaling
+// with EstimateWorkers on the shared bench trace, and asserts the scaling
+// contract: every worker count reconstructs bit-identical arrival times.
+func BenchmarkEstimateWorkers(b *testing.B) {
+	bundle := benchBundle(b)
+	tr := bundle.Trace
+	ref, err := domo.Estimate(tr, domo.Config{EstimateWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rec *domo.Reconstruction
+			for i := 0; i < b.N; i++ {
+				var err error
+				rec, err = domo.Estimate(tr, domo.Config{EstimateWorkers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			assertSameArrivals(b, tr, ref, rec)
+			st := rec.Stats()
+			b.ReportMetric(float64(st.Windows), "windows")
+			if st.Unknowns > 0 {
+				b.ReportMetric(float64(st.WallTime.Microseconds())/float64(st.Unknowns), "µs/delay")
+			}
+		})
+	}
+}
+
+// assertSameArrivals fails the benchmark if the two reconstructions differ
+// on any packet's arrival-time vector.
+func assertSameArrivals(b *testing.B, tr *domo.Trace, want, got *domo.Reconstruction) {
+	b.Helper()
+	for _, id := range tr.Packets() {
+		wa, err := want.Arrivals(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ga, err := got.Arrivals(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for hop := range wa {
+			if wa[hop] != ga[hop] {
+				b.Fatalf("packet %v hop %d: %v vs %v — workers changed the result", id, hop, ga[hop], wa[hop])
+			}
+		}
 	}
 }
 

@@ -19,8 +19,27 @@ import (
 	"runtime"
 	"time"
 
+	domo "github.com/domo-net/domo"
 	"github.com/domo-net/domo/internal/experiments"
 )
+
+// printWindowSummary condenses the estimator's per-window stats into one
+// line: window count, retries/degrades, and mean ADMM effort per window.
+func printWindowSummary(w *os.File, st domo.EstimateStats) {
+	if len(st.PerWindow) == 0 {
+		return
+	}
+	var iters int
+	var solve time.Duration
+	for _, ws := range st.PerWindow {
+		iters += ws.Iterations
+		solve += ws.SolveTime
+	}
+	n := len(st.PerWindow)
+	fmt.Fprintf(w, "  estimator windows: %d (retried %d, degraded %d, sdr %d), mean %d iters, %v solve/window\n",
+		st.Windows, st.RetriedWindows, st.DegradedWindows, st.SDRWindows,
+		iters/n, (solve / time.Duration(n)).Round(time.Microsecond))
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -37,7 +56,7 @@ func run() error {
 		period   = flag.Duration("period", 30*time.Second, "per-node data generation period")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		sample   = flag.Int("sample", 600, "bound-solver sample size (0 = all unknowns)")
-		workers  = flag.Int("workers", runtime.NumCPU(), "bound-solver goroutines (results identical for any count)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "bound-solver and estimation-window goroutines (results identical for any count)")
 	)
 	flag.Parse()
 
@@ -61,8 +80,10 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("preparing bundle: %w", err)
 		}
-		fmt.Fprintf(w, "bundle ready: %d packets, estimate %v, bounds %v\n\n",
+		fmt.Fprintf(w, "bundle ready: %d packets, estimate %v, bounds %v\n",
 			bundle.Trace.NumRecords(), bundle.EstimateWall, bundle.BoundsWall)
+		printWindowSummary(w, bundle.Rec.Stats())
+		fmt.Fprintln(w)
 	}
 
 	runOne := func(name string) error {

@@ -1,11 +1,82 @@
 package domo
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sort"
+	"strings"
 	"testing"
 	"time"
+
+	"github.com/domo-net/domo/internal/core"
 )
+
+// publicErr must keep the whole wrapped chain: rewrapping a bad-input error
+// as the public ErrBadInput must not hide sentinels wrapped deeper inside,
+// so context.Canceled / context.DeadlineExceeded stay matchable through the
+// facade. (The old implementation flattened the original error with %v.)
+func TestPublicErrKeepsFullChain(t *testing.T) {
+	for _, sentinel := range []error{context.Canceled, context.DeadlineExceeded} {
+		inner := fmt.Errorf("solving window: %w: %w", sentinel, core.ErrBadInput)
+		err := publicErr("estimating", inner)
+		if !errors.Is(err, ErrBadInput) {
+			t.Errorf("%v: lost public ErrBadInput: %v", sentinel, err)
+		}
+		if !errors.Is(err, core.ErrBadInput) {
+			t.Errorf("%v: lost internal sentinel: %v", sentinel, err)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Errorf("lost %v from the chain: %v", sentinel, err)
+		}
+		if !strings.Contains(err.Error(), "estimating") || !strings.Contains(err.Error(), "solving window") {
+			t.Errorf("error %q should keep both the op and the original message", err)
+		}
+	}
+	// Errors without the bad-input sentinel pass through with the op prefix.
+	plain := publicErr("bounding", context.Canceled)
+	if !errors.Is(plain, context.Canceled) || errors.Is(plain, ErrBadInput) {
+		t.Errorf("plain rewrap = %v, want Canceled without ErrBadInput", plain)
+	}
+}
+
+// The facade must produce bit-identical reconstructions for every
+// EstimateWorkers count.
+func TestEstimateWorkersFacadeDeterministic(t *testing.T) {
+	tr := headlineTrace(t)
+	ref, err := Estimate(tr, Config{WindowPackets: 24, EstimateWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		rec, err := Estimate(tr, Config{WindowPackets: 24, EstimateWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, id := range tr.Packets() {
+			want, err := ref.Arrivals(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rec.Arrivals(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for hop := range want {
+				if got[hop] != want[hop] {
+					t.Fatalf("workers=%d: packet %v hop %d arrival %v, want %v",
+						workers, id, hop, got[hop], want[hop])
+				}
+			}
+		}
+		st, rst := rec.Stats(), ref.Stats()
+		if st.Windows != rst.Windows || st.Unknowns != rst.Unknowns ||
+			st.RetriedWindows != rst.RetriedWindows || st.DegradedWindows != rst.DegradedWindows ||
+			st.SDRWindows != rst.SDRWindows || len(st.PerWindow) != len(rst.PerWindow) {
+			t.Fatalf("workers=%d: stats %+v, want counters of %+v", workers, st, rst)
+		}
+	}
+}
 
 func TestConfigMapping(t *testing.T) {
 	cfg := Config{
@@ -17,10 +88,14 @@ func TestConfigMapping(t *testing.T) {
 		UseUpperSum:          true,
 		AblateSumConstraints: true,
 		AblateBLP:            true,
+		EstimateWorkers:      3,
 	}
 	cc := cfg.toCore()
 	if cc.EffectiveWindowRatio != 0.7 || cc.WindowPackets != 32 || !cc.EnableSDR {
 		t.Errorf("estimator fields lost: %+v", cc)
+	}
+	if cc.EstimateWorkers != 3 {
+		t.Errorf("EstimateWorkers lost: %+v", cc)
 	}
 	if cc.GraphCutSize != 123 || !cc.UseUpperSum || !cc.DisableSumConstraints || !cc.DisableBLP {
 		t.Errorf("bound/ablation fields lost: %+v", cc)

@@ -116,7 +116,9 @@ func ComputeBounds(d *Dataset, opts BoundOptions) (*Bounds, error) {
 // ComputeBoundsCtx is ComputeBounds with cooperative cancellation: the
 // context is threaded into every per-target LP and polled between targets
 // (by every worker in the parallel path), so deadlines and cancellation
-// abort the run promptly. Worker panics are recovered into errors, and when
+// abort the run promptly. On error the partial Bounds — the envelope plus
+// every target solved so far, with coherent Solved/WallTime stats — is
+// returned alongside it. Worker panics are recovered into errors, and when
 // several targets fail concurrently the reported error is deterministic —
 // the failing target at the lowest position in the target list wins,
 // independent of goroutine scheduling.
@@ -147,10 +149,12 @@ func ComputeBoundsCtx(ctx context.Context, d *Dataset, opts BoundOptions) (*Boun
 	if workers <= 1 {
 		for _, target := range targets {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				b.Stats.WallTime = time.Since(start)
+				return b, err
 			}
 			if err := b.solveTargetSafe(ctx, target, rows, varRows, graph, opts.failTarget); err != nil {
-				return nil, err
+				b.Stats.WallTime = time.Since(start)
+				return b, err
 			}
 			b.Stats.Solved++
 		}
@@ -198,12 +202,17 @@ func ComputeBoundsCtx(ctx context.Context, d *Dataset, opts BoundOptions) (*Boun
 		}()
 	}
 	wg.Wait()
+	// Stats are finalized before any return so a partial (aborted) run still
+	// reports coherent counters: Solved counts only targets that completed,
+	// and WallTime covers the aborted run.
+	b.Stats.Solved = int(solved.Load())
+	b.Stats.WallTime = time.Since(start)
 	if failed.Load() || ctx.Err() != nil {
 		// Prefer the caller's context error (the user canceled); otherwise
 		// report the lowest-position failure, skipping the cancellation
 		// errors that the losing workers observed after cancelWork fired.
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return b, err
 		}
 		var firstErr error
 		for _, err := range errs {
@@ -211,18 +220,16 @@ func ComputeBoundsCtx(ctx context.Context, d *Dataset, opts BoundOptions) (*Boun
 				continue
 			}
 			if !isCtxErr(err) {
-				return nil, err
+				return b, err
 			}
 			if firstErr == nil {
 				firstErr = err
 			}
 		}
 		if firstErr != nil {
-			return nil, firstErr
+			return b, firstErr
 		}
 	}
-	b.Stats.Solved = int(solved.Load())
-	b.Stats.WallTime = time.Since(start)
 	return b, nil
 }
 

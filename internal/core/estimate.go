@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/domo-net/domo/internal/mat"
@@ -45,6 +47,27 @@ type EstimateStats struct {
 	// propagated guaranteed bounds) instead of aborting the whole run.
 	DegradedWindows int
 	WallTime        time.Duration
+	// PerWindow records one entry per completed window, in window order,
+	// for observability: where each window sat, how hard the solver worked,
+	// and whether fault isolation had to retry or degrade it.
+	PerWindow []WindowStat
+}
+
+// WindowStat describes one completed estimation window.
+type WindowStat struct {
+	Index          int // position in the window schedule
+	Start, End     int // solved record range [Start, End)
+	KeepLo, KeepHi int // kept (written-back) record range
+	Unknowns       int // local unknowns in the solved range
+	// Iterations is the total ADMM iteration count across the window's QP
+	// rounds, including a failed first attempt when the window was retried.
+	Iterations int
+	SolveTime  time.Duration
+	SDR        bool // ran the SDR seeding stage
+	Retried    bool // first attempt failed, re-solved with bumped anchor
+	Degraded   bool // both attempts failed, fell back to projection
+	// Cause holds the first failure message when Retried or Degraded.
+	Cause string
 }
 
 // Arrivals returns the full reconstructed arrival-time vector
@@ -109,11 +132,18 @@ func Estimate(d *Dataset) (*Estimates, error) {
 // EstimateCtx is Estimate with cooperative cancellation and per-window
 // fault isolation. The context is threaded into every QP/SDP solve and
 // polled between windows, so cancellation and deadlines take effect
-// mid-window. A window whose solve fails (non-convergence on an infeasible
+// mid-window; on cancellation the partial Estimates (initialization plus
+// every completed window, with coherent stats) is returned alongside the
+// error. A window whose solve fails (non-convergence on an infeasible
 // constraint system, numerical breakdown, or a solver panic) is retried
 // once with bumped regularization and then degraded to the
 // interval-propagation estimate instead of aborting the run; the
 // DegradedWindows stat reports how many windows took the fallback.
+//
+// Windows are solved by Config.EstimateWorkers goroutines in fixed-size
+// batches with a snapshot barrier between batches (see
+// estimateBatchWindows), so the reconstruction is bit-identical for every
+// worker count.
 func EstimateCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 	start := time.Now()
 	est := &Estimates{
@@ -148,22 +178,61 @@ func EstimateCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 		return est, nil
 	}
 
-	step := int(math.Round(d.cfg.EffectiveWindowRatio * float64(d.cfg.WindowPackets)))
+	spans := tileWindows(len(d.records), d.cfg.WindowPackets, d.cfg.EffectiveWindowRatio)
+	err := est.runWindows(ctx, d, spans)
+	est.Stats.WallTime = time.Since(start)
+	if err != nil {
+		return est, err
+	}
+	return est, nil
+}
+
+// windowSpan is one tile of the §IV-B sliding-window schedule: the
+// estimator solves records [Start, End) and keeps (writes back) only the
+// central region [KeepLo, KeepHi).
+type windowSpan struct {
+	Start, End     int
+	KeepLo, KeepHi int
+}
+
+// tileWindows computes the window schedule for n records. Inputs are
+// clamped — windowPackets floors at 1 and the ratio lands in (0, 1], with
+// NaN and non-positive values falling back to the 0.5 default — so the
+// kept regions always tile [0, n) exactly: every record index lands in
+// exactly one kept region, and each kept region sits inside its window's
+// solved range. The previous inline loop broke both properties when the
+// step exceeded windowPackets (a ratio > 1 reached the arithmetic as NaN
+// or via direct core callers): kept regions leaked outside the solved
+// window and records between consecutive windows were never kept.
+func tileWindows(n, windowPackets int, ratio float64) []windowSpan {
+	if n <= 0 {
+		return nil
+	}
+	w := windowPackets
+	if w < 1 {
+		w = 1
+	}
+	if math.IsNaN(ratio) || ratio <= 0 {
+		ratio = 0.5
+	} else if ratio > 1 {
+		ratio = 1
+	}
+	step := int(math.Round(ratio * float64(w)))
 	if step < 1 {
 		step = 1
 	}
-	n := len(d.records)
+	if step > w {
+		step = w
+	}
+	spans := make([]windowSpan, 0, n/step+1)
 	for wStart := 0; ; wStart += step {
-		wEnd := wStart + d.cfg.WindowPackets
+		wEnd := wStart + w
 		if wEnd > n {
 			wEnd = n
 		}
-		if wStart >= n {
-			break
-		}
 		// Central kept region of width `step`; stretched to the trace edges
 		// on the first and last windows.
-		keepLo := wStart + (d.cfg.WindowPackets-step)/2
+		keepLo := wStart + (w-step)/2
 		keepHi := keepLo + step
 		if wStart == 0 {
 			keepLo = 0
@@ -171,37 +240,155 @@ func EstimateCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 		if wEnd == n {
 			keepHi = n
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		err := estimateWindowSafe(ctx, d, est, wStart, wEnd, keepLo, keepHi, 1)
-		if err != nil && !isCtxErr(err) {
-			// First line of defense: one retry with a heavier Tikhonov
-			// anchor, which rescues numerically fragile but feasible
-			// windows.
-			est.Stats.RetriedWindows++
-			err = estimateWindowSafe(ctx, d, est, wStart, wEnd, keepLo, keepHi, _retryLambdaScale)
-		}
-		if err != nil {
-			if isCtxErr(err) {
-				return nil, err
-			}
-			// Degraded mode: the kept region keeps its initialization — the
-			// clamped interpolation inside the propagated guaranteed bounds
-			// — re-projected onto each packet's ω order chain. One rotten
-			// window (e.g. an infeasible constraint system built from a
-			// wrapped or reboot-zeroed S(p) field) no longer aborts the
-			// whole reconstruction.
-			est.Stats.DegradedWindows++
-			projectOrder(d, est, keepLo, keepHi)
-		}
-		est.Stats.Windows++
+		spans = append(spans, windowSpan{Start: wStart, End: wEnd, KeepLo: keepLo, KeepHi: keepHi})
 		if wEnd == n {
 			break
 		}
 	}
-	est.Stats.WallTime = time.Since(start)
-	return est, nil
+	return spans
+}
+
+// estimateBatchWindows is the scheduling granularity of the window solver:
+// windows run in consecutive batches of this many, with a snapshot of the
+// estimate vector taken at each batch boundary. Every window in a batch
+// reads only the snapshot and writes only its own kept region (kept
+// regions are disjoint, and each unknown belongs to exactly one record),
+// so the reconstruction is a pure function of the schedule — bit-identical
+// for every EstimateWorkers count — at the cost of a window seeing its
+// in-batch neighbours' updates one batch later than a strictly serial
+// sweep would. The batch size is a constant rather than derived from the
+// worker count precisely so the schedule, and therefore the result, never
+// depends on parallelism.
+const estimateBatchWindows = 16
+
+// runWindows drives the window schedule with d.cfg.EstimateWorkers
+// goroutines pulling windows off each batch via an atomic cursor. Errors
+// land in a per-position slice and stats are merged in window order after
+// the batch barrier, mirroring the deterministic-error discipline of
+// ComputeBoundsCtx: the reported error and the merged stats are
+// independent of goroutine scheduling. Only windows up to the first failed
+// position count toward the stats, so a partial run stays coherent.
+func (est *Estimates) runWindows(ctx context.Context, d *Dataset, spans []windowSpan) error {
+	workers := d.cfg.EstimateWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	snapshot := make([]float64, len(est.values))
+	workspaces := make([]solveWorkspace, workers)
+	for batchLo := 0; batchLo < len(spans); batchLo += estimateBatchWindows {
+		batchHi := batchLo + estimateBatchWindows
+		if batchHi > len(spans) {
+			batchHi = len(spans)
+		}
+		copy(snapshot, est.values)
+		stats := make([]WindowStat, batchHi-batchLo)
+		errs := make([]error, batchHi-batchLo)
+		nw := workers
+		if nw > len(stats) {
+			nw = len(stats)
+		}
+		if nw == 1 {
+			for k := range stats {
+				if err := ctx.Err(); err != nil {
+					errs[k] = err
+					break
+				}
+				stats[k], errs[k] = solveWindow(ctx, d, snapshot, est.values, batchLo+k, spans[batchLo+k], &workspaces[0])
+				if errs[k] != nil {
+					break
+				}
+			}
+		} else {
+			var (
+				wg   sync.WaitGroup
+				next atomic.Int64
+			)
+			for w := 0; w < nw; w++ {
+				ws := &workspaces[w]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						k := int(next.Add(1)) - 1
+						if k >= len(stats) {
+							return
+						}
+						if err := ctx.Err(); err != nil {
+							errs[k] = err
+							return
+						}
+						stats[k], errs[k] = solveWindow(ctx, d, snapshot, est.values, batchLo+k, spans[batchLo+k], ws)
+						if errs[k] != nil {
+							// Window failures degrade internally; an error
+							// here means the context died, which every other
+							// worker will observe on its next claim.
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		for k := range stats {
+			if errs[k] != nil {
+				// Prefer the caller's context error over whatever the
+				// lowest-position worker observed.
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				return errs[k]
+			}
+			est.mergeWindowStat(stats[k])
+		}
+	}
+	return nil
+}
+
+// mergeWindowStat folds one completed window into the aggregate counters.
+func (est *Estimates) mergeWindowStat(st WindowStat) {
+	est.Stats.Windows++
+	if st.SDR {
+		est.Stats.SDRWindows++
+	}
+	if st.Retried {
+		est.Stats.RetriedWindows++
+	}
+	if st.Degraded {
+		est.Stats.DegradedWindows++
+	}
+	est.Stats.PerWindow = append(est.Stats.PerWindow, st)
+}
+
+// solveWindow runs one window end-to-end — QP solve, one retry with a
+// heavier Tikhonov anchor, then the degraded fallback — reading shared
+// state only from snapshot and writing only the kept region of dst. The
+// returned stat describes what happened; the error is non-nil only for
+// context cancellation, every other failure degrades the window in place.
+func solveWindow(ctx context.Context, d *Dataset, snapshot, dst []float64, idx int, sp windowSpan, ws *solveWorkspace) (WindowStat, error) {
+	st := WindowStat{Index: idx, Start: sp.Start, End: sp.End, KeepLo: sp.KeepLo, KeepHi: sp.KeepHi}
+	begin := time.Now()
+	err := estimateWindowSafe(ctx, d, snapshot, dst, sp, 1, 0, ws, &st)
+	if err != nil && !isCtxErr(err) {
+		// First line of defense: one retry with a heavier Tikhonov anchor,
+		// which rescues numerically fragile but feasible windows.
+		st.Retried = true
+		st.Cause = err.Error()
+		err = estimateWindowSafe(ctx, d, snapshot, dst, sp, _retryLambdaScale, 1, ws, &st)
+	}
+	if err != nil && !isCtxErr(err) {
+		// Degraded mode: the kept region keeps its initialization — the
+		// clamped interpolation inside the propagated guaranteed bounds —
+		// re-projected onto each packet's ω order chain. One rotten window
+		// (e.g. an infeasible constraint system built from a wrapped or
+		// reboot-zeroed S(p) field) no longer aborts the whole
+		// reconstruction.
+		st.Degraded = true
+		st.Cause = err.Error()
+		projectOrder(d, dst, sp.KeepLo, sp.KeepHi)
+		err = nil
+	}
+	st.SolveTime = time.Since(begin)
+	return st, err
 }
 
 // _retryLambdaScale is the Tikhonov-anchor multiplier for the one-shot
@@ -218,22 +405,28 @@ func isCtxErr(err error) bool {
 // panic (index error or numerical assertion deep in the linear algebra on a
 // hostile constraint system) surfaces as an error so the caller can degrade
 // the window rather than crash the process.
-func estimateWindowSafe(ctx context.Context, d *Dataset, est *Estimates, wStart, wEnd, keepLo, keepHi int, lambdaScale float64) (err error) {
+func estimateWindowSafe(ctx context.Context, d *Dataset, snapshot, dst []float64, sp windowSpan, lambdaScale float64, attempt int, ws *solveWorkspace, st *WindowStat) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("window [%d,%d) solver panic: %v", wStart, wEnd, r)
+			err = fmt.Errorf("window [%d,%d) solver panic: %v", sp.Start, sp.End, r)
 		}
 	}()
-	if err := estimateWindow(ctx, d, est, wStart, wEnd, keepLo, keepHi, lambdaScale); err != nil {
-		return fmt.Errorf("window [%d,%d): %w", wStart, wEnd, err)
+	if d.failWindow != nil {
+		if err := d.failWindow(st.Index, attempt); err != nil {
+			return fmt.Errorf("window [%d,%d): %w", sp.Start, sp.End, err)
+		}
+	}
+	if err := estimateWindow(ctx, d, snapshot, dst, sp, lambdaScale, ws, st); err != nil {
+		return fmt.Errorf("window [%d,%d): %w", sp.Start, sp.End, err)
 	}
 	return nil
 }
 
 // projectOrder re-imposes each kept record's hard ω order chain (Eq. 5) on
-// the global estimate vector — the degraded-window fallback equivalent of
-// windowProblem.clampToOrder.
-func projectOrder(d *Dataset, est *Estimates, riLo, riHi int) {
+// the estimate vector — the degraded-window fallback equivalent of
+// windowProblem.clampToOrder. It touches only the unknowns of records in
+// [riLo, riHi), so concurrent windows never collide.
+func projectOrder(d *Dataset, values []float64, riLo, riHi int) {
 	omega := toMS(d.cfg.Omega)
 	for ri := riLo; ri < riHi && ri < len(d.records); ri++ {
 		r := d.records[ri]
@@ -243,18 +436,18 @@ func projectOrder(d *Dataset, est *Estimates, riLo, riHi int) {
 		prev := toMS(r.GenTime)
 		for hop := 1; hop <= r.Hops()-2; hop++ {
 			g := d.varOf[hopKey{rec: ri, hop: hop}]
-			if est.values[g] < prev+omega {
-				est.values[g] = prev + omega
+			if values[g] < prev+omega {
+				values[g] = prev + omega
 			}
-			prev = est.values[g]
+			prev = values[g]
 		}
 		next := toMS(r.SinkArrival)
 		for hop := r.Hops() - 2; hop >= 1; hop-- {
 			g := d.varOf[hopKey{rec: ri, hop: hop}]
-			if est.values[g] > next-omega {
-				est.values[g] = next - omega
+			if values[g] > next-omega {
+				values[g] = next - omega
 			}
-			next = est.values[g]
+			next = values[g]
 		}
 	}
 }
@@ -289,6 +482,21 @@ func interpolated(r *trace.Record, hop int) float64 {
 	return g + frac*(s-g)
 }
 
+// solveWorkspace is one worker's reusable solver scratch: the dense QP
+// objective, the CSR assembly buffers, the constraint bound slices, and
+// the ADMM workspace, all recycled across the windows the worker solves.
+// A zero value is ready to use; it must not be shared between concurrent
+// windows.
+type solveWorkspace struct {
+	qp      qp.Workspace
+	builder sparse.Builder
+	p       mat.Matrix
+	q       mat.Vector
+	entries []sparse.Entry
+	lows    []float64
+	highs   []float64
+}
+
 // windowProblem is the per-window local system.
 type windowProblem struct {
 	d         *Dataset
@@ -298,9 +506,10 @@ type windowProblem struct {
 	origin    float64      // time origin subtracted for conditioning
 	passages  map[radio.NodeID][]hopKey
 	estimates []float64 // local current estimates (origin-relative)
-	// globalEstimates aliases the estimator's full value vector so
-	// constraints can freeze out-of-window unknowns at their current
-	// global estimate.
+	// globalEstimates is the batch snapshot of the estimator's full value
+	// vector, so constraints can freeze out-of-window unknowns at their
+	// last-barrier global estimate. Reading the snapshot rather than the
+	// live vector is what makes concurrent windows deterministic.
 	globalEstimates []float64
 	// anchor is the fixed prior (clamped interpolation) each QP round is
 	// regularized toward; anchoring to the drifting estimate compounds
@@ -308,19 +517,21 @@ type windowProblem struct {
 	anchor []float64
 }
 
-func estimateWindow(ctx context.Context, d *Dataset, est *Estimates, wStart, wEnd, keepLo, keepHi int, lambdaScale float64) error {
+// estimateWindow solves one window: all global reads come from snapshot
+// and the only shared-state writes are the kept region's unknowns in dst.
+func estimateWindow(ctx context.Context, d *Dataset, snapshot, dst []float64, sp windowSpan, lambdaScale float64, ws *solveWorkspace, st *WindowStat) error {
 	w := &windowProblem{
 		d:               d,
-		recSet:          make(map[int]bool, wEnd-wStart),
+		recSet:          make(map[int]bool, sp.End-sp.Start),
 		localOf:         make(map[int]int),
 		passages:        make(map[radio.NodeID][]hopKey),
-		globalEstimates: est.values,
+		globalEstimates: snapshot,
 	}
-	for ri := wStart; ri < wEnd; ri++ {
+	for ri := sp.Start; ri < sp.End; ri++ {
 		w.recSet[ri] = true
 	}
-	w.origin = toMS(d.records[wStart].GenTime)
-	for ri := wStart; ri < wEnd; ri++ {
+	w.origin = toMS(d.records[sp.Start].GenTime)
+	for ri := sp.Start; ri < sp.End; ri++ {
 		r := d.records[ri]
 		for hop := 1; hop <= r.Hops()-2; hop++ {
 			g := d.varOf[hopKey{rec: ri, hop: hop}]
@@ -333,12 +544,13 @@ func estimateWindow(ctx context.Context, d *Dataset, est *Estimates, wStart, wEn
 		}
 	}
 	nLocal := len(w.globalOf)
+	st.Unknowns = nLocal
 	if nLocal == 0 {
 		return nil
 	}
 	w.estimates = make([]float64, nLocal)
 	for l, g := range w.globalOf {
-		w.estimates[l] = est.values[g] - w.origin
+		w.estimates[l] = snapshot[g] - w.origin
 	}
 	w.anchor = append([]float64(nil), w.estimates...)
 
@@ -346,7 +558,7 @@ func estimateWindow(ctx context.Context, d *Dataset, est *Estimates, wStart, wEn
 		if err := w.runSDR(ctx); err != nil && !errors.Is(err, sdp.ErrMaxIterations) {
 			return fmt.Errorf("SDR stage: %w", err)
 		}
-		est.Stats.SDRWindows++
+		st.SDR = true
 	}
 
 	prevOrders := ""
@@ -356,19 +568,20 @@ func estimateWindow(ctx context.Context, d *Dataset, est *Estimates, wStart, wEn
 			break
 		}
 		prevOrders = sig
-		if err := w.solveQP(ctx, orders, lambdaScale); err != nil {
+		if err := w.solveQP(ctx, orders, lambdaScale, ws, st); err != nil {
 			return err
 		}
 	}
 
 	w.clampToOrder()
 
-	// Write back kept estimates.
-	for ri := keepLo; ri < keepHi && ri < wEnd; ri++ {
+	// Write back kept estimates — the window's only writes to shared state,
+	// confined to its own kept region so concurrent windows never collide.
+	for ri := sp.KeepLo; ri < sp.KeepHi && ri < sp.End; ri++ {
 		r := d.records[ri]
 		for hop := 1; hop <= r.Hops()-2; hop++ {
 			g := d.varOf[hopKey{rec: ri, hop: hop}]
-			est.values[g] = w.estimates[w.localOf[g]] + w.origin
+			dst[g] = w.estimates[w.localOf[g]] + w.origin
 		}
 	}
 	return nil
@@ -376,7 +589,7 @@ func estimateWindow(ctx context.Context, d *Dataset, est *Estimates, wStart, wEn
 
 // localRef resolves a dataset varRef into the window: known values and
 // out-of-window unknowns both become constants (the latter frozen at their
-// current global estimate — boundary unknowns act as soft context).
+// snapshot global estimate — boundary unknowns act as soft context).
 func (w *windowProblem) localRef(ref varRef, global []float64) (isVar bool, local int, constant float64) {
 	if ref.known {
 		return false, 0, ref.value - w.origin
@@ -473,20 +686,23 @@ func absDur(d sim.Time) sim.Time {
 	return d
 }
 
-// globalValues returns the estimator's full value vector, used to freeze
-// out-of-window unknowns at their current global estimates.
+// globalValues returns the batch snapshot of the full value vector, used
+// to freeze out-of-window unknowns at their last-barrier estimates.
 func (w *windowProblem) globalValues() []float64 { return w.globalEstimates }
 
 // solveQP builds and solves the window QP with the given resolved orders.
 // lambdaScale multiplies the Tikhonov anchor weight (1 normally, bumped on
-// the fault-isolation retry).
-func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaScale float64) error {
+// the fault-isolation retry). All scratch comes from ws, so a worker's
+// steady-state window solve performs no dense allocations.
+func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaScale float64, ws *solveWorkspace, st *WindowStat) error {
 	d := w.d
 	nLocal := len(w.globalOf)
 	global := w.globalValues()
 
-	p := mat.NewMatrix(nLocal, nLocal)
-	q := mat.NewVector(nLocal)
+	p := &ws.p
+	p.Reset(nLocal, nLocal)
+	q := &ws.q
+	q.Reset(nLocal)
 
 	// addSquared accumulates weight·f² for the linear functional f given by
 	// (ref, coeff) pairs plus an offset: P += 2w·aaᵀ, q += 2w·const·a.
@@ -551,8 +767,9 @@ func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaS
 	}
 
 	// Constraints: dataset rows fully inside the window + resolved orders.
-	var entries []sparse.Entry
-	var lows, highs []float64
+	entries := ws.entries[:0]
+	lows := ws.lows[:0]
+	highs := ws.highs[:0]
 	row := 0
 	addRow := func(terms []linTerm, lo, hi float64) {
 		localTerms := make(map[int]float64)
@@ -597,8 +814,9 @@ func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaS
 		addRow([]linTerm{{ref: op.arrY, coeff: 1}, {ref: op.arrX, coeff: -1}}, 0, infMS)
 		addRow([]linTerm{{ref: op.depY, coeff: 1}, {ref: op.depX, coeff: -1}}, delta, infMS)
 	}
+	ws.entries, ws.lows, ws.highs = entries, lows, highs
 
-	a, err := sparse.NewCSR(row, nLocal, entries)
+	a, err := ws.builder.Build(row, nLocal, entries)
 	if err != nil {
 		return fmt.Errorf("assembling window constraints: %w", err)
 	}
@@ -606,14 +824,15 @@ func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaS
 		P:  p,
 		Q:  q,
 		A:  a,
-		L:  mat.NewVectorFrom(lows),
-		U:  mat.NewVectorFrom(highs),
-		X0: mat.NewVectorFrom(w.estimates),
+		L:  mat.WrapVector(lows),
+		U:  mat.WrapVector(highs),
+		X0: mat.WrapVector(w.estimates),
 	}
-	res, err := qp.SolveCtx(ctx, prob, qp.Options{MaxIter: 2500, EpsAbs: 1e-4, EpsRel: 1e-4})
+	res, err := qp.SolveCtxWS(ctx, prob, qp.Options{MaxIter: 2500, EpsAbs: 1e-4, EpsRel: 1e-4}, &ws.qp)
 	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
 		return fmt.Errorf("window QP: %w", err)
 	}
+	st.Iterations += res.Iterations
 	// A near-converged iterate (small primal residual at the iteration cap,
 	// in practice under ~10 ms on slow windows of clean traces) is as good
 	// as converged for reconstruction purposes; a large residual signals an

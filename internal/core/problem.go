@@ -24,6 +24,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -82,8 +83,17 @@ type Config struct {
 	// WindowPackets is the number of records per time window. Default 48.
 	WindowPackets int
 	// EffectiveWindowRatio is the fraction of each window whose estimates
-	// are kept (the paper's key windowing parameter). Default 0.5.
+	// are kept (the paper's key windowing parameter). Values outside (0, 1]
+	// are clamped: NaN and non-positive fall back to the 0.5 default, and
+	// values above 1 clamp to 1 (a larger ratio would make the window step
+	// exceed the window itself, leaving records no window keeps).
 	EffectiveWindowRatio float64
+	// EstimateWorkers is the number of goroutines solving estimation
+	// windows concurrently. Windows run in fixed-size batches with a
+	// snapshot barrier between batches, so the reconstruction is
+	// bit-identical for every worker count. Default 1; use
+	// runtime.NumCPU() for batch runs.
+	EstimateWorkers int
 
 	// EnableSDR turns on the semidefinite-relaxation seeding stage for
 	// windows with at most SDRMaxUnknowns unknowns. Default off: the
@@ -147,8 +157,15 @@ func (c Config) withDefaults() Config {
 	if c.WindowPackets <= 0 {
 		c.WindowPackets = 48
 	}
-	if c.EffectiveWindowRatio <= 0 || c.EffectiveWindowRatio > 1 {
+	// NaN fails every comparison, so test it explicitly — the old
+	// `<= 0 || > 1` check let NaN through to the window arithmetic.
+	if math.IsNaN(c.EffectiveWindowRatio) || c.EffectiveWindowRatio <= 0 {
 		c.EffectiveWindowRatio = 0.5
+	} else if c.EffectiveWindowRatio > 1 {
+		c.EffectiveWindowRatio = 1
+	}
+	if c.EstimateWorkers <= 0 {
+		c.EstimateWorkers = 1
 	}
 	if c.SDRMaxUnknowns <= 0 {
 		c.SDRMaxUnknowns = 40
@@ -232,6 +249,13 @@ type Dataset struct {
 	// sumInfos carries the decomposed S(p) relation for the estimator's
 	// soft equality term: S(p) ≈ Σ star + ½·Σ maybe.
 	sumInfos []sumInfo
+
+	// failWindow, when non-nil, is consulted before each window solve
+	// attempt (attempt 0, then 1 for the retry) and a non-nil error is
+	// treated as the solve failing. Tests use it to exercise the
+	// retry/degrade paths deterministically; production callers leave it
+	// nil.
+	failWindow func(window, attempt int) error
 }
 
 // sumInfo decomposes one packet's sum-of-delays relation: star holds the

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// assertExactTiling checks the tileWindows contract: kept regions tile
+// [0, n) exactly (every record index in exactly one kept region) and each
+// kept region sits inside its window's solved range.
+func assertExactTiling(t *testing.T, spans []windowSpan, n int) {
+	t.Helper()
+	cover := make([]int, n)
+	for i, sp := range spans {
+		if sp.Start < 0 || sp.End > n || sp.Start >= sp.End {
+			t.Fatalf("span %d: solved range [%d,%d) outside [0,%d)", i, sp.Start, sp.End, n)
+		}
+		if sp.KeepLo < sp.Start || sp.KeepHi > sp.End {
+			t.Fatalf("span %d: kept [%d,%d) leaks outside solved [%d,%d)",
+				i, sp.KeepLo, sp.KeepHi, sp.Start, sp.End)
+		}
+		if i > 0 && sp.Start <= spans[i-1].Start {
+			t.Fatalf("span %d: starts %d, not after span %d start %d",
+				i, sp.Start, i-1, spans[i-1].Start)
+		}
+		for ri := sp.KeepLo; ri < sp.KeepHi; ri++ {
+			cover[ri]++
+		}
+	}
+	for ri, c := range cover {
+		if c != 1 {
+			t.Fatalf("record %d kept by %d windows, want exactly 1 (spans %+v)", ri, c, spans)
+		}
+	}
+}
+
+// Every record index must land in exactly one kept region for adversarial
+// (n, WindowPackets, ratio) combinations, including traces shorter than one
+// window or one step and ratios outside (0, 1].
+func TestTileWindowsCoverage(t *testing.T) {
+	cases := []struct {
+		name  string
+		n, w  int
+		ratio float64
+	}{
+		{"default", 500, 48, 0.5},
+		{"ratio-0.3", 500, 48, 0.3},
+		{"ratio-0.9", 500, 48, 0.9},
+		{"ratio-1.0", 500, 48, 1.0},
+		{"n-below-window", 30, 48, 0.5},
+		{"n-below-step", 30, 48, 0.9},
+		{"n-one", 1, 48, 0.5},
+		{"n-equals-window", 48, 48, 0.5},
+		{"n-window-plus-one", 49, 48, 0.5},
+		{"last-window-overhang", 73, 48, 0.5},
+		{"ratio-above-one", 100, 10, 3.0},
+		{"ratio-nan", 100, 10, math.NaN()},
+		{"ratio-zero", 100, 10, 0},
+		{"ratio-negative", 100, 10, -1},
+		{"ratio-tiny", 40, 10, 1e-9},
+		{"window-zero", 5, 0, 0.5},
+		{"window-negative", 5, -3, 0.5},
+		{"prime-sizes", 211, 7, 0.33},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spans := tileWindows(c.n, c.w, c.ratio)
+			if len(spans) == 0 {
+				t.Fatalf("tileWindows(%d, %d, %g) returned no spans", c.n, c.w, c.ratio)
+			}
+			assertExactTiling(t, spans, c.n)
+		})
+	}
+	if spans := tileWindows(0, 48, 0.5); spans != nil {
+		t.Errorf("tileWindows(0, ...) = %+v, want nil", spans)
+	}
+}
+
+// legacyKeptRegions replicates the pre-fix inline window loop: the step was
+// never clamped to the window size, and the write-back loop's `ri < wEnd`
+// bound silently truncated kept regions that leaked past the solved range.
+// It returns the effective kept regions that loop wrote back.
+func legacyKeptRegions(n, w, step int) [][2]int {
+	var kept [][2]int
+	for wStart := 0; ; wStart += step {
+		wEnd := wStart + w
+		if wEnd > n {
+			wEnd = n
+		}
+		if wStart >= n {
+			break
+		}
+		keepLo := wStart + (w-step)/2
+		keepHi := keepLo + step
+		if wStart == 0 {
+			keepLo = 0
+		}
+		if wEnd == n {
+			keepHi = n
+		}
+		if keepHi > wEnd {
+			keepHi = wEnd // the old write-back loop's `ri < wEnd` clamp
+		}
+		kept = append(kept, [2]int{keepLo, keepHi})
+		if wEnd == n {
+			break
+		}
+	}
+	return kept
+}
+
+// Regression: when the step exceeds the window size (a ratio > 1 reaching
+// the arithmetic), the pre-fix loop leaves gaps between consecutive kept
+// regions and claims records before its own solved range; tileWindows must
+// clamp the step and tile exactly on the same inputs.
+func TestTileWindowsFixesLegacyStepOverflow(t *testing.T) {
+	const n, w = 100, 10
+	step := int(math.Round(3.0 * float64(w))) // ratio 3.0 → step 30 > w
+
+	cover := make([]int, n)
+	leaked := false
+	for i, kr := range legacyKeptRegions(n, w, step) {
+		if wStart := i * step; kr[0] < wStart {
+			leaked = true // keeps records the window never solved
+		}
+		for ri := kr[0]; ri < kr[1] && ri >= 0; ri++ {
+			cover[ri]++
+		}
+	}
+	gaps := 0
+	for _, c := range cover {
+		if c == 0 {
+			gaps++
+		}
+	}
+	if gaps == 0 && !leaked {
+		t.Fatal("legacy loop unexpectedly tiles step > w inputs; regression test is vacuous")
+	}
+	t.Logf("legacy loop with step=%d > w=%d: %d uncovered records, leaked=%v", step, w, gaps, leaked)
+
+	assertExactTiling(t, tileWindows(n, w, 3.0), n)
+}
+
+// The reconstruction must be bit-identical for every worker count: the
+// batch-snapshot schedule, not the goroutine interleaving, defines the
+// result.
+func TestEstimateWorkersDeterministic(t *testing.T) {
+	tr := simTrace(t)
+	run := func(workers int) *Estimates {
+		d, err := NewDataset(tr, Config{WindowPackets: 24, EstimateWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Estimate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	ref := run(1)
+	if ref.Stats.Windows <= estimateBatchWindows {
+		t.Fatalf("only %d windows; want more than one batch (%d) for a meaningful test",
+			ref.Stats.Windows, estimateBatchWindows)
+	}
+	for _, workers := range []int{2, 3, runtime.NumCPU()} {
+		est := run(workers)
+		if len(est.values) != len(ref.values) {
+			t.Fatalf("workers=%d: %d unknowns, want %d", workers, len(est.values), len(ref.values))
+		}
+		for k := range ref.values {
+			if est.values[k] != ref.values[k] {
+				t.Fatalf("workers=%d: value %d = %g, want %g (bit-identical)",
+					workers, k, est.values[k], ref.values[k])
+			}
+			if est.widths[k] != ref.widths[k] {
+				t.Fatalf("workers=%d: width %d = %g, want %g", workers, k, est.widths[k], ref.widths[k])
+			}
+		}
+		if est.Stats.Windows != ref.Stats.Windows ||
+			est.Stats.SDRWindows != ref.Stats.SDRWindows ||
+			est.Stats.RetriedWindows != ref.Stats.RetriedWindows ||
+			est.Stats.DegradedWindows != ref.Stats.DegradedWindows ||
+			est.Stats.Unknowns != ref.Stats.Unknowns {
+			t.Fatalf("workers=%d: stats %+v, want counters of %+v", workers, est.Stats, ref.Stats)
+		}
+		if len(est.Stats.PerWindow) != len(ref.Stats.PerWindow) {
+			t.Fatalf("workers=%d: %d per-window stats, want %d",
+				workers, len(est.Stats.PerWindow), len(ref.Stats.PerWindow))
+		}
+		for i, ws := range est.Stats.PerWindow {
+			rw := ref.Stats.PerWindow[i]
+			if ws.Index != i || ws.Start != rw.Start || ws.End != rw.End ||
+				ws.KeepLo != rw.KeepLo || ws.KeepHi != rw.KeepHi ||
+				ws.Unknowns != rw.Unknowns || ws.Iterations != rw.Iterations ||
+				ws.Retried != rw.Retried || ws.Degraded != rw.Degraded {
+				t.Fatalf("workers=%d: window %d stat %+v, want %+v", workers, i, ws, rw)
+			}
+		}
+	}
+}
+
+// Cancellation mid-run must return the partial Estimates alongside the
+// error, with WallTime set and Windows counting only completed windows.
+func TestEstimatePartialStatsOnCancel(t *testing.T) {
+	tr := simTrace(t)
+	for _, workers := range []int{1, 4} {
+		d, err := NewDataset(tr, Config{WindowPackets: 24, EstimateWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		const failAt = 2
+		d.failWindow = func(window, attempt int) error {
+			if window == failAt {
+				cancel()
+				return ctx.Err()
+			}
+			return nil
+		}
+		est, err := EstimateCtx(ctx, d)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: error = %v, want context.Canceled", workers, err)
+		}
+		if est == nil {
+			t.Fatalf("workers=%d: partial Estimates is nil on cancellation", workers)
+		}
+		if est.Stats.WallTime <= 0 {
+			t.Errorf("workers=%d: WallTime = %v, want > 0 on the aborted run", workers, est.Stats.WallTime)
+		}
+		// Windows counts only the contiguous prefix merged before the failed
+		// position; the aborted window itself must not be counted.
+		if est.Stats.Windows > failAt {
+			t.Errorf("workers=%d: Windows = %d, want ≤ %d (aborted window not counted)",
+				workers, est.Stats.Windows, failAt)
+		}
+		if len(est.Stats.PerWindow) != est.Stats.Windows {
+			t.Errorf("workers=%d: %d per-window stats for %d counted windows",
+				workers, len(est.Stats.PerWindow), est.Stats.Windows)
+		}
+	}
+}
+
+// A failed bound solve must likewise leave coherent partial stats: Solved
+// counts only completed targets and WallTime covers the aborted run.
+func TestBoundsPartialStatsOnError(t *testing.T) {
+	tr := simTrace(t)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	const failAt = 5
+	b, err := ComputeBounds(d, BoundOptions{
+		failTarget: func(target int) error {
+			if target == failAt {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	if b == nil {
+		t.Fatal("partial Bounds is nil on failure")
+	}
+	if b.Stats.Solved != failAt {
+		t.Errorf("Solved = %d, want %d (targets before the failure)", b.Stats.Solved, failAt)
+	}
+	if b.Stats.WallTime <= 0 {
+		t.Errorf("WallTime = %v, want > 0 on the aborted run", b.Stats.WallTime)
+	}
+
+	// Parallel path: Solved may race ahead of the failing position but must
+	// stay coherent, and WallTime must still be set.
+	b, err = ComputeBounds(d, BoundOptions{
+		Workers: 4,
+		failTarget: func(target int) error {
+			if target == failAt {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("workers=4: error = %v, want boom", err)
+	}
+	if b == nil {
+		t.Fatal("workers=4: partial Bounds is nil on failure")
+	}
+	if b.Stats.Solved < 0 || b.Stats.Solved >= d.NumUnknowns() {
+		t.Errorf("workers=4: Solved = %d, want in [0, %d)", b.Stats.Solved, d.NumUnknowns())
+	}
+	if b.Stats.WallTime <= 0 {
+		t.Errorf("workers=4: WallTime = %v, want > 0 on the aborted run", b.Stats.WallTime)
+	}
+}
+
+// The per-window stats must record which windows were retried or degraded
+// and why, and the counters must follow the two-attempt fault-isolation
+// protocol: a first-attempt failure retries, a second failure degrades.
+func TestEstimateRetryAndDegradeObservability(t *testing.T) {
+	tr := simTrace(t)
+	const failAt = 1
+
+	// Fail only the first attempt: the window must be retried, not degraded.
+	d, err := NewDataset(tr, Config{WindowPackets: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.failWindow = func(window, attempt int) error {
+		if window == failAt && attempt == 0 {
+			return errors.New("synthetic first-attempt failure")
+		}
+		return nil
+	}
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatalf("Estimate with retried window: %v", err)
+	}
+	if est.Stats.RetriedWindows != 1 || est.Stats.DegradedWindows != 0 {
+		t.Fatalf("retried=%d degraded=%d, want 1/0", est.Stats.RetriedWindows, est.Stats.DegradedWindows)
+	}
+	ws := est.Stats.PerWindow[failAt]
+	if !ws.Retried || ws.Degraded {
+		t.Errorf("window %d stat %+v, want Retried && !Degraded", failAt, ws)
+	}
+	if !strings.Contains(ws.Cause, "synthetic first-attempt failure") {
+		t.Errorf("window %d Cause = %q, want the first failure message", failAt, ws.Cause)
+	}
+	for i, w := range est.Stats.PerWindow {
+		if i != failAt && (w.Retried || w.Degraded || w.Cause != "") {
+			t.Errorf("healthy window %d carries failure state: %+v", i, w)
+		}
+		if w.SolveTime <= 0 {
+			t.Errorf("window %d SolveTime = %v, want > 0", i, w.SolveTime)
+		}
+	}
+
+	// Fail both attempts: the window must degrade and the run still succeed.
+	d2, err := NewDataset(tr, Config{WindowPackets: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.failWindow = func(window, attempt int) error {
+		if window == failAt {
+			return errors.New("synthetic persistent failure")
+		}
+		return nil
+	}
+	est2, err := Estimate(d2)
+	if err != nil {
+		t.Fatalf("Estimate with degraded window: %v", err)
+	}
+	if est2.Stats.RetriedWindows != 1 || est2.Stats.DegradedWindows != 1 {
+		t.Fatalf("retried=%d degraded=%d, want 1/1", est2.Stats.RetriedWindows, est2.Stats.DegradedWindows)
+	}
+	ws2 := est2.Stats.PerWindow[failAt]
+	if !ws2.Retried || !ws2.Degraded {
+		t.Errorf("window %d stat %+v, want Retried && Degraded", failAt, ws2)
+	}
+	if !strings.Contains(ws2.Cause, "synthetic persistent failure") {
+		t.Errorf("window %d Cause = %q, want the failure message", failAt, ws2.Cause)
+	}
+}

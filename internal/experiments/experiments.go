@@ -32,8 +32,9 @@ type Scenario struct {
 	DataPeriod  time.Duration
 	Seed        int64
 	BoundSample int // bounds computed for this many sampled unknowns (0 = all)
-	// Workers parallelizes the per-unknown bound solves (0/1 = serial;
-	// results are identical for any worker count).
+	// Workers parallelizes both the per-unknown bound solves and the
+	// estimation windows (0/1 = serial; results are identical for any
+	// worker count).
 	Workers int
 }
 
@@ -112,7 +113,7 @@ func Prepare(s Scenario) (*Bundle, error) {
 // PrepareFromTrace reconstructs an existing trace (used by the loss sweep,
 // which drops packets from a shared base trace).
 func PrepareFromTrace(s Scenario, tr *domo.Trace) (*Bundle, error) {
-	rec, err := domo.Estimate(tr, domo.Config{})
+	rec, err := domo.Estimate(tr, domo.Config{EstimateWorkers: s.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("estimating: %w", err)
 	}

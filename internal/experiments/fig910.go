@@ -36,7 +36,7 @@ func RunFig9(s Scenario, w io.Writer, ratios []float64) (*Fig9Result, error) {
 	fmt.Fprintf(w, "=== Fig 9: impact of effective time window ratio (%d nodes) ===\n", s.NumNodes)
 	fmt.Fprintf(w, "  %-6s %12s %10s %14s\n", "ratio", "err mean ms", "windows", "time/delay")
 	for _, ratio := range ratios {
-		rec, err := domo.Estimate(tr, domo.Config{EffectiveWindowRatio: ratio})
+		rec, err := domo.Estimate(tr, domo.Config{EffectiveWindowRatio: ratio, EstimateWorkers: s.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("fig9 ratio %.1f: %w", ratio, err)
 		}

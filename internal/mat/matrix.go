@@ -38,6 +38,25 @@ func Identity(n int) *Matrix {
 	return m
 }
 
+// Reset reshapes m to rows×cols and zeroes every element, reusing the
+// backing array when its capacity allows. It is the allocation-free
+// counterpart of NewMatrix for hot paths that recycle scratch matrices.
+func (m *Matrix) Reset(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative matrix shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+		for i := range m.data {
+			m.data[i] = 0
+		}
+	}
+	m.rows, m.cols = rows, cols
+}
+
 // Rows returns the number of rows.
 func (m *Matrix) Rows() int { return m.rows }
 
@@ -99,6 +118,22 @@ func (m *Matrix) MulVec(x *Vector) (*Vector, error) {
 		y.data[i] = s
 	}
 	return y, nil
+}
+
+// MulVecTo computes y = M·x into a preallocated y of length Rows().
+func (m *Matrix) MulVecTo(y, x *Vector) error {
+	if m.cols != x.Len() || m.rows != y.Len() {
+		return fmt.Errorf("mulvecTo %dx%d · %d into %d: %w", m.rows, m.cols, x.Len(), y.Len(), ErrDimensionMismatch)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, a := range row {
+			s += a * x.data[j]
+		}
+		y.data[i] = s
+	}
+	return nil
 }
 
 // MulVecT computes y = Mᵀ·x as a new vector.

@@ -44,6 +44,23 @@ func WrapVector(values []float64) *Vector {
 	return &Vector{data: values}
 }
 
+// Reset resizes v to length n and zeroes every element, reusing the
+// backing array when its capacity allows. It is the allocation-free
+// counterpart of NewVector for hot paths that recycle scratch vectors.
+func (v *Vector) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("mat: negative vector length %d", n))
+	}
+	if cap(v.data) < n {
+		v.data = make([]float64, n)
+		return
+	}
+	v.data = v.data[:n]
+	for i := range v.data {
+		v.data[i] = 0
+	}
+}
+
 // Len returns the number of elements.
 func (v *Vector) Len() int { return len(v.data) }
 

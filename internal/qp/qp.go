@@ -94,6 +94,17 @@ type Result struct {
 	Converged  bool
 }
 
+// Workspace holds the solver's scratch storage so repeated solves (one QP
+// per estimation window) reuse allocations instead of rebuilding them. A
+// zero Workspace is ready to use; it grows to the largest problem it has
+// seen and must not be shared between concurrent solves.
+type Workspace struct {
+	x, y                      mat.Vector // returned iterates (borrowed by Result)
+	z, tmp, zPrev, ax, zTilde mat.Vector // length-m scratch
+	rhs, aty, px              mat.Vector // length-n scratch
+	normal                    mat.Matrix // KKT normal matrix buffer
+}
+
 // Solve runs ADMM on the problem and returns the result. When the iteration
 // limit is reached without meeting tolerances, the best iterate is returned
 // together with ErrMaxIterations so callers can still use the approximate
@@ -107,8 +118,21 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 // and its error is returned promptly when it expires, making long solves
 // abortable mid-iteration by deadline or cancel.
 func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
+	return SolveCtxWS(ctx, p, opts, nil)
+}
+
+// SolveCtxWS is SolveCtx with a caller-provided workspace. A nil ws solves
+// with fresh storage. With a reused workspace, Result.X and Result.Y borrow
+// workspace storage and are overwritten by the next solve on the same
+// workspace; copy them out first if they must survive. The iterates are
+// bit-identical to SolveCtx — the workspace only changes where scratch
+// memory comes from, not what is computed.
+func SolveCtxWS(ctx context.Context, p *Problem, opts Options, ws *Workspace) (*Result, error) {
 	if err := validate(p); err != nil {
 		return nil, err
+	}
+	if ws == nil {
+		ws = &Workspace{}
 	}
 	o := opts.withDefaults()
 	n := p.A.Cols()
@@ -116,11 +140,10 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 
 	rho := o.Rho
 	factorize := func() (*mat.Cholesky, error) {
-		normal, err := p.A.NormalMatrix(p.P, o.Sigma, rho)
-		if err != nil {
+		if err := p.A.NormalMatrixInto(&ws.normal, p.P, o.Sigma, rho); err != nil {
 			return nil, fmt.Errorf("forming KKT matrix: %w", err)
 		}
-		chol, err := mat.NewCholesky(normal)
+		chol, err := mat.NewCholesky(&ws.normal)
 		if err != nil {
 			return nil, fmt.Errorf("factorizing KKT matrix: %w", err)
 		}
@@ -131,29 +154,41 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	x := mat.NewVector(n)
+	x := &ws.x
+	x.Reset(n)
 	if p.X0 != nil {
 		if err := x.CopyFrom(p.X0); err != nil {
 			return nil, fmt.Errorf("warm start: %w", err)
 		}
 	}
-	z, err := p.A.MulVec(x)
-	if err != nil {
-		return nil, err
-	}
+	z := &ws.z
+	z.Reset(m)
+	p.A.MulVecTo(z, x)
 	clipToBox(z, p.L, p.U)
-	y := mat.NewVector(m)
+	y := &ws.y
+	y.Reset(m)
 
-	rhs := mat.NewVector(n)
-	ax := mat.NewVector(m)
-	aty := mat.NewVector(n)
-	zTilde := mat.NewVector(m)
+	rhs := &ws.rhs
+	rhs.Reset(n)
+	ax := &ws.ax
+	ax.Reset(m)
+	aty := &ws.aty
+	aty.Reset(n)
+	zTilde := &ws.zTilde
+	zTilde.Reset(m)
+	tmp := &ws.tmp
+	tmp.Reset(m)
+	zPrev := &ws.zPrev
+	zPrev.Reset(m)
+	px := &ws.px
+	if p.P != nil {
+		px.Reset(n)
+	}
 
 	res := &Result{X: x, Y: y}
 	refactors := 0
 	for iter := 1; iter <= o.MaxIter; iter++ {
 		// rhs = σx - q + Aᵀ(ρz - y)
-		tmp := mat.NewVector(m)
 		for i := 0; i < m; i++ {
 			tmp.Set(i, rho*z.At(i)-y.At(i))
 		}
@@ -170,7 +205,9 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 		for i := 0; i < n; i++ {
 			x.Set(i, o.Alpha*xTilde.At(i)+(1-o.Alpha)*x.At(i))
 		}
-		zPrev := z.Clone()
+		if err := zPrev.CopyFrom(z); err != nil {
+			return nil, err
+		}
 		for i := 0; i < m; i++ {
 			v := o.Alpha*zTilde.At(i) + (1-o.Alpha)*zPrev.At(i) + y.At(i)/rho
 			z.Set(i, boxClip(v, p.L.At(i), p.U.At(i)))
@@ -191,13 +228,15 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 					primal = r
 				}
 			}
-			dual := dualResidual(p, x, y, aty)
+			// aty and px double as the Aᵀy and P·x terms shared by the dual
+			// residual and its tolerance scale.
+			dual := dualResidual(p, x, y, aty, px)
 			res.Iterations = iter
 			res.PrimalRes = primal
 			res.DualRes = dual
 
 			epsPrimal := o.EpsAbs + o.EpsRel*math.Max(ax.NormInf(), z.NormInf())
-			epsDual := o.EpsAbs + o.EpsRel*dualScale(p, x, y)
+			epsDual := o.EpsAbs + o.EpsRel*dualScale(p, aty, px)
 			if primal <= epsPrimal && dual <= epsDual {
 				res.Converged = true
 				break
@@ -271,21 +310,19 @@ func clipToBox(z *mat.Vector, l, u *mat.Vector) {
 	}
 }
 
-// dualResidual computes ‖Px + q + Aᵀy‖∞, reusing scratch for Aᵀy.
-func dualResidual(p *Problem, x, y, scratch *mat.Vector) float64 {
-	p.A.MulVecTTo(scratch, y)
-	var px *mat.Vector
+// dualResidual computes ‖Px + q + Aᵀy‖∞. aty receives Aᵀy and px receives
+// P·x (when P is non-nil); both stay valid for dualScale afterwards.
+func dualResidual(p *Problem, x, y, aty, px *mat.Vector) float64 {
+	p.A.MulVecTTo(aty, y)
 	if p.P != nil {
-		var err error
-		px, err = p.P.MulVec(x)
-		if err != nil {
+		if err := p.P.MulVecTo(px, x); err != nil {
 			return math.Inf(1)
 		}
 	}
 	var worst float64
 	for i := 0; i < x.Len(); i++ {
-		v := p.Q.At(i) + scratch.At(i)
-		if px != nil {
+		v := p.Q.At(i) + aty.At(i)
+		if p.P != nil {
 			v += px.At(i)
 		}
 		if a := math.Abs(v); a > worst {
@@ -295,14 +332,12 @@ func dualResidual(p *Problem, x, y, scratch *mat.Vector) float64 {
 	return worst
 }
 
-func dualScale(p *Problem, x, y *mat.Vector) float64 {
-	scratch := mat.NewVector(x.Len())
-	p.A.MulVecTTo(scratch, y)
-	s := math.Max(p.Q.NormInf(), scratch.NormInf())
+// dualScale derives the relative-tolerance scale max(‖q‖∞, ‖Aᵀy‖∞, ‖Px‖∞)
+// from the terms dualResidual just computed.
+func dualScale(p *Problem, aty, px *mat.Vector) float64 {
+	s := math.Max(p.Q.NormInf(), aty.NormInf())
 	if p.P != nil {
-		if px, err := p.P.MulVec(x); err == nil {
-			s = math.Max(s, px.NormInf())
-		}
+		s = math.Max(s, px.NormInf())
 	}
 	return s
 }

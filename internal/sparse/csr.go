@@ -36,6 +36,26 @@ type CSR struct {
 // NewCSR assembles a CSR matrix from triplets. Duplicate (row, col) entries
 // are summed. Triplets outside the shape produce an error.
 func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
+	return new(Builder).Build(rows, cols, entries)
+}
+
+// Builder assembles CSR matrices while recycling its internal buffers, so a
+// hot loop (one constraint matrix per estimation window) assembles without
+// per-call allocations once the buffers have grown to the working size.
+//
+// The matrix returned by Build borrows the builder's buffers: it stays valid
+// only until the next Build call on the same builder. Use NewCSR (a
+// single-use builder) when the matrix must outlive the assembly.
+type Builder struct {
+	sorted []Entry
+	rowPtr []int
+	colIdx []int
+	values []float64
+}
+
+// Build assembles a CSR matrix from triplets, summing duplicate (row, col)
+// entries. The result is invalidated by the next Build call on this builder.
+func (b *Builder) Build(rows, cols int, entries []Entry) (*CSR, error) {
 	if rows < 0 || cols < 0 {
 		return nil, fmt.Errorf("shape %dx%d: %w", rows, cols, ErrDimensionMismatch)
 	}
@@ -44,8 +64,8 @@ func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
 			return nil, fmt.Errorf("entry (%d,%d) outside %dx%d: %w", e.Row, e.Col, rows, cols, ErrDimensionMismatch)
 		}
 	}
-	sorted := make([]Entry, len(entries))
-	copy(sorted, entries)
+	b.sorted = append(b.sorted[:0], entries...)
+	sorted := b.sorted
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Row != sorted[j].Row {
 			return sorted[i].Row < sorted[j].Row
@@ -53,13 +73,17 @@ func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
 		return sorted[i].Col < sorted[j].Col
 	})
 
-	m := &CSR{
-		rows:   rows,
-		cols:   cols,
-		rowPtr: make([]int, rows+1),
-		colIdx: make([]int, 0, len(sorted)),
-		values: make([]float64, 0, len(sorted)),
+	if cap(b.rowPtr) < rows+1 {
+		b.rowPtr = make([]int, rows+1)
+	} else {
+		b.rowPtr = b.rowPtr[:rows+1]
+		for i := range b.rowPtr {
+			b.rowPtr[i] = 0
+		}
 	}
+	b.colIdx = b.colIdx[:0]
+	b.values = b.values[:0]
+	m := &CSR{rows: rows, cols: cols, rowPtr: b.rowPtr}
 	for i := 0; i < len(sorted); {
 		j := i
 		sum := 0.0
@@ -68,15 +92,17 @@ func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
 			j++
 		}
 		if sum != 0 {
-			m.colIdx = append(m.colIdx, sorted[i].Col)
-			m.values = append(m.values, sum)
-			m.rowPtr[sorted[i].Row+1]++
+			b.colIdx = append(b.colIdx, sorted[i].Col)
+			b.values = append(b.values, sum)
+			b.rowPtr[sorted[i].Row+1]++
 		}
 		i = j
 	}
 	for r := 0; r < rows; r++ {
-		m.rowPtr[r+1] += m.rowPtr[r]
+		b.rowPtr[r+1] += b.rowPtr[r]
 	}
+	m.colIdx = b.colIdx
+	m.values = b.values
 	return m, nil
 }
 
@@ -186,14 +212,24 @@ func (m *CSR) ToDense() *mat.Matrix {
 // system matrix of an OSQP-style ADMM iteration, where P is a dense n×n
 // quadratic term (may be nil for a pure LP) and A is this matrix (m×n).
 func (m *CSR) NormalMatrix(p *mat.Matrix, sigma, rho float64) (*mat.Matrix, error) {
+	out := mat.NewMatrix(m.cols, m.cols)
+	if err := m.NormalMatrixInto(out, p, sigma, rho); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NormalMatrixInto computes P + sigma·I + rho·AᵀA into out, reshaping and
+// reusing out's storage. out must not alias p.
+func (m *CSR) NormalMatrixInto(out *mat.Matrix, p *mat.Matrix, sigma, rho float64) error {
 	n := m.cols
 	if p != nil && (p.Rows() != n || p.Cols() != n) {
-		return nil, fmt.Errorf("P is %dx%d, want %dx%d: %w", p.Rows(), p.Cols(), n, n, ErrDimensionMismatch)
+		return fmt.Errorf("P is %dx%d, want %dx%d: %w", p.Rows(), p.Cols(), n, n, ErrDimensionMismatch)
 	}
-	out := mat.NewMatrix(n, n)
+	out.Reset(n, n)
 	if p != nil {
 		if err := out.AddScaledMat(1, p); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -211,5 +247,5 @@ func (m *CSR) NormalMatrix(p *mat.Matrix, sigma, rho float64) (*mat.Matrix, erro
 			}
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -10,10 +10,13 @@ import (
 )
 
 // publicErr rewraps internal bad-input sentinels as the package's public
-// ErrBadInput so callers can errors.Is against the exported error.
+// ErrBadInput so callers can errors.Is against the exported error. Both the
+// original error and ErrBadInput stay on the chain (multi-%w), so sentinels
+// wrapped deeper inside — context.Canceled, context.DeadlineExceeded — keep
+// matching through the facade.
 func publicErr(op string, err error) error {
 	if errors.Is(err, core.ErrBadInput) {
-		return fmt.Errorf("%s: %v: %w", op, err, ErrBadInput)
+		return fmt.Errorf("%s: %w: %w", op, err, ErrBadInput)
 	}
 	return fmt.Errorf("%s: %w", op, err)
 }
@@ -43,6 +46,11 @@ type Config struct {
 	// BoundWorkers solves bound targets on this many goroutines (results
 	// are identical for any worker count). 0 or 1 means serial.
 	BoundWorkers int
+	// EstimateWorkers solves estimation windows on this many goroutines.
+	// Windows run in fixed-size batches with a snapshot barrier between
+	// batches, so the reconstruction is bit-identical for every worker
+	// count. 0 or 1 means serial.
+	EstimateWorkers int
 	// Seed drives sampling randomness.
 	Seed int64
 	// UseUpperSum enables the loss-free Eq. 6 upper sum-of-delays
@@ -71,6 +79,7 @@ func (c Config) toCore() core.Config {
 		UseUpperSum:           c.UseUpperSum,
 		DisableSumConstraints: c.AblateSumConstraints,
 		DisableBLP:            c.AblateBLP,
+		EstimateWorkers:       c.EstimateWorkers,
 	}
 	if c.ExactBounds {
 		cc.BoundSolverKind = core.SolverSimplex
@@ -82,6 +91,9 @@ func (c Config) toCore() core.Config {
 type EstimateStats struct {
 	Unknowns int
 	Windows  int
+	// SDRWindows counts windows that ran the semidefinite-relaxation
+	// seeding stage (zero unless Config.EnableSDR).
+	SDRWindows int
 	// RetriedWindows counts windows whose first solve failed and were
 	// retried with bumped regularization.
 	RetriedWindows int
@@ -91,6 +103,25 @@ type EstimateStats struct {
 	// should have been sanitized (see Trace.Sanitize / Config.AutoSanitize).
 	DegradedWindows int
 	WallTime        time.Duration
+	// PerWindow holds one entry per completed window, in window order.
+	PerWindow []WindowStat
+}
+
+// WindowStat describes one estimation window's solve.
+type WindowStat struct {
+	Index          int // position in the window schedule
+	Start, End     int // solved record range [Start, End)
+	KeepLo, KeepHi int // kept (written-back) record range
+	Unknowns       int // arrival-time unknowns in the solved range
+	// Iterations is the total ADMM iteration count across the window's QP
+	// rounds, including a failed first attempt when the window was retried.
+	Iterations int
+	SolveTime  time.Duration
+	SDR        bool // ran the SDR seeding stage
+	Retried    bool // first attempt failed, re-solved with bumped anchor
+	Degraded   bool // both attempts failed, fell back to projection
+	// Cause holds the first failure message when Retried or Degraded.
+	Cause string
 }
 
 // Reconstruction holds per-packet arrival-time estimates.
@@ -160,15 +191,37 @@ func (r *Reconstruction) Uncertainty(id PacketID) ([]time.Duration, error) {
 	return u, nil
 }
 
-// Stats reports the estimator's effort.
+// Stats reports the estimator's effort, including the per-window detail
+// collected by the window scheduler.
 func (r *Reconstruction) Stats() EstimateStats {
-	return EstimateStats{
+	s := EstimateStats{
 		Unknowns:        r.est.Stats.Unknowns,
 		Windows:         r.est.Stats.Windows,
+		SDRWindows:      r.est.Stats.SDRWindows,
 		RetriedWindows:  r.est.Stats.RetriedWindows,
 		DegradedWindows: r.est.Stats.DegradedWindows,
 		WallTime:        r.est.Stats.WallTime,
 	}
+	if len(r.est.Stats.PerWindow) > 0 {
+		s.PerWindow = make([]WindowStat, len(r.est.Stats.PerWindow))
+		for i, w := range r.est.Stats.PerWindow {
+			s.PerWindow[i] = WindowStat{
+				Index:      w.Index,
+				Start:      w.Start,
+				End:        w.End,
+				KeepLo:     w.KeepLo,
+				KeepHi:     w.KeepHi,
+				Unknowns:   w.Unknowns,
+				Iterations: w.Iterations,
+				SolveTime:  w.SolveTime,
+				SDR:        w.SDR,
+				Retried:    w.Retried,
+				Degraded:   w.Degraded,
+				Cause:      w.Cause,
+			}
+		}
+	}
+	return s
 }
 
 // SanitizeReport returns the quarantine report when Config.AutoSanitize was
