@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-full vet cover clean
+.PHONY: all build test race bench bench-full vet cover fuzz-smoke clean
 
 all: build test
 
@@ -21,6 +21,12 @@ race:
 
 cover:
 	$(GO) test -cover ./...
+
+# Short fuzz of the wire codec: decode must never panic and accepted
+# payloads must re-encode byte-identically (canonical encoding).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzReadStream -fuzztime=10s ./internal/wire
 
 # One testing.B bench per paper table/figure (laptop scale).
 bench:

@@ -21,24 +21,29 @@ import (
 
 	domo "github.com/domo-net/domo"
 	"github.com/domo-net/domo/internal/experiments"
+	"github.com/domo-net/domo/internal/metrics"
 )
 
-// printWindowSummary condenses the estimator's per-window stats into one
-// line: window count, retries/degrades, and mean ADMM effort per window.
+// printWindowSummary condenses the estimator's per-window stats into two
+// lines: window count with retries/degrades and mean ADMM effort, plus the
+// solve-latency distribution (the same log-spaced histogram domo-serve
+// exports on /statusz, so offline and service numbers compare directly).
 func printWindowSummary(w *os.File, st domo.EstimateStats) {
 	if len(st.PerWindow) == 0 {
 		return
 	}
 	var iters int
-	var solve time.Duration
+	var hist metrics.LatencyHist
 	for _, ws := range st.PerWindow {
 		iters += ws.Iterations
-		solve += ws.SolveTime
+		hist.Observe(ws.SolveTime)
 	}
 	n := len(st.PerWindow)
-	fmt.Fprintf(w, "  estimator windows: %d (retried %d, degraded %d, sdr %d), mean %d iters, %v solve/window\n",
+	lat := hist.Summary()
+	fmt.Fprintf(w, "  estimator windows: %d (retried %d, degraded %d, sdr %d), mean %d iters, %.2fms solve/window (p90 %.2fms, max %.2fms)\n",
 		st.Windows, st.RetriedWindows, st.DegradedWindows, st.SDRWindows,
-		iters/n, (solve / time.Duration(n)).Round(time.Microsecond))
+		iters/n, lat.Mean, lat.P90, lat.Max)
+	fmt.Fprintf(w, "  solve latency: %s\n", hist.String())
 }
 
 func main() {

@@ -12,8 +12,11 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -52,7 +55,7 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "domo-recon: closing %s: %v\n", *in, cerr)
 		}
 	}()
-	tr, err := domo.ReadTrace(f)
+	tr, err := readAnyTrace(f)
 	if err != nil {
 		return fmt.Errorf("reading trace: %w", err)
 	}
@@ -127,6 +130,21 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// readAnyTrace sniffs the input format: traces written by domo-sim are
+// either JSON (tr.Write) or the binary wire format (-format wire), and the
+// wire magic in the first bytes tells them apart without a flag.
+func readAnyTrace(r io.Reader) (*domo.Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if bytes.HasPrefix(head, []byte("DMO")) {
+		return domo.ReadWireTrace(br)
+	}
+	return domo.ReadTrace(br)
 }
 
 func dumpPacket(tr *domo.Trace, rec *domo.Reconstruction, id domo.PacketID) error {

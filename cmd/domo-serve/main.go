@@ -1,0 +1,311 @@
+// Command domo-serve runs the online reconstruction service: a TCP ingest
+// listener accepting wire-format record streams (the format domo-sim -o
+// trace.bin writes and a deployed sink's uplink would speak), an online
+// sliding-window reconstruction engine, and an HTTP status endpoint. On
+// SIGINT/SIGTERM it stops accepting, cuts ingest connections, drains the
+// queue, solves and flushes the final partial window, and only then exits.
+//
+// Usage:
+//
+//	domo-serve -nodes 100                      # ingest :9750, status :9751
+//	domo-serve -nodes 100 -drop-oldest -v      # shed under overload, log windows
+//	curl -s localhost:9751/statusz | jq .      # queue/drops/windows/latency
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	domo "github.com/domo-net/domo"
+)
+
+func main() {
+	opts := parseFlags(os.Args[1:])
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "domo-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	listen     string
+	httpAddr   string
+	nodes      int
+	window     int
+	queue      int
+	workers    int
+	dropOldest bool
+	sanitize   bool
+	verbose    bool
+}
+
+func parseFlags(args []string) options {
+	fs := flag.NewFlagSet("domo-serve", flag.ExitOnError)
+	var o options
+	fs.StringVar(&o.listen, "listen", ":9750", "TCP ingest listen address")
+	fs.StringVar(&o.httpAddr, "http", ":9751", "HTTP status listen address")
+	fs.IntVar(&o.nodes, "nodes", 0, "deployment size including the sink (required)")
+	fs.IntVar(&o.window, "window", 96, "records per reconstruction window")
+	fs.IntVar(&o.queue, "queue", 1024, "ingest queue capacity")
+	fs.IntVar(&o.workers, "workers", 0, "estimation worker goroutines per window (0 = serial)")
+	fs.BoolVar(&o.dropOldest, "drop-oldest", false, "shed the oldest queued record when the queue is full instead of blocking ingest")
+	fs.BoolVar(&o.sanitize, "sanitize", true, "sanitize each record on admission, quarantining invariant violations")
+	fs.BoolVar(&o.verbose, "v", false, "log each closed window")
+	_ = fs.Parse(args)
+	return o
+}
+
+func serve(ctx context.Context, opts options) error {
+	s, err := newServer(opts)
+	if err != nil {
+		return err
+	}
+	return s.run(ctx)
+}
+
+// server wires the ingest listener, the reconstruction stream, and the
+// status endpoint together.
+type server struct {
+	opts   options
+	stream *domo.Stream
+	start  time.Time
+
+	ingest net.Listener
+	status net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+
+	windowsOut atomic.Uint64 // delivered windows, incl. failed
+	recordsOut atomic.Uint64 // records in delivered windows
+	consumed   chan struct{}
+}
+
+func newServer(opts options) (*server, error) {
+	if opts.nodes < 2 {
+		return nil, fmt.Errorf("-nodes %d: a deployment has at least a sink and one source", opts.nodes)
+	}
+	cfg := domo.StreamConfig{
+		NumNodes: opts.nodes,
+		Estimation: domo.Config{
+			EstimateWorkers: opts.workers,
+			AutoSanitize:    opts.sanitize,
+		},
+		WindowRecords: opts.window,
+		QueueCap:      opts.queue,
+	}
+	if opts.dropOldest {
+		cfg.Policy = domo.DropOldestWhenFull
+	}
+	// The stream gets its own context: a shutdown signal must stop
+	// ingestion but let the drain-and-flush finish, not abort solves.
+	stream, err := domo.OpenStream(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	ingest, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		stream.Close()
+		return nil, fmt.Errorf("ingest listen: %w", err)
+	}
+	status, err := net.Listen("tcp", opts.httpAddr)
+	if err != nil {
+		ingest.Close()
+		stream.Close()
+		return nil, fmt.Errorf("status listen: %w", err)
+	}
+	return &server{
+		opts:     opts,
+		stream:   stream,
+		start:    time.Now(),
+		ingest:   ingest,
+		status:   status,
+		conns:    make(map[net.Conn]bool),
+		consumed: make(chan struct{}),
+	}, nil
+}
+
+// run serves until ctx is canceled, then drains: stop accepting, cut
+// ingest connections, flush the final window, report, exit.
+func (s *server) run(ctx context.Context) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", s.handleStatus)
+	httpSrv := &http.Server{Handler: mux}
+	go func() {
+		if err := httpSrv.Serve(s.status); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "domo-serve: status server: %v\n", err)
+		}
+	}()
+	go s.consume()
+
+	fmt.Fprintf(os.Stderr, "domo-serve: ingesting wire streams on %s, status on http://%s/statusz\n",
+		s.ingest.Addr(), s.status.Addr())
+
+	var wg sync.WaitGroup
+	go func() {
+		<-ctx.Done()
+		s.ingest.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := s.ingest.Accept()
+		if err != nil {
+			break // listener closed by shutdown
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+	wg.Wait()
+
+	// Ingestion is quiet; drain the queue and flush the partial window
+	// while the status endpoint keeps answering.
+	if err := s.stream.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "domo-serve: drain: %v\n", err)
+	}
+	<-s.consumed
+	httpSrv.Shutdown(context.Background())
+
+	st := s.stream.Stats()
+	fmt.Fprintf(os.Stderr, "domo-serve: drained: %d received, %d dropped, %d quarantined, %d windows (%d failed), solve %s\n",
+		st.Received, st.Dropped, st.Quarantined, st.Windows, st.WindowsFailed, latencyLine(st.SolveLatency))
+	return nil
+}
+
+// serveConn feeds one ingest connection's wire stream into the engine.
+func (s *server) serveConn(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	if err := s.stream.Feed(conn); err != nil {
+		fmt.Fprintf(os.Stderr, "domo-serve: ingest %s: %v\n", conn.RemoteAddr(), err)
+	}
+}
+
+// consume drains closed windows; results leave the process as log lines
+// (and as the counters behind /statusz).
+func (s *server) consume() {
+	defer close(s.consumed)
+	for w := range s.stream.Results() {
+		s.windowsOut.Add(1)
+		s.recordsOut.Add(uint64(w.Trace.NumRecords()))
+		if w.Err != nil {
+			fmt.Fprintf(os.Stderr, "domo-serve: window %d [%d,%d): %v\n", w.Index, w.SeqStart, w.SeqEnd, w.Err)
+			continue
+		}
+		if s.opts.verbose {
+			st := w.Reconstruction.Stats()
+			fmt.Fprintf(os.Stderr, "domo-serve: window %d [%d,%d): %d records, %d unknowns, solved in %v\n",
+				w.Index, w.SeqStart, w.SeqEnd, w.Trace.NumRecords(), st.Unknowns, w.SolveTime)
+		}
+	}
+}
+
+// statusPayload is the /statusz JSON shape.
+type statusPayload struct {
+	UptimeSeconds float64 `json:"uptime_s"`
+	Received      uint64  `json:"received"`
+	Dropped       uint64  `json:"dropped"`
+	Quarantined   uint64  `json:"quarantined"`
+	Solved        uint64  `json:"solved"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueMax      int     `json:"queue_max"`
+	Buffered      int     `json:"buffered"`
+
+	Windows         uint64 `json:"windows"`
+	WindowsFailed   uint64 `json:"windows_failed"`
+	RetriedWindows  uint64 `json:"retried_windows"`
+	DegradedWindows uint64 `json:"degraded_windows"`
+
+	LagMS float64 `json:"lag_ms"`
+
+	SolveLatencyMS latencyJSON    `json:"solve_latency_ms"`
+	SolveHistogram []bucketJSON   `json:"solve_histogram"`
+	Quarantine     map[string]int `json:"quarantine_by_reason,omitempty"`
+}
+
+type latencyJSON struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
+	Max    float64 `json:"max"`
+}
+
+// bucketJSON is one histogram bucket; le_ms is -1 on the overflow bucket.
+type bucketJSON struct {
+	LeMS  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.stream.Stats()
+	p := statusPayload{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Received:        st.Received,
+		Dropped:         st.Dropped,
+		Quarantined:     st.Quarantined,
+		Solved:          st.Solved,
+		QueueDepth:      st.QueueDepth,
+		QueueMax:        st.QueueMax,
+		Buffered:        st.Buffered,
+		Windows:         st.Windows,
+		WindowsFailed:   st.WindowsFailed,
+		RetriedWindows:  st.RetriedWindows,
+		DegradedWindows: st.DegradedWindows,
+		LagMS:           float64(st.Lag) / float64(time.Millisecond),
+		SolveLatencyMS: latencyJSON{
+			N: st.SolveLatency.N, Mean: st.SolveLatency.Mean,
+			Median: st.SolveLatency.Median, P90: st.SolveLatency.P90, Max: st.SolveLatency.Max,
+		},
+		SolveHistogram: []bucketJSON{},
+	}
+	for _, b := range st.SolveBuckets {
+		le := float64(b.Le) / float64(time.Millisecond)
+		if b.Le < 0 {
+			le = -1
+		}
+		p.SolveHistogram = append(p.SolveHistogram, bucketJSON{LeMS: le, Count: b.Count})
+	}
+	if rep := s.stream.SanitizeReport(); rep != nil && len(rep.ByReason) > 0 {
+		p.Quarantine = rep.ByReason
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func latencyLine(s domo.Summary) string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("mean %.1fms p90 %.1fms max %.1fms (n=%d)", s.Mean, s.P90, s.Max, s.N)
+}

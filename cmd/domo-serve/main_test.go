@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	domo "github.com/domo-net/domo"
+)
+
+// End to end: a simulated trace encoded to the wire format, pushed over a
+// real TCP connection into a running server, must be fully reconstructed;
+// /statusz must report the ingestion, and shutdown must drain and flush
+// before run returns.
+func TestServeIngestStatusAndDrain(t *testing.T) {
+	tr, err := domo.Simulate(domo.SimConfig{NumNodes: 10, Duration: time.Minute, DataPeriod: 15 * time.Second, Seed: 7, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var wireBytes bytes.Buffer
+	if err := tr.EncodeWire(&wireBytes); err != nil {
+		t.Fatalf("EncodeWire: %v", err)
+	}
+
+	s, err := newServer(options{
+		listen:   "127.0.0.1:0",
+		httpAddr: "127.0.0.1:0",
+		nodes:    tr.NumNodes(),
+		window:   16,
+		queue:    64,
+		sanitize: true,
+	})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.run(ctx) }()
+
+	conn, err := net.Dial("tcp", s.ingest.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial ingest: %v", err)
+	}
+	if _, err := conn.Write(wireBytes.Bytes()); err != nil {
+		t.Fatalf("writing wire stream: %v", err)
+	}
+	conn.Close()
+
+	// Poll the status endpoint until ingestion is visible.
+	statusURL := fmt.Sprintf("http://%s/statusz", s.status.Addr())
+	var payload statusPayload
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(statusURL)
+		if err != nil {
+			t.Fatalf("GET /statusz: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&payload)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding /statusz: %v", err)
+		}
+		if payload.Received == uint64(tr.NumRecords()) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingestion stalled: %+v", payload)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if payload.Dropped != 0 || payload.Quarantined != 0 {
+		t.Fatalf("clean trace lost records: %+v", payload)
+	}
+
+	// Shutdown must flush everything that was admitted.
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not drain and exit")
+	}
+	if got := s.recordsOut.Load(); got != uint64(tr.NumRecords()) {
+		t.Fatalf("drained %d of %d records into windows", got, tr.NumRecords())
+	}
+	if s.windowsOut.Load() == 0 {
+		t.Fatal("no windows delivered")
+	}
+	st := s.stream.Stats()
+	if st.Solved != uint64(tr.NumRecords()) || st.WindowsFailed != 0 {
+		t.Fatalf("final stats: %+v", st)
+	}
+	if st.SolveLatency.N != int(s.windowsOut.Load()) {
+		t.Fatalf("latency histogram has %d samples for %d windows", st.SolveLatency.N, s.windowsOut.Load())
+	}
+}
+
+// A connection speaking garbage must be rejected without disturbing a
+// well-formed stream on another connection.
+func TestServeRejectsGarbageConnection(t *testing.T) {
+	tr, err := domo.Simulate(domo.SimConfig{NumNodes: 10, Duration: time.Minute, DataPeriod: 20 * time.Second, Seed: 8, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var wireBytes bytes.Buffer
+	if err := tr.EncodeWire(&wireBytes); err != nil {
+		t.Fatalf("EncodeWire: %v", err)
+	}
+	s, err := newServer(options{
+		listen:   "127.0.0.1:0",
+		httpAddr: "127.0.0.1:0",
+		nodes:    tr.NumNodes(),
+		window:   16,
+		queue:    64,
+	})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.run(ctx) }()
+
+	bad, err := net.Dial("tcp", s.ingest.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	bad.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	bad.Close()
+
+	good, err := net.Dial("tcp", s.ingest.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if _, err := good.Write(wireBytes.Bytes()); err != nil {
+		t.Fatalf("writing wire stream: %v", err)
+	}
+	good.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.stream.Stats().Received != uint64(tr.NumRecords()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("good stream not ingested: %+v", s.stream.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := s.recordsOut.Load(); got != uint64(tr.NumRecords()) {
+		t.Fatalf("drained %d of %d records", got, tr.NumRecords())
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o := parseFlags([]string{"-nodes", "50", "-drop-oldest"})
+	if o.nodes != 50 || !o.dropOldest || o.window != 96 || o.queue != 1024 || !o.sanitize {
+		t.Fatalf("parsed options: %+v", o)
+	}
+}

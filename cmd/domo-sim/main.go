@@ -2,16 +2,23 @@
 // with Domo node-side instrumentation and writes the resulting trace
 // (sink-side records plus hidden ground truth) as JSON.
 //
+// With -format wire (or an output name ending in .bin or .wire) the trace
+// is written in the compact binary wire format instead — the format
+// domo-serve ingests over TCP and domo-recon auto-detects.
+//
 // Usage:
 //
 //	domo-sim -nodes 100 -duration 10m -o trace.json
 //	domo-sim -nodes 400 -period 30s -loss 0.2 -o lossy.json
+//	domo-sim -nodes 100 -o trace.bin            # binary wire format
+//	domo-sim -nodes 100 -format wire | nc sinkhost 9750
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	domo "github.com/domo-net/domo"
@@ -33,8 +40,20 @@ func run() error {
 		loss     = flag.Float64("loss", 0, "extra random record loss rate injected post-hoc [0,1)")
 		logs     = flag.Bool("logs", true, "record MessageTracing-style node logs")
 		out      = flag.String("o", "", "output file (default stdout)")
+		format   = flag.String("format", "auto", "output format: json|wire|auto (auto picks wire for .bin/.wire files)")
 	)
 	flag.Parse()
+	switch *format {
+	case "auto":
+		if strings.HasSuffix(*out, ".bin") || strings.HasSuffix(*out, ".wire") {
+			*format = "wire"
+		} else {
+			*format = "json"
+		}
+	case "json", "wire":
+	default:
+		return fmt.Errorf("unknown -format %q (want json, wire, or auto)", *format)
+	}
 
 	tr, err := domo.Simulate(domo.SimConfig{
 		NumNodes:   *nodes,
@@ -66,10 +85,15 @@ func run() error {
 		}()
 		w = f
 	}
-	if err := tr.Write(w); err != nil {
+	if *format == "wire" {
+		err = tr.EncodeWire(w)
+	} else {
+		err = tr.Write(w)
+	}
+	if err != nil {
 		return fmt.Errorf("writing trace: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "simulated %d nodes for %v: %d packets delivered\n",
-		*nodes, *duration, tr.NumRecords())
+	fmt.Fprintf(os.Stderr, "simulated %d nodes for %v: %d packets delivered (%s)\n",
+		*nodes, *duration, tr.NumRecords(), *format)
 	return nil
 }

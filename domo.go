@@ -212,6 +212,27 @@ func (r *SanitizeReport) String() string {
 	return s
 }
 
+// Merge folds another report into r in place: counters add, per-reason
+// counts add, and the quarantined-record list appends. Use it to aggregate
+// the per-batch reports of a long collection campaign (or of several ingest
+// connections) into one tally; accumulating n reports is linear overall,
+// not quadratic. The other report is not modified; merging nil is a no-op.
+func (r *SanitizeReport) Merge(o *SanitizeReport) {
+	if o == nil {
+		return
+	}
+	r.Input += o.Input
+	r.Kept += o.Kept
+	r.Quarantined += o.Quarantined
+	if len(o.ByReason) > 0 && r.ByReason == nil {
+		r.ByReason = make(map[string]int, len(o.ByReason))
+	}
+	for reason, n := range o.ByReason {
+		r.ByReason[reason] += n
+	}
+	r.Records = append(r.Records, o.Records...)
+}
+
 func fromInternalReport(rep *trace.SanitizeReport) *SanitizeReport {
 	out := &SanitizeReport{
 		Input:       rep.Input,

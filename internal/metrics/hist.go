@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyHist is a fixed-bucket log-spaced latency histogram for hot-path
+// instrumentation: Observe is lock-free (one atomic add plus a CAS loop for
+// the max), so solver goroutines can record while a status endpoint reads.
+// The buckets are fixed at construction-free package constants — 10µs to
+// ~160s doubling per bucket — so histograms from different runs and
+// processes are always mergeable bucket-for-bucket.
+//
+// The zero value is ready to use.
+type LatencyHist struct {
+	counts [histBuckets + 1]atomic.Uint64 // last bucket is the overflow
+	sum    atomic.Int64                   // nanoseconds, for the exact mean
+	maxNS  atomic.Int64                   // exact maximum
+}
+
+const (
+	// histMin is the upper edge of the first bucket; anything at or below
+	// lands there. Window solves are ms-scale, so 10µs headroom is plenty.
+	histMin = 10 * time.Microsecond
+	// histBuckets doubles from histMin: the last finite edge is
+	// histMin·2^23 ≈ 167s; beyond that is the overflow bucket.
+	histBuckets = 24
+)
+
+// histBucketIndex maps a duration to its bucket.
+func histBucketIndex(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	// ceil(log2(d/histMin)) via successive doubling; 24 iterations max.
+	edge := histMin
+	for i := 1; i < histBuckets; i++ {
+		edge *= 2
+		if d <= edge {
+			return i
+		}
+	}
+	return histBuckets
+}
+
+// HistBucket is one bucket of a histogram snapshot: Count observations at
+// most Le (the overflow bucket has Le < 0).
+type HistBucket struct {
+	Le    time.Duration
+	Count uint64
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histBucketIndex(d)].Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Buckets returns a snapshot of the non-empty buckets in edge order.
+func (h *LatencyHist) Buckets() []HistBucket {
+	out := make([]HistBucket, 0, histBuckets)
+	edge := histMin
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			out = append(out, HistBucket{Le: edge, Count: c})
+		}
+		edge *= 2
+	}
+	if c := h.counts[histBuckets].Load(); c > 0 {
+		out = append(out, HistBucket{Le: -1, Count: c})
+	}
+	return out
+}
+
+// Quantile returns the p-quantile (p in [0, 1]) as the upper edge of the
+// bucket containing it — an upper bound within one bucket factor (2×) of
+// the true value. The overflow bucket reports the exact observed maximum.
+func (h *LatencyHist) Quantile(p float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	edge := histMin
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return edge
+		}
+		edge *= 2
+	}
+	return time.Duration(h.maxNS.Load())
+}
+
+// Summary folds the histogram into the package's order-statistic summary
+// (values in milliseconds, like Summarize over raw samples): the mean and
+// max are exact, the median and P90 are bucket-edge upper bounds.
+func (h *LatencyHist) Summary() Summary {
+	total := h.Count()
+	if total == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      int(total),
+		Mean:   toMS(time.Duration(h.sum.Load() / int64(total))),
+		Median: toMS(h.Quantile(0.5)),
+		P90:    toMS(h.Quantile(0.9)),
+		Max:    toMS(time.Duration(h.maxNS.Load())),
+	}
+}
+
+// Merge adds another histogram's observations into h. Buckets are fixed
+// package-wide, so histograms merge bucket-for-bucket.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	if o == nil {
+		return
+	}
+	for i := range h.counts {
+		if c := o.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+	for {
+		cur := h.maxNS.Load()
+		om := o.maxNS.Load()
+		if om <= cur || h.maxNS.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// String renders the non-empty buckets compactly, e.g.
+// "n=12 ≤10ms:3 ≤20ms:8 ≤40ms:1".
+func (h *LatencyHist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", h.Count())
+	for _, bk := range h.Buckets() {
+		if bk.Le < 0 {
+			fmt.Fprintf(&b, " >%v:%d", histMin*(1<<(histBuckets-1)), bk.Count)
+			continue
+		}
+		fmt.Fprintf(&b, " ≤%v:%d", bk.Le, bk.Count)
+	}
+	return b.String()
+}

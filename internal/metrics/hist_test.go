@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistBucketing(t *testing.T) {
+	var h LatencyHist
+	h.Observe(0)                     // clamps into the first bucket
+	h.Observe(10 * time.Microsecond) // exactly the first edge
+	h.Observe(11 * time.Microsecond) // just past it
+	h.Observe(5 * time.Millisecond)
+	h.Observe(300 * time.Second) // past the last finite edge
+
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	buckets := h.Buckets()
+	if len(buckets) != 4 {
+		t.Fatalf("buckets = %+v, want 4 non-empty", buckets)
+	}
+	if buckets[0].Le != 10*time.Microsecond || buckets[0].Count != 2 {
+		t.Errorf("first bucket = %+v", buckets[0])
+	}
+	if buckets[1].Le != 20*time.Microsecond || buckets[1].Count != 1 {
+		t.Errorf("second bucket = %+v", buckets[1])
+	}
+	if last := buckets[len(buckets)-1]; last.Le >= 0 || last.Count != 1 {
+		t.Errorf("overflow bucket = %+v", last)
+	}
+}
+
+func TestLatencyHistQuantileAndSummary(t *testing.T) {
+	var h LatencyHist
+	for i := 0; i < 90; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	// 2ms lands in the (1.28ms, 2.56ms] bucket; 100ms in (81.92, 163.84].
+	if q := h.Quantile(0.5); q != 2560*time.Microsecond {
+		t.Errorf("median = %v", q)
+	}
+	if q := h.Quantile(0.95); q != 163840*time.Microsecond {
+		t.Errorf("p95 = %v", q)
+	}
+	s := h.Summary()
+	if s.N != 100 {
+		t.Fatalf("N = %d", s.N)
+	}
+	wantMean := (90*2.0 + 10*100.0) / 100
+	if diff := s.Mean - wantMean; diff < -0.001 || diff > 0.001 {
+		t.Errorf("mean = %g ms, want %g", s.Mean, wantMean)
+	}
+	if s.Max != 100 {
+		t.Errorf("max = %g ms, want exact 100", s.Max)
+	}
+	if s.Median < 2 || s.Median > 2.56 {
+		t.Errorf("median = %g ms outside bucket bound", s.Median)
+	}
+}
+
+func TestLatencyHistEmpty(t *testing.T) {
+	var h LatencyHist
+	if h.Count() != 0 || len(h.Buckets()) != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not empty")
+	}
+	if s := h.Summary(); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestLatencyHistMerge(t *testing.T) {
+	var a, b LatencyHist
+	a.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	b.Observe(3 * time.Millisecond)
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if s := a.Summary(); s.Max != 1000 {
+		t.Fatalf("merged max = %g ms", s.Max)
+	}
+}
+
+// Concurrent observers and readers must be race-clean (run under -race in
+// CI) and lose no samples.
+func TestLatencyHistConcurrency(t *testing.T) {
+	var h LatencyHist
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+				if i%100 == 0 {
+					h.Buckets()
+					h.Summary()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+}

@@ -1,0 +1,444 @@
+// Package stream turns Domo's batch reconstruction into an online service:
+// an Engine consumes packet records one at a time (as a sink delivers
+// them), sanitizes each record on admission, accumulates records into
+// ε-aligned sliding windows, and on every window closure runs the existing
+// parallel estimation pipeline (core.EstimateCtx, including the PR-2
+// snapshot/workspace machinery and per-window fault isolation) over just
+// that window's records. Closed-window state is evicted as soon as the
+// result is delivered, so memory stays bounded no matter how long the
+// stream runs.
+//
+// Ingestion is decoupled from solving by a bounded queue with an explicit
+// backpressure policy: PolicyBlock makes Push wait for the solver
+// (lossless, producer-paced), PolicyDropOldest sheds the oldest queued
+// record and keeps accepting (lossy, stream-paced); every shed record is
+// counted in Stats. Results are delivered per closed window over a
+// channel; a slow consumer stalls the solver, which fills the queue, which
+// engages the same backpressure — overload never grows memory without
+// bound.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/domo-net/domo/internal/core"
+	"github.com/domo-net/domo/internal/metrics"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// Engine errors.
+var (
+	// ErrClosed is returned by Push after Close.
+	ErrClosed = errors.New("stream: engine closed")
+)
+
+// Policy selects what Push does when the ingest queue is full.
+type Policy int
+
+// Backpressure policies.
+const (
+	// PolicyBlock makes Push wait until the solver frees queue space:
+	// lossless, and the producer runs at the solver's pace.
+	PolicyBlock Policy = iota
+	// PolicyDropOldest sheds the oldest queued record to admit the new
+	// one: Push never blocks, the reconstruction stays current, and every
+	// shed record is counted in Stats.Dropped.
+	PolicyDropOldest
+)
+
+// Config tunes an Engine. NumNodes is required; everything else defaults.
+type Config struct {
+	// NumNodes is the deployment size (including the sink), needed by the
+	// per-record sanitizer and the window datasets.
+	NumNodes int
+	// Core tunes the per-window reconstruction exactly like the offline
+	// path (same struct, same defaults).
+	Core core.Config
+	// WindowRecords is the record count at which a window becomes eligible
+	// to close. Default 96 (two offline solver windows).
+	WindowRecords int
+	// AlignGap is ε for window alignment: an eligible window keeps
+	// absorbing records while the next record's sink arrival is within
+	// AlignGap of the last absorbed one, so back-to-back deliveries — the
+	// packets the Eq. 8 variance objective pairs up — are never split
+	// across a window boundary. Default 1ms (frame-airtime scale).
+	AlignGap time.Duration
+	// MaxWindowSlack caps how many extra records the ε-alignment may
+	// absorb past WindowRecords before the window closes unconditionally.
+	// Default WindowRecords/2.
+	MaxWindowSlack int
+	// QueueCap bounds the ingest queue. Default 1024.
+	QueueCap int
+	// Policy selects the backpressure behavior when the queue is full.
+	Policy Policy
+	// Sanitize passes every record through the streaming per-record
+	// sanitizer (trace.Sanitizer) on admission; rejects are quarantined
+	// and tallied instead of poisoning a window's constraint system.
+	Sanitize bool
+	// SanitizeOpts tunes the sanitizer when Sanitize is set (zero value =
+	// the batch Sanitize defaults).
+	SanitizeOpts trace.SanitizeOptions
+	// ResultBuffer is the capacity of the results channel. Default 4.
+	ResultBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowRecords <= 0 {
+		c.WindowRecords = 96
+	}
+	if c.AlignGap <= 0 {
+		c.AlignGap = time.Millisecond
+	}
+	if c.MaxWindowSlack <= 0 {
+		c.MaxWindowSlack = c.WindowRecords / 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.ResultBuffer <= 0 {
+		c.ResultBuffer = 4
+	}
+	return c
+}
+
+// WindowResult is one closed window's reconstruction. Trace holds exactly
+// the window's admitted records in sink-arrival order; Est is the solved
+// estimate over that sub-trace (identical to running the offline estimator
+// on the same records with the same core.Config). Err is non-nil only when
+// the window could not be solved at all (context cancellation, or a
+// constraint system the dataset builder rejects); per-window solver
+// failures degrade inside Est as in the offline path.
+type WindowResult struct {
+	// Index numbers closed windows from zero.
+	Index int
+	// Seq is the half-open admitted-record range [Start, End) this window
+	// covers, counted over admitted (post-sanitize) records.
+	SeqStart, SeqEnd int
+	Trace            *trace.Trace
+	Est              *core.Estimates
+	SolveTime        time.Duration
+	Err              error
+}
+
+// Stats is a snapshot of the engine's accounting. All counters are
+// cumulative since Open. Conservation: Received = Dropped + Quarantined +
+// Solving-side admitted, and admitted = Solved + QueueDepth + Buffered.
+type Stats struct {
+	// Received counts every record handed to Push.
+	Received uint64
+	// Dropped counts records shed by PolicyDropOldest.
+	Dropped uint64
+	// Quarantined counts records the per-record sanitizer rejected.
+	Quarantined uint64
+	// Solved counts records in closed, delivered windows.
+	Solved uint64
+	// QueueDepth/QueueMax are the current and high-water ingest queue
+	// occupancy; Buffered is the open window's record count.
+	QueueDepth int
+	QueueMax   int
+	Buffered   int
+	// Windows counts delivered windows; WindowsFailed those with Err set;
+	// DegradedWindows sums the solver's per-window degradations.
+	Windows         uint64
+	WindowsFailed   uint64
+	RetriedWindows  uint64
+	DegradedWindows uint64
+	// Lag is the stream-time distance between the newest received record's
+	// sink arrival and the end of the last delivered window — how far
+	// behind live traffic the reconstruction runs.
+	Lag time.Duration
+	// SolveLatency summarizes per-window wall-clock solve latency
+	// (milliseconds, like metrics.Summarize).
+	SolveLatency metrics.Summary
+	// SolveBuckets is the latency histogram behind SolveLatency.
+	SolveBuckets []metrics.HistBucket
+}
+
+// Engine is the online reconstruction engine. Open one with Open, feed it
+// with Push (any number of goroutines), consume Results, then Close to
+// drain and flush.
+type Engine struct {
+	cfg Config
+	ctx context.Context
+
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	queue    []*trace.Record // FIFO; head at [0], bounded by cfg.QueueCap
+	closed   bool
+	stats    Stats
+
+	san  *trace.Sanitizer // nil unless cfg.Sanitize
+	hist metrics.LatencyHist
+
+	// newestArrival / deliveredEnd drive the Lag stat.
+	newestArrival time.Duration
+	deliveredEnd  time.Duration
+
+	results chan *WindowResult
+	done    chan struct{}
+}
+
+// Open starts an engine. The context is threaded into every window solve:
+// canceling it aborts in-flight solves, fails the remaining windows, and
+// unblocks a blocked Push.
+func Open(ctx context.Context, cfg Config) (*Engine, error) {
+	if cfg.NumNodes < 2 {
+		return nil, fmt.Errorf("stream: config with %d nodes", cfg.NumNodes)
+	}
+	c := cfg.withDefaults()
+	e := &Engine{
+		cfg:     c,
+		ctx:     ctx,
+		results: make(chan *WindowResult, c.ResultBuffer),
+		done:    make(chan struct{}),
+	}
+	e.notFull = sync.NewCond(&e.mu)
+	e.notEmpty = sync.NewCond(&e.mu)
+	if c.Sanitize {
+		e.san = trace.NewSanitizer(c.NumNodes, c.SanitizeOpts)
+	}
+	go e.run()
+	// A canceled context must wake a Push blocked on a full queue even if
+	// the solver is stuck inside a long solve.
+	go func() {
+		select {
+		case <-ctx.Done():
+			e.mu.Lock()
+			e.notFull.Broadcast()
+			e.notEmpty.Broadcast()
+			e.mu.Unlock()
+		case <-e.done:
+		}
+	}()
+	return e, nil
+}
+
+// Push hands one record to the engine. Under PolicyBlock it waits for
+// queue space (returning ctx.Err if the engine's context dies first);
+// under PolicyDropOldest it never blocks. Push after Close returns
+// ErrClosed. Safe for concurrent use.
+func (e *Engine) Push(r *trace.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.stats.Received++
+	if time.Duration(r.SinkArrival) > e.newestArrival {
+		e.newestArrival = time.Duration(r.SinkArrival)
+	}
+	for len(e.queue) >= e.cfg.QueueCap {
+		if e.cfg.Policy == PolicyDropOldest {
+			e.queue[0] = nil // release the record, not just the slot
+			e.queue = e.queue[1:]
+			e.stats.Dropped++
+			break
+		}
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+		e.notFull.Wait()
+		if e.closed {
+			return ErrClosed
+		}
+	}
+	e.queue = append(e.queue, r)
+	if len(e.queue) > e.stats.QueueMax {
+		e.stats.QueueMax = len(e.queue)
+	}
+	e.notEmpty.Signal()
+	return nil
+}
+
+// Results returns the closed-window delivery channel. It is closed after
+// Close (or context cancellation) once the final partial window has been
+// flushed. A consumer must keep draining it: the solver blocks on delivery,
+// and a full queue then exerts the configured backpressure on Push.
+func (e *Engine) Results() <-chan *WindowResult { return e.results }
+
+// Stats returns a snapshot of the accounting.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapshotLocked()
+}
+
+func (e *Engine) snapshotLocked() Stats {
+	s := e.stats
+	s.QueueDepth = len(e.queue)
+	if e.newestArrival > e.deliveredEnd {
+		s.Lag = e.newestArrival - e.deliveredEnd
+	}
+	s.SolveLatency = e.hist.Summary()
+	s.SolveBuckets = e.hist.Buckets()
+	return s
+}
+
+// SanitizeReport returns a snapshot of the accumulated per-record
+// quarantine report, or nil when sanitization is off.
+func (e *Engine) SanitizeReport() *trace.SanitizeReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.san == nil {
+		return nil
+	}
+	return e.san.Report()
+}
+
+// Close stops ingestion, waits for the solver to drain the queue and flush
+// the final partial window, and closes the results channel. The caller
+// must be draining Results (or do so concurrently), otherwise the flush
+// cannot deliver. Close is idempotent; it returns the engine context's
+// error if cancellation cut the drain short.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		e.notEmpty.Broadcast()
+		e.notFull.Broadcast()
+	}
+	e.mu.Unlock()
+	<-e.done
+	return e.ctx.Err()
+}
+
+// pop blocks until a record is available or ingestion has finished. The
+// second result is false when the queue is drained and closed.
+func (e *Engine) pop() (*trace.Record, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 {
+		if e.closed || e.ctx.Err() != nil {
+			return nil, false
+		}
+		e.notEmpty.Wait()
+	}
+	r := e.queue[0]
+	e.queue[0] = nil // release the slot for the collector
+	e.queue = e.queue[1:]
+	e.notFull.Signal()
+	return r, true
+}
+
+// run is the solver loop: admit records into the open window, close and
+// solve windows as they fill, flush the tail on shutdown.
+func (e *Engine) run() {
+	defer close(e.done)
+	defer close(e.results)
+	var (
+		buf      []*trace.Record // open window, admission order
+		windowIx int
+		seqBase  int // admitted-record index of buf[0]
+	)
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		res := e.solveWindow(windowIx, seqBase, buf)
+		windowIx++
+		seqBase += len(buf)
+		// Evict the closed window's state before delivery blocks: the
+		// records now live only in the result the consumer asked for.
+		buf = nil
+		e.mu.Lock()
+		e.stats.Buffered = 0
+		e.mu.Unlock()
+		select {
+		case e.results <- res:
+			return true
+		case <-e.ctx.Done():
+			return false
+		}
+	}
+	for {
+		r, ok := e.pop()
+		if !ok {
+			break
+		}
+		if e.san != nil {
+			e.mu.Lock()
+			_, admitted := e.san.Admit(r)
+			if !admitted {
+				e.stats.Quarantined++
+				e.mu.Unlock()
+				continue
+			}
+			e.mu.Unlock()
+		}
+		// ε-aligned closure: an eligible window closes before absorbing a
+		// record that arrives more than AlignGap after its last one, or
+		// unconditionally at the slack cap. A retrograde arrival (gap < 0,
+		// ingest connections interleaving out of order) belongs time-wise
+		// inside the open window and is always absorbed.
+		if len(buf) >= e.cfg.WindowRecords {
+			gap := r.SinkArrival - buf[len(buf)-1].SinkArrival
+			if gap > e.cfg.AlignGap ||
+				len(buf) >= e.cfg.WindowRecords+e.cfg.MaxWindowSlack {
+				if !flush() {
+					return
+				}
+			}
+		}
+		buf = append(buf, r)
+		e.mu.Lock()
+		e.stats.Buffered = len(buf)
+		e.mu.Unlock()
+	}
+	if e.ctx.Err() == nil {
+		flush()
+	}
+}
+
+// solveWindow builds the window sub-trace and runs the offline estimation
+// pipeline over it. Closed-window state is confined to the result.
+func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record) *WindowResult {
+	res := &WindowResult{Index: index, SeqStart: seqBase, SeqEnd: seqBase + len(buf)}
+	begin := time.Now()
+	wtr := &trace.Trace{
+		NumNodes: e.cfg.NumNodes,
+		Records:  append([]*trace.Record(nil), buf...),
+	}
+	// Multiple ingest connections can interleave slightly out of
+	// sink-arrival order; datasets require the invariant.
+	sort.SliceStable(wtr.Records, func(i, j int) bool {
+		return wtr.Records[i].SinkArrival < wtr.Records[j].SinkArrival
+	})
+	wtr.Duration = wtr.Records[len(wtr.Records)-1].SinkArrival
+	res.Trace = wtr
+
+	ds, err := core.NewDataset(wtr, e.cfg.Core)
+	if err != nil {
+		res.Err = fmt.Errorf("window %d dataset: %w", index, err)
+	} else {
+		est, err := core.EstimateCtx(e.ctx, ds)
+		res.Est = est
+		if err != nil {
+			res.Err = fmt.Errorf("window %d solve: %w", index, err)
+		}
+	}
+	res.SolveTime = time.Since(begin)
+
+	e.mu.Lock()
+	e.stats.Windows++
+	if res.Err != nil {
+		e.stats.WindowsFailed++
+	} else {
+		e.stats.Solved += uint64(len(buf))
+	}
+	if res.Est != nil {
+		e.stats.RetriedWindows += uint64(res.Est.Stats.RetriedWindows)
+		e.stats.DegradedWindows += uint64(res.Est.Stats.DegradedWindows)
+	}
+	if end := time.Duration(wtr.Records[len(wtr.Records)-1].SinkArrival); end > e.deliveredEnd {
+		e.deliveredEnd = end
+	}
+	e.mu.Unlock()
+	e.hist.Observe(res.SolveTime)
+	return res
+}

@@ -1,0 +1,406 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/core"
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// relayRecords builds a FIFO-consistent workload through a single relay
+// (leaf sources 2..4 → relay 1 → sink 0) with Algorithm-1 S(p) computed
+// from first principles, in sink-arrival order — the record stream a sink
+// would emit live.
+func relayRecords(rng *rand.Rand, n int) (numNodes int, recs []*trace.Record) {
+	const relay = radio.NodeID(1)
+	leaves := []radio.NodeID{2, 3, 4}
+	seqs := map[radio.NodeID]uint32{}
+	var clock, gen sim.Time
+	var sumBuf sim.Time
+	for i := 0; i < n; i++ {
+		gen += sim.Time(5+rng.Intn(35)) * time.Millisecond
+		src := leaves[rng.Intn(len(leaves))]
+		seqs[src]++
+		leafSojourn := time.Millisecond + sim.Time(rng.Intn(8))*time.Millisecond
+		arrive := gen + leafSojourn
+		if arrive > clock {
+			clock = arrive
+		}
+		service := time.Millisecond + sim.Time(rng.Intn(10))*time.Millisecond
+		depart := clock + service
+		clock = depart
+		sumBuf += depart - arrive
+		recs = append(recs, &trace.Record{
+			ID:            trace.PacketID{Source: src, Seq: seqs[src]},
+			Path:          []radio.NodeID{src, relay, 0},
+			GenTime:       gen,
+			SinkArrival:   depart,
+			SumDelays:     leafSojourn - leafSojourn%time.Millisecond,
+			TruthArrivals: []sim.Time{gen, arrive, depart},
+		})
+	}
+	_ = sumBuf
+	return 5, recs
+}
+
+// feed pushes every record then closes, while the caller drains Results.
+func feed(t *testing.T, e *Engine, recs []*trace.Record) {
+	t.Helper()
+	go func() {
+		for _, r := range recs {
+			if err := e.Push(r); err != nil {
+				t.Errorf("Push(%v): %v", r.ID, err)
+				break
+			}
+		}
+		e.Close()
+	}()
+}
+
+// The tentpole property: every closed window's estimate must be
+// bit-identical to running the offline estimator over the same records
+// with the same configuration.
+func TestStreamMatchesOfflineBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	numNodes, recs := relayRecords(rng, 150)
+	coreCfg := core.Config{WindowPackets: 12, EstimateWorkers: 2}
+	eng, err := Open(context.Background(), Config{
+		NumNodes:      numNodes,
+		Core:          coreCfg,
+		WindowRecords: 24,
+		QueueCap:      32,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	feed(t, eng, recs)
+
+	var results []*WindowResult
+	for res := range eng.Results() {
+		results = append(results, res)
+	}
+	if len(results) < 4 {
+		t.Fatalf("only %d windows closed", len(results))
+	}
+
+	covered := 0
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("window %d failed: %v", res.Index, res.Err)
+		}
+		if res.SeqStart != covered {
+			t.Fatalf("window %d starts at %d, want %d", res.Index, res.SeqStart, covered)
+		}
+		covered = res.SeqEnd
+
+		ds, err := core.NewDataset(res.Trace, coreCfg)
+		if err != nil {
+			t.Fatalf("offline dataset for window %d: %v", res.Index, err)
+		}
+		offline, err := core.Estimate(ds)
+		if err != nil {
+			t.Fatalf("offline estimate for window %d: %v", res.Index, err)
+		}
+		for _, r := range res.Trace.Records {
+			got, err := res.Est.Arrivals(r.ID)
+			if err != nil {
+				t.Fatalf("stream arrivals(%v): %v", r.ID, err)
+			}
+			want, err := offline.Arrivals(r.ID)
+			if err != nil {
+				t.Fatalf("offline arrivals(%v): %v", r.ID, err)
+			}
+			for hop := range want {
+				if got[hop] != want[hop] {
+					t.Fatalf("window %d packet %v hop %d: stream %v != offline %v",
+						res.Index, r.ID, hop, got[hop], want[hop])
+				}
+			}
+		}
+	}
+	if covered != len(recs) {
+		t.Fatalf("windows covered %d of %d records", covered, len(recs))
+	}
+
+	st := eng.Stats()
+	if st.Received != uint64(len(recs)) || st.Dropped != 0 || st.Quarantined != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Solved != uint64(len(recs)) {
+		t.Fatalf("Solved = %d, want %d", st.Solved, len(recs))
+	}
+	if st.SolveLatency.N != len(results) {
+		t.Fatalf("latency samples = %d, want %d", st.SolveLatency.N, len(results))
+	}
+}
+
+// Overload with PolicyDropOldest: queue depth stays bounded, drops are
+// counted exactly, and every admitted record lands in exactly one window.
+func TestBackpressureDropOldestAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	numNodes, recs := relayRecords(rng, 400)
+	eng, err := Open(context.Background(), Config{
+		NumNodes:      numNodes,
+		Core:          core.Config{WindowPackets: 8},
+		WindowRecords: 8,
+		QueueCap:      4,
+		ResultBuffer:  1,
+		Policy:        PolicyDropOldest,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Push everything before draining a single result: the solver jams on
+	// delivery, the queue fills, and the policy must shed.
+	for _, r := range recs {
+		if err := eng.Push(r); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	if st := eng.Stats(); st.QueueDepth > 4 || st.QueueMax > 4 {
+		t.Fatalf("queue exceeded cap: %+v", st)
+	}
+	go eng.Close()
+	windowed := 0
+	for res := range eng.Results() {
+		windowed += res.SeqEnd - res.SeqStart
+		if got := len(res.Trace.Records); got != res.SeqEnd-res.SeqStart {
+			t.Fatalf("window %d: %d records for range [%d,%d)", res.Index, got, res.SeqStart, res.SeqEnd)
+		}
+	}
+	st := eng.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("overload produced no drops")
+	}
+	if st.Received != uint64(len(recs)) {
+		t.Fatalf("Received = %d, want %d", st.Received, len(recs))
+	}
+	if got := st.Received - st.Dropped - st.Quarantined; got != uint64(windowed) {
+		t.Fatalf("conservation: received %d − dropped %d − quarantined %d = %d, but windows hold %d",
+			st.Received, st.Dropped, st.Quarantined, got, windowed)
+	}
+}
+
+// PolicyBlock is lossless: concurrent producers push through a tiny queue
+// and every record is reconstructed.
+func TestBackpressureBlockIsLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	numNodes, recs := relayRecords(rng, 120)
+	eng, err := Open(context.Background(), Config{
+		NumNodes:      numNodes,
+		Core:          core.Config{WindowPackets: 8},
+		WindowRecords: 16,
+		QueueCap:      2,
+		Policy:        PolicyBlock,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Two producers to exercise concurrent Push under -race.
+	var wg sync.WaitGroup
+	for half := 0; half < 2; half++ {
+		wg.Add(1)
+		go func(part []*trace.Record) {
+			defer wg.Done()
+			for _, r := range part {
+				if err := eng.Push(r); err != nil {
+					t.Errorf("Push: %v", err)
+					return
+				}
+			}
+		}(recs[half*len(recs)/2 : (half+1)*len(recs)/2])
+	}
+	go func() {
+		wg.Wait()
+		eng.Close()
+	}()
+	windowed := 0
+	for res := range eng.Results() {
+		windowed += len(res.Trace.Records)
+	}
+	st := eng.Stats()
+	if st.Dropped != 0 || windowed != len(recs) {
+		t.Fatalf("lossless policy lost records: windowed %d of %d, stats %+v", windowed, len(recs), st)
+	}
+}
+
+// Per-record sanitization quarantines corrupt records on admission and the
+// accumulated report matches a batch Sanitize of the same stream.
+func TestStreamSanitizeQuarantines(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	numNodes, recs := relayRecords(rng, 60)
+	// Corrupt a spread: a negative S(p), a looped path, and a duplicate.
+	bad1 := *recs[10]
+	bad1.SumDelays = -time.Millisecond
+	recs[10] = &bad1
+	bad2 := *recs[25]
+	bad2.Path = []radio.NodeID{bad2.ID.Source, bad2.ID.Source, 0}
+	recs[25] = &bad2
+	dup := *recs[40]
+	recs = append(recs, &dup)
+
+	eng, err := Open(context.Background(), Config{
+		NumNodes:      numNodes,
+		Core:          core.Config{WindowPackets: 8},
+		WindowRecords: 16,
+		QueueCap:      16,
+		Sanitize:      true,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	feed(t, eng, recs)
+	windowed := 0
+	for res := range eng.Results() {
+		windowed += len(res.Trace.Records)
+		for _, r := range res.Trace.Records {
+			if r.SumDelays < 0 {
+				t.Fatal("quarantined record reached a window")
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.Quarantined != 3 {
+		t.Fatalf("Quarantined = %d, want 3", st.Quarantined)
+	}
+	if windowed != len(recs)-3 {
+		t.Fatalf("windowed %d, want %d", windowed, len(recs)-3)
+	}
+	rep := eng.SanitizeReport()
+	if rep == nil || rep.Input != len(recs) || rep.Quarantined != 3 {
+		t.Fatalf("report: %v", rep)
+	}
+	if rep.ByReason[trace.ReasonNegativeSum] != 1 || rep.ByReason[trace.ReasonPathLoop] != 1 ||
+		rep.ByReason[trace.ReasonDuplicateID] != 1 {
+		t.Fatalf("report reasons: %v", rep.ByReason)
+	}
+}
+
+// ε-alignment: an eligible window keeps absorbing back-to-back arrivals
+// (gap ≤ AlignGap) up to the slack cap, and never splits them.
+func TestWindowEpsilonAlignment(t *testing.T) {
+	mk := func(seq uint32, at time.Duration) *trace.Record {
+		return &trace.Record{
+			ID:          trace.PacketID{Source: 1, Seq: seq},
+			Path:        []radio.NodeID{1, 0},
+			GenTime:     sim.Time(at - time.Millisecond),
+			SinkArrival: sim.Time(at),
+		}
+	}
+	var recs []*trace.Record
+	at := 100 * time.Millisecond
+	for i := 0; i < 4; i++ { // spaced well apart
+		if i > 0 {
+			at += 10 * time.Millisecond
+		}
+		recs = append(recs, mk(uint32(i+1), at))
+	}
+	for i := 0; i < 3; i++ { // burst glued to the 4th record
+		at += 500 * time.Microsecond
+		recs = append(recs, mk(uint32(i+5), at))
+	}
+	at += 10 * time.Millisecond
+	recs = append(recs, mk(8, at)) // clearly separated tail
+
+	eng, err := Open(context.Background(), Config{
+		NumNodes:       2,
+		WindowRecords:  4,
+		MaxWindowSlack: 3,
+		AlignGap:       time.Millisecond,
+		QueueCap:       16,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	feed(t, eng, recs)
+	var sizes []int
+	for res := range eng.Results() {
+		sizes = append(sizes, len(res.Trace.Records))
+	}
+	if len(sizes) != 2 || sizes[0] != 7 || sizes[1] != 1 {
+		t.Fatalf("window sizes = %v, want [7 1] (burst absorbed to the slack cap)", sizes)
+	}
+}
+
+// Cancellation kills the engine: a blocked Push unblocks with the context
+// error, the results channel closes, and Close reports the cause.
+func TestStreamCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	numNodes, recs := relayRecords(rng, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	eng, err := Open(ctx, Config{
+		NumNodes:      numNodes,
+		Core:          core.Config{WindowPackets: 8},
+		WindowRecords: 8,
+		QueueCap:      2,
+		ResultBuffer:  1,
+		Policy:        PolicyBlock,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	pushErr := make(chan error, 1)
+	go func() {
+		// Nobody drains results, so with a tiny queue this producer must
+		// eventually block — until cancel unblocks it.
+		for _, r := range recs {
+			if err := eng.Push(r); err != nil {
+				pushErr <- err
+				return
+			}
+		}
+		pushErr <- nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-pushErr:
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, ErrClosed) {
+			t.Fatalf("Push returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Push still blocked after cancel")
+	}
+	go func() {
+		for range eng.Results() {
+		}
+	}()
+	if err := eng.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close = %v, want context.Canceled", err)
+	}
+	if err := eng.Push(recs[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Push after close = %v, want ErrClosed", err)
+	}
+}
+
+// Closing with a partially filled window flushes it.
+func TestCloseFlushesPartialWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	numNodes, recs := relayRecords(rng, 10)
+	eng, err := Open(context.Background(), Config{
+		NumNodes:      numNodes,
+		WindowRecords: 64,
+		QueueCap:      16,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	feed(t, eng, recs)
+	var results []*WindowResult
+	for res := range eng.Results() {
+		results = append(results, res)
+	}
+	if len(results) != 1 || len(results[0].Trace.Records) != len(recs) {
+		t.Fatalf("flush delivered %d windows", len(results))
+	}
+	if lag := eng.Stats().Lag; lag != 0 {
+		t.Fatalf("drained engine reports lag %v", lag)
+	}
+}

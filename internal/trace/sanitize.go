@@ -148,6 +148,86 @@ func (r *SanitizeReport) String() string {
 	return s
 }
 
+// Merge folds another report into r in place: counters add, per-reason
+// counts add, and the quarantined-record list appends (amortized O(len(o)),
+// so accumulating per-record or per-batch streaming reports into one is
+// linear overall rather than quadratic re-copying). The other report is
+// not modified.
+func (r *SanitizeReport) Merge(o *SanitizeReport) {
+	if o == nil {
+		return
+	}
+	r.Input += o.Input
+	r.Kept += o.Kept
+	r.Quarantined += o.Quarantined
+	if len(o.ByReason) > 0 && r.ByReason == nil {
+		r.ByReason = make(map[QuarantineReason]int, len(o.ByReason))
+	}
+	for reason, n := range o.ByReason {
+		r.ByReason[reason] += n
+	}
+	r.Records = append(r.Records, o.Records...)
+}
+
+// Clone returns a deep copy of the report, safe to hand out while the
+// original keeps accumulating.
+func (r *SanitizeReport) Clone() *SanitizeReport {
+	out := &SanitizeReport{
+		Input:       r.Input,
+		Kept:        r.Kept,
+		Quarantined: r.Quarantined,
+		ByReason:    make(map[QuarantineReason]int, len(r.ByReason)),
+		Records:     append([]QuarantinedRecord(nil), r.Records...),
+	}
+	for reason, n := range r.ByReason {
+		out.ByReason[reason] = n
+	}
+	return out
+}
+
+// Sanitizer applies the Sanitize invariants one record at a time, for
+// ingestion paths where records arrive over a stream and batching the
+// whole trace first would defeat the point. It keeps the duplicate-id
+// state and the accumulated report across calls, so admitting every record
+// of a trace in order is equivalent to one batch Sanitize pass.
+type Sanitizer struct {
+	opts     SanitizeOptions
+	numNodes int
+	seen     map[PacketID]bool
+	report   SanitizeReport
+}
+
+// NewSanitizer returns a streaming sanitizer for a deployment of the given
+// size. Options are defaulted exactly like Trace.Sanitize.
+func NewSanitizer(numNodes int, opts SanitizeOptions) *Sanitizer {
+	return &Sanitizer{
+		opts:     opts.withDefaults(),
+		numNodes: numNodes,
+		seen:     make(map[PacketID]bool),
+		report:   SanitizeReport{ByReason: make(map[QuarantineReason]int)},
+	}
+}
+
+// Admit checks one record. Admitted records (ok true) count as kept and
+// join the duplicate-suppression state; rejected ones are tallied in the
+// accumulated report under the returned first-violated reason.
+func (s *Sanitizer) Admit(r *Record) (QuarantineReason, bool) {
+	s.report.Input++
+	if reason, bad := s.opts.check(r, s.numNodes, s.seen); bad {
+		s.report.Quarantined++
+		s.report.ByReason[reason]++
+		s.report.Records = append(s.report.Records, QuarantinedRecord{ID: r.ID, Reason: reason})
+		return reason, false
+	}
+	s.seen[r.ID] = true
+	s.report.Kept++
+	return 0, true
+}
+
+// Report returns a snapshot of the accumulated report; the sanitizer keeps
+// accumulating independently of the returned copy.
+func (s *Sanitizer) Report() *SanitizeReport { return s.report.Clone() }
+
 // Sanitize validates every record against the reconstruction's typed
 // invariants and returns a copy of the trace containing only the survivors
 // plus a report of what was quarantined and why. The input trace is not

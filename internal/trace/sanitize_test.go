@@ -135,3 +135,87 @@ func TestSanitizeDisabledChecks(t *testing.T) {
 		t.Fatalf("with checks disabled: %s", rep)
 	}
 }
+
+// A streaming Sanitizer admitting every record of a trace in order must be
+// exactly equivalent to one batch Sanitize pass: same kept set, same
+// report, duplicate-id state included.
+func TestSanitizerMatchesBatchSanitize(t *testing.T) {
+	tr := sampleTrace()
+	tr.NumNodes = 30
+	// Corrupt a spread of records plus a duplicate id so the streaming
+	// dedup state is exercised.
+	tr.Records[1].SumDelays = -ms(1)
+	dup := *tr.Records[0]
+	tr.Records = append(tr.Records, &dup)
+	tr.Records = append(tr.Records, sampleRecord(2, 2, 30, 34, 41))
+	tr.Records[len(tr.Records)-1].Path = tr.Records[len(tr.Records)-1].Path[:1]
+
+	_, batch := tr.Sanitize(SanitizeOptions{})
+
+	s := NewSanitizer(tr.NumNodes, SanitizeOptions{})
+	var kept []*Record
+	for _, r := range tr.Records {
+		if _, ok := s.Admit(r); ok {
+			kept = append(kept, r)
+		}
+	}
+	stream := s.Report()
+
+	if stream.Input != batch.Input || stream.Kept != batch.Kept || stream.Quarantined != batch.Quarantined {
+		t.Fatalf("streaming %s != batch %s", stream, batch)
+	}
+	if stream.String() != batch.String() {
+		t.Fatalf("streaming %s != batch %s", stream, batch)
+	}
+	if len(stream.Records) != len(batch.Records) {
+		t.Fatalf("%d quarantined records, want %d", len(stream.Records), len(batch.Records))
+	}
+	for i := range stream.Records {
+		if stream.Records[i] != batch.Records[i] {
+			t.Errorf("quarantined record %d: %v != %v", i, stream.Records[i], batch.Records[i])
+		}
+	}
+	if len(kept) != batch.Kept {
+		t.Fatalf("kept %d records, want %d", len(kept), batch.Kept)
+	}
+}
+
+// Report must snapshot: mutating the sanitizer afterwards cannot change an
+// already-taken report.
+func TestSanitizerReportIsSnapshot(t *testing.T) {
+	s := NewSanitizer(30, SanitizeOptions{})
+	bad := sampleRecord(1, 1, 0, 5, 12)
+	bad.SumDelays = -ms(1)
+	s.Admit(bad)
+	snap := s.Report()
+	s.Admit(sampleRecord(2, 1, 3, 9, 20))
+	s.Admit(bad)
+	if snap.Input != 1 || snap.Quarantined != 1 || len(snap.Records) != 1 {
+		t.Fatalf("snapshot changed under later admissions: %s", snap)
+	}
+}
+
+func TestSanitizeReportMerge(t *testing.T) {
+	var total SanitizeReport
+	reasons := []QuarantineReason{ReasonShortPath, ReasonNegativeSum, ReasonShortPath, ReasonDuplicateID}
+	for i, reason := range reasons {
+		part := &SanitizeReport{
+			Input:       2,
+			Kept:        1,
+			Quarantined: 1,
+			ByReason:    map[QuarantineReason]int{reason: 1},
+			Records:     []QuarantinedRecord{{ID: PacketID{Source: radio.NodeID(i), Seq: 1}, Reason: reason}},
+		}
+		total.Merge(part)
+	}
+	total.Merge(nil) // no-op
+	if total.Input != 8 || total.Kept != 4 || total.Quarantined != 4 {
+		t.Fatalf("merged totals: %s", &total)
+	}
+	if total.ByReason[ReasonShortPath] != 2 || total.ByReason[ReasonNegativeSum] != 1 || total.ByReason[ReasonDuplicateID] != 1 {
+		t.Fatalf("merged reasons: %v", total.ByReason)
+	}
+	if len(total.Records) != 4 || total.Records[2].ID.Source != 2 {
+		t.Fatalf("merged records: %v", total.Records)
+	}
+}

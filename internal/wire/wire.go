@@ -1,0 +1,430 @@
+// Package wire defines Domo's compact binary trace format: the bytes that
+// cross the network between a collecting sink and the PC-side
+// reconstruction service. A stream is a fixed magic+version header carrying
+// the deployment shape (node count, collection duration), followed by one
+// CRC-framed, length-prefixed record per delivered packet. Record payloads
+// mirror the paper's 4-byte in-band overhead philosophy: a fixed header
+// (source/seq, generation time, sink arrival, S(p)) plus a varint-encoded
+// routing path, so a typical record is a few tens of bytes instead of the
+// hundreds JSON needs.
+//
+// The format is versioned (byte after the magic) and strictly
+// length-prefixed, so a reader can skip records of a future minor version
+// and always resynchronizes on frame boundaries. Every frame carries a
+// CRC-32 (IEEE) over its payload; torn writes and corrupted links surface
+// as ErrCorrupt instead of silently wrong records.
+//
+// Ground-truth arrival times are an optional per-record section (flag bit),
+// present in simulator-written traces so accuracy evaluation keeps working
+// across a sim → file → recon process split, and absent on real
+// deployments. Node logs, positions, and other evaluation-only trace
+// baggage deliberately do not travel over the wire.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/bits"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// Format constants.
+const (
+	// Version is the current stream format version.
+	Version = 1
+
+	// MaxFrame bounds a single record frame's payload length. Real records
+	// are tens of bytes; the cap keeps a corrupted or hostile length prefix
+	// from forcing a huge allocation.
+	MaxFrame = 1 << 20
+
+	// MaxPathLen bounds a decoded record's hop count; no ad-hoc route is
+	// remotely this long, so larger values indicate corruption.
+	MaxPathLen = 4096
+)
+
+// magic opens every stream: "DMO" plus a format-break byte.
+var magic = [4]byte{'D', 'M', 'O', 0x01}
+
+// ErrCorrupt is returned for framing, CRC, and payload decoding failures.
+var ErrCorrupt = errors.New("wire: corrupt stream")
+
+// record payload flag bits.
+const (
+	flagTruth = 1 << 0 // ground-truth arrivals section present
+)
+
+// Header is the stream preamble: the deployment shape a reader needs
+// before it can sanitize or reconstruct records.
+type Header struct {
+	// NumNodes is the network size including the sink.
+	NumNodes int
+	// Duration is the collection duration, when known (simulator-written
+	// traces); zero for open-ended live streams.
+	Duration time.Duration
+}
+
+// AppendHeader appends the encoded stream header to dst.
+func AppendHeader(dst []byte, h Header) []byte {
+	dst = append(dst, magic[:]...)
+	dst = append(dst, Version)
+	dst = binary.AppendUvarint(dst, uint64(h.NumNodes))
+	dst = binary.AppendVarint(dst, int64(h.Duration))
+	return dst
+}
+
+// AppendRecord appends the encoded payload of one record to dst (no frame:
+// no length prefix, no CRC — see Writer for framing).
+func AppendRecord(dst []byte, r *trace.Record) []byte {
+	var flags byte
+	if len(r.TruthArrivals) == len(r.Path) && len(r.Path) > 0 {
+		flags |= flagTruth
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(uint32(r.ID.Source)))
+	dst = binary.AppendUvarint(dst, uint64(r.ID.Seq))
+	dst = binary.AppendVarint(dst, int64(r.GenTime))
+	// Sink arrival and the sum/measured delay fields are deltas from the
+	// generation time: small positive numbers that varint-encode short.
+	dst = binary.AppendVarint(dst, int64(r.SinkArrival-r.GenTime))
+	dst = binary.AppendVarint(dst, int64(r.SumDelays))
+	dst = binary.AppendVarint(dst, int64(r.E2EDelay))
+	dst = binary.AppendUvarint(dst, uint64(uint32(r.FirstHop)))
+	dst = binary.AppendUvarint(dst, uint64(r.PathHash))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Path)))
+	for _, n := range r.Path {
+		dst = binary.AppendUvarint(dst, uint64(uint32(n)))
+	}
+	if flags&flagTruth != 0 {
+		// Truth arrivals are monotone along the path, so successive deltas
+		// (first from GenTime) stay small and positive.
+		prev := r.GenTime
+		for _, t := range r.TruthArrivals {
+			dst = binary.AppendVarint(dst, int64(t-prev))
+			prev = t
+		}
+	}
+	return dst
+}
+
+// payloadReader walks an encoded record payload with bounds checking.
+type payloadReader struct {
+	buf []byte
+	off int
+}
+
+func (p *payloadReader) byte() (byte, error) {
+	if p.off >= len(p.buf) {
+		return 0, fmt.Errorf("truncated payload at %d: %w", p.off, ErrCorrupt)
+	}
+	b := p.buf[p.off]
+	p.off++
+	return b, nil
+}
+
+// uvarintLen is the minimal encoded length of v; the decoder rejects
+// padded encodings so every record has exactly one byte representation
+// (the fuzz harness relies on this to assert encode∘decode identity).
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.buf[p.off:])
+	if n <= 0 || n != uvarintLen(v) {
+		return 0, fmt.Errorf("bad uvarint at %d: %w", p.off, ErrCorrupt)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) varint() (int64, error) {
+	v, n := binary.Varint(p.buf[p.off:])
+	// Minimality is checked on the zigzag image, which is what varints
+	// actually encode.
+	if n <= 0 || n != uvarintLen(uint64(v)<<1^uint64(v>>63)) {
+		return 0, fmt.Errorf("bad varint at %d: %w", p.off, ErrCorrupt)
+	}
+	p.off += n
+	return v, nil
+}
+
+// DecodeRecord parses one record payload (as produced by AppendRecord).
+// All failures wrap ErrCorrupt; the input is never mutated and no input
+// can panic or over-allocate.
+func DecodeRecord(payload []byte) (*trace.Record, error) {
+	p := &payloadReader{buf: payload}
+	flags, err := p.byte()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^flagTruth != 0 {
+		return nil, fmt.Errorf("unknown record flags %#x: %w", flags, ErrCorrupt)
+	}
+	source, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if source > uint64(^uint32(0)) {
+		return nil, fmt.Errorf("source %d out of range: %w", source, ErrCorrupt)
+	}
+	seq, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if seq > uint64(^uint32(0)) {
+		return nil, fmt.Errorf("seq %d out of range: %w", seq, ErrCorrupt)
+	}
+	gen, err := p.varint()
+	if err != nil {
+		return nil, err
+	}
+	arrDelta, err := p.varint()
+	if err != nil {
+		return nil, err
+	}
+	sum, err := p.varint()
+	if err != nil {
+		return nil, err
+	}
+	e2e, err := p.varint()
+	if err != nil {
+		return nil, err
+	}
+	firstHop, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if firstHop > uint64(^uint32(0)) {
+		return nil, fmt.Errorf("first hop %d out of range: %w", firstHop, ErrCorrupt)
+	}
+	pathHash, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if pathHash > 0xffff {
+		return nil, fmt.Errorf("path hash %d out of range: %w", pathHash, ErrCorrupt)
+	}
+	pathLen, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if pathLen > MaxPathLen {
+		return nil, fmt.Errorf("path length %d exceeds %d: %w", pathLen, MaxPathLen, ErrCorrupt)
+	}
+	if flags&flagTruth != 0 && pathLen == 0 {
+		return nil, fmt.Errorf("truth flag on empty path: %w", ErrCorrupt)
+	}
+	// A hop is ≥1 payload byte, so cross-check the claimed length against
+	// the remaining bytes before allocating.
+	if int(pathLen) > len(payload)-p.off {
+		return nil, fmt.Errorf("path length %d exceeds payload: %w", pathLen, ErrCorrupt)
+	}
+	r := &trace.Record{
+		ID:          trace.PacketID{Source: radio.NodeID(int32(uint32(source))), Seq: uint32(seq)},
+		GenTime:     sim.Time(gen),
+		SinkArrival: sim.Time(gen + arrDelta),
+		SumDelays:   sim.Time(sum),
+		E2EDelay:    sim.Time(e2e),
+		FirstHop:    radio.NodeID(int32(uint32(firstHop))),
+		PathHash:    uint16(pathHash),
+		Path:        make([]radio.NodeID, pathLen),
+	}
+	for i := range r.Path {
+		n, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("path node %d out of range: %w", n, ErrCorrupt)
+		}
+		r.Path[i] = radio.NodeID(int32(uint32(n)))
+	}
+	if flags&flagTruth != 0 {
+		r.TruthArrivals = make([]sim.Time, pathLen)
+		prev := r.GenTime
+		for i := range r.TruthArrivals {
+			d, err := p.varint()
+			if err != nil {
+				return nil, err
+			}
+			prev += sim.Time(d)
+			r.TruthArrivals[i] = prev
+		}
+	}
+	if p.off != len(payload) {
+		return nil, fmt.Errorf("%d trailing payload bytes: %w", len(payload)-p.off, ErrCorrupt)
+	}
+	return r, nil
+}
+
+// Writer frames records onto an io.Writer: the stream header up front,
+// then one `len(u32 LE) | payload | crc32(payload)(u32 LE)` frame per
+// record. Output is buffered; call Flush before handing the underlying
+// writer to anyone else.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte // payload scratch, recycled across records
+}
+
+// NewWriter writes the stream header and returns a record writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if h.NumNodes < 2 {
+		return nil, fmt.Errorf("wire: header with %d nodes", h.NumNodes)
+	}
+	out := &Writer{bw: bufio.NewWriter(w)}
+	if _, err := out.bw.Write(AppendHeader(nil, h)); err != nil {
+		return nil, fmt.Errorf("writing stream header: %w", err)
+	}
+	return out, nil
+}
+
+// WriteRecord frames and writes one record.
+func (w *Writer) WriteRecord(r *trace.Record) error {
+	w.buf = AppendRecord(w.buf[:0], r)
+	if len(w.buf) > MaxFrame {
+		return fmt.Errorf("wire: record payload %d exceeds frame cap %d", len(w.buf), MaxFrame)
+	}
+	var frame [4]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(len(w.buf)))
+	if _, err := w.bw.Write(frame[:]); err != nil {
+		return fmt.Errorf("writing frame length: %w", err)
+	}
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return fmt.Errorf("writing frame payload: %w", err)
+	}
+	binary.LittleEndian.PutUint32(frame[:], crc32.ChecksumIEEE(w.buf))
+	if _, err := w.bw.Write(frame[:]); err != nil {
+		return fmt.Errorf("writing frame crc: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered frames to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("flushing wire stream: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes a framed stream written by Writer.
+type Reader struct {
+	br  *bufio.Reader
+	hdr Header
+	buf []byte // frame scratch, recycled across records
+}
+
+// NewReader consumes and validates the stream header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("reading magic: %w (%w)", err, ErrCorrupt)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("bad magic %x: %w", m, ErrCorrupt)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("reading version: %w (%w)", err, ErrCorrupt)
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("unsupported stream version %d (have %d): %w", ver, Version, ErrCorrupt)
+	}
+	nodes, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading node count: %w (%w)", err, ErrCorrupt)
+	}
+	if nodes < 2 || nodes > 1<<24 {
+		return nil, fmt.Errorf("implausible node count %d: %w", nodes, ErrCorrupt)
+	}
+	dur, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading duration: %w (%w)", err, ErrCorrupt)
+	}
+	if dur < 0 {
+		return nil, fmt.Errorf("negative duration %d: %w", dur, ErrCorrupt)
+	}
+	return &Reader{br: br, hdr: Header{NumNodes: int(nodes), Duration: time.Duration(dur)}}, nil
+}
+
+// Header returns the stream preamble.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next reads one record. It returns io.EOF at a clean end of stream, and
+// io.ErrUnexpectedEOF (wrapped in ErrCorrupt) when the stream ends inside
+// a frame. The returned record does not alias the reader's buffers.
+func (r *Reader) Next() (*trace.Record, error) {
+	var frame [4]byte
+	if _, err := io.ReadFull(r.br, frame[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("reading frame length: %w (%w)", err, ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(frame[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("frame length %d exceeds cap %d: %w", n, MaxFrame, ErrCorrupt)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		return nil, fmt.Errorf("reading frame payload: %w (%w)", err, ErrCorrupt)
+	}
+	if _, err := io.ReadFull(r.br, frame[:]); err != nil {
+		return nil, fmt.Errorf("reading frame crc: %w (%w)", err, ErrCorrupt)
+	}
+	if got, want := crc32.ChecksumIEEE(r.buf), binary.LittleEndian.Uint32(frame[:]); got != want {
+		return nil, fmt.Errorf("frame crc %08x, want %08x: %w", got, want, ErrCorrupt)
+	}
+	return DecodeRecord(r.buf)
+}
+
+// EncodeTrace writes a whole trace in wire format (header + every record).
+// Node logs and positions do not travel over the wire; use the JSON format
+// when they matter.
+func EncodeTrace(w io.Writer, tr *trace.Trace) error {
+	ww, err := NewWriter(w, Header{NumNodes: tr.NumNodes, Duration: tr.Duration})
+	if err != nil {
+		return err
+	}
+	for _, r := range tr.Records {
+		if err := ww.WriteRecord(r); err != nil {
+			return fmt.Errorf("record %v: %w", r.ID, err)
+		}
+	}
+	return ww.Flush()
+}
+
+// ReadTrace reads a wire stream to EOF and returns it as a trace,
+// validated the same way the JSON reader validates.
+func ReadTrace(r io.Reader) (*trace.Trace, error) {
+	rr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	tr := &trace.Trace{NumNodes: rr.Header().NumNodes, Duration: rr.Header().Duration}
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", len(tr.Records), err)
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,236 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// corpusRecords covers the field shapes the codec must survive: minimal
+// two-hop paths, long paths, zero and large delay fields, records with and
+// without ground truth, and boundary ids.
+func corpusRecords() []*trace.Record {
+	mk := func(src radio.NodeID, seq uint32, path []radio.NodeID, gen, arr, sum sim.Time, truth bool) *trace.Record {
+		r := &trace.Record{
+			ID:          trace.PacketID{Source: src, Seq: seq},
+			Path:        path,
+			GenTime:     gen,
+			SinkArrival: arr,
+			SumDelays:   sum,
+			E2EDelay:    arr - gen - time.Millisecond/2,
+			FirstHop:    path[min(1, len(path)-1)],
+			PathHash:    trace.ComputePathHash(path),
+		}
+		if truth {
+			r.TruthArrivals = make([]sim.Time, len(path))
+			step := (arr - gen) / sim.Time(len(path))
+			t := gen
+			for i := range r.TruthArrivals {
+				r.TruthArrivals[i] = t
+				t += step
+			}
+			r.TruthArrivals[len(path)-1] = arr
+		}
+		return r
+	}
+	longPath := make([]radio.NodeID, 40)
+	for i := range longPath {
+		longPath[i] = radio.NodeID(40 - i)
+	}
+	longPath[len(longPath)-1] = 0
+	return []*trace.Record{
+		mk(7, 1, []radio.NodeID{7, 0}, 0, time.Millisecond, 0, false),
+		mk(7, 2, []radio.NodeID{7, 3, 0}, time.Second, time.Second+40*time.Millisecond, 11*time.Millisecond, true),
+		mk(399, 4_000_000, []radio.NodeID{399, 12, 5, 0}, time.Hour, time.Hour+time.Second, 65535*time.Millisecond, true),
+		mk(longPath[0], 9, longPath, 17*time.Minute, 17*time.Minute+300*time.Millisecond, 123*time.Millisecond, true),
+		// Degenerate fields a faulty deployment can produce: the codec must
+		// carry them verbatim so Sanitize sees what the sink saw.
+		{
+			ID:          trace.PacketID{Source: 3, Seq: 1},
+			Path:        []radio.NodeID{3, 9, 0},
+			GenTime:     5 * time.Second,
+			SinkArrival: 4 * time.Second, // arrives "before" generation
+			SumDelays:   -time.Millisecond,
+			PathHash:    0xffff,
+		},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for i, r := range corpusRecords() {
+		payload := AppendRecord(nil, r)
+		got, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Errorf("record %d: round trip mismatch:\n got %+v\nwant %+v", i, got, r)
+		}
+	}
+}
+
+func TestDecodeRecordRejectsTrailingBytes(t *testing.T) {
+	payload := AppendRecord(nil, corpusRecords()[0])
+	payload = append(payload, 0x00)
+	if _, err := DecodeRecord(payload); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+func TestDecodeRecordRejectsTruncation(t *testing.T) {
+	payload := AppendRecord(nil, corpusRecords()[1])
+	for n := 0; n < len(payload); n++ {
+		if _, err := DecodeRecord(payload[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes accepted: %v", n, err)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	recs := corpusRecords()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{NumNodes: 400, Duration: 20 * time.Minute})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatalf("WriteRecord(%v): %v", r.ID, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	rr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if h := rr.Header(); h.NumNodes != 400 || h.Duration != 20*time.Minute {
+		t.Fatalf("header = %+v", h)
+	}
+	for i, want := range recs {
+		got, err := rr.Next()
+		if err != nil {
+			t.Fatalf("Next record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := rr.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestReaderDetectsCorruption(t *testing.T) {
+	recs := corpusRecords()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{NumNodes: 50})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatalf("WriteRecord: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	clean := buf.Bytes()
+
+	// Flip every byte position in turn; the reader must either still decode
+	// records that happen to be untouched or fail with ErrCorrupt — never
+	// panic, never return a record whose frame CRC did not match.
+	for pos := 0; pos < len(clean); pos++ {
+		mutated := append([]byte(nil), clean...)
+		mutated[pos] ^= 0x5a
+		rr, err := NewReader(bytes.NewReader(mutated))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("pos %d: header error not ErrCorrupt: %v", pos, err)
+			}
+			continue
+		}
+		for {
+			_, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("pos %d: record error not ErrCorrupt: %v", pos, err)
+				}
+				break
+			}
+		}
+	}
+
+	// Truncation at every boundary must also surface as ErrCorrupt (or a
+	// clean EOF exactly between frames).
+	for n := 0; n < len(clean); n++ {
+		rr, err := NewReader(bytes.NewReader(clean[:n]))
+		if err != nil {
+			continue
+		}
+		for {
+			_, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("truncate %d: error not ErrCorrupt: %v", n, err)
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestEncodeTraceRoundTrip(t *testing.T) {
+	tr := &trace.Trace{NumNodes: 400, Duration: time.Minute}
+	for _, r := range corpusRecords() {
+		if r.Validate() == nil {
+			tr.Records = append(tr.Records, r)
+		}
+	}
+	tr.SortBySinkArrival()
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, tr); err != nil {
+		t.Fatalf("EncodeTrace: %v", err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if got.NumNodes != tr.NumNodes || got.Duration != tr.Duration {
+		t.Fatalf("trace header mismatch: %d/%v", got.NumNodes, got.Duration)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("%d records, want %d", len(got.Records), len(tr.Records))
+	}
+	for i := range got.Records {
+		if !reflect.DeepEqual(got.Records[i], tr.Records[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestWireIsCompact(t *testing.T) {
+	// The point of the format: a typical record (4-hop path, truth carried)
+	// must stay well under 100 bytes where JSON needs several hundred.
+	r := corpusRecords()[2]
+	payload := AppendRecord(nil, r)
+	if len(payload) > 100 {
+		t.Fatalf("payload is %d bytes, want ≤ 100", len(payload))
+	}
+}

@@ -1,0 +1,284 @@
+package domo
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/domo-net/domo/internal/stream"
+	"github.com/domo-net/domo/internal/wire"
+)
+
+// BackpressurePolicy selects what stream ingestion does when the bounded
+// input queue is full.
+type BackpressurePolicy int
+
+const (
+	// BlockWhenFull makes ingestion wait for the solver to free queue
+	// space: lossless, and the producer runs at the solver's pace.
+	BlockWhenFull BackpressurePolicy = iota
+	// DropOldestWhenFull sheds the oldest queued record to admit the new
+	// one: ingestion never blocks, the reconstruction stays current, and
+	// every shed record is counted in StreamStats.Dropped.
+	DropOldestWhenFull
+)
+
+// StreamConfig tunes an online reconstruction stream. NumNodes is required;
+// everything else defaults.
+type StreamConfig struct {
+	// NumNodes is the deployment size (including the sink).
+	NumNodes int
+	// Estimation carries the per-window reconstruction knobs — the same
+	// Config used by the offline Estimate, including EstimateWorkers and
+	// AutoSanitize (which here sanitizes record-by-record on admission,
+	// quarantining violations instead of poisoning a window).
+	Estimation Config
+	// WindowRecords is the record count at which a window becomes eligible
+	// to close. Default 96.
+	WindowRecords int
+	// AlignGap is ε for window alignment: an eligible window keeps
+	// absorbing records while the next sink arrival is within AlignGap of
+	// the previous one, so back-to-back deliveries are never split across
+	// a window boundary. Default 1ms.
+	AlignGap time.Duration
+	// MaxWindowSlack caps how many extra records ε-alignment may absorb
+	// past WindowRecords. Default WindowRecords/2.
+	MaxWindowSlack int
+	// QueueCap bounds the ingest queue. Default 1024.
+	QueueCap int
+	// Policy selects the backpressure behavior when the queue is full.
+	Policy BackpressurePolicy
+	// ResultBuffer is the capacity of the closed-window delivery channel.
+	// Default 4.
+	ResultBuffer int
+}
+
+// StreamWindow is one closed window delivered by a Stream: the window's
+// admitted records in sink-arrival order and their reconstruction —
+// identical to running the offline Estimate over the same records with the
+// same Config. Err is non-nil only when the window could not be solved at
+// all; partial solver failures degrade inside the Reconstruction exactly
+// like the offline path.
+type StreamWindow struct {
+	// Index numbers closed windows from zero; [SeqStart, SeqEnd) is the
+	// half-open admitted-record range the window covers.
+	Index            int
+	SeqStart, SeqEnd int
+	Trace            *Trace
+	Reconstruction   *Reconstruction
+	SolveTime        time.Duration
+	Err              error
+}
+
+// StreamStats is a cumulative snapshot of a Stream's accounting.
+type StreamStats struct {
+	// Received counts every ingested record; Dropped those shed by
+	// DropOldestWhenFull; Quarantined those rejected by per-record
+	// sanitization; Solved those in successfully delivered windows.
+	Received    uint64
+	Dropped     uint64
+	Quarantined uint64
+	Solved      uint64
+	// QueueDepth/QueueMax are current and high-water queue occupancy;
+	// Buffered is the open window's record count.
+	QueueDepth int
+	QueueMax   int
+	Buffered   int
+	// Windows counts delivered windows, WindowsFailed those with Err set;
+	// RetriedWindows/DegradedWindows aggregate the solver's per-window
+	// fault-tolerance counters.
+	Windows         uint64
+	WindowsFailed   uint64
+	RetriedWindows  uint64
+	DegradedWindows uint64
+	// Lag is how far the reconstruction runs behind live traffic: the
+	// stream-time distance between the newest received sink arrival and
+	// the end of the last delivered window.
+	Lag time.Duration
+	// SolveLatency summarizes per-window wall-clock solve latency in
+	// milliseconds; SolveBuckets is the log-spaced histogram behind it.
+	SolveLatency Summary
+	SolveBuckets []LatencyBucket
+}
+
+// LatencyBucket is one bucket of a solve-latency histogram: Count
+// observations took at most Le. The overflow bucket has Le < 0.
+type LatencyBucket struct {
+	Le    time.Duration
+	Count uint64
+}
+
+// Stream is an online reconstruction session: feed it records (Feed for
+// wire-format streams, Replay for in-memory traces), consume closed-window
+// reconstructions from Results, then Close to drain and flush the final
+// partial window. A consumer must keep draining Results — a stalled
+// consumer fills the bounded queue and engages the configured backpressure.
+type Stream struct {
+	cfg     StreamConfig
+	eng     *stream.Engine
+	results chan *StreamWindow
+}
+
+// OpenStream starts an online reconstruction stream. The context is
+// threaded into every window solve: canceling it aborts in-flight solves
+// and unblocks blocked producers.
+func OpenStream(ctx context.Context, cfg StreamConfig) (*Stream, error) {
+	sc := stream.Config{
+		NumNodes:       cfg.NumNodes,
+		Core:           cfg.Estimation.toCore(),
+		WindowRecords:  cfg.WindowRecords,
+		AlignGap:       cfg.AlignGap,
+		MaxWindowSlack: cfg.MaxWindowSlack,
+		QueueCap:       cfg.QueueCap,
+		ResultBuffer:   cfg.ResultBuffer,
+		Sanitize:       cfg.Estimation.AutoSanitize,
+	}
+	if cfg.Policy == DropOldestWhenFull {
+		sc.Policy = stream.PolicyDropOldest
+	}
+	eng, err := stream.Open(ctx, sc)
+	if err != nil {
+		return nil, fmt.Errorf("opening stream: %w: %w", err, ErrBadInput)
+	}
+	s := &Stream{cfg: cfg, eng: eng, results: make(chan *StreamWindow)}
+	go s.convert()
+	return s, nil
+}
+
+// convert translates engine results into the public shape.
+func (s *Stream) convert() {
+	defer close(s.results)
+	for res := range s.eng.Results() {
+		w := &StreamWindow{
+			Index:     res.Index,
+			SeqStart:  res.SeqStart,
+			SeqEnd:    res.SeqEnd,
+			Trace:     &Trace{inner: res.Trace},
+			SolveTime: res.SolveTime,
+			Err:       res.Err,
+		}
+		if res.Est != nil {
+			w.Reconstruction = &Reconstruction{est: res.Est}
+		}
+		s.results <- w
+	}
+}
+
+// Feed decodes one wire-format stream (header plus length-prefixed record
+// frames, as written by EncodeWire or a domo node sink) and ingests every
+// record until EOF. The stream's declared deployment size must match the
+// StreamConfig. Feed is safe to call from several goroutines at once — one
+// per ingest connection.
+func (s *Stream) Feed(r io.Reader) error {
+	rd, err := wire.NewReader(r)
+	if err != nil {
+		return fmt.Errorf("stream feed: %w", err)
+	}
+	if got := rd.Header().NumNodes; got != s.cfg.NumNodes {
+		return fmt.Errorf("stream feed: header declares %d nodes, stream expects %d: %w",
+			got, s.cfg.NumNodes, ErrBadInput)
+	}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("stream feed: %w", err)
+		}
+		if err := s.eng.Push(rec); err != nil {
+			return fmt.Errorf("stream feed: %w", err)
+		}
+	}
+}
+
+// Replay ingests every record of an in-memory trace in order — the offline
+// path replayed through the online engine.
+func (s *Stream) Replay(t *Trace) error {
+	if t == nil {
+		return fmt.Errorf("stream replay: nil trace: %w", ErrBadInput)
+	}
+	if t.inner.NumNodes != s.cfg.NumNodes {
+		return fmt.Errorf("stream replay: trace has %d nodes, stream expects %d: %w",
+			t.inner.NumNodes, s.cfg.NumNodes, ErrBadInput)
+	}
+	for _, r := range t.inner.Records {
+		if err := s.eng.Push(r); err != nil {
+			return fmt.Errorf("stream replay: %w", err)
+		}
+	}
+	return nil
+}
+
+// Results returns the closed-window delivery channel. It is closed after
+// Close (or context cancellation) once the final partial window has been
+// flushed.
+func (s *Stream) Results() <-chan *StreamWindow { return s.results }
+
+// Stats returns a snapshot of the stream's accounting.
+func (s *Stream) Stats() StreamStats {
+	st := s.eng.Stats()
+	var buckets []LatencyBucket
+	for _, b := range st.SolveBuckets {
+		buckets = append(buckets, LatencyBucket{Le: b.Le, Count: b.Count})
+	}
+	return StreamStats{
+		Received:        st.Received,
+		Dropped:         st.Dropped,
+		Quarantined:     st.Quarantined,
+		Solved:          st.Solved,
+		QueueDepth:      st.QueueDepth,
+		QueueMax:        st.QueueMax,
+		Buffered:        st.Buffered,
+		Windows:         st.Windows,
+		WindowsFailed:   st.WindowsFailed,
+		RetriedWindows:  st.RetriedWindows,
+		DegradedWindows: st.DegradedWindows,
+		Lag:             st.Lag,
+		SolveLatency:    fromInternalSummary(st.SolveLatency),
+		SolveBuckets:    buckets,
+	}
+}
+
+// SanitizeReport returns the accumulated per-record quarantine report, or
+// nil when Estimation.AutoSanitize is off.
+func (s *Stream) SanitizeReport() *SanitizeReport {
+	rep := s.eng.SanitizeReport()
+	if rep == nil {
+		return nil
+	}
+	return fromInternalReport(rep)
+}
+
+// Close stops ingestion, drains the queue, solves and flushes the final
+// partial window, and lets Results close once the tail is delivered. The
+// caller must be draining Results concurrently (ranging over it until it
+// closes collects the flushed tail). Close is idempotent; it returns the
+// context's error when cancellation cut the drain short.
+func (s *Stream) Close() error {
+	return s.eng.Close()
+}
+
+// EncodeWire serializes the trace in the compact binary wire format
+// (versioned header plus CRC-framed length-prefixed record frames) — the
+// format domo-serve ingests and Stream.Feed decodes. It is lossier than
+// Write's JSON: node logs and positions are not carried, so a wire-round-
+// tripped trace supports reconstruction and record-level evaluation but not
+// position-based analyses.
+func (t *Trace) EncodeWire(w io.Writer) error {
+	if err := wire.EncodeTrace(w, t.inner); err != nil {
+		return fmt.Errorf("encoding wire trace: %w", err)
+	}
+	return nil
+}
+
+// ReadWireTrace deserializes a wire-format stream written by EncodeWire
+// (or captured from a node sink) into an in-memory trace.
+func ReadWireTrace(r io.Reader) (*Trace, error) {
+	inner, err := wire.ReadTrace(r)
+	if err != nil {
+		return nil, fmt.Errorf("reading wire trace: %w", err)
+	}
+	return &Trace{inner: inner}, nil
+}

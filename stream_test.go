@@ -1,0 +1,247 @@
+package domo
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// The service-mode acceptance gate: simulate, encode to the wire format,
+// replay the bytes over a real TCP loopback connection into an open stream,
+// and require every closed window's reconstruction to be bit-identical to
+// running the offline Estimate on the same window's records with the same
+// Config.
+func TestStreamLoopbackMatchesOffline(t *testing.T) {
+	tr, err := Simulate(SimConfig{NumNodes: 12, Duration: time.Minute, DataPeriod: 10 * time.Second, Seed: 5, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if tr.NumRecords() < 40 {
+		t.Fatalf("simulation too small for a multi-window test: %d records", tr.NumRecords())
+	}
+	var wireBytes bytes.Buffer
+	if err := tr.EncodeWire(&wireBytes); err != nil {
+		t.Fatalf("EncodeWire: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Dribble the stream in small chunks so Feed exercises partial
+		// frame reads, like a live sink uplink would.
+		b := wireBytes.Bytes()
+		for len(b) > 0 {
+			n := 64
+			if n > len(b) {
+				n = len(b)
+			}
+			if _, err := conn.Write(b[:n]); err != nil {
+				return
+			}
+			b = b[n:]
+		}
+	}()
+
+	estCfg := Config{WindowPackets: 8, EstimateWorkers: 2}
+	s, err := OpenStream(context.Background(), StreamConfig{
+		NumNodes:      tr.NumNodes(),
+		Estimation:    estCfg,
+		WindowRecords: 16,
+		QueueCap:      64,
+	})
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	go func() {
+		defer conn.Close()
+		if err := s.Feed(conn); err != nil {
+			t.Errorf("Feed: %v", err)
+		}
+		s.Close()
+	}()
+
+	covered := 0
+	windows := 0
+	for w := range s.Results() {
+		windows++
+		if w.Err != nil {
+			t.Fatalf("window %d failed: %v", w.Index, w.Err)
+		}
+		if w.SeqStart != covered {
+			t.Fatalf("window %d starts at %d, want %d", w.Index, w.SeqStart, covered)
+		}
+		covered = w.SeqEnd
+
+		offline, err := Estimate(w.Trace, estCfg)
+		if err != nil {
+			t.Fatalf("offline Estimate on window %d: %v", w.Index, err)
+		}
+		for _, id := range w.Trace.Packets() {
+			got, err := w.Reconstruction.Arrivals(id)
+			if err != nil {
+				t.Fatalf("stream arrivals(%v): %v", id, err)
+			}
+			want, err := offline.Arrivals(id)
+			if err != nil {
+				t.Fatalf("offline arrivals(%v): %v", id, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("window %d packet %v: %d hops vs %d", w.Index, id, len(got), len(want))
+			}
+			for hop := range want {
+				if got[hop] != want[hop] {
+					t.Fatalf("window %d packet %v hop %d: stream %v != offline %v",
+						w.Index, id, hop, got[hop], want[hop])
+				}
+			}
+		}
+	}
+	if windows < 2 {
+		t.Fatalf("only %d windows closed; the loopback test needs a multi-window stream", windows)
+	}
+	if covered != tr.NumRecords() {
+		t.Fatalf("windows covered %d of %d records", covered, tr.NumRecords())
+	}
+	st := s.Stats()
+	if st.Received != uint64(tr.NumRecords()) || st.Dropped != 0 || st.Quarantined != 0 {
+		t.Fatalf("loopback stream stats: %+v", st)
+	}
+	if st.SolveLatency.N != windows {
+		t.Fatalf("latency summary has %d samples, want %d", st.SolveLatency.N, windows)
+	}
+}
+
+// The wire codec must round-trip a simulated trace through the facade:
+// records, timing fields, and ground truth survive; reconstruction over the
+// round-tripped trace equals reconstruction over the original.
+func TestEncodeWireRoundTrip(t *testing.T) {
+	tr, err := Simulate(SimConfig{NumNodes: 10, Duration: time.Minute, DataPeriod: 15 * time.Second, Seed: 9, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.EncodeWire(&buf); err != nil {
+		t.Fatalf("EncodeWire: %v", err)
+	}
+	rt, err := ReadWireTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadWireTrace: %v", err)
+	}
+	if rt.NumNodes() != tr.NumNodes() || rt.NumRecords() != tr.NumRecords() || rt.Duration() != tr.Duration() {
+		t.Fatalf("round trip changed shape: %d/%d/%v vs %d/%d/%v",
+			rt.NumNodes(), rt.NumRecords(), rt.Duration(), tr.NumNodes(), tr.NumRecords(), tr.Duration())
+	}
+	for _, id := range tr.Packets() {
+		wantGT, err := tr.GroundTruthArrivals(id)
+		if err != nil {
+			t.Fatalf("truth(%v): %v", id, err)
+		}
+		gotGT, err := rt.GroundTruthArrivals(id)
+		if err != nil {
+			t.Fatalf("round-tripped truth(%v): %v", id, err)
+		}
+		for i := range wantGT {
+			if gotGT[i] != wantGT[i] {
+				t.Fatalf("packet %v truth[%d]: %v != %v", id, i, gotGT[i], wantGT[i])
+			}
+		}
+	}
+	a, err := Estimate(tr, Config{})
+	if err != nil {
+		t.Fatalf("Estimate(original): %v", err)
+	}
+	b, err := Estimate(rt, Config{})
+	if err != nil {
+		t.Fatalf("Estimate(round-tripped): %v", err)
+	}
+	for _, id := range tr.Packets() {
+		av, _ := a.Arrivals(id)
+		bv, _ := b.Arrivals(id)
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("packet %v hop %d: %v != %v after wire round trip", id, i, av[i], bv[i])
+			}
+		}
+	}
+}
+
+// Replay pushes an in-memory trace through the online engine; with
+// AutoSanitize, corrupt records are quarantined record-by-record and the
+// report is visible on the stream.
+func TestStreamReplaySanitizes(t *testing.T) {
+	tr, err := Simulate(SimConfig{NumNodes: 10, Duration: time.Minute, DataPeriod: 15 * time.Second, Seed: 11, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	inner := tr.Internal()
+	bad := *inner.Records[3]
+	bad.SumDelays = -time.Second
+	inner.Records[3] = &bad
+
+	s, err := OpenStream(context.Background(), StreamConfig{
+		NumNodes:      tr.NumNodes(),
+		Estimation:    Config{WindowPackets: 8, AutoSanitize: true},
+		WindowRecords: 16,
+	})
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	go func() {
+		if err := s.Replay(tr); err != nil {
+			t.Errorf("Replay: %v", err)
+		}
+		s.Close()
+	}()
+	windowed := 0
+	for w := range s.Results() {
+		if w.Err != nil {
+			t.Fatalf("window %d failed: %v", w.Index, w.Err)
+		}
+		windowed += w.Trace.NumRecords()
+	}
+	if windowed != tr.NumRecords()-1 {
+		t.Fatalf("windowed %d records, want %d", windowed, tr.NumRecords()-1)
+	}
+	rep := s.SanitizeReport()
+	if rep == nil || rep.Quarantined != 1 || rep.ByReason["negative-sum"] != 1 {
+		t.Fatalf("sanitize report: %v", rep)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// Merging facade sanitize reports aggregates counters, reasons, and record
+// lists.
+func TestSanitizeReportMergePublic(t *testing.T) {
+	a := &SanitizeReport{Input: 3, Kept: 2, Quarantined: 1,
+		ByReason: map[string]int{"path-loop": 1},
+		Records:  []QuarantinedRecord{{ID: PacketID{Source: 1, Seq: 1}, Reason: "path-loop"}}}
+	b := &SanitizeReport{Input: 2, Kept: 1, Quarantined: 1,
+		ByReason: map[string]int{"path-loop": 1},
+		Records:  []QuarantinedRecord{{ID: PacketID{Source: 2, Seq: 7}, Reason: "path-loop"}}}
+	var total SanitizeReport
+	total.Merge(a)
+	total.Merge(b)
+	total.Merge(nil)
+	if total.Input != 5 || total.Kept != 3 || total.Quarantined != 2 {
+		t.Fatalf("merged counters: %+v", total)
+	}
+	if total.ByReason["path-loop"] != 2 || len(total.Records) != 2 {
+		t.Fatalf("merged detail: %+v", total)
+	}
+}
