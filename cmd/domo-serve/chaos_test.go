@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	domo "github.com/domo-net/domo"
+	"github.com/domo-net/domo/internal/netfault"
+)
+
+// frameOffsets parses a wire stream's structure: it returns the header
+// length and the framed length of each record, so fault plans can target
+// exact byte positions (mid-frame, inside a payload, on a boundary).
+func frameOffsets(t *testing.T, b []byte) (int, []int) {
+	t.Helper()
+	i := 5 // 4 magic bytes + 1 version byte
+	_, n := binary.Uvarint(b[i:])
+	if n <= 0 {
+		t.Fatal("bad NumNodes varint")
+	}
+	i += n
+	_, n = binary.Varint(b[i:])
+	if n <= 0 {
+		t.Fatal("bad Duration varint")
+	}
+	i += n
+	hlen := i
+	var lens []int
+	for i < len(b) {
+		l := int(binary.LittleEndian.Uint32(b[i:]))
+		lens = append(lens, 4+l+4)
+		i += 4 + l + 4
+	}
+	if i != len(b) {
+		t.Fatalf("frame walk overshot: %d != %d", i, len(b))
+	}
+	return hlen, lens
+}
+
+// waitStats polls the stream until cond holds.
+func waitStats(t *testing.T, s *server, what string, cond func(domo.StreamStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond(s.stream.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: stats stuck at %+v", what, s.stream.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The chaos suite: one server, five connections through the fault proxy —
+// clean, cut mid-frame, corrupted byte, duplicated frame, mid-stream
+// stall against the idle deadline. The server must survive all of them
+// with exact accounting: every fault's effect on Received/Quarantined is
+// computed from byte offsets, nothing is approximate.
+func TestChaosIngestExactAccounting(t *testing.T) {
+	tr, err := domo.Simulate(domo.SimConfig{NumNodes: 10, Duration: time.Minute, DataPeriod: 15 * time.Second, Seed: 7, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var wireBuf bytes.Buffer
+	if err := tr.EncodeWire(&wireBuf); err != nil {
+		t.Fatalf("EncodeWire: %v", err)
+	}
+	wireBytes := wireBuf.Bytes()
+	hlen, frames := frameOffsets(t, wireBytes)
+	if len(frames) < 4 {
+		t.Fatalf("test needs 4+ frames, have %d", len(frames))
+	}
+	N := uint64(tr.NumRecords())
+
+	const idle = 150 * time.Millisecond
+	s, err := newServer(options{
+		listen: "127.0.0.1:0", httpAddr: "127.0.0.1:0",
+		nodes: tr.NumNodes(), window: 8, queue: 64,
+		sanitize: true, idleTimeout: idle,
+	})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.run(ctx) }()
+
+	proxy, err := netfault.New(s.ingest.Addr().String(),
+		netfault.Plan{}, // conn 0: clean
+		netfault.Plan{CutAfter: int64(hlen + frames[0] + frames[1] + 2)},       // conn 1: disconnect 2 bytes into frame 3
+		netfault.Plan{CorruptByte: int64(hlen + frames[0] + 6)},                // conn 2: flip a byte inside frame 2's payload
+		netfault.Plan{DuplicateFrame: 2},                                       // conn 3: frame 2 arrives twice
+		netfault.Plan{StallAfter: int64(hlen + frames[0]), StallFor: 4 * idle}, // conn 4: dead air after frame 1
+	)
+	if err != nil {
+		t.Fatalf("netfault.New: %v", err)
+	}
+	defer proxy.Close()
+
+	send := func(payload []byte) {
+		conn, err := net.Dial("tcp", proxy.Addr())
+		if err != nil {
+			t.Fatalf("dial proxy: %v", err)
+		}
+		defer conn.Close()
+		for len(payload) > 0 {
+			n := 64
+			if n > len(payload) {
+				n = len(payload)
+			}
+			if _, err := conn.Write(payload[:n]); err != nil {
+				return // planned faults reset the client side
+			}
+			payload = payload[n:]
+		}
+	}
+
+	// Conn 0 — clean baseline: all N records admitted.
+	send(wireBytes)
+	waitStats(t, s, "clean conn", func(st domo.StreamStats) bool { return st.Received == N })
+	if st := s.stream.Stats(); st.Quarantined != 0 {
+		t.Fatalf("clean stream quarantined %d", st.Quarantined)
+	}
+
+	// Conn 1 — cut mid-frame 3: exactly 2 records arrive (both duplicates
+	// of conn 0's), the torn third frame is discarded by the reader.
+	send(wireBytes)
+	waitStats(t, s, "cut conn", func(st domo.StreamStats) bool { return st.Received == N+2 })
+	if st := s.stream.Stats(); st.Quarantined != 2 {
+		t.Fatalf("cut conn: quarantined %d, want 2", st.Quarantined)
+	}
+
+	// Conn 2 — corrupted byte in frame 2: one record arrives, the CRC
+	// check kills the connection at frame 2.
+	send(wireBytes)
+	waitStats(t, s, "corrupt conn", func(st domo.StreamStats) bool { return st.Received == N+3 })
+	if st := s.stream.Stats(); st.Quarantined != 3 {
+		t.Fatalf("corrupt conn: quarantined %d, want 3", st.Quarantined)
+	}
+
+	// Conn 3 — duplicated frame 2: N+1 records arrive, every one a
+	// duplicate (conn 0 delivered them all first).
+	send(wireBytes)
+	waitStats(t, s, "dup conn", func(st domo.StreamStats) bool { return st.Received == 2*N+4 })
+	if st := s.stream.Stats(); st.Quarantined != 4+N {
+		t.Fatalf("dup conn: quarantined %d, want %d", st.Quarantined, 4+N)
+	}
+
+	// Conn 4 — stall past the idle deadline: frame 1 arrives, then dead
+	// air; the server must cut the connection rather than hold the slot.
+	send(wireBytes)
+	waitStats(t, s, "stalled conn", func(st domo.StreamStats) bool { return st.Received == 2*N+5 })
+	waitStats(t, s, "stalled conn closed", func(domo.StreamStats) bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.conns) == 0
+	})
+
+	// Drain. Conservation must be exact: of 2N+5 received, N+5 were
+	// quarantined duplicates, and the N survivors all land in windows.
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st := s.stream.Stats()
+	if st.Received != 2*N+5 || st.Quarantined != N+5 || st.Dropped != 0 {
+		t.Fatalf("final accounting: %+v", st)
+	}
+	if st.Solved != N || st.WindowsFailed != 0 {
+		t.Fatalf("survivors not all solved: %+v", st)
+	}
+	if got := s.recordsOut.Load(); got != N {
+		t.Fatalf("windows drained %d records, want %d", got, N)
+	}
+}
+
+// The -max-conns cap sheds at accept and frees slots on disconnect, and
+// the idle deadline reaps silent connections.
+func TestMaxConnsSheddingAndIdleReap(t *testing.T) {
+	s, err := newServer(options{
+		listen: "127.0.0.1:0", httpAddr: "127.0.0.1:0",
+		nodes: 5, window: 8, queue: 16,
+		maxConns: 1, idleTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.run(ctx) }()
+	addr := s.ingest.Addr().String()
+
+	a, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial a: %v", err)
+	}
+	defer a.Close()
+	waitConns := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			s.mu.Lock()
+			n := len(s.conns)
+			s.mu.Unlock()
+			if n == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("conns stuck at %d, want %d", n, want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitConns(1)
+
+	// Second connection is shed at accept: the client sees EOF/reset.
+	b, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial b: %v", err)
+	}
+	b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("shed connection was not closed")
+	}
+	b.Close()
+	if got := s.shedConns.Load(); got != 1 {
+		t.Fatalf("shedConns = %d, want 1", got)
+	}
+
+	// The idle deadline reaps the silent first connection, freeing its
+	// slot for a new client.
+	waitConns(0)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial c: %v", err)
+	}
+	defer c.Close()
+	waitConns(1)
+	if got := s.shedConns.Load(); got != 1 {
+		t.Fatalf("freed slot was shed: shedConns = %d", got)
+	}
+
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -50,6 +51,16 @@ type options struct {
 	dropOldest bool
 	sanitize   bool
 	verbose    bool
+
+	wal           string
+	fsync         string
+	fsyncInterval time.Duration
+	walSegment    int64
+	walTrim       bool
+	out           string
+	idleTimeout   time.Duration
+	maxConns      int
+	solveTimeout  time.Duration
 }
 
 func parseFlags(args []string) options {
@@ -64,6 +75,15 @@ func parseFlags(args []string) options {
 	fs.BoolVar(&o.dropOldest, "drop-oldest", false, "shed the oldest queued record when the queue is full instead of blocking ingest")
 	fs.BoolVar(&o.sanitize, "sanitize", true, "sanitize each record on admission, quarantining invariant violations")
 	fs.BoolVar(&o.verbose, "v", false, "log each closed window")
+	fs.StringVar(&o.wal, "wal", "", "write-ahead-log directory: accepted frames are made durable and replayed after a crash (empty disables)")
+	fs.StringVar(&o.fsync, "fsync", "interval", "WAL fsync policy: always, interval, or off")
+	fs.DurationVar(&o.fsyncInterval, "fsync-interval", 100*time.Millisecond, "max time between WAL fsyncs under -fsync interval")
+	fs.Int64Var(&o.walSegment, "wal-segment", 0, "WAL segment size in bytes before rotation (0 = 8MiB)")
+	fs.BoolVar(&o.walTrim, "wal-trim", false, "delete WAL segments below the checkpoint cursor; shrinks the duplicate-suppression horizon for rewinding clients")
+	fs.StringVar(&o.out, "out", "", "append each closed window as a JSON line to this file; with -wal, deliveries are checkpointed for exactly-once across restarts")
+	fs.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "close ingest connections idle longer than this (0 disables)")
+	fs.IntVar(&o.maxConns, "max-conns", 0, "max concurrent ingest connections; extras are shed at accept (0 = unlimited)")
+	fs.DurationVar(&o.solveTimeout, "solve-timeout", 0, "per-window solve deadline; a window exceeding it twice degrades to the order projection (0 disables)")
 	_ = fs.Parse(args)
 	return o
 }
@@ -89,8 +109,12 @@ type server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]bool
 
+	out       *os.File // window output, nil without -out
+	outOffset int64    // consume-goroutine-owned once run starts
+
 	windowsOut atomic.Uint64 // delivered windows, incl. failed
 	recordsOut atomic.Uint64 // records in delivered windows
+	shedConns  atomic.Uint64 // connections refused by the -max-conns cap
 	consumed   chan struct{}
 }
 
@@ -106,9 +130,19 @@ func newServer(opts options) (*server, error) {
 		},
 		WindowRecords: opts.window,
 		QueueCap:      opts.queue,
+		SolveTimeout:  opts.solveTimeout,
 	}
 	if opts.dropOldest {
 		cfg.Policy = domo.DropOldestWhenFull
+	}
+	if opts.wal != "" {
+		cfg.WAL = domo.WALConfig{
+			Dir:              opts.wal,
+			Fsync:            opts.fsync,
+			FsyncInterval:    opts.fsyncInterval,
+			SegmentBytes:     opts.walSegment,
+			TrimOnCheckpoint: opts.walTrim,
+		}
 	}
 	// The stream gets its own context: a shutdown signal must stop
 	// ingestion but let the drain-and-flush finish, not abort solves.
@@ -116,25 +150,57 @@ func newServer(opts options) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var out *os.File
+	var outOffset int64
+	if opts.out != "" {
+		out, err = os.OpenFile(opts.out, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			stream.Close()
+			return nil, fmt.Errorf("window output: %w", err)
+		}
+		// Roll the output back to the last checkpointed offset: windows
+		// written after that checkpoint were never acknowledged as durable
+		// and will be regenerated by WAL replay, so truncating here is what
+		// makes delivery exactly-once across a crash.
+		if cp, ok := stream.LoadedCheckpoint(); ok {
+			outOffset = cp.Aux
+		}
+		if err := out.Truncate(outOffset); err == nil {
+			_, err = out.Seek(outOffset, io.SeekStart)
+		}
+		if err != nil {
+			out.Close()
+			stream.Close()
+			return nil, fmt.Errorf("window output rollback: %w", err)
+		}
+	}
 	ingest, err := net.Listen("tcp", opts.listen)
 	if err != nil {
+		if out != nil {
+			out.Close()
+		}
 		stream.Close()
 		return nil, fmt.Errorf("ingest listen: %w", err)
 	}
 	status, err := net.Listen("tcp", opts.httpAddr)
 	if err != nil {
 		ingest.Close()
+		if out != nil {
+			out.Close()
+		}
 		stream.Close()
 		return nil, fmt.Errorf("status listen: %w", err)
 	}
 	return &server{
-		opts:     opts,
-		stream:   stream,
-		start:    time.Now(),
-		ingest:   ingest,
-		status:   status,
-		conns:    make(map[net.Conn]bool),
-		consumed: make(chan struct{}),
+		opts:      opts,
+		stream:    stream,
+		start:     time.Now(),
+		ingest:    ingest,
+		status:    status,
+		out:       out,
+		outOffset: outOffset,
+		conns:     make(map[net.Conn]bool),
+		consumed:  make(chan struct{}),
 	}, nil
 }
 
@@ -150,6 +216,21 @@ func (s *server) run(ctx context.Context) error {
 		}
 	}()
 	go s.consume()
+
+	// Fail fast on a corrupt WAL before accepting any traffic; the consume
+	// goroutine is already draining, so regenerated windows flow out while
+	// we wait.
+	if err := s.stream.Recovered(); err != nil {
+		s.ingest.Close()
+		s.stream.Close()
+		<-s.consumed
+		httpSrv.Shutdown(context.Background())
+		return err
+	}
+	if st := s.stream.Stats(); st.ReplayedRecords > 0 {
+		fmt.Fprintf(os.Stderr, "domo-serve: recovered %d records from WAL (checkpoint seq %d)\n",
+			st.ReplayedRecords, st.LastCheckpoint)
+	}
 
 	fmt.Fprintf(os.Stderr, "domo-serve: ingesting wire streams on %s, status on http://%s/statusz\n",
 		s.ingest.Addr(), s.status.Addr())
@@ -169,6 +250,14 @@ func (s *server) run(ctx context.Context) error {
 		if err != nil {
 			break // listener closed by shutdown
 		}
+		// Accept-side shedding: registration happens here, not in the
+		// handler goroutine, so the cap can never be overshot by a burst
+		// of accepts racing their handlers.
+		if !s.track(conn) {
+			s.shedConns.Add(1)
+			conn.Close()
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -185,35 +274,72 @@ func (s *server) run(ctx context.Context) error {
 	<-s.consumed
 	httpSrv.Shutdown(context.Background())
 
+	if s.out != nil {
+		if err := s.out.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "domo-serve: window output: %v\n", err)
+		}
+	}
 	st := s.stream.Stats()
-	fmt.Fprintf(os.Stderr, "domo-serve: drained: %d received, %d dropped, %d quarantined, %d windows (%d failed), solve %s\n",
-		st.Received, st.Dropped, st.Quarantined, st.Windows, st.WindowsFailed, latencyLine(st.SolveLatency))
+	fmt.Fprintf(os.Stderr, "domo-serve: drained: %d received, %d dropped, %d quarantined, %d windows (%d failed, %d timed out), solve %s\n",
+		st.Received, st.Dropped, st.Quarantined, st.Windows, st.WindowsFailed, st.TimedOutWindows, latencyLine(st.SolveLatency))
 	return nil
+}
+
+// track registers an accepted connection, refusing it when the -max-conns
+// cap is reached.
+func (s *server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.maxConns > 0 && len(s.conns) >= s.opts.maxConns {
+		return false
+	}
+	s.conns[conn] = true
+	return true
+}
+
+// idleReader arms a fresh read deadline before every read, so a silent
+// uplink is cut after -idle-timeout instead of pinning a connection slot
+// forever.
+type idleReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (r idleReader) Read(p []byte) (int, error) {
+	if r.timeout > 0 {
+		if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return r.conn.Read(p)
 }
 
 // serveConn feeds one ingest connection's wire stream into the engine.
 func (s *server) serveConn(conn net.Conn) {
-	s.mu.Lock()
-	s.conns[conn] = true
-	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	if err := s.stream.Feed(conn); err != nil {
+	if err := s.stream.Feed(idleReader{conn: conn, timeout: s.opts.idleTimeout}); err != nil {
 		fmt.Fprintf(os.Stderr, "domo-serve: ingest %s: %v\n", conn.RemoteAddr(), err)
 	}
 }
 
-// consume drains closed windows; results leave the process as log lines
-// (and as the counters behind /statusz).
+// consume drains closed windows: each one becomes a JSON line in -out
+// (checkpointed when a WAL is configured, making delivery exactly-once
+// across crashes), a log line under -v, and the counters behind /statusz.
 func (s *server) consume() {
 	defer close(s.consumed)
 	for w := range s.stream.Results() {
 		s.windowsOut.Add(1)
 		s.recordsOut.Add(uint64(w.Trace.NumRecords()))
+		if s.out != nil {
+			if err := s.writeWindow(w); err != nil {
+				fmt.Fprintf(os.Stderr, "domo-serve: window %d output: %v\n", w.Index, err)
+			}
+		}
 		if w.Err != nil {
 			fmt.Fprintf(os.Stderr, "domo-serve: window %d [%d,%d): %v\n", w.Index, w.SeqStart, w.SeqEnd, w.Err)
 			continue
@@ -224,6 +350,62 @@ func (s *server) consume() {
 				w.Index, w.SeqStart, w.SeqEnd, w.Trace.NumRecords(), st.Unknowns, w.SolveTime)
 		}
 	}
+}
+
+// windowLine is the deterministic per-window output shape: no wall-clock
+// fields, so an uninterrupted run and a crash-recovered run of the same
+// input produce bit-identical files.
+type windowLine struct {
+	Index    int       `json:"index"`
+	SeqStart int       `json:"seq_start"`
+	SeqEnd   int       `json:"seq_end"`
+	TimedOut bool      `json:"timed_out,omitempty"`
+	Err      string    `json:"err,omitempty"`
+	Packets  []string  `json:"packets,omitempty"`
+	Arrivals [][]int64 `json:"arrivals_ns,omitempty"`
+}
+
+// writeWindow appends one window line, syncs it, and (with a WAL)
+// checkpoints the delivery with the new file offset as the rollback point.
+func (s *server) writeWindow(w *domo.StreamWindow) error {
+	line := windowLine{Index: w.Index, SeqStart: w.SeqStart, SeqEnd: w.SeqEnd, TimedOut: w.TimedOut}
+	if w.Err != nil {
+		line.Err = w.Err.Error()
+	} else {
+		for _, id := range w.Trace.Packets() {
+			arr, err := w.Reconstruction.Arrivals(id)
+			if err != nil {
+				return fmt.Errorf("arrivals(%v): %w", id, err)
+			}
+			ns := make([]int64, len(arr))
+			for i, a := range arr {
+				ns[i] = int64(a)
+			}
+			line.Packets = append(line.Packets, id.String())
+			line.Arrivals = append(line.Arrivals, ns)
+		}
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := s.out.Write(data); err != nil {
+		return err
+	}
+	s.outOffset += int64(len(data))
+	if s.opts.wal == "" {
+		return nil
+	}
+	// Durability order matters: the window's bytes must be on disk before
+	// the checkpoint claims they were delivered.
+	if err := s.out.Sync(); err != nil {
+		return err
+	}
+	if err := s.stream.Checkpoint(w, s.outOffset); err != nil {
+		return err
+	}
+	return nil
 }
 
 // statusPayload is the /statusz JSON shape.
@@ -241,6 +423,15 @@ type statusPayload struct {
 	WindowsFailed   uint64 `json:"windows_failed"`
 	RetriedWindows  uint64 `json:"retried_windows"`
 	DegradedWindows uint64 `json:"degraded_windows"`
+	TimedOutWindows uint64 `json:"timed_out_windows"`
+
+	ReplayedRecords   uint64 `json:"replayed_records"`
+	WALBytes          int64  `json:"wal_bytes"`
+	WALSegments       int    `json:"wal_segments"`
+	LastCheckpointSeq uint64 `json:"last_checkpoint_seq"`
+
+	ConnsActive int    `json:"conns_active"`
+	ConnsShed   uint64 `json:"conns_shed"`
 
 	LagMS float64 `json:"lag_ms"`
 
@@ -264,21 +455,36 @@ type bucketJSON struct {
 }
 
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	active := len(s.conns)
+	s.mu.Unlock()
 	st := s.stream.Stats()
 	p := statusPayload{
-		UptimeSeconds:   time.Since(s.start).Seconds(),
-		Received:        st.Received,
-		Dropped:         st.Dropped,
-		Quarantined:     st.Quarantined,
-		Solved:          st.Solved,
-		QueueDepth:      st.QueueDepth,
-		QueueMax:        st.QueueMax,
-		Buffered:        st.Buffered,
-		Windows:         st.Windows,
-		WindowsFailed:   st.WindowsFailed,
-		RetriedWindows:  st.RetriedWindows,
-		DegradedWindows: st.DegradedWindows,
-		LagMS:           float64(st.Lag) / float64(time.Millisecond),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Received:          st.Received,
+		Dropped:           st.Dropped,
+		Quarantined:       st.Quarantined,
+		Solved:            st.Solved,
+		QueueDepth:        st.QueueDepth,
+		QueueMax:          st.QueueMax,
+		Buffered:          st.Buffered,
+		Windows:           st.Windows,
+		WindowsFailed:     st.WindowsFailed,
+		RetriedWindows:    st.RetriedWindows,
+		DegradedWindows:   st.DegradedWindows,
+		TimedOutWindows:   st.TimedOutWindows,
+		ReplayedRecords:   st.ReplayedRecords,
+		WALBytes:          st.WALBytes,
+		WALSegments:       st.WALSegments,
+		LastCheckpointSeq: st.LastCheckpoint,
+		ConnsActive:       active,
+		ConnsShed:         s.shedConns.Load(),
+		LagMS:             float64(st.Lag) / float64(time.Millisecond),
 		SolveLatencyMS: latencyJSON{
 			N: st.SolveLatency.N, Mean: st.SolveLatency.Mean,
 			Median: st.SolveLatency.Median, P90: st.SolveLatency.P90, Max: st.SolveLatency.Max,

@@ -164,4 +164,48 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if o.nodes != 50 || !o.dropOldest || o.window != 96 || o.queue != 1024 || !o.sanitize {
 		t.Fatalf("parsed options: %+v", o)
 	}
+	if o.wal != "" || o.fsync != "interval" || o.fsyncInterval != 100*time.Millisecond || o.walSegment != 0 || o.walTrim {
+		t.Fatalf("WAL defaults: %+v", o)
+	}
+	if o.out != "" || o.idleTimeout != 2*time.Minute || o.maxConns != 0 || o.solveTimeout != 0 {
+		t.Fatalf("hardening defaults: %+v", o)
+	}
+	o = parseFlags([]string{"-nodes", "5", "-wal", "/tmp/w", "-fsync", "always", "-out", "/tmp/o", "-idle-timeout", "30s", "-max-conns", "7", "-solve-timeout", "2s", "-wal-trim"})
+	if o.wal != "/tmp/w" || o.fsync != "always" || o.out != "/tmp/o" || o.idleTimeout != 30*time.Second ||
+		o.maxConns != 7 || o.solveTimeout != 2*time.Second || !o.walTrim {
+		t.Fatalf("explicit durability flags: %+v", o)
+	}
+}
+
+// Non-GET methods on /statusz are refused; GET declares its content type.
+func TestStatusEndpointMethodAndContentType(t *testing.T) {
+	s, err := newServer(options{listen: "127.0.0.1:0", httpAddr: "127.0.0.1:0", nodes: 5, window: 8, queue: 16})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.run(ctx) }()
+	url := fmt.Sprintf("http://%s/statusz", s.status.Addr())
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("GET /statusz: status %d, content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	resp, err = http.Post(url, "text/plain", nil)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodGet {
+		t.Fatalf("POST /statusz: status %d, allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
 }

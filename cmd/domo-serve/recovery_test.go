@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	domo "github.com/domo-net/domo"
+)
+
+// TestMain doubles as the child-process entry point: when
+// DOMO_SERVE_CHILD_ARGS is set, the test binary runs the real server the
+// way main does — flags, signal handling, serve — so the recovery test
+// can SIGKILL an actual process mid-stream instead of simulating a crash
+// in-process.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("DOMO_SERVE_CHILD_ARGS"); args != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := serve(ctx, parseFlags(strings.Fields(args))); err != nil {
+			fmt.Fprintf(os.Stderr, "domo-serve child: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// freeAddr reserves a loopback port and releases it for the child to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserving port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startChild launches the test binary as a domo-serve process.
+func startChild(t *testing.T, args string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "DOMO_SERVE_CHILD_ARGS="+args)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting child: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+// pollStatus polls the child's /statusz until cond holds, tolerating
+// connection errors while the child is still starting up (or replaying
+// its WAL — the listeners only open after recovery).
+func pollStatus(t *testing.T, httpAddr, what string, cond func(statusPayload) bool) statusPayload {
+	t.Helper()
+	url := fmt.Sprintf("http://%s/statusz", httpAddr)
+	deadline := time.Now().Add(30 * time.Second)
+	var last statusPayload
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&last)
+			resp.Body.Close()
+			if err == nil && cond(last) {
+				return last
+			}
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%s: condition never held; last status %+v, last error %v", what, last, lastErr)
+	return last
+}
+
+// sendBytes dials the child's ingest port — retrying while it starts up —
+// and streams payload in small chunks.
+func sendBytes(t *testing.T, addr string, payload []byte) {
+	t.Helper()
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial ingest %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer conn.Close()
+	for len(payload) > 0 {
+		n := 64
+		if n > len(payload) {
+			n = len(payload)
+		}
+		if _, err := conn.Write(payload[:n]); err != nil {
+			t.Fatalf("writing wire stream: %v", err)
+		}
+		payload = payload[n:]
+	}
+}
+
+func childArgs(nodes int, dir, ingest, httpAddr string) string {
+	return fmt.Sprintf("-nodes %d -window 8 -queue 64 -fsync always -wal %s -out %s -listen %s -http %s",
+		nodes, filepath.Join(dir, "wal"), filepath.Join(dir, "out.jsonl"), ingest, httpAddr)
+}
+
+// The ISSUE acceptance criterion: SIGKILL a serving process mid-stream,
+// restart it on the same WAL directory, rewind the client, and the output
+// file — the union of windows delivered before the crash and after the
+// restart — must be bit-for-bit identical to an uninterrupted run, with
+// no window delivered twice.
+func TestKillAndRestartRecovery(t *testing.T) {
+	tr, err := domo.Simulate(domo.SimConfig{NumNodes: 10, Duration: time.Minute, DataPeriod: 15 * time.Second, Seed: 7, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var wireBuf bytes.Buffer
+	if err := tr.EncodeWire(&wireBuf); err != nil {
+		t.Fatalf("EncodeWire: %v", err)
+	}
+	wireBytes := wireBuf.Bytes()
+	hlen, frames := frameOffsets(t, wireBytes)
+	N := uint64(tr.NumRecords())
+	const fullFrames = 20 // 2 full 8-record windows plus 4 records of the third
+	if len(frames) < fullFrames+4 {
+		t.Fatalf("trace too small for a mid-stream crash: %d frames", len(frames))
+	}
+
+	// Reference: an uninterrupted run over the whole stream.
+	dirA := t.TempDir()
+	ingestA, httpA := freeAddr(t), freeAddr(t)
+	ref := startChild(t, childArgs(tr.NumNodes(), dirA, ingestA, httpA))
+	sendBytes(t, ingestA, wireBytes)
+	pollStatus(t, httpA, "reference ingest", func(p statusPayload) bool { return p.Received == N })
+	if err := ref.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM reference: %v", err)
+	}
+	if err := ref.Wait(); err != nil {
+		t.Fatalf("reference run exited: %v", err)
+	}
+	refOut, err := os.ReadFile(filepath.Join(dirA, "out.jsonl"))
+	if err != nil {
+		t.Fatalf("reading reference output: %v", err)
+	}
+	if len(refOut) == 0 {
+		t.Fatal("reference run produced no windows")
+	}
+
+	// Crash run: stream a prefix that ends mid-frame, wait until at least
+	// one window has been checkpointed AND every complete frame of the
+	// prefix is durable (-fsync always syncs before the push that bumps
+	// Received), then SIGKILL — no drain, no flush, no goodbye.
+	cut := hlen + 3 // 3 bytes into the frame after the prefix
+	for _, f := range frames[:fullFrames] {
+		cut += f
+	}
+	dirB := t.TempDir()
+	ingestB, httpB := freeAddr(t), freeAddr(t)
+	crash := startChild(t, childArgs(tr.NumNodes(), dirB, ingestB, httpB))
+	sendBytes(t, ingestB, wireBytes[:cut])
+	pollStatus(t, httpB, "crash-run checkpoint", func(p statusPayload) bool {
+		return p.LastCheckpointSeq > 0 && p.Received == fullFrames
+	})
+	if err := crash.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	crash.Wait() // the kill is the expected exit
+
+	// Restart on the same WAL directory with a client that rewinds to the
+	// beginning: replay restores the pre-crash state, the rewound records
+	// are quarantined as duplicates, and the tail is admitted fresh.
+	ingestC, httpC := freeAddr(t), freeAddr(t)
+	restarted := startChild(t, childArgs(tr.NumNodes(), dirB, ingestC, httpC))
+	sendBytes(t, ingestC, wireBytes)
+	final := pollStatus(t, httpC, "restart ingest", func(p statusPayload) bool {
+		return p.ReplayedRecords > 0 && p.Received == p.ReplayedRecords+N
+	})
+	if err := restarted.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM restart: %v", err)
+	}
+	if err := restarted.Wait(); err != nil {
+		t.Fatalf("restarted run exited: %v", err)
+	}
+	// Everything the WAL held past the checkpoint cursor was replayed, and
+	// every rewound duplicate was quarantined, not re-windowed.
+	if final.Quarantined != fullFrames {
+		t.Errorf("restart quarantined %d rewound records, want %d", final.Quarantined, fullFrames)
+	}
+
+	gotOut, err := os.ReadFile(filepath.Join(dirB, "out.jsonl"))
+	if err != nil {
+		t.Fatalf("reading recovered output: %v", err)
+	}
+	if !bytes.Equal(gotOut, refOut) {
+		t.Fatalf("recovered output differs from uninterrupted run:\n got %d bytes: %.200s\nwant %d bytes: %.200s",
+			len(gotOut), gotOut, len(refOut), refOut)
+	}
+
+	// No window delivered twice, none skipped: indices are exactly 0..k.
+	var indices []int
+	for _, lineBytes := range bytes.Split(bytes.TrimSpace(gotOut), []byte("\n")) {
+		var line struct {
+			Index int `json:"index"`
+		}
+		if err := json.Unmarshal(lineBytes, &line); err != nil {
+			t.Fatalf("bad window line %q: %v", lineBytes, err)
+		}
+		indices = append(indices, line.Index)
+	}
+	for i, idx := range indices {
+		if idx != i {
+			t.Fatalf("window indices %v: position %d holds %d", indices, i, idx)
+		}
+	}
+	if want := (int(N) + 7) / 8; len(indices) != want {
+		t.Fatalf("recovered %d windows, want %d", len(indices), want)
+	}
+}

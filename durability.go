@@ -1,0 +1,221 @@
+package domo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/domo-net/domo/internal/wal"
+	"github.com/domo-net/domo/internal/wire"
+)
+
+// WALConfig makes a Stream durable. The zero value (empty Dir) disables
+// the write-ahead log entirely.
+type WALConfig struct {
+	// Dir is the directory holding the log segments. Empty disables the
+	// WAL; the directory is created if missing.
+	Dir string
+	// Fsync selects the durability/throughput trade-off: "always" fsyncs
+	// after every append (no acknowledged record is ever lost), "interval"
+	// (the default) fsyncs at most every FsyncInterval, "off" leaves
+	// flushing to the OS.
+	Fsync string
+	// FsyncInterval bounds data loss under Fsync "interval". Default 100ms.
+	FsyncInterval time.Duration
+	// SegmentBytes caps one log segment before rotation. Default 8MiB.
+	SegmentBytes int64
+	// CheckpointPath locates the recovery cursor file. Default
+	// Dir/checkpoint.json.
+	CheckpointPath string
+	// TrimOnCheckpoint deletes log segments wholly below the cursor on
+	// every Checkpoint. It bounds disk use, but shrinks the duplicate-
+	// suppression horizon to the retained log: a client that reconnects
+	// and resends records older than the retained tail will have them
+	// re-admitted as fresh. Leave it off (the default) when clients may
+	// rewind; trim out-of-band instead.
+	TrimOnCheckpoint bool
+}
+
+func (c WALConfig) enabled() bool { return c.Dir != "" }
+
+func (c WALConfig) checkpointPath() string {
+	if c.CheckpointPath != "" {
+		return c.CheckpointPath
+	}
+	return c.Dir + "/checkpoint.json"
+}
+
+// StreamCheckpoint is the durable recovery cursor of a WAL-backed Stream:
+// every WAL entry at or below Cursor has been folded into a delivered
+// window, the next window will be numbered NextWindow and cover admitted
+// records from SeqBase, and Aux is an opaque caller-owned value saved
+// alongside (a server typically stores its output-file offset there so a
+// crash between delivering a window and checkpointing it can be rolled
+// back instead of double-delivered).
+type StreamCheckpoint struct {
+	Cursor     uint64
+	NextWindow int
+	SeqBase    int
+	Aux        int64
+}
+
+// Checkpoint durably records that every window up to and including w has
+// been delivered: after a crash, OpenStream resumes numbering after w and
+// replays only WAL entries above w.Cursor. Call it after the window's
+// effects (writes to an output file, downstream acks) are themselves
+// durable — the checkpoint is the point of no replay. Aux is stored
+// verbatim and returned by LoadedCheckpoint.
+func (s *Stream) Checkpoint(w *StreamWindow, aux int64) error {
+	if s.log == nil {
+		return fmt.Errorf("stream checkpoint: stream has no WAL: %w", ErrBadInput)
+	}
+	cp := wal.Checkpoint{Cursor: w.Cursor, NextWindow: w.Index + 1, SeqBase: w.SeqEnd, Aux: aux}
+	if err := wal.SaveCheckpoint(s.ckptPath, cp); err != nil {
+		return fmt.Errorf("stream checkpoint: %w", err)
+	}
+	s.lastCkpt.Store(cp.Cursor)
+	if s.cfg.WAL.TrimOnCheckpoint {
+		// A checkpoint for the final windows can race Close tearing down
+		// the log; the checkpoint itself is durable, so a skipped trim is
+		// harmless — the next run's first checkpoint catches up.
+		if err := s.log.TrimTo(cp.Cursor); err != nil && !errors.Is(err, wal.ErrClosed) {
+			return fmt.Errorf("stream checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// SyncWAL forces the log to stable storage regardless of the Fsync
+// policy — a durability barrier for callers about to acknowledge
+// ingestion externally. It is a no-op without a WAL.
+func (s *Stream) SyncWAL() error {
+	if s.log == nil {
+		return nil
+	}
+	if err := s.log.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// LoadedCheckpoint returns the checkpoint OpenStream found on disk, and
+// whether one existed. Servers use Aux to roll their own output back to
+// the checkpointed offset before consuming regenerated windows.
+func (s *Stream) LoadedCheckpoint() (StreamCheckpoint, bool) {
+	if !s.hadCp {
+		return StreamCheckpoint{}, false
+	}
+	cp := s.loadedCp
+	return StreamCheckpoint{Cursor: cp.Cursor, NextWindow: cp.NextWindow, SeqBase: cp.SeqBase, Aux: cp.Aux}, true
+}
+
+// RetryConfig tunes SendWire's reconnect behavior. The zero value selects
+// the defaults noted per field.
+type RetryConfig struct {
+	// MaxAttempts bounds consecutive failed attempts that make no forward
+	// progress; an attempt that sends further into the trace than any
+	// before it resets the budget. Default 5.
+	MaxAttempts int
+	// BaseDelay is the first backoff delay; it doubles per consecutive
+	// failure up to MaxDelay. Defaults 50ms and 2s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter is the fraction of each delay randomized (0..1) so a fleet of
+	// reconnecting nodes does not stampede the collector. Default 0.2.
+	Jitter float64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 50 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Second
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 0.2
+	}
+	return c
+}
+
+func (c RetryConfig) delay(consecutive int) time.Duration {
+	d := c.BaseDelay << (consecutive - 1)
+	if d > c.MaxDelay || d <= 0 {
+		d = c.MaxDelay
+	}
+	// Spread the delay over [1−Jitter/2, 1+Jitter/2) of its nominal value.
+	return time.Duration(float64(d) * (1 - c.Jitter/2 + c.Jitter*rand.Float64()))
+}
+
+// SendWire streams the trace in wire format over connections obtained from
+// dial, reconnecting with jittered exponential backoff when a connection
+// dies mid-stream. Every reconnect rewinds and resends from the first
+// record: a WAL-backed receiver (domo-serve, or Stream with AutoSanitize)
+// quarantines the already-admitted prefix as duplicates, so the admitted
+// sequence is identical to one uninterrupted send. Each record is flushed
+// individually — the helper trades batching throughput for bounded loss
+// on disconnect.
+//
+// SendWire gives up after RetryConfig.MaxAttempts consecutive attempts
+// without forward progress, or when ctx is canceled.
+func (t *Trace) SendWire(ctx context.Context, dial func(ctx context.Context) (io.WriteCloser, error), rc RetryConfig) error {
+	rc = rc.withDefaults()
+	consecutive := 0
+	best := -1 // highest record index any attempt fully sent
+	for {
+		sent, err := t.sendWireOnce(ctx, dial)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("sending wire trace: %w", ctx.Err())
+		}
+		if sent > best {
+			best = sent
+			consecutive = 0
+		}
+		consecutive++
+		if consecutive >= rc.MaxAttempts {
+			return fmt.Errorf("sending wire trace: %d attempts without progress: %w", consecutive, err)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("sending wire trace: %w", ctx.Err())
+		case <-time.After(rc.delay(consecutive)):
+		}
+	}
+}
+
+// sendWireOnce sends header plus all records over one connection,
+// returning the highest record index flushed before the error.
+func (t *Trace) sendWireOnce(ctx context.Context, dial func(ctx context.Context) (io.WriteCloser, error)) (int, error) {
+	conn, err := dial(ctx)
+	if err != nil {
+		return -1, err
+	}
+	defer conn.Close()
+	w, err := wire.NewWriter(conn, wire.Header{NumNodes: t.inner.NumNodes, Duration: t.inner.Duration})
+	if err != nil {
+		return -1, err
+	}
+	sent := -1
+	for i, r := range t.inner.Records {
+		if err := ctx.Err(); err != nil {
+			return sent, err
+		}
+		if err := w.WriteRecord(r); err != nil {
+			return sent, err
+		}
+		if err := w.Flush(); err != nil {
+			return sent, err
+		}
+		sent = i
+	}
+	return sent, nil
+}

@@ -1,0 +1,343 @@
+package domo
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// prefixTrace returns a trace holding the first n records.
+func prefixTrace(tr *Trace, n int) *Trace {
+	return &Trace{inner: &trace.Trace{
+		NumNodes: tr.inner.NumNodes,
+		Duration: tr.inner.Duration,
+		Records:  tr.inner.Records[:n],
+	}}
+}
+
+func simTrace(t *testing.T, minRecords int) *Trace {
+	t.Helper()
+	tr, err := Simulate(SimConfig{NumNodes: 12, Duration: time.Minute, DataPeriod: 10 * time.Second, Seed: 5, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if tr.NumRecords() < minRecords {
+		t.Fatalf("simulation too small: %d records, need %d", tr.NumRecords(), minRecords)
+	}
+	return tr
+}
+
+func durableCfg(numNodes int, walDir string) StreamConfig {
+	cfg := StreamConfig{
+		NumNodes:      numNodes,
+		Estimation:    Config{WindowPackets: 8, AutoSanitize: true},
+		WindowRecords: 16,
+		QueueCap:      64,
+	}
+	if walDir != "" {
+		cfg.WAL = WALConfig{Dir: walDir, Fsync: "off"}
+	}
+	return cfg
+}
+
+// runStream replays the trace through a stream with cfg and returns every
+// delivered window in order.
+func runStream(t *testing.T, cfg StreamConfig, tr *Trace) []*StreamWindow {
+	t.Helper()
+	s, err := OpenStream(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	go func() {
+		if err := s.Replay(tr); err != nil {
+			t.Errorf("Replay: %v", err)
+		}
+		s.Close()
+	}()
+	var out []*StreamWindow
+	for w := range s.Results() {
+		out = append(out, w)
+	}
+	return out
+}
+
+// assertWindowEqual requires two windows to be bit-identical: same
+// numbering, same admitted records, same reconstructed arrivals.
+func assertWindowEqual(t *testing.T, got, want *StreamWindow) {
+	t.Helper()
+	if got.Index != want.Index || got.SeqStart != want.SeqStart || got.SeqEnd != want.SeqEnd {
+		t.Fatalf("window numbering: got %d [%d,%d), want %d [%d,%d)",
+			got.Index, got.SeqStart, got.SeqEnd, want.Index, want.SeqStart, want.SeqEnd)
+	}
+	if got.Err != nil || want.Err != nil {
+		t.Fatalf("window %d errs: got %v, want %v", got.Index, got.Err, want.Err)
+	}
+	gp, wp := got.Trace.Packets(), want.Trace.Packets()
+	if len(gp) != len(wp) {
+		t.Fatalf("window %d: %d packets vs %d", got.Index, len(gp), len(wp))
+	}
+	for i, id := range wp {
+		if gp[i] != id {
+			t.Fatalf("window %d packet %d: %v vs %v", got.Index, i, gp[i], id)
+		}
+		ga, err := got.Reconstruction.Arrivals(id)
+		if err != nil {
+			t.Fatalf("window %d arrivals(%v): %v", got.Index, id, err)
+		}
+		wa, err := want.Reconstruction.Arrivals(id)
+		if err != nil {
+			t.Fatalf("window %d want arrivals(%v): %v", got.Index, id, err)
+		}
+		if len(ga) != len(wa) {
+			t.Fatalf("window %d packet %v: %d hops vs %d", got.Index, id, len(ga), len(wa))
+		}
+		for hop := range wa {
+			if ga[hop] != wa[hop] {
+				t.Fatalf("window %d packet %v hop %d: %v != %v", got.Index, id, hop, ga[hop], wa[hop])
+			}
+		}
+	}
+}
+
+// Kill-and-recover at the facade level: a WAL-backed stream ingests a
+// prefix and checkpoints only its first window; a second stream over the
+// same WAL directory recovers, a client rewinds and resends the whole
+// trace, and the union of checkpointed and regenerated windows must be
+// bit-identical to one uninterrupted run — no window delivered twice, no
+// record lost, duplicates quarantined.
+func TestWALRecoveryBitIdentical(t *testing.T) {
+	tr := simTrace(t, 48)
+	reference := runStream(t, durableCfg(tr.NumNodes(), ""), tr)
+	if len(reference) < 3 {
+		t.Fatalf("reference run closed %d windows; test needs 3+", len(reference))
+	}
+
+	dir := t.TempDir()
+	got1 := runStream(t, durableCfg(tr.NumNodes(), dir), prefixTrace(tr, 40))
+	if len(got1) < 1 {
+		t.Fatal("prefix run closed no windows")
+	}
+	// Persist only window 0, then "crash": everything after it is lost.
+	s0, err := OpenStream(context.Background(), durableCfg(tr.NumNodes(), dir))
+	if err != nil {
+		t.Fatalf("reopen for checkpoint: %v", err)
+	}
+	// The first reopen replays the whole log (nothing checkpointed yet).
+	if err := s0.Recovered(); err != nil {
+		t.Fatalf("Recovered: %v", err)
+	}
+	if err := s0.Checkpoint(got1[0], 4242); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	go s0.Close()
+	for range s0.Results() {
+	}
+
+	// Restart: recovery must prime window 0's records, regenerate the rest
+	// of the prefix, and quarantine the client's full-rewind resend.
+	s2, err := OpenStream(context.Background(), durableCfg(tr.NumNodes(), dir))
+	if err != nil {
+		t.Fatalf("restart OpenStream: %v", err)
+	}
+	cp, ok := s2.LoadedCheckpoint()
+	if !ok {
+		t.Fatal("restart found no checkpoint")
+	}
+	if cp.NextWindow != got1[0].Index+1 || cp.SeqBase != got1[0].SeqEnd || cp.Cursor != got1[0].Cursor || cp.Aux != 4242 {
+		t.Fatalf("loaded checkpoint %+v does not match window 0 %+v", cp, got1[0])
+	}
+	go func() {
+		if err := s2.Replay(tr); err != nil { // full rewind, as SendWire does
+			t.Errorf("resend Replay: %v", err)
+		}
+		s2.Close()
+	}()
+	var got2 []*StreamWindow
+	for w := range s2.Results() {
+		got2 = append(got2, w)
+	}
+
+	recovered := append([]*StreamWindow{got1[0]}, got2...)
+	if len(recovered) != len(reference) {
+		t.Fatalf("recovered run delivered %d windows, reference %d", len(recovered), len(reference))
+	}
+	for i := range reference {
+		assertWindowEqual(t, recovered[i], reference[i])
+	}
+	st := s2.Stats()
+	if st.ReplayedRecords == 0 {
+		t.Fatalf("restart replayed nothing: %+v", st)
+	}
+	if st.Quarantined != 40 {
+		t.Fatalf("rewound resend quarantined %d records, want 40", st.Quarantined)
+	}
+	if st.LastCheckpoint != got1[0].Cursor {
+		t.Fatalf("LastCheckpoint = %d, want %d", st.LastCheckpoint, got1[0].Cursor)
+	}
+}
+
+// Checkpoint trimming and the WAL stats surface.
+func TestCheckpointTrimAndStats(t *testing.T) {
+	tr := simTrace(t, 48)
+	dir := t.TempDir()
+	cfg := durableCfg(tr.NumNodes(), dir)
+	cfg.WAL.SegmentBytes = 1024
+	cfg.WAL.TrimOnCheckpoint = true
+	s, err := OpenStream(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	go func() {
+		if err := s.Replay(tr); err != nil {
+			t.Errorf("Replay: %v", err)
+		}
+		if err := s.SyncWAL(); err != nil {
+			t.Errorf("SyncWAL: %v", err)
+		}
+		s.Close()
+	}()
+	var last *StreamWindow
+	for w := range s.Results() {
+		if err := s.Checkpoint(w, int64(w.Index)); err != nil {
+			t.Fatalf("Checkpoint(%d): %v", w.Index, err)
+		}
+		last = w
+	}
+	if last == nil {
+		t.Fatal("no windows delivered")
+	}
+	st := s.Stats()
+	if st.WALSegments < 1 || st.WALBytes <= 0 {
+		t.Fatalf("WAL stats not surfaced: %+v", st)
+	}
+	if st.LastCheckpoint != last.Cursor {
+		t.Fatalf("LastCheckpoint = %d, want %d", st.LastCheckpoint, last.Cursor)
+	}
+
+	s2, err := OpenStream(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	cp, ok := s2.LoadedCheckpoint()
+	if !ok || cp.Cursor != last.Cursor || cp.Aux != int64(last.Index) {
+		t.Fatalf("reloaded checkpoint %+v, want cursor %d aux %d", cp, last.Cursor, last.Index)
+	}
+	// Re-checkpointing on the live reopened log must trim every sealed
+	// segment below the cursor (the final window's cursor covers the whole
+	// log), leaving only the active segment.
+	if err := s2.Checkpoint(last, int64(last.Index)); err != nil {
+		t.Fatalf("re-checkpoint: %v", err)
+	}
+	if st2 := s2.Stats(); st2.WALSegments != 1 {
+		t.Fatalf("trim left %d segments, want 1 (active only): %+v", st2.WALSegments, st2)
+	}
+
+	// Checkpoint without a WAL is a usage error.
+	plain, err := OpenStream(context.Background(), durableCfg(tr.NumNodes(), ""))
+	if err != nil {
+		t.Fatalf("OpenStream(plain): %v", err)
+	}
+	defer plain.Close()
+	if err := plain.Checkpoint(last, 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("Checkpoint without WAL = %v, want ErrBadInput", err)
+	}
+	if err := plain.SyncWAL(); err != nil {
+		t.Fatalf("SyncWAL without WAL: %v", err)
+	}
+}
+
+// flakySink hands out connections that die after a configured number of
+// writes, then a healthy one; it records every dial.
+type flakySink struct {
+	failAfter []int // per-dial write budget; past the end, connections are healthy
+	dials     int
+	final     bytes.Buffer
+}
+
+type flakyConn struct {
+	w      io.Writer
+	budget int // -1: unlimited
+	writes int
+}
+
+func (c *flakyConn) Write(p []byte) (int, error) {
+	if c.budget >= 0 && c.writes >= c.budget {
+		return 0, errors.New("connection reset by peer")
+	}
+	c.writes++
+	return c.w.Write(p)
+}
+
+func (c *flakyConn) Close() error { return nil }
+
+func (f *flakySink) dial(ctx context.Context) (io.WriteCloser, error) {
+	i := f.dials
+	f.dials++
+	if i < len(f.failAfter) {
+		return &flakyConn{w: io.Discard, budget: f.failAfter[i]}, nil
+	}
+	return &flakyConn{w: &f.final, budget: -1}, nil
+}
+
+// SendWire survives mid-stream disconnects: it backs off, redials, rewinds
+// to record zero, and the surviving connection carries the whole trace.
+func TestSendWireReconnect(t *testing.T) {
+	tr := simTrace(t, 10)
+	sink := &flakySink{failAfter: []int{2, 5}} // two connections die mid-stream
+	rc := RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	if err := tr.SendWire(context.Background(), sink.dial, rc); err != nil {
+		t.Fatalf("SendWire: %v", err)
+	}
+	if sink.dials != 3 {
+		t.Fatalf("dials = %d, want 3", sink.dials)
+	}
+	got, err := ReadWireTrace(bytes.NewReader(sink.final.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadWireTrace: %v", err)
+	}
+	if got.NumRecords() != tr.NumRecords() {
+		t.Fatalf("delivered %d records, want %d", got.NumRecords(), tr.NumRecords())
+	}
+}
+
+// SendWire gives up after MaxAttempts consecutive dials with no progress,
+// and forward progress resets the budget.
+func TestSendWireGivesUpWithoutProgress(t *testing.T) {
+	tr := simTrace(t, 10)
+	dials := 0
+	deadDial := func(ctx context.Context) (io.WriteCloser, error) {
+		dials++
+		return nil, fmt.Errorf("no route to host")
+	}
+	rc := RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	if err := tr.SendWire(context.Background(), deadDial, rc); err == nil {
+		t.Fatal("SendWire succeeded against a dead dialer")
+	}
+	if dials != 3 {
+		t.Fatalf("dials = %d, want MaxAttempts = 3", dials)
+	}
+
+	// Each connection gets one record further than the last: progress on
+	// every attempt means the budget never runs out even past MaxAttempts.
+	sink := &flakySink{failAfter: []int{2, 3, 4, 5, 6}}
+	if err := tr.SendWire(context.Background(), sink.dial, rc); err != nil {
+		t.Fatalf("SendWire with steady progress: %v", err)
+	}
+	if sink.dials != 6 {
+		t.Fatalf("dials = %d, want 6", sink.dials)
+	}
+
+	// Cancellation cuts the retry loop short.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := tr.SendWire(ctx, deadDial, rc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SendWire(canceled) = %v", err)
+	}
+}

@@ -1,16 +1,19 @@
 // Service mode: reconstruct delays online, window by window, while records
 // stream in — instead of batching the whole trace first.
 //
-// The example simulates a collection run, serializes it in the binary wire
-// format, and replays the bytes over a real TCP loopback connection into an
-// open reconstruction stream, printing each window's reconstruction as it
-// closes — exactly the path a live deployment takes through domo-serve,
-// minus the radios.
+// The example simulates a collection run and replays it over a real TCP
+// loopback connection into an open reconstruction stream, printing each
+// window's reconstruction as it closes — exactly the path a live
+// deployment takes through domo-serve, minus the radios. The uplink is
+// deliberately flaky: the first connection dies mid-frame, and the sink
+// side recovers with SendWire's reconnect-and-rewind loop while the
+// receiving stream quarantines the rewound duplicates.
 package main
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"time"
@@ -25,6 +28,25 @@ func main() {
 	}
 }
 
+// flakyConn is the first uplink attempt: it forwards budget bytes and then
+// fails, cutting the connection mid-frame the way a radio dropout would.
+type flakyConn struct {
+	net.Conn
+	budget int
+}
+
+func (c *flakyConn) Write(p []byte) (int, error) {
+	if c.budget <= 0 {
+		return 0, fmt.Errorf("uplink lost")
+	}
+	if len(p) > c.budget {
+		p = p[:c.budget] // short write: the sender sees the failure
+	}
+	n, err := c.Conn.Write(p)
+	c.budget -= n
+	return n, err
+}
+
 func run() error {
 	// 1. A trace to replay. A real sink would produce the same wire bytes
 	//    on its uplink as the packets arrive.
@@ -37,28 +59,11 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("simulating: %w", err)
 	}
-	fmt.Printf("replaying %d packets from %d nodes over loopback TCP\n\n", tr.NumRecords(), tr.NumNodes())
+	fmt.Printf("replaying %d packets from %d nodes over a flaky loopback uplink\n\n", tr.NumRecords(), tr.NumNodes())
 
-	// 2. A loopback "uplink": the sink side writes the wire stream, the
-	//    service side feeds the connection into an open stream.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	defer ln.Close()
-	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		defer conn.Close()
-		if err := tr.EncodeWire(conn); err != nil {
-			fmt.Fprintf(os.Stderr, "stream: uplink: %v\n", err)
-		}
-	}()
-
-	// 3. The online engine: 64-record ε-aligned windows, per-record
-	//    sanitization, the same estimation knobs as offline Estimate.
+	// 2. The online engine: 64-record ε-aligned windows, per-record
+	//    sanitization (which is also what absorbs the rewound duplicates
+	//    after a reconnect), the same estimation knobs as offline Estimate.
 	s, err := domo.OpenStream(context.Background(), domo.StreamConfig{
 		NumNodes:      tr.NumNodes(),
 		Estimation:    domo.Config{AutoSanitize: true},
@@ -67,19 +72,50 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("opening stream: %w", err)
 	}
-	conn, err := net.Dial("tcp", ln.Addr().String())
+
+	// 3. The service side: accept uplink connections — plural, because the
+	//    uplink reconnects — and feed each into the stream.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	go func() {
-		defer conn.Close()
-		if err := s.Feed(conn); err != nil {
-			fmt.Fprintf(os.Stderr, "stream: feed: %v\n", err)
+		defer s.Close() // uplink done: drain and flush the final partial window
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed once the sender is finished
+			}
+			if err := s.Feed(conn); err != nil {
+				fmt.Printf("uplink dropped: %v\n", err)
+			}
+			conn.Close()
 		}
-		s.Close() // drain and flush the final partial window
 	}()
 
-	// 4. Consume reconstructions as windows close. Each window is solved
+	// 4. The sink side: SendWire dials, streams, and on failure backs off,
+	//    reconnects, and rewinds to the first record. The first connection
+	//    is rigged to die mid-frame; the retry delivers everything.
+	dials := 0
+	dial := func(ctx context.Context) (io.WriteCloser, error) {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		dials++
+		if dials == 1 {
+			return &flakyConn{Conn: conn, budget: 8192}, nil
+		}
+		return conn, nil
+	}
+	go func() {
+		if err := tr.SendWire(context.Background(), dial, domo.RetryConfig{}); err != nil {
+			fmt.Fprintf(os.Stderr, "stream: uplink: %v\n", err)
+		}
+		ln.Close() // no more connections coming; unblocks the accept loop
+	}()
+
+	// 5. Consume reconstructions as windows close. Each window is solved
 	//    with the offline pipeline, so accuracy can be scored immediately.
 	for w := range s.Results() {
 		if w.Err != nil {
@@ -95,9 +131,11 @@ func run() error {
 			w.Index, w.SeqStart, w.SeqEnd, w.Trace.NumRecords(), w.SolveTime.Round(time.Microsecond), sum.Mean, sum.P90)
 	}
 
-	// 5. The same accounting domo-serve exports on /statusz.
+	// 6. The same accounting domo-serve exports on /statusz. Received
+	//    exceeds the packet count by exactly the rewound prefix, and every
+	//    one of those extras sits in Quarantined — none were re-windowed.
 	st := s.Stats()
-	fmt.Printf("\nstream done: %d received, %d dropped, %d quarantined, %d windows, solve mean %.2fms p90 %.2fms\n",
-		st.Received, st.Dropped, st.Quarantined, st.Windows, st.SolveLatency.Mean, st.SolveLatency.P90)
+	fmt.Printf("\nstream done: %d uplink connections, %d received, %d duplicates quarantined, %d dropped, %d windows, solve mean %.2fms p90 %.2fms\n",
+		dials, st.Received, st.Quarantined, st.Dropped, st.Windows, st.SolveLatency.Mean, st.SolveLatency.P90)
 	return nil
 }

@@ -344,6 +344,18 @@ func (est *Estimates) runWindows(ctx context.Context, d *Dataset, spans []window
 	return nil
 }
 
+// DegradeToProjection re-projects every unknown onto its packet's ω order
+// chain — the same fallback a twice-failed window takes — so a partially
+// solved Estimates (one cut short by a streaming solve deadline, say)
+// still satisfies the order constraints everywhere: solved windows are
+// left essentially untouched (their values already honor the chains) and
+// unsolved windows keep their clamped-interpolation initialization,
+// projected feasible. It counts one degradation in the stats.
+func (e *Estimates) DegradeToProjection() {
+	projectOrder(e.ds, e.values, 0, len(e.ds.records))
+	e.Stats.DegradedWindows++
+}
+
 // mergeWindowStat folds one completed window into the aggregate counters.
 func (est *Estimates) mergeWindowStat(st WindowStat) {
 	est.Stats.Windows++

@@ -1,0 +1,277 @@
+// Package netfault is an in-process chaos harness for the wire ingestion
+// path: a TCP proxy that forwards client bytes to an upstream collector
+// while injecting the failure modes a wireless sink uplink actually
+// exhibits — mid-frame disconnects, long stalls, duplicated frames, and
+// flipped bytes. Tests point a client at the proxy instead of the real
+// listener and assert the collector's accounting under each fault.
+package netfault
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan describes the faults injected into one proxied connection's
+// client-to-upstream byte stream. The zero Plan is a clean pass-through.
+// Offsets are 1-based byte positions in the forwarded stream (header
+// included), so CorruptByte: 1 flips the first magic byte.
+type Plan struct {
+	// CutAfter closes both sides of the connection once this many bytes
+	// have been forwarded — a mid-frame disconnect when it lands inside a
+	// record frame. Zero never cuts.
+	CutAfter int64
+	// StallAfter pauses forwarding for StallFor once this many bytes have
+	// been forwarded — a radio dead zone. Zero never stalls.
+	StallAfter int64
+	StallFor   time.Duration
+	// CorruptByte XORs the byte at this 1-based offset with 0xFF — the
+	// CRC-detectable corruption a flaky link produces. Zero corrupts
+	// nothing.
+	CorruptByte int64
+	// DuplicateFrame resends the Nth (1-based) record frame immediately
+	// after its first copy — duplicate sink logging. It is frame-aware:
+	// the proxy parses the wire preamble and frame lengths to find the
+	// boundary. Zero duplicates nothing.
+	DuplicateFrame int
+}
+
+// errCut distinguishes a planned disconnect from a real copy failure.
+var errCut = errors.New("netfault: planned cut")
+
+// Proxy is the chaos TCP proxy. The i-th accepted connection gets the
+// i-th Plan; connections beyond the plan list are clean pass-throughs.
+type Proxy struct {
+	ln       net.Listener
+	upstream string
+
+	mu    sync.Mutex
+	plans []Plan
+	next  int
+	wg    sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to upstream.
+func New(upstream string, plans ...Plan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netfault: listen: %w", err)
+	}
+	p := &Proxy{ln: ln, upstream: upstream, plans: plans}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the proxy's dialable address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections to unwind.
+func (p *Proxy) Close() error {
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		var plan Plan
+		if p.next < len(p.plans) {
+			plan = p.plans[p.next]
+		}
+		p.next++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.handle(conn, plan)
+	}
+}
+
+func (p *Proxy) handle(client net.Conn, plan Plan) {
+	defer p.wg.Done()
+	defer client.Close()
+	up, err := net.Dial("tcp", p.upstream)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	// Upstream-to-client direction is fault-free (the ingest protocol is
+	// one-way, but draining it keeps resets from racing the payload).
+	go io.Copy(io.Discard, up) //nolint:errcheck
+	fw := &faultWriter{dst: up, plan: plan}
+	if plan.DuplicateFrame > 0 {
+		fw.dst = &frameDuplicator{dst: up, dupIndex: plan.DuplicateFrame}
+	}
+	io.Copy(fw, client) //nolint:errcheck // errCut is the planned outcome; the deferred closes tear down both sides
+}
+
+// faultWriter applies byte-level faults (cut, stall, corruption) while
+// forwarding, splitting writes so each fault lands at its exact offset.
+type faultWriter struct {
+	dst     io.Writer
+	plan    Plan
+	off     int64
+	cut     bool
+	stalled bool
+	scratch []byte
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	written := 0
+	for len(p) > 0 {
+		if w.cut {
+			return written, errCut
+		}
+		if w.plan.StallAfter > 0 && !w.stalled && w.off == w.plan.StallAfter {
+			w.stalled = true
+			time.Sleep(w.plan.StallFor)
+		}
+		chunk := int64(len(p))
+		corrupt := false
+		// Clamp the chunk to the nearest pending fault boundary.
+		if c := w.plan.CutAfter; c > 0 && w.off+chunk > c {
+			chunk = c - w.off
+		}
+		if s := w.plan.StallAfter; s > 0 && !w.stalled && w.off+chunk > s {
+			chunk = s - w.off
+		}
+		if b := w.plan.CorruptByte; b > 0 && w.off < b && w.off+chunk >= b {
+			chunk = b - w.off
+			corrupt = true
+		}
+		out := p[:chunk]
+		if corrupt {
+			w.scratch = append(w.scratch[:0], out...)
+			w.scratch[len(w.scratch)-1] ^= 0xFF
+			out = w.scratch
+		}
+		n, err := w.dst.Write(out)
+		written += n
+		w.off += int64(n)
+		if err != nil {
+			return written, err
+		}
+		if w.plan.CutAfter > 0 && w.off >= w.plan.CutAfter {
+			w.cut = true
+			return written, errCut
+		}
+		p = p[chunk:]
+	}
+	return written, nil
+}
+
+// frameDuplicator parses the wire stream structure — fixed preamble, two
+// varints, then length-prefixed CRC-framed records — and resends the
+// dupIndex-th frame right after its first copy.
+type frameDuplicator struct {
+	dst      io.Writer
+	dupIndex int
+
+	phase  int // 0: magic+version, 1: NumNodes uvarint, 2: Duration varint, 3: frame length, 4: frame body
+	need   int
+	frames int
+	cur    []byte // current frame, length prefix included
+	dup    []byte // completed target frame awaiting resend
+	done   bool
+}
+
+const preambleFixed = 5 // 4 magic bytes + 1 version byte
+
+func (d *frameDuplicator) Write(p []byte) (int, error) {
+	if d.done {
+		return d.dst.Write(p)
+	}
+	written := 0
+	for len(p) > 0 {
+		n := d.step(p)
+		m, err := d.dst.Write(p[:n])
+		written += m
+		if err != nil {
+			return written, err
+		}
+		if d.phase >= 3 {
+			d.cur = append(d.cur, p[:n]...)
+		}
+		d.advance(n, p[:n])
+		p = p[n:]
+		// A completed target frame is resent before any following bytes.
+		if d.dup != nil {
+			if _, err := d.dst.Write(d.dup); err != nil {
+				return written, err
+			}
+			d.dup = nil
+			d.done = true
+		}
+	}
+	return written, nil
+}
+
+// step returns how many leading bytes of p belong to the current phase.
+func (d *frameDuplicator) step(p []byte) int {
+	switch d.phase {
+	case 0:
+		if d.need == 0 {
+			d.need = preambleFixed
+		}
+		return min(len(p), d.need)
+	case 1, 2:
+		// Varints end at the first byte without the continuation bit;
+		// consume up to and including it.
+		for i, b := range p {
+			if b&0x80 == 0 {
+				return i + 1
+			}
+		}
+		return len(p)
+	case 3:
+		if d.need == 0 {
+			d.need = 4
+		}
+		return min(len(p), d.need)
+	default: // 4
+		return min(len(p), d.need)
+	}
+}
+
+// advance consumes n bytes of the current phase and rolls the state
+// machine forward across phase boundaries.
+func (d *frameDuplicator) advance(n int, consumed []byte) {
+	switch d.phase {
+	case 0:
+		d.need -= n
+		if d.need == 0 {
+			d.phase = 1
+		}
+	case 1, 2:
+		if consumed[len(consumed)-1]&0x80 == 0 {
+			d.phase++
+		}
+	case 3:
+		d.need -= n
+		if d.need == 0 {
+			// cur now holds the 4-byte length prefix.
+			payload := binary.LittleEndian.Uint32(d.cur[len(d.cur)-4:])
+			d.need = int(payload) + 4 // payload plus CRC
+			d.phase = 4
+		}
+	case 4:
+		d.need -= n
+		if d.need == 0 {
+			d.frames++
+			if d.frames == d.dupIndex {
+				d.dup = append([]byte(nil), d.cur...)
+			}
+			d.cur = d.cur[:0]
+			d.phase = 3
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package netfault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+	"github.com/domo-net/domo/internal/wire"
+)
+
+// sink is a one-shot upstream that drains every accepted connection into
+// a per-connection buffer.
+type sink struct {
+	ln net.Listener
+	mu sync.Mutex
+	wg sync.WaitGroup
+
+	conns [][]byte
+}
+
+func newSink(t *testing.T) *sink {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("sink listen: %v", err)
+	}
+	s := &sink{ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				data, _ := io.ReadAll(conn)
+				s.mu.Lock()
+				s.conns = append(s.conns, data)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); s.wg.Wait() })
+	return s
+}
+
+// received returns the bytes of connection i once it has closed.
+func (s *sink) received(t *testing.T, i int) []byte {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		if len(s.conns) > i {
+			out := s.conns[i]
+			s.mu.Unlock()
+			return out
+		}
+		s.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("sink connection %d never completed", i)
+	return nil
+}
+
+// send dials the proxy, writes payload in small chunks (so fault offsets
+// land mid-write as well as between writes), and closes.
+func send(t *testing.T, addr string, payload []byte) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer conn.Close()
+	for len(payload) > 0 {
+		n := 7
+		if n > len(payload) {
+			n = len(payload)
+		}
+		if _, err := conn.Write(payload[:n]); err != nil {
+			return // a planned cut resets the client side mid-send
+		}
+		payload = payload[n:]
+	}
+}
+
+func testPayload(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i)
+	}
+	return out
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	s := newSink(t)
+	p, err := New(s.ln.Addr().String())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	payload := testPayload(1000)
+	send(t, p.Addr(), payload)
+	if got := s.received(t, 0); !bytes.Equal(got, payload) {
+		t.Fatalf("pass-through delivered %d bytes, want %d identical", len(got), len(payload))
+	}
+}
+
+func TestCutMidStream(t *testing.T) {
+	s := newSink(t)
+	p, err := New(s.ln.Addr().String(), Plan{CutAfter: 123})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	payload := testPayload(1000)
+	send(t, p.Addr(), payload)
+	got := s.received(t, 0)
+	if !bytes.Equal(got, payload[:123]) {
+		t.Fatalf("cut delivered %d bytes, want exactly the 123-byte prefix", len(got))
+	}
+}
+
+func TestStallDelaysDelivery(t *testing.T) {
+	s := newSink(t)
+	const stall = 80 * time.Millisecond
+	p, err := New(s.ln.Addr().String(), Plan{StallAfter: 100, StallFor: stall})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	payload := testPayload(400)
+	start := time.Now()
+	send(t, p.Addr(), payload)
+	got := s.received(t, 0)
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("delivery finished in %v, want >= the %v stall", elapsed, stall)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("stall lost data: %d of %d bytes", len(got), len(payload))
+	}
+}
+
+func TestCorruptByte(t *testing.T) {
+	s := newSink(t)
+	p, err := New(s.ln.Addr().String(), Plan{CorruptByte: 50})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	payload := testPayload(200)
+	send(t, p.Addr(), payload)
+	got := s.received(t, 0)
+	if len(got) != len(payload) {
+		t.Fatalf("corruption changed length: %d != %d", len(got), len(payload))
+	}
+	for i := range payload {
+		want := payload[i]
+		if i == 49 {
+			want ^= 0xFF
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d: got %#x, want %#x", i, got[i], want)
+		}
+	}
+}
+
+func fixtureRecords() []*trace.Record {
+	mk := func(src radio.NodeID, seq uint32, path []radio.NodeID, gen, arr sim.Time) *trace.Record {
+		return &trace.Record{
+			ID:          trace.PacketID{Source: src, Seq: seq},
+			Path:        path,
+			GenTime:     gen,
+			SinkArrival: arr,
+			FirstHop:    path[1],
+			PathHash:    trace.ComputePathHash(path),
+		}
+	}
+	return []*trace.Record{
+		mk(3, 1, []radio.NodeID{3, 0}, 0, time.Millisecond),
+		mk(4, 1, []radio.NodeID{4, 2, 0}, time.Millisecond, 3*time.Millisecond),
+		mk(3, 2, []radio.NodeID{3, 0}, 2*time.Millisecond, 4*time.Millisecond),
+	}
+}
+
+// wireStream encodes a valid wire stream: preamble plus framed records.
+func wireStream(recs []*trace.Record) []byte {
+	buf := wire.AppendHeader(nil, wire.Header{NumNodes: 5, Duration: time.Second})
+	for _, r := range recs {
+		buf = wire.AppendFrame(buf, wire.AppendRecord(nil, r))
+	}
+	return buf
+}
+
+// The duplicator must be frame-aware: the copy lands on a frame boundary
+// and both copies decode, so the receiver sees the duplicate-id record a
+// resending sink would produce.
+func TestDuplicateFrame(t *testing.T) {
+	s := newSink(t)
+	p, err := New(s.ln.Addr().String(), Plan{DuplicateFrame: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	recs := fixtureRecords()
+	send(t, p.Addr(), wireStream(recs))
+	got := s.received(t, 0)
+
+	rd, err := wire.NewReader(bytes.NewReader(got))
+	if err != nil {
+		t.Fatalf("NewReader over duplicated stream: %v", err)
+	}
+	var ids []trace.PacketID
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		ids = append(ids, rec.ID)
+	}
+	want := []trace.PacketID{recs[0].ID, recs[1].ID, recs[1].ID, recs[2].ID}
+	if len(ids) != len(want) {
+		t.Fatalf("decoded %d records, want %d: %v", len(ids), len(want), ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("record %d: got %v, want %v", i, ids[i], want[i])
+		}
+	}
+}
+
+// Later connections get later plans; connections past the plan list are
+// clean.
+func TestPerConnectionPlans(t *testing.T) {
+	s := newSink(t)
+	p, err := New(s.ln.Addr().String(), Plan{CutAfter: 10}, Plan{CorruptByte: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	payload := testPayload(100)
+	send(t, p.Addr(), payload)
+	if got := s.received(t, 0); len(got) != 10 {
+		t.Fatalf("conn 0 (cut) delivered %d bytes, want 10", len(got))
+	}
+	send(t, p.Addr(), payload)
+	if got := s.received(t, 1); len(got) != 100 || got[0] != payload[0]^0xFF {
+		t.Fatalf("conn 1 (corrupt) delivered %d bytes, first %#x", len(got), got[0])
+	}
+	send(t, p.Addr(), payload)
+	if got := s.received(t, 2); !bytes.Equal(got, payload) {
+		t.Fatalf("conn 2 should be clean")
+	}
+}

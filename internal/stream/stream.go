@@ -85,6 +85,22 @@ type Config struct {
 	SanitizeOpts trace.SanitizeOptions
 	// ResultBuffer is the capacity of the results channel. Default 4.
 	ResultBuffer int
+	// SolveTimeout, when positive, bounds each window's solve wall time.
+	// A window that exceeds it is retried once with a fresh budget and
+	// then degraded to the order-projected estimate (the PR-1 fallback)
+	// instead of failing — counted in Stats.TimedOutWindows and marked
+	// TimedOut on the result.
+	SolveTimeout time.Duration
+	// FirstWindow and BaseSeq resume window numbering after a crash
+	// recovery: the first window this engine closes gets Index FirstWindow
+	// and covers admitted records starting at sequence BaseSeq. Zero for a
+	// fresh stream.
+	FirstWindow int
+	BaseSeq     int
+
+	// solveHook, when set (tests only), runs at the start of every solve
+	// attempt, inside the attempt's deadline.
+	solveHook func(window int)
 }
 
 func (c Config) withDefaults() Config {
@@ -114,7 +130,8 @@ func (c Config) withDefaults() Config {
 // constraint system the dataset builder rejects); per-window solver
 // failures degrade inside Est as in the offline path.
 type WindowResult struct {
-	// Index numbers closed windows from zero.
+	// Index numbers closed windows from zero (from Config.FirstWindow
+	// after a recovery).
 	Index int
 	// Seq is the half-open admitted-record range [Start, End) this window
 	// covers, counted over admitted (post-sanitize) records.
@@ -122,7 +139,15 @@ type WindowResult struct {
 	Trace            *trace.Trace
 	Est              *core.Estimates
 	SolveTime        time.Duration
-	Err              error
+	// Cursor is the highest durable sequence (PushSeq) among the window's
+	// records — the write-ahead-log position a checkpoint should record
+	// once this window has been consumed. Zero when no record carried a
+	// sequence.
+	Cursor uint64
+	// TimedOut reports that the solve exceeded Config.SolveTimeout twice
+	// and the estimate was degraded to the order projection.
+	TimedOut bool
+	Err      error
 }
 
 // Stats is a snapshot of the engine's accounting. All counters are
@@ -143,11 +168,14 @@ type Stats struct {
 	QueueMax   int
 	Buffered   int
 	// Windows counts delivered windows; WindowsFailed those with Err set;
-	// DegradedWindows sums the solver's per-window degradations.
+	// DegradedWindows sums the solver's per-window degradations;
+	// TimedOutWindows counts windows degraded because the solve exceeded
+	// Config.SolveTimeout twice.
 	Windows         uint64
 	WindowsFailed   uint64
 	RetriedWindows  uint64
 	DegradedWindows uint64
+	TimedOutWindows uint64
 	// Lag is the stream-time distance between the newest received record's
 	// sink arrival and the end of the last delivered window — how far
 	// behind live traffic the reconstruction runs.
@@ -169,7 +197,7 @@ type Engine struct {
 	mu       sync.Mutex
 	notFull  *sync.Cond
 	notEmpty *sync.Cond
-	queue    []*trace.Record // FIFO; head at [0], bounded by cfg.QueueCap
+	queue    []pushEntry // FIFO; head at [0], bounded by cfg.QueueCap
 	closed   bool
 	stats    Stats
 
@@ -219,11 +247,26 @@ func Open(ctx context.Context, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// pushEntry pairs a queued record with its durable (write-ahead-log)
+// sequence number; zero means the record has no durable identity.
+type pushEntry struct {
+	rec *trace.Record
+	seq uint64
+}
+
 // Push hands one record to the engine. Under PolicyBlock it waits for
 // queue space (returning ctx.Err if the engine's context dies first);
 // under PolicyDropOldest it never blocks. Push after Close returns
 // ErrClosed. Safe for concurrent use.
-func (e *Engine) Push(r *trace.Record) error {
+func (e *Engine) Push(r *trace.Record) error { return e.PushSeq(r, 0) }
+
+// PushSeq is Push for records with a durable sequence number (their
+// write-ahead-log position). The engine folds the highest sequence of each
+// closed window into WindowResult.Cursor so a consumer can checkpoint its
+// replay position. Sequences must be pushed in non-decreasing order for
+// the cursor to be meaningful; the caller (the facade's WAL path)
+// serializes append+push to guarantee it.
+func (e *Engine) PushSeq(r *trace.Record, seq uint64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -235,7 +278,7 @@ func (e *Engine) Push(r *trace.Record) error {
 	}
 	for len(e.queue) >= e.cfg.QueueCap {
 		if e.cfg.Policy == PolicyDropOldest {
-			e.queue[0] = nil // release the record, not just the slot
+			e.queue[0] = pushEntry{} // release the record, not just the slot
 			e.queue = e.queue[1:]
 			e.stats.Dropped++
 			break
@@ -248,12 +291,25 @@ func (e *Engine) Push(r *trace.Record) error {
 			return ErrClosed
 		}
 	}
-	e.queue = append(e.queue, r)
+	e.queue = append(e.queue, pushEntry{rec: r, seq: seq})
 	if len(e.queue) > e.stats.QueueMax {
 		e.stats.QueueMax = len(e.queue)
 	}
 	e.notEmpty.Signal()
 	return nil
+}
+
+// Prime records a packet id in the sanitizer's duplicate-suppression state
+// without admitting anything. Recovery replays pre-checkpoint WAL entries
+// through Prime so their ids still shadow duplicates (a client resending
+// its stream after a crash) even though their windows are not regenerated.
+// A no-op when sanitization is off.
+func (e *Engine) Prime(r *trace.Record) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.san != nil {
+		e.san.Prime(r.ID)
+	}
 }
 
 // Results returns the closed-window delivery channel. It is closed after
@@ -310,20 +366,20 @@ func (e *Engine) Close() error {
 
 // pop blocks until a record is available or ingestion has finished. The
 // second result is false when the queue is drained and closed.
-func (e *Engine) pop() (*trace.Record, bool) {
+func (e *Engine) pop() (pushEntry, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for len(e.queue) == 0 {
 		if e.closed || e.ctx.Err() != nil {
-			return nil, false
+			return pushEntry{}, false
 		}
 		e.notEmpty.Wait()
 	}
-	r := e.queue[0]
-	e.queue[0] = nil // release the slot for the collector
+	ent := e.queue[0]
+	e.queue[0] = pushEntry{} // release the slot for the collector
 	e.queue = e.queue[1:]
 	e.notFull.Signal()
-	return r, true
+	return ent, true
 }
 
 // run is the solver loop: admit records into the open window, close and
@@ -333,14 +389,16 @@ func (e *Engine) run() {
 	defer close(e.results)
 	var (
 		buf      []*trace.Record // open window, admission order
-		windowIx int
-		seqBase  int // admitted-record index of buf[0]
+		cursor   uint64          // highest durable seq in buf
+		windowIx = e.cfg.FirstWindow
+		seqBase  = e.cfg.BaseSeq // admitted-record index of buf[0]
 	)
 	flush := func() bool {
 		if len(buf) == 0 {
 			return true
 		}
 		res := e.solveWindow(windowIx, seqBase, buf)
+		res.Cursor = cursor
 		windowIx++
 		seqBase += len(buf)
 		// Evict the closed window's state before delivery blocks: the
@@ -357,10 +415,11 @@ func (e *Engine) run() {
 		}
 	}
 	for {
-		r, ok := e.pop()
+		ent, ok := e.pop()
 		if !ok {
 			break
 		}
+		r := ent.rec
 		if e.san != nil {
 			e.mu.Lock()
 			_, admitted := e.san.Admit(r)
@@ -386,6 +445,9 @@ func (e *Engine) run() {
 			}
 		}
 		buf = append(buf, r)
+		if ent.seq > cursor {
+			cursor = ent.seq
+		}
 		e.mu.Lock()
 		e.stats.Buffered = len(buf)
 		e.mu.Unlock()
@@ -412,11 +474,38 @@ func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record) *WindowRes
 	wtr.Duration = wtr.Records[len(wtr.Records)-1].SinkArrival
 	res.Trace = wtr
 
+	var timeoutRetried bool
 	ds, err := core.NewDataset(wtr, e.cfg.Core)
 	if err != nil {
 		res.Err = fmt.Errorf("window %d dataset: %w", index, err)
 	} else {
-		est, err := core.EstimateCtx(e.ctx, ds)
+		attempt := func() (*core.Estimates, error) {
+			sctx := e.ctx
+			if e.cfg.SolveTimeout > 0 {
+				var cancel context.CancelFunc
+				sctx, cancel = context.WithTimeout(e.ctx, e.cfg.SolveTimeout)
+				defer cancel()
+			}
+			if e.cfg.solveHook != nil {
+				e.cfg.solveHook(index)
+			}
+			return core.EstimateCtx(sctx, ds)
+		}
+		est, err := attempt()
+		// A deadline that was ours (the per-window solve budget, not the
+		// engine context) routes into the PR-1 retry-then-degrade path:
+		// one retry with a fresh budget rescues transient stalls, and a
+		// second timeout degrades the window to the order-projected
+		// estimate instead of failing it.
+		if e.timedOut(err) {
+			timeoutRetried = true
+			est, err = attempt()
+			if e.timedOut(err) && est != nil {
+				est.DegradeToProjection()
+				res.TimedOut = true
+				err = nil
+			}
+		}
 		res.Est = est
 		if err != nil {
 			res.Err = fmt.Errorf("window %d solve: %w", index, err)
@@ -431,6 +520,12 @@ func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record) *WindowRes
 	} else {
 		e.stats.Solved += uint64(len(buf))
 	}
+	if timeoutRetried {
+		e.stats.RetriedWindows++
+	}
+	if res.TimedOut {
+		e.stats.TimedOutWindows++
+	}
 	if res.Est != nil {
 		e.stats.RetriedWindows += uint64(res.Est.Stats.RetriedWindows)
 		e.stats.DegradedWindows += uint64(res.Est.Stats.DegradedWindows)
@@ -441,4 +536,11 @@ func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record) *WindowRes
 	e.mu.Unlock()
 	e.hist.Observe(res.SolveTime)
 	return res
+}
+
+// timedOut reports whether err is the per-window solve deadline rather
+// than the engine context dying: the latter must keep failing the window
+// so shutdown semantics are unchanged.
+func (e *Engine) timedOut(err error) bool {
+	return e.cfg.SolveTimeout > 0 && errors.Is(err, context.DeadlineExceeded) && e.ctx.Err() == nil
 }

@@ -404,3 +404,212 @@ func TestCloseFlushesPartialWindow(t *testing.T) {
 		t.Fatalf("drained engine reports lag %v", lag)
 	}
 }
+
+// Drop-oldest accounting under concurrent pushers: counters must sum
+// exactly — Received = Dropped + Quarantined + windowed — no matter how
+// many goroutines race Push against a jammed solver. Run under -race.
+func TestBackpressureDropOldestConcurrentPushers(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	numNodes, recs := relayRecords(rng, 600)
+	eng, err := Open(context.Background(), Config{
+		NumNodes:      numNodes,
+		Core:          core.Config{WindowPackets: 8},
+		WindowRecords: 8,
+		QueueCap:      4,
+		ResultBuffer:  1,
+		Policy:        PolicyDropOldest,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const pushers = 6
+	var wg sync.WaitGroup
+	part := len(recs) / pushers
+	for i := 0; i < pushers; i++ {
+		wg.Add(1)
+		go func(chunk []*trace.Record) {
+			defer wg.Done()
+			for _, r := range chunk {
+				if err := eng.Push(r); err != nil {
+					t.Errorf("Push: %v", err)
+					return
+				}
+			}
+		}(recs[i*part : (i+1)*part])
+	}
+	go func() {
+		wg.Wait()
+		eng.Close()
+	}()
+	windowed := 0
+	for res := range eng.Results() {
+		windowed += len(res.Trace.Records)
+		if got := res.SeqEnd - res.SeqStart; got != len(res.Trace.Records) {
+			t.Fatalf("window %d: seq range %d for %d records", res.Index, got, len(res.Trace.Records))
+		}
+	}
+	st := eng.Stats()
+	if st.Received != uint64(pushers*part) {
+		t.Fatalf("Received = %d, want %d", st.Received, pushers*part)
+	}
+	if st.QueueMax > 4 {
+		t.Fatalf("queue exceeded cap: %+v", st)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("jammed solver produced no drops")
+	}
+	if got := st.Received - st.Dropped - st.Quarantined; got != uint64(windowed) {
+		t.Fatalf("conservation: received %d − dropped %d − quarantined %d = %d, but windows hold %d",
+			st.Received, st.Dropped, st.Quarantined, got, windowed)
+	}
+}
+
+// PushSeq: the cursor of each delivered window is the highest durable
+// sequence among its records, and FirstWindow/BaseSeq resume numbering.
+func TestPushSeqCursorAndResumeNumbering(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	numNodes, recs := relayRecords(rng, 40)
+	eng, err := Open(context.Background(), Config{
+		NumNodes:      numNodes,
+		Core:          core.Config{WindowPackets: 8},
+		WindowRecords: 10,
+		QueueCap:      64,
+		FirstWindow:   7,
+		BaseSeq:       300,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	go func() {
+		for i, r := range recs {
+			if err := eng.PushSeq(r, uint64(100+i)); err != nil {
+				t.Errorf("PushSeq: %v", err)
+				return
+			}
+		}
+		eng.Close()
+	}()
+	var results []*WindowResult
+	for res := range eng.Results() {
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		t.Fatal("no windows")
+	}
+	if results[0].Index != 7 || results[0].SeqStart != 300 {
+		t.Fatalf("first window numbered %d@%d, want 7@300", results[0].Index, results[0].SeqStart)
+	}
+	seen := 0
+	for i, res := range results {
+		if i > 0 && res.Index != results[i-1].Index+1 {
+			t.Fatalf("window indexes not consecutive: %d after %d", res.Index, results[i-1].Index)
+		}
+		seen += len(res.Trace.Records)
+		if want := uint64(100 + seen - 1); res.Cursor != want {
+			t.Fatalf("window %d cursor = %d, want %d", res.Index, res.Cursor, want)
+		}
+	}
+	if seen != len(recs) {
+		t.Fatalf("windows cover %d of %d records", seen, len(recs))
+	}
+}
+
+// A primed id shadows later duplicates without touching the counters —
+// the recovery path for records already inside checkpointed windows.
+func TestPrimeShadowsDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	numNodes, recs := relayRecords(rng, 30)
+	eng, err := Open(context.Background(), Config{
+		NumNodes:      numNodes,
+		WindowRecords: 64,
+		QueueCap:      64,
+		Sanitize:      true,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Prime the first ten ids (pretend their windows were checkpointed),
+	// then push the full stream as a resending client would.
+	for _, r := range recs[:10] {
+		eng.Prime(r)
+	}
+	feed(t, eng, recs)
+	windowed := 0
+	for res := range eng.Results() {
+		windowed += len(res.Trace.Records)
+	}
+	st := eng.Stats()
+	if st.Quarantined != 10 {
+		t.Fatalf("Quarantined = %d, want 10 (primed ids)", st.Quarantined)
+	}
+	if windowed != len(recs)-10 {
+		t.Fatalf("windowed %d, want %d", windowed, len(recs)-10)
+	}
+}
+
+// A window whose solve blows the per-window deadline is retried once and
+// then degraded — delivered without error, order-consistent, and counted.
+func TestSolveTimeoutDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	numNodes, recs := relayRecords(rng, 24)
+	stall := 120 * time.Millisecond
+	cfg := Config{
+		NumNodes:      numNodes,
+		Core:          core.Config{WindowPackets: 8},
+		WindowRecords: 12,
+		QueueCap:      64,
+		SolveTimeout:  30 * time.Millisecond,
+	}
+	// Stall only window 0's attempts past the deadline; window 1 solves
+	// normally so the two paths can be compared in one run.
+	cfg.solveHook = func(window int) {
+		if window == 0 {
+			time.Sleep(stall)
+		}
+	}
+	eng, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	feed(t, eng, recs)
+	var results []*WindowResult
+	for res := range eng.Results() {
+		results = append(results, res)
+	}
+	if len(results) != 2 {
+		t.Fatalf("windows = %d, want 2", len(results))
+	}
+	w0, w1 := results[0], results[1]
+	if w0.Err != nil {
+		t.Fatalf("timed-out window failed instead of degrading: %v", w0.Err)
+	}
+	if !w0.TimedOut {
+		t.Fatal("window 0 not marked TimedOut")
+	}
+	if w1.TimedOut || w1.Err != nil {
+		t.Fatalf("window 1 disturbed: timedOut=%v err=%v", w1.TimedOut, w1.Err)
+	}
+	// The degraded estimate must still honor the order chains: arrivals
+	// non-decreasing along every path.
+	for _, r := range w0.Trace.Records {
+		arr, err := w0.Est.Arrivals(r.ID)
+		if err != nil {
+			t.Fatalf("Arrivals(%v): %v", r.ID, err)
+		}
+		for hop := 1; hop < len(arr); hop++ {
+			if arr[hop] < arr[hop-1] {
+				t.Fatalf("degraded arrivals not ordered for %v: %v", r.ID, arr)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.TimedOutWindows != 1 {
+		t.Fatalf("TimedOutWindows = %d, want 1", st.TimedOutWindows)
+	}
+	if st.RetriedWindows == 0 || st.DegradedWindows == 0 {
+		t.Fatalf("timeout not routed through retry-then-degrade: %+v", st)
+	}
+	if st.WindowsFailed != 0 {
+		t.Fatalf("WindowsFailed = %d, want 0", st.WindowsFailed)
+	}
+}

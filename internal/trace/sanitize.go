@@ -224,6 +224,13 @@ func (s *Sanitizer) Admit(r *Record) (QuarantineReason, bool) {
 	return 0, true
 }
 
+// Prime records a packet id in the duplicate-suppression state without
+// admitting or tallying anything. Crash recovery uses it: records already
+// folded into checkpointed windows are not replayed through Admit, but
+// their ids must still shadow later duplicates (e.g. a client that
+// reconnects and resends its stream from the beginning).
+func (s *Sanitizer) Prime(id PacketID) { s.seen[id] = true }
+
 // Report returns a snapshot of the accumulated report; the sanitizer keeps
 // accumulating independently of the returned copy.
 func (s *Sanitizer) Report() *SanitizeReport { return s.report.Clone() }

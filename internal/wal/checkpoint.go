@@ -1,0 +1,72 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint is the durable recovery cursor the streaming service persists
+// after delivering each window: everything at or below Cursor has been
+// folded into a delivered window, so replay restarts at Cursor+1 and
+// window numbering resumes at NextWindow/SeqBase. Aux is an opaque
+// caller-owned value saved and restored alongside (domo-serve stores its
+// window-output file offset there, so a crash between delivering a window
+// and checkpointing it can be rolled back instead of double-delivered).
+type Checkpoint struct {
+	Cursor     uint64 `json:"cursor"`
+	NextWindow int    `json:"next_window"`
+	SeqBase    int    `json:"seq_base"`
+	Aux        int64  `json:"aux,omitempty"`
+}
+
+// SaveCheckpoint atomically persists c at path: the JSON is written to a
+// temp file in the same directory, fsynced, renamed over path, and the
+// directory fsynced — a crash leaves either the old checkpoint or the new
+// one, never a torn file.
+func SaveCheckpoint(path string, c Checkpoint) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("wal: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: installing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint. The second
+// result is false when no checkpoint exists yet.
+func LoadCheckpoint(path string) (Checkpoint, bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return Checkpoint{}, false, fmt.Errorf("wal: reading checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Checkpoint{}, false, fmt.Errorf("wal: decoding checkpoint: %w (%w)", err, ErrCorrupt)
+	}
+	return c, true, nil
+}

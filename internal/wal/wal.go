@@ -1,0 +1,539 @@
+// Package wal is the durability layer under the streaming service: a
+// segmented, append-only write-ahead log of accepted wire record payloads.
+// Every record the service admits is framed onto disk — with the same
+// CRC-32 framing internal/wire puts on the network — before it enters the
+// reconstruction engine, so a crash loses at most the records the
+// configured fsync policy allows, and a restart can replay exactly the
+// records that had not yet been folded into a checkpointed window.
+//
+// The log is a directory of fixed-prefix segment files named by the
+// sequence number of their first entry (`0000000000000001.seg`). Appends
+// go to the newest segment and rotate to a fresh file once the active
+// segment exceeds the configured size; retention is driven from the other
+// end by TrimTo, which deletes whole segments once a checkpoint cursor has
+// passed them. Sequence numbers are assigned contiguously starting at 1
+// and never reused, so a (cursor, sequence) pair identifies an entry for
+// the lifetime of the log.
+//
+// Crash tolerance follows the classic WAL contract: the tail segment may
+// end in a torn entry (a crash mid-write), and Open truncates the file at
+// the first entry whose frame is incomplete or fails its CRC. Corruption
+// anywhere else — in a sealed segment, or a tail segment whose header is
+// readable but whose interior is bad — is not silently dropped; it
+// surfaces as ErrCorrupt so the operator decides.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/domo-net/domo/internal/wire"
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs at most once per Options.SyncEvery, amortizing
+	// the flush cost across appends: a crash loses at most the last
+	// interval's records. The default.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append: nothing acknowledged is ever
+	// lost, at a heavy per-record cost.
+	SyncAlways
+	// SyncOff never fsyncs explicitly; the OS flushes when it pleases.
+	// Fastest, and a power failure can lose everything since the last
+	// rotation.
+	SyncOff
+)
+
+// String names the policy (the spelling the -fsync flag accepts).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	default:
+		return "interval"
+	}
+}
+
+// ParseSyncPolicy parses "always", "interval", or "off".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// Options tunes a log. The zero value selects defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold: an append that finds the
+	// active segment at or past this size opens a fresh segment first.
+	// Default 8 MiB.
+	SegmentBytes int64
+	// Sync selects the fsync policy; SyncEvery is the SyncInterval period
+	// (default 100ms).
+	Sync      SyncPolicy
+	SyncEvery time.Duration
+	// FirstSeq is the sequence number the log starts numbering from when
+	// the directory holds no segments — a recovery safeguard so a log
+	// whose segments were all lost cannot re-issue sequence numbers at or
+	// below an existing checkpoint cursor. Ignored when segments exist.
+	FirstSeq uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.FirstSeq == 0 {
+		o.FirstSeq = 1
+	}
+	return o
+}
+
+// Package errors.
+var (
+	// ErrCorrupt is returned when the log is damaged beyond the tolerated
+	// torn tail: a sealed segment with a bad entry, a non-contiguous
+	// sequence space, or an unreadable segment header.
+	ErrCorrupt = errors.New("wal: corrupt log")
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: closed")
+)
+
+// MaxEntry bounds one entry's payload length, mirroring wire.MaxFrame: a
+// real record payload is tens of bytes, so a larger claimed length is
+// corruption, not data.
+const MaxEntry = wire.MaxFrame
+
+const (
+	segSuffix  = ".seg"
+	headerSize = 13 // magic(4) + version(1) + base seq(8)
+	segVersion = 1
+)
+
+var segMagic = [4]byte{'D', 'W', 'A', 'L'}
+
+// Stats is a point-in-time summary of the log.
+type Stats struct {
+	// Segments is the number of live segment files; Bytes their total
+	// size including headers.
+	Segments int
+	Bytes    int64
+	// FirstSeq is the lowest retained entry's sequence number; NextSeq is
+	// the sequence the next append will receive. The log currently holds
+	// entries [FirstSeq, NextSeq); it is empty when they are equal.
+	FirstSeq uint64
+	NextSeq  uint64
+}
+
+// segment is one on-disk file of consecutive entries.
+type segment struct {
+	path  string
+	base  uint64 // sequence of the first entry
+	count int    // live entries
+	size  int64  // validated bytes, including the header
+}
+
+// WAL is an open log. All methods are safe for concurrent use.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	segs     []*segment // ascending base; last is active
+	active   *os.File   // open handle on the last segment
+	nextSeq  uint64
+	lastSync time.Time
+	scratch  []byte
+	closed   bool
+}
+
+// Open opens (creating if needed) the log in dir, tolerating a torn tail:
+// the last segment is truncated at the first incomplete or CRC-failing
+// entry. Damage anywhere else returns ErrCorrupt.
+func Open(dir string, opts Options) (*WAL, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	w := &WAL{dir: dir, opts: opts, lastSync: time.Now()}
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		base, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: segment name %q: %w (%w)", name, err, ErrCorrupt)
+		}
+		w.segs = append(w.segs, &segment{path: filepath.Join(dir, name), base: base})
+	}
+	sort.Slice(w.segs, func(i, j int) bool { return w.segs[i].base < w.segs[j].base })
+	for i, sg := range w.segs {
+		tail := i == len(w.segs)-1
+		if err := w.scanSegment(sg, tail); err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			prev := w.segs[i-1]
+			if want := prev.base + uint64(prev.count); sg.base != want {
+				return nil, fmt.Errorf("wal: segment %s starts at %d, want %d: %w",
+					filepath.Base(sg.path), sg.base, want, ErrCorrupt)
+			}
+		}
+	}
+	// A header-torn tail (crash during rotation) scans to zero entries and
+	// zero validated bytes; drop the file rather than appending behind a
+	// broken header.
+	if n := len(w.segs); n > 0 && w.segs[n-1].size == 0 {
+		if err := os.Remove(w.segs[n-1].path); err != nil {
+			return nil, fmt.Errorf("wal: removing torn segment: %w", err)
+		}
+		w.segs = w.segs[:n-1]
+	}
+	if len(w.segs) == 0 {
+		w.nextSeq = opts.FirstSeq
+		if err := w.rotateLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		last := w.segs[len(w.segs)-1]
+		w.nextSeq = last.base + uint64(last.count)
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: opening tail segment: %w", err)
+		}
+		w.active = f
+	}
+	return w, nil
+}
+
+// scanSegment validates one segment file, filling base/count/size. On the
+// tail segment a torn or CRC-failing entry truncates the file there; on a
+// sealed segment it is ErrCorrupt. A tail segment with an unreadable
+// header scans to size 0 (the caller deletes it).
+func (w *WAL) scanSegment(sg *segment, tail bool) error {
+	f, err := os.Open(sg.path)
+	if err != nil {
+		return fmt.Errorf("wal: opening %s: %w", sg.path, err)
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if tail {
+			sg.size = 0
+			return nil
+		}
+		return fmt.Errorf("wal: %s: reading header: %w (%w)", filepath.Base(sg.path), err, ErrCorrupt)
+	}
+	if [4]byte(hdr[:4]) != segMagic || hdr[4] != segVersion {
+		if tail {
+			sg.size = 0
+			return nil
+		}
+		return fmt.Errorf("wal: %s: bad segment header: %w", filepath.Base(sg.path), ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[5:]); got != sg.base {
+		return fmt.Errorf("wal: %s: header claims base %d: %w", filepath.Base(sg.path), got, ErrCorrupt)
+	}
+	sg.count = 0
+	sg.size = headerSize
+	for {
+		_, n, err := readEntry(f, &w.scratch)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !tail {
+				return fmt.Errorf("wal: %s: entry %d: %w", filepath.Base(sg.path), sg.count, err)
+			}
+			// Torn tail: everything before this entry is good; cut the
+			// rest off so appends resume on a clean boundary.
+			if err := os.Truncate(sg.path, sg.size); err != nil {
+				return fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(sg.path), err)
+			}
+			break
+		}
+		sg.count++
+		sg.size += n
+	}
+	return nil
+}
+
+// readEntry reads one framed entry, growing *buf as needed. It returns the
+// payload and the framed length on success, io.EOF on a clean segment end,
+// and an ErrCorrupt-wrapped error on a torn or damaged entry.
+func readEntry(r io.Reader, buf *[]byte) ([]byte, int64, error) {
+	var frame [4]byte
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("torn entry length: %w (%w)", err, ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(frame[:])
+	if n > MaxEntry {
+		return nil, 0, fmt.Errorf("entry length %d exceeds cap %d: %w", n, MaxEntry, ErrCorrupt)
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, fmt.Errorf("torn entry payload: %w (%w)", err, ErrCorrupt)
+	}
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		return nil, 0, fmt.Errorf("torn entry crc: %w (%w)", err, ErrCorrupt)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(frame[:]); got != want {
+		return nil, 0, fmt.Errorf("entry crc %08x, want %08x: %w", got, want, ErrCorrupt)
+	}
+	return payload, int64(n) + wire.FrameOverhead, nil
+}
+
+// rotateLocked seals the active segment and opens a fresh one whose base
+// is the next sequence number. Callers hold w.mu.
+func (w *WAL) rotateLocked() error {
+	if w.active != nil {
+		if err := w.active.Sync(); err != nil {
+			return fmt.Errorf("wal: sealing segment: %w", err)
+		}
+		if err := w.active.Close(); err != nil {
+			return fmt.Errorf("wal: sealing segment: %w", err)
+		}
+		w.active = nil
+	}
+	path := filepath.Join(w.dir, fmt.Sprintf("%016d%s", w.nextSeq, segSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], segMagic[:])
+	hdr[4] = segVersion
+	binary.LittleEndian.PutUint64(hdr[5:], w.nextSeq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing segment header: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.active = f
+	w.segs = append(w.segs, &segment{path: path, base: w.nextSeq, size: headerSize})
+	return nil
+}
+
+// Append frames payload onto the log and returns its sequence number. The
+// entry is on stable storage when Append returns only under SyncAlways;
+// see SyncPolicy for the weaker contracts.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if len(payload) > MaxEntry {
+		return 0, fmt.Errorf("wal: entry payload %d exceeds cap %d", len(payload), MaxEntry)
+	}
+	sg := w.segs[len(w.segs)-1]
+	if sg.size >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+		sg = w.segs[len(w.segs)-1]
+	}
+	w.scratch = wire.AppendFrame(w.scratch[:0], payload)
+	if _, err := w.active.Write(w.scratch); err != nil {
+		return 0, fmt.Errorf("wal: appending entry: %w", err)
+	}
+	sg.size += int64(len(w.scratch))
+	sg.count++
+	seq := w.nextSeq
+	w.nextSeq++
+	switch w.opts.Sync {
+	case SyncAlways:
+		if err := w.active.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: syncing entry: %w", err)
+		}
+	case SyncInterval:
+		if now := time.Now(); now.Sub(w.lastSync) >= w.opts.SyncEvery {
+			if err := w.active.Sync(); err != nil {
+				return 0, fmt.Errorf("wal: syncing entries: %w", err)
+			}
+			w.lastSync = now
+		}
+	}
+	return seq, nil
+}
+
+// Sync forces buffered appends to stable storage regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.active.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Replay streams every retained entry with sequence ≥ from, in order,
+// into fn. The payload slice is reused between calls; fn must not retain
+// it. A non-nil error from fn aborts the replay and is returned.
+func (w *WAL) Replay(from uint64, fn func(seq uint64, payload []byte) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	// Entries behind the OS write cache are invisible to a fresh read
+	// handle on some filesystems; flush so replay sees every append.
+	if err := w.active.Sync(); err != nil {
+		return fmt.Errorf("wal: replay sync: %w", err)
+	}
+	var buf []byte
+	for _, sg := range w.segs {
+		if sg.base+uint64(sg.count) <= from {
+			continue
+		}
+		f, err := os.Open(sg.path)
+		if err != nil {
+			return fmt.Errorf("wal: replay open %s: %w", filepath.Base(sg.path), err)
+		}
+		err = func() error {
+			defer f.Close()
+			if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
+				return fmt.Errorf("wal: replay seek: %w", err)
+			}
+			for i := 0; i < sg.count; i++ {
+				payload, _, err := readEntry(f, &buf)
+				if err != nil {
+					return fmt.Errorf("wal: replay %s entry %d: %w", filepath.Base(sg.path), i, err)
+				}
+				seq := sg.base + uint64(i)
+				if seq < from {
+					continue
+				}
+				if err := fn(seq, payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrimTo deletes whole segments every entry of which has sequence ≤
+// cursor — the retention hook a checkpoint calls after it is durable. The
+// active segment is never deleted.
+func (w *WAL) TrimTo(cursor uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	kept := w.segs[:0]
+	for i, sg := range w.segs {
+		last := sg.base + uint64(sg.count) - 1
+		if i < len(w.segs)-1 && last <= cursor {
+			if err := os.Remove(sg.path); err != nil {
+				return fmt.Errorf("wal: trimming %s: %w", filepath.Base(sg.path), err)
+			}
+			continue
+		}
+		kept = append(kept, sg)
+	}
+	if len(kept) < len(w.segs) {
+		w.segs = append([]*segment(nil), kept...)
+		if err := syncDir(w.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the log's shape.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := Stats{Segments: len(w.segs), NextSeq: w.nextSeq}
+	if len(w.segs) > 0 {
+		s.FirstSeq = w.segs[0].base
+	}
+	for _, sg := range w.segs {
+		s.Bytes += sg.size
+	}
+	return s
+}
+
+// Close flushes and closes the log. Further operations return ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.active != nil {
+		if err := w.active.Sync(); err != nil {
+			w.active.Close()
+			return fmt.Errorf("wal: close sync: %w", err)
+		}
+		if err := w.active.Close(); err != nil {
+			return fmt.Errorf("wal: close: %w", err)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so entry creation/removal is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: dir sync: %w", err)
+	}
+	return nil
+}

@@ -264,6 +264,24 @@ func DecodeRecord(payload []byte) (*trace.Record, error) {
 	return r, nil
 }
 
+// AppendFrame appends one CRC frame — a little-endian u32 payload length,
+// the payload bytes, then a little-endian u32 CRC-32 (IEEE) of the payload
+// — to dst. It is the exact framing Writer.WriteRecord puts on the wire;
+// the write-ahead log reuses it verbatim for on-disk entries so one codec
+// and one corruption check cover both surfaces.
+func AppendFrame(dst, payload []byte) []byte {
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], uint32(len(payload)))
+	dst = append(dst, u[:]...)
+	dst = append(dst, payload...)
+	binary.LittleEndian.PutUint32(u[:], crc32.ChecksumIEEE(payload))
+	return append(dst, u[:]...)
+}
+
+// FrameOverhead is the per-frame framing cost in bytes (length prefix plus
+// CRC trailer).
+const FrameOverhead = 8
+
 // Writer frames records onto an io.Writer: the stream header up front,
 // then one `len(u32 LE) | payload | crc32(payload)(u32 LE)` frame per
 // record. Output is buffered; call Flush before handing the underlying
@@ -357,6 +375,12 @@ func NewReader(r io.Reader) (*Reader, error) {
 
 // Header returns the stream preamble.
 func (r *Reader) Header() Header { return r.hdr }
+
+// Raw returns the undecoded payload of the record most recently returned
+// by Next — the bytes a durability layer should persist so replay can
+// re-decode the identical record. The slice aliases the reader's scratch
+// buffer and is valid only until the following Next call.
+func (r *Reader) Raw() []byte { return r.buf }
 
 // Next reads one record. It returns io.EOF at a clean end of stream, and
 // io.ErrUnexpectedEOF (wrapped in ErrCorrupt) when the stream ends inside

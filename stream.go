@@ -4,9 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/domo-net/domo/internal/stream"
+	"github.com/domo-net/domo/internal/trace"
+	"github.com/domo-net/domo/internal/wal"
 	"github.com/domo-net/domo/internal/wire"
 )
 
@@ -52,6 +56,18 @@ type StreamConfig struct {
 	// ResultBuffer is the capacity of the closed-window delivery channel.
 	// Default 4.
 	ResultBuffer int
+	// SolveTimeout, when positive, bounds each window's solve wall time.
+	// A window that exceeds it is retried once with a fresh budget and
+	// then degraded to the order-projection estimate instead of failing —
+	// marked TimedOut on the delivered window and counted in
+	// StreamStats.TimedOutWindows. Zero disables the deadline.
+	SolveTimeout time.Duration
+	// WAL, when WAL.Dir is non-empty, makes the stream durable: every
+	// admitted wire frame is appended to a segmented write-ahead log
+	// before it reaches the solver, and OpenStream replays the log (from
+	// the last Checkpoint, if any) so a crashed process regenerates every
+	// undelivered window exactly as an uninterrupted run would have.
+	WAL WALConfig
 }
 
 // StreamWindow is one closed window delivered by a Stream: the window's
@@ -69,6 +85,13 @@ type StreamWindow struct {
 	Reconstruction   *Reconstruction
 	SolveTime        time.Duration
 	Err              error
+	// Cursor is the highest WAL sequence folded into this window (zero
+	// when the stream has no WAL) — pass the window to Stream.Checkpoint
+	// to make its delivery durable.
+	Cursor uint64
+	// TimedOut reports that the window blew StreamConfig.SolveTimeout
+	// twice and carries the degraded order-projection estimate.
+	TimedOut bool
 }
 
 // StreamStats is a cumulative snapshot of a Stream's accounting.
@@ -92,6 +115,17 @@ type StreamStats struct {
 	WindowsFailed   uint64
 	RetriedWindows  uint64
 	DegradedWindows uint64
+	// TimedOutWindows counts windows degraded by the per-window solve
+	// deadline (StreamConfig.SolveTimeout).
+	TimedOutWindows uint64
+	// ReplayedRecords counts WAL entries replayed into the engine during
+	// crash recovery at OpenStream; WALBytes/WALSegments size the retained
+	// log and LastCheckpoint is the most recently persisted cursor. All
+	// zero when the stream has no WAL.
+	ReplayedRecords uint64
+	WALBytes        int64
+	WALSegments     int
+	LastCheckpoint  uint64
 	// Lag is how far the reconstruction runs behind live traffic: the
 	// stream-time distance between the newest received sink arrival and
 	// the end of the last delivered window.
@@ -118,6 +152,22 @@ type Stream struct {
 	cfg     StreamConfig
 	eng     *stream.Engine
 	results chan *StreamWindow
+
+	// Durability state; log is nil when StreamConfig.WAL is off.
+	log      *wal.WAL
+	ckptPath string
+	loadedCp wal.Checkpoint
+	hadCp    bool
+	// recovered is closed once the WAL replay has finished (immediately
+	// when there is no WAL); replayErr is set before it closes. Ingestion
+	// waits on it so live records cannot interleave with the replay.
+	recovered chan struct{}
+	replayErr error
+	// walMu serializes Append+PushSeq so the engine consumes records in
+	// WAL-sequence order — the invariant behind WindowResult.Cursor.
+	walMu    sync.Mutex
+	replayed atomic.Uint64
+	lastCkpt atomic.Uint64
 }
 
 // OpenStream starts an online reconstruction stream. The context is
@@ -133,17 +183,95 @@ func OpenStream(ctx context.Context, cfg StreamConfig) (*Stream, error) {
 		QueueCap:       cfg.QueueCap,
 		ResultBuffer:   cfg.ResultBuffer,
 		Sanitize:       cfg.Estimation.AutoSanitize,
+		SolveTimeout:   cfg.SolveTimeout,
 	}
 	if cfg.Policy == DropOldestWhenFull {
 		sc.Policy = stream.PolicyDropOldest
 	}
+	s := &Stream{cfg: cfg, results: make(chan *StreamWindow), recovered: make(chan struct{})}
+	if cfg.WAL.enabled() {
+		s.ckptPath = cfg.WAL.checkpointPath()
+		cp, ok, err := wal.LoadCheckpoint(s.ckptPath)
+		if err != nil {
+			return nil, fmt.Errorf("opening stream: %w", err)
+		}
+		s.loadedCp, s.hadCp = cp, ok
+		s.lastCkpt.Store(cp.Cursor)
+		sc.FirstWindow, sc.BaseSeq = cp.NextWindow, cp.SeqBase
+		opts := wal.Options{SegmentBytes: cfg.WAL.SegmentBytes, SyncEvery: cfg.WAL.FsyncInterval, FirstSeq: cp.Cursor + 1}
+		if cfg.WAL.Fsync != "" {
+			if opts.Sync, err = wal.ParseSyncPolicy(cfg.WAL.Fsync); err != nil {
+				return nil, fmt.Errorf("opening stream: %w: %w", err, ErrBadInput)
+			}
+		}
+		if s.log, err = wal.Open(cfg.WAL.Dir, opts); err != nil {
+			return nil, fmt.Errorf("opening stream: %w", err)
+		}
+	}
 	eng, err := stream.Open(ctx, sc)
 	if err != nil {
+		if s.log != nil {
+			s.log.Close()
+		}
 		return nil, fmt.Errorf("opening stream: %w: %w", err, ErrBadInput)
 	}
-	s := &Stream{cfg: cfg, eng: eng, results: make(chan *StreamWindow)}
+	s.eng = eng
 	go s.convert()
+	if s.log != nil {
+		go s.recover()
+	} else {
+		close(s.recovered)
+	}
 	return s, nil
+}
+
+// recover replays the retained WAL into the engine: entries at or below
+// the checkpoint cursor only prime the duplicate-suppression state (their
+// windows were already delivered), entries above it are re-pushed so every
+// undelivered window is regenerated with its original sequence numbers.
+func (s *Stream) recover() {
+	defer close(s.recovered)
+	cursor := s.loadedCp.Cursor
+	err := s.log.Replay(0, func(seq uint64, payload []byte) error {
+		rec, derr := wire.DecodeRecord(payload)
+		if derr != nil {
+			return fmt.Errorf("entry %d: %w", seq, derr)
+		}
+		if seq <= cursor {
+			s.eng.Prime(rec)
+			return nil
+		}
+		s.replayed.Add(1)
+		return s.eng.PushSeq(rec, seq)
+	})
+	if err != nil {
+		s.replayErr = fmt.Errorf("stream recovery: %w", err)
+	}
+}
+
+// Recovered blocks until WAL replay has finished and returns its error,
+// if any. Feed and Replay wait implicitly; servers that want to fail fast
+// on a corrupt log before accepting connections call it explicitly. It
+// returns nil immediately when the stream has no WAL.
+func (s *Stream) Recovered() error {
+	<-s.recovered
+	return s.replayErr
+}
+
+// ingest hands one record to the engine, first making it durable when a
+// WAL is configured. payload is the record's undecoded wire payload; it is
+// ignored without a WAL.
+func (s *Stream) ingest(rec *trace.Record, payload []byte) error {
+	if s.log == nil {
+		return s.eng.Push(rec)
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	seq, err := s.log.Append(payload)
+	if err != nil {
+		return err
+	}
+	return s.eng.PushSeq(rec, seq)
 }
 
 // convert translates engine results into the public shape.
@@ -157,6 +285,8 @@ func (s *Stream) convert() {
 			Trace:     &Trace{inner: res.Trace},
 			SolveTime: res.SolveTime,
 			Err:       res.Err,
+			Cursor:    res.Cursor,
+			TimedOut:  res.TimedOut,
 		}
 		if res.Est != nil {
 			w.Reconstruction = &Reconstruction{est: res.Est}
@@ -171,6 +301,9 @@ func (s *Stream) convert() {
 // StreamConfig. Feed is safe to call from several goroutines at once — one
 // per ingest connection.
 func (s *Stream) Feed(r io.Reader) error {
+	if err := s.Recovered(); err != nil {
+		return err
+	}
 	rd, err := wire.NewReader(r)
 	if err != nil {
 		return fmt.Errorf("stream feed: %w", err)
@@ -187,7 +320,7 @@ func (s *Stream) Feed(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("stream feed: %w", err)
 		}
-		if err := s.eng.Push(rec); err != nil {
+		if err := s.ingest(rec, rd.Raw()); err != nil {
 			return fmt.Errorf("stream feed: %w", err)
 		}
 	}
@@ -203,8 +336,15 @@ func (s *Stream) Replay(t *Trace) error {
 		return fmt.Errorf("stream replay: trace has %d nodes, stream expects %d: %w",
 			t.inner.NumNodes, s.cfg.NumNodes, ErrBadInput)
 	}
+	if err := s.Recovered(); err != nil {
+		return err
+	}
+	var payload []byte
 	for _, r := range t.inner.Records {
-		if err := s.eng.Push(r); err != nil {
+		if s.log != nil {
+			payload = wire.AppendRecord(payload[:0], r)
+		}
+		if err := s.ingest(r, payload); err != nil {
 			return fmt.Errorf("stream replay: %w", err)
 		}
 	}
@@ -223,7 +363,7 @@ func (s *Stream) Stats() StreamStats {
 	for _, b := range st.SolveBuckets {
 		buckets = append(buckets, LatencyBucket{Le: b.Le, Count: b.Count})
 	}
-	return StreamStats{
+	out := StreamStats{
 		Received:        st.Received,
 		Dropped:         st.Dropped,
 		Quarantined:     st.Quarantined,
@@ -235,10 +375,19 @@ func (s *Stream) Stats() StreamStats {
 		WindowsFailed:   st.WindowsFailed,
 		RetriedWindows:  st.RetriedWindows,
 		DegradedWindows: st.DegradedWindows,
+		TimedOutWindows: st.TimedOutWindows,
 		Lag:             st.Lag,
 		SolveLatency:    fromInternalSummary(st.SolveLatency),
 		SolveBuckets:    buckets,
 	}
+	if s.log != nil {
+		ws := s.log.Stats()
+		out.ReplayedRecords = s.replayed.Load()
+		out.WALBytes = ws.Bytes
+		out.WALSegments = ws.Segments
+		out.LastCheckpoint = s.lastCkpt.Load()
+	}
+	return out
 }
 
 // SanitizeReport returns the accumulated per-record quarantine report, or
@@ -257,7 +406,14 @@ func (s *Stream) SanitizeReport() *SanitizeReport {
 // closes collects the flushed tail). Close is idempotent; it returns the
 // context's error when cancellation cut the drain short.
 func (s *Stream) Close() error {
-	return s.eng.Close()
+	err := s.eng.Close()
+	if s.log != nil {
+		<-s.recovered // replay pushes into the (now closed) engine; let it finish
+		if cerr := s.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // EncodeWire serializes the trace in the compact binary wire format
