@@ -10,6 +10,7 @@ import (
 
 	domo "github.com/domo-net/domo"
 	"github.com/domo-net/domo/internal/netfault"
+	"github.com/domo-net/domo/internal/wire"
 )
 
 // frameOffsets parses a wire stream's structure: it returns the header
@@ -215,14 +216,22 @@ func TestMaxConnsSheddingAndIdleReap(t *testing.T) {
 	}
 	waitConns(1)
 
-	// Second connection is shed at accept: the client sees EOF/reset.
+	// Second connection is shed at accept: the client gets a typed
+	// too-many-conns reject frame, then the close.
 	b, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatalf("dial b: %v", err)
 	}
 	b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	rej, err := wire.ReadReject(b)
+	if err != nil {
+		t.Fatalf("shed connection carried no reject frame: %v", err)
+	}
+	if rej.Code != wire.RejectTooManyConns {
+		t.Fatalf("shed reject code %v, want too-many-conns", rej.Code)
+	}
 	if _, err := b.Read(make([]byte, 1)); err == nil {
-		t.Fatal("shed connection was not closed")
+		t.Fatal("shed connection was not closed after the reject")
 	}
 	b.Close()
 	if got := s.shedConns.Load(); got != 1 {

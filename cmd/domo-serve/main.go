@@ -23,12 +23,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	domo "github.com/domo-net/domo"
+	"github.com/domo-net/domo/internal/stream"
+	"github.com/domo-net/domo/internal/wire"
 )
 
 func main() {
@@ -61,6 +65,19 @@ type options struct {
 	idleTimeout   time.Duration
 	maxConns      int
 	solveTimeout  time.Duration
+
+	brownout       bool
+	brownoutTarget time.Duration
+	watchdog       time.Duration
+	rate           float64
+	rateBurst      int
+	bytesRate      float64
+	quotaRecords   uint64
+	quotaBytes     uint64
+	fsyncStall     time.Duration
+	fsyncCooldown  time.Duration
+
+	syncDelay func() time.Duration // test hook (disk-stall chaos), not a flag
 }
 
 func parseFlags(args []string) options {
@@ -84,6 +101,16 @@ func parseFlags(args []string) options {
 	fs.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "close ingest connections idle longer than this (0 disables)")
 	fs.IntVar(&o.maxConns, "max-conns", 0, "max concurrent ingest connections; extras are shed at accept (0 = unlimited)")
 	fs.DurationVar(&o.solveTimeout, "solve-timeout", 0, "per-window solve deadline; a window exceeding it twice degrades to the order projection (0 disables)")
+	fs.BoolVar(&o.brownout, "brownout", false, "degrade window solves to the cheap order-projected tier under overload; outputs are no longer deterministic while degraded")
+	fs.DurationVar(&o.brownoutTarget, "brownout-target", 0, "with -brownout, full-QP solve latency EWMA counted as pressure (0 = queue occupancy only)")
+	fs.DurationVar(&o.watchdog, "watchdog", 0, "restart the engine from the last checkpoint when a window solve wedges longer than this; requires -wal (0 disables)")
+	fs.Float64Var(&o.rate, "rate", 0, "per-client sustained record admission rate per second; extras get a typed reject frame (0 = unlimited)")
+	fs.IntVar(&o.rateBurst, "rate-burst", 0, "per-client record bucket depth for -rate (0 = 2x rate)")
+	fs.Float64Var(&o.bytesRate, "bytes-rate", 0, "per-client sustained ingest byte rate per second (0 = unlimited)")
+	fs.Uint64Var(&o.quotaRecords, "quota-records", 0, "absolute per-client record quota; exceeding it is a permanent reject (0 = unlimited)")
+	fs.Uint64Var(&o.quotaBytes, "quota-bytes", 0, "absolute per-client ingest byte quota (0 = unlimited)")
+	fs.DurationVar(&o.fsyncStall, "fsync-stall", 0, "WAL fsync circuit breaker threshold: slower policy fsyncs trip the breaker and are skipped (loudly counted) until the device recovers (0 disables)")
+	fs.DurationVar(&o.fsyncCooldown, "fsync-breaker-cooldown", time.Second, "how long an open fsync breaker waits before probing the device again")
 	_ = fs.Parse(args)
 	return o
 }
@@ -112,15 +139,21 @@ type server struct {
 	out       *os.File // window output, nil without -out
 	outOffset int64    // consume-goroutine-owned once run starts
 
+	adm *stream.Admission // nil when no admission limits are configured
+
 	windowsOut atomic.Uint64 // delivered windows, incl. failed
 	recordsOut atomic.Uint64 // records in delivered windows
 	shedConns  atomic.Uint64 // connections refused by the -max-conns cap
+	ready      atomic.Bool   // WAL recovery finished; /healthz readiness
 	consumed   chan struct{}
 }
 
 func newServer(opts options) (*server, error) {
 	if opts.nodes < 2 {
 		return nil, fmt.Errorf("-nodes %d: a deployment has at least a sink and one source", opts.nodes)
+	}
+	if opts.watchdog > 0 && opts.wal == "" {
+		return nil, fmt.Errorf("-watchdog requires -wal: restarts resume from the last checkpoint")
 	}
 	cfg := domo.StreamConfig{
 		NumNodes: opts.nodes,
@@ -131,17 +164,25 @@ func newServer(opts options) (*server, error) {
 		WindowRecords: opts.window,
 		QueueCap:      opts.queue,
 		SolveTimeout:  opts.solveTimeout,
+		Brownout: domo.BrownoutConfig{
+			Enabled:            opts.brownout,
+			SolveLatencyTarget: opts.brownoutTarget,
+		},
+		Watchdog: domo.WatchdogConfig{Deadline: opts.watchdog},
 	}
 	if opts.dropOldest {
 		cfg.Policy = domo.DropOldestWhenFull
 	}
 	if opts.wal != "" {
 		cfg.WAL = domo.WALConfig{
-			Dir:              opts.wal,
-			Fsync:            opts.fsync,
-			FsyncInterval:    opts.fsyncInterval,
-			SegmentBytes:     opts.walSegment,
-			TrimOnCheckpoint: opts.walTrim,
+			Dir:                  opts.wal,
+			Fsync:                opts.fsync,
+			FsyncInterval:        opts.fsyncInterval,
+			SegmentBytes:         opts.walSegment,
+			TrimOnCheckpoint:     opts.walTrim,
+			FsyncStallThreshold:  opts.fsyncStall,
+			FsyncBreakerCooldown: opts.fsyncCooldown,
+			SyncDelay:            opts.syncDelay,
 		}
 	}
 	// The stream gets its own context: a shutdown signal must stop
@@ -191,9 +232,11 @@ func newServer(opts options) (*server, error) {
 		stream.Close()
 		return nil, fmt.Errorf("status listen: %w", err)
 	}
+	adm := newAdmission(opts)
 	return &server{
 		opts:      opts,
 		stream:    stream,
+		adm:       adm,
 		start:     time.Now(),
 		ingest:    ingest,
 		status:    status,
@@ -204,11 +247,24 @@ func newServer(opts options) (*server, error) {
 	}, nil
 }
 
+// newAdmission builds the per-client admission controller from the rate
+// and quota flags; nil when none are set.
+func newAdmission(opts options) *stream.Admission {
+	return stream.NewAdmission(stream.AdmissionConfig{
+		RecordsPerSec: opts.rate,
+		RecordBurst:   opts.rateBurst,
+		BytesPerSec:   opts.bytesRate,
+		MaxRecords:    opts.quotaRecords,
+		MaxBytes:      opts.quotaBytes,
+	})
+}
+
 // run serves until ctx is canceled, then drains: stop accepting, cut
 // ingest connections, flush the final window, report, exit.
 func (s *server) run(ctx context.Context) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statusz", s.handleStatus)
+	mux.HandleFunc("/healthz", s.handleHealth)
 	httpSrv := &http.Server{Handler: mux}
 	go func() {
 		if err := httpSrv.Serve(s.status); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -227,9 +283,15 @@ func (s *server) run(ctx context.Context) error {
 		httpSrv.Shutdown(context.Background())
 		return err
 	}
+	s.ready.Store(true)
 	if st := s.stream.Stats(); st.ReplayedRecords > 0 {
 		fmt.Fprintf(os.Stderr, "domo-serve: recovered %d records from WAL (checkpoint seq %d)\n",
 			st.ReplayedRecords, st.LastCheckpoint)
+	}
+	if st := s.stream.Stats(); st.DedupHorizonGap > 0 {
+		fmt.Fprintf(os.Stderr, "domo-serve: WARNING: WAL trimmed below the duplicate-suppression horizon: "+
+			"%d entries are gone, so a client resending records that old will have them re-admitted as fresh "+
+			"(see /statusz dedup_horizon_gap; disable -wal-trim if clients may rewind)\n", st.DedupHorizonGap)
 	}
 
 	fmt.Fprintf(os.Stderr, "domo-serve: ingesting wire streams on %s, status on http://%s/statusz\n",
@@ -255,6 +317,10 @@ func (s *server) run(ctx context.Context) error {
 		// of accepts racing their handlers.
 		if !s.track(conn) {
 			s.shedConns.Add(1)
+			// A typed refusal, so a SendWire client backs off instead of
+			// reconnect-storming the listener it just got shed from.
+			conn.SetWriteDeadline(time.Now().Add(time.Second))                                          //nolint:errcheck
+			wire.WriteReject(conn, wire.Reject{Code: wire.RejectTooManyConns, RetryAfter: time.Second}) //nolint:errcheck
 			conn.Close()
 			continue
 		}
@@ -314,7 +380,11 @@ func (r idleReader) Read(p []byte) (int, error) {
 	return r.conn.Read(p)
 }
 
-// serveConn feeds one ingest connection's wire stream into the engine.
+// serveConn feeds one ingest connection's wire stream into the engine,
+// gated by per-client admission control. A rejected frame stops the feed
+// and answers the client with a typed reject frame before the close, so a
+// well-behaved uplink backs off for the advertised time instead of
+// retry-storming.
 func (s *server) serveConn(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -322,9 +392,38 @@ func (s *server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	if err := s.stream.Feed(idleReader{conn: conn, timeout: s.opts.idleTimeout}); err != nil {
-		fmt.Fprintf(os.Stderr, "domo-serve: ingest %s: %v\n", conn.RemoteAddr(), err)
+	var gate func(int) error
+	if s.adm != nil {
+		tenant := tenantOf(conn)
+		gate = func(frameBytes int) error {
+			if aerr := s.adm.Admit(tenant, frameBytes); aerr != nil {
+				return aerr
+			}
+			return nil
+		}
 	}
+	err := s.stream.FeedLimited(idleReader{conn: conn, timeout: s.opts.idleTimeout}, gate)
+	if err == nil {
+		return
+	}
+	var aerr *stream.AdmissionError
+	if errors.As(err, &aerr) {
+		conn.SetWriteDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+		wire.WriteReject(conn, aerr.Reject)                //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "domo-serve: ingest %s: %v\n", conn.RemoteAddr(), aerr)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "domo-serve: ingest %s: %v\n", conn.RemoteAddr(), err)
+}
+
+// tenantOf keys admission buckets by the client host, so one uplink's
+// parallel connections share a budget but distinct hosts do not.
+func tenantOf(conn net.Conn) string {
+	host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+	if err != nil {
+		return conn.RemoteAddr().String()
+	}
+	return host
 }
 
 // consume drains closed windows: each one becomes a JSON line in -out
@@ -408,9 +507,38 @@ func (s *server) writeWindow(w *domo.StreamWindow) error {
 	return nil
 }
 
+// handleHealth is the liveness/readiness probe, deliberately cheap and
+// distinct from /statusz: 200 when the server is up and serving, 503
+// with a reason while WAL recovery is still replaying (not ready) or
+// after the supervisor exhausted its restart budget (failed — the process
+// is alive but the engine is gone; an orchestrator should replace it).
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	status, code := "ok", http.StatusOK
+	switch {
+	case s.stream.Failed() != nil:
+		status, code = "failed: "+s.stream.Failed().Error(), http.StatusServiceUnavailable
+	case !s.ready.Load():
+		status, code = "starting: wal recovery in progress", http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"status": status}) //nolint:errcheck
+}
+
 // statusPayload is the /statusz JSON shape.
 type statusPayload struct {
 	UptimeSeconds float64 `json:"uptime_s"`
+	Version       string  `json:"version,omitempty"`
+	GoVersion     string  `json:"go_version"`
+	Goroutines    int     `json:"goroutines"`
+	HeapAllocMB   float64 `json:"heap_alloc_mb"`
+	SysMB         float64 `json:"sys_mb"`
+	NumGC         uint32  `json:"num_gc"`
 	Received      uint64  `json:"received"`
 	Dropped       uint64  `json:"dropped"`
 	Quarantined   uint64  `json:"quarantined"`
@@ -424,6 +552,33 @@ type statusPayload struct {
 	RetriedWindows  uint64 `json:"retried_windows"`
 	DegradedWindows uint64 `json:"degraded_windows"`
 	TimedOutWindows uint64 `json:"timed_out_windows"`
+
+	BrownoutState     string  `json:"brownout_state"`
+	StateTransitions  uint64  `json:"state_transitions"`
+	WindowsHealthy    uint64  `json:"windows_healthy"`
+	WindowsShedding   uint64  `json:"windows_shedding"`
+	WindowsBrownout   uint64  `json:"windows_brownout"`
+	WindowsRecovering uint64  `json:"windows_recovering"`
+	SolveEWMAMS       float64 `json:"solve_ewma_ms"`
+	FsyncEWMAMS       float64 `json:"fsync_ewma_ms"`
+
+	AdmittedRecords  uint64 `json:"admitted_records"`
+	RejectedRate     uint64 `json:"rejected_rate"`
+	RejectedQuota    uint64 `json:"rejected_quota"`
+	AdmissionTenants int    `json:"admission_tenants"`
+
+	Restarts          uint64 `json:"restarts"`
+	SuppressedWindows uint64 `json:"suppressed_windows"`
+	SuppressedRecords uint64 `json:"suppressed_records"`
+	DeferredRecords   uint64 `json:"deferred_records"`
+
+	FsyncBreakerOpen  bool    `json:"fsync_breaker_open"`
+	FsyncBreakerOpens uint64  `json:"fsync_breaker_opens"`
+	SlowSyncs         uint64  `json:"slow_syncs"`
+	SkippedSyncs      uint64  `json:"skipped_syncs"`
+	LastFsyncMS       float64 `json:"last_fsync_ms"`
+	TrimmedEntries    uint64  `json:"trimmed_entries"`
+	DedupHorizonGap   uint64  `json:"dedup_horizon_gap"`
 
 	ReplayedRecords   uint64 `json:"replayed_records"`
 	WALBytes          int64  `json:"wal_bytes"`
@@ -464,8 +619,15 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	active := len(s.conns)
 	s.mu.Unlock()
 	st := s.stream.Stats()
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
 	p := statusPayload{
 		UptimeSeconds:     time.Since(s.start).Seconds(),
+		GoVersion:         runtime.Version(),
+		Goroutines:        runtime.NumGoroutine(),
+		HeapAllocMB:       float64(mem.HeapAlloc) / (1 << 20),
+		SysMB:             float64(mem.Sys) / (1 << 20),
+		NumGC:             mem.NumGC,
 		Received:          st.Received,
 		Dropped:           st.Dropped,
 		Quarantined:       st.Quarantined,
@@ -478,6 +640,25 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		RetriedWindows:    st.RetriedWindows,
 		DegradedWindows:   st.DegradedWindows,
 		TimedOutWindows:   st.TimedOutWindows,
+		BrownoutState:     st.State.String(),
+		StateTransitions:  st.StateTransitions,
+		WindowsHealthy:    st.WindowsHealthy,
+		WindowsShedding:   st.WindowsShedding,
+		WindowsBrownout:   st.WindowsBrownout,
+		WindowsRecovering: st.WindowsRecovering,
+		SolveEWMAMS:       float64(st.SolveLatencyEWMA) / float64(time.Millisecond),
+		FsyncEWMAMS:       float64(st.FsyncLatencyEWMA) / float64(time.Millisecond),
+		Restarts:          st.Restarts,
+		SuppressedWindows: st.SuppressedWindows,
+		SuppressedRecords: st.SuppressedRecords,
+		DeferredRecords:   st.DeferredRecords,
+		FsyncBreakerOpen:  st.FsyncBreakerOpen,
+		FsyncBreakerOpens: st.FsyncBreakerOpens,
+		SlowSyncs:         st.SlowSyncs,
+		SkippedSyncs:      st.SkippedSyncs,
+		LastFsyncMS:       float64(st.LastFsyncLatency) / float64(time.Millisecond),
+		TrimmedEntries:    st.TrimmedEntries,
+		DedupHorizonGap:   st.DedupHorizonGap,
 		ReplayedRecords:   st.ReplayedRecords,
 		WALBytes:          st.WALBytes,
 		WALSegments:       st.WALSegments,
@@ -490,6 +671,16 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Median: st.SolveLatency.Median, P90: st.SolveLatency.P90, Max: st.SolveLatency.Max,
 		},
 		SolveHistogram: []bucketJSON{},
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		p.Version = bi.Main.Version
+	}
+	if s.adm != nil {
+		ast := s.adm.Stats()
+		p.AdmittedRecords = ast.Admitted
+		p.RejectedRate = ast.RejectedRate
+		p.RejectedQuota = ast.RejectedQuota
+		p.AdmissionTenants = ast.Tenants
 	}
 	for _, b := range st.SolveBuckets {
 		le := float64(b.Le) / float64(time.Millisecond)

@@ -170,10 +170,31 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if o.out != "" || o.idleTimeout != 2*time.Minute || o.maxConns != 0 || o.solveTimeout != 0 {
 		t.Fatalf("hardening defaults: %+v", o)
 	}
+	if o.brownout || o.brownoutTarget != 0 || o.watchdog != 0 {
+		t.Fatalf("degradation defaults: %+v", o)
+	}
+	if o.rate != 0 || o.rateBurst != 0 || o.bytesRate != 0 || o.quotaRecords != 0 || o.quotaBytes != 0 {
+		t.Fatalf("admission defaults: %+v", o)
+	}
+	if o.fsyncStall != 0 || o.fsyncCooldown != time.Second {
+		t.Fatalf("breaker defaults: %+v", o)
+	}
 	o = parseFlags([]string{"-nodes", "5", "-wal", "/tmp/w", "-fsync", "always", "-out", "/tmp/o", "-idle-timeout", "30s", "-max-conns", "7", "-solve-timeout", "2s", "-wal-trim"})
 	if o.wal != "/tmp/w" || o.fsync != "always" || o.out != "/tmp/o" || o.idleTimeout != 30*time.Second ||
 		o.maxConns != 7 || o.solveTimeout != 2*time.Second || !o.walTrim {
 		t.Fatalf("explicit durability flags: %+v", o)
+	}
+	o = parseFlags([]string{"-nodes", "5", "-wal", "/tmp/w", "-brownout", "-brownout-target", "250ms", "-watchdog", "10s",
+		"-rate", "500", "-rate-burst", "1000", "-bytes-rate", "1e6", "-quota-records", "9", "-quota-bytes", "77",
+		"-fsync-stall", "200ms", "-fsync-breaker-cooldown", "3s"})
+	if !o.brownout || o.brownoutTarget != 250*time.Millisecond || o.watchdog != 10*time.Second {
+		t.Fatalf("explicit degradation flags: %+v", o)
+	}
+	if o.rate != 500 || o.rateBurst != 1000 || o.bytesRate != 1e6 || o.quotaRecords != 9 || o.quotaBytes != 77 {
+		t.Fatalf("explicit admission flags: %+v", o)
+	}
+	if o.fsyncStall != 200*time.Millisecond || o.fsyncCooldown != 3*time.Second {
+		t.Fatalf("explicit breaker flags: %+v", o)
 	}
 }
 

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	domo "github.com/domo-net/domo"
+	"github.com/domo-net/domo/internal/netfault"
+	"github.com/domo-net/domo/internal/wire"
+)
+
+// startServer boots a server on loopback ports and returns it with its
+// run-error channel; the caller cancels ctx to drain and shut down.
+func startServer(t *testing.T, opts options) (*server, context.CancelFunc, chan error) {
+	t.Helper()
+	opts.listen, opts.httpAddr = "127.0.0.1:0", "127.0.0.1:0"
+	s, err := newServer(opts)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.run(ctx) }()
+	return s, cancel, runErr
+}
+
+func getStatus(t *testing.T, s *server) statusPayload {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/statusz", s.status.Addr()))
+	if err != nil {
+		t.Fatalf("GET /statusz: %v", err)
+	}
+	defer resp.Body.Close()
+	var p statusPayload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatalf("decoding /statusz: %v", err)
+	}
+	return p
+}
+
+// /healthz is the cheap liveness/readiness probe: 503 with a reason
+// before WAL recovery finishes, 200 once serving, GET-only.
+func TestHealthEndpoint(t *testing.T) {
+	s, err := newServer(options{listen: "127.0.0.1:0", httpAddr: "127.0.0.1:0", nodes: 5, window: 8, queue: 16})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+
+	// Before run() flips readiness the probe must refuse traffic.
+	rec := httptest.NewRecorder()
+	s.handleHealth(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready probe: status %d, want 503 (body %q)", rec.Code, rec.Body.String())
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["status"] == "ok" {
+		t.Fatalf("not-ready probe body: %q (%v)", rec.Body.String(), err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.run(ctx) }()
+	url := fmt.Sprintf("http://%s/healthz", s.status.Addr())
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var live map[string]string
+			err = json.NewDecoder(resp.Body).Decode(&live)
+			resp.Body.Close()
+			if err != nil || live["status"] != "ok" {
+				t.Fatalf("ready probe body: %v (%v)", live, err)
+			}
+			break
+		}
+		if err == nil {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(url, "text/plain", nil)
+	if err != nil {
+		t.Fatalf("POST /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz: status %d, want 405", resp.StatusCode)
+	}
+
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// The overload acceptance test: a reconnect stampede offers many times the
+// queue's capacity against a rate-limited server. The process must survive,
+// the queue must stay bounded, the admission ledger must balance exactly
+// against the stream's intake, and once the surge subsides a well-behaved
+// sender (SendWire honoring the advertised backoff) must get a full clean
+// trace through at full quality.
+func TestOverloadSurge(t *testing.T) {
+	tr, err := domo.Simulate(domo.SimConfig{NumNodes: 10, Duration: 2 * time.Minute, DataPeriod: 5 * time.Second, Seed: 9, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var payload bytes.Buffer
+	if err := tr.EncodeWire(&payload); err != nil {
+		t.Fatalf("EncodeWire: %v", err)
+	}
+
+	const (
+		conns  = 8
+		repeat = 4
+		queue  = 64
+		rate   = 400.0
+		burst  = 400 // SendWire's recovery pass below needs the whole trace to fit one bucket
+	)
+	if n := tr.NumRecords(); n > burst {
+		t.Fatalf("trace has %d records; recovery needs <= burst (%d)", n, burst)
+	}
+	offered := conns * repeat * tr.NumRecords()
+	if offered < 4*queue {
+		t.Fatalf("surge offers %d records, need >= 4x queue (%d)", offered, 4*queue)
+	}
+
+	s, cancel, runErr := startServer(t, options{
+		nodes: tr.NumNodes(), window: 16, queue: queue,
+		rate: rate, rateBurst: burst,
+		brownout: true,
+	})
+
+	rep := netfault.RunSurge(netfault.SurgeConfig{
+		Addr:    s.ingest.Addr().String(),
+		Conns:   conns,
+		Repeat:  repeat,
+		Payload: payload.Bytes(),
+	})
+	if got := rep.Sends + rep.Failed; got != conns*repeat {
+		t.Fatalf("surge accounted %d attempts, want %d: %+v", got, conns*repeat, rep)
+	}
+
+	// The process survived and still answers; nothing has exited run().
+	select {
+	case err := <-runErr:
+		t.Fatalf("server exited under surge: %v", err)
+	default:
+	}
+	st := getStatus(t, s)
+
+	// The queue's high-water mark never passed its capacity.
+	if st.QueueMax > queue {
+		t.Fatalf("queue high-water %d exceeded capacity %d", st.QueueMax, queue)
+	}
+	// Admission accounting is exact: every record the gate admitted — and
+	// only those — reached the stream.
+	if st.AdmittedRecords != st.Received {
+		t.Fatalf("admission ledger: admitted %d, stream received %d", st.AdmittedRecords, st.Received)
+	}
+	if st.RejectedRate == 0 {
+		t.Fatalf("a %d-record surge against a %g/s limit rejected nothing: %+v", offered, rate, rep)
+	}
+	// Client-side reject decoding is a lower bound on the server's count
+	// (one frame per refused connection vs one count per refused record).
+	clientRejects := 0
+	for _, n := range rep.RejectsByCode {
+		clientRejects += n
+	}
+	if clientRejects > int(st.RejectedRate+st.RejectedQuota) {
+		t.Fatalf("clients decoded %d rejects, server issued %d", clientRejects, st.RejectedRate+st.RejectedQuota)
+	}
+	if st.HeapAllocMB > 1024 {
+		t.Fatalf("heap ballooned to %.0f MB under surge", st.HeapAllocMB)
+	}
+
+	// Post-surge: a polite sender backing off per the advertised hints gets
+	// the whole trace admitted — SendWire only reports success once the
+	// collector confirms the stream instead of rejecting it.
+	dial := func(ctx context.Context) (io.WriteCloser, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", s.ingest.Addr().String())
+	}
+	before := getStatus(t, s)
+	if err := tr.SendWire(context.Background(), dial, domo.RetryConfig{MaxAttempts: 10, BaseDelay: 20 * time.Millisecond}); err != nil {
+		t.Fatalf("post-surge SendWire: %v", err)
+	}
+	after := getStatus(t, s)
+	if grew := after.Received - before.Received; grew < uint64(tr.NumRecords()) {
+		t.Fatalf("recovery pass admitted %d records, want >= %d", grew, tr.NumRecords())
+	}
+
+	// Drain: every admitted record exits as a window, and the brownout
+	// controller has ramped back to full QP.
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run did not drain and exit after the surge")
+	}
+	final := s.stream.Stats()
+	if got := s.recordsOut.Load(); got != final.Received {
+		t.Fatalf("drained %d of %d admitted records", got, final.Received)
+	}
+	if final.Dropped != 0 || final.Quarantined != 0 {
+		t.Fatalf("blocking policy lost records: %+v", final)
+	}
+	if final.State != domo.StreamHealthy && final.State != domo.StreamRecovering {
+		t.Fatalf("post-surge brownout state %v, want healthy/recovering", final.State)
+	}
+}
+
+// Disk-stall chaos: the WAL device starts stalling mid-ingest. The fsync
+// circuit breaker must trip (loudly), policy syncs are skipped so appends
+// keep flowing instead of wedging behind the device, and the stream still
+// drains every admitted record.
+func TestOverloadDiskStall(t *testing.T) {
+	tr, err := domo.Simulate(domo.SimConfig{NumNodes: 10, Duration: 2 * time.Minute, DataPeriod: 5 * time.Second, Seed: 10, Side: 40})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var wireBytes bytes.Buffer
+	if err := tr.EncodeWire(&wireBytes); err != nil {
+		t.Fatalf("EncodeWire: %v", err)
+	}
+
+	plan := &netfault.DiskStallPlan{After: 5, Stall: 60 * time.Millisecond}
+	s, cancel, runErr := startServer(t, options{
+		nodes: tr.NumNodes(), window: 16, queue: 64,
+		wal: t.TempDir(), fsync: "always",
+		fsyncStall:    25 * time.Millisecond,
+		fsyncCooldown: 150 * time.Millisecond,
+		syncDelay:     plan.SyncDelay(),
+	})
+
+	conn, err := net.Dial("tcp", s.ingest.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial ingest: %v", err)
+	}
+	if _, err := conn.Write(wireBytes.Bytes()); err != nil {
+		t.Fatalf("writing wire stream: %v", err)
+	}
+	conn.Close()
+
+	// The breaker is what keeps this loop short: with every post-grace
+	// fsync stalling 60ms, a wedged sync-per-append would take many
+	// seconds — skipped syncs keep ingestion moving.
+	deadline := time.Now().Add(15 * time.Second)
+	for s.stream.Stats().Received != uint64(tr.NumRecords()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("ingestion wedged behind the stalling device: %+v", s.stream.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := getStatus(t, s)
+	if st.FsyncBreakerOpens == 0 {
+		t.Fatalf("stalling device never tripped the breaker: %+v", st)
+	}
+	if st.SkippedSyncs == 0 {
+		t.Fatalf("open breaker skipped no syncs: %+v", st)
+	}
+	if st.SlowSyncs == 0 {
+		t.Fatalf("no slow fsyncs recorded: %+v", st)
+	}
+	if plan.Stalls() == 0 {
+		t.Fatal("chaos hook never ran")
+	}
+
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := s.recordsOut.Load(); got != uint64(tr.NumRecords()) {
+		t.Fatalf("drained %d of %d records", got, tr.NumRecords())
+	}
+}
+
+// Typed rejects at the accept path: past -max-conns the listener sheds
+// connections with a TooManyConns frame instead of silently closing.
+func TestAcceptShedsWithTypedReject(t *testing.T) {
+	s, cancel, runErr := startServer(t, options{nodes: 5, window: 8, queue: 16, maxConns: 1})
+
+	hold, err := net.Dial("tcp", s.ingest.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer hold.Close()
+	// The first connection is only counted once the server accepts it;
+	// poll until it occupies the one slot.
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, s).ConnsActive != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("held connection never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var rej wire.Reject
+	for {
+		shed, err := net.Dial("tcp", s.ingest.Addr().String())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		shed.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+		rej, err = wire.ReadReject(shed)
+		shed.Close()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shed connection carried no reject frame: %v", err)
+		}
+	}
+	if rej.Code != wire.RejectTooManyConns || rej.RetryAfter <= 0 {
+		t.Fatalf("shed reject: %+v", rej)
+	}
+
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -35,8 +35,26 @@ type WALConfig struct {
 	// suppression horizon to the retained log: a client that reconnects
 	// and resends records older than the retained tail will have them
 	// re-admitted as fresh. Leave it off (the default) when clients may
-	// rewind; trim out-of-band instead.
+	// rewind; trim out-of-band instead. After a recovery, the size of the
+	// trimmed-away horizon is reported in StreamStats.DedupHorizonGap so
+	// operators can see the exposure instead of discovering it as
+	// silent duplicates.
 	TrimOnCheckpoint bool
+	// FsyncStallThreshold arms the WAL's fsync circuit breaker: a
+	// policy-driven fsync slower than this trips the breaker, and while it
+	// is open policy fsyncs are skipped — loudly counted in
+	// StreamStats.SkippedSyncs — so a stalled disk degrades durability
+	// instead of wedging every append behind it. Checkpoint durability
+	// barriers (SyncWAL, the pre-checkpoint sync) are never skipped. Zero
+	// disables the breaker.
+	FsyncStallThreshold time.Duration
+	// FsyncBreakerCooldown is how long an open breaker waits before
+	// probing the device again. Default 1s.
+	FsyncBreakerCooldown time.Duration
+	// SyncDelay, when non-nil, is called before every real fsync and the
+	// returned duration slept first — a chaos-test hook for simulating a
+	// stalling WAL device (see internal/netfault.DiskStallPlan).
+	SyncDelay func() time.Duration
 }
 
 func (c WALConfig) enabled() bool { return c.Dir != "" }
@@ -126,6 +144,11 @@ type RetryConfig struct {
 	// Jitter is the fraction of each delay randomized (0..1) so a fleet of
 	// reconnecting nodes does not stampede the collector. Default 0.2.
 	Jitter float64
+	// MaxElapsed, when positive, caps the total wall time spent retrying
+	// (attempts plus backoff sleeps) regardless of the per-attempt budget,
+	// so a sender that keeps making marginal progress against a flapping
+	// collector still gives up in bounded time. Zero means no cap.
+	MaxElapsed time.Duration
 }
 
 func (c RetryConfig) withDefaults() RetryConfig {
@@ -163,15 +186,27 @@ func (c RetryConfig) delay(consecutive int) time.Duration {
 // on disconnect.
 //
 // SendWire gives up after RetryConfig.MaxAttempts consecutive attempts
-// without forward progress, or when ctx is canceled.
+// without forward progress, after RetryConfig.MaxElapsed total wall time,
+// when ctx is canceled, or immediately on a permanent typed rejection
+// (quota exceeded). When the collector refuses the stream with a typed
+// reject frame, the error wraps *Rejection and the frame's RetryAfter
+// hint stretches the next backoff, so a refused fleet drains instead of
+// retry-storming.
 func (t *Trace) SendWire(ctx context.Context, dial func(ctx context.Context) (io.WriteCloser, error), rc RetryConfig) error {
 	rc = rc.withDefaults()
+	start := time.Now()
 	consecutive := 0
 	best := -1 // highest record index any attempt fully sent
 	for {
-		sent, err := t.sendWireOnce(ctx, dial)
+		sent, rej, err := t.sendWireOnce(ctx, dial)
 		if err == nil {
 			return nil
+		}
+		if rej != nil {
+			err = fmt.Errorf("%w (%w)", rej, err)
+			if !rej.Temporary() {
+				return fmt.Errorf("sending wire trace: %w", err)
+			}
 		}
 		if ctx.Err() != nil {
 			return fmt.Errorf("sending wire trace: %w", ctx.Err())
@@ -184,38 +219,84 @@ func (t *Trace) SendWire(ctx context.Context, dial func(ctx context.Context) (io
 		if consecutive >= rc.MaxAttempts {
 			return fmt.Errorf("sending wire trace: %d attempts without progress: %w", consecutive, err)
 		}
+		delay := rc.delay(consecutive)
+		if rej != nil && rej.RetryAfter > delay {
+			delay = rej.RetryAfter
+		}
+		if rc.MaxElapsed > 0 && time.Since(start)+delay > rc.MaxElapsed {
+			return fmt.Errorf("sending wire trace: retry budget %v elapsed: %w", rc.MaxElapsed, err)
+		}
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("sending wire trace: %w", ctx.Err())
-		case <-time.After(rc.delay(consecutive)):
+		case <-time.After(delay):
 		}
 	}
 }
 
 // sendWireOnce sends header plus all records over one connection,
-// returning the highest record index flushed before the error.
-func (t *Trace) sendWireOnce(ctx context.Context, dial func(ctx context.Context) (io.WriteCloser, error)) (int, error) {
+// returning the highest record index flushed before the error and, when
+// the collector answered the failure with a typed reject frame, the
+// decoded rejection.
+func (t *Trace) sendWireOnce(ctx context.Context, dial func(ctx context.Context) (io.WriteCloser, error)) (int, *Rejection, error) {
 	conn, err := dial(ctx)
 	if err != nil {
-		return -1, err
+		return -1, nil, err
 	}
 	defer conn.Close()
 	w, err := wire.NewWriter(conn, wire.Header{NumNodes: t.inner.NumNodes, Duration: t.inner.Duration})
 	if err != nil {
-		return -1, err
+		return -1, tryReadReject(conn), err
 	}
 	sent := -1
 	for i, r := range t.inner.Records {
 		if err := ctx.Err(); err != nil {
-			return sent, err
+			return sent, nil, err
 		}
 		if err := w.WriteRecord(r); err != nil {
-			return sent, err
+			return sent, tryReadReject(conn), err
 		}
 		if err := w.Flush(); err != nil {
-			return sent, err
+			return sent, tryReadReject(conn), err
 		}
 		sent = i
 	}
-	return sent, nil
+	// Success is the collector's verdict, not the last flush: a small trace
+	// fits entirely in socket buffers, so a refused stream would otherwise
+	// look fully sent. Half-close the write side and wait — EOF confirms
+	// the stream, a typed reject frame refuses it. Peers without a verdict
+	// channel (no read side or half-close) keep the old flush-is-success
+	// behavior.
+	cw, canHalfClose := conn.(interface{ CloseWrite() error })
+	if _, canRead := conn.(io.Reader); !canRead || !canHalfClose {
+		return sent, nil, nil
+	}
+	if err := cw.CloseWrite(); err != nil {
+		return sent, tryReadReject(conn), err
+	}
+	if rej := tryReadReject(conn); rej != nil {
+		return sent, rej, fmt.Errorf("collector rejected the stream after %d records", sent+1)
+	}
+	return sent, nil, nil
+}
+
+// tryReadReject attempts to read a typed reject frame off a failed ingest
+// connection. A refusing collector writes the frame right before closing,
+// so it is usually already buffered; a short read deadline (when the
+// connection supports one) keeps a silent peer from stalling the sender.
+func tryReadReject(conn io.WriteCloser) *Rejection {
+	r, ok := conn.(io.Reader)
+	if !ok {
+		return nil
+	}
+	if d, ok := conn.(interface{ SetReadDeadline(time.Time) error }); ok {
+		if err := d.SetReadDeadline(time.Now().Add(500 * time.Millisecond)); err == nil {
+			defer d.SetReadDeadline(time.Time{})
+		}
+	}
+	rej, err := wire.ReadReject(r)
+	if err != nil {
+		return nil
+	}
+	return &Rejection{Code: RejectCode(rej.Code), RetryAfter: rej.RetryAfter}
 }

@@ -146,6 +146,28 @@ func Estimate(d *Dataset) (*Estimates, error) {
 // worker count.
 func EstimateCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 	start := time.Now()
+	est := initEstimates(d)
+	if len(d.unknowns) == 0 {
+		est.Stats.WallTime = time.Since(start)
+		return est, nil
+	}
+
+	spans := tileWindows(len(d.records), d.cfg.WindowPackets, d.cfg.EffectiveWindowRatio)
+	err := est.runWindows(ctx, d, spans)
+	est.Stats.WallTime = time.Since(start)
+	if err != nil {
+		return est, err
+	}
+	return est, nil
+}
+
+// initEstimates builds the pre-QP state shared by every estimator tier:
+// the packet index, the propagated-bound widths, and the global
+// initialization — each packet's end-to-end delay spread evenly across its
+// hops, then clamped into the propagated constraint bounds. The clamp is
+// where the sum-of-delays information first bites: a small S(p) caps the
+// first-hop arrival well below the even split.
+func initEstimates(d *Dataset) *Estimates {
 	est := &Estimates{
 		ds:     d,
 		values: make([]float64, len(d.unknowns)),
@@ -154,10 +176,6 @@ func EstimateCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 	for ri, r := range d.records {
 		est.byID[r.ID] = ri
 	}
-	// Global initialization: spread each packet's end-to-end delay evenly
-	// across its hops, then clamp into the propagated constraint bounds.
-	// The clamp is where the sum-of-delays information first bites: a small
-	// S(p) caps the first-hop arrival well below the even split.
 	lo, hi := d.propagatedBounds()
 	est.widths = make([]float64, len(d.unknowns))
 	for k, key := range d.unknowns {
@@ -172,19 +190,27 @@ func EstimateCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 		est.widths[k] = hi[k] - lo[k]
 	}
 	est.Stats.Unknowns = len(d.unknowns)
+	return est
+}
 
-	if len(d.unknowns) == 0 {
-		est.Stats.WallTime = time.Since(start)
-		return est, nil
+// EstimateProjected is the cheap estimator tier: the same interval-
+// propagated clamped-interpolation initialization as EstimateCtx, followed
+// by one order-projection pass (Eq. 5) over every record — and no QP at
+// all. It is orders of magnitude cheaper than the windowed solve and its
+// output always honors the hard order constraints, at the accuracy of the
+// degraded-window fallback. The streaming brownout controller runs it on
+// windows solved under overload; a future compressed-sensing tier slots in
+// at the same call site. Every window counts as degraded in the stats so
+// fidelity loss is never silent.
+func EstimateProjected(d *Dataset) *Estimates {
+	start := time.Now()
+	est := initEstimates(d)
+	if len(d.unknowns) > 0 {
+		projectOrder(d, est.values, 0, len(d.records))
+		est.Stats.DegradedWindows++
 	}
-
-	spans := tileWindows(len(d.records), d.cfg.WindowPackets, d.cfg.EffectiveWindowRatio)
-	err := est.runWindows(ctx, d, spans)
 	est.Stats.WallTime = time.Since(start)
-	if err != nil {
-		return est, err
-	}
-	return est, nil
+	return est
 }
 
 // windowSpan is one tile of the §IV-B sliding-window schedule: the

@@ -1,0 +1,48 @@
+package netfault
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DiskStallPlan simulates a WAL device that starts stalling: the first
+// After fsyncs pass through cleanly, then every Every-th fsync (every one
+// when Every is 0 or 1) sleeps for Stall before the real sync runs. Wire
+// its SyncDelay into WALConfig.SyncDelay to drive the fsync circuit
+// breaker in tests — the stall is injected below the breaker, so a tripped
+// breaker skipping policy syncs also skips the stall, exactly like a real
+// device whose queue drains when left alone.
+type DiskStallPlan struct {
+	// After is how many fsyncs run cleanly before stalls begin.
+	After int
+	// Stall is the injected per-fsync delay.
+	Stall time.Duration
+	// Every stalls only every Every-th fsync once stalling has begun;
+	// 0 or 1 stalls every one.
+	Every int
+
+	calls atomic.Int64
+}
+
+// SyncDelay returns the hook to install as WALConfig.SyncDelay. Safe for
+// concurrent use.
+func (p *DiskStallPlan) SyncDelay() func() time.Duration {
+	return func() time.Duration {
+		n := p.calls.Add(1)
+		if n <= int64(p.After) {
+			return 0
+		}
+		every := int64(p.Every)
+		if every <= 1 {
+			return p.Stall
+		}
+		if (n-int64(p.After))%every == 1 || every == 1 {
+			return p.Stall
+		}
+		return 0
+	}
+}
+
+// Stalls reports how many fsyncs have hit the plan so far (stalled or
+// not) — handy for asserting the hook actually ran.
+func (p *DiskStallPlan) Stalls() int64 { return p.calls.Load() }

@@ -1,0 +1,110 @@
+package netfault
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/wire"
+)
+
+// refuser is an ingest listener that answers every connection with one
+// typed reject frame after the first read, then closes — the shape of a
+// collector shedding a surge.
+func refuser(t *testing.T, rej wire.Reject) (addr string, conns *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	conns = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func() {
+				defer conn.Close()
+				var buf [512]byte
+				conn.Read(buf[:])           //nolint:errcheck
+				wire.WriteReject(conn, rej) //nolint:errcheck
+			}()
+		}
+	}()
+	return ln.Addr().String(), conns
+}
+
+// RunSurge against a refusing collector: every uplink's payload is
+// answered with a typed reject, the client-side report decodes and tallies
+// them by code, and nothing is misreported as sent — even though the small
+// payload fits entirely in socket buffers.
+func TestRunSurgeCountsRejects(t *testing.T) {
+	addr, conns := refuser(t, wire.Reject{Code: wire.RejectRateLimited, RetryAfter: 50 * time.Millisecond})
+	payload := []byte("not-a-real-wire-stream: the refuser rejects before parsing")
+
+	rep := RunSurge(SurgeConfig{Addr: addr, Conns: 4, Repeat: 3, Payload: payload})
+
+	total := rep.Sends + rep.Failed
+	if total != 12 {
+		t.Fatalf("accounted %d attempts (%d sent, %d failed), want 12", total, rep.Sends, rep.Failed)
+	}
+	if got := conns.Load(); got != 12 {
+		t.Fatalf("server saw %d connections, want 12", got)
+	}
+	if rep.Sends != 0 {
+		t.Fatalf("%d rejected payloads reported as sent: %+v", rep.Sends, rep)
+	}
+	if got := rep.RejectsByCode[byte(wire.RejectRateLimited)]; got != 12 {
+		t.Fatalf("decoded %d rate-limit rejects, want 12: %+v", got, rep.RejectsByCode)
+	}
+}
+
+// A surge against a dead address fails every attempt without decoding
+// phantom rejects.
+func TestRunSurgeDeadCollector(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing is listening anymore
+
+	rep := RunSurge(SurgeConfig{Addr: addr, Conns: 2, Repeat: 2, Payload: []byte("x")})
+	if rep.Sends != 0 || rep.Failed != 4 {
+		t.Fatalf("dead collector report: %+v", rep)
+	}
+	if len(rep.RejectsByCode) != 0 {
+		t.Fatalf("phantom rejects decoded: %+v", rep.RejectsByCode)
+	}
+}
+
+// The disk-stall plan's schedule: After clean fsyncs pass through, then
+// every Every-th fsync stalls, and the call counter sees every fsync.
+func TestDiskStallPlanSchedule(t *testing.T) {
+	p := &DiskStallPlan{After: 2, Stall: 7 * time.Millisecond, Every: 3}
+	delay := p.SyncDelay()
+	want := []time.Duration{
+		0, 0, // the After grace
+		7 * time.Millisecond, 0, 0, // stall, then two clean
+		7 * time.Millisecond, 0, 0, // the cycle repeats
+	}
+	for i, w := range want {
+		if got := delay(); got != w {
+			t.Fatalf("fsync %d: delay %v, want %v", i+1, got, w)
+		}
+	}
+	if got := p.Stalls(); got != int64(len(want)) {
+		t.Fatalf("Stalls() = %d, want %d", got, len(want))
+	}
+
+	// Every <= 1 stalls every fsync once the grace is spent.
+	p2 := &DiskStallPlan{After: 1, Stall: time.Millisecond}
+	d2 := p2.SyncDelay()
+	if d2() != 0 || d2() != time.Millisecond || d2() != time.Millisecond {
+		t.Fatal("Every=0 plan did not stall every post-grace fsync")
+	}
+}

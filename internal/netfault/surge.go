@@ -1,0 +1,142 @@
+package netfault
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/domo-net/domo/internal/wire"
+)
+
+// SurgeConfig describes a load surge against an ingest listener: Conns
+// concurrent uplinks, each dialing fresh connections and writing Payload
+// (a complete encoded wire stream) Repeat times. It is the overload
+// counterpart of Plan — instead of corrupting one connection's bytes, it
+// models a fleet reconnecting at once after a partition heals.
+type SurgeConfig struct {
+	// Addr is the ingest address to flood.
+	Addr string
+	// Conns is the number of concurrent uplinks. Default 8.
+	Conns int
+	// Repeat is how many times each uplink sends Payload (on a fresh
+	// connection each time). Default 1.
+	Repeat int
+	// Payload is the full wire stream (header plus record frames) each
+	// send writes.
+	Payload []byte
+	// Pace, when positive, pauses each uplink between sends — a partially
+	// throttled fleet rather than a maximal stampede.
+	Pace time.Duration
+}
+
+// SurgeReport is the surge's client-side accounting. Sends + Failed is
+// the total dial attempts; RejectsByCode counts the typed reject frames
+// the server answered refusals with (keyed by wire reject code), which a
+// test matches against the server's own admission counters.
+type SurgeReport struct {
+	// Sends counts payloads written to completion; Failed counts dials or
+	// writes that died early (connection cut, reset, refused).
+	Sends  int
+	Failed int
+	// RejectsByCode tallies decoded reject frames by code byte.
+	RejectsByCode map[byte]int
+}
+
+// RunSurge floods cfg.Addr and blocks until every uplink finishes,
+// returning the aggregate client-side report.
+func RunSurge(cfg SurgeConfig) SurgeReport {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	if cfg.Repeat <= 0 {
+		cfg.Repeat = 1
+	}
+	var (
+		mu     sync.Mutex
+		report = SurgeReport{RejectsByCode: make(map[byte]int)}
+		wg     sync.WaitGroup
+	)
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < cfg.Repeat; r++ {
+				sent, rej := sendOnce(cfg.Addr, cfg.Payload)
+				mu.Lock()
+				if sent {
+					report.Sends++
+				} else {
+					report.Failed++
+				}
+				if rej != nil {
+					report.RejectsByCode[byte(rej.Code)]++
+				}
+				mu.Unlock()
+				if cfg.Pace > 0 {
+					time.Sleep(cfg.Pace)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return report
+}
+
+// sendOnce writes one full payload over a fresh connection. On a write
+// failure it tries to decode the reject frame a refusing server sends
+// right before closing.
+func sendOnce(addr string, payload []byte) (sent bool, rej *wire.Reject) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return false, nil
+	}
+	defer conn.Close()
+	if _, werr := io_copyAll(conn, payload); werr != nil {
+		return false, readRejectFrame(conn)
+	}
+	// The server may still have refused mid-stream and closed after the
+	// client's final write landed in a socket buffer; a reject frame
+	// waiting to be read means the payload was not fully admitted.
+	if r := readRejectFrame(conn); r != nil {
+		return false, r
+	}
+	return true, nil
+}
+
+// io_copyAll writes payload in chunks small enough that a server-side
+// refusal mid-stream surfaces as a write error rather than vanishing into
+// socket buffering.
+func io_copyAll(conn net.Conn, payload []byte) (int, error) {
+	const chunk = 4 << 10
+	written := 0
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		n, err := conn.Write(payload[off:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// readRejectFrame drains whatever the server sent back and decodes a
+// reject frame if one is there. A short deadline keeps a silent server
+// from stalling the surge.
+func readRejectFrame(conn net.Conn) *wire.Reject {
+	conn.SetReadDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+	var buf [64]byte
+	n, _ := conn.Read(buf[:])
+	if n == 0 {
+		return nil
+	}
+	rej, err := wire.ReadReject(bytes.NewReader(buf[:n]))
+	if err != nil {
+		return nil
+	}
+	return &rej
+}

@@ -1,0 +1,218 @@
+// Admission control: per-tenant token buckets and absolute quotas applied
+// at the serving layer's read path, before a record costs anything — no
+// WAL append, no queue slot, no solver time. A rejected frame produces a
+// typed decision (mapping 1:1 onto a wire reject frame) carrying a
+// RetryAfter hint, so a well-behaved uplink backs off for exactly the
+// bucket's refill time instead of retry-storming a collector that is
+// already drowning.
+//
+// Tenants are just string keys — the serving layer picks the granularity
+// (remote IP for per-connection limits, a network/deployment id for
+// multi-tenant quotas). Bucket state is bounded by MaxTenants; a fleet of
+// spoofed source addresses cannot grow the map without bound.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/domo-net/domo/internal/wire"
+)
+
+// AdmissionConfig tunes the admission controller. Zero-valued limits are
+// unlimited; the zero config admits everything (the controller is off).
+type AdmissionConfig struct {
+	// RecordsPerSec is the sustained per-tenant record rate; RecordBurst
+	// the bucket depth (default 2× the rate, minimum 1).
+	RecordsPerSec float64
+	RecordBurst   int
+	// BytesPerSec is the sustained per-tenant ingest byte rate (frame
+	// payload bytes); ByteBurst the bucket depth (default 2× the rate).
+	BytesPerSec float64
+	ByteBurst   int64
+	// MaxRecords / MaxBytes are absolute lifetime quotas per tenant;
+	// exceeding one is a permanent (non-retryable) rejection until an
+	// operator raises it.
+	MaxRecords uint64
+	MaxBytes   uint64
+	// MaxTenants bounds the tracked-tenant map; admissions for fresh
+	// tenants past the cap are rejected as overload. Default 4096.
+	MaxTenants int
+
+	// now overrides the clock (tests only).
+	now func() time.Time
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.RecordBurst <= 0 && c.RecordsPerSec > 0 {
+		c.RecordBurst = int(math.Max(1, 2*c.RecordsPerSec))
+	}
+	if c.ByteBurst <= 0 && c.BytesPerSec > 0 {
+		c.ByteBurst = int64(math.Max(1, 2*c.BytesPerSec))
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 4096
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Enabled reports whether any limit is configured.
+func (c AdmissionConfig) Enabled() bool {
+	return c.RecordsPerSec > 0 || c.BytesPerSec > 0 || c.MaxRecords > 0 || c.MaxBytes > 0
+}
+
+// AdmissionError is a typed rejection: the wire reject frame to send back
+// plus the tenant it applies to. It implements error so it can flow up
+// through a feed loop.
+type AdmissionError struct {
+	Tenant string
+	Reject wire.Reject
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("stream: tenant %q %s (retry after %v)", e.Tenant, e.Reject.Code, e.Reject.RetryAfter)
+}
+
+// AdmissionStats is a snapshot of the controller's accounting.
+type AdmissionStats struct {
+	// Admitted counts admitted records; RejectedRate token-bucket
+	// rejections; RejectedQuota absolute-quota rejections;
+	// RejectedTenants fresh-tenant rejections at the MaxTenants cap.
+	Admitted        uint64
+	RejectedRate    uint64
+	RejectedQuota   uint64
+	RejectedTenants uint64
+	// Tenants is the number of tracked tenants.
+	Tenants int
+}
+
+// tenantState is one tenant's bucket and quota usage.
+type tenantState struct {
+	recTokens  float64
+	byteTokens float64
+	last       time.Time
+	records    uint64
+	bytes      uint64
+}
+
+// Admission is the controller. Safe for concurrent use.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+	stats   AdmissionStats
+}
+
+// NewAdmission builds a controller. A nil result means the config imposes
+// no limits and callers can skip the gate entirely.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Admission{cfg: cfg.withDefaults(), tenants: make(map[string]*tenantState)}
+}
+
+// Admit charges one record of nbytes to tenant. A nil return admits; a
+// non-nil *AdmissionError rejects with the reason and backoff hint the
+// serving layer should put on the wire.
+func (a *Admission) Admit(tenant string, nbytes int) *AdmissionError {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.cfg.now()
+	ts, ok := a.tenants[tenant]
+	if !ok {
+		if len(a.tenants) >= a.cfg.MaxTenants {
+			a.stats.RejectedTenants++
+			return &AdmissionError{Tenant: tenant, Reject: wire.Reject{
+				Code: wire.RejectOverloaded, RetryAfter: time.Second,
+			}}
+		}
+		ts = &tenantState{
+			recTokens:  float64(a.cfg.RecordBurst),
+			byteTokens: float64(a.cfg.ByteBurst),
+			last:       now,
+		}
+		a.tenants[tenant] = ts
+	}
+
+	// Absolute quotas first: a tenant over quota is rejected permanently
+	// regardless of bucket state, and the rejection never refunds tokens.
+	if (a.cfg.MaxRecords > 0 && ts.records+1 > a.cfg.MaxRecords) ||
+		(a.cfg.MaxBytes > 0 && ts.bytes+uint64(nbytes) > a.cfg.MaxBytes) {
+		a.stats.RejectedQuota++
+		return &AdmissionError{Tenant: tenant, Reject: wire.Reject{Code: wire.RejectQuotaExceeded}}
+	}
+
+	// Refill, then charge both buckets atomically: a frame admitted by the
+	// record bucket but rejected by the byte bucket must not consume a
+	// record token.
+	elapsed := now.Sub(ts.last).Seconds()
+	if elapsed > 0 {
+		ts.last = now
+		if a.cfg.RecordsPerSec > 0 {
+			ts.recTokens = math.Min(float64(a.cfg.RecordBurst), ts.recTokens+elapsed*a.cfg.RecordsPerSec)
+		}
+		if a.cfg.BytesPerSec > 0 {
+			ts.byteTokens = math.Min(float64(a.cfg.ByteBurst), ts.byteTokens+elapsed*a.cfg.BytesPerSec)
+		}
+	}
+	var wait time.Duration
+	if a.cfg.RecordsPerSec > 0 && ts.recTokens < 1 {
+		wait = maxDuration(wait, refillTime(1-ts.recTokens, a.cfg.RecordsPerSec))
+	}
+	if a.cfg.BytesPerSec > 0 && ts.byteTokens < float64(nbytes) {
+		wait = maxDuration(wait, refillTime(float64(nbytes)-ts.byteTokens, a.cfg.BytesPerSec))
+	}
+	if wait > 0 {
+		a.stats.RejectedRate++
+		return &AdmissionError{Tenant: tenant, Reject: wire.Reject{
+			Code: wire.RejectRateLimited, RetryAfter: wait,
+		}}
+	}
+	if a.cfg.RecordsPerSec > 0 {
+		ts.recTokens--
+	}
+	if a.cfg.BytesPerSec > 0 {
+		ts.byteTokens -= float64(nbytes)
+	}
+	ts.records++
+	ts.bytes += uint64(nbytes)
+	a.stats.Admitted++
+	return nil
+}
+
+// Stats returns a snapshot of the accounting.
+func (a *Admission) Stats() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.stats
+	s.Tenants = len(a.tenants)
+	return s
+}
+
+// refillTime is how long a bucket refilling at rate/s needs to accumulate
+// deficit tokens, rounded up to a millisecond so clients do not spin on
+// sub-millisecond hints.
+func refillTime(deficit, rate float64) time.Duration {
+	d := time.Duration(deficit / rate * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

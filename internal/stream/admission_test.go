@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/wire"
+)
+
+// fakeClock is an injectable admission clock advanced by hand.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func admCfg(c *fakeClock, cfg AdmissionConfig) AdmissionConfig {
+	cfg.now = c.now
+	return cfg
+}
+
+// A zero config imposes no limits: the constructor returns nil and the
+// nil controller's Stats are safe to read.
+func TestAdmissionDisabled(t *testing.T) {
+	if a := NewAdmission(AdmissionConfig{}); a != nil {
+		t.Fatalf("zero config built a controller: %+v", a)
+	}
+	var a *Admission
+	if st := a.Stats(); st != (AdmissionStats{}) {
+		t.Fatalf("nil controller stats: %+v", st)
+	}
+}
+
+// The record bucket enforces burst-then-rate: a full burst is admitted,
+// the next record is rejected with a refill hint, and advancing the clock
+// by that hint admits exactly the refilled tokens.
+func TestAdmissionRecordRateRefill(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(admCfg(clk, AdmissionConfig{RecordsPerSec: 10, RecordBurst: 5}))
+	for i := 0; i < 5; i++ {
+		if err := a.Admit("t1", 10); err != nil {
+			t.Fatalf("burst record %d rejected: %v", i, err)
+		}
+	}
+	rej := a.Admit("t1", 10)
+	if rej == nil {
+		t.Fatal("6th record admitted past the burst")
+	}
+	if rej.Reject.Code != wire.RejectRateLimited {
+		t.Fatalf("code = %v, want rate-limited", rej.Reject.Code)
+	}
+	if rej.Reject.RetryAfter <= 0 || rej.Reject.RetryAfter > 150*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want ~100ms refill hint", rej.Reject.RetryAfter)
+	}
+	// Waiting the advertised hint is exactly enough for one record.
+	clk.advance(rej.Reject.RetryAfter)
+	if err := a.Admit("t1", 10); err != nil {
+		t.Fatalf("record after advertised backoff rejected: %v", err)
+	}
+	if rej := a.Admit("t1", 10); rej == nil {
+		t.Fatal("second record after one refill admitted")
+	}
+	st := a.Stats()
+	if st.Admitted != 6 || st.RejectedRate != 2 || st.Tenants != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// A frame rejected by the byte bucket must not burn a record token — the
+// two buckets are charged atomically or not at all.
+func TestAdmissionByteBucketAtomicCharge(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(admCfg(clk, AdmissionConfig{
+		RecordsPerSec: 10, RecordBurst: 2,
+		BytesPerSec: 100, ByteBurst: 100,
+	}))
+	if err := a.Admit("t1", 60); err != nil {
+		t.Fatalf("first frame rejected: %v", err)
+	}
+	// 40 byte tokens left: a 60-byte frame is byte-rejected.
+	rej := a.Admit("t1", 60)
+	if rej == nil || rej.Reject.Code != wire.RejectRateLimited {
+		t.Fatalf("oversized frame: %v", rej)
+	}
+	// The record token the rejected frame would have used is still there:
+	// a small frame passes both buckets.
+	if err := a.Admit("t1", 10); err != nil {
+		t.Fatalf("small frame after byte reject: %v", err)
+	}
+	// Now the record bucket is empty even though bytes remain.
+	if rej := a.Admit("t1", 1); rej == nil {
+		t.Fatal("third record admitted on an empty record bucket")
+	}
+}
+
+// Absolute quotas are permanent: once over, every retry is rejected with
+// the non-retryable code no matter how much time passes.
+func TestAdmissionQuotaPermanent(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(admCfg(clk, AdmissionConfig{MaxRecords: 3}))
+	for i := 0; i < 3; i++ {
+		if err := a.Admit("t1", 10); err != nil {
+			t.Fatalf("record %d under quota rejected: %v", i, err)
+		}
+	}
+	for try := 0; try < 3; try++ {
+		rej := a.Admit("t1", 10)
+		if rej == nil {
+			t.Fatalf("try %d: record admitted over quota", try)
+		}
+		if rej.Reject.Code != wire.RejectQuotaExceeded || rej.Reject.RetryAfter != 0 {
+			t.Fatalf("try %d: %+v, want permanent quota reject", try, rej.Reject)
+		}
+		clk.advance(time.Hour) // time does not heal a quota
+	}
+	st := a.Stats()
+	if st.Admitted != 3 || st.RejectedQuota != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// An independent tenant is unaffected.
+	if err := a.Admit("t2", 10); err != nil {
+		t.Fatalf("fresh tenant rejected: %v", err)
+	}
+}
+
+// The byte quota counts payload bytes, not records.
+func TestAdmissionByteQuota(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(admCfg(clk, AdmissionConfig{MaxBytes: 100}))
+	if err := a.Admit("t1", 90); err != nil {
+		t.Fatalf("under byte quota: %v", err)
+	}
+	if rej := a.Admit("t1", 20); rej == nil || rej.Reject.Code != wire.RejectQuotaExceeded {
+		t.Fatalf("over byte quota: %v", rej)
+	}
+	// A smaller frame that fits the remainder is still admitted — the
+	// rejected frame consumed nothing.
+	if err := a.Admit("t1", 10); err != nil {
+		t.Fatalf("frame fitting the remainder: %v", err)
+	}
+}
+
+// MaxTenants bounds the state map: fresh tenants past the cap are shed as
+// overload while established tenants keep their budgets.
+func TestAdmissionTenantCap(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(admCfg(clk, AdmissionConfig{RecordsPerSec: 100, MaxTenants: 2}))
+	if err := a.Admit("t1", 1); err != nil {
+		t.Fatalf("t1: %v", err)
+	}
+	if err := a.Admit("t2", 1); err != nil {
+		t.Fatalf("t2: %v", err)
+	}
+	rej := a.Admit("t3", 1)
+	if rej == nil || rej.Reject.Code != wire.RejectOverloaded {
+		t.Fatalf("t3 past the cap: %v", rej)
+	}
+	if rej.Reject.RetryAfter <= 0 {
+		t.Fatalf("overload reject carries no backoff: %+v", rej.Reject)
+	}
+	if err := a.Admit("t1", 1); err != nil {
+		t.Fatalf("established tenant after cap hit: %v", err)
+	}
+	st := a.Stats()
+	if st.Tenants != 2 || st.RejectedTenants != 1 || st.Admitted != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,209 @@
+// Brownout: the pressure-driven degradation controller. Under sustained
+// overload the engine has exactly three levers — shed ingest (admission,
+// enforced upstream), drop records (the DropOldest policy), or spend less
+// per window. The brownout controller pulls the third: when pressure
+// signals (ingest queue occupancy, full-QP solve latency EWMA, WAL fsync
+// latency) say the solver is falling behind, it switches window solves to
+// the cheap order-projected interpolation tier (core.EstimateProjected —
+// no QP at all), and ramps back to full fidelity once the pressure clears.
+// Degradation is never silent: every window records the state it was
+// solved under, and the per-state counts are part of Stats.
+//
+// The controller is a four-state machine:
+//
+//	Healthy ──pressure──▶ Shedding ──heavy──▶ Brownout
+//	   ▲                     │                  │calm
+//	   │◀────────calm────────┘                  ▼
+//	   └──RecoverWindows calm windows── Recovering ──heavy──▶ Brownout
+//
+// Shedding is the early-warning tier: windows still solve at full QP, but
+// the state is visible to the serving layer, which uses it to tighten
+// admission before the queue saturates. Brownout is the degraded tier.
+// Recovering solves at full QP again but only returns to Healthy after
+// RecoverWindows consecutive calm windows, so one drained queue sample
+// cannot flap the state.
+package stream
+
+import (
+	"context"
+	"time"
+
+	"github.com/domo-net/domo/internal/core"
+)
+
+// BrownoutState is the controller's current tier.
+type BrownoutState int32
+
+// Brownout states, in escalation order.
+const (
+	StateHealthy BrownoutState = iota
+	StateShedding
+	StateBrownout
+	StateRecovering
+	numBrownoutStates = 4
+)
+
+// String names the state for logs and /statusz.
+func (s BrownoutState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateShedding:
+		return "shedding"
+	case StateBrownout:
+		return "brownout"
+	case StateRecovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// BrownoutSolver is a degraded-tier estimator: it must be drastically
+// cheaper than the full windowed QP and its output must still satisfy the
+// hard order constraints. The default is the order-projected interpolation
+// (core.EstimateProjected); a compressed-sensing ℓ1 pass over the
+// path-incidence matrix slots in here when per-hop delays are known to be
+// sparse-anomalous.
+type BrownoutSolver func(ctx context.Context, ds *core.Dataset) (*core.Estimates, error)
+
+// BrownoutConfig tunes the controller. The zero value disables it: every
+// window solves at full QP fidelity, exactly as before.
+type BrownoutConfig struct {
+	// Enabled arms the controller.
+	Enabled bool
+	// ShedQueueFrac is the ingest-queue occupancy (0..1] at which Healthy
+	// escalates to Shedding. Default 0.5.
+	ShedQueueFrac float64
+	// BrownoutQueueFrac is the occupancy at which any state escalates to
+	// Brownout. Default 0.85.
+	BrownoutQueueFrac float64
+	// RecoverQueueFrac is the occupancy below which pressure counts as
+	// calm. Default 0.25.
+	RecoverQueueFrac float64
+	// SolveLatencyTarget, when positive, adds a latency signal: a full-QP
+	// solve-latency EWMA above the target counts as pressure, above twice
+	// the target as heavy pressure. Brownout-tier solves do not update the
+	// EWMA (they would always look instant). Zero ignores latency.
+	SolveLatencyTarget time.Duration
+	// FsyncLatencyMax, when positive, adds the WAL fsync signal fed by
+	// ReportFsyncLatency: an fsync EWMA above it counts as pressure, above
+	// twice it as heavy pressure. Zero ignores the signal.
+	FsyncLatencyMax time.Duration
+	// RecoverWindows is how many consecutive calm windows Recovering needs
+	// before returning to Healthy. Default 3.
+	RecoverWindows int
+	// EWMAAlpha weights the solve/fsync latency EWMAs (0..1]. Default 0.3.
+	EWMAAlpha float64
+	// Solver overrides the degraded-tier estimator. Nil selects the
+	// order-projected interpolation.
+	Solver BrownoutSolver
+}
+
+func (c BrownoutConfig) withDefaults() BrownoutConfig {
+	if c.ShedQueueFrac <= 0 || c.ShedQueueFrac > 1 {
+		c.ShedQueueFrac = 0.5
+	}
+	if c.BrownoutQueueFrac <= 0 || c.BrownoutQueueFrac > 1 {
+		c.BrownoutQueueFrac = 0.85
+	}
+	if c.RecoverQueueFrac <= 0 || c.RecoverQueueFrac >= c.ShedQueueFrac {
+		c.RecoverQueueFrac = c.ShedQueueFrac / 2
+	}
+	if c.RecoverWindows <= 0 {
+		c.RecoverWindows = 3
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 0.3
+	}
+	return c
+}
+
+// brownout is the controller state, guarded by the engine mutex.
+type brownout struct {
+	cfg         BrownoutConfig
+	state       BrownoutState
+	solveEWMA   time.Duration // full-QP windows only
+	fsyncEWMA   time.Duration
+	calmStreak  int
+	transitions uint64
+}
+
+func newBrownout(cfg BrownoutConfig) *brownout {
+	return &brownout{cfg: cfg.withDefaults()}
+}
+
+// observeSolve folds one full-QP window's solve latency into the EWMA.
+func (b *brownout) observeSolve(d time.Duration) {
+	b.solveEWMA = ewma(b.solveEWMA, d, b.cfg.EWMAAlpha)
+}
+
+// observeFsync folds one reported WAL fsync latency into the EWMA.
+func (b *brownout) observeFsync(d time.Duration) {
+	b.fsyncEWMA = ewma(b.fsyncEWMA, d, b.cfg.EWMAAlpha)
+}
+
+func ewma(prev, sample time.Duration, alpha float64) time.Duration {
+	if prev == 0 {
+		return sample
+	}
+	return prev + time.Duration(alpha*float64(sample-prev))
+}
+
+// eval advances the state machine against the current pressure signals
+// and returns the state the next window should be solved under. queueFrac
+// is the ingest queue occupancy in [0, 1].
+func (b *brownout) eval(queueFrac float64) BrownoutState {
+	if !b.cfg.Enabled {
+		return StateHealthy
+	}
+	c := b.cfg
+	pressure := queueFrac >= c.ShedQueueFrac ||
+		(c.SolveLatencyTarget > 0 && b.solveEWMA >= c.SolveLatencyTarget) ||
+		(c.FsyncLatencyMax > 0 && b.fsyncEWMA >= c.FsyncLatencyMax)
+	heavy := queueFrac >= c.BrownoutQueueFrac ||
+		(c.SolveLatencyTarget > 0 && b.solveEWMA >= 2*c.SolveLatencyTarget) ||
+		(c.FsyncLatencyMax > 0 && b.fsyncEWMA >= 2*c.FsyncLatencyMax)
+	calm := queueFrac <= c.RecoverQueueFrac &&
+		(c.SolveLatencyTarget <= 0 || b.solveEWMA < c.SolveLatencyTarget) &&
+		(c.FsyncLatencyMax <= 0 || b.fsyncEWMA < c.FsyncLatencyMax)
+
+	next := b.state
+	switch b.state {
+	case StateHealthy:
+		if heavy {
+			next = StateBrownout
+		} else if pressure {
+			next = StateShedding
+		}
+	case StateShedding:
+		if heavy {
+			next = StateBrownout
+		} else if calm {
+			next = StateHealthy
+		}
+	case StateBrownout:
+		if calm {
+			next = StateRecovering
+			b.calmStreak = 0
+		}
+	case StateRecovering:
+		switch {
+		case heavy:
+			next = StateBrownout
+		case calm:
+			b.calmStreak++
+			if b.calmStreak >= c.RecoverWindows {
+				next = StateHealthy
+			}
+		default:
+			// Neither calm nor heavy: hold Recovering, reset the streak so
+			// the promotion needs RecoverWindows *consecutive* calm windows.
+			b.calmStreak = 0
+		}
+	}
+	if next != b.state {
+		b.state = next
+		b.transitions++
+	}
+	return b.state
+}

@@ -1,0 +1,193 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/core"
+)
+
+// The state ladder, driven by queue occupancy alone: Healthy escalates
+// through Shedding to Brownout, de-escalates through Recovering, and the
+// promotion back to Healthy needs RecoverWindows *consecutive* calm
+// windows.
+func TestBrownoutStateLadder(t *testing.T) {
+	b := newBrownout(BrownoutConfig{Enabled: true, RecoverWindows: 3})
+	steps := []struct {
+		queueFrac float64
+		want      BrownoutState
+	}{
+		{0.10, StateHealthy},    // calm stays healthy
+		{0.60, StateShedding},   // past ShedQueueFrac (0.5)
+		{0.60, StateShedding},   // holds under sustained pressure
+		{0.90, StateBrownout},   // past BrownoutQueueFrac (0.85)
+		{0.60, StateBrownout},   // mere pressure does not leave brownout
+		{0.10, StateRecovering}, // calm starts the ramp back
+		{0.10, StateRecovering}, // calm streak 2 of 3
+		{0.40, StateRecovering}, // neither calm nor heavy: streak resets
+		{0.10, StateRecovering}, // streak 1
+		{0.10, StateRecovering}, // streak 2
+		{0.10, StateHealthy},    // streak 3: promoted
+	}
+	for i, s := range steps {
+		if got := b.eval(s.queueFrac); got != s.want {
+			t.Fatalf("step %d (frac %.2f): state %v, want %v", i, s.queueFrac, got, s.want)
+		}
+	}
+	if b.transitions != 4 {
+		t.Fatalf("transitions = %d, want 4", b.transitions)
+	}
+	// Heavy pressure mid-recovery falls straight back to brownout.
+	b.eval(0.60)
+	b.eval(0.90)
+	if b.state != StateBrownout {
+		t.Fatalf("recovering under heavy pressure: %v, want brownout", b.state)
+	}
+	// A heavy spike from healthy skips the shedding tier entirely.
+	b2 := newBrownout(BrownoutConfig{Enabled: true})
+	if got := b2.eval(0.95); got != StateBrownout {
+		t.Fatalf("healthy under heavy pressure: %v, want brownout", got)
+	}
+}
+
+// A disabled controller pins Healthy regardless of pressure.
+func TestBrownoutDisabled(t *testing.T) {
+	b := newBrownout(BrownoutConfig{})
+	if got := b.eval(1.0); got != StateHealthy {
+		t.Fatalf("disabled controller left healthy: %v", got)
+	}
+	if b.transitions != 0 {
+		t.Fatalf("disabled controller recorded transitions: %d", b.transitions)
+	}
+}
+
+// Latency signals escalate without any queue pressure: a solve EWMA past
+// the target is pressure, past twice the target heavy; the fsync EWMA
+// behaves the same. Calm requires every armed signal below its threshold.
+func TestBrownoutLatencySignals(t *testing.T) {
+	b := newBrownout(BrownoutConfig{
+		Enabled:            true,
+		SolveLatencyTarget: 100 * time.Millisecond,
+		FsyncLatencyMax:    50 * time.Millisecond,
+		EWMAAlpha:          1, // EWMA == last sample, deterministic
+	})
+	b.observeSolve(120 * time.Millisecond)
+	if got := b.eval(0); got != StateShedding {
+		t.Fatalf("solve latency over target: %v, want shedding", got)
+	}
+	b.observeSolve(250 * time.Millisecond)
+	if got := b.eval(0); got != StateBrownout {
+		t.Fatalf("solve latency over 2x target: %v, want brownout", got)
+	}
+	// Solve latency calms, but a stalling WAL keeps the pressure on.
+	b.observeSolve(10 * time.Millisecond)
+	b.observeFsync(200 * time.Millisecond)
+	if got := b.eval(0); got != StateBrownout {
+		t.Fatalf("fsync latency heavy: %v, want brownout", got)
+	}
+	b.observeFsync(5 * time.Millisecond)
+	if got := b.eval(0); got != StateRecovering {
+		t.Fatalf("all signals calm: %v, want recovering", got)
+	}
+}
+
+// Engine-level engagement: block the first window's solve while the
+// producer saturates the queue, then release — the controller must route
+// at least one backlogged window through the degraded tier (the injected
+// solver proves the cheap path actually ran), keep per-state window
+// accounting exact, and still deliver order-consistent estimates.
+func TestBrownoutEngagesUnderBacklog(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	numNodes, recs := relayRecords(rng, 72)
+	release := make(chan struct{})
+	var first atomic.Bool
+	var cheapSolves atomic.Uint64
+	// Geometry: the run loop refills its 12-record window buffer from the
+	// queue before each eval, so with 48 pushed behind a stalled solve the
+	// next eval sees at least (48-2*12)/48 = 0.5 occupancy — the brownout
+	// threshold, regardless of how fast the producer keeps pushing.
+	cfg := Config{
+		NumNodes:      numNodes,
+		Core:          core.Config{WindowPackets: 8},
+		WindowRecords: 12,
+		QueueCap:      48,
+		Brownout: BrownoutConfig{
+			Enabled:           true,
+			ShedQueueFrac:     0.26,
+			BrownoutQueueFrac: 0.5,
+			RecoverWindows:    1,
+			Solver: func(_ context.Context, ds *core.Dataset) (*core.Estimates, error) {
+				cheapSolves.Add(1)
+				return core.EstimateProjected(ds), nil
+			},
+		},
+	}
+	cfg.SolveHook = func(window int) {
+		if first.CompareAndSwap(false, true) {
+			<-release // hold the first full-QP solve while the queue fills
+		}
+	}
+	eng, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	go func() {
+		for i, r := range recs {
+			if err := eng.Push(r); err != nil {
+				t.Errorf("Push(%v): %v", r.ID, err)
+				break
+			}
+			// 48 records in (12 buffered + 36 queued, queue never full, so
+			// this push cannot have blocked): let the backlog through.
+			if i == 47 {
+				close(release)
+			}
+		}
+		eng.Close()
+	}()
+
+	var results []*WindowResult
+	for res := range eng.Results() {
+		if res.Err != nil {
+			t.Fatalf("window %d: %v", res.Index, res.Err)
+		}
+		results = append(results, res)
+	}
+	st := eng.Stats()
+	if st.WindowsByState[StateBrownout] == 0 {
+		t.Fatalf("backlog never engaged brownout: %+v", st.WindowsByState)
+	}
+	if got := cheapSolves.Load(); got != st.WindowsByState[StateBrownout] {
+		t.Fatalf("degraded solver ran %d times for %d brownout windows", got, st.WindowsByState[StateBrownout])
+	}
+	var sum uint64
+	for _, n := range st.WindowsByState {
+		sum += n
+	}
+	if sum != st.Windows {
+		t.Fatalf("per-state counts sum to %d, windows %d", sum, st.Windows)
+	}
+	if st.StateTransitions == 0 {
+		t.Fatal("no state transitions recorded")
+	}
+	// Every window, degraded or not, carries its state and honors the
+	// order chains.
+	for _, res := range results {
+		if res.State == StateBrownout {
+			for _, r := range res.Trace.Records {
+				arr, err := res.Est.Arrivals(r.ID)
+				if err != nil {
+					t.Fatalf("window %d arrivals(%v): %v", res.Index, r.ID, err)
+				}
+				for hop := 1; hop < len(arr); hop++ {
+					if arr[hop] < arr[hop-1] {
+						t.Fatalf("degraded window %d arrivals not ordered for %v: %v", res.Index, r.ID, arr)
+					}
+				}
+			}
+		}
+	}
+}

@@ -97,10 +97,13 @@ type Config struct {
 	// fresh stream.
 	FirstWindow int
 	BaseSeq     int
+	// Brownout arms the pressure-driven degradation controller (see
+	// brownout.go). The zero value keeps every window at full QP fidelity.
+	Brownout BrownoutConfig
 
-	// solveHook, when set (tests only), runs at the start of every solve
+	// SolveHook, when set (tests only), runs at the start of every solve
 	// attempt, inside the attempt's deadline.
-	solveHook func(window int)
+	SolveHook func(window int)
 }
 
 func (c Config) withDefaults() Config {
@@ -147,7 +150,10 @@ type WindowResult struct {
 	// TimedOut reports that the solve exceeded Config.SolveTimeout twice
 	// and the estimate was degraded to the order projection.
 	TimedOut bool
-	Err      error
+	// State is the brownout tier the window was solved under. StateBrownout
+	// means Est came from the cheap degraded-tier solver, not the full QP.
+	State BrownoutState
+	Err   error
 }
 
 // Stats is a snapshot of the engine's accounting. All counters are
@@ -185,6 +191,19 @@ type Stats struct {
 	SolveLatency metrics.Summary
 	// SolveBuckets is the latency histogram behind SolveLatency.
 	SolveBuckets []metrics.HistBucket
+	// State is the brownout controller's current tier; StateTransitions
+	// counts tier changes; WindowsByState counts delivered windows by the
+	// tier they were solved under (indexed by BrownoutState).
+	State            BrownoutState
+	StateTransitions uint64
+	WindowsByState   [numBrownoutStates]uint64
+	// BrownoutWindows is WindowsByState[StateBrownout] — windows solved on
+	// the cheap degraded tier — broken out for operational surfaces.
+	BrownoutWindows uint64
+	// SolveEWMA and FsyncEWMA are the controller's smoothed latency
+	// signals (full-QP solve wall time; reported WAL fsync latency).
+	SolveEWMA time.Duration
+	FsyncEWMA time.Duration
 }
 
 // Engine is the online reconstruction engine. Open one with Open, feed it
@@ -203,10 +222,21 @@ type Engine struct {
 
 	san  *trace.Sanitizer // nil unless cfg.Sanitize
 	hist metrics.LatencyHist
+	bo   *brownout // guarded by mu
 
 	// newestArrival / deliveredEnd drive the Lag stat.
 	newestArrival time.Duration
 	deliveredEnd  time.Duration
+
+	// In-flight solve marker for the watchdog (guarded by mu): a solve
+	// that has been in flight past the watchdog deadline is wedged.
+	inFlight       bool
+	inFlightWindow int
+	inFlightStart  time.Time
+
+	// fatal records a solver-goroutine panic (guarded by mu). The engine
+	// is closed when it is set; a supervisor restarts from checkpoint.
+	fatal error
 
 	results chan *WindowResult
 	done    chan struct{}
@@ -228,6 +258,7 @@ func Open(ctx context.Context, cfg Config) (*Engine, error) {
 	}
 	e.notFull = sync.NewCond(&e.mu)
 	e.notEmpty = sync.NewCond(&e.mu)
+	e.bo = newBrownout(c.Brownout)
 	if c.Sanitize {
 		e.san = trace.NewSanitizer(c.NumNodes, c.SanitizeOpts)
 	}
@@ -333,7 +364,40 @@ func (e *Engine) snapshotLocked() Stats {
 	}
 	s.SolveLatency = e.hist.Summary()
 	s.SolveBuckets = e.hist.Buckets()
+	s.State = e.bo.state
+	s.StateTransitions = e.bo.transitions
+	s.BrownoutWindows = s.WindowsByState[StateBrownout]
+	s.SolveEWMA = e.bo.solveEWMA
+	s.FsyncEWMA = e.bo.fsyncEWMA
 	return s
+}
+
+// ReportFsyncLatency feeds one WAL fsync latency sample into the brownout
+// controller's disk-pressure signal. The facade calls it after every
+// policy-driven sync; it is a no-op when brownout is disabled.
+func (e *Engine) ReportFsyncLatency(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bo.observeFsync(d)
+}
+
+// SolveInFlight reports the window index and start time of the solve
+// currently in flight, if any. A supervisor polls it: a solve in flight
+// past its deadline means the solver goroutine is wedged (a hung BLAS
+// call, a livelocked iteration) and the engine should be abandoned and
+// restarted from the last checkpoint.
+func (e *Engine) SolveInFlight() (window int, started time.Time, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inFlightWindow, e.inFlightStart, e.inFlight
+}
+
+// Fatal returns the solver panic that killed the engine, if any. A non-nil
+// result means the engine is closed and delivered no further windows.
+func (e *Engine) Fatal() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fatal
 }
 
 // SanitizeReport returns a snapshot of the accumulated per-record
@@ -385,8 +449,23 @@ func (e *Engine) pop() (pushEntry, bool) {
 // run is the solver loop: admit records into the open window, close and
 // solve windows as they fill, flush the tail on shutdown.
 func (e *Engine) run() {
-	defer close(e.done)
-	defer close(e.results)
+	defer func() {
+		// A panic anywhere in the solve path (a malformed window the
+		// dataset builder let through, a numerical bug) must not take the
+		// process down: record it, close the engine so Push unblocks with
+		// ErrClosed, and let the supervisor restart from the checkpoint.
+		if r := recover(); r != nil {
+			e.mu.Lock()
+			e.fatal = fmt.Errorf("stream: solver panic: %v", r)
+			e.closed = true
+			e.inFlight = false
+			e.notFull.Broadcast()
+			e.notEmpty.Broadcast()
+			e.mu.Unlock()
+		}
+		close(e.results)
+		close(e.done)
+	}()
 	var (
 		buf      []*trace.Record // open window, admission order
 		cursor   uint64          // highest durable seq in buf
@@ -397,7 +476,12 @@ func (e *Engine) run() {
 		if len(buf) == 0 {
 			return true
 		}
-		res := e.solveWindow(windowIx, seqBase, buf)
+		// Evaluate the brownout tier at closure time, against the queue
+		// depth the solver is actually facing right now.
+		e.mu.Lock()
+		state := e.bo.eval(float64(len(e.queue)) / float64(e.cfg.QueueCap))
+		e.mu.Unlock()
+		res := e.solveWindow(windowIx, seqBase, buf, state)
 		res.Cursor = cursor
 		windowIx++
 		seqBase += len(buf)
@@ -457,11 +541,21 @@ func (e *Engine) run() {
 	}
 }
 
-// solveWindow builds the window sub-trace and runs the offline estimation
-// pipeline over it. Closed-window state is confined to the result.
-func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record) *WindowResult {
-	res := &WindowResult{Index: index, SeqStart: seqBase, SeqEnd: seqBase + len(buf)}
+// solveWindow builds the window sub-trace and runs the estimation tier
+// chosen by the brownout state: full QP (with the timeout retry-degrade
+// path) normally, the cheap degraded-tier solver under StateBrownout.
+// Closed-window state is confined to the result. No engine lock is held
+// across the solve, so a wedged solve wedges only this goroutine — an
+// abandoned engine's run loop leaks safely instead of deadlocking its
+// replacement.
+func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record, state BrownoutState) *WindowResult {
+	res := &WindowResult{Index: index, SeqStart: seqBase, SeqEnd: seqBase + len(buf), State: state}
 	begin := time.Now()
+	e.mu.Lock()
+	e.inFlight = true
+	e.inFlightWindow = index
+	e.inFlightStart = begin
+	e.mu.Unlock()
 	wtr := &trace.Trace{
 		NumNodes: e.cfg.NumNodes,
 		Records:  append([]*trace.Record(nil), buf...),
@@ -476,9 +570,22 @@ func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record) *WindowRes
 
 	var timeoutRetried bool
 	ds, err := core.NewDataset(wtr, e.cfg.Core)
-	if err != nil {
+	switch {
+	case err != nil:
 		res.Err = fmt.Errorf("window %d dataset: %w", index, err)
-	} else {
+	case state == StateBrownout:
+		// Degraded tier: one cheap solve, no timeout budget, no retry —
+		// the point of the tier is bounded, predictable per-window cost.
+		solver := e.cfg.Brownout.Solver
+		if solver == nil {
+			solver = defaultBrownoutSolver
+		}
+		est, serr := solver(e.ctx, ds)
+		res.Est = est
+		if serr != nil {
+			res.Err = fmt.Errorf("window %d brownout solve: %w", index, serr)
+		}
+	default:
 		attempt := func() (*core.Estimates, error) {
 			sctx := e.ctx
 			if e.cfg.SolveTimeout > 0 {
@@ -486,8 +593,8 @@ func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record) *WindowRes
 				sctx, cancel = context.WithTimeout(e.ctx, e.cfg.SolveTimeout)
 				defer cancel()
 			}
-			if e.cfg.solveHook != nil {
-				e.cfg.solveHook(index)
+			if e.cfg.SolveHook != nil {
+				e.cfg.SolveHook(index)
 			}
 			return core.EstimateCtx(sctx, ds)
 		}
@@ -514,7 +621,15 @@ func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record) *WindowRes
 	res.SolveTime = time.Since(begin)
 
 	e.mu.Lock()
+	e.inFlight = false
 	e.stats.Windows++
+	e.stats.WindowsByState[state]++
+	if state != StateBrownout {
+		// Brownout-tier solves never feed the latency EWMA: they would
+		// always look instant and snap the controller out of brownout
+		// while the queue is still drowning.
+		e.bo.observeSolve(res.SolveTime)
+	}
 	if res.Err != nil {
 		e.stats.WindowsFailed++
 	} else {
@@ -536,6 +651,13 @@ func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record) *WindowRes
 	e.mu.Unlock()
 	e.hist.Observe(res.SolveTime)
 	return res
+}
+
+// defaultBrownoutSolver is the degraded-tier estimator: order-projected
+// interpolation within propagated bounds, no QP. It ignores the context —
+// the projection is a single O(n) pass and cannot usefully be canceled.
+func defaultBrownoutSolver(_ context.Context, ds *core.Dataset) (*core.Estimates, error) {
+	return core.EstimateProjected(ds), nil
 }
 
 // timedOut reports whether err is the per-window solve deadline rather

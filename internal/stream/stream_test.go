@@ -562,7 +562,7 @@ func TestSolveTimeoutDegrades(t *testing.T) {
 	}
 	// Stall only window 0's attempts past the deadline; window 1 solves
 	// normally so the two paths can be compared in one run.
-	cfg.solveHook = func(window int) {
+	cfg.SolveHook = func(window int) {
 		if window == 0 {
 			time.Sleep(stall)
 		}

@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The fsync circuit breaker's full cycle: healthy syncs leave it closed, a
+// stalled fsync trips it, policy syncs while it is open are skipped (and
+// loudly counted), and after the cooldown a fast probe closes it again.
+// Explicit Sync — the checkpoint durability barrier — always hits the
+// device, open breaker or not.
+func TestFsyncBreakerCycle(t *testing.T) {
+	var stall atomic.Bool
+	const (
+		threshold = 50 * time.Millisecond
+		stallFor  = 80 * time.Millisecond
+		cooldown  = 100 * time.Millisecond
+	)
+	w, err := Open(t.TempDir(), Options{
+		Sync:            SyncAlways,
+		StallThreshold:  threshold,
+		BreakerCooldown: cooldown,
+		SyncDelay: func() time.Duration {
+			if stall.Load() {
+				return stallFor
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	append1 := func() {
+		t.Helper()
+		if _, err := w.Append([]byte("entry")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+
+	// Healthy device: real fsyncs, breaker closed.
+	append1()
+	append1()
+	if st := w.Stats(); st.BreakerOpen || st.SlowSyncs != 0 || st.SkippedSyncs != 0 {
+		t.Fatalf("healthy device tripped the breaker: %+v", st)
+	}
+
+	// One stalled fsync opens the breaker.
+	stall.Store(true)
+	append1()
+	if st := w.Stats(); !st.BreakerOpen || st.BreakerOpens != 1 || st.SlowSyncs != 1 {
+		t.Fatalf("stalled fsync did not open the breaker: %+v", st)
+	}
+
+	// While open (and inside the cooldown) policy syncs are skipped — the
+	// appends return fast even though the device would still stall.
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		append1()
+	}
+	if took := time.Since(start); took > stallFor {
+		t.Fatalf("appends behind an open breaker took %v; syncs not skipped", took)
+	}
+	if st := w.Stats(); st.SkippedSyncs != 3 || !st.BreakerOpen {
+		t.Fatalf("open breaker accounting: %+v", st)
+	}
+
+	// Explicit Sync pierces the breaker: it runs a real (stalled) fsync.
+	before := w.Stats().SlowSyncs
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if st := w.Stats(); st.SlowSyncs != before+1 {
+		t.Fatalf("explicit Sync skipped the device: %+v", st)
+	}
+
+	// Device heals; after the cooldown the next policy sync probes it and
+	// a fast probe closes the breaker.
+	stall.Store(false)
+	time.Sleep(cooldown + 20*time.Millisecond)
+	append1()
+	st := w.Stats()
+	if st.BreakerOpen {
+		t.Fatalf("fast probe left the breaker open: %+v", st)
+	}
+	if st.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1 (probe is not a re-open)", st.BreakerOpens)
+	}
+	if st.LastSyncLatency <= 0 || st.SyncLatencyEWMA <= 0 {
+		t.Fatalf("sync latency not recorded: %+v", st)
+	}
+}
+
+// A stalled probe re-opens the breaker without a second cooldown's grace:
+// the device gets one real fsync per cooldown period until it recovers.
+func TestFsyncBreakerStalledProbe(t *testing.T) {
+	var syncs atomic.Int64
+	const cooldown = 60 * time.Millisecond
+	w, err := Open(t.TempDir(), Options{
+		Sync:            SyncAlways,
+		StallThreshold:  20 * time.Millisecond,
+		BreakerCooldown: cooldown,
+		SyncDelay: func() time.Duration {
+			syncs.Add(1)
+			return 40 * time.Millisecond // every real fsync stalls
+		},
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+
+	if _, err := w.Append([]byte("trip")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	time.Sleep(cooldown + 20*time.Millisecond)
+	if _, err := w.Append([]byte("probe")); err != nil { // stalled probe
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := w.Append([]byte("after")); err != nil { // must be skipped
+		t.Fatalf("Append: %v", err)
+	}
+	st := w.Stats()
+	if !st.BreakerOpen {
+		t.Fatalf("stalled probe closed the breaker: %+v", st)
+	}
+	if st.BreakerOpens != 2 {
+		t.Fatalf("BreakerOpens = %d, want 2 (trip + failed probe)", st.BreakerOpens)
+	}
+	if got := syncs.Load(); got != 2 {
+		t.Fatalf("device saw %d fsyncs, want 2 (trip + one probe per cooldown)", got)
+	}
+	if st.SlowSyncs != 2 || st.SkippedSyncs == 0 {
+		t.Fatalf("stalled-probe accounting: %+v", st)
+	}
+}
+
+// A zero StallThreshold disables the breaker entirely: every policy sync
+// is real no matter how slow the device is.
+func TestFsyncBreakerDisabled(t *testing.T) {
+	var syncs atomic.Int64
+	w, err := Open(t.TempDir(), Options{
+		Sync: SyncAlways,
+		SyncDelay: func() time.Duration {
+			syncs.Add(1)
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if got := syncs.Load(); got != 4 {
+		t.Fatalf("device saw %d fsyncs, want 4", got)
+	}
+	if st := w.Stats(); st.BreakerOpen || st.BreakerOpens != 0 || st.SkippedSyncs != 0 {
+		t.Fatalf("disabled breaker engaged: %+v", st)
+	}
+}

@@ -97,6 +97,22 @@ type Options struct {
 	// whose segments were all lost cannot re-issue sequence numbers at or
 	// below an existing checkpoint cursor. Ignored when segments exist.
 	FirstSeq uint64
+	// StallThreshold arms the fsync circuit breaker: a policy-driven fsync
+	// slower than this opens the breaker, and while it is open the
+	// SyncAlways/SyncInterval policies skip their fsyncs (counted in
+	// Stats.SkippedSyncs) instead of wedging every append behind a stalled
+	// device. After BreakerCooldown the next policy sync probes the device
+	// and a fast probe closes the breaker. Explicit Sync calls — the
+	// durability barriers checkpoints rely on — always hit the device.
+	// Zero disables the breaker (every policy sync is real).
+	StallThreshold time.Duration
+	// BreakerCooldown is how long an open breaker waits before probing.
+	// Default 1s.
+	BreakerCooldown time.Duration
+	// SyncDelay, when non-nil, is called before every real fsync and the
+	// returned duration is slept first — the disk-stall chaos hook
+	// (internal/netfault.DiskStallPlan builds these). Nil in production.
+	SyncDelay func() time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +124,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FirstSeq == 0 {
 		o.FirstSeq = 1
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
 	}
 	return o
 }
@@ -146,6 +165,23 @@ type Stats struct {
 	// entries [FirstSeq, NextSeq); it is empty when they are equal.
 	FirstSeq uint64
 	NextSeq  uint64
+	// TrimmedEntries counts entries deleted by TrimTo over the log's
+	// lifetime — the size of the dedup-horizon gap a rewinding client
+	// could slip through.
+	TrimmedEntries uint64
+	// LastSyncLatency is the most recent real fsync's wall time and
+	// SyncLatencyEWMA its exponentially weighted average; SlowSyncs counts
+	// fsyncs over Options.StallThreshold.
+	LastSyncLatency time.Duration
+	SyncLatencyEWMA time.Duration
+	SlowSyncs       uint64
+	// BreakerOpen reports the fsync circuit breaker's current state;
+	// BreakerOpens counts openings and SkippedSyncs the policy fsyncs
+	// skipped while open — every skipped sync is acknowledged data that a
+	// power cut would lose, which is why these are surfaced loudly.
+	BreakerOpen  bool
+	BreakerOpens uint64
+	SkippedSyncs uint64
 }
 
 // segment is one on-disk file of consecutive entries.
@@ -168,6 +204,16 @@ type WAL struct {
 	lastSync time.Time
 	scratch  []byte
 	closed   bool
+
+	// Fsync health and circuit breaker state (guarded by mu).
+	trimmed      uint64
+	lastSyncLat  time.Duration
+	syncEWMA     time.Duration
+	slowSyncs    uint64
+	breakerOpen  bool
+	breakerSince time.Time
+	breakerOpens uint64
+	skippedSyncs uint64
 }
 
 // Open opens (creating if needed) the log in dir, tolerating a torn tail:
@@ -384,12 +430,12 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	w.nextSeq++
 	switch w.opts.Sync {
 	case SyncAlways:
-		if err := w.active.Sync(); err != nil {
+		if err := w.policySyncLocked(); err != nil {
 			return 0, fmt.Errorf("wal: syncing entry: %w", err)
 		}
 	case SyncInterval:
 		if now := time.Now(); now.Sub(w.lastSync) >= w.opts.SyncEvery {
-			if err := w.active.Sync(); err != nil {
+			if err := w.policySyncLocked(); err != nil {
 				return 0, fmt.Errorf("wal: syncing entries: %w", err)
 			}
 			w.lastSync = now
@@ -398,14 +444,74 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	return seq, nil
 }
 
-// Sync forces buffered appends to stable storage regardless of policy.
+// policySyncLocked is the fsync path behind the SyncAlways/SyncInterval
+// policies, gated by the circuit breaker: while the breaker is open the
+// sync is skipped (and loudly counted) so a stalled device degrades
+// durability instead of wedging every append; after the cooldown the next
+// call probes the device and closes the breaker if the probe is fast.
+// Callers hold w.mu.
+func (w *WAL) policySyncLocked() error {
+	if w.opts.StallThreshold <= 0 {
+		return w.timedSyncLocked()
+	}
+	if w.breakerOpen {
+		if time.Since(w.breakerSince) < w.opts.BreakerCooldown {
+			w.skippedSyncs++
+			return nil
+		}
+		// Half-open: probe the device; timedSyncLocked re-opens the
+		// breaker if the probe stalls too.
+		w.breakerOpen = false
+	}
+	return w.timedSyncLocked()
+}
+
+// timedSyncLocked runs one real fsync, records its latency, and trips the
+// breaker when it exceeds the stall threshold. Callers hold w.mu.
+func (w *WAL) timedSyncLocked() error {
+	start := time.Now()
+	// The chaos hook models a stalling device, so its delay is part of the
+	// measured fsync latency — otherwise an injected stall could never
+	// trip the breaker it exists to test.
+	if d := w.opts.SyncDelay; d != nil {
+		if wait := d(); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	err := w.active.Sync()
+	took := time.Since(start)
+	w.lastSyncLat = took
+	if w.syncEWMA == 0 {
+		w.syncEWMA = took
+	} else {
+		// EWMA with α = 1/4: responsive to a stalling device within a few
+		// appends without flapping on one slow sync.
+		w.syncEWMA += (took - w.syncEWMA) / 4
+	}
+	if w.opts.StallThreshold > 0 && took >= w.opts.StallThreshold {
+		w.slowSyncs++
+		if !w.breakerOpen {
+			w.breakerOpen = true
+			w.breakerOpens++
+		}
+		w.breakerSince = time.Now()
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sync forces buffered appends to stable storage regardless of policy and
+// breaker state — the durability barrier checkpoints rely on. Latency is
+// still recorded so a stalled device shows up in Stats.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
 	}
-	if err := w.active.Sync(); err != nil {
+	if err := w.timedSyncLocked(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	w.lastSync = time.Now()
@@ -478,6 +584,7 @@ func (w *WAL) TrimTo(cursor uint64) error {
 			if err := os.Remove(sg.path); err != nil {
 				return fmt.Errorf("wal: trimming %s: %w", filepath.Base(sg.path), err)
 			}
+			w.trimmed += uint64(sg.count)
 			continue
 		}
 		kept = append(kept, sg)
@@ -495,7 +602,17 @@ func (w *WAL) TrimTo(cursor uint64) error {
 func (w *WAL) Stats() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	s := Stats{Segments: len(w.segs), NextSeq: w.nextSeq}
+	s := Stats{
+		Segments:        len(w.segs),
+		NextSeq:         w.nextSeq,
+		TrimmedEntries:  w.trimmed,
+		LastSyncLatency: w.lastSyncLat,
+		SyncLatencyEWMA: w.syncEWMA,
+		SlowSyncs:       w.slowSyncs,
+		BreakerOpen:     w.breakerOpen,
+		BreakerOpens:    w.breakerOpens,
+		SkippedSyncs:    w.skippedSyncs,
+	}
 	if len(w.segs) > 0 {
 		s.FirstSeq = w.segs[0].base
 	}

@@ -1,0 +1,145 @@
+// Reject frames are the only bytes a collector ever sends back down an
+// ingest connection: a small typed control message telling the uplink why
+// its stream was refused and how long to back off before trying again.
+// The ingest protocol is otherwise one-way (client → server), so any bytes
+// a client reads are a reject frame; a client that cannot parse them
+// treats the refusal as untyped and falls back to its normal backoff.
+//
+// The frame is deliberately tiny and self-delimiting — a 4-byte magic, a
+// version byte, a code byte, and a varint retry-after in nanoseconds — so
+// a sink-side microcontroller can parse it with a dozen lines of C, and a
+// server can write it in one syscall before closing the connection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// rejectMagic opens every reject frame. It shares no prefix with the
+// stream magic, so a confused reader cannot mistake one for the other.
+var rejectMagic = [4]byte{'D', 'M', 'R', 'J'}
+
+// rejectVersion is the current reject frame version.
+const rejectVersion = 1
+
+// maxRejectFrame bounds the encoded frame (magic + version + code +
+// max-length varint), so readers can size their buffer statically.
+const maxRejectFrame = 4 + 1 + 1 + binary.MaxVarintLen64
+
+// RejectCode classifies why the collector refused the stream. Clients
+// branch on it: rate and overload rejections are transient (back off and
+// retry), quota rejections are permanent for the tenant's current budget.
+type RejectCode byte
+
+// Reject codes.
+const (
+	// RejectRateLimited: the tenant's token bucket ran dry; retry after
+	// the frame's RetryAfter.
+	RejectRateLimited RejectCode = 1
+	// RejectQuotaExceeded: the tenant's absolute record/byte quota is
+	// spent; retrying will not help until an operator raises it.
+	RejectQuotaExceeded RejectCode = 2
+	// RejectOverloaded: the collector is shedding load (brownout); retry
+	// after the frame's RetryAfter.
+	RejectOverloaded RejectCode = 3
+	// RejectTooManyConns: the per-server connection cap is reached; retry
+	// after the frame's RetryAfter.
+	RejectTooManyConns RejectCode = 4
+)
+
+// String names the code for logs and error text.
+func (c RejectCode) String() string {
+	switch c {
+	case RejectRateLimited:
+		return "rate-limited"
+	case RejectQuotaExceeded:
+		return "quota-exceeded"
+	case RejectOverloaded:
+		return "overloaded"
+	case RejectTooManyConns:
+		return "too-many-conns"
+	}
+	return fmt.Sprintf("reject(%d)", byte(c))
+}
+
+// Reject is one decoded reject frame.
+type Reject struct {
+	Code RejectCode
+	// RetryAfter is the server's backoff hint; zero means "use your own
+	// backoff". Permanent codes (quota) carry zero.
+	RetryAfter time.Duration
+}
+
+// AppendReject appends the encoded frame to dst.
+func AppendReject(dst []byte, r Reject) []byte {
+	dst = append(dst, rejectMagic[:]...)
+	dst = append(dst, rejectVersion, byte(r.Code))
+	if r.RetryAfter < 0 {
+		r.RetryAfter = 0
+	}
+	return binary.AppendUvarint(dst, uint64(r.RetryAfter))
+}
+
+// WriteReject writes one reject frame. Servers call it right before
+// closing a refused connection.
+func WriteReject(w io.Writer, r Reject) error {
+	if _, err := w.Write(AppendReject(make([]byte, 0, maxRejectFrame), r)); err != nil {
+		return fmt.Errorf("writing reject frame: %w", err)
+	}
+	return nil
+}
+
+// ReadReject parses one reject frame from r. It returns ErrCorrupt for
+// bytes that are not a reject frame (a client reading a half-received
+// frame after a cut falls back to untyped backoff).
+func ReadReject(r io.Reader) (Reject, error) {
+	var hdr [6]byte // magic + version + code
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Reject{}, fmt.Errorf("reading reject frame: %w (%w)", err, ErrCorrupt)
+	}
+	if [4]byte(hdr[:4]) != rejectMagic {
+		return Reject{}, fmt.Errorf("bad reject magic %x: %w", hdr[:4], ErrCorrupt)
+	}
+	if hdr[4] != rejectVersion {
+		return Reject{}, fmt.Errorf("unsupported reject version %d: %w", hdr[4], ErrCorrupt)
+	}
+	br := byteReaderFrom(r)
+	retry, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Reject{}, fmt.Errorf("reading reject retry-after: %w (%w)", err, ErrCorrupt)
+	}
+	if retry > uint64(time.Hour) {
+		return Reject{}, fmt.Errorf("implausible retry-after %d: %w", retry, ErrCorrupt)
+	}
+	return Reject{Code: RejectCode(hdr[5]), RetryAfter: time.Duration(retry)}, nil
+}
+
+// byteReaderFrom adapts r for varint reading without buffering past the
+// frame (a reject frame is the last thing a server sends, but staying
+// exact keeps the parser reusable mid-stream).
+func byteReaderFrom(r io.Reader) io.ByteReader {
+	if br, ok := r.(io.ByteReader); ok {
+		return br
+	}
+	return &oneByteReader{r: r}
+}
+
+type oneByteReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (o *oneByteReader) ReadByte() (byte, error) {
+	_, err := io.ReadFull(o.r, o.buf[:])
+	if err != nil && !errors.Is(err, io.EOF) {
+		return 0, err
+	}
+	if err != nil {
+		return 0, io.EOF
+	}
+	return o.buf[0], nil
+}

@@ -1,0 +1,474 @@
+// Overload resilience: the public configuration for the brownout
+// degradation controller and the self-healing watchdog, and the supervised
+// result pump that implements engine restarts.
+//
+// The pump is the single goroutine that owns result forwarding for the
+// stream's whole lifetime, across any number of engine incarnations. That
+// centralization is what makes restart-time exactly-once cheap: the pump
+// tracks the next window index it owes the consumer, and because window
+// regeneration from a WAL replay is deterministic (the same admitted
+// record sequence from the same checkpoint base produces the same window
+// boundaries and indexes), suppressing regenerated windows below that
+// index is a complete duplicate filter — no content hashing, no persisted
+// dedup state.
+package domo
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/domo-net/domo/internal/stream"
+	"github.com/domo-net/domo/internal/wal"
+	"github.com/domo-net/domo/internal/wire"
+)
+
+// BrownoutState is the degradation controller's tier, reported per window
+// and in StreamStats.
+type BrownoutState int
+
+// Brownout tiers, in escalation order.
+const (
+	// StreamHealthy: no pressure; full QP fidelity.
+	StreamHealthy BrownoutState = iota
+	// StreamShedding: early pressure; windows still solve at full QP, but
+	// the serving layer should tighten admission now.
+	StreamShedding
+	// StreamBrownout: heavy pressure; windows solve on the cheap
+	// order-projected tier until the queue drains.
+	StreamBrownout
+	// StreamRecovering: pressure cleared; full QP again, promoted back to
+	// healthy after RecoverWindows consecutive calm windows.
+	StreamRecovering
+)
+
+// String names the tier for logs and status endpoints.
+func (s BrownoutState) String() string { return stream.BrownoutState(s).String() }
+
+// BrownoutConfig arms pressure-driven degradation: under sustained
+// overload (queue occupancy, solve latency, WAL fsync latency) the stream
+// switches window solves to the cheap order-projected interpolation tier
+// instead of falling unboundedly behind, and ramps back to full QP once
+// the pressure clears. The zero value disables the controller — every
+// window solves at full fidelity, and results stay bit-identical to the
+// offline path. With the controller enabled, which tier a window lands on
+// depends on runtime timing, so outputs are no longer deterministic.
+type BrownoutConfig struct {
+	// Enabled arms the controller.
+	Enabled bool
+	// ShedQueueFrac is the queue occupancy (0..1] at which the stream
+	// enters Shedding. Default 0.5.
+	ShedQueueFrac float64
+	// BrownoutQueueFrac is the occupancy at which it enters Brownout.
+	// Default 0.85.
+	BrownoutQueueFrac float64
+	// RecoverQueueFrac is the occupancy below which pressure counts as
+	// calm. Default ShedQueueFrac/2.
+	RecoverQueueFrac float64
+	// SolveLatencyTarget, when positive, treats a full-QP solve-latency
+	// EWMA above it as pressure (above twice it, heavy pressure).
+	SolveLatencyTarget time.Duration
+	// FsyncLatencyMax, when positive, treats a WAL fsync-latency EWMA
+	// above it as pressure (above twice it, heavy pressure).
+	FsyncLatencyMax time.Duration
+	// RecoverWindows is how many consecutive calm windows Recovering needs
+	// before returning to Healthy. Default 3.
+	RecoverWindows int
+}
+
+func (c BrownoutConfig) toInternal() stream.BrownoutConfig {
+	return stream.BrownoutConfig{
+		Enabled:            c.Enabled,
+		ShedQueueFrac:      c.ShedQueueFrac,
+		BrownoutQueueFrac:  c.BrownoutQueueFrac,
+		RecoverQueueFrac:   c.RecoverQueueFrac,
+		SolveLatencyTarget: c.SolveLatencyTarget,
+		FsyncLatencyMax:    c.FsyncLatencyMax,
+		RecoverWindows:     c.RecoverWindows,
+	}
+}
+
+// WatchdogConfig arms self-healing supervision. A window solve in flight
+// longer than Deadline means the solver goroutine is wedged (a hung
+// numerical routine, a livelocked iteration); the supervisor abandons the
+// engine and restarts a fresh one from the last durable checkpoint,
+// replaying the WAL so no acknowledged record is lost and no delivered
+// window is delivered twice. A solver panic is recovered the same way.
+// The watchdog requires a WAL — without one there is no checkpoint to
+// restart from, and OpenStream rejects the combination.
+type WatchdogConfig struct {
+	// Deadline arms the watchdog: zero disables it. It must comfortably
+	// exceed the worst healthy solve (including SolveTimeout retries).
+	Deadline time.Duration
+	// CheckInterval is the supervision poll period. Default Deadline/4,
+	// floored at 10ms.
+	CheckInterval time.Duration
+	// MaxRestarts bounds consecutive restarts with no delivered window in
+	// between; exhausting it closes Results with the cause recorded.
+	// Default 8. A delivered window resets the budget.
+	MaxRestarts int
+	// BackoffBase and BackoffMax shape the capped exponential delay before
+	// each consecutive restart. Defaults 100ms and 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (c WatchdogConfig) armed() bool { return c.Deadline > 0 }
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = c.Deadline / 4
+		if c.CheckInterval < 10*time.Millisecond {
+			c.CheckInterval = 10 * time.Millisecond
+		}
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 8
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	return c
+}
+
+// backoff is the delay before the nth consecutive restart (n from 1).
+func (c WatchdogConfig) backoff(n int) time.Duration {
+	d := c.BackoffBase
+	for i := 1; i < n && d < c.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.BackoffMax {
+		d = c.BackoffMax
+	}
+	return d
+}
+
+// RejectCode classifies a collector's typed refusal of an ingest stream.
+type RejectCode byte
+
+// Reject codes, mirroring the wire protocol.
+const (
+	// RejectRateLimited: the tenant's token bucket ran dry; transient.
+	RejectRateLimited = RejectCode(wire.RejectRateLimited)
+	// RejectQuotaExceeded: the tenant's absolute quota is spent; permanent
+	// until an operator raises it.
+	RejectQuotaExceeded = RejectCode(wire.RejectQuotaExceeded)
+	// RejectOverloaded: the collector is shedding load; transient.
+	RejectOverloaded = RejectCode(wire.RejectOverloaded)
+	// RejectTooManyConns: the server's connection cap is reached; transient.
+	RejectTooManyConns = RejectCode(wire.RejectTooManyConns)
+)
+
+// String names the code.
+func (c RejectCode) String() string { return wire.RejectCode(c).String() }
+
+// Rejection is a typed refusal a collector sent back down an ingest
+// connection. SendWire surfaces it (wrapped) when a send was refused;
+// errors.As against *Rejection recovers the code and backoff hint.
+type Rejection struct {
+	Code RejectCode
+	// RetryAfter is the server's backoff hint; zero means none was given.
+	RetryAfter time.Duration
+}
+
+func (r *Rejection) Error() string {
+	return fmt.Sprintf("rejected by collector: %s (retry after %v)", r.Code, r.RetryAfter)
+}
+
+// Temporary reports whether retrying can succeed without operator action.
+func (r *Rejection) Temporary() bool { return r.Code != RejectQuotaExceeded }
+
+// FeedLimited is Feed with an admission gate: gate is called with every
+// decoded frame's payload size before the record is ingested, and a
+// non-nil gate error stops the feed and is returned verbatim — so a
+// serving layer can hand back its own typed rejection (write a reject
+// frame, close the connection) without string-matching. A nil gate is
+// plain Feed.
+func (s *Stream) FeedLimited(r io.Reader, gate func(frameBytes int) error) error {
+	if err := s.Recovered(); err != nil {
+		return err
+	}
+	rd, err := wire.NewReader(r)
+	if err != nil {
+		return fmt.Errorf("stream feed: %w", err)
+	}
+	if got := rd.Header().NumNodes; got != s.cfg.NumNodes {
+		return fmt.Errorf("stream feed: header declares %d nodes, stream expects %d: %w",
+			got, s.cfg.NumNodes, ErrBadInput)
+	}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("stream feed: %w", err)
+		}
+		if gate != nil {
+			if gerr := gate(len(rd.Raw())); gerr != nil {
+				return gerr
+			}
+		}
+		if err := s.ingest(rec, rd.Raw()); err != nil {
+			return fmt.Errorf("stream feed: %w", err)
+		}
+	}
+}
+
+// engine returns the current engine incarnation.
+func (s *Stream) engine() *stream.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng
+}
+
+func (s *Stream) setSuperviseErr(err error) {
+	s.mu.Lock()
+	if s.superviseErr == nil {
+		s.superviseErr = err
+	}
+	s.mu.Unlock()
+}
+
+// Failed reports the terminal supervision error after the watchdog
+// exhausted its restart budget (or a restart itself failed); nil on a
+// healthy stream. A failed stream stays up for inspection — Stats and the
+// WAL remain readable — but delivers no further windows, so a serving
+// process should surface this as unhealthy and let its orchestrator
+// replace it.
+func (s *Stream) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.superviseErr
+}
+
+// toWindow translates one engine result into the public shape.
+func (s *Stream) toWindow(res *stream.WindowResult) *StreamWindow {
+	w := &StreamWindow{
+		Index:     res.Index,
+		SeqStart:  res.SeqStart,
+		SeqEnd:    res.SeqEnd,
+		Trace:     &Trace{inner: res.Trace},
+		SolveTime: res.SolveTime,
+		Err:       res.Err,
+		Cursor:    res.Cursor,
+		TimedOut:  res.TimedOut,
+		State:     BrownoutState(res.State),
+	}
+	if res.Est != nil {
+		w.Reconstruction = &Reconstruction{est: res.Est}
+	}
+	return w
+}
+
+// pump owns result forwarding for the stream's lifetime, across engine
+// restarts. It forwards each engine's windows (suppressing regenerated
+// duplicates after a restart), polls the watchdog, replaces the engine
+// when it wedges or dies, and performs the shutdown drain when Close
+// signals closeReq. It closes Results when the stream is done — user
+// Close, context cancellation, or a restart budget exhausted.
+func (s *Stream) pump() {
+	defer close(s.pumpDone)
+	defer close(s.results)
+	eng := s.engine()
+	wd := s.cfg.Watchdog.withDefaults()
+	var tick <-chan time.Time
+	if wd.armed() && s.log != nil {
+		t := time.NewTicker(wd.CheckInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	closeReq := s.closeReq
+	// nextIndex is the first window index not yet delivered to the
+	// consumer this process lifetime; regenerated windows below it were
+	// already delivered and are suppressed.
+	nextIndex := s.loadedCp.NextWindow
+	consecutive := 0 // restarts since the last delivered window
+	for {
+		select {
+		case res, ok := <-eng.Results():
+			if !ok {
+				// The engine finished. A recovered solver panic is a
+				// restartable death; anything else (user Close, context
+				// cancellation) ends the stream.
+				fatal := eng.Fatal()
+				if fatal == nil || tick == nil || s.closing.Load() || s.ctx.Err() != nil {
+					s.setCloseErr(s.ctx.Err())
+					return
+				}
+				ne, err := s.restartEngine(eng, wd, &consecutive, fatal)
+				if err != nil {
+					s.gaveUp.Store(true)
+					s.setSuperviseErr(err)
+					return
+				}
+				eng = ne
+				continue
+			}
+			if res.Index < nextIndex {
+				s.suppressedWindows.Add(1)
+				s.suppressedRecords.Add(uint64(res.SeqEnd - res.SeqStart))
+				continue
+			}
+			s.results <- s.toWindow(res)
+			nextIndex = res.Index + 1
+			consecutive = 0
+		case <-closeReq:
+			closeReq = nil // fires once; a closed channel is always ready
+			if w, started, inFlight := eng.SolveInFlight(); inFlight && wd.armed() && time.Since(started) > wd.Deadline {
+				// The engine is wedged: waiting for its drain would block
+				// Close forever. Abandon it — the queue and the open
+				// window are lost from this process, but every record is
+				// durable in the WAL.
+				s.abandonEngine()
+				s.setCloseErr(fmt.Errorf("stream close: abandoned engine wedged on window %d for %v",
+					w, time.Since(started).Round(time.Millisecond)))
+				return
+			}
+			// Drain off-pump so this loop keeps forwarding the flushed
+			// tail; the engine's results channel closing ends the loop.
+			go eng.Close() //nolint:errcheck // ctx error reported via setCloseErr on loop exit
+		case <-tick:
+			w, started, inFlight := eng.SolveInFlight()
+			if !inFlight || time.Since(started) <= wd.Deadline {
+				continue
+			}
+			if closeReq == nil {
+				// Wedged during the shutdown drain: abandon rather than
+				// restart. The eng.Close goroutine above leaks with the
+				// wedged solver; it holds no locks.
+				s.abandonEngine()
+				s.setCloseErr(fmt.Errorf("stream close: abandoned engine wedged on window %d for %v",
+					w, time.Since(started).Round(time.Millisecond)))
+				return
+			}
+			cause := fmt.Errorf("stream: window %d solve wedged for %v (deadline %v)",
+				w, time.Since(started).Round(time.Millisecond), wd.Deadline)
+			ne, err := s.restartEngine(eng, wd, &consecutive, cause)
+			if err != nil {
+				s.gaveUp.Store(true)
+				s.setSuperviseErr(err)
+				return
+			}
+			eng = ne
+		}
+	}
+}
+
+// abandonEngine cancels the live incarnation without waiting for it.
+func (s *Stream) abandonEngine() {
+	s.mu.Lock()
+	cancel := s.engCancel
+	s.mu.Unlock()
+	cancel()
+}
+
+// setCloseErr records the shutdown drain's outcome for Close to return;
+// the first non-nil value wins.
+func (s *Stream) setCloseErr(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closeErr == nil {
+		s.closeErr = err
+	}
+	s.mu.Unlock()
+}
+
+// restartEngine abandons a wedged or dead engine and starts a fresh one
+// from the last durable checkpoint. The procedure:
+//
+//  1. Cancel the old incarnation's context. This unblocks any producer
+//     stuck in a full-queue Push (it holds walMu, which we need) and lets
+//     the old run loop exit at its next delivery select. A truly wedged
+//     solve goroutine leaks — it holds no locks, so leaking it is safe.
+//  2. Take walMu, pausing ingest: nothing may append-and-push while the
+//     engine is being swapped, or sequence order would be violated.
+//  3. Back off (capped exponential in the consecutive-restart count),
+//     still holding walMu — producers staying paused IS the backpressure.
+//  4. Load the checkpoint and open a fresh engine numbered from it.
+//  5. Hand walMu to a replay goroutine that replays the retained WAL into
+//     the new engine — entries at or below the checkpoint cursor prime
+//     duplicate suppression, the rest regenerate every unacknowledged
+//     window — and releases walMu when done, resuming live ingest behind
+//     the replayed tail so sequence order is preserved.
+//
+// Records appended between the old engine's death and the restart were
+// swallowed by ingest as deferred (they are durable); the replay is what
+// delivers them.
+func (s *Stream) restartEngine(old *stream.Engine, wd WatchdogConfig, consecutive *int, cause error) (*stream.Engine, error) {
+	*consecutive++
+	if *consecutive > wd.MaxRestarts {
+		return nil, fmt.Errorf("stream: restart budget exhausted after %d attempts: %w", wd.MaxRestarts, cause)
+	}
+	s.restarts.Add(1)
+	s.mu.Lock()
+	cancel := s.engCancel
+	s.mu.Unlock()
+	cancel()
+	<-s.recovered // never swap engines under the initial recovery replay
+
+	s.walMu.Lock()
+	select {
+	case <-time.After(wd.backoff(*consecutive)):
+	case <-s.ctx.Done():
+		s.walMu.Unlock()
+		return nil, s.ctx.Err()
+	}
+	cp, _, err := wal.LoadCheckpoint(s.ckptPath)
+	if err != nil {
+		s.walMu.Unlock()
+		return nil, fmt.Errorf("stream restart: %w (cause: %w)", err, cause)
+	}
+	ectx, ecancel := context.WithCancel(s.ctx)
+	eng, err := stream.Open(ectx, s.engineConfig(cp.NextWindow, cp.SeqBase))
+	if err != nil {
+		ecancel()
+		s.walMu.Unlock()
+		return nil, fmt.Errorf("stream restart: %w (cause: %w)", err, cause)
+	}
+	s.mu.Lock()
+	s.statsBase = addEngineStats(s.statsBase, old.Stats())
+	s.eng, s.engCancel = eng, ecancel
+	s.mu.Unlock()
+	go func() {
+		// Inherits walMu from this function; ingest resumes when the
+		// replayed tail is fully pushed.
+		defer s.walMu.Unlock()
+		n, rerr := s.replayInto(eng, cp.Cursor)
+		s.replayed.Add(n)
+		if rerr != nil {
+			s.setSuperviseErr(fmt.Errorf("stream restart replay: %w", rerr))
+		}
+	}()
+	return eng, nil
+}
+
+// addEngineStats folds a dead incarnation's cumulative counters into the
+// accumulated base, so StreamStats stays monotonic across restarts.
+// Point-in-time fields (queue depth, buffered, lag, latency summaries,
+// state) always come from the live engine and are not accumulated.
+func addEngineStats(base, st stream.Stats) stream.Stats {
+	base.Received += st.Received
+	base.Dropped += st.Dropped
+	base.Quarantined += st.Quarantined
+	base.Solved += st.Solved
+	base.Windows += st.Windows
+	base.WindowsFailed += st.WindowsFailed
+	base.RetriedWindows += st.RetriedWindows
+	base.DegradedWindows += st.DegradedWindows
+	base.TimedOutWindows += st.TimedOutWindows
+	base.StateTransitions += st.StateTransitions
+	for i := range base.WindowsByState {
+		base.WindowsByState[i] += st.WindowsByState[i]
+	}
+	if st.QueueMax > base.QueueMax {
+		base.QueueMax = st.QueueMax
+	}
+	return base
+}

@@ -68,6 +68,18 @@ type StreamConfig struct {
 	// the last Checkpoint, if any) so a crashed process regenerates every
 	// undelivered window exactly as an uninterrupted run would have.
 	WAL WALConfig
+	// Brownout arms pressure-driven degradation: under overload, window
+	// solves fall back to the cheap order-projected tier instead of the
+	// stream falling unboundedly behind. Off (full fidelity) by default.
+	Brownout BrownoutConfig
+	// Watchdog arms self-healing supervision: a wedged or panicked solver
+	// is abandoned and the engine restarted from the last checkpoint with
+	// exactly-once delivery preserved. Requires WAL.
+	Watchdog WatchdogConfig
+
+	// solveHook, when set (tests only), runs at the start of every solve
+	// attempt in every engine incarnation.
+	solveHook func(window int)
 }
 
 // StreamWindow is one closed window delivered by a Stream: the window's
@@ -92,6 +104,10 @@ type StreamWindow struct {
 	// TimedOut reports that the window blew StreamConfig.SolveTimeout
 	// twice and carries the degraded order-projection estimate.
 	TimedOut bool
+	// State is the brownout tier the window was solved under;
+	// StreamBrownout means the reconstruction came from the cheap
+	// order-projected tier, not the full QP.
+	State BrownoutState
 }
 
 // StreamStats is a cumulative snapshot of a Stream's accounting.
@@ -134,6 +150,40 @@ type StreamStats struct {
 	// milliseconds; SolveBuckets is the log-spaced histogram behind it.
 	SolveLatency Summary
 	SolveBuckets []LatencyBucket
+	// State is the brownout controller's current tier; StateTransitions
+	// counts tier changes; the Windows* fields count delivered windows by
+	// the tier they were solved under.
+	State             BrownoutState
+	StateTransitions  uint64
+	WindowsHealthy    uint64
+	WindowsShedding   uint64
+	WindowsBrownout   uint64
+	WindowsRecovering uint64
+	// SolveLatencyEWMA / FsyncLatencyEWMA are the controller's smoothed
+	// pressure signals.
+	SolveLatencyEWMA time.Duration
+	FsyncLatencyEWMA time.Duration
+	// Restarts counts supervised engine restarts; SuppressedWindows /
+	// SuppressedRecords count regenerated duplicates the restart replay
+	// produced and the supervisor filtered (exactly-once accounting);
+	// DeferredRecords counts records whose engine push failed mid-restart
+	// and were delivered via WAL replay instead.
+	Restarts          uint64
+	SuppressedWindows uint64
+	SuppressedRecords uint64
+	DeferredRecords   uint64
+	// WAL health: the fsync circuit breaker's state and loud accounting
+	// for every durability decision it made, plus the trim horizon.
+	// DedupHorizonGap is the number of trimmed WAL entries whose packet
+	// ids can no longer prime duplicate suppression after a recovery — a
+	// client rewinding below the horizon gets those records re-admitted.
+	FsyncBreakerOpen  bool
+	FsyncBreakerOpens uint64
+	SlowSyncs         uint64
+	SkippedSyncs      uint64
+	LastFsyncLatency  time.Duration
+	TrimmedEntries    uint64
+	DedupHorizonGap   uint64
 }
 
 // LatencyBucket is one bucket of a solve-latency histogram: Count
@@ -150,8 +200,18 @@ type LatencyBucket struct {
 // consumer fills the bounded queue and engages the configured backpressure.
 type Stream struct {
 	cfg     StreamConfig
-	eng     *stream.Engine
+	ctx     context.Context
 	results chan *StreamWindow
+
+	// The current engine incarnation plus supervision state, guarded by
+	// mu. The supervisor (resilience.go) swaps eng on restart; statsBase
+	// accumulates dead incarnations' counters so StreamStats stays
+	// monotonic.
+	mu           sync.Mutex
+	eng          *stream.Engine
+	engCancel    context.CancelFunc
+	statsBase    stream.Stats
+	superviseErr error
 
 	// Durability state; log is nil when StreamConfig.WAL is off.
 	log      *wal.WAL
@@ -164,16 +224,96 @@ type Stream struct {
 	recovered chan struct{}
 	replayErr error
 	// walMu serializes Append+PushSeq so the engine consumes records in
-	// WAL-sequence order — the invariant behind WindowResult.Cursor.
-	walMu    sync.Mutex
-	replayed atomic.Uint64
-	lastCkpt atomic.Uint64
+	// WAL-sequence order — the invariant behind WindowResult.Cursor. A
+	// supervised restart holds it across the engine swap and hands it to
+	// the replay goroutine, so live ingest resumes only behind the
+	// replayed tail.
+	walMu     sync.Mutex
+	lastFsync time.Duration // last fsync latency fed to brownout (walMu)
+	replayed  atomic.Uint64
+	lastCkpt  atomic.Uint64
+
+	closing           atomic.Bool // user Close has begun
+	gaveUp            atomic.Bool // supervisor quit with the engine possibly wedged
+	restarts          atomic.Uint64
+	suppressedWindows atomic.Uint64
+	suppressedRecords atomic.Uint64
+	deferredRecords   atomic.Uint64
+	dedupHorizonGap   atomic.Uint64
+
+	// Shutdown is routed through the pump: Close signals closeReq and waits
+	// for pumpDone, so the pump — the only goroutine that knows which
+	// engine incarnation is live and whether it is wedged — performs the
+	// drain (or abandons a wedged engine instead of blocking forever).
+	// closeErr (mu) carries the drain's outcome back to Close.
+	closeReq  chan struct{}
+	closeOnce sync.Once
+	pumpDone  chan struct{}
+	closeErr  error
 }
 
 // OpenStream starts an online reconstruction stream. The context is
 // threaded into every window solve: canceling it aborts in-flight solves
 // and unblocks blocked producers.
 func OpenStream(ctx context.Context, cfg StreamConfig) (*Stream, error) {
+	if cfg.Watchdog.armed() && !cfg.WAL.enabled() {
+		return nil, fmt.Errorf("opening stream: watchdog requires a WAL (no checkpoint to restart from): %w", ErrBadInput)
+	}
+	s := &Stream{
+		cfg: cfg, ctx: ctx,
+		results:   make(chan *StreamWindow),
+		recovered: make(chan struct{}),
+		closeReq:  make(chan struct{}),
+		pumpDone:  make(chan struct{}),
+	}
+	if cfg.WAL.enabled() {
+		s.ckptPath = cfg.WAL.checkpointPath()
+		cp, ok, err := wal.LoadCheckpoint(s.ckptPath)
+		if err != nil {
+			return nil, fmt.Errorf("opening stream: %w", err)
+		}
+		s.loadedCp, s.hadCp = cp, ok
+		s.lastCkpt.Store(cp.Cursor)
+		opts := wal.Options{
+			SegmentBytes:    cfg.WAL.SegmentBytes,
+			SyncEvery:       cfg.WAL.FsyncInterval,
+			FirstSeq:        cp.Cursor + 1,
+			StallThreshold:  cfg.WAL.FsyncStallThreshold,
+			BreakerCooldown: cfg.WAL.FsyncBreakerCooldown,
+			SyncDelay:       cfg.WAL.SyncDelay,
+		}
+		if cfg.WAL.Fsync != "" {
+			if opts.Sync, err = wal.ParseSyncPolicy(cfg.WAL.Fsync); err != nil {
+				return nil, fmt.Errorf("opening stream: %w: %w", err, ErrBadInput)
+			}
+		}
+		if s.log, err = wal.Open(cfg.WAL.Dir, opts); err != nil {
+			return nil, fmt.Errorf("opening stream: %w", err)
+		}
+	}
+	ectx, ecancel := context.WithCancel(ctx)
+	eng, err := stream.Open(ectx, s.engineConfig(s.loadedCp.NextWindow, s.loadedCp.SeqBase))
+	if err != nil {
+		ecancel()
+		if s.log != nil {
+			s.log.Close()
+		}
+		return nil, fmt.Errorf("opening stream: %w: %w", err, ErrBadInput)
+	}
+	s.eng, s.engCancel = eng, ecancel
+	go s.pump()
+	if s.log != nil {
+		go s.recoverInitial(eng)
+	} else {
+		close(s.recovered)
+	}
+	return s, nil
+}
+
+// engineConfig builds one engine incarnation's config; firstWindow and
+// baseSeq come from the checkpoint the incarnation resumes from.
+func (s *Stream) engineConfig(firstWindow, baseSeq int) stream.Config {
+	cfg := s.cfg
 	sc := stream.Config{
 		NumNodes:       cfg.NumNodes,
 		Core:           cfg.Estimation.toCore(),
@@ -184,69 +324,52 @@ func OpenStream(ctx context.Context, cfg StreamConfig) (*Stream, error) {
 		ResultBuffer:   cfg.ResultBuffer,
 		Sanitize:       cfg.Estimation.AutoSanitize,
 		SolveTimeout:   cfg.SolveTimeout,
+		FirstWindow:    firstWindow,
+		BaseSeq:        baseSeq,
+		Brownout:       cfg.Brownout.toInternal(),
+		SolveHook:      cfg.solveHook,
 	}
 	if cfg.Policy == DropOldestWhenFull {
 		sc.Policy = stream.PolicyDropOldest
 	}
-	s := &Stream{cfg: cfg, results: make(chan *StreamWindow), recovered: make(chan struct{})}
-	if cfg.WAL.enabled() {
-		s.ckptPath = cfg.WAL.checkpointPath()
-		cp, ok, err := wal.LoadCheckpoint(s.ckptPath)
-		if err != nil {
-			return nil, fmt.Errorf("opening stream: %w", err)
-		}
-		s.loadedCp, s.hadCp = cp, ok
-		s.lastCkpt.Store(cp.Cursor)
-		sc.FirstWindow, sc.BaseSeq = cp.NextWindow, cp.SeqBase
-		opts := wal.Options{SegmentBytes: cfg.WAL.SegmentBytes, SyncEvery: cfg.WAL.FsyncInterval, FirstSeq: cp.Cursor + 1}
-		if cfg.WAL.Fsync != "" {
-			if opts.Sync, err = wal.ParseSyncPolicy(cfg.WAL.Fsync); err != nil {
-				return nil, fmt.Errorf("opening stream: %w: %w", err, ErrBadInput)
-			}
-		}
-		if s.log, err = wal.Open(cfg.WAL.Dir, opts); err != nil {
-			return nil, fmt.Errorf("opening stream: %w", err)
-		}
-	}
-	eng, err := stream.Open(ctx, sc)
-	if err != nil {
-		if s.log != nil {
-			s.log.Close()
-		}
-		return nil, fmt.Errorf("opening stream: %w: %w", err, ErrBadInput)
-	}
-	s.eng = eng
-	go s.convert()
-	if s.log != nil {
-		go s.recover()
-	} else {
-		close(s.recovered)
-	}
-	return s, nil
+	return sc
 }
 
-// recover replays the retained WAL into the engine: entries at or below
-// the checkpoint cursor only prime the duplicate-suppression state (their
-// windows were already delivered), entries above it are re-pushed so every
-// undelivered window is regenerated with its original sequence numbers.
-func (s *Stream) recover() {
+// recoverInitial replays the retained WAL into the freshly opened engine
+// and publishes the dedup-horizon gap (see StreamStats.DedupHorizonGap)
+// when trimming has shortened the log below the full history.
+func (s *Stream) recoverInitial(eng *stream.Engine) {
 	defer close(s.recovered)
-	cursor := s.loadedCp.Cursor
+	if ws := s.log.Stats(); ws.FirstSeq > 1 {
+		s.dedupHorizonGap.Store(ws.FirstSeq - 1)
+	}
+	n, err := s.replayInto(eng, s.loadedCp.Cursor)
+	s.replayed.Add(n)
+	if err != nil {
+		s.replayErr = fmt.Errorf("stream recovery: %w", err)
+	}
+}
+
+// replayInto replays the whole retained WAL into eng: entries at or below
+// cursor only prime the duplicate-suppression state (their windows were
+// already delivered), entries above it are re-pushed so every undelivered
+// window is regenerated with its original sequence numbers. It returns
+// how many entries were re-pushed.
+func (s *Stream) replayInto(eng *stream.Engine, cursor uint64) (uint64, error) {
+	var replayed uint64
 	err := s.log.Replay(0, func(seq uint64, payload []byte) error {
 		rec, derr := wire.DecodeRecord(payload)
 		if derr != nil {
 			return fmt.Errorf("entry %d: %w", seq, derr)
 		}
 		if seq <= cursor {
-			s.eng.Prime(rec)
+			eng.Prime(rec)
 			return nil
 		}
-		s.replayed.Add(1)
-		return s.eng.PushSeq(rec, seq)
+		replayed++
+		return eng.PushSeq(rec, seq)
 	})
-	if err != nil {
-		s.replayErr = fmt.Errorf("stream recovery: %w", err)
-	}
+	return replayed, err
 }
 
 // Recovered blocks until WAL replay has finished and returns its error,
@@ -263,7 +386,7 @@ func (s *Stream) Recovered() error {
 // ignored without a WAL.
 func (s *Stream) ingest(rec *trace.Record, payload []byte) error {
 	if s.log == nil {
-		return s.eng.Push(rec)
+		return s.engine().Push(rec)
 	}
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
@@ -271,28 +394,25 @@ func (s *Stream) ingest(rec *trace.Record, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	return s.eng.PushSeq(rec, seq)
-}
-
-// convert translates engine results into the public shape.
-func (s *Stream) convert() {
-	defer close(s.results)
-	for res := range s.eng.Results() {
-		w := &StreamWindow{
-			Index:     res.Index,
-			SeqStart:  res.SeqStart,
-			SeqEnd:    res.SeqEnd,
-			Trace:     &Trace{inner: res.Trace},
-			SolveTime: res.SolveTime,
-			Err:       res.Err,
-			Cursor:    res.Cursor,
-			TimedOut:  res.TimedOut,
+	eng := s.engine()
+	if s.cfg.Brownout.Enabled && s.cfg.Brownout.FsyncLatencyMax > 0 {
+		if ws := s.log.Stats(); ws.LastSyncLatency > 0 && ws.LastSyncLatency != s.lastFsync {
+			s.lastFsync = ws.LastSyncLatency
+			eng.ReportFsyncLatency(ws.LastSyncLatency)
 		}
-		if res.Est != nil {
-			w.Reconstruction = &Reconstruction{est: res.Est}
-		}
-		s.results <- w
 	}
+	if perr := eng.PushSeq(rec, seq); perr != nil {
+		// Under supervision, an engine dying between the append and the
+		// push is not data loss: the record is durable, and the restart's
+		// WAL replay delivers it. Swallow the push failure (counted) so
+		// the producer's connection survives the restart.
+		if s.cfg.Watchdog.armed() && !s.closing.Load() && s.ctx.Err() == nil {
+			s.deferredRecords.Add(1)
+			return nil
+		}
+		return perr
+	}
+	return nil
 }
 
 // Feed decodes one wire-format stream (header plus length-prefixed record
@@ -300,31 +420,7 @@ func (s *Stream) convert() {
 // record until EOF. The stream's declared deployment size must match the
 // StreamConfig. Feed is safe to call from several goroutines at once — one
 // per ingest connection.
-func (s *Stream) Feed(r io.Reader) error {
-	if err := s.Recovered(); err != nil {
-		return err
-	}
-	rd, err := wire.NewReader(r)
-	if err != nil {
-		return fmt.Errorf("stream feed: %w", err)
-	}
-	if got := rd.Header().NumNodes; got != s.cfg.NumNodes {
-		return fmt.Errorf("stream feed: header declares %d nodes, stream expects %d: %w",
-			got, s.cfg.NumNodes, ErrBadInput)
-	}
-	for {
-		rec, err := rd.Next()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("stream feed: %w", err)
-		}
-		if err := s.ingest(rec, rd.Raw()); err != nil {
-			return fmt.Errorf("stream feed: %w", err)
-		}
-	}
-}
+func (s *Stream) Feed(r io.Reader) error { return s.FeedLimited(r, nil) }
 
 // Replay ingests every record of an in-memory trace in order — the offline
 // path replayed through the online engine.
@@ -356,29 +452,49 @@ func (s *Stream) Replay(t *Trace) error {
 // flushed.
 func (s *Stream) Results() <-chan *StreamWindow { return s.results }
 
-// Stats returns a snapshot of the stream's accounting.
+// Stats returns a snapshot of the stream's accounting. Counters are
+// cumulative across supervised engine restarts; point-in-time fields
+// (queue depth, lag, latency summaries, brownout state) describe the
+// current engine incarnation.
 func (s *Stream) Stats() StreamStats {
-	st := s.eng.Stats()
+	s.mu.Lock()
+	eng, base := s.eng, s.statsBase
+	s.mu.Unlock()
+	st := addEngineStats(base, eng.Stats())
+	cur := eng.Stats()
 	var buckets []LatencyBucket
-	for _, b := range st.SolveBuckets {
+	for _, b := range cur.SolveBuckets {
 		buckets = append(buckets, LatencyBucket{Le: b.Le, Count: b.Count})
 	}
 	out := StreamStats{
-		Received:        st.Received,
-		Dropped:         st.Dropped,
-		Quarantined:     st.Quarantined,
-		Solved:          st.Solved,
-		QueueDepth:      st.QueueDepth,
-		QueueMax:        st.QueueMax,
-		Buffered:        st.Buffered,
-		Windows:         st.Windows,
-		WindowsFailed:   st.WindowsFailed,
-		RetriedWindows:  st.RetriedWindows,
-		DegradedWindows: st.DegradedWindows,
-		TimedOutWindows: st.TimedOutWindows,
-		Lag:             st.Lag,
-		SolveLatency:    fromInternalSummary(st.SolveLatency),
-		SolveBuckets:    buckets,
+		Received:          st.Received,
+		Dropped:           st.Dropped,
+		Quarantined:       st.Quarantined,
+		Solved:            st.Solved,
+		QueueDepth:        cur.QueueDepth,
+		QueueMax:          st.QueueMax,
+		Buffered:          cur.Buffered,
+		Windows:           st.Windows,
+		WindowsFailed:     st.WindowsFailed,
+		RetriedWindows:    st.RetriedWindows,
+		DegradedWindows:   st.DegradedWindows,
+		TimedOutWindows:   st.TimedOutWindows,
+		Lag:               cur.Lag,
+		SolveLatency:      fromInternalSummary(cur.SolveLatency),
+		SolveBuckets:      buckets,
+		State:             BrownoutState(cur.State),
+		StateTransitions:  st.StateTransitions,
+		WindowsHealthy:    st.WindowsByState[stream.StateHealthy],
+		WindowsShedding:   st.WindowsByState[stream.StateShedding],
+		WindowsBrownout:   st.WindowsByState[stream.StateBrownout],
+		WindowsRecovering: st.WindowsByState[stream.StateRecovering],
+		SolveLatencyEWMA:  cur.SolveEWMA,
+		FsyncLatencyEWMA:  cur.FsyncEWMA,
+		Restarts:          s.restarts.Load(),
+		SuppressedWindows: s.suppressedWindows.Load(),
+		SuppressedRecords: s.suppressedRecords.Load(),
+		DeferredRecords:   s.deferredRecords.Load(),
+		DedupHorizonGap:   s.dedupHorizonGap.Load(),
 	}
 	if s.log != nil {
 		ws := s.log.Stats()
@@ -386,6 +502,12 @@ func (s *Stream) Stats() StreamStats {
 		out.WALBytes = ws.Bytes
 		out.WALSegments = ws.Segments
 		out.LastCheckpoint = s.lastCkpt.Load()
+		out.FsyncBreakerOpen = ws.BreakerOpen
+		out.FsyncBreakerOpens = ws.BreakerOpens
+		out.SlowSyncs = ws.SlowSyncs
+		out.SkippedSyncs = ws.SkippedSyncs
+		out.LastFsyncLatency = ws.LastSyncLatency
+		out.TrimmedEntries = ws.TrimmedEntries
 	}
 	return out
 }
@@ -393,7 +515,7 @@ func (s *Stream) Stats() StreamStats {
 // SanitizeReport returns the accumulated per-record quarantine report, or
 // nil when Estimation.AutoSanitize is off.
 func (s *Stream) SanitizeReport() *SanitizeReport {
-	rep := s.eng.SanitizeReport()
+	rep := s.engine().SanitizeReport()
 	if rep == nil {
 		return nil
 	}
@@ -405,13 +527,34 @@ func (s *Stream) SanitizeReport() *SanitizeReport {
 // caller must be draining Results concurrently (ranging over it until it
 // closes collects the flushed tail). Close is idempotent; it returns the
 // context's error when cancellation cut the drain short.
+//
+// The drain itself runs in the pump: only it knows which engine
+// incarnation is live and whether its solver is wedged. A wedged engine is
+// abandoned — canceled, not waited for — and Close reports it; every
+// undelivered record is still in the WAL, so a fresh OpenStream over the
+// same directory regenerates the missing windows.
 func (s *Stream) Close() error {
-	err := s.eng.Close()
+	s.closing.Store(true)
+	s.closeOnce.Do(func() { close(s.closeReq) })
+	<-s.pumpDone
+	s.mu.Lock()
+	cancel := s.engCancel
+	err := s.closeErr
+	s.mu.Unlock()
+	cancel()
 	if s.log != nil {
-		<-s.recovered // replay pushes into the (now closed) engine; let it finish
+		<-s.recovered  // replay pushes into the (now closed) engine; let it finish
+		s.walMu.Lock() // a restart replay may still hold the ingest lock
+		s.walMu.Unlock()
 		if cerr := s.log.Close(); err == nil {
 			err = cerr
 		}
+	}
+	s.mu.Lock()
+	sup := s.superviseErr
+	s.mu.Unlock()
+	if err == nil {
+		err = sup
 	}
 	return err
 }
