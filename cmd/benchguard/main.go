@@ -1,0 +1,143 @@
+// Command benchguard gates CI on estimator benchmark regressions: it
+// parses a `go test -bench` output, extracts the µs/delay metric of the
+// serial estimator run (BenchmarkEstimateWorkers/workers=1), and compares
+// it against the committed BENCH_estimate.json baseline. The measured
+// value may exceed the baseline by at most the threshold factor;
+// anything worse — or any failure to find the benchmark line, the
+// metric, or the baseline — exits non-zero so the regression cannot land
+// silently.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkEstimateWorkers/workers=1$' -benchtime 6x . | tee bench.txt
+//	go run ./cmd/benchguard -baseline BENCH_estimate.json -input bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchFile mirrors the parts of BENCH_estimate.json the guard needs.
+type benchFile struct {
+	Baseline struct {
+		Date    string `json:"date"`
+		Results []struct {
+			Workers    int     `json:"workers"`
+			UsPerDelay float64 `json:"us_per_delay"`
+		} `json:"results"`
+	} `json:"baseline"`
+}
+
+// baselineUsPerDelay returns the committed workers=1 µs/delay.
+func baselineUsPerDelay(r io.Reader) (float64, string, error) {
+	var f benchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return 0, "", fmt.Errorf("parsing baseline: %w", err)
+	}
+	for _, res := range f.Baseline.Results {
+		if res.Workers == 1 {
+			if res.UsPerDelay <= 0 {
+				return 0, "", fmt.Errorf("baseline workers=1 us_per_delay is %g, want > 0", res.UsPerDelay)
+			}
+			return res.UsPerDelay, f.Baseline.Date, nil
+		}
+	}
+	return 0, "", fmt.Errorf("baseline has no workers=1 row")
+}
+
+// measuredUsPerDelay scans `go test -bench` output for the named
+// benchmark and returns the value of its µs/delay metric. Benchmark
+// result lines interleave "<value> <unit>" pairs after the iteration
+// count, e.g.:
+//
+//	BenchmarkEstimateWorkers/workers=1-4  2  11385385 ns/op  51.00 windows  15.95 µs/delay
+func measuredUsPerDelay(r io.Reader, benchmark string) (float64, error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -<GOMAXPROCS> suffix go test appends to the name.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if name != benchmark {
+			continue
+		}
+		for i := 1; i+1 < len(fields); i++ {
+			if fields[i+1] == "µs/delay" || fields[i+1] == "us/delay" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return 0, fmt.Errorf("parsing µs/delay value %q: %w", fields[i], err)
+				}
+				return v, nil
+			}
+		}
+		return 0, fmt.Errorf("benchmark line for %s has no µs/delay metric: %s", benchmark, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("reading bench output: %w", err)
+	}
+	return 0, fmt.Errorf("bench output has no result line for %s (did the benchmark run or get skipped?)", benchmark)
+}
+
+func run(baselinePath, inputPath, benchmark string, threshold float64) error {
+	if threshold <= 1 {
+		return fmt.Errorf("threshold %g must exceed 1", threshold)
+	}
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	base, date, err := baselineUsPerDelay(bf)
+	if err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+
+	var in io.Reader = os.Stdin
+	if inputPath != "" && inputPath != "-" {
+		f, err := os.Open(inputPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := measuredUsPerDelay(in, benchmark)
+	if err != nil {
+		return err
+	}
+
+	ratio := got / base
+	fmt.Printf("benchguard: %s measured %.2f µs/delay vs baseline %.2f (%s): %.2fx (threshold %.2fx)\n",
+		benchmark, got, base, date, ratio, threshold)
+	if ratio > threshold {
+		return fmt.Errorf("regression: %.2f µs/delay is %.2fx the committed baseline %.2f (limit %.2fx)",
+			got, ratio, base, threshold)
+	}
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_estimate.json", "committed baseline JSON")
+	input := flag.String("input", "-", "bench output file, or - for stdin")
+	benchmark := flag.String("benchmark", "BenchmarkEstimateWorkers/workers=1", "benchmark whose µs/delay to check")
+	threshold := flag.Float64("threshold", 1.5, "maximum allowed measured/baseline ratio")
+	flag.Parse()
+	if err := run(*baseline, *input, *benchmark, *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}

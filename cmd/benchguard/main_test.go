@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleBaseline = `{
+  "baseline": {
+    "date": "2026-08-07",
+    "results": [
+      {"workers": 1, "ns_per_op": 11761360, "windows": 51, "us_per_delay": 14.63}
+    ]
+  }
+}`
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/domo-net/domo
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEstimateWorkers/workers=1         	       6	  11761360 ns/op	        51.00 windows	        14.63 µs/delay
+BenchmarkEstimateOptimizations/warm+prune  	       6	  12310550 ns/op	     10393 pruned_rows	        14.76 µs/delay
+PASS
+ok  	github.com/domo-net/domo	1.038s
+`
+
+func TestBaselineUsPerDelay(t *testing.T) {
+	v, date, err := baselineUsPerDelay(strings.NewReader(sampleBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 14.63 || date != "2026-08-07" {
+		t.Fatalf("got %g @ %s, want 14.63 @ 2026-08-07", v, date)
+	}
+	if _, _, err := baselineUsPerDelay(strings.NewReader(`{"baseline":{"results":[]}}`)); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+	if _, _, err := baselineUsPerDelay(strings.NewReader(`{"baseline":{"results":[{"workers":1,"us_per_delay":0}]}}`)); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+}
+
+func TestMeasuredUsPerDelay(t *testing.T) {
+	v, err := measuredUsPerDelay(strings.NewReader(sampleBench), "BenchmarkEstimateWorkers/workers=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 14.63 {
+		t.Fatalf("got %g, want 14.63", v)
+	}
+	// The -N GOMAXPROCS suffix must not hide the benchmark.
+	suffixed := strings.ReplaceAll(sampleBench, "workers=1  ", "workers=1-4")
+	if v, err = measuredUsPerDelay(strings.NewReader(suffixed), "BenchmarkEstimateWorkers/workers=1"); err != nil || v != 14.63 {
+		t.Fatalf("suffixed name: got %g, %v", v, err)
+	}
+	// A missing benchmark (e.g. skipped by the oversubscription guard)
+	// must fail loudly, not pass vacuously.
+	if _, err := measuredUsPerDelay(strings.NewReader(sampleBench), "BenchmarkEstimateWorkers/workers=2"); err == nil {
+		t.Fatal("missing benchmark line accepted")
+	}
+	// A matching line without the metric is an error too.
+	noMetric := "BenchmarkEstimateWorkers/workers=1-4  2  11385385 ns/op\n"
+	if _, err := measuredUsPerDelay(strings.NewReader(noMetric), "BenchmarkEstimateWorkers/workers=1"); err == nil {
+		t.Fatal("line without µs/delay accepted")
+	}
+}
+
+func TestRunVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	baselinePath := dir + "/baseline.json"
+	benchPath := dir + "/bench.txt"
+	writeFile(t, baselinePath, sampleBaseline)
+
+	// At baseline: pass.
+	writeFile(t, benchPath, sampleBench)
+	if err := run(baselinePath, benchPath, "BenchmarkEstimateWorkers/workers=1", 1.5); err != nil {
+		t.Fatalf("at-baseline run failed: %v", err)
+	}
+	// 2x the baseline: fail.
+	writeFile(t, benchPath, strings.ReplaceAll(sampleBench, "14.63 µs/delay", "29.30 µs/delay"))
+	if err := run(baselinePath, benchPath, "BenchmarkEstimateWorkers/workers=1", 1.5); err == nil {
+		t.Fatal("2x regression passed the guard")
+	}
+	// Degenerate threshold: rejected.
+	if err := run(baselinePath, benchPath, "BenchmarkEstimateWorkers/workers=1", 1.0); err == nil {
+		t.Fatal("threshold 1.0 accepted")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

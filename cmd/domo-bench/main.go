@@ -40,9 +40,10 @@ func printWindowSummary(w *os.File, st domo.EstimateStats) {
 	}
 	n := len(st.PerWindow)
 	lat := hist.Summary()
-	fmt.Fprintf(w, "  estimator windows: %d (retried %d, degraded %d, sdr %d), mean %d iters, %.2fms solve/window (p90 %.2fms, max %.2fms)\n",
-		st.Windows, st.RetriedWindows, st.DegradedWindows, st.SDRWindows,
+	fmt.Fprintf(w, "  estimator windows: %d (retried %d, degraded %d, sdr %d, warm-started %d), mean %d iters, %.2fms solve/window (p90 %.2fms, max %.2fms)\n",
+		st.Windows, st.RetriedWindows, st.DegradedWindows, st.SDRWindows, st.WarmStartedWindows,
 		iters/n, lat.Mean, lat.P90, lat.Max)
+	fmt.Fprintf(w, "  constraint rows pruned: %d\n", st.PrunedRows)
 	fmt.Fprintf(w, "  solve latency: %s\n", hist.String())
 }
 

@@ -141,7 +141,11 @@ func ComputeBoundsCtx(ctx context.Context, d *Dataset, opts BoundOptions) (*Boun
 		return b, nil
 	}
 
-	rows, varRows := d.guaranteedRows()
+	rows, varRows, err := d.guaranteedRowsCtx(ctx)
+	if err != nil {
+		b.Stats.WallTime = time.Since(start)
+		return b, err
+	}
 	graph := buildConstraintGraph(len(d.unknowns), rows)
 
 	targets := b.chooseTargets(opts)
@@ -270,39 +274,69 @@ func (b *Bounds) seedEnvelope() {
 // guaranteedRows preprocesses the loss-sound constraints and indexes them
 // by variable.
 func (d *Dataset) guaranteedRows() ([]propRow, [][]int) {
+	// Background context never expires, so the error path is unreachable.
+	rows, varRows, _ := d.guaranteedRowsCtx(context.Background())
+	return rows, varRows
+}
+
+// guaranteedRowsCtx is guaranteedRows with cooperative cancellation: the
+// context is polled periodically while folding the (potentially
+// hundred-thousand-row) constraint list, so an expired deadline aborts the
+// preprocessing promptly instead of after the full scan.
+func (d *Dataset) guaranteedRowsCtx(ctx context.Context) ([]propRow, [][]int, error) {
 	var rows []propRow
 	varRows := make([][]int, len(d.unknowns))
-	for _, c := range d.constraints {
+	// Scratch (var, coeff) accumulator reused across rows; rows are tiny
+	// (2 terms for order/FIFO, a few dozen for sum rows), so the linear
+	// merge scan beats a per-row map by a wide margin.
+	type vc struct {
+		v int
+		c float64
+	}
+	var acc []vc
+	for ci, c := range d.constraints {
+		if ci%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return rows, varRows, err
+			}
+		}
 		if !c.guaranteed {
 			continue
 		}
-		coeffs := make(map[int]float64)
+		acc = acc[:0]
 		constant := 0.0
 		for _, t := range c.terms {
 			if t.ref.known {
 				constant += t.coeff * t.ref.value
-			} else {
-				coeffs[t.ref.index] += t.coeff
+				continue
+			}
+			found := false
+			for i := range acc {
+				if acc[i].v == t.ref.index {
+					acc[i].c += t.coeff
+					found = true
+					break
+				}
+			}
+			if !found {
+				acc = append(acc, vc{v: t.ref.index, c: t.coeff})
 			}
 		}
-		if len(coeffs) == 0 {
+		if len(acc) == 0 {
 			continue
 		}
 		row := propRow{lower: c.lower - constant, upper: c.upper - constant}
 		// Deterministic variable order keeps floating-point accumulation
 		// reproducible run to run.
-		vars := make([]int, 0, len(coeffs))
-		for v := range coeffs {
-			vars = append(vars, v)
-		}
-		sort.Ints(vars)
-		for _, v := range vars {
-			co := coeffs[v]
-			if co == 0 {
+		sort.Slice(acc, func(i, j int) bool { return acc[i].v < acc[j].v })
+		row.vars = make([]int, 0, len(acc))
+		row.coeffs = make([]float64, 0, len(acc))
+		for _, a := range acc {
+			if a.c == 0 {
 				continue
 			}
-			row.vars = append(row.vars, v)
-			row.coeffs = append(row.coeffs, co)
+			row.vars = append(row.vars, a.v)
+			row.coeffs = append(row.coeffs, a.c)
 		}
 		idx := len(rows)
 		rows = append(rows, row)
@@ -310,7 +344,7 @@ func (d *Dataset) guaranteedRows() ([]propRow, [][]int) {
 			varRows[v] = append(varRows[v], idx)
 		}
 	}
-	return rows, varRows
+	return rows, varRows, nil
 }
 
 // buildConstraintGraph joins unknowns that co-occur in a constraint. Large
@@ -524,6 +558,78 @@ func propagate(rows []propRow, lo, hi map[int]float64, maxRounds int) {
 			break
 		}
 	}
+}
+
+// propagateDense is propagate over dense slices indexed by global unknown
+// id, with the context polled between rounds. The global pre-estimation
+// pass touches every unknown, so slice-backed bounds replace the map
+// lookups that dominated its profile; the update order and arithmetic are
+// identical to propagate, so the resulting bounds are bit-identical.
+func propagateDense(ctx context.Context, rows []propRow, lo, hi []float64, maxRounds int) error {
+	const tol = 1e-6
+	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		changed := false
+		for _, row := range rows {
+			sumMin, sumMax := 0.0, 0.0
+			for i, v := range row.vars {
+				c := row.coeffs[i]
+				if c > 0 {
+					sumMin += c * lo[v]
+					sumMax += c * hi[v]
+				} else {
+					sumMin += c * hi[v]
+					sumMax += c * lo[v]
+				}
+			}
+			for i, v := range row.vars {
+				c := row.coeffs[i]
+				var termMin, termMax float64
+				if c > 0 {
+					termMin, termMax = c*lo[v], c*hi[v]
+				} else {
+					termMin, termMax = c*hi[v], c*lo[v]
+				}
+				restMin := sumMin - termMin
+				restMax := sumMax - termMax
+				// row.lower ≤ c·t + rest ≤ row.upper
+				if row.upper < infMS/2 {
+					limit := row.upper - restMin
+					if c > 0 {
+						if nb := math.Max(limit/c, lo[v]); nb < hi[v]-tol {
+							hi[v] = nb
+							changed = true
+						}
+					} else {
+						if nb := math.Min(limit/c, hi[v]); nb > lo[v]+tol {
+							lo[v] = nb
+							changed = true
+						}
+					}
+				}
+				if row.lower > -infMS/2 {
+					limit := row.lower - restMax
+					if c > 0 {
+						if nb := math.Min(limit/c, hi[v]); nb > lo[v]+tol {
+							lo[v] = nb
+							changed = true
+						}
+					} else {
+						if nb := math.Max(limit/c, lo[v]); nb < hi[v]-tol {
+							hi[v] = nb
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return nil
 }
 
 // simplexBounds solves min t_target and max t_target exactly over the

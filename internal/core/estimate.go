@@ -29,6 +29,10 @@ type Estimates struct {
 	// small widths.
 	widths []float64
 	byID   map[trace.PacketID]int
+	// propLo/propHi are the globally propagated per-unknown bounds (ms)
+	// computed during initialization; the window solver uses them to
+	// pre-prune constraint rows that can never become active.
+	propLo, propHi []float64
 
 	Stats EstimateStats
 }
@@ -46,7 +50,14 @@ type EstimateStats struct {
 	// interval-propagation estimate (clamped interpolation within the
 	// propagated guaranteed bounds) instead of aborting the whole run.
 	DegradedWindows int
-	WallTime        time.Duration
+	// PrunedRows is the total number of constraint rows dropped from the
+	// window QPs because interval propagation proved them inactive.
+	PrunedRows int
+	// WarmStartedWindows counts windows that consumed an ADMM warm start
+	// (primal iterate and duals) carried from their batch-boundary
+	// predecessor window.
+	WarmStartedWindows int
+	WallTime           time.Duration
 	// PerWindow records one entry per completed window, in window order,
 	// for observability: where each window sat, how hard the solver worked,
 	// and whether fault isolation had to retry or degrade it.
@@ -63,9 +74,16 @@ type WindowStat struct {
 	// rounds, including a failed first attempt when the window was retried.
 	Iterations int
 	SolveTime  time.Duration
-	SDR        bool // ran the SDR seeding stage
-	Retried    bool // first attempt failed, re-solved with bumped anchor
-	Degraded   bool // both attempts failed, fell back to projection
+	// PrunedRows counts constraint rows dropped from this window's QPs by
+	// the interval-propagation pre-prune (dataset rows once, order rows per
+	// round).
+	PrunedRows int
+	// WarmStarted marks windows that consumed the cross-window ADMM carry
+	// from their batch-boundary predecessor.
+	WarmStarted bool
+	SDR         bool // ran the SDR seeding stage
+	Retried     bool // first attempt failed, re-solved with bumped anchor
+	Degraded    bool // both attempts failed, fell back to projection
 	// Cause holds the first failure message when Retried or Degraded.
 	Cause string
 }
@@ -146,14 +164,14 @@ func Estimate(d *Dataset) (*Estimates, error) {
 // worker count.
 func EstimateCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 	start := time.Now()
-	est := initEstimates(d)
-	if len(d.unknowns) == 0 {
+	est, err := initEstimatesCtx(ctx, d)
+	if err != nil || len(d.unknowns) == 0 {
 		est.Stats.WallTime = time.Since(start)
-		return est, nil
+		return est, err
 	}
 
 	spans := tileWindows(len(d.records), d.cfg.WindowPackets, d.cfg.EffectiveWindowRatio)
-	err := est.runWindows(ctx, d, spans)
+	err = est.runWindows(ctx, d, spans)
 	est.Stats.WallTime = time.Since(start)
 	if err != nil {
 		return est, err
@@ -168,16 +186,32 @@ func EstimateCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 // where the sum-of-delays information first bites: a small S(p) caps the
 // first-hop arrival well below the even split.
 func initEstimates(d *Dataset) *Estimates {
+	// Background context never expires, so the error path is unreachable.
+	est, _ := initEstimatesCtx(context.Background(), d)
+	return est
+}
+
+// initEstimatesCtx is initEstimates with cooperative cancellation threaded
+// into the global interval-propagation pass — on very large traces that
+// pass alone can run for seconds, which used to be a deadline blind spot.
+// On cancellation the partial Estimates (with coherent stats) is returned
+// alongside the context error.
+func initEstimatesCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 	est := &Estimates{
 		ds:     d,
 		values: make([]float64, len(d.unknowns)),
 		byID:   make(map[trace.PacketID]int, len(d.records)),
 	}
+	est.Stats.Unknowns = len(d.unknowns)
 	for ri, r := range d.records {
 		est.byID[r.ID] = ri
 	}
-	lo, hi := d.propagatedBounds()
 	est.widths = make([]float64, len(d.unknowns))
+	lo, hi, err := d.propagatedBoundsCtx(ctx)
+	if err != nil {
+		return est, err
+	}
+	est.propLo, est.propHi = lo, hi
 	for k, key := range d.unknowns {
 		v := interpolated(d.records[key.rec], key.hop)
 		if v < lo[k] {
@@ -189,8 +223,7 @@ func initEstimates(d *Dataset) *Estimates {
 		est.values[k] = v
 		est.widths[k] = hi[k] - lo[k]
 	}
-	est.Stats.Unknowns = len(d.unknowns)
-	return est
+	return est, nil
 }
 
 // EstimateProjected is the cheap estimator tier: the same interval-
@@ -287,6 +320,29 @@ func tileWindows(n, windowPackets int, ratio float64) []windowSpan {
 // depends on parallelism.
 const estimateBatchWindows = 16
 
+// runState is the per-run shared context threaded into every window solve:
+// the propagated per-unknown bounds driving constraint pruning, plus the
+// cross-window warm-start carries. carries is nil when warm-starting is
+// disabled; slot i is written only by window i (a batch-last window) and
+// read only by window i+1 (the first window of the next batch), so the
+// batch barrier's wg.Wait orders every write before its read — no locking.
+type runState struct {
+	propLo, propHi []float64
+	carries        []windowCarry
+}
+
+// windowCarry is the ADMM state a batch-last window hands its successor
+// across the batch barrier: absolute primal estimates for its unknown range
+// and the final dataset-row duals keyed by global constraint id, so the
+// successor can translate them into its own (differently offset, windowed
+// and pruned) local system.
+type windowCarry struct {
+	set          bool
+	varLo, varHi int
+	x            []float64         // absolute ms estimates for [varLo, varHi)
+	duals        map[int32]float64 // global constraint id → final dual
+}
+
 // runWindows drives the window schedule with d.cfg.EstimateWorkers
 // goroutines pulling windows off each batch via an atomic cursor. Errors
 // land in a per-position slice and stats are merged in window order after
@@ -301,6 +357,10 @@ func (est *Estimates) runWindows(ctx context.Context, d *Dataset, spans []window
 	}
 	snapshot := make([]float64, len(est.values))
 	workspaces := make([]solveWorkspace, workers)
+	run := &runState{propLo: est.propLo, propHi: est.propHi}
+	if !d.cfg.DisableEstimateWarmStart {
+		run.carries = make([]windowCarry, len(spans))
+	}
 	for batchLo := 0; batchLo < len(spans); batchLo += estimateBatchWindows {
 		batchHi := batchLo + estimateBatchWindows
 		if batchHi > len(spans) {
@@ -319,7 +379,7 @@ func (est *Estimates) runWindows(ctx context.Context, d *Dataset, spans []window
 					errs[k] = err
 					break
 				}
-				stats[k], errs[k] = solveWindow(ctx, d, snapshot, est.values, batchLo+k, spans[batchLo+k], &workspaces[0])
+				stats[k], errs[k] = solveWindow(ctx, d, snapshot, est.values, batchLo+k, spans[batchLo+k], &workspaces[0], run)
 				if errs[k] != nil {
 					break
 				}
@@ -343,7 +403,7 @@ func (est *Estimates) runWindows(ctx context.Context, d *Dataset, spans []window
 							errs[k] = err
 							return
 						}
-						stats[k], errs[k] = solveWindow(ctx, d, snapshot, est.values, batchLo+k, spans[batchLo+k], ws)
+						stats[k], errs[k] = solveWindow(ctx, d, snapshot, est.values, batchLo+k, spans[batchLo+k], ws, run)
 						if errs[k] != nil {
 							// Window failures degrade internally; an error
 							// here means the context died, which every other
@@ -394,6 +454,10 @@ func (est *Estimates) mergeWindowStat(st WindowStat) {
 	if st.Degraded {
 		est.Stats.DegradedWindows++
 	}
+	if st.WarmStarted {
+		est.Stats.WarmStartedWindows++
+	}
+	est.Stats.PrunedRows += st.PrunedRows
 	est.Stats.PerWindow = append(est.Stats.PerWindow, st)
 }
 
@@ -402,16 +466,17 @@ func (est *Estimates) mergeWindowStat(st WindowStat) {
 // state only from snapshot and writing only the kept region of dst. The
 // returned stat describes what happened; the error is non-nil only for
 // context cancellation, every other failure degrades the window in place.
-func solveWindow(ctx context.Context, d *Dataset, snapshot, dst []float64, idx int, sp windowSpan, ws *solveWorkspace) (WindowStat, error) {
+func solveWindow(ctx context.Context, d *Dataset, snapshot, dst []float64, idx int, sp windowSpan, ws *solveWorkspace, run *runState) (WindowStat, error) {
 	st := WindowStat{Index: idx, Start: sp.Start, End: sp.End, KeepLo: sp.KeepLo, KeepHi: sp.KeepHi}
 	begin := time.Now()
-	err := estimateWindowSafe(ctx, d, snapshot, dst, sp, 1, 0, ws, &st)
+	err := estimateWindowSafe(ctx, d, snapshot, dst, sp, 1, 0, ws, &st, run)
 	if err != nil && !isCtxErr(err) {
 		// First line of defense: one retry with a heavier Tikhonov anchor,
 		// which rescues numerically fragile but feasible windows.
 		st.Retried = true
 		st.Cause = err.Error()
-		err = estimateWindowSafe(ctx, d, snapshot, dst, sp, _retryLambdaScale, 1, ws, &st)
+		st.PrunedRows = 0 // the retry rebuilds the rows; don't double-count
+		err = estimateWindowSafe(ctx, d, snapshot, dst, sp, _retryLambdaScale, 1, ws, &st, run)
 	}
 	if err != nil && !isCtxErr(err) {
 		// Degraded mode: the kept region keeps its initialization — the
@@ -422,6 +487,7 @@ func solveWindow(ctx context.Context, d *Dataset, snapshot, dst []float64, idx i
 		// reconstruction.
 		st.Degraded = true
 		st.Cause = err.Error()
+		st.PrunedRows = 0 // no QP output survived; the counts describe nothing
 		projectOrder(d, dst, sp.KeepLo, sp.KeepHi)
 		err = nil
 	}
@@ -443,7 +509,7 @@ func isCtxErr(err error) bool {
 // panic (index error or numerical assertion deep in the linear algebra on a
 // hostile constraint system) surfaces as an error so the caller can degrade
 // the window rather than crash the process.
-func estimateWindowSafe(ctx context.Context, d *Dataset, snapshot, dst []float64, sp windowSpan, lambdaScale float64, attempt int, ws *solveWorkspace, st *WindowStat) (err error) {
+func estimateWindowSafe(ctx context.Context, d *Dataset, snapshot, dst []float64, sp windowSpan, lambdaScale float64, attempt int, ws *solveWorkspace, st *WindowStat, run *runState) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("window [%d,%d) solver panic: %v", sp.Start, sp.End, r)
@@ -454,7 +520,7 @@ func estimateWindowSafe(ctx context.Context, d *Dataset, snapshot, dst []float64
 			return fmt.Errorf("window [%d,%d): %w", sp.Start, sp.End, err)
 		}
 	}
-	if err := estimateWindow(ctx, d, snapshot, dst, sp, lambdaScale, ws, st); err != nil {
+	if err := estimateWindow(ctx, d, snapshot, dst, sp, lambdaScale, ws, st, run); err != nil {
 		return fmt.Errorf("window [%d,%d): %w", sp.Start, sp.End, err)
 	}
 	return nil
@@ -490,26 +556,28 @@ func projectOrder(d *Dataset, values []float64, riLo, riHi int) {
 	}
 }
 
-// propagatedBounds runs one global interval-propagation pass over the
+// propagatedBoundsCtx runs one global interval-propagation pass over the
 // guaranteed constraints and returns per-unknown [lo, hi] in milliseconds.
-func (d *Dataset) propagatedBounds() (lo, hi []float64) {
+// The context is polled while folding the rows and between propagation
+// rounds, so an expired deadline aborts the pass promptly even on
+// hundred-thousand-constraint traces.
+func (d *Dataset) propagatedBoundsCtx(ctx context.Context) (lo, hi []float64, err error) {
 	lo = make([]float64, len(d.unknowns))
 	hi = make([]float64, len(d.unknowns))
 	omega := toMS(d.cfg.Omega)
-	loM := make(map[int]float64, len(d.unknowns))
-	hiM := make(map[int]float64, len(d.unknowns))
 	for k, key := range d.unknowns {
 		r := d.records[key.rec]
-		loM[k] = toMS(r.GenTime) + float64(key.hop)*omega
-		hiM[k] = toMS(r.SinkArrival) - float64(r.Hops()-1-key.hop)*omega
+		lo[k] = toMS(r.GenTime) + float64(key.hop)*omega
+		hi[k] = toMS(r.SinkArrival) - float64(r.Hops()-1-key.hop)*omega
 	}
-	rows, _ := d.guaranteedRows()
-	propagate(rows, loM, hiM, d.cfg.PropagationRounds)
-	for k := range d.unknowns {
-		lo[k] = loM[k]
-		hi[k] = hiM[k]
+	rows, _, err := d.guaranteedRowsCtx(ctx)
+	if err != nil {
+		return lo, hi, err
 	}
-	return lo, hi
+	if err := propagateDense(ctx, rows, lo, hi, d.cfg.PropagationRounds); err != nil {
+		return lo, hi, err
+	}
+	return lo, hi, nil
 }
 
 // interpolated is the equal-split initial estimate of t_hop.
@@ -533,17 +601,91 @@ type solveWorkspace struct {
 	entries []sparse.Entry
 	lows    []float64
 	highs   []float64
+
+	// consIDs holds the current window's constraint-id union; coeffVal,
+	// coeffSeen, coeffIdx and stamp form a dense stamp-deduplicated
+	// coefficient accumulator (never cleared between folds, only restamped)
+	// replacing the per-row map of the original assembly.
+	consIDs   []int32
+	coeffVal  []float64
+	coeffSeen []int32
+	coeffIdx  []int
+	stamp     int32
+
+	// Cached dataset-row ("prefix") assembly, built on a window's first QP
+	// round and replayed on later rounds, plus its AᵀA Gram block so
+	// per-round normal-matrix work is proportional to the order rows only.
+	prefixEntries []sparse.Entry
+	prefixLows    []float64
+	prefixHighs   []float64
+	prefixCons    []int32
+	prefixATA     mat.Matrix
+	ata           mat.Matrix
+
+	// Dual warm-start assembly scratch: the Y0 vector and the identity keys
+	// of the order rows kept in the current assembly.
+	y0      []float64
+	rowKeys []pairKey
+
+	// Soft-sum objective term scratch.
+	sumRefs []varRef
+	sumCs   []float64
 }
 
-// windowProblem is the per-window local system.
+// accumReset begins a new coefficient fold over n local variables.
+func (ws *solveWorkspace) accumReset(n int) {
+	if cap(ws.coeffVal) < n {
+		// Fresh zeroed buffers: carrying grown slices over would preserve
+		// stale stamps that could collide after the stamp reset below.
+		ws.coeffVal = make([]float64, n)
+		ws.coeffSeen = make([]int32, n)
+		ws.stamp = 0
+	}
+	ws.coeffVal = ws.coeffVal[:n]
+	ws.coeffSeen = ws.coeffSeen[:n]
+	ws.stamp++
+	if ws.stamp == math.MaxInt32 {
+		for i := range ws.coeffSeen {
+			ws.coeffSeen[i] = 0
+		}
+		ws.stamp = 1
+	}
+	ws.coeffIdx = ws.coeffIdx[:0]
+}
+
+// accumAdd folds coefficient c onto local variable l. First touches record
+// the variable in coeffIdx, preserving first-appearance order.
+func (ws *solveWorkspace) accumAdd(l int, c float64) {
+	if ws.coeffSeen[l] != ws.stamp {
+		ws.coeffSeen[l] = ws.stamp
+		ws.coeffVal[l] = 0
+		ws.coeffIdx = append(ws.coeffIdx, l)
+	}
+	ws.coeffVal[l] += c
+}
+
+// pairKey identifies a resolved order pair across QP rounds for dual
+// warm-starting: the two passages plus whether the row is the departure row.
+// Pairs keep their identity even as rounds re-derive (and reorder or drop)
+// them, so a surviving pair's dual carries over exactly.
+type pairKey struct {
+	xRec, yRec int32
+	xHop, yHop int16
+	dep        bool
+}
+
+// windowProblem is the per-window local system. Unknown indices are
+// assigned record by record (see Dataset.recVarStart), so the window's
+// unknowns are exactly the contiguous global range [varLo, varHi) and a
+// global unknown g maps to local index g-varLo — no per-window hash maps.
 type windowProblem struct {
-	d         *Dataset
-	recSet    map[int]bool // record indices in the window
-	localOf   map[int]int  // global unknown index → local index
-	globalOf  []int        // local → global
-	origin    float64      // time origin subtracted for conditioning
-	passages  map[radio.NodeID][]hopKey
-	estimates []float64 // local current estimates (origin-relative)
+	d            *Dataset
+	sp           windowSpan
+	varLo, varHi int // global unknown range of records [sp.Start, sp.End)
+	nLocal       int
+	origin       float64 // time origin subtracted for conditioning
+	passages     map[radio.NodeID][]hopKey
+	estimates    []float64 // local current estimates (origin-relative)
 	// globalEstimates is the batch snapshot of the estimator's full value
 	// vector, so constraints can freeze out-of-window unknowns at their
 	// last-barrier global estimate. Reading the snapshot rather than the
@@ -553,44 +695,93 @@ type windowProblem struct {
 	// regularized toward; anchoring to the drifting estimate compounds
 	// objective bias across rounds.
 	anchor []float64
+	ws     *solveWorkspace
+	st     *WindowStat
+
+	// consIDs is the sorted union of the constraint ids touching the
+	// window's records — the rows the old code found by scanning every
+	// dataset constraint per window.
+	consIDs []int32
+
+	prune bool // pre-prune rows interval propagation proves inactive
+	warm  bool // dual warm-starts across rounds + cross-window carry
+	// propLo/propHi are the run's global propagated per-unknown bounds
+	// (absolute ms), the intervals behind the row pre-prune.
+	propLo, propHi []float64
+	// carryIn is the predecessor window's ADMM state when the batch barrier
+	// makes it legally visible (first window of a batch), nil otherwise.
+	carryIn *windowCarry
+
+	prefixBuilt    bool // ws.prefix* hold this window's dataset rows
+	prefixRows     int
+	prefixATAReady bool
+
+	// prevY/pairY are the previous round's full dual vector and its
+	// order-row duals keyed by pair identity, feeding the next round's Y0.
+	prevY []float64
+	pairY map[pairKey]float64
 }
 
 // estimateWindow solves one window: all global reads come from snapshot
 // and the only shared-state writes are the kept region's unknowns in dst.
-func estimateWindow(ctx context.Context, d *Dataset, snapshot, dst []float64, sp windowSpan, lambdaScale float64, ws *solveWorkspace, st *WindowStat) error {
+func estimateWindow(ctx context.Context, d *Dataset, snapshot, dst []float64, sp windowSpan, lambdaScale float64, ws *solveWorkspace, st *WindowStat, run *runState) error {
 	w := &windowProblem{
 		d:               d,
-		recSet:          make(map[int]bool, sp.End-sp.Start),
-		localOf:         make(map[int]int),
+		sp:              sp,
+		varLo:           d.recVarStart[sp.Start],
+		varHi:           d.recVarStart[sp.End],
 		passages:        make(map[radio.NodeID][]hopKey),
 		globalEstimates: snapshot,
+		ws:              ws,
+		st:              st,
+		prune:           !d.cfg.DisableEstimatePruning,
+		warm:            run.carries != nil,
+		propLo:          run.propLo,
+		propHi:          run.propHi,
 	}
-	for ri := sp.Start; ri < sp.End; ri++ {
-		w.recSet[ri] = true
-	}
+	w.nLocal = w.varHi - w.varLo
 	w.origin = toMS(d.records[sp.Start].GenTime)
 	for ri := sp.Start; ri < sp.End; ri++ {
 		r := d.records[ri]
-		for hop := 1; hop <= r.Hops()-2; hop++ {
-			g := d.varOf[hopKey{rec: ri, hop: hop}]
-			w.localOf[g] = len(w.globalOf)
-			w.globalOf = append(w.globalOf, g)
-		}
 		for hop := 0; hop < r.Hops()-1; hop++ {
 			n := r.Path[hop]
 			w.passages[n] = append(w.passages[n], hopKey{rec: ri, hop: hop})
 		}
 	}
-	nLocal := len(w.globalOf)
+	nLocal := w.nLocal
 	st.Unknowns = nLocal
 	if nLocal == 0 {
 		return nil
 	}
 	w.estimates = make([]float64, nLocal)
-	for l, g := range w.globalOf {
-		w.estimates[l] = snapshot[g] - w.origin
+	for l := range w.estimates {
+		w.estimates[l] = snapshot[w.varLo+l] - w.origin
 	}
 	w.anchor = append([]float64(nil), w.estimates...)
+
+	// Cross-window warm start: the first window of a batch may consume the
+	// previous batch's last window — the barrier's wg.Wait ordered that
+	// write, so the read is race-free and schedule-deterministic. Only the
+	// primal iterate and the carried duals are warm; the anchor stays the
+	// snapshot-derived prior so the objective is unchanged.
+	if w.warm && st.Index%estimateBatchWindows == 0 && st.Index > 0 {
+		if c := &run.carries[st.Index-1]; c.set {
+			w.carryIn = c
+			st.WarmStarted = true
+			lo, hi := w.varLo, w.varHi
+			if c.varLo > lo {
+				lo = c.varLo
+			}
+			if c.varHi < hi {
+				hi = c.varHi
+			}
+			for g := lo; g < hi; g++ {
+				w.estimates[g-w.varLo] = c.x[g-c.varLo] - w.origin
+			}
+		}
+	}
+
+	w.collectConstraints()
 
 	if d.cfg.EnableSDR && nLocal <= d.cfg.SDRMaxUnknowns {
 		if err := w.runSDR(ctx); err != nil && !errors.Is(err, sdp.ErrMaxIterations) {
@@ -613,16 +804,64 @@ func estimateWindow(ctx context.Context, d *Dataset, snapshot, dst []float64, sp
 
 	w.clampToOrder()
 
+	// Batch-last windows record their final state for the next batch's
+	// first window; slot st.Index is read only after the batch barrier.
+	if w.warm && st.Index%estimateBatchWindows == estimateBatchWindows-1 {
+		w.storeCarry(&run.carries[st.Index])
+	}
+
 	// Write back kept estimates — the window's only writes to shared state,
 	// confined to its own kept region so concurrent windows never collide.
 	for ri := sp.KeepLo; ri < sp.KeepHi && ri < sp.End; ri++ {
-		r := d.records[ri]
-		for hop := 1; hop <= r.Hops()-2; hop++ {
-			g := d.varOf[hopKey{rec: ri, hop: hop}]
-			dst[g] = w.estimates[w.localOf[g]] + w.origin
+		for g := d.recVarStart[ri]; g < d.recVarStart[ri+1]; g++ {
+			dst[g] = w.estimates[g-w.varLo] + w.origin
 		}
 	}
 	return nil
+}
+
+// collectConstraints unions the per-record constraint lists of the window's
+// records into the sorted id set w.consIDs — work proportional to the
+// window's own rows instead of the full-dataset constraint scan each window
+// used to pay. Sorting restores the ascending id order the old scan
+// produced, keeping row order (and thus float summation order) stable.
+func (w *windowProblem) collectConstraints() {
+	ids := w.ws.consIDs[:0]
+	for ri := w.sp.Start; ri < w.sp.End; ri++ {
+		ids = append(ids, w.d.recConstraints[ri]...)
+	}
+	if len(ids) > 1 {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out := ids[:1]
+		for _, id := range ids[1:] {
+			if id != out[len(out)-1] {
+				out = append(out, id)
+			}
+		}
+		ids = out
+	}
+	w.ws.consIDs = ids
+	w.consIDs = ids
+}
+
+// storeCarry snapshots the window's final ADMM state into c for the next
+// batch's first window: absolute estimates plus the dataset-row duals keyed
+// by global constraint id (zeros and pruned rows omitted).
+func (w *windowProblem) storeCarry(c *windowCarry) {
+	c.set = true
+	c.varLo, c.varHi = w.varLo, w.varHi
+	c.x = make([]float64, w.nLocal)
+	for l := range c.x {
+		c.x[l] = w.estimates[l] + w.origin
+	}
+	if len(w.prevY) >= w.prefixRows {
+		c.duals = make(map[int32]float64, w.prefixRows)
+		for i, ci := range w.ws.prefixCons[:w.prefixRows] {
+			if v := w.prevY[i]; v != 0 {
+				c.duals[ci] = v
+			}
+		}
+	}
 }
 
 // localRef resolves a dataset varRef into the window: known values and
@@ -632,8 +871,8 @@ func (w *windowProblem) localRef(ref varRef, global []float64) (isVar bool, loca
 	if ref.known {
 		return false, 0, ref.value - w.origin
 	}
-	if l, ok := w.localOf[ref.index]; ok {
-		return true, l, 0
+	if ref.index >= w.varLo && ref.index < w.varHi {
+		return true, ref.index - w.varLo, 0
 	}
 	return false, 0, global[ref.index] - w.origin
 }
@@ -652,6 +891,7 @@ type orderPair struct {
 	arrX, arrY varRef  // arrivals at the shared node
 	depX, depY varRef  // arrivals at the next hop
 	weight     float64 // Eq. 8 pair weight (proximity-decayed)
+	xk, yk     hopKey  // passage identity, keys the dual carry across rounds
 }
 
 // deriveOrders fixes packet orders at every shared node from the current
@@ -704,6 +944,8 @@ func (w *windowProblem) deriveOrders() ([]orderPair, string) {
 					depX:   d.ref(x.hk.rec, x.hk.hop+1),
 					depY:   d.ref(y.hk.rec, y.hk.hop+1),
 					weight: weight,
+					xk:     x.hk,
+					yk:     y.hk,
 				})
 				// 16-bit encodings: global record indices exceed 255 on
 				// long traces, and a truncated signature could make two
@@ -731,10 +973,15 @@ func (w *windowProblem) globalValues() []float64 { return w.globalEstimates }
 // solveQP builds and solves the window QP with the given resolved orders.
 // lambdaScale multiplies the Tikhonov anchor weight (1 normally, bumped on
 // the fault-isolation retry). All scratch comes from ws, so a worker's
-// steady-state window solve performs no dense allocations.
+// steady-state window solve performs no dense allocations. Within a window,
+// dataset ("prefix") rows and their AᵀA Gram block are assembled once and
+// replayed on later rounds, rows interval propagation proves inactive are
+// pre-pruned, and each round's ADMM is warm-started from the previous
+// round's duals (prefix rows map one-to-one; order rows carry by pair
+// identity).
 func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaScale float64, ws *solveWorkspace, st *WindowStat) error {
 	d := w.d
-	nLocal := len(w.globalOf)
+	nLocal := w.nLocal
 	global := w.globalValues()
 
 	p := &ws.p
@@ -745,22 +992,20 @@ func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaS
 	// addSquared accumulates weight·f² for the linear functional f given by
 	// (ref, coeff) pairs plus an offset: P += 2w·aaᵀ, q += 2w·const·a.
 	addSquared := func(weight float64, refs []varRef, cs []float64, offset float64) {
-		coeffs := make(map[int]float64, len(refs))
+		ws.accumReset(nLocal)
 		constant := offset
 		for i, ref := range refs {
 			isVar, l, k := w.localRef(ref, global)
 			if isVar {
-				coeffs[l] += cs[i]
+				ws.accumAdd(l, cs[i])
 			} else {
 				constant += cs[i] * k
 			}
 		}
-		if len(coeffs) == 0 {
-			return
-		}
-		for i, ci := range coeffs {
-			for j, cj := range coeffs {
-				p.Add(i, j, 2*weight*ci*cj)
+		for _, i := range ws.coeffIdx {
+			ci := ws.coeffVal[i]
+			for _, j := range ws.coeffIdx {
+				p.Add(i, j, 2*weight*ci*ws.coeffVal[j])
 			}
 			q.Set(i, q.At(i)+2*weight*constant*ci)
 		}
@@ -777,13 +1022,14 @@ func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaS
 
 	// Soft sum-of-delays equality: S(p) sits between the guaranteed (C*)
 	// and possible (C) sums, so pull Σ star + ½·Σ maybe toward S(p).
+	// sumInfos is ordered by record index, so the window's slice is found by
+	// binary search instead of a full scan.
 	const sumWeight = 0.6
-	for _, si := range d.sumInfos {
-		if !w.recSet[si.rec] {
-			continue
-		}
-		var refs []varRef
-		var cs []float64
+	sLo := sort.Search(len(d.sumInfos), func(i int) bool { return d.sumInfos[i].rec >= w.sp.Start })
+	for k := sLo; k < len(d.sumInfos) && d.sumInfos[k].rec < w.sp.End; k++ {
+		si := d.sumInfos[k]
+		refs := ws.sumRefs[:0]
+		cs := ws.sumCs[:0]
 		for _, t := range si.star {
 			refs = append(refs, t.ref)
 			cs = append(cs, t.coeff)
@@ -793,6 +1039,7 @@ func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaS
 			cs = append(cs, 0.5*t.coeff)
 		}
 		addSquared(sumWeight, refs, cs, -si.s)
+		ws.sumRefs, ws.sumCs = refs, cs
 	}
 
 	// Tikhonov anchor toward the fixed clamped-interpolation prior keeps
@@ -804,53 +1051,145 @@ func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaS
 		q.Set(i, q.At(i)-2*lambda*w.anchor[i])
 	}
 
-	// Constraints: dataset rows fully inside the window + resolved orders.
-	entries := ws.entries[:0]
-	lows := ws.lows[:0]
-	highs := ws.highs[:0]
-	row := 0
-	addRow := func(terms []linTerm, lo, hi float64) {
-		localTerms := make(map[int]float64)
-		constant := 0.0
-		for _, t := range terms {
-			isVar, l, k := w.localRef(t.ref, global)
-			if isVar {
-				localTerms[l] += t.coeff
-			} else {
-				constant += t.coeff * k
-			}
-		}
-		if len(localTerms) == 0 {
-			return
-		}
-		for l, c := range localTerms {
-			entries = append(entries, sparse.Entry{Row: row, Col: l, Value: c})
+	// rowInactive reports whether interval propagation proves the row just
+	// folded into the accumulator can never go active: the row's reachable
+	// interval over the propagated per-unknown boxes sits strictly inside
+	// [lo, hi] by _pruneMargin. The margin matters twice over: the ADMM
+	// iterate is free to leave the propagated box (so this is a
+	// property-tested approximation, not an identity), and on corrupted
+	// traces propagation clamps bounds onto infeasible rows at exact
+	// equality — a zero margin would prune exactly the rows whose conflict
+	// the retry/degrade machinery exists to surface.
+	rowInactive := func(lo, hi, constant float64) bool {
+		if !w.prune {
+			return false
 		}
 		lo -= constant
 		hi -= constant
-		if lo < -infMS/2 {
-			lo = -qp.Unbounded
+		boundedLo := lo > -infMS/2
+		boundedHi := hi < infMS/2
+		if !boundedLo && !boundedHi {
+			return true
 		}
-		if hi > infMS/2 {
-			hi = qp.Unbounded
+		var rMin, rMax float64
+		for _, l := range ws.coeffIdx {
+			c := ws.coeffVal[l]
+			bl := w.propLo[w.varLo+l] - w.origin
+			bh := w.propHi[w.varLo+l] - w.origin
+			if c >= 0 {
+				rMin += c * bl
+				rMax += c * bh
+			} else {
+				rMin += c * bh
+				rMax += c * bl
+			}
 		}
-		lows = append(lows, lo)
-		highs = append(highs, hi)
-		row++
+		if boundedLo && !(rMin >= lo+_pruneMargin) {
+			return false
+		}
+		if boundedHi && !(rMax <= hi-_pruneMargin) {
+			return false
+		}
+		return true
 	}
 
-	for _, c := range d.constraints {
-		if !w.constraintInWindow(c) {
-			continue
+	// Constraints: dataset rows touching the window + resolved orders. The
+	// dataset ("prefix") rows are identical on every round of a window, so
+	// they are folded once and replayed afterwards.
+	entries := ws.entries[:0]
+	lows := ws.lows[:0]
+	highs := ws.highs[:0]
+
+	if !w.prefixBuilt {
+		w.prefixBuilt = true
+		ws.prefixEntries = ws.prefixEntries[:0]
+		ws.prefixLows = ws.prefixLows[:0]
+		ws.prefixHighs = ws.prefixHighs[:0]
+		ws.prefixCons = ws.prefixCons[:0]
+		for _, ci := range w.consIDs {
+			c := d.constraints[ci]
+			ws.accumReset(nLocal)
+			constant := 0.0
+			for _, t := range c.terms {
+				isVar, l, k := w.localRef(t.ref, global)
+				if isVar {
+					ws.accumAdd(l, t.coeff)
+				} else {
+					constant += t.coeff * k
+				}
+			}
+			if len(ws.coeffIdx) == 0 {
+				continue
+			}
+			if rowInactive(c.lower, c.upper, constant) {
+				st.PrunedRows++
+				continue
+			}
+			r := len(ws.prefixCons)
+			for _, l := range ws.coeffIdx {
+				ws.prefixEntries = append(ws.prefixEntries, sparse.Entry{Row: r, Col: l, Value: ws.coeffVal[l]})
+			}
+			lo := c.lower - constant
+			hi := c.upper - constant
+			if lo < -infMS/2 {
+				lo = -qp.Unbounded
+			}
+			if hi > infMS/2 {
+				hi = qp.Unbounded
+			}
+			ws.prefixLows = append(ws.prefixLows, lo)
+			ws.prefixHighs = append(ws.prefixHighs, hi)
+			ws.prefixCons = append(ws.prefixCons, ci)
 		}
-		addRow(c.terms, c.lower, c.upper)
+		w.prefixRows = len(ws.prefixCons)
+	}
+	entries = append(entries, ws.prefixEntries...)
+	lows = append(lows, ws.prefixLows...)
+	highs = append(highs, ws.prefixHighs...)
+	row := w.prefixRows
+
+	ws.rowKeys = ws.rowKeys[:0]
+	addOrderRow := func(a, b varRef, lo float64, key pairKey) {
+		ws.accumReset(nLocal)
+		constant := 0.0
+		for i, ref := range [2]varRef{a, b} {
+			coeff := 1.0
+			if i == 1 {
+				coeff = -1
+			}
+			isVar, l, k := w.localRef(ref, global)
+			if isVar {
+				ws.accumAdd(l, coeff)
+			} else {
+				constant += coeff * k
+			}
+		}
+		if len(ws.coeffIdx) == 0 {
+			return
+		}
+		if rowInactive(lo, infMS, constant) {
+			st.PrunedRows++
+			return
+		}
+		for _, l := range ws.coeffIdx {
+			entries = append(entries, sparse.Entry{Row: row, Col: l, Value: ws.coeffVal[l]})
+		}
+		lows = append(lows, lo-constant)
+		highs = append(highs, qp.Unbounded)
+		ws.rowKeys = append(ws.rowKeys, key)
+		row++
 	}
 	delta := toMS(d.cfg.FIFODelta)
 	for _, op := range orders {
 		// Resolved FIFO: arrivals keep their current order (≥ 0 gap) and
 		// departures follow with at least δ.
-		addRow([]linTerm{{ref: op.arrY, coeff: 1}, {ref: op.arrX, coeff: -1}}, 0, infMS)
-		addRow([]linTerm{{ref: op.depY, coeff: 1}, {ref: op.depX, coeff: -1}}, delta, infMS)
+		key := pairKey{
+			xRec: int32(op.xk.rec), yRec: int32(op.yk.rec),
+			xHop: int16(op.xk.hop), yHop: int16(op.yk.hop),
+		}
+		addOrderRow(op.arrY, op.arrX, 0, key)
+		key.dep = true
+		addOrderRow(op.depY, op.depX, delta, key)
 	}
 	ws.entries, ws.lows, ws.highs = entries, lows, highs
 
@@ -858,13 +1197,58 @@ func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaS
 	if err != nil {
 		return fmt.Errorf("assembling window constraints: %w", err)
 	}
+	// The prefix Gram block AᵀA over the dataset rows is ρ-independent and
+	// round-independent: compute it once, then each round only accumulates
+	// its own order rows on top.
+	if !w.prefixATAReady {
+		ws.prefixATA.Reset(nLocal, nLocal)
+		if err := a.ATAAccumRows(&ws.prefixATA, 0, w.prefixRows); err != nil {
+			return fmt.Errorf("prefix Gram block: %w", err)
+		}
+		w.prefixATAReady = true
+	}
+	ws.ata.CopyFrom(&ws.prefixATA)
+	if err := a.ATAAccumRows(&ws.ata, w.prefixRows, row); err != nil {
+		return fmt.Errorf("order Gram block: %w", err)
+	}
+
+	// Dual warm start: prefix rows keep their duals one-to-one from the
+	// previous round (or translated from the cross-window carry on round
+	// zero), order rows carry by pair identity; everything else starts cold.
+	var y0 *mat.Vector
+	if w.warm {
+		haveRound := len(w.prevY) >= w.prefixRows && w.prefixRows > 0
+		haveCarry := w.carryIn != nil && len(w.carryIn.duals) > 0
+		if haveRound || haveCarry || len(w.pairY) > 0 {
+			yd := ws.y0[:0]
+			if haveRound {
+				yd = append(yd, w.prevY[:w.prefixRows]...)
+			} else {
+				for _, ci := range ws.prefixCons[:w.prefixRows] {
+					var v float64
+					if haveCarry {
+						v = w.carryIn.duals[ci]
+					}
+					yd = append(yd, v)
+				}
+			}
+			for _, k := range ws.rowKeys {
+				yd = append(yd, w.pairY[k])
+			}
+			ws.y0 = yd
+			y0 = mat.WrapVector(yd)
+		}
+	}
+
 	prob := &qp.Problem{
-		P:  p,
-		Q:  q,
-		A:  a,
-		L:  mat.WrapVector(lows),
-		U:  mat.WrapVector(highs),
-		X0: mat.WrapVector(w.estimates),
+		P:   p,
+		Q:   q,
+		A:   a,
+		L:   mat.WrapVector(lows),
+		U:   mat.WrapVector(highs),
+		X0:  mat.WrapVector(w.estimates),
+		Y0:  y0,
+		ATA: &ws.ata,
 	}
 	res, err := qp.SolveCtxWS(ctx, prob, qp.Options{MaxIter: 2500, EpsAbs: 1e-4, EpsRel: 1e-4}, &ws.qp)
 	if err != nil && !errors.Is(err, qp.ErrMaxIterations) {
@@ -881,12 +1265,28 @@ func (w *windowProblem) solveQP(ctx context.Context, orders []orderPair, lambdaS
 		return fmt.Errorf("window QP infeasible (primal residual %.3g ms): %w", res.PrimalRes, err)
 	}
 	copy(w.estimates, res.X.Data())
+	if w.warm {
+		w.prevY = append(w.prevY[:0], res.Y.Data()...)
+		w.pairY = make(map[pairKey]float64, len(ws.rowKeys))
+		for i, k := range ws.rowKeys {
+			if v := w.prevY[w.prefixRows+i]; v != 0 {
+				w.pairY[k] = v
+			}
+		}
+	}
 	return nil
 }
 
 // _maxAcceptablePrimalRes (ms) is the largest ADMM primal residual accepted
 // from a non-converged window QP iterate.
 const _maxAcceptablePrimalRes = 50
+
+// _pruneMargin (ms) is how strictly inside its bounds a constraint row's
+// propagated interval must sit before the pre-prune drops it. It exceeds
+// the interval-propagation convergence tolerance (1e-6 ms) by three orders
+// of magnitude so equality-clamped rows — including infeasible rows a
+// corrupted S(p) forced the propagation to collapse onto — always survive.
+const _pruneMargin = 1e-3
 
 // clampToOrder projects the window estimates onto the hard order
 // constraints of each packet (Eq. 5): a forward pass enforces
@@ -897,19 +1297,19 @@ const _maxAcceptablePrimalRes = 50
 func (w *windowProblem) clampToOrder() {
 	d := w.d
 	omega := toMS(d.cfg.Omega)
-	for ri := range w.recSet {
+	for ri := w.sp.Start; ri < w.sp.End; ri++ {
 		r := d.records[ri]
 		if r.Hops() < 3 {
 			continue
 		}
+		// Record ri's interior hop h is local unknown base+h-1: unknowns are
+		// numbered record by record, hops ascending.
+		base := d.recVarStart[ri] - w.varLo
 		gen := toMS(r.GenTime) - w.origin
 		sink := toMS(r.SinkArrival) - w.origin
 		prev := gen
 		for hop := 1; hop <= r.Hops()-2; hop++ {
-			l, ok := w.localOf[d.varOf[hopKey{rec: ri, hop: hop}]]
-			if !ok {
-				continue
-			}
+			l := base + hop - 1
 			if w.estimates[l] < prev+omega {
 				w.estimates[l] = prev + omega
 			}
@@ -917,30 +1317,11 @@ func (w *windowProblem) clampToOrder() {
 		}
 		next := sink
 		for hop := r.Hops() - 2; hop >= 1; hop-- {
-			l, ok := w.localOf[d.varOf[hopKey{rec: ri, hop: hop}]]
-			if !ok {
-				continue
-			}
+			l := base + hop - 1
 			if w.estimates[l] > next-omega {
 				w.estimates[l] = next - omega
 			}
 			next = w.estimates[l]
 		}
 	}
-}
-
-// constraintInWindow reports whether every unknown the constraint touches
-// is a window variable or has a frozen estimate; constraints whose unknowns
-// are all outside contribute nothing.
-func (w *windowProblem) constraintInWindow(c linConstraint) bool {
-	anyLocal := false
-	for _, t := range c.terms {
-		if t.ref.known {
-			continue
-		}
-		if _, ok := w.localOf[t.ref.index]; ok {
-			anyLocal = true
-		}
-	}
-	return anyLocal
 }

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -131,6 +132,16 @@ type Config struct {
 	// DisableBLP skips the balanced-label-propagation boundary tuning and
 	// uses the raw BFS ball as the bound sub-graph (ablation for §IV-C).
 	DisableBLP bool
+
+	// DisableEstimatePruning keeps constraint rows in the per-window QPs
+	// even when interval propagation proves they can never become active
+	// (ablation for the solver hot-path pre-prune).
+	DisableEstimatePruning bool
+	// DisableEstimateWarmStart makes every window QP round start from the
+	// cold snapshot state instead of warm-starting the ADMM primal/dual
+	// iterates from the previous round and, at batch boundaries, from the
+	// overlapping predecessor window (ablation for the warm-start path).
+	DisableEstimateWarmStart bool
 }
 
 func (c Config) withDefaults() Config {
@@ -234,6 +245,13 @@ type Dataset struct {
 	unknowns []hopKey
 	// varOf maps (record, hop) to the unknown index; knowns are absent.
 	varOf map[hopKey]int
+	// recVarStart[ri] is the index of record ri's first unknown; the extra
+	// entry at len(records) closes the prefix. Unknown indices are assigned
+	// record by record, so the unknowns of records [a, b) are exactly the
+	// contiguous range [recVarStart[a], recVarStart[b]) — which lets the
+	// window solver map global unknowns to window-local ones by offset
+	// instead of a per-window hash map.
+	recVarStart []int
 
 	// nodePassages lists, per non-sink node, the packets passing through
 	// it: (record index, hop index at that node), sorted by generation
@@ -241,6 +259,11 @@ type Dataset struct {
 	nodePassages map[radio.NodeID][]hopKey
 
 	constraints []linConstraint
+	// recConstraints[ri] lists, in ascending order, the indices of the
+	// constraints that reference at least one unknown of record ri. The
+	// window solver unions these lists over its record range instead of
+	// scanning every constraint per window.
+	recConstraints [][]int32
 
 	// prevLocal[i] is the record index of records[i]'s previous local
 	// packet (same source, seq-1) or -1 when it was lost.
@@ -276,8 +299,21 @@ func fromMS(ms float64) sim.Time { return sim.Time(ms * float64(time.Millisecond
 
 // NewDataset indexes a trace and materializes its constraint system.
 func NewDataset(tr *trace.Trace, cfg Config) (*Dataset, error) {
+	return NewDatasetCtx(context.Background(), tr, cfg)
+}
+
+// NewDatasetCtx is NewDataset with cooperative cancellation. Constraint
+// materialization is the single most expensive pre-solve phase on large
+// traces (the sum-of-delays scan alone visits every passage of every
+// source), so the context is polled periodically inside each build loop —
+// an already-expired deadline makes construction return within
+// milliseconds instead of minutes at 400-node scale.
+func NewDatasetCtx(ctx context.Context, tr *trace.Trace, cfg Config) (*Dataset, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("validating trace: %w", err)
@@ -297,9 +333,17 @@ func NewDataset(tr *trace.Trace, cfg Config) (*Dataset, error) {
 	d.indexUnknowns()
 	d.indexPassages()
 	d.indexPrevLocal()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.buildOrderConstraints()
-	d.buildSumConstraints()
-	d.buildGuaranteedFIFOConstraints()
+	if err := d.buildSumConstraints(ctx); err != nil {
+		return nil, err
+	}
+	if err := d.buildGuaranteedFIFOConstraints(ctx); err != nil {
+		return nil, err
+	}
+	d.indexRecordConstraints()
 	return d, nil
 }
 
@@ -316,13 +360,16 @@ func (d *Dataset) Records() []*trace.Record { return d.records }
 func (d *Dataset) Config() Config { return d.cfg }
 
 func (d *Dataset) indexUnknowns() {
+	d.recVarStart = make([]int, len(d.records)+1)
 	for ri, r := range d.records {
+		d.recVarStart[ri] = len(d.unknowns)
 		for hop := 1; hop <= r.Hops()-2; hop++ {
 			key := hopKey{rec: ri, hop: hop}
 			d.varOf[key] = len(d.unknowns)
 			d.unknowns = append(d.unknowns, key)
 		}
 	}
+	d.recVarStart[len(d.records)] = len(d.unknowns)
 }
 
 func (d *Dataset) indexPassages() {
@@ -389,11 +436,25 @@ func (d *Dataset) buildOrderConstraints() {
 }
 
 // buildSumConstraints materializes Eq. 7 (and optionally Eq. 6).
-func (d *Dataset) buildSumConstraints() {
+//
+// The candidate sets C(p)/C*(p) only contain packets whose path passes
+// through p's source, so the scan walks d.nodePassages[src] instead of
+// every record — O(Σ passages) overall where the previous all-records loop
+// was O(records²) and dominated dataset construction at 400-node scale.
+// The passage list is ordered by record index with per-record hops
+// ascending, so taking each record's first passage reproduces the original
+// pathIndexOf first-occurrence semantics and the original term order
+// exactly; the constraint system is bit-identical to the quadratic scan's.
+func (d *Dataset) buildSumConstraints(ctx context.Context) error {
 	if d.cfg.DisableSumConstraints {
-		return
+		return nil
 	}
 	for ri, r := range d.records {
+		if ri%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		qi := d.prevLocal[ri]
 		if qi < 0 {
 			// The previous local packet was lost, so C*(p) cannot be
@@ -414,21 +475,24 @@ func (d *Dataset) buildSumConstraints() {
 		// D_{N0(p)}(p) = t_1(p) - t_0(p).
 		terms := d.nodeDelayTerms(ri, 0)
 		var maybeTerms []linTerm
-		for xi, x := range d.records {
+		lastRec := -1
+		for _, hk := range d.nodePassages[src] {
+			xi := hk.rec
+			if xi == lastRec {
+				continue // only the first passage of each record counts
+			}
+			lastRec = xi
 			if xi == ri {
 				continue
 			}
-			hop, ok := pathIndexOf(x, src)
-			if !ok || hop >= x.Hops()-1 {
-				continue
-			}
+			x := d.records[xi]
 			inStar := x.GenTime > q.GenTime && x.SinkArrival < r.GenTime
 			inC := x.GenTime < r.GenTime && x.SinkArrival > q.GenTime
 			switch {
 			case inStar:
-				terms = append(terms, d.nodeDelayTerms(xi, hop)...)
+				terms = append(terms, d.nodeDelayTerms(xi, hk.hop)...)
 			case inC:
-				maybeTerms = append(maybeTerms, d.nodeDelayTerms(xi, hop)...)
+				maybeTerms = append(maybeTerms, d.nodeDelayTerms(xi, hk.hop)...)
 			}
 		}
 		s := toMS(r.SumDelays)
@@ -456,6 +520,7 @@ func (d *Dataset) buildSumConstraints() {
 			})
 		}
 	}
+	return nil
 }
 
 // nodeDelayTerms returns the linear terms of D at hop `hop` of record ri:
@@ -467,16 +532,6 @@ func (d *Dataset) nodeDelayTerms(ri, hop int) []linTerm {
 	}
 }
 
-// pathIndexOf returns the position of node n in the record's path.
-func pathIndexOf(r *trace.Record, n radio.NodeID) (int, bool) {
-	for i, id := range r.Path {
-		if id == n {
-			return i, true
-		}
-	}
-	return 0, false
-}
-
 // buildGuaranteedFIFOConstraints materializes the FIFO instances whose
 // direction is fixed by known times (§IV-A specialized):
 //
@@ -485,7 +540,7 @@ func pathIndexOf(r *trace.Record, n radio.NodeID) (int, bool) {
 //   - two packets sharing their last forwarder: sink arrival order fixes
 //     the order of their arrivals at that forwarder (with slack for the
 //     enqueue race).
-func (d *Dataset) buildGuaranteedFIFOConstraints() {
+func (d *Dataset) buildGuaranteedFIFOConstraints(ctx context.Context) error {
 	delta := toMS(d.cfg.FIFODelta)
 	slack := toMS(d.cfg.FIFOArrivalSlack)
 
@@ -539,7 +594,12 @@ func (d *Dataset) buildGuaranteedFIFOConstraints() {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	for _, key := range keys {
+	for ki, key := range keys {
+		if ki%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		list := bySuffix[key]
 		sort.SliceStable(list, func(i, j int) bool {
 			return d.records[list[i].rec].SinkArrival < d.records[list[j].rec].SinkArrival
@@ -570,6 +630,53 @@ func (d *Dataset) buildGuaranteedFIFOConstraints() {
 			}
 		}
 	}
+	return nil
+}
+
+// indexRecordConstraints builds recConstraints: for each record, the
+// ascending list of constraint indices touching one of its unknowns. Two
+// counting passes share one backing array so the index costs a single
+// allocation plus O(total terms) time.
+func (d *Dataset) indexRecordConstraints() {
+	counts := make([]int32, len(d.records))
+	mark := make([]int, len(d.records))
+	for i := range mark {
+		mark[i] = -1
+	}
+	visit := func(fn func(ri, ci int)) {
+		for ci, c := range d.constraints {
+			for _, t := range c.terms {
+				if t.ref.known {
+					continue
+				}
+				ri := d.unknowns[t.ref.index].rec
+				if mark[ri] == ci {
+					continue
+				}
+				mark[ri] = ci
+				fn(ri, ci)
+			}
+		}
+	}
+	visit(func(ri, _ int) { counts[ri]++ })
+	total := 0
+	for _, c := range counts {
+		total += int(c)
+	}
+	backing := make([]int32, total)
+	d.recConstraints = make([][]int32, len(d.records))
+	off := 0
+	for ri, c := range counts {
+		end := off + int(c)
+		d.recConstraints[ri] = backing[off:off:end]
+		off = end
+	}
+	for i := range mark {
+		mark[i] = -1
+	}
+	visit(func(ri, ci int) {
+		d.recConstraints[ri] = append(d.recConstraints[ri], int32(ci))
+	})
 }
 
 // suffixKey serializes a path suffix for grouping.

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// bigSyntheticTrace builds a dense, valid delivery trace at roughly the
+// paper's 400-node evaluation scale without paying for the radio simulator:
+// nSources sources share nSources relays on 5-hop paths, one packet per
+// period, with random per-hop sojourns. nSources=200, perSource=200 yields
+// 40k records, 120k unknowns and ~480k constraint references — big enough
+// that any O(n²) pass or context blind spot in the pipeline turns into
+// seconds of unresponsive work.
+func bigSyntheticTrace(nSources, perSource int) *trace.Trace {
+	rng := rand.New(rand.NewSource(7))
+	const sink = radio.NodeID(1)
+	nRelays := nSources
+	relay := func(i int) radio.NodeID { return radio.NodeID(2 + i%nRelays) }
+	var recs []*trace.Record
+	period := 5 * time.Second
+	for s := 0; s < nSources; s++ {
+		src := radio.NodeID(1000 + s)
+		path := []radio.NodeID{src, relay(s), relay(s + 1), relay(s + 2), sink}
+		off := sim.Time(rng.Intn(int(period)))
+		for k := 1; k <= perSource; k++ {
+			gen := sim.Time(k)*sim.Time(period) + off
+			d0 := sim.Time(1+rng.Intn(20)) * sim.Time(time.Millisecond)
+			total := d0
+			for h := 1; h < len(path)-1; h++ {
+				total += sim.Time(1+rng.Intn(30)) * sim.Time(time.Millisecond)
+			}
+			recs = append(recs, &trace.Record{
+				ID:          trace.PacketID{Source: src, Seq: uint32(k)},
+				Path:        append([]radio.NodeID(nil), path...),
+				GenTime:     gen,
+				SinkArrival: gen + total,
+				SumDelays:   d0,
+			})
+		}
+	}
+	// Dataset validation requires sink-arrival order.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].SinkArrival < recs[j-1].SinkArrival; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+	return &trace.Trace{NumNodes: nSources*2 + 2, Records: recs}
+}
+
+// An already-expired deadline must surface from both the dataset build and
+// the estimator within a prompt bound even at evaluation scale. This is the
+// regression test for the EstimateCtx deadline blind spot: the global
+// interval-propagation pass inside initialization and the O(n²)
+// sum-constraint build both used to run to completion — tens of seconds at
+// this size — before the first context check.
+func TestEstimateCtxExpiredPromptAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large synthetic trace")
+	}
+	tr := bigSyntheticTrace(200, 200)
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+
+	const promptness = 2 * time.Second
+
+	start := time.Now()
+	_, err := NewDatasetCtx(expired, tr, Config{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("NewDatasetCtx error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > promptness {
+		t.Fatalf("NewDatasetCtx took %v to notice the expired deadline", elapsed)
+	}
+
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatalf("NewDataset: %v", err)
+	}
+	start = time.Now()
+	est, err := EstimateCtx(expired, d)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("EstimateCtx error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > promptness {
+		t.Fatalf("EstimateCtx took %v to notice the expired deadline", elapsed)
+	}
+	if est == nil {
+		t.Fatal("EstimateCtx must return the partial Estimates alongside the context error")
+	}
+	if est.Stats.Unknowns != len(d.unknowns) {
+		t.Fatalf("partial stats Unknowns = %d, want %d", est.Stats.Unknowns, len(d.unknowns))
+	}
+	if est.Stats.WallTime <= 0 {
+		t.Fatal("partial stats must carry a wall time")
+	}
+}

@@ -16,7 +16,7 @@ import (
 // block. The extracted u seeds the order-resolved QP refinement.
 func (w *windowProblem) runSDR(ctx context.Context) error {
 	d := w.d
-	nLocal := len(w.globalOf)
+	nLocal := w.nLocal
 	dim := nLocal + 1
 	global := w.globalValues()
 
@@ -24,10 +24,8 @@ func (w *windowProblem) runSDR(ctx context.Context) error {
 	problem.Constraints = append(problem.Constraints, sdp.CornerConstraint(dim))
 
 	// Linear dataset rows restricted to the window.
-	for _, c := range d.constraints {
-		if !w.constraintInWindow(c) {
-			continue
-		}
+	for _, ci := range w.consIDs {
+		c := d.constraints[ci]
 		coeffs := make(map[int]float64)
 		constant := 0.0
 		for _, t := range c.terms {
@@ -144,7 +142,7 @@ func (w *windowProblem) eachConsecutivePassagePair(fn func(arrX, depX, arrY, dep
 // handling known arrival times by folding them into lower-order terms.
 // Returns nil when the product involves no unknowns.
 func (w *windowProblem) liftedFIFO(arrX, depX, arrY, depY varRef, global []float64) *sdp.Constraint {
-	nLocal := len(w.globalOf)
+	nLocal := w.nLocal
 	type lin struct {
 		coeffs map[int]float64
 		c      float64

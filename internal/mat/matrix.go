@@ -85,6 +85,20 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// CopyFrom reshapes m to other's shape and copies its contents, reusing m's
+// backing array when capacity allows. It is the allocation-free counterpart
+// of Clone for hot paths that recycle scratch matrices.
+func (m *Matrix) CopyFrom(other *Matrix) {
+	n := other.rows * other.cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+	}
+	copy(m.data, other.data)
+	m.rows, m.cols = other.rows, other.cols
+}
+
 // Scale multiplies every element by alpha in place.
 func (m *Matrix) Scale(alpha float64) {
 	for i := range m.data {

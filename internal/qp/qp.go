@@ -43,7 +43,18 @@ type Problem struct {
 	A  *sparse.CSR // m×n constraint matrix
 	L  *mat.Vector // length-m lower bounds (use -Unbounded when absent)
 	U  *mat.Vector // length-m upper bounds (use +Unbounded when absent)
-	X0 *mat.Vector // optional warm start, length n
+	X0 *mat.Vector // optional primal warm start, length n
+	// Y0 optionally warm-starts the dual vector (length m). Without it the
+	// duals start at zero — workspace reuse never leaks a previous solve's
+	// duals, a stale dual must be passed explicitly here.
+	Y0 *mat.Vector
+	// ATA, when non-nil, must equal AᵀA (n×n). The solver then forms the
+	// KKT matrix P + σI + ρAᵀA densely from it instead of re-accumulating
+	// AᵀA from the sparse rows, making the ρ-adaptation refactorizations
+	// O(n²) and letting callers cache the Gram contribution of constraint
+	// rows shared across solves. The caller is responsible for ATA actually
+	// matching A; the solver cannot verify it cheaply.
+	ATA *mat.Matrix
 }
 
 // Options tunes the ADMM iteration. The zero value selects defaults.
@@ -99,10 +110,11 @@ type Result struct {
 // zero Workspace is ready to use; it grows to the largest problem it has
 // seen and must not be shared between concurrent solves.
 type Workspace struct {
-	x, y                      mat.Vector // returned iterates (borrowed by Result)
-	z, tmp, zPrev, ax, zTilde mat.Vector // length-m scratch
-	rhs, aty, px              mat.Vector // length-n scratch
-	normal                    mat.Matrix // KKT normal matrix buffer
+	x, y                      mat.Vector   // returned iterates (borrowed by Result)
+	z, tmp, zPrev, ax, zTilde mat.Vector   // length-m scratch
+	rhs, aty, px              mat.Vector   // length-n scratch
+	normal                    mat.Matrix   // KKT normal matrix buffer
+	chol                      mat.Cholesky // factor storage, reused across refactorizations
 }
 
 // Solve runs ADMM on the problem and returns the result. When the iteration
@@ -139,20 +151,21 @@ func SolveCtxWS(ctx context.Context, p *Problem, opts Options, ws *Workspace) (*
 	m := p.A.Rows()
 
 	rho := o.Rho
-	factorize := func() (*mat.Cholesky, error) {
-		if err := p.A.NormalMatrixInto(&ws.normal, p.P, o.Sigma, rho); err != nil {
-			return nil, fmt.Errorf("forming KKT matrix: %w", err)
+	factorize := func() error {
+		if p.ATA != nil {
+			formNormalFromATA(&ws.normal, p.P, p.ATA, o.Sigma, rho)
+		} else if err := p.A.NormalMatrixInto(&ws.normal, p.P, o.Sigma, rho); err != nil {
+			return fmt.Errorf("forming KKT matrix: %w", err)
 		}
-		chol, err := mat.NewCholesky(&ws.normal)
-		if err != nil {
-			return nil, fmt.Errorf("factorizing KKT matrix: %w", err)
+		if err := ws.chol.Factorize(&ws.normal); err != nil {
+			return fmt.Errorf("factorizing KKT matrix: %w", err)
 		}
-		return chol, nil
+		return nil
 	}
-	chol, err := factorize()
-	if err != nil {
+	if err := factorize(); err != nil {
 		return nil, err
 	}
+	chol := &ws.chol
 
 	x := &ws.x
 	x.Reset(n)
@@ -167,6 +180,11 @@ func SolveCtxWS(ctx context.Context, p *Problem, opts Options, ws *Workspace) (*
 	clipToBox(z, p.L, p.U)
 	y := &ws.y
 	y.Reset(m)
+	if p.Y0 != nil {
+		if err := y.CopyFrom(p.Y0); err != nil {
+			return nil, fmt.Errorf("dual warm start: %w", err)
+		}
+	}
 
 	rhs := &ws.rhs
 	rhs.Reset(n)
@@ -250,11 +268,9 @@ func SolveCtxWS(ctx context.Context, p *Problem, opts Options, ws *Workspace) (*
 				ratio := math.Sqrt(pScaled / math.Max(dScaled, 1e-12))
 				if ratio > 3 || ratio < 1.0/3 {
 					rho = math.Min(math.Max(rho*ratio, 1e-6), 1e6)
-					newChol, err := factorize()
-					if err != nil {
+					if err := factorize(); err != nil {
 						return nil, err
 					}
-					chol = newChol
 					refactors++
 				}
 			}
@@ -286,12 +302,42 @@ func validate(p *Problem) error {
 	if p.X0 != nil && p.X0.Len() != n {
 		return fmt.Errorf("x0 has length %d, want %d: %w", p.X0.Len(), n, ErrBadProblem)
 	}
+	if p.Y0 != nil && p.Y0.Len() != m {
+		return fmt.Errorf("y0 has length %d, want %d: %w", p.Y0.Len(), m, ErrBadProblem)
+	}
+	if p.ATA != nil && (p.ATA.Rows() != n || p.ATA.Cols() != n) {
+		return fmt.Errorf("ATA is %dx%d, want %dx%d: %w", p.ATA.Rows(), p.ATA.Cols(), n, n, ErrBadProblem)
+	}
 	for i := 0; i < m; i++ {
 		if p.L.At(i) > p.U.At(i) {
 			return fmt.Errorf("row %d has l=%g > u=%g: %w", i, p.L.At(i), p.U.At(i), ErrBadProblem)
 		}
 	}
 	return nil
+}
+
+// formNormalFromATA overwrites out with P + sigma·I + rho·ATA in a single
+// dense pass. Unlike NormalMatrixInto it never touches the sparse rows, so a
+// ρ-adaptation refactorization costs O(n²) regardless of constraint count.
+func formNormalFromATA(out *mat.Matrix, p, ata *mat.Matrix, sigma, rho float64) {
+	n := ata.Rows()
+	if out.Rows() != n || out.Cols() != n {
+		out.Reset(n, n)
+	}
+	od, ad := out.Data(), ata.Data()
+	if p != nil {
+		pd := p.Data()
+		for i := range od {
+			od[i] = pd[i] + rho*ad[i]
+		}
+	} else {
+		for i := range od {
+			od[i] = rho * ad[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		od[i*n+i] += sigma
+	}
 }
 
 func boxClip(v, lo, hi float64) float64 {

@@ -1,0 +1,142 @@
+package qp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/domo-net/domo/internal/mat"
+	"github.com/domo-net/domo/internal/sparse"
+)
+
+// randomBoxQP builds a feasible random box-constrained QP with a diagonal PSD
+// quadratic term, n variables and m ~60%-dense constraint rows.
+func randomBoxQP(t *testing.T, rng *rand.Rand, n, m int) *Problem {
+	t.Helper()
+	p := mat.NewMatrix(n, n)
+	q := mat.NewVector(n)
+	for i := 0; i < n; i++ {
+		p.Set(i, i, 0.5+rng.Float64()*4)
+		q.Set(i, rng.NormFloat64()*3)
+	}
+	var entries []sparse.Entry
+	for r := 0; r < m; r++ {
+		nz := 0
+		for c := 0; c < n; c++ {
+			if rng.Float64() < 0.6 {
+				entries = append(entries, sparse.Entry{Row: r, Col: c, Value: rng.NormFloat64()})
+				nz++
+			}
+		}
+		if nz == 0 {
+			entries = append(entries, sparse.Entry{Row: r, Col: rng.Intn(n), Value: 1})
+		}
+	}
+	a := mustCSR(t, m, n, entries)
+	// Bounds straddling Ax at a random interior point keep the problem feasible.
+	x := mat.NewVector(n)
+	for i := 0; i < n; i++ {
+		x.Set(i, rng.NormFloat64())
+	}
+	ax := mat.NewVector(m)
+	a.MulVecTo(ax, x)
+	l, u := mat.NewVector(m), mat.NewVector(m)
+	for r := 0; r < m; r++ {
+		l.Set(r, ax.At(r)-0.1-rng.Float64())
+		u.Set(r, ax.At(r)+0.1+rng.Float64())
+	}
+	return &Problem{P: p, Q: q, A: a, L: l, U: u}
+}
+
+// snapshot copies the parts of a Result that workspace reuse could corrupt;
+// Result.X and Result.Y borrow workspace storage, so they must be copied out
+// before the next solve on the same workspace.
+type solveSnapshot struct {
+	x, y       []float64
+	iterations int
+	objective  float64
+	converged  bool
+}
+
+func takeSnapshot(t *testing.T, res *Result, err error) solveSnapshot {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return solveSnapshot{
+		x:          append([]float64(nil), res.X.Data()...),
+		y:          append([]float64(nil), res.Y.Data()...),
+		iterations: res.Iterations,
+		objective:  res.Objective,
+		converged:  res.Converged,
+	}
+}
+
+func (s solveSnapshot) equal(o solveSnapshot) bool {
+	if s.iterations != o.iterations || s.objective != o.objective || s.converged != o.converged {
+		return false
+	}
+	if len(s.x) != len(o.x) || len(s.y) != len(o.y) {
+		return false
+	}
+	for i := range s.x {
+		if s.x[i] != o.x[i] {
+			return false
+		}
+	}
+	for i := range s.y {
+		if s.y[i] != o.y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// A Workspace carried across unrelated problems must leave no trace of the
+// earlier solves: pushing problems of different shapes (and a Y0-warm-started
+// solve followed by a Y0-less one, where a leaked stale dual would be most
+// tempting) through one shared workspace must reproduce the fresh-workspace
+// results bit for bit — same iterates, same iteration counts.
+func TestWorkspaceReuseLeaksNoState(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	big := randomBoxQP(t, rng, 30, 45)  // solved first: leaves large buffers behind
+	small := randomBoxQP(t, rng, 8, 12) // then a smaller shape over the same storage
+	warm := randomBoxQP(t, rng, 8, 12)  // same shape as small, solved with Y0 set
+	y0 := mat.NewVector(12)
+	for i := 0; i < 12; i++ {
+		y0.Set(i, rng.NormFloat64()*5)
+	}
+	warm.Y0 = y0
+
+	ctx := context.Background()
+	// The sequence interleaves shapes and ends by re-solving small right
+	// after the Y0 solve of identical shape: if the workspace leaked the
+	// stale dual (or any iterate), this final solve would diverge from its
+	// fresh-workspace twin.
+	sequence := []*Problem{big, small, warm, small, big}
+
+	shared := &Workspace{}
+	var reused []solveSnapshot
+	for _, p := range sequence {
+		res, err := SolveCtxWS(ctx, p, Options{}, shared)
+		reused = append(reused, takeSnapshot(t, res, err))
+	}
+
+	for i, p := range sequence {
+		res, err := SolveCtxWS(ctx, p, Options{}, &Workspace{})
+		fresh := takeSnapshot(t, res, err)
+		if !reused[i].equal(fresh) {
+			t.Errorf("solve %d: shared-workspace result diverged from fresh workspace\n  shared: iters=%d obj=%g x=%v\n  fresh:  iters=%d obj=%g x=%v",
+				i, reused[i].iterations, reused[i].objective, reused[i].x,
+				fresh.iterations, fresh.objective, fresh.x)
+		}
+	}
+
+	// The two solves of the identical small problem inside the shared
+	// sequence must also agree with each other, despite the Y0 solve between
+	// them.
+	if !reused[1].equal(reused[3]) {
+		t.Errorf("re-solving the same problem on the shared workspace changed the result:\n  first:  iters=%d x=%v\n  second: iters=%d x=%v",
+			reused[1].iterations, reused[1].x, reused[3].iterations, reused[3].x)
+	}
+}

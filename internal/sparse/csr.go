@@ -208,6 +208,42 @@ func (m *CSR) ToDense() *mat.Matrix {
 	return out
 }
 
+// ATAInto computes the dense Gram matrix AᵀA (cols×cols) into out,
+// reshaping and reusing out's storage. Callers that keep ρ out of the
+// accumulation can cache the result across penalty refactorizations and
+// across solves that share constraint rows.
+func (m *CSR) ATAInto(out *mat.Matrix) {
+	out.Reset(m.cols, m.cols)
+	// The range is always valid here, so the error is impossible.
+	_ = m.ATAAccumRows(out, 0, m.rows)
+}
+
+// ATAAccumRows accumulates Σ_{i ∈ [r0, r1)} aᵢ·aᵢᵀ of this matrix's rows
+// into out, which must already be cols×cols. Together with ATAInto this
+// lets a caller cache the Gram contribution of a stable row prefix and add
+// the contribution of freshly generated rows incrementally instead of
+// re-accumulating the whole matrix.
+func (m *CSR) ATAAccumRows(out *mat.Matrix, r0, r1 int) error {
+	if out.Rows() != m.cols || out.Cols() != m.cols {
+		return fmt.Errorf("accumulating AᵀA of %dx%d into %dx%d: %w",
+			m.rows, m.cols, out.Rows(), out.Cols(), ErrDimensionMismatch)
+	}
+	if r0 < 0 || r1 > m.rows || r0 > r1 {
+		return fmt.Errorf("row range [%d,%d) of %d rows: %w", r0, r1, m.rows, ErrDimensionMismatch)
+	}
+	for i := r0; i < r1; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for a := lo; a < hi; a++ {
+			ca, va := m.colIdx[a], m.values[a]
+			row := out.Row(ca)
+			for b := lo; b < hi; b++ {
+				row[m.colIdx[b]] += va * m.values[b]
+			}
+		}
+	}
+	return nil
+}
+
 // NormalMatrix returns the dense matrix P + sigma·I + rho·AᵀA, the KKT
 // system matrix of an OSQP-style ADMM iteration, where P is a dense n×n
 // quadratic term (may be nil for a pure LP) and A is this matrix (m×n).

@@ -62,6 +62,14 @@ type Config struct {
 	// AblateBLP replaces the balanced-label-propagation sub-graph tuning
 	// with the raw BFS ball.
 	AblateBLP bool
+	// AblateEstimatePruning disables the window solver's constraint
+	// pre-prune (rows interval propagation proves inactive are normally
+	// dropped before the QP). For speed-campaign ablations.
+	AblateEstimatePruning bool
+	// AblateEstimateWarmStart disables ADMM warm-starting (round-to-round
+	// dual carry and the cross-batch primal/dual carry between overlapping
+	// windows). For speed-campaign ablations.
+	AblateEstimateWarmStart bool
 	// AutoSanitize passes the trace through Sanitize before building the
 	// dataset, quarantining records that violate the reconstruction
 	// invariants (reboot-corrupted S(p), duplicated deliveries, corrupted
@@ -72,14 +80,16 @@ type Config struct {
 
 func (c Config) toCore() core.Config {
 	cc := core.Config{
-		EffectiveWindowRatio:  c.EffectiveWindowRatio,
-		WindowPackets:         c.WindowPackets,
-		EnableSDR:             c.EnableSDR,
-		GraphCutSize:          c.GraphCutSize,
-		UseUpperSum:           c.UseUpperSum,
-		DisableSumConstraints: c.AblateSumConstraints,
-		DisableBLP:            c.AblateBLP,
-		EstimateWorkers:       c.EstimateWorkers,
+		EffectiveWindowRatio:     c.EffectiveWindowRatio,
+		WindowPackets:            c.WindowPackets,
+		EnableSDR:                c.EnableSDR,
+		GraphCutSize:             c.GraphCutSize,
+		UseUpperSum:              c.UseUpperSum,
+		DisableSumConstraints:    c.AblateSumConstraints,
+		DisableBLP:               c.AblateBLP,
+		EstimateWorkers:          c.EstimateWorkers,
+		DisableEstimatePruning:   c.AblateEstimatePruning,
+		DisableEstimateWarmStart: c.AblateEstimateWarmStart,
 	}
 	if c.ExactBounds {
 		cc.BoundSolverKind = core.SolverSimplex
@@ -102,7 +112,13 @@ type EstimateStats struct {
 	// of the refined QP solution. Nonzero values usually mean the trace
 	// should have been sanitized (see Trace.Sanitize / Config.AutoSanitize).
 	DegradedWindows int
-	WallTime        time.Duration
+	// PrunedRows is the total number of constraint rows dropped from the
+	// window QPs because interval propagation proved them inactive.
+	PrunedRows int
+	// WarmStartedWindows counts windows that consumed an ADMM warm start
+	// carried from their batch-boundary predecessor window.
+	WarmStartedWindows int
+	WallTime           time.Duration
 	// PerWindow holds one entry per completed window, in window order.
 	PerWindow []WindowStat
 }
@@ -117,9 +133,14 @@ type WindowStat struct {
 	// rounds, including a failed first attempt when the window was retried.
 	Iterations int
 	SolveTime  time.Duration
-	SDR        bool // ran the SDR seeding stage
-	Retried    bool // first attempt failed, re-solved with bumped anchor
-	Degraded   bool // both attempts failed, fell back to projection
+	// PrunedRows counts constraint rows dropped from this window's QPs by
+	// the interval-propagation pre-prune.
+	PrunedRows int
+	// WarmStarted marks windows that consumed the cross-window ADMM carry.
+	WarmStarted bool
+	SDR         bool // ran the SDR seeding stage
+	Retried     bool // first attempt failed, re-solved with bumped anchor
+	Degraded    bool // both attempts failed, fell back to projection
 	// Cause holds the first failure message when Retried or Degraded.
 	Cause string
 }
@@ -149,7 +170,7 @@ func EstimateCtx(ctx context.Context, tr *Trace, cfg Config) (*Reconstruction, e
 	if cfg.AutoSanitize {
 		tr, rep = tr.Sanitize()
 	}
-	ds, err := core.NewDataset(tr.inner, cfg.toCore())
+	ds, err := core.NewDatasetCtx(ctx, tr.inner, cfg.toCore())
 	if err != nil {
 		return nil, fmt.Errorf("building dataset: %w", err)
 	}
@@ -195,29 +216,33 @@ func (r *Reconstruction) Uncertainty(id PacketID) ([]time.Duration, error) {
 // collected by the window scheduler.
 func (r *Reconstruction) Stats() EstimateStats {
 	s := EstimateStats{
-		Unknowns:        r.est.Stats.Unknowns,
-		Windows:         r.est.Stats.Windows,
-		SDRWindows:      r.est.Stats.SDRWindows,
-		RetriedWindows:  r.est.Stats.RetriedWindows,
-		DegradedWindows: r.est.Stats.DegradedWindows,
-		WallTime:        r.est.Stats.WallTime,
+		Unknowns:           r.est.Stats.Unknowns,
+		Windows:            r.est.Stats.Windows,
+		SDRWindows:         r.est.Stats.SDRWindows,
+		RetriedWindows:     r.est.Stats.RetriedWindows,
+		DegradedWindows:    r.est.Stats.DegradedWindows,
+		PrunedRows:         r.est.Stats.PrunedRows,
+		WarmStartedWindows: r.est.Stats.WarmStartedWindows,
+		WallTime:           r.est.Stats.WallTime,
 	}
 	if len(r.est.Stats.PerWindow) > 0 {
 		s.PerWindow = make([]WindowStat, len(r.est.Stats.PerWindow))
 		for i, w := range r.est.Stats.PerWindow {
 			s.PerWindow[i] = WindowStat{
-				Index:      w.Index,
-				Start:      w.Start,
-				End:        w.End,
-				KeepLo:     w.KeepLo,
-				KeepHi:     w.KeepHi,
-				Unknowns:   w.Unknowns,
-				Iterations: w.Iterations,
-				SolveTime:  w.SolveTime,
-				SDR:        w.SDR,
-				Retried:    w.Retried,
-				Degraded:   w.Degraded,
-				Cause:      w.Cause,
+				Index:       w.Index,
+				Start:       w.Start,
+				End:         w.End,
+				KeepLo:      w.KeepLo,
+				KeepHi:      w.KeepHi,
+				Unknowns:    w.Unknowns,
+				Iterations:  w.Iterations,
+				SolveTime:   w.SolveTime,
+				PrunedRows:  w.PrunedRows,
+				WarmStarted: w.WarmStarted,
+				SDR:         w.SDR,
+				Retried:     w.Retried,
+				Degraded:    w.Degraded,
+				Cause:       w.Cause,
 			}
 		}
 	}
@@ -260,7 +285,7 @@ func BoundsCtx(ctx context.Context, tr *Trace, cfg Config) (*BoundsResult, error
 	if cfg.AutoSanitize {
 		tr, rep = tr.Sanitize()
 	}
-	ds, err := core.NewDataset(tr.inner, cfg.toCore())
+	ds, err := core.NewDatasetCtx(ctx, tr.inner, cfg.toCore())
 	if err != nil {
 		return nil, fmt.Errorf("building dataset: %w", err)
 	}
