@@ -23,10 +23,13 @@ cover:
 	$(GO) test -cover ./...
 
 # Short fuzz of the wire codec: decode must never panic and accepted
-# payloads must re-encode byte-identically (canonical encoding).
+# payloads must re-encode byte-identically (canonical encoding). The OMP
+# solver fuzz feeds arbitrary small systems and asserts no panics, finite
+# coefficients, and a residual never above the input norm.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzReadStream -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzOMP -fuzztime=10s ./internal/cs
 
 # One testing.B bench per paper table/figure (laptop scale).
 bench:

@@ -250,6 +250,64 @@ func BenchmarkEstimateOptimizations(b *testing.B) {
 	}
 }
 
+var _benchSparseTrace *domo.Trace
+
+// benchSparseTrace builds the sparse-anomaly workload (two hot relays over
+// a near-baseline forest, ~800 records / ~2.4k unknowns) once per process.
+func benchSparseTrace(b *testing.B) *domo.Trace {
+	b.Helper()
+	if _benchSparseTrace == nil {
+		tr, err := experiments.SparseAnomalyTrace(experiments.DefaultSparseAnomaly(1))
+		if err != nil {
+			b.Fatalf("building sparse-anomaly trace: %v", err)
+		}
+		_benchSparseTrace = tr
+	}
+	return _benchSparseTrace
+}
+
+// BenchmarkEstimatorTiers compares the estimation tiers on the
+// sparse-anomaly workload: one sub-benchmark per tier, all serial,
+// reporting µs/delay; the cs and tiered variants additionally report
+// mae_vs_qp_ms against a QP reference reconstructed outside the timed
+// region. These feed the tiers rows of BENCH_estimate.json, which
+// cmd/benchguard -tiers checks in CI.
+func BenchmarkEstimatorTiers(b *testing.B) {
+	tr := benchSparseTrace(b)
+	ref, err := domo.Estimate(tr, domo.Config{EstimateWorkers: 1})
+	if err != nil {
+		b.Fatalf("QP reference: %v", err)
+	}
+	for _, tier := range []string{"qp", "cs", "tiered"} {
+		b.Run("estimator="+tier, func(b *testing.B) {
+			cfg := domo.Config{Estimator: tier, EstimateWorkers: 1}
+			var rec *domo.Reconstruction
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				rec, err = domo.Estimate(tr, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := rec.Stats()
+			if st.Unknowns > 0 {
+				b.ReportMetric(float64(st.WallTime.Microseconds())/float64(st.Unknowns), "µs/delay")
+			}
+			if tier != "qp" {
+				mae, err := experiments.MAEBetween(tr, ref, rec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(mae, "mae_vs_qp_ms")
+				b.ReportMetric(float64(st.CSWindows), "cs_windows")
+				b.ReportMetric(float64(st.EscalatedWindows), "escalated_windows")
+			}
+		})
+	}
+}
+
 func BenchmarkAblations(b *testing.B) {
 	s := benchScenario()
 	for i := 0; i < b.N; i++ {

@@ -7,10 +7,19 @@
 // metric, or the baseline — exits non-zero so the regression cannot land
 // silently.
 //
+// With -tiers it instead guards the estimator-tier claims from
+// BenchmarkEstimatorTiers: the CS tier's µs/delay against its committed
+// baseline (same threshold factor), the measured qp/cs per-delay speedup
+// against the baseline's min_qp_speedup_cs floor, and the cs/tiered
+// mae_vs_qp_ms metrics against the documented max_mae_vs_qp_ms cap.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkEstimateWorkers/workers=1$' -benchtime 6x . | tee bench.txt
 //	go run ./cmd/benchguard -baseline BENCH_estimate.json -input bench.txt
+//
+//	go test -run '^$' -bench BenchmarkEstimatorTiers -benchtime 2x . | tee tiers.txt
+//	go run ./cmd/benchguard -tiers -baseline BENCH_estimate.json -input tiers.txt
 package main
 
 import (
@@ -32,36 +41,87 @@ type benchFile struct {
 			Workers    int     `json:"workers"`
 			UsPerDelay float64 `json:"us_per_delay"`
 		} `json:"results"`
+		Tiers struct {
+			Results []struct {
+				Estimator  string  `json:"estimator"`
+				UsPerDelay float64 `json:"us_per_delay"`
+			} `json:"results"`
+			MaxMAEVsQPMS   float64 `json:"max_mae_vs_qp_ms"`
+			MinQPSpeedupCS float64 `json:"min_qp_speedup_cs"`
+		} `json:"tiers"`
 	} `json:"baseline"`
 }
 
-// baselineUsPerDelay returns the committed workers=1 µs/delay.
-func baselineUsPerDelay(r io.Reader) (float64, string, error) {
-	var f benchFile
-	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return 0, "", fmt.Errorf("parsing baseline: %w", err)
+func readBaseline(path string) (*benchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
 	}
-	for _, res := range f.Baseline.Results {
-		if res.Workers == 1 {
-			if res.UsPerDelay <= 0 {
-				return 0, "", fmt.Errorf("baseline workers=1 us_per_delay is %g, want > 0", res.UsPerDelay)
-			}
-			return res.UsPerDelay, f.Baseline.Date, nil
-		}
+	defer f.Close()
+	var bf benchFile
+	if err := json.NewDecoder(f).Decode(&bf); err != nil {
+		return nil, fmt.Errorf("%s: parsing baseline: %w", path, err)
 	}
-	return 0, "", fmt.Errorf("baseline has no workers=1 row")
+	return &bf, nil
 }
 
-// measuredUsPerDelay scans `go test -bench` output for the named
-// benchmark and returns the value of its µs/delay metric. Benchmark
-// result lines interleave "<value> <unit>" pairs after the iteration
-// count, e.g.:
-//
-//	BenchmarkEstimateWorkers/workers=1-4  2  11385385 ns/op  51.00 windows  15.95 µs/delay
-func measuredUsPerDelay(r io.Reader, benchmark string) (float64, error) {
+// baselineUsPerDelay returns the committed workers=1 µs/delay.
+func baselineUsPerDelay(bf *benchFile) (float64, error) {
+	for _, res := range bf.Baseline.Results {
+		if res.Workers == 1 {
+			if res.UsPerDelay <= 0 {
+				return 0, fmt.Errorf("baseline workers=1 us_per_delay is %g, want > 0", res.UsPerDelay)
+			}
+			return res.UsPerDelay, nil
+		}
+	}
+	return 0, fmt.Errorf("baseline has no workers=1 row")
+}
+
+// baselineTierUsPerDelay returns the committed µs/delay of one tier row.
+func baselineTierUsPerDelay(bf *benchFile, tier string) (float64, error) {
+	for _, res := range bf.Baseline.Tiers.Results {
+		if res.Estimator == tier {
+			if res.UsPerDelay <= 0 {
+				return 0, fmt.Errorf("baseline tiers %s us_per_delay is %g, want > 0", tier, res.UsPerDelay)
+			}
+			return res.UsPerDelay, nil
+		}
+	}
+	return 0, fmt.Errorf("baseline has no tiers row for estimator %q", tier)
+}
+
+// readLines slurps the bench output so several metrics can be extracted
+// from one pass over the file.
+func readLines(r io.Reader) ([]string, error) {
+	var lines []string
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading bench output: %w", err)
+	}
+	return lines, nil
+}
+
+// measuredMetric scans `go test -bench` output lines for the named
+// benchmark and returns the value carrying one of the accepted units.
+// Benchmark result lines interleave "<value> <unit>" pairs after the
+// iteration count, e.g.:
+//
+//	BenchmarkEstimateWorkers/workers=1-4  2  11385385 ns/op  51.00 windows  15.95 µs/delay
+func measuredMetric(lines []string, benchmark string, units ...string) (float64, error) {
+	accepted := func(u string) bool {
+		for _, want := range units {
+			if u == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, line := range lines {
+		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
 		}
@@ -76,18 +136,15 @@ func measuredUsPerDelay(r io.Reader, benchmark string) (float64, error) {
 			continue
 		}
 		for i := 1; i+1 < len(fields); i++ {
-			if fields[i+1] == "µs/delay" || fields[i+1] == "us/delay" {
+			if accepted(fields[i+1]) {
 				v, err := strconv.ParseFloat(fields[i], 64)
 				if err != nil {
-					return 0, fmt.Errorf("parsing µs/delay value %q: %w", fields[i], err)
+					return 0, fmt.Errorf("parsing %s value %q: %w", fields[i+1], fields[i], err)
 				}
 				return v, nil
 			}
 		}
-		return 0, fmt.Errorf("benchmark line for %s has no µs/delay metric: %s", benchmark, sc.Text())
-	}
-	if err := sc.Err(); err != nil {
-		return 0, fmt.Errorf("reading bench output: %w", err)
+		return 0, fmt.Errorf("benchmark line for %s has no %s metric: %s", benchmark, strings.Join(units, "/"), line)
 	}
 	return 0, fmt.Errorf("bench output has no result line for %s (did the benchmark run or get skipped?)", benchmark)
 }
@@ -96,33 +153,27 @@ func run(baselinePath, inputPath, benchmark string, threshold float64) error {
 	if threshold <= 1 {
 		return fmt.Errorf("threshold %g must exceed 1", threshold)
 	}
-	bf, err := os.Open(baselinePath)
+	bf, err := readBaseline(baselinePath)
 	if err != nil {
 		return err
 	}
-	defer bf.Close()
-	base, date, err := baselineUsPerDelay(bf)
+	base, err := baselineUsPerDelay(bf)
 	if err != nil {
 		return fmt.Errorf("%s: %w", baselinePath, err)
 	}
 
-	var in io.Reader = os.Stdin
-	if inputPath != "" && inputPath != "-" {
-		f, err := os.Open(inputPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
+	lines, err := inputLines(inputPath)
+	if err != nil {
+		return err
 	}
-	got, err := measuredUsPerDelay(in, benchmark)
+	got, err := measuredMetric(lines, benchmark, "µs/delay", "us/delay")
 	if err != nil {
 		return err
 	}
 
 	ratio := got / base
 	fmt.Printf("benchguard: %s measured %.2f µs/delay vs baseline %.2f (%s): %.2fx (threshold %.2fx)\n",
-		benchmark, got, base, date, ratio, threshold)
+		benchmark, got, base, bf.Baseline.Date, ratio, threshold)
 	if ratio > threshold {
 		return fmt.Errorf("regression: %.2f µs/delay is %.2fx the committed baseline %.2f (limit %.2fx)",
 			got, ratio, base, threshold)
@@ -130,12 +181,105 @@ func run(baselinePath, inputPath, benchmark string, threshold float64) error {
 	return nil
 }
 
+// runTiers checks the estimator-tier acceptance claims against the
+// committed tiers baseline.
+func runTiers(baselinePath, inputPath, benchmark string, threshold float64) error {
+	if threshold <= 1 {
+		return fmt.Errorf("threshold %g must exceed 1", threshold)
+	}
+	bf, err := readBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	tiers := bf.Baseline.Tiers
+	if tiers.MaxMAEVsQPMS <= 0 {
+		return fmt.Errorf("%s: baseline tiers max_mae_vs_qp_ms is %g, want > 0", baselinePath, tiers.MaxMAEVsQPMS)
+	}
+	if tiers.MinQPSpeedupCS <= 1 {
+		return fmt.Errorf("%s: baseline tiers min_qp_speedup_cs is %g, want > 1", baselinePath, tiers.MinQPSpeedupCS)
+	}
+	csBase, err := baselineTierUsPerDelay(bf, "cs")
+	if err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+
+	lines, err := inputLines(inputPath)
+	if err != nil {
+		return err
+	}
+	qpGot, err := measuredMetric(lines, benchmark+"/estimator=qp", "µs/delay", "us/delay")
+	if err != nil {
+		return err
+	}
+	csGot, err := measuredMetric(lines, benchmark+"/estimator=cs", "µs/delay", "us/delay")
+	if err != nil {
+		return err
+	}
+
+	// CS per-delay cost against its own committed baseline.
+	ratio := csGot / csBase
+	fmt.Printf("benchguard: %s/estimator=cs measured %.2f µs/delay vs baseline %.2f (%s): %.2fx (threshold %.2fx)\n",
+		benchmark, csGot, csBase, bf.Baseline.Date, ratio, threshold)
+	if ratio > threshold {
+		return fmt.Errorf("regression: cs tier %.2f µs/delay is %.2fx the committed baseline %.2f (limit %.2fx)",
+			csGot, ratio, csBase, threshold)
+	}
+
+	// The headline acceptance claim: CS at least min_qp_speedup_cs times
+	// cheaper per recovered delay than the full QP.
+	speedup := qpGot / csGot
+	fmt.Printf("benchguard: qp/cs per-delay speedup %.1fx (floor %.1fx)\n", speedup, tiers.MinQPSpeedupCS)
+	if speedup < tiers.MinQPSpeedupCS {
+		return fmt.Errorf("cs tier speedup %.2fx below the documented %.2fx floor (qp %.2f vs cs %.2f µs/delay)",
+			speedup, tiers.MinQPSpeedupCS, qpGot, csGot)
+	}
+
+	// Accuracy cap for both non-reference tiers.
+	for _, tier := range []string{"cs", "tiered"} {
+		mae, err := measuredMetric(lines, benchmark+"/estimator="+tier, "mae_vs_qp_ms")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("benchguard: %s tier mae_vs_qp %.2fms (cap %.2fms)\n", tier, mae, tiers.MaxMAEVsQPMS)
+		if mae > tiers.MaxMAEVsQPMS {
+			return fmt.Errorf("%s tier MAE vs QP %.2fms exceeds the documented %.2fms cap", tier, mae, tiers.MaxMAEVsQPMS)
+		}
+	}
+	return nil
+}
+
+// inputLines reads the bench output from a file or stdin.
+func inputLines(path string) ([]string, error) {
+	var in io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	return readLines(in)
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_estimate.json", "committed baseline JSON")
 	input := flag.String("input", "-", "bench output file, or - for stdin")
 	benchmark := flag.String("benchmark", "BenchmarkEstimateWorkers/workers=1", "benchmark whose µs/delay to check")
 	threshold := flag.Float64("threshold", 1.5, "maximum allowed measured/baseline ratio")
+	tiers := flag.Bool("tiers", false, "guard the estimator-tier claims (BenchmarkEstimatorTiers) instead of the workers=1 µs/delay")
 	flag.Parse()
+	if *tiers {
+		bm := *benchmark
+		if bm == "BenchmarkEstimateWorkers/workers=1" { // default: switch to the tiers bench
+			bm = "BenchmarkEstimatorTiers"
+		}
+		if err := runTiers(*baseline, *input, bm, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*baseline, *input, *benchmark, *threshold); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)

@@ -11,7 +11,16 @@ const sampleBaseline = `{
     "date": "2026-08-07",
     "results": [
       {"workers": 1, "ns_per_op": 11761360, "windows": 51, "us_per_delay": 14.63}
-    ]
+    ],
+    "tiers": {
+      "results": [
+        {"estimator": "qp", "us_per_delay": 1360.0},
+        {"estimator": "cs", "us_per_delay": 2.78, "mae_vs_qp_ms": 2.84},
+        {"estimator": "tiered", "us_per_delay": 55.5, "mae_vs_qp_ms": 2.52}
+      ],
+      "max_mae_vs_qp_ms": 10.0,
+      "min_qp_speedup_cs": 5.0
+    }
   }
 }`
 
@@ -25,24 +34,59 @@ PASS
 ok  	github.com/domo-net/domo	1.038s
 `
 
-func TestBaselineUsPerDelay(t *testing.T) {
-	v, date, err := baselineUsPerDelay(strings.NewReader(sampleBaseline))
+const sampleTiersBench = `goos: linux
+BenchmarkEstimatorTiers/estimator=qp-4     	       2	3355136313 ns/op	      1360 µs/delay
+BenchmarkEstimatorTiers/estimator=cs-4     	       2	  12494320 ns/op	        33.00 cs_windows	         0 escalated_windows	         2.836 mae_vs_qp_ms	         2.784 µs/delay
+BenchmarkEstimatorTiers/estimator=tiered-4 	       2	 138990712 ns/op	        31.00 cs_windows	         2.000 escalated_windows	         2.517 mae_vs_qp_ms	        55.53 µs/delay
+PASS
+`
+
+func parseBaseline(t *testing.T, s string) *benchFile {
+	t.Helper()
+	dir := t.TempDir()
+	path := dir + "/baseline.json"
+	writeFile(t, path, s)
+	bf, err := readBaseline(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != 14.63 || date != "2026-08-07" {
-		t.Fatalf("got %g @ %s, want 14.63 @ 2026-08-07", v, date)
+	return bf
+}
+
+func TestBaselineUsPerDelay(t *testing.T) {
+	bf := parseBaseline(t, sampleBaseline)
+	v, err := baselineUsPerDelay(bf)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, _, err := baselineUsPerDelay(strings.NewReader(`{"baseline":{"results":[]}}`)); err == nil {
+	if v != 14.63 || bf.Baseline.Date != "2026-08-07" {
+		t.Fatalf("got %g @ %s, want 14.63 @ 2026-08-07", v, bf.Baseline.Date)
+	}
+	if _, err := baselineUsPerDelay(parseBaseline(t, `{"baseline":{"results":[]}}`)); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
-	if _, _, err := baselineUsPerDelay(strings.NewReader(`{"baseline":{"results":[{"workers":1,"us_per_delay":0}]}}`)); err == nil {
+	if _, err := baselineUsPerDelay(parseBaseline(t, `{"baseline":{"results":[{"workers":1,"us_per_delay":0}]}}`)); err == nil {
 		t.Fatal("zero baseline accepted")
+	}
+	if v, err := baselineTierUsPerDelay(bf, "cs"); err != nil || v != 2.78 {
+		t.Fatalf("tiers cs row: got %g, %v", v, err)
+	}
+	if _, err := baselineTierUsPerDelay(bf, "nope"); err == nil {
+		t.Fatal("missing tier row accepted")
 	}
 }
 
-func TestMeasuredUsPerDelay(t *testing.T) {
-	v, err := measuredUsPerDelay(strings.NewReader(sampleBench), "BenchmarkEstimateWorkers/workers=1")
+func benchLines(t *testing.T, s string) []string {
+	t.Helper()
+	lines, err := readLines(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+func TestMeasuredMetric(t *testing.T) {
+	v, err := measuredMetric(benchLines(t, sampleBench), "BenchmarkEstimateWorkers/workers=1", "µs/delay", "us/delay")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,18 +95,23 @@ func TestMeasuredUsPerDelay(t *testing.T) {
 	}
 	// The -N GOMAXPROCS suffix must not hide the benchmark.
 	suffixed := strings.ReplaceAll(sampleBench, "workers=1  ", "workers=1-4")
-	if v, err = measuredUsPerDelay(strings.NewReader(suffixed), "BenchmarkEstimateWorkers/workers=1"); err != nil || v != 14.63 {
+	if v, err = measuredMetric(benchLines(t, suffixed), "BenchmarkEstimateWorkers/workers=1", "µs/delay"); err != nil || v != 14.63 {
 		t.Fatalf("suffixed name: got %g, %v", v, err)
 	}
 	// A missing benchmark (e.g. skipped by the oversubscription guard)
 	// must fail loudly, not pass vacuously.
-	if _, err := measuredUsPerDelay(strings.NewReader(sampleBench), "BenchmarkEstimateWorkers/workers=2"); err == nil {
+	if _, err := measuredMetric(benchLines(t, sampleBench), "BenchmarkEstimateWorkers/workers=2", "µs/delay"); err == nil {
 		t.Fatal("missing benchmark line accepted")
 	}
 	// A matching line without the metric is an error too.
 	noMetric := "BenchmarkEstimateWorkers/workers=1-4  2  11385385 ns/op\n"
-	if _, err := measuredUsPerDelay(strings.NewReader(noMetric), "BenchmarkEstimateWorkers/workers=1"); err == nil {
+	if _, err := measuredMetric(benchLines(t, noMetric), "BenchmarkEstimateWorkers/workers=1", "µs/delay"); err == nil {
 		t.Fatal("line without µs/delay accepted")
+	}
+	// Secondary metrics on the same line are found by unit.
+	mae, err := measuredMetric(benchLines(t, sampleTiersBench), "BenchmarkEstimatorTiers/estimator=tiered", "mae_vs_qp_ms")
+	if err != nil || mae != 2.517 {
+		t.Fatalf("mae metric: got %g, %v", mae, err)
 	}
 }
 
@@ -86,6 +135,46 @@ func TestRunVerdicts(t *testing.T) {
 	if err := run(baselinePath, benchPath, "BenchmarkEstimateWorkers/workers=1", 1.0); err == nil {
 		t.Fatal("threshold 1.0 accepted")
 	}
+}
+
+func TestRunTiersVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	baselinePath := dir + "/baseline.json"
+	benchPath := dir + "/bench.txt"
+	writeFile(t, baselinePath, sampleBaseline)
+
+	// At baseline: pass.
+	writeFile(t, benchPath, sampleTiersBench)
+	if err := runTiers(baselinePath, benchPath, "BenchmarkEstimatorTiers", 1.5); err != nil {
+		t.Fatalf("at-baseline tiers run failed: %v", err)
+	}
+	// CS per-delay regression: fail.
+	writeFile(t, benchPath, strings.ReplaceAll(sampleTiersBench, "2.784 µs/delay", "8.000 µs/delay"))
+	if err := runTiers(baselinePath, benchPath, "BenchmarkEstimatorTiers", 1.5); err == nil {
+		t.Fatal("cs per-delay regression passed the guard")
+	}
+	// Speedup floor: a slow-enough qp… actually a fast qp breaks the 5x claim.
+	writeFile(t, benchPath, strings.ReplaceAll(sampleTiersBench, "1360 µs/delay", "10.0 µs/delay"))
+	if err := runTiers(baselinePath, benchPath, "BenchmarkEstimatorTiers", 1.5); err == nil {
+		t.Fatal("sub-5x speedup passed the guard")
+	}
+	// MAE cap: fail when the tiered accuracy drifts past the documented cap.
+	writeFile(t, benchPath, strings.ReplaceAll(sampleTiersBench, "2.517 mae_vs_qp_ms", "12.0 mae_vs_qp_ms"))
+	if err := runTiers(baselinePath, benchPath, "BenchmarkEstimatorTiers", 1.5); err == nil {
+		t.Fatal("over-cap MAE passed the guard")
+	}
+	// Missing tiers block in the baseline: fail loudly.
+	writeFile(t, benchPath, sampleTiersBench)
+	if err := runTiers(dirBaseline(t, dir, `{"baseline":{"results":[]}}`), benchPath, "BenchmarkEstimatorTiers", 1.5); err == nil {
+		t.Fatal("missing tiers baseline accepted")
+	}
+}
+
+func dirBaseline(t *testing.T, dir, content string) string {
+	t.Helper()
+	path := dir + "/alt-baseline.json"
+	writeFile(t, path, content)
+	return path
 }
 
 func writeFile(t *testing.T, path, content string) {

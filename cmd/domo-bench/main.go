@@ -7,9 +7,14 @@
 //	domo-bench -exp fig9 -duration 10m
 //
 // Experiments: table1, fig1, fig6 (or fig6a/fig6b/fig6c), fig7, fig8,
-// fig9, fig10, ablations, all. At the default paper scale (400 nodes,
-// 20 simulated minutes) the full run takes several minutes of wall time;
-// use -nodes/-duration/-sample to shrink it.
+// fig9, fig10, ablations, sparse-anomaly, all. At the default paper scale
+// (400 nodes, 20 simulated minutes) the full run takes several minutes of
+// wall time; use -nodes/-duration/-sample to shrink it.
+//
+// Estimator tiers: -estimator qp|cs|tiered selects the tier every
+// experiment reconstructs with; -compare-tiers runs all three tiers over
+// the simulated and sparse-anomaly workloads and emits a speed-vs-accuracy
+// table in -format json|csv.
 package main
 
 import (
@@ -56,13 +61,16 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig6|fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablations|ext-paths|ext-traffic|ext-failure|all")
-		nodes    = flag.Int("nodes", 400, "network size (including the sink)")
-		duration = flag.Duration("duration", 20*time.Minute, "simulated collection time")
-		period   = flag.Duration("period", 30*time.Second, "per-node data generation period")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		sample   = flag.Int("sample", 600, "bound-solver sample size (0 = all unknowns)")
-		workers  = flag.Int("workers", runtime.NumCPU(), "bound-solver and estimation-window goroutines (results identical for any count)")
+		exp       = flag.String("exp", "all", "experiment: table1|fig1|fig6|fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablations|ext-paths|ext-traffic|ext-failure|sparse-anomaly|all")
+		nodes     = flag.Int("nodes", 400, "network size (including the sink)")
+		duration  = flag.Duration("duration", 20*time.Minute, "simulated collection time")
+		period    = flag.Duration("period", 30*time.Second, "per-node data generation period")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		sample    = flag.Int("sample", 600, "bound-solver sample size (0 = all unknowns)")
+		workers   = flag.Int("workers", runtime.NumCPU(), "bound-solver and estimation-window goroutines (results identical for any count)")
+		estimator = flag.String("estimator", "", `estimation tier for every experiment: "qp" (default), "cs", "tiered"`)
+		cmpTiers  = flag.Bool("compare-tiers", false, "run all estimator tiers over the simulated and sparse-anomaly workloads and emit a speed-vs-accuracy table")
+		format    = flag.String("format", "json", "machine-readable output format for -compare-tiers: json|csv")
 	)
 	flag.Parse()
 
@@ -73,9 +81,18 @@ func run() error {
 		Seed:        *seed,
 		BoundSample: *sample,
 		Workers:     *workers,
+		Estimator:   *estimator,
 	}
 	w := os.Stdout
 	start := time.Now()
+
+	if *cmpTiers {
+		if _, err := experiments.RunCompareTiers(s, w, *format); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "total wall time: %v\n", time.Since(start))
+		return nil
+	}
 
 	needBundle := map[string]bool{"fig6": true, "fig6a": true, "fig6b": true, "fig6c": true, "all": true}
 	var bundle *experiments.Bundle
@@ -142,13 +159,16 @@ func run() error {
 		case "ext-failure":
 			_, err := experiments.RunExtFailure(s, w)
 			return err
+		case "sparse-anomaly":
+			_, err := experiments.RunSparseAnomaly(s, w)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "ext-paths", "ext-traffic", "ext-failure"} {
+		for _, name := range []string{"table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "ext-paths", "ext-traffic", "ext-failure", "sparse-anomaly"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

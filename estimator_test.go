@@ -1,0 +1,109 @@
+package domo
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// An unknown Estimator string must be rejected as bad input by every
+// entry point that reads it, before any work is done.
+func TestUnknownEstimatorRejected(t *testing.T) {
+	tr := headlineTrace(t)
+	if _, err := Estimate(tr, Config{Estimator: "omp"}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("Estimate with unknown estimator: %v, want ErrBadInput", err)
+	}
+	if _, err := EstimateCtx(context.Background(), tr, Config{Estimator: "omp"}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("EstimateCtx with unknown estimator: %v, want ErrBadInput", err)
+	}
+	cfg := StreamConfig{NumNodes: 10, Estimation: Config{Estimator: "omp"}}
+	if _, err := OpenStream(context.Background(), cfg); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("OpenStream with unknown estimator: %v, want ErrBadInput", err)
+	}
+}
+
+// The zero-value Config must never enter the CS code path: its stats show
+// zero CS activity and every window stays on the QP tier, keeping default
+// output bit-identical to the pre-tier estimator.
+func TestDefaultConfigStaysOnQPTier(t *testing.T) {
+	tr := headlineTrace(t)
+	rec, err := Estimate(tr, Config{WindowPackets: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rec.Stats()
+	if st.CSWindows != 0 || st.EscalatedWindows != 0 {
+		t.Fatalf("default config ran CS: cs=%d escalated=%d", st.CSWindows, st.EscalatedWindows)
+	}
+	for _, ws := range st.PerWindow {
+		if ws.Tier != "qp" || ws.Escalated || ws.CSResidual != 0 {
+			t.Fatalf("window %d: tier=%q escalated=%v residual=%g, want untouched qp",
+				ws.Index, ws.Tier, ws.Escalated, ws.CSResidual)
+		}
+	}
+}
+
+// The explicit estimator names must all resolve and produce a full
+// reconstruction through the facade, with coherent tier accounting.
+func TestEstimatorNamesResolve(t *testing.T) {
+	tr := headlineTrace(t)
+	for _, name := range []string{"", "qp", "cs", "tiered"} {
+		rec, err := Estimate(tr, Config{WindowPackets: 24, Estimator: name})
+		if err != nil {
+			t.Fatalf("estimator %q: %v", name, err)
+		}
+		st := rec.Stats()
+		if st.Windows == 0 {
+			t.Fatalf("estimator %q solved no windows", name)
+		}
+		switch name {
+		case "", "qp":
+			if st.CSWindows != 0 {
+				t.Fatalf("estimator %q ran CS windows: %d", name, st.CSWindows)
+			}
+		case "cs":
+			if st.CSWindows != st.Windows {
+				t.Fatalf("cs estimator: %d/%d windows on the CS tier", st.CSWindows, st.Windows)
+			}
+		case "tiered":
+			if st.CSWindows+st.EscalatedWindows != st.Windows {
+				t.Fatalf("tiered accounting: cs %d + escalated %d != windows %d",
+					st.CSWindows, st.EscalatedWindows, st.Windows)
+			}
+		}
+	}
+}
+
+// The tiered estimator must stay deterministic across worker counts at
+// the facade level, tier decisions included.
+func TestTieredFacadeDeterministic(t *testing.T) {
+	tr := headlineTrace(t)
+	ref, err := Estimate(tr, Config{WindowPackets: 24, Estimator: "tiered", EstimateWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Estimate(tr, Config{WindowPackets: 24, Estimator: "tiered", EstimateWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.Packets() {
+		want, err := ref.Arrivals(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rec.Arrivals(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for hop := range want {
+			if got[hop] != want[hop] {
+				t.Fatalf("packet %v hop %d: %v != %v", id, hop, got[hop], want[hop])
+			}
+		}
+	}
+	st, rst := rec.Stats(), ref.Stats()
+	if st.CSWindows != rst.CSWindows || st.EscalatedWindows != rst.EscalatedWindows {
+		t.Fatalf("tier counters diverge across workers: (%d,%d) != (%d,%d)",
+			st.CSWindows, st.EscalatedWindows, rst.CSWindows, rst.EscalatedWindows)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+func absDiff(a, b sim.Time) sim.Time {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// The pure-CS estimator must mark every window as CS tier, and its output
+// must still honor the hard per-packet invariants (endpoint passthrough,
+// ω-ordered interior arrivals).
+func TestCSTierSolvesEveryWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		tr := syntheticRelayTrace(rng)
+		d, err := NewDataset(tr, Config{Estimator: EstimatorCS, WindowPackets: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Estimate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Stats.CSWindows != est.Stats.Windows {
+			t.Fatalf("trial %d: %d CS windows of %d", trial, est.Stats.CSWindows, est.Stats.Windows)
+		}
+		if est.Stats.EscalatedWindows != 0 {
+			t.Fatalf("trial %d: pure CS mode escalated %d windows", trial, est.Stats.EscalatedWindows)
+		}
+		for _, ws := range est.Stats.PerWindow {
+			if ws.Tier != TierCS {
+				t.Fatalf("trial %d: window %d tier %q", trial, ws.Index, ws.Tier)
+			}
+		}
+		for _, r := range tr.Records {
+			arr, err := est.Arrivals(r.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Endpoints round-trip through solver milliseconds, so compare
+			// with the same tolerance the QP property tests use.
+			const tol = 10 * time.Microsecond
+			if absDiff(arr[0], r.GenTime) > tol || absDiff(arr[len(arr)-1], r.SinkArrival) > tol {
+				t.Fatalf("trial %d: packet %v endpoints not passed through: %v", trial, r.ID, arr)
+			}
+			for hop := 1; hop < len(arr); hop++ {
+				if arr[hop] < arr[hop-1]-100*time.Microsecond {
+					t.Fatalf("trial %d: packet %v arrivals out of order: %v", trial, r.ID, arr)
+				}
+			}
+		}
+	}
+}
+
+// Property: every window the tiered estimator accepts from the CS pass
+// (Tier == "cs": residual under the gate) must agree with the full QP
+// solution on that window's kept records to within the documented
+// tolerance. This is the accuracy contract of the residual gate.
+func TestTieredAcceptedWindowsCloseToQP(t *testing.T) {
+	const tolMS = 25.0 // documented CS-vs-QP tolerance on accepted windows
+	rng := rand.New(rand.NewSource(17))
+	accepted := 0
+	for trial := 0; trial < 15; trial++ {
+		tr := syntheticRelayTrace(rng)
+		cfg := Config{WindowPackets: 8}
+		dQP, err := NewDataset(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Estimate(dQP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Estimator = EstimatorTiered
+		dT, err := NewDataset(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Estimate(dT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Stats.CSWindows+est.Stats.EscalatedWindows != est.Stats.Windows {
+			t.Fatalf("trial %d: tier accounting broken: %+v", trial, est.Stats)
+		}
+		for _, ws := range est.Stats.PerWindow {
+			if ws.Tier != TierCS {
+				continue
+			}
+			accepted++
+			for ri := ws.KeepLo; ri < ws.KeepHi; ri++ {
+				r := dT.records[ri]
+				got, err := est.Arrivals(r.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := ref.Arrivals(r.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for hop := 1; hop < len(got)-1; hop++ {
+					diff := math.Abs(toMS(got[hop]) - toMS(want[hop]))
+					if diff > tolMS {
+						t.Errorf("trial %d window %d packet %v hop %d: CS %v vs QP %v (|Δ| %.2fms > %.0fms)",
+							trial, ws.Index, r.ID, hop, got[hop], want[hop], diff, tolMS)
+					}
+				}
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("gate accepted no windows across all trials; property vacuous")
+	}
+}
+
+// Tiered mode must stay bit-identical for every worker count, like the QP
+// estimator: the CS pass reads only the dataset (never the snapshot), so
+// worker scheduling cannot leak into results.
+func TestTieredDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 5; trial++ {
+		tr := syntheticRelayTrace(rng)
+		mk := func(workers int) *Estimates {
+			d, err := NewDataset(tr, Config{Estimator: EstimatorTiered, WindowPackets: 6, EstimateWorkers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := Estimate(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return est
+		}
+		ref := mk(1)
+		for _, workers := range []int{2, 4} {
+			est := mk(workers)
+			for i, v := range est.values {
+				if v != ref.values[i] {
+					t.Fatalf("trial %d workers=%d: unknown %d = %v, want %v", trial, workers, i, v, ref.values[i])
+				}
+			}
+			if est.Stats.CSWindows != ref.Stats.CSWindows || est.Stats.EscalatedWindows != ref.Stats.EscalatedWindows {
+				t.Fatalf("trial %d workers=%d: tier counters (%d,%d) want (%d,%d)", trial, workers,
+					est.Stats.CSWindows, est.Stats.EscalatedWindows, ref.Stats.CSWindows, ref.Stats.EscalatedWindows)
+			}
+			for i, ws := range est.Stats.PerWindow {
+				if ws.Tier != ref.Stats.PerWindow[i].Tier || ws.Escalated != ref.Stats.PerWindow[i].Escalated {
+					t.Fatalf("trial %d workers=%d: window %d tier %q/%v, want %q/%v", trial, workers, i,
+						ws.Tier, ws.Escalated, ref.Stats.PerWindow[i].Tier, ref.Stats.PerWindow[i].Escalated)
+				}
+			}
+		}
+	}
+}
+
+// The default configuration must never enter the CS code path: zero CS
+// windows, zero escalations, every window tagged "qp".
+func TestDefaultEstimatorNeverRunsCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := syntheticRelayTrace(rng)
+	d, err := NewDataset(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Stats.CSWindows != 0 || est.Stats.EscalatedWindows != 0 {
+		t.Fatalf("default config ran CS: %+v", est.Stats)
+	}
+	for _, ws := range est.Stats.PerWindow {
+		if ws.Tier != TierQP || ws.Escalated || ws.CSResidual != 0 {
+			t.Fatalf("default config window %d: %+v", ws.Index, ws)
+		}
+	}
+}
+
+// A trace of two-hop paths has no interior unknowns at all: every CS
+// window is empty and must be accepted trivially, not crash.
+func TestCSTierZeroUnknownWindows(t *testing.T) {
+	var records []*trace.Record
+	for i := 0; i < 20; i++ {
+		gen := sim.Time(i*50) * time.Millisecond
+		sink := gen + 7*time.Millisecond
+		records = append(records, &trace.Record{
+			ID:          trace.PacketID{Source: radio.NodeID(1 + i%3), Seq: uint32(1 + i/3)},
+			Path:        []radio.NodeID{radio.NodeID(1 + i%3), 0},
+			GenTime:     gen,
+			SinkArrival: sink,
+			SumDelays:   7 * time.Millisecond,
+		})
+	}
+	tr := &trace.Trace{NumNodes: 4, Duration: 2 * time.Second, Records: records}
+	tr.SortBySinkArrival()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []EstimatorKind{EstimatorCS, EstimatorTiered} {
+		d, err := NewDataset(tr, Config{Estimator: kind, WindowPackets: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Estimate(d)
+		if err != nil {
+			t.Fatalf("estimator %v: %v", kind, err)
+		}
+		if est.Stats.CSWindows != est.Stats.Windows || est.Stats.EscalatedWindows != 0 {
+			t.Fatalf("estimator %v: empty windows not accepted: %+v", kind, est.Stats)
+		}
+	}
+}
+
+// Rank-deficient incidence — every record crosses the same relay chain, so
+// the per-node columns are linearly dependent — must still solve (ridge)
+// or escalate, never panic or return non-finite times.
+func TestCSTierRankDeficientIncidence(t *testing.T) {
+	// All packets share the identical 4-hop path 5→4→3→0: the three
+	// non-sink columns appear with identical patterns in every path row.
+	var records []*trace.Record
+	for i := 0; i < 16; i++ {
+		gen := sim.Time(i*40) * time.Millisecond
+		sink := gen + sim.Time(12+i%5)*time.Millisecond
+		records = append(records, &trace.Record{
+			ID:          trace.PacketID{Source: 5, Seq: uint32(i + 1)},
+			Path:        []radio.NodeID{5, 4, 3, 0},
+			GenTime:     gen,
+			SinkArrival: sink,
+			SumDelays:   4 * time.Millisecond,
+		})
+	}
+	tr := &trace.Trace{NumNodes: 6, Duration: 2 * time.Second, Records: records}
+	tr.SortBySinkArrival()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDataset(tr, Config{Estimator: EstimatorCS, WindowPackets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Records {
+		arr, err := est.Arrivals(r.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for hop := 1; hop < len(arr); hop++ {
+			if arr[hop] < arr[hop-1] {
+				t.Fatalf("packet %v out of order: %v", r.ID, arr)
+			}
+			if arr[hop] < 0 || arr[hop] > 10*sim.Time(time.Second) {
+				t.Fatalf("packet %v non-sane arrival: %v", r.ID, arr)
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/domo-net/domo/internal/cs"
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sparse"
+)
+
+// EstimatorKind selects the per-window estimator tier.
+type EstimatorKind int
+
+const (
+	// EstimatorQP (the zero value) runs the full Eq. 5–8 QP ladder —
+	// solve, retry with a heavier anchor, degrade to order projection —
+	// on every window. This is the pre-CS behavior, bit for bit.
+	EstimatorQP EstimatorKind = iota
+	// EstimatorCS runs the compressed-sensing pass on every window and
+	// always keeps its output (windows whose CS solve fails outright
+	// degrade to order projection, like a twice-failed QP).
+	EstimatorCS
+	// EstimatorTiered runs the CS pass first and escalates windows whose
+	// normalized residual exceeds Config.CSGate to the full QP ladder.
+	EstimatorTiered
+)
+
+// Tier labels recorded in WindowStat.Tier.
+const (
+	TierQP = "qp"
+	TierCS = "cs"
+)
+
+// csScratch is the per-worker reusable scratch of the compressed-sensing
+// window pass, embedded in solveWorkspace.
+type csScratch struct {
+	omp     cs.Workspace
+	builder sparse.Builder
+	colOf   map[radio.NodeID]int
+	cols    []radio.NodeID
+	entries []sparse.Entry
+	b       []float64
+	medBuf  []float64
+	delays  []float64
+}
+
+// estimateWindowCS solves one window with the compressed-sensing tier.
+//
+// Model: per-hop delays in the window are a shared scalar baseline plus a
+// sparse per-node deviation — the sparse-anomaly regime of Nakanishi et
+// al. and FRANTIC, where a few congested nodes carry all the excess
+// delay. The baseline is the window's median per-hop delay (total
+// end-to-end delay over hop count, floored at ω); the unknowns are one
+// deviation per node appearing on a window record's path. Measurement
+// rows are
+//
+//   - per record p: Σ_{nodes on path} dev = (sink − gen) − H·base, and
+//   - per S(p) relation: Σ_{star passages} dev + ½·Σ_{maybe passages} dev
+//     = S(p) − (|star| + ½|maybe|)·base,
+//
+// both of which are exact when every node sits on baseline, so the OMP
+// residual directly measures how non-sparse the window's deviations are.
+// Recovered per-record delays (base + dev, floored at ω) are rescaled
+// above the ω floor to meet each record's exact end-to-end total and
+// integrated into arrival times for the kept region, then re-projected
+// onto the ω order chain for numerical safety.
+//
+// The pass reads only the dataset (records, sumInfos, config) — not the
+// batch snapshot — and writes only the kept region of dst, so it is
+// bit-identical for any worker count and any batch schedule. It returns
+// whether the residual gate accepted the window; output is written when
+// accepted or when commitAlways is set (the pure-CS estimator). A non-nil
+// error means the solve itself failed (panic or degenerate system) and
+// nothing was written.
+func estimateWindowCS(d *Dataset, dst []float64, sp windowSpan, ws *solveWorkspace, st *WindowStat, commitAlways bool) (accepted bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			accepted = false
+			err = fmt.Errorf("window [%d,%d) CS solver panic: %v", sp.Start, sp.End, r)
+		}
+	}()
+	varLo, varHi := d.recVarStart[sp.Start], d.recVarStart[sp.End]
+	st.Unknowns = varHi - varLo
+	if varHi == varLo {
+		return true, nil // nothing to estimate in this window
+	}
+	c := &ws.cs
+	omega := toMS(d.cfg.Omega)
+
+	// Column set: every non-sink node on a window record's path, in
+	// ascending node-id order so the system (and the OMP tie-breaks) are
+	// independent of record order.
+	if c.colOf == nil {
+		c.colOf = make(map[radio.NodeID]int)
+	}
+	clear(c.colOf)
+	c.cols = c.cols[:0]
+	for ri := sp.Start; ri < sp.End; ri++ {
+		r := d.records[ri]
+		for hop := 0; hop < r.Hops()-1; hop++ {
+			n := r.Path[hop]
+			if _, ok := c.colOf[n]; !ok {
+				c.colOf[n] = 0
+				c.cols = append(c.cols, n)
+			}
+		}
+	}
+	sort.Slice(c.cols, func(i, j int) bool { return c.cols[i] < c.cols[j] })
+	for j, n := range c.cols {
+		c.colOf[n] = j
+	}
+	nCols := len(c.cols)
+
+	// Baseline: median per-hop delay across the window's records.
+	c.medBuf = c.medBuf[:0]
+	for ri := sp.Start; ri < sp.End; ri++ {
+		r := d.records[ri]
+		c.medBuf = append(c.medBuf, (toMS(r.SinkArrival)-toMS(r.GenTime))/float64(r.Hops()-1))
+	}
+	sort.Float64s(c.medBuf)
+	base := c.medBuf[len(c.medBuf)/2]
+	if base < omega {
+		base = omega
+	}
+
+	// Measurement rows.
+	c.entries = c.entries[:0]
+	c.b = c.b[:0]
+	row := 0
+	flushRow := func(rhs float64) {
+		if len(ws.coeffIdx) == 0 {
+			return
+		}
+		for _, l := range ws.coeffIdx {
+			c.entries = append(c.entries, sparse.Entry{Row: row, Col: l, Value: ws.coeffVal[l]})
+		}
+		c.b = append(c.b, rhs)
+		row++
+	}
+	for ri := sp.Start; ri < sp.End; ri++ {
+		r := d.records[ri]
+		h := r.Hops() - 1
+		ws.accumReset(nCols)
+		for hop := 0; hop < h; hop++ {
+			ws.accumAdd(c.colOf[r.Path[hop]], 1)
+		}
+		flushRow(toMS(r.SinkArrival) - toMS(r.GenTime) - float64(h)*base)
+	}
+	sLo := sort.Search(len(d.sumInfos), func(i int) bool { return d.sumInfos[i].rec >= sp.Start })
+	for k := sLo; k < len(d.sumInfos) && d.sumInfos[k].rec < sp.End; k++ {
+		si := &d.sumInfos[k]
+		ws.accumReset(nCols)
+		weight := 0.0
+		for _, hk := range si.starPass {
+			ws.accumAdd(c.colOf[d.records[hk.rec].Path[hk.hop]], 1)
+			weight++
+		}
+		for _, hk := range si.maybePass {
+			ws.accumAdd(c.colOf[d.records[hk.rec].Path[hk.hop]], 0.5)
+			weight += 0.5
+		}
+		flushRow(si.s - weight*base)
+	}
+
+	a, err := c.builder.Build(row, nCols, c.entries)
+	if err != nil {
+		return false, fmt.Errorf("window [%d,%d) CS incidence: %w", sp.Start, sp.End, err)
+	}
+	res, err := cs.SolveOMPWS(a, c.b, cs.Options{MaxSparsity: d.cfg.CSMaxSparsity}, &c.omp)
+	if err != nil {
+		return false, fmt.Errorf("window [%d,%d) CS solve: %w", sp.Start, sp.End, err)
+	}
+
+	// Hybrid residual gate: an absolute floor admits calm windows whose
+	// measurement RMS is itself tiny (everything on baseline, rhs near
+	// zero, so any relative test would be noise), the relative gate
+	// admits sparse-anomaly windows the deviations explain.
+	floorMS := 3 * toMS(d.cfg.QuantizeSlack)
+	if floorMS < 3 {
+		floorMS = 3
+	}
+	norm := 0.0
+	if res.InputRMS > 1e-12 {
+		norm = res.ResidualRMS / res.InputRMS
+	}
+	st.CSResidual = norm
+	accepted = res.ResidualRMS <= floorMS || norm <= d.cfg.CSGate
+	if !accepted && !commitAlways {
+		return false, nil
+	}
+
+	// Reconstruction: per-record delays base+dev floored at ω, rescaled
+	// above the floor to meet the exact end-to-end total, integrated into
+	// the kept arrival times.
+	for ri := sp.KeepLo; ri < sp.KeepHi; ri++ {
+		r := d.records[ri]
+		h := r.Hops() - 1
+		if h < 2 {
+			continue // no interior unknowns
+		}
+		c.delays = c.delays[:0]
+		sum := 0.0
+		for hop := 0; hop < h; hop++ {
+			dly := base + res.X[c.colOf[r.Path[hop]]]
+			if dly < omega {
+				dly = omega
+			}
+			c.delays = append(c.delays, dly)
+			sum += dly
+		}
+		total := toMS(r.SinkArrival) - toMS(r.GenTime)
+		target := total - float64(h)*omega
+		cur := sum - float64(h)*omega
+		if target <= 0 || cur <= 1e-12 {
+			// Degenerate: the total leaves no room above the ω chain (or
+			// every hop sat exactly on it). Spread evenly; the order
+			// projection below restores feasibility.
+			for i := range c.delays {
+				c.delays[i] = total / float64(h)
+			}
+		} else {
+			f := target / cur
+			for i := range c.delays {
+				c.delays[i] = omega + (c.delays[i]-omega)*f
+			}
+		}
+		t := toMS(r.GenTime)
+		g := d.recVarStart[ri]
+		for hop := 1; hop <= h-1; hop++ {
+			t += c.delays[hop-1]
+			dst[g] = t
+			g++
+		}
+	}
+	projectOrder(d, dst, sp.KeepLo, sp.KeepHi)
+	return accepted, nil
+}

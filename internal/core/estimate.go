@@ -57,7 +57,13 @@ type EstimateStats struct {
 	// (primal iterate and duals) carried from their batch-boundary
 	// predecessor window.
 	WarmStartedWindows int
-	WallTime           time.Duration
+	// CSWindows counts windows whose kept estimates came from the
+	// compressed-sensing tier (zero unless Config.Estimator selects it).
+	CSWindows int
+	// EscalatedWindows counts tiered-mode windows whose CS residual
+	// failed the gate and were re-solved by the full QP ladder.
+	EscalatedWindows int
+	WallTime         time.Duration
 	// PerWindow records one entry per completed window, in window order,
 	// for observability: where each window sat, how hard the solver worked,
 	// and whether fault isolation had to retry or degrade it.
@@ -86,6 +92,16 @@ type WindowStat struct {
 	Degraded    bool // both attempts failed, fell back to projection
 	// Cause holds the first failure message when Retried or Degraded.
 	Cause string
+	// Tier names the estimator tier that produced the window's kept
+	// estimates: TierQP ("qp", the full QP ladder) or TierCS ("cs", the
+	// compressed-sensing pass).
+	Tier string
+	// Escalated marks tiered-mode windows whose CS residual failed the
+	// gate; the window was re-solved by the full QP ladder.
+	Escalated bool
+	// CSResidual is the CS pass's normalized residual (residual RMS over
+	// measurement RMS), recorded whenever the CS tier ran on the window.
+	CSResidual float64
 }
 
 // Arrivals returns the full reconstructed arrival-time vector
@@ -457,6 +473,12 @@ func (est *Estimates) mergeWindowStat(st WindowStat) {
 	if st.WarmStarted {
 		est.Stats.WarmStartedWindows++
 	}
+	if st.Tier == TierCS {
+		est.Stats.CSWindows++
+	}
+	if st.Escalated {
+		est.Stats.EscalatedWindows++
+	}
 	est.Stats.PrunedRows += st.PrunedRows
 	est.Stats.PerWindow = append(est.Stats.PerWindow, st)
 }
@@ -467,8 +489,36 @@ func (est *Estimates) mergeWindowStat(st WindowStat) {
 // returned stat describes what happened; the error is non-nil only for
 // context cancellation, every other failure degrades the window in place.
 func solveWindow(ctx context.Context, d *Dataset, snapshot, dst []float64, idx int, sp windowSpan, ws *solveWorkspace, run *runState) (WindowStat, error) {
-	st := WindowStat{Index: idx, Start: sp.Start, End: sp.End, KeepLo: sp.KeepLo, KeepHi: sp.KeepHi}
+	st := WindowStat{Index: idx, Start: sp.Start, End: sp.End, KeepLo: sp.KeepLo, KeepHi: sp.KeepHi, Tier: TierQP}
 	begin := time.Now()
+
+	// Compressed-sensing tier: try the cheap sparse-deviation solve
+	// first. In tiered mode a gate failure escalates to the QP ladder
+	// below; in pure-CS mode the CS output is always kept and only an
+	// outright solve failure degrades the window.
+	if kind := d.cfg.Estimator; kind == EstimatorCS || kind == EstimatorTiered {
+		accepted, cserr := estimateWindowCS(d, dst, sp, ws, &st, kind == EstimatorCS)
+		switch {
+		case cserr == nil && (accepted || kind == EstimatorCS):
+			st.Tier = TierCS
+			st.SolveTime = time.Since(begin)
+			return st, nil
+		case kind == EstimatorCS:
+			// The CS solve itself failed: degrade like a twice-failed QP
+			// window instead of silently switching tiers.
+			st.Tier = TierCS
+			st.Degraded = true
+			st.Cause = cserr.Error()
+			projectOrder(d, dst, sp.KeepLo, sp.KeepHi)
+			st.SolveTime = time.Since(begin)
+			return st, nil
+		default:
+			// Tiered: the gate rejected the window (or the CS solve
+			// failed); fall through to the full QP ladder.
+			st.Escalated = true
+		}
+	}
+
 	err := estimateWindowSafe(ctx, d, snapshot, dst, sp, 1, 0, ws, &st, run)
 	if err != nil && !isCtxErr(err) {
 		// First line of defense: one retry with a heavier Tikhonov anchor,
@@ -630,6 +680,9 @@ type solveWorkspace struct {
 	// Soft-sum objective term scratch.
 	sumRefs []varRef
 	sumCs   []float64
+
+	// Compressed-sensing tier scratch (estimateWindowCS).
+	cs csScratch
 }
 
 // accumReset begins a new coefficient fold over n local variables.

@@ -96,6 +96,20 @@ type Config struct {
 	// runtime.NumCPU() for batch runs.
 	EstimateWorkers int
 
+	// Estimator selects the per-window estimator tier. The zero value
+	// (EstimatorQP) runs the full Eq. 5–8 QP on every window, exactly as
+	// before the compressed-sensing tier existed.
+	Estimator EstimatorKind
+	// CSGate is the normalized-residual acceptance gate of the tiered
+	// estimator: a window's CS solution is kept when its measurement
+	// residual RMS is at most CSGate × the measurement RMS (or under a
+	// small absolute floor tied to QuantizeSlack, whichever admits it);
+	// otherwise the window escalates to the full QP. Default 0.35.
+	CSGate float64
+	// CSMaxSparsity caps the OMP atom count (distinct anomalous nodes
+	// recovered) per window in the CS tier. Default 8.
+	CSMaxSparsity int
+
 	// EnableSDR turns on the semidefinite-relaxation seeding stage for
 	// windows with at most SDRMaxUnknowns unknowns. Default off: the
 	// order-refined QP alone matches the relaxation's accuracy at a
@@ -177,6 +191,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EstimateWorkers <= 0 {
 		c.EstimateWorkers = 1
+	}
+	if c.CSGate <= 0 {
+		c.CSGate = 0.35
+	}
+	if c.CSMaxSparsity <= 0 {
+		c.CSMaxSparsity = 8
 	}
 	if c.SDRMaxUnknowns <= 0 {
 		c.SDRMaxUnknowns = 40
@@ -284,11 +304,18 @@ type Dataset struct {
 // sumInfo decomposes one packet's sum-of-delays relation: star holds the
 // guaranteed contributions (D of p itself plus C*), maybe holds the
 // possible-but-unconfirmed ones (C \ C*), and s is the recorded S(p).
+// starPass/maybePass carry the same contributions as passage identities
+// (record, hop) — one per per-hop delay D in star/maybe — so the
+// compressed-sensing tier can re-aggregate the relation per *node*
+// (the node of passage hk is records[hk.rec].Path[hk.hop]) without
+// touching arrival-time unknowns.
 type sumInfo struct {
-	rec   int
-	star  []linTerm
-	maybe []linTerm
-	s     float64
+	rec       int
+	star      []linTerm
+	maybe     []linTerm
+	starPass  []hopKey
+	maybePass []hopKey
+	s         float64
 }
 
 // toMS converts a simulated time to solver milliseconds.
@@ -474,7 +501,9 @@ func (d *Dataset) buildSumConstraints(ctx context.Context) error {
 
 		// D_{N0(p)}(p) = t_1(p) - t_0(p).
 		terms := d.nodeDelayTerms(ri, 0)
+		starPass := []hopKey{{rec: ri, hop: 0}}
 		var maybeTerms []linTerm
+		var maybePass []hopKey
 		lastRec := -1
 		for _, hk := range d.nodePassages[src] {
 			xi := hk.rec
@@ -491,16 +520,20 @@ func (d *Dataset) buildSumConstraints(ctx context.Context) error {
 			switch {
 			case inStar:
 				terms = append(terms, d.nodeDelayTerms(xi, hk.hop)...)
+				starPass = append(starPass, hk)
 			case inC:
 				maybeTerms = append(maybeTerms, d.nodeDelayTerms(xi, hk.hop)...)
+				maybePass = append(maybePass, hk)
 			}
 		}
 		s := toMS(r.SumDelays)
 		d.sumInfos = append(d.sumInfos, sumInfo{
-			rec:   ri,
-			star:  append([]linTerm(nil), terms...),
-			maybe: maybeTerms,
-			s:     s,
+			rec:       ri,
+			star:      append([]linTerm(nil), terms...),
+			maybe:     maybeTerms,
+			starPass:  starPass,
+			maybePass: maybePass,
+			s:         s,
 		})
 		slack := toMS(d.cfg.QuantizeSlack)
 		// Eq. 7: Σ delays(C* ∪ {p}) ≤ S(p) + slack. Sound under loss.

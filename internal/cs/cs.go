@@ -1,0 +1,304 @@
+// Package cs implements the compressed-sensing fast-estimator tier: an
+// Orthogonal Matching Pursuit (OMP) sparse solver over the per-window
+// path-incidence system assembled by internal/core.
+//
+// The model is the sparse-anomaly regime from Nakanishi et al.
+// ("Synchronization-Free Delay Tomography Based on Compressed Sensing")
+// and FRANTIC's reference-based recovery: per-hop delays are a dense
+// baseline plus a sparse deviation vector — a few congested nodes, the
+// rest near baseline. Recovering only the deviations needs far fewer
+// atoms than unknowns, so each window solves in a handful of small dense
+// least-squares problems instead of a full ADMM QP.
+//
+// The solver is deliberately generic: it takes any sparse.CSR measurement
+// matrix and right-hand side. internal/core owns the tomography-specific
+// assembly (baseline choice, incidence rows, reconstruction) and the
+// residual gate that decides whether a window's CS answer is trusted or
+// escalated to the full QP.
+package cs
+
+import (
+	"errors"
+	"math"
+
+	"github.com/domo-net/domo/internal/mat"
+	"github.com/domo-net/domo/internal/sparse"
+)
+
+// ErrDimensionMismatch reports a right-hand side whose length differs from
+// the measurement matrix's row count.
+var ErrDimensionMismatch = errors.New("cs: rhs length does not match matrix rows")
+
+// DefaultMaxSparsity bounds the OMP support size when Options.MaxSparsity
+// is zero. Eight atoms covers "a few congested nodes" with headroom while
+// keeping the per-iteration dense solve trivially small.
+const DefaultMaxSparsity = 8
+
+// DefaultRidge is the Tikhonov term added to the support Gram diagonal
+// when Options.Ridge is zero. It keeps near-collinear supports (shared
+// path segments produce correlated columns) numerically factorizable
+// without visibly biasing the solution.
+const DefaultRidge = 1e-8
+
+// Options tunes one OMP solve. The zero value is usable.
+type Options struct {
+	// MaxSparsity caps the number of selected atoms. 0 means
+	// DefaultMaxSparsity; negative means no atoms at all (the solve
+	// returns the zero vector and the input residual).
+	MaxSparsity int
+	// TolRMS stops atom selection once the residual RMS drops to or below
+	// this absolute threshold. 0 disables the early stop.
+	TolRMS float64
+	// Ridge is the relative Tikhonov term added to the support Gram
+	// diagonal. 0 means DefaultRidge; negative disables regularization
+	// entirely (rank-deficient supports then fail Cholesky and stop
+	// selection with Result.RankDeficient set).
+	Ridge float64
+	// MinGainFrac stops selection when an accepted atom improves the
+	// residual RMS by less than this fraction of the previous RMS.
+	// 0 means 1e-6.
+	MinGainFrac float64
+}
+
+// Result reports one OMP solve.
+type Result struct {
+	// X is the dense solution; entries off Support are exactly zero.
+	X []float64
+	// Support lists the selected columns in selection order.
+	Support []int
+	// Iterations counts accepted atoms (== len(Support) unless the last
+	// atom was rolled back on a rank-deficient Gram).
+	Iterations int
+	// ResidualRMS is sqrt(mean((b - A·x)²)) over the measurement rows.
+	ResidualRMS float64
+	// InputRMS is sqrt(mean(b²)); the gate normalizes ResidualRMS by it.
+	InputRMS float64
+	// RankDeficient marks solves whose atom selection stopped because the
+	// support Gram was not positive definite (the offending atom is
+	// dropped and the previous solution kept).
+	RankDeficient bool
+}
+
+// Workspace holds reusable scratch for SolveOMPWS so steady-state solves
+// allocate nothing. The zero value is ready to use; a Workspace must not
+// be shared between concurrent solves.
+type Workspace struct {
+	r, corr, ax []float64
+	colNorm     []float64
+	inSupport   []bool
+	rowSup      []float64
+	rowPos      []int
+	supOf       []int // column -> support position + 1, 0 = not selected
+	gram        mat.Matrix
+	rhs         []float64
+	chol        mat.Cholesky
+	x           []float64
+}
+
+// SolveOMP runs orthogonal matching pursuit on A·x ≈ b with a freshly
+// allocated workspace. See SolveOMPWS.
+func SolveOMP(a *sparse.CSR, b []float64, opts Options) (Result, error) {
+	var ws Workspace
+	return SolveOMPWS(a, b, opts, &ws)
+}
+
+// SolveOMPWS runs orthogonal matching pursuit: it greedily selects the
+// column with the largest normalized residual correlation, re-solves the
+// dense least-squares problem restricted to the selected support (via a
+// ridge-stabilized Cholesky of the support Gram), and repeats until the
+// sparsity cap, the residual tolerance, or a no-further-gain condition is
+// hit. The returned solution is exactly sparse: zero off the support.
+//
+// The solve is fully deterministic — correlation ties break toward the
+// lowest column index — so callers running one solve per window on many
+// workers get bit-identical results for any worker count.
+func SolveOMPWS(a *sparse.CSR, b []float64, opts Options, ws *Workspace) (Result, error) {
+	rows, cols := a.Rows(), a.Cols()
+	if len(b) != rows {
+		return Result{}, ErrDimensionMismatch
+	}
+	maxK := opts.MaxSparsity
+	switch {
+	case maxK == 0:
+		maxK = DefaultMaxSparsity
+	case maxK < 0:
+		maxK = 0
+	}
+	if maxK > cols {
+		maxK = cols
+	}
+	ridge := opts.Ridge
+	if ridge == 0 {
+		ridge = DefaultRidge
+	}
+	minGain := opts.MinGainFrac
+	if minGain <= 0 {
+		minGain = 1e-6
+	}
+
+	ws.x = resize(ws.x, cols)
+	res := Result{X: ws.x, InputRMS: rms(b)}
+	ws.r = resize(ws.r, rows)
+	copy(ws.r, b)
+	res.ResidualRMS = res.InputRMS
+	if rows == 0 || cols == 0 || maxK == 0 || res.InputRMS <= opts.TolRMS {
+		return res, nil
+	}
+
+	// Column 2-norms, for scale-invariant atom selection.
+	ws.colNorm = resize(ws.colNorm, cols)
+	for i := 0; i < rows; i++ {
+		a.RowNNZ(i, func(col int, v float64) {
+			ws.colNorm[col] += v * v
+		})
+	}
+	for j := range ws.colNorm {
+		ws.colNorm[j] = math.Sqrt(ws.colNorm[j])
+	}
+
+	ws.corr = resize(ws.corr, cols)
+	ws.ax = resize(ws.ax, rows)
+	ws.inSupport = resizeBool(ws.inSupport, cols)
+	ws.supOf = resize(ws.supOf, cols)
+	ws.rowSup = resize(ws.rowSup, maxK)[:0]
+	corrVec, resVec := mat.WrapVector(ws.corr), mat.WrapVector(ws.r)
+	support := make([]int, 0, maxK)
+	prevRMS := res.InputRMS
+
+	for len(support) < maxK {
+		// Atom selection: largest |Aᵀr|_j / ‖A_j‖, ties to lowest j.
+		a.MulVecTTo(corrVec, resVec)
+		best, bestScore := -1, 0.0
+		for j := 0; j < cols; j++ {
+			if ws.inSupport[j] || ws.colNorm[j] == 0 {
+				continue
+			}
+			score := math.Abs(ws.corr[j]) / ws.colNorm[j]
+			if score > bestScore {
+				best, bestScore = j, score
+			}
+		}
+		if best < 0 || bestScore <= 1e-12*res.InputRMS {
+			break // residual effectively orthogonal to every free column
+		}
+		support = append(support, best)
+		ws.inSupport[best] = true
+		ws.supOf[best] = len(support)
+
+		if !ws.solveSupport(a, b, support, ridge) {
+			// Non-positive-definite support Gram even after ridge: the new
+			// atom made the support rank deficient. Drop it and keep the
+			// previous solution.
+			ws.supOf[best] = 0
+			ws.inSupport[best] = false
+			support = support[:len(support)-1]
+			res.RankDeficient = true
+			break
+		}
+		for p, j := range support {
+			ws.x[j] = ws.rhs[p]
+		}
+		res.Iterations++
+
+		// Residual r = b - A·x over the current support.
+		a.MulVecTo(mat.WrapVector(ws.ax), mat.WrapVector(ws.x))
+		for i := range ws.r {
+			ws.r[i] = b[i] - ws.ax[i]
+		}
+		cur := rms(ws.r)
+		res.ResidualRMS = cur
+		if cur <= opts.TolRMS {
+			break
+		}
+		if prevRMS-cur < minGain*prevRMS {
+			break // converged: further atoms buy nothing
+		}
+		prevRMS = cur
+	}
+
+	res.Support = support
+	return res, nil
+}
+
+// solveSupport solves the dense least-squares problem restricted to the
+// support columns: (GᵀG + ridge·diag)·z = Aᵀ_S·b, leaving z in ws.rhs.
+// Returns false when the (ridged) Gram is not positive definite.
+func (ws *Workspace) solveSupport(a *sparse.CSR, b []float64, support []int, ridge float64) bool {
+	k := len(support)
+	ws.gram.Reset(k, k)
+	ws.rhs = resize(ws.rhs, k)
+	ws.rowSup = resize(ws.rowSup, k)
+	ws.rowPos = ws.rowPos[:0]
+	rows := a.Rows()
+	for i := 0; i < rows; i++ {
+		ws.rowPos = ws.rowPos[:0]
+		a.RowNNZ(i, func(col int, v float64) {
+			p := ws.supOf[col]
+			if p == 0 {
+				return
+			}
+			if ws.rowSup[p-1] == 0 {
+				ws.rowPos = append(ws.rowPos, p-1)
+			}
+			ws.rowSup[p-1] += v
+		})
+		if len(ws.rowPos) == 0 {
+			continue
+		}
+		bi := b[i]
+		for _, p := range ws.rowPos {
+			vp := ws.rowSup[p]
+			ws.rhs[p] += vp * bi
+			for _, q := range ws.rowPos {
+				ws.gram.Add(p, q, vp*ws.rowSup[q])
+			}
+		}
+		for _, p := range ws.rowPos {
+			ws.rowSup[p] = 0
+		}
+	}
+	if ridge > 0 {
+		for p := 0; p < k; p++ {
+			d := ws.gram.At(p, p)
+			ws.gram.Set(p, p, d+ridge*(1+d))
+		}
+	}
+	if err := ws.chol.Factorize(&ws.gram); err != nil {
+		return false
+	}
+	ws.chol.SolveInPlace(mat.WrapVector(ws.rhs))
+	return true
+}
+
+func rms(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+func resize[T int | float64](s []T, n int) []T {
+	if cap(s) < n {
+		s = make([]T, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}

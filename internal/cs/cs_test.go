@@ -1,0 +1,290 @@
+package cs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/domo-net/domo/internal/sparse"
+)
+
+// denseCSR builds a CSR from a row-major dense matrix, keeping explicit
+// zeros out of the sparsity pattern.
+func denseCSR(t testing.TB, rows, cols int, data []float64) *sparse.CSR {
+	t.Helper()
+	var entries []sparse.Entry
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if v := data[i*cols+j]; v != 0 {
+				entries = append(entries, sparse.Entry{Row: i, Col: j, Value: v})
+			}
+		}
+	}
+	m, err := sparse.NewCSR(rows, cols, entries)
+	if err != nil {
+		t.Fatalf("building CSR: %v", err)
+	}
+	return m
+}
+
+// OMP must recover the exact support and coefficients of a signal that is
+// genuinely sparse in a well-conditioned random dictionary.
+func TestOMPRecoversSparseSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const rows, cols = 80, 40
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	a := denseCSR(t, rows, cols, data)
+
+	want := map[int]float64{3: 2.5, 17: -4.0, 31: 1.25}
+	b := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		for j, c := range want {
+			b[i] += data[i*cols+j] * c
+		}
+	}
+
+	res, err := SolveOMP(a, b, Options{MaxSparsity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Support) != len(want) {
+		t.Fatalf("support %v, want the 3 planted columns", res.Support)
+	}
+	for _, j := range res.Support {
+		c, ok := want[j]
+		if !ok {
+			t.Fatalf("selected column %d not in planted support %v", j, want)
+		}
+		if math.Abs(res.X[j]-c) > 1e-3 {
+			t.Errorf("x[%d] = %g, want %g", j, res.X[j], c)
+		}
+	}
+	for j, v := range res.X {
+		if _, ok := want[j]; !ok && v != 0 {
+			t.Errorf("x[%d] = %g, want exact zero off support", j, v)
+		}
+	}
+	if res.ResidualRMS > 1e-6*res.InputRMS {
+		t.Errorf("residual RMS %g did not vanish (input %g)", res.ResidualRMS, res.InputRMS)
+	}
+}
+
+// Degenerate systems — no rows, no columns, an all-zero rhs, a negative
+// sparsity budget — must return cleanly with a zero solution.
+func TestOMPDegenerateSystems(t *testing.T) {
+	empty, err := sparse.NewCSR(0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveOMP(empty, nil, Options{})
+	if err != nil || res.ResidualRMS != 0 || len(res.Support) != 0 {
+		t.Fatalf("empty system: %+v, %v", res, err)
+	}
+
+	noCols, err := sparse.NewCSR(3, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = SolveOMP(noCols, []float64{1, 2, 3}, Options{})
+	if err != nil || res.ResidualRMS != res.InputRMS || res.InputRMS == 0 {
+		t.Fatalf("no-column system: %+v, %v", res, err)
+	}
+
+	a := denseCSR(t, 2, 2, []float64{1, 0, 0, 1})
+	res, err = SolveOMP(a, []float64{0, 0}, Options{})
+	if err != nil || len(res.Support) != 0 || res.ResidualRMS != 0 {
+		t.Fatalf("zero rhs must select nothing: %+v, %v", res, err)
+	}
+
+	res, err = SolveOMP(a, []float64{1, 1}, Options{MaxSparsity: -1})
+	if err != nil || len(res.Support) != 0 || res.ResidualRMS != res.InputRMS {
+		t.Fatalf("negative sparsity must solve nothing: %+v, %v", res, err)
+	}
+	for _, v := range res.X {
+		if v != 0 {
+			t.Fatalf("negative sparsity produced nonzero X: %v", res.X)
+		}
+	}
+
+	if _, err := SolveOMP(a, []float64{1}, Options{}); err == nil {
+		t.Fatal("mismatched rhs length must error")
+	}
+}
+
+// A dictionary with duplicated / linearly dependent columns must terminate
+// with a finite, non-worsening residual and no panic, with or without
+// ridge regularization.
+func TestOMPRankDeficientDictionary(t *testing.T) {
+	// col2 = col0 + col1, col3 = col0 exactly.
+	data := []float64{
+		1, 0, 1, 1,
+		0, 1, 1, 0,
+		2, 0, 2, 2,
+		0, 3, 3, 0,
+	}
+	a := denseCSR(t, 4, 4, data)
+	b := []float64{1.9, 1.1, 3.8, 3.3}
+	for _, ridge := range []float64{0 /* default */, -1 /* disabled */} {
+		res, err := SolveOMP(a, b, Options{MaxSparsity: 4, Ridge: ridge})
+		if err != nil {
+			t.Fatalf("ridge=%g: %v", ridge, err)
+		}
+		if res.ResidualRMS > res.InputRMS+1e-12 {
+			t.Errorf("ridge=%g: residual %g worse than input %g", ridge, res.ResidualRMS, res.InputRMS)
+		}
+		for j, v := range res.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ridge=%g: x[%d] = %g", ridge, j, v)
+			}
+		}
+	}
+}
+
+// solveSupport must report (not panic on) an exactly singular support Gram
+// when ridge regularization is disabled, and succeed on the same support
+// once the ridge is applied.
+func TestSolveSupportSingularGram(t *testing.T) {
+	a := denseCSR(t, 3, 2, []float64{
+		1, 1,
+		2, 2,
+		3, 3,
+	})
+	b := []float64{1, 2, 3}
+	ws := &Workspace{supOf: []int{1, 2}}
+	if ok := ws.solveSupport(a, b, []int{0, 1}, 0); ok {
+		t.Fatal("singular Gram factorized without ridge")
+	}
+	ws2 := &Workspace{supOf: []int{1, 2}}
+	if ok := ws2.solveSupport(a, b, []int{0, 1}, DefaultRidge); !ok {
+		t.Fatal("ridged Gram failed to factorize")
+	}
+}
+
+// Workspace reuse across solves of different shapes must match fresh-
+// workspace results exactly.
+func TestOMPWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ws := &Workspace{}
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 5+rng.Intn(40), 2+rng.Intn(30)
+		data := make([]float64, rows*cols)
+		for i := range data {
+			if rng.Float64() < 0.4 {
+				data[i] = rng.NormFloat64()
+			}
+		}
+		a := denseCSR(t, rows, cols, data)
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		opts := Options{MaxSparsity: 1 + rng.Intn(6)}
+		got, err := SolveOMPWS(a, b, opts, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SolveOMP(a, b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ResidualRMS != want.ResidualRMS || got.Iterations != want.Iterations ||
+			len(got.Support) != len(want.Support) {
+			t.Fatalf("trial %d: reused workspace diverged: %+v vs %+v", trial, got, want)
+		}
+		for i := range got.Support {
+			if got.Support[i] != want.Support[i] {
+				t.Fatalf("trial %d: support %v vs %v", trial, got.Support, want.Support)
+			}
+		}
+		for j := range got.X {
+			if got.X[j] != want.X[j] {
+				t.Fatalf("trial %d: x[%d] %g vs %g", trial, j, got.X[j], want.X[j])
+			}
+		}
+	}
+}
+
+// Residuals must never exceed the input RMS (up to roundoff), for any
+// random system.
+func TestOMPResidualNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(30), 1+rng.Intn(20)
+		data := make([]float64, rows*cols)
+		for i := range data {
+			if rng.Float64() < 0.3 {
+				data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(5)-2))
+			}
+		}
+		a := denseCSR(t, rows, cols, data)
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		res, err := SolveOMP(a, b, Options{MaxSparsity: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ResidualRMS > res.InputRMS*(1+1e-9)+1e-12 {
+			t.Fatalf("trial %d: residual %g > input %g", trial, res.ResidualRMS, res.InputRMS)
+		}
+	}
+}
+
+// FuzzOMP drives the solver with arbitrary small systems: it must never
+// panic, never worsen the residual, and never return a non-finite
+// solution.
+func FuzzOMP(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 10, 20, 30, 40, 50, 60}, []byte{1, 2, 3}, uint8(2))
+	f.Add([]byte{1, 1, 0}, []byte{0}, uint8(0))
+	f.Add([]byte{4, 3, 2, 0, 0, 0, 0, 255, 255, 1, 1}, []byte{9, 9, 9, 9}, uint8(8))
+	f.Fuzz(func(t *testing.T, matBytes, rhsBytes []byte, sparsity uint8) {
+		if len(matBytes) < 2 {
+			return
+		}
+		rows := int(matBytes[0]%16) + 1
+		cols := int(matBytes[1]%16) + 1
+		data := make([]float64, rows*cols)
+		for i := range data {
+			if 2+i < len(matBytes) {
+				data[i] = (float64(matBytes[2+i]) - 128) / 16
+			}
+		}
+		var entries []sparse.Entry
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if v := data[i*cols+j]; v != 0 {
+					entries = append(entries, sparse.Entry{Row: i, Col: j, Value: v})
+				}
+			}
+		}
+		a, err := sparse.NewCSR(rows, cols, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			if i < len(rhsBytes) {
+				b[i] = (float64(rhsBytes[i]) - 128) / 8
+			}
+		}
+		res, err := SolveOMP(a, b, Options{MaxSparsity: int(sparsity % 12)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ResidualRMS > res.InputRMS*(1+1e-6)+1e-9 {
+			t.Fatalf("residual %g > input %g", res.ResidualRMS, res.InputRMS)
+		}
+		if math.IsNaN(res.ResidualRMS) || math.IsInf(res.ResidualRMS, 0) {
+			t.Fatalf("non-finite residual %g", res.ResidualRMS)
+		}
+		for j, v := range res.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite x[%d] = %g", j, v)
+			}
+		}
+	})
+}

@@ -36,6 +36,9 @@ type Scenario struct {
 	// estimation windows (0/1 = serial; results are identical for any
 	// worker count).
 	Workers int
+	// Estimator selects the estimation tier ("qp", "cs", "tiered";
+	// "" = qp) for every reconstruction the experiment runs.
+	Estimator string
 }
 
 // Paper is the paper's evaluation setting: 400 nodes, periodic collection.
@@ -113,7 +116,7 @@ func Prepare(s Scenario) (*Bundle, error) {
 // PrepareFromTrace reconstructs an existing trace (used by the loss sweep,
 // which drops packets from a shared base trace).
 func PrepareFromTrace(s Scenario, tr *domo.Trace) (*Bundle, error) {
-	rec, err := domo.Estimate(tr, domo.Config{EstimateWorkers: s.Workers})
+	rec, err := domo.Estimate(tr, domo.Config{EstimateWorkers: s.Workers, Estimator: s.Estimator})
 	if err != nil {
 		return nil, fmt.Errorf("estimating: %w", err)
 	}

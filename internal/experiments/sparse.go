@@ -1,0 +1,432 @@
+package experiments
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	domo "github.com/domo-net/domo"
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// SparseAnomalyConfig sizes the sparse-anomaly workload: a forest of
+// relay chains feeding one sink where a handful of "hot" relays carry
+// large congestion delays and every other node sits near a small
+// baseline — the regime where a compressed-sensing solve over the
+// path-incidence matrix recovers per-hop delays orders of magnitude
+// cheaper than the full QP (Nakanishi et al.; FRANTIC).
+type SparseAnomalyConfig struct {
+	// Branches is the number of independent relay chains into the sink.
+	Branches int
+	// Depth is the relay count per chain (path length grows with it).
+	Depth int
+	// LeavesPerBranch is the number of leaf sources feeding each chain's
+	// outermost relay.
+	LeavesPerBranch int
+	// PacketsPerLeaf is the packet count each leaf generates.
+	PacketsPerLeaf int
+	// PacketsPerRelay is the local-packet count each relay generates
+	// (Algorithm 1 needs local packets to flush the S(p) buffers).
+	PacketsPerRelay int
+	// HotRelays is how many relays are anomalously congested.
+	HotRelays int
+	// LeafPeriod is the mean leaf generation period.
+	LeafPeriod time.Duration
+	// Seed drives every random draw.
+	Seed int64
+}
+
+// DefaultSparseAnomaly sizes the workload used by the benches and the
+// tier-comparison experiment: 16 relays on 4 chains of depth 4, 2 of
+// them hot, ≈800 records, ≈2.5k unknowns.
+func DefaultSparseAnomaly(seed int64) SparseAnomalyConfig {
+	return SparseAnomalyConfig{
+		Branches:        4,
+		Depth:           4,
+		LeavesPerBranch: 3,
+		PacketsPerLeaf:  40,
+		PacketsPerRelay: 20,
+		HotRelays:       2,
+		LeafPeriod:      400 * time.Millisecond,
+		Seed:            seed,
+	}
+}
+
+func (c SparseAnomalyConfig) withDefaults() SparseAnomalyConfig {
+	d := DefaultSparseAnomaly(c.Seed)
+	if c.Branches <= 0 {
+		c.Branches = d.Branches
+	}
+	if c.Depth <= 0 {
+		c.Depth = d.Depth
+	}
+	if c.LeavesPerBranch <= 0 {
+		c.LeavesPerBranch = d.LeavesPerBranch
+	}
+	if c.PacketsPerLeaf <= 0 {
+		c.PacketsPerLeaf = d.PacketsPerLeaf
+	}
+	if c.PacketsPerRelay < 0 {
+		c.PacketsPerRelay = 0
+	} else if c.PacketsPerRelay == 0 {
+		c.PacketsPerRelay = d.PacketsPerRelay
+	}
+	if c.HotRelays < 0 {
+		c.HotRelays = 0
+	}
+	if c.LeafPeriod <= 0 {
+		c.LeafPeriod = d.LeafPeriod
+	}
+	return c
+}
+
+// saEvent is one packet arriving at Path[hop] of its record.
+type saEvent struct {
+	t   sim.Time
+	seq int // global insertion order: deterministic tie-break
+	rec *trace.Record
+	hop int
+}
+
+type saHeap []saEvent
+
+func (h saHeap) Len() int { return len(h) }
+func (h saHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h saHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *saHeap) Push(x any)   { *h = append(*h, x.(saEvent)) }
+func (h *saHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// SparseAnomalyTrace builds the workload with an event-driven FIFO
+// simulation: every node serves packets in arrival order, hot relays draw
+// large service times, and Algorithm 1's S(p) is maintained exactly (the
+// per-node forwarded-sojourn buffer flushes into each local packet).
+// FIFO order at a node equals arrival order, so processing arrivals in
+// global time order applies the buffer updates in true departure order —
+// the generated trace satisfies every constraint family the dataset
+// derives (ω floors, FIFO spacing, Eq. 7 sum bounds) by construction.
+func SparseAnomalyTrace(cfg SparseAnomalyConfig) (*domo.Trace, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Topology: relay chain b is r(b,Depth-1) → … → r(b,0) → sink 0,
+	// with LeavesPerBranch leaves feeding r(b,Depth-1).
+	relayID := func(b, d int) radio.NodeID {
+		return radio.NodeID(1 + b*cfg.Depth + d)
+	}
+	numRelays := cfg.Branches * cfg.Depth
+	leafID := func(b, l int) radio.NodeID {
+		return radio.NodeID(1 + numRelays + b*cfg.LeavesPerBranch + l)
+	}
+	numNodes := 1 + numRelays + cfg.Branches*cfg.LeavesPerBranch
+
+	// Hot set: a few congested relays, everyone else near baseline.
+	hot := map[radio.NodeID]bool{}
+	for len(hot) < cfg.HotRelays && len(hot) < numRelays {
+		hot[radio.NodeID(1+rng.Intn(numRelays))] = true
+	}
+	service := func(n radio.NodeID) sim.Time {
+		if hot[n] {
+			// ~5–10x the baseline sojourn, but low enough utilization that
+			// queues stay stable and window-boundary snapshots consistent.
+			return 15*time.Millisecond + sim.Time(rng.Int63n(int64(20*time.Millisecond)))
+		}
+		return 1500*time.Microsecond + sim.Time(rng.Int63n(int64(4*time.Millisecond)))
+	}
+
+	// Packet schedule: leaves periodic with jitter, relays sparser.
+	var events saHeap
+	seq := 0
+	spawn := func(src radio.NodeID, path []radio.NodeID, count int, period time.Duration) {
+		t := sim.Time(rng.Int63n(int64(period) + 1))
+		for k := 0; k < count; k++ {
+			rec := &trace.Record{
+				ID:            trace.PacketID{Source: src, Seq: uint32(k + 1)},
+				Path:          append([]radio.NodeID(nil), path...),
+				GenTime:       t,
+				PathHash:      trace.ComputePathHash(path),
+				TruthArrivals: make([]sim.Time, len(path)),
+			}
+			rec.TruthArrivals[0] = t
+			events = append(events, saEvent{t: t, seq: seq, rec: rec, hop: 0})
+			seq++
+			jitter := 0.8 + 0.4*rng.Float64()
+			t += sim.Time(float64(period) * jitter)
+		}
+	}
+	for b := 0; b < cfg.Branches; b++ {
+		chain := make([]radio.NodeID, 0, cfg.Depth+1)
+		for d := cfg.Depth - 1; d >= 0; d-- {
+			chain = append(chain, relayID(b, d))
+		}
+		chain = append(chain, 0)
+		for l := 0; l < cfg.LeavesPerBranch; l++ {
+			path := append([]radio.NodeID{leafID(b, l)}, chain...)
+			spawn(leafID(b, l), path, cfg.PacketsPerLeaf, cfg.LeafPeriod)
+		}
+		for d := cfg.Depth - 1; d >= 0; d-- {
+			// Relay-local packets take the chain suffix from their node.
+			path := append([]radio.NodeID{}, chain[cfg.Depth-1-d:]...)
+			spawn(relayID(b, d), path, cfg.PacketsPerRelay, 3*cfg.LeafPeriod)
+		}
+	}
+	heap.Init(&events)
+
+	// Event-driven FIFO service with exact Algorithm-1 accounting.
+	freeAt := make([]sim.Time, numNodes)
+	sumBuf := make([]sim.Time, numNodes)
+	var records []*trace.Record
+	var last sim.Time
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(saEvent)
+		n := ev.rec.Path[ev.hop]
+		if n == 0 { // sink: the packet is delivered
+			ev.rec.SinkArrival = ev.t
+			ev.rec.TruthArrivals[ev.hop] = ev.t
+			records = append(records, ev.rec)
+			if ev.t > last {
+				last = ev.t
+			}
+			continue
+		}
+		ev.rec.TruthArrivals[ev.hop] = ev.t
+		start := ev.t
+		if freeAt[n] > start {
+			start = freeAt[n]
+		}
+		depart := start + service(n)
+		freeAt[n] = depart
+		sojourn := depart - ev.t
+		if ev.hop == 0 {
+			// Algorithm 1 lines 8–10: the local packet's S is the buffered
+			// forwarded sojourns plus its own, then the buffer resets.
+			s := sumBuf[n] + sojourn
+			sumBuf[n] = 0
+			ev.rec.SumDelays = s - s%time.Millisecond // on-air floor quantization
+		} else {
+			sumBuf[n] += sojourn
+		}
+		heap.Push(&events, saEvent{t: depart, seq: seq, rec: ev.rec, hop: ev.hop + 1})
+		seq++
+	}
+
+	inner := &trace.Trace{
+		NumNodes: numNodes,
+		Duration: last + time.Second,
+		Records:  records,
+	}
+	inner.SortBySinkArrival()
+	return domo.WrapTrace(inner)
+}
+
+// TierPoint is one estimator tier's speed/accuracy measurement on one
+// workload.
+type TierPoint struct {
+	Estimator string `json:"estimator"`
+	// Wall is the estimator wall time; Unknowns the solved unknown count;
+	// UsPerDelay their ratio (the benchmark's headline unit).
+	Wall       time.Duration `json:"wall_ns"`
+	Unknowns   int           `json:"unknowns"`
+	UsPerDelay float64       `json:"us_per_delay"`
+	// MAETruth/RMSETruth compare reconstructed interior arrivals against
+	// the simulation ground truth (ms).
+	MAETruth  float64 `json:"mae_truth_ms"`
+	RMSETruth float64 `json:"rmse_truth_ms"`
+	// MAEVsQP compares against the full-QP reconstruction of the same
+	// trace (ms) — the accuracy cost of leaving the reference tier.
+	MAEVsQP float64 `json:"mae_vs_qp_ms"`
+	// Window accounting for the tier ladder.
+	Windows          int `json:"windows"`
+	CSWindows        int `json:"cs_windows"`
+	EscalatedWindows int `json:"escalated_windows"`
+	DegradedWindows  int `json:"degraded_windows"`
+}
+
+// TierComparison is the speed-vs-accuracy table of one workload.
+type TierComparison struct {
+	Workload string      `json:"workload"`
+	Records  int         `json:"records"`
+	Tiers    []TierPoint `json:"tiers"`
+}
+
+// Estimators compared by RunSparseAnomaly / RunCompareTiers.
+var tierNames = []string{"qp", "cs", "tiered"}
+
+// compareTiers runs every estimator tier on one trace and measures speed
+// and accuracy against both ground truth and the QP reference.
+func compareTiers(s Scenario, name string, tr *domo.Trace) (*TierComparison, error) {
+	out := &TierComparison{Workload: name, Records: tr.NumRecords()}
+	var ref *domo.Reconstruction
+	for _, tier := range tierNames {
+		rec, err := domo.Estimate(tr, domo.Config{Estimator: tier, EstimateWorkers: s.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("estimator %s: %w", tier, err)
+		}
+		if tier == "qp" {
+			ref = rec
+		}
+		errs, err := domo.EstimateErrors(tr, rec)
+		if err != nil {
+			return nil, fmt.Errorf("estimator %s errors: %w", tier, err)
+		}
+		st := rec.Stats()
+		pt := TierPoint{
+			Estimator:        tier,
+			Wall:             st.WallTime,
+			Unknowns:         st.Unknowns,
+			Windows:          st.Windows,
+			CSWindows:        st.CSWindows,
+			EscalatedWindows: st.EscalatedWindows,
+			DegradedWindows:  st.DegradedWindows,
+		}
+		if st.Unknowns > 0 {
+			pt.UsPerDelay = float64(st.WallTime.Microseconds()) / float64(st.Unknowns)
+		}
+		var sum, sq float64
+		for _, e := range errs {
+			sum += e
+			sq += e * e
+		}
+		if len(errs) > 0 {
+			pt.MAETruth = sum / float64(len(errs))
+			pt.RMSETruth = math.Sqrt(sq / float64(len(errs)))
+		}
+		mae, err := MAEBetween(tr, ref, rec)
+		if err != nil {
+			return nil, err
+		}
+		pt.MAEVsQP = mae
+		out.Tiers = append(out.Tiers, pt)
+	}
+	return out, nil
+}
+
+// MAEBetween is the mean absolute interior-arrival difference (ms) between
+// two reconstructions of the same trace (used as the tiered-vs-QP accuracy
+// metric by the tier comparison and the Go benches).
+func MAEBetween(tr *domo.Trace, ref, rec *domo.Reconstruction) (float64, error) {
+	var sum float64
+	var n int
+	for _, id := range tr.Packets() {
+		want, err := ref.Arrivals(id)
+		if err != nil {
+			return 0, err
+		}
+		got, err := rec.Arrivals(id)
+		if err != nil {
+			return 0, err
+		}
+		for hop := 1; hop < len(want)-1; hop++ {
+			sum += math.Abs(float64(got[hop]-want[hop])) / float64(time.Millisecond)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+func printTierTable(w io.Writer, tc *TierComparison) {
+	fmt.Fprintf(w, "Estimator tiers — %s (%d records)\n", tc.Workload, tc.Records)
+	fmt.Fprintf(w, "  %-8s %10s %10s %12s %12s %12s %9s\n",
+		"tier", "wall", "µs/delay", "MAE(truth)", "RMSE(truth)", "MAE(vs qp)", "windows")
+	for _, p := range tc.Tiers {
+		extra := ""
+		if p.CSWindows > 0 || p.EscalatedWindows > 0 {
+			extra = fmt.Sprintf("  (cs %d, escalated %d)", p.CSWindows, p.EscalatedWindows)
+		}
+		fmt.Fprintf(w, "  %-8s %10v %10.2f %10.2fms %10.2fms %10.2fms %9d%s\n",
+			p.Estimator, p.Wall.Round(time.Microsecond), p.UsPerDelay,
+			p.MAETruth, p.RMSETruth, p.MAEVsQP, p.Windows, extra)
+	}
+}
+
+// RunSparseAnomaly compares the estimator tiers on the sparse-anomaly
+// workload: a few hot relays over a near-baseline forest, where the CS
+// pass should match the QP at a fraction of the per-delay cost.
+func RunSparseAnomaly(s Scenario, w io.Writer) (*TierComparison, error) {
+	tr, err := SparseAnomalyTrace(DefaultSparseAnomaly(s.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("building sparse-anomaly trace: %w", err)
+	}
+	tc, err := compareTiers(s, "sparse-anomaly", tr)
+	if err != nil {
+		return nil, err
+	}
+	printTierTable(w, tc)
+	return tc, nil
+}
+
+// RunCompareTiers runs the estimator tiers over both the standard
+// simulated workload and the sparse-anomaly workload and emits a
+// machine-readable speed-vs-accuracy table ("json" or "csv") after the
+// human-readable ones.
+func RunCompareTiers(s Scenario, w io.Writer, format string) ([]*TierComparison, error) {
+	switch format {
+	case "", "json", "csv":
+	default:
+		return nil, fmt.Errorf("unknown format %q (want json or csv)", format)
+	}
+
+	var out []*TierComparison
+
+	tr, err := s.simulate()
+	if err != nil {
+		return nil, fmt.Errorf("simulating: %w", err)
+	}
+	tc, err := compareTiers(s, "simulated", tr)
+	if err != nil {
+		return nil, err
+	}
+	printTierTable(w, tc)
+	out = append(out, tc)
+
+	str, err := SparseAnomalyTrace(DefaultSparseAnomaly(s.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("building sparse-anomaly trace: %w", err)
+	}
+	tc, err = compareTiers(s, "sparse-anomaly", str)
+	if err != nil {
+		return nil, err
+	}
+	printTierTable(w, tc)
+	out = append(out, tc)
+
+	if err := emitTierComparisons(w, format, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// emitTierComparisons writes the machine-readable table.
+func emitTierComparisons(w io.Writer, format string, out []*TierComparison) error {
+	switch format {
+	case "", "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	case "csv":
+		fmt.Fprintln(w, "workload,estimator,wall_ns,unknowns,us_per_delay,mae_truth_ms,rmse_truth_ms,mae_vs_qp_ms,windows,cs_windows,escalated_windows,degraded_windows")
+		for _, tc := range out {
+			for _, p := range tc.Tiers {
+				fmt.Fprintf(w, "%s,%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d\n",
+					tc.Workload, p.Estimator, p.Wall.Nanoseconds(), p.Unknowns, p.UsPerDelay,
+					p.MAETruth, p.RMSETruth, p.MAEVsQP, p.Windows, p.CSWindows, p.EscalatedWindows, p.DegradedWindows)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want json or csv)", format)
+	}
+}

@@ -97,6 +97,12 @@ type BrownoutConfig struct {
 	// Solver overrides the degraded-tier estimator. Nil selects the
 	// order-projected interpolation.
 	Solver BrownoutSolver
+	// CSOnShedding makes Shedding-state windows solve with the tiered
+	// compressed-sensing estimator (CS pass first, residual-gated QP
+	// escalation) instead of the full QP, so degradation is graduated:
+	// Healthy = full QP, Shedding = CS with escalation, Brownout =
+	// order-projected interpolation. Off by default.
+	CSOnShedding bool
 }
 
 func (c BrownoutConfig) withDefaults() BrownoutConfig {

@@ -1,0 +1,87 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/domo-net/domo/internal/core"
+)
+
+// Shedding-state windows must run the tiered compressed-sensing estimator
+// when CSOnShedding is armed — the graduated rung between full QP
+// (Healthy) and order-projected interpolation (Brownout) — and the
+// engine's cumulative stats must aggregate the tier counters.
+func TestSheddingRunsCSTier(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	numNodes, recs := relayRecords(rng, 24)
+	eng, err := Open(context.Background(), Config{
+		NumNodes: numNodes,
+		Core:     core.Config{WindowPackets: 12},
+		Brownout: BrownoutConfig{Enabled: true, CSOnShedding: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	res := eng.solveWindow(0, 0, recs, StateShedding)
+	if res.Err != nil {
+		t.Fatalf("shedding solve: %v", res.Err)
+	}
+	st := res.Est.Stats
+	if st.Windows == 0 || st.CSWindows+st.EscalatedWindows != st.Windows {
+		t.Fatalf("shedding window did not run the tiered estimator: %+v", st)
+	}
+	es := eng.Stats()
+	if es.CSWindows != uint64(st.CSWindows) || es.EscalatedWindows != uint64(st.EscalatedWindows) {
+		t.Fatalf("engine stats (%d,%d) do not aggregate tier counters (%d,%d)",
+			es.CSWindows, es.EscalatedWindows, st.CSWindows, st.EscalatedWindows)
+	}
+	if es.WindowsByState[StateShedding] != 1 {
+		t.Fatalf("per-state accounting: %v", es.WindowsByState)
+	}
+
+	// Brownout state keeps the order-projected tier: no CS windows.
+	res = eng.solveWindow(1, len(recs), recs, StateBrownout)
+	if res.Err != nil {
+		t.Fatalf("brownout solve: %v", res.Err)
+	}
+	if res.Est.Stats.CSWindows != 0 || res.Est.Stats.EscalatedWindows != 0 {
+		t.Fatalf("brownout window ran CS: %+v", res.Est.Stats)
+	}
+	es = eng.Stats()
+	if es.WindowsByState[StateBrownout] != 1 {
+		t.Fatalf("per-state accounting after brownout: %v", es.WindowsByState)
+	}
+}
+
+// Without CSOnShedding, shedding-state windows keep solving the full QP —
+// the flag must opt in, never leak into default behavior.
+func TestSheddingWithoutCSTierKeepsQP(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	numNodes, recs := relayRecords(rng, 24)
+	eng, err := Open(context.Background(), Config{
+		NumNodes: numNodes,
+		Core:     core.Config{WindowPackets: 12},
+		Brownout: BrownoutConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	res := eng.solveWindow(0, 0, recs, StateShedding)
+	if res.Err != nil {
+		t.Fatalf("shedding solve: %v", res.Err)
+	}
+	st := res.Est.Stats
+	if st.CSWindows != 0 || st.EscalatedWindows != 0 {
+		t.Fatalf("shedding without CSOnShedding ran CS: %+v", st)
+	}
+	for _, ws := range st.PerWindow {
+		if ws.Tier != core.TierQP {
+			t.Fatalf("window %d tier %q, want qp", ws.Index, ws.Tier)
+		}
+	}
+}

@@ -182,6 +182,13 @@ type Stats struct {
 	RetriedWindows  uint64
 	DegradedWindows uint64
 	TimedOutWindows uint64
+	// CSWindows/EscalatedWindows aggregate the estimator's compressed-
+	// sensing tier counters: windows kept from the CS pass, and tiered
+	// windows escalated to the full QP by the residual gate. Nonzero only
+	// when a solve ran the CS or tiered estimator (e.g. Shedding state
+	// with BrownoutConfig.CSOnShedding).
+	CSWindows        uint64
+	EscalatedWindows uint64
 	// Lag is the stream-time distance between the newest received record's
 	// sink arrival and the end of the last delivered window — how far
 	// behind live traffic the reconstruction runs.
@@ -569,7 +576,15 @@ func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record, state Brow
 	res.Trace = wtr
 
 	var timeoutRetried bool
-	ds, err := core.NewDataset(wtr, e.cfg.Core)
+	cc := e.cfg.Core
+	if state == StateShedding && e.cfg.Brownout.CSOnShedding {
+		// Graduated degradation: Shedding runs the compressed-sensing
+		// tier with residual-gated QP escalation — cheaper than full QP
+		// on every window, far more faithful than the Brownout-state
+		// order projection.
+		cc.Estimator = core.EstimatorTiered
+	}
+	ds, err := core.NewDataset(wtr, cc)
 	switch {
 	case err != nil:
 		res.Err = fmt.Errorf("window %d dataset: %w", index, err)
@@ -644,6 +659,8 @@ func (e *Engine) solveWindow(index, seqBase int, buf []*trace.Record, state Brow
 	if res.Est != nil {
 		e.stats.RetriedWindows += uint64(res.Est.Stats.RetriedWindows)
 		e.stats.DegradedWindows += uint64(res.Est.Stats.DegradedWindows)
+		e.stats.CSWindows += uint64(res.Est.Stats.CSWindows)
+		e.stats.EscalatedWindows += uint64(res.Est.Stats.EscalatedWindows)
 	}
 	if end := time.Duration(wtr.Records[len(wtr.Records)-1].SinkArrival); end > e.deliveredEnd {
 		e.deliveredEnd = end

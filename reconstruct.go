@@ -51,6 +51,22 @@ type Config struct {
 	// batches, so the reconstruction is bit-identical for every worker
 	// count. 0 or 1 means serial.
 	EstimateWorkers int
+	// Estimator selects the per-window estimator tier: "qp" (default; the
+	// full Eq. 5–8 QP ladder, bit-identical to pre-tier behavior), "cs"
+	// (the compressed-sensing OMP pass on every window — fastest, lowest
+	// fidelity), or "tiered" (CS first, windows whose normalized residual
+	// exceeds CSGate escalate to the full QP — near-QP accuracy at a
+	// fraction of the cost on sparse-anomaly workloads). Any other value
+	// fails with ErrBadInput.
+	Estimator string
+	// CSGate is the tiered estimator's normalized-residual acceptance
+	// gate: a window's CS solution is kept when its residual RMS is at
+	// most CSGate × the measurement RMS. Smaller values escalate more
+	// windows to the QP. Default 0.35.
+	CSGate float64
+	// CSMaxSparsity caps how many anomalous nodes the CS pass recovers
+	// per window. Default 8.
+	CSMaxSparsity int
 	// Seed drives sampling randomness.
 	Seed int64
 	// UseUpperSum enables the loss-free Eq. 6 upper sum-of-delays
@@ -78,8 +94,29 @@ type Config struct {
 	AutoSanitize bool
 }
 
+// estimatorKind maps the public estimator name to the core enum.
+func (c Config) estimatorKind() (core.EstimatorKind, error) {
+	switch c.Estimator {
+	case "", "qp":
+		return core.EstimatorQP, nil
+	case "cs":
+		return core.EstimatorCS, nil
+	case "tiered":
+		return core.EstimatorTiered, nil
+	default:
+		return 0, fmt.Errorf("unknown estimator %q (want \"qp\", \"cs\" or \"tiered\"): %w", c.Estimator, ErrBadInput)
+	}
+}
+
 func (c Config) toCore() core.Config {
+	kind, err := c.estimatorKind()
+	if err != nil {
+		kind = core.EstimatorQP // callers validate first; stay safe here
+	}
 	cc := core.Config{
+		Estimator:     kind,
+		CSGate:        c.CSGate,
+		CSMaxSparsity: c.CSMaxSparsity,
 		EffectiveWindowRatio:     c.EffectiveWindowRatio,
 		WindowPackets:            c.WindowPackets,
 		EnableSDR:                c.EnableSDR,
@@ -118,7 +155,13 @@ type EstimateStats struct {
 	// WarmStartedWindows counts windows that consumed an ADMM warm start
 	// carried from their batch-boundary predecessor window.
 	WarmStartedWindows int
-	WallTime           time.Duration
+	// CSWindows counts windows whose kept estimates came from the
+	// compressed-sensing tier (zero unless Config.Estimator selects it).
+	CSWindows int
+	// EscalatedWindows counts tiered-mode windows whose CS residual
+	// failed the gate and were re-solved by the full QP.
+	EscalatedWindows int
+	WallTime         time.Duration
 	// PerWindow holds one entry per completed window, in window order.
 	PerWindow []WindowStat
 }
@@ -143,6 +186,15 @@ type WindowStat struct {
 	Degraded    bool // both attempts failed, fell back to projection
 	// Cause holds the first failure message when Retried or Degraded.
 	Cause string
+	// Tier names the estimator tier that produced the window's kept
+	// estimates: "qp" (full QP ladder) or "cs" (compressed-sensing pass).
+	Tier string
+	// Escalated marks tiered-mode windows whose CS residual failed the
+	// gate and were re-solved by the full QP.
+	Escalated bool
+	// CSResidual is the CS pass's normalized residual (residual RMS over
+	// measurement RMS), recorded whenever the CS tier ran on the window.
+	CSResidual float64
 }
 
 // Reconstruction holds per-packet arrival-time estimates.
@@ -165,6 +217,9 @@ func Estimate(tr *Trace, cfg Config) (*Reconstruction, error) {
 func EstimateCtx(ctx context.Context, tr *Trace, cfg Config) (*Reconstruction, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("nil trace: %w", ErrBadInput)
+	}
+	if _, err := cfg.estimatorKind(); err != nil {
+		return nil, err
 	}
 	var rep *SanitizeReport
 	if cfg.AutoSanitize {
@@ -223,6 +278,8 @@ func (r *Reconstruction) Stats() EstimateStats {
 		DegradedWindows:    r.est.Stats.DegradedWindows,
 		PrunedRows:         r.est.Stats.PrunedRows,
 		WarmStartedWindows: r.est.Stats.WarmStartedWindows,
+		CSWindows:          r.est.Stats.CSWindows,
+		EscalatedWindows:   r.est.Stats.EscalatedWindows,
 		WallTime:           r.est.Stats.WallTime,
 	}
 	if len(r.est.Stats.PerWindow) > 0 {
@@ -243,6 +300,9 @@ func (r *Reconstruction) Stats() EstimateStats {
 				Retried:     w.Retried,
 				Degraded:    w.Degraded,
 				Cause:       w.Cause,
+				Tier:        w.Tier,
+				Escalated:   w.Escalated,
+				CSResidual:  w.CSResidual,
 			}
 		}
 	}

@@ -75,6 +75,13 @@ type BrownoutConfig struct {
 	// RecoverWindows is how many consecutive calm windows Recovering needs
 	// before returning to Healthy. Default 3.
 	RecoverWindows int
+	// CSOnShedding makes Shedding-state windows solve with the tiered
+	// compressed-sensing estimator (CS pass first, residual-gated QP
+	// escalation) instead of the full QP. Degradation then has three
+	// rungs — Healthy: full QP, Shedding: CS with escalation, Brownout:
+	// order-projected interpolation — instead of falling straight from
+	// full fidelity to interpolation. Off by default.
+	CSOnShedding bool
 }
 
 func (c BrownoutConfig) toInternal() stream.BrownoutConfig {
@@ -86,6 +93,7 @@ func (c BrownoutConfig) toInternal() stream.BrownoutConfig {
 		SolveLatencyTarget: c.SolveLatencyTarget,
 		FsyncLatencyMax:    c.FsyncLatencyMax,
 		RecoverWindows:     c.RecoverWindows,
+		CSOnShedding:       c.CSOnShedding,
 	}
 }
 

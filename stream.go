@@ -134,6 +134,12 @@ type StreamStats struct {
 	// TimedOutWindows counts windows degraded by the per-window solve
 	// deadline (StreamConfig.SolveTimeout).
 	TimedOutWindows uint64
+	// CSWindows/EscalatedWindows aggregate the compressed-sensing tier:
+	// windows kept from the CS pass, and tiered windows escalated to the
+	// full QP by the residual gate (nonzero only when the CS tier runs,
+	// e.g. BrownoutConfig.CSOnShedding under Shedding pressure).
+	CSWindows        uint64
+	EscalatedWindows uint64
 	// ReplayedRecords counts WAL entries replayed into the engine during
 	// crash recovery at OpenStream; WALBytes/WALSegments size the retained
 	// log and LastCheckpoint is the most recently persisted cursor. All
@@ -258,6 +264,9 @@ type Stream struct {
 func OpenStream(ctx context.Context, cfg StreamConfig) (*Stream, error) {
 	if cfg.Watchdog.armed() && !cfg.WAL.enabled() {
 		return nil, fmt.Errorf("opening stream: watchdog requires a WAL (no checkpoint to restart from): %w", ErrBadInput)
+	}
+	if _, err := cfg.Estimation.estimatorKind(); err != nil {
+		return nil, fmt.Errorf("opening stream: %w", err)
 	}
 	s := &Stream{
 		cfg: cfg, ctx: ctx,
@@ -479,6 +488,8 @@ func (s *Stream) Stats() StreamStats {
 		RetriedWindows:    st.RetriedWindows,
 		DegradedWindows:   st.DegradedWindows,
 		TimedOutWindows:   st.TimedOutWindows,
+		CSWindows:         st.CSWindows,
+		EscalatedWindows:  st.EscalatedWindows,
 		Lag:               cur.Lag,
 		SolveLatency:      fromInternalSummary(cur.SolveLatency),
 		SolveBuckets:      buckets,
