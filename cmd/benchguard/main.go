@@ -13,6 +13,14 @@
 // against the baseline's min_qp_speedup_cs floor, and the cs/tiered
 // mae_vs_qp_ms metrics against the documented max_mae_vs_qp_ms cap.
 //
+// With -scenarios it guards the Monte-Carlo scenario envelopes instead:
+// the input is a `domo-bench -exp scenarios -format json` sweep, compared
+// against the committed BENCH_scenarios.json. The run configs must match
+// exactly; every (scenario, tier) MAE median and every scenario's
+// bound-width median must stay within the baseline's ratio caps, and
+// summed bound violations may not grow past the baseline's absolute
+// slack.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkEstimateWorkers/workers=1$' -benchtime 6x . | tee bench.txt
@@ -20,6 +28,9 @@
 //
 //	go test -run '^$' -bench BenchmarkEstimatorTiers -benchtime 2x . | tee tiers.txt
 //	go run ./cmd/benchguard -tiers -baseline BENCH_estimate.json -input tiers.txt
+//
+//	go run ./cmd/domo-bench -exp scenarios -replicas 20 -format json > sweep.json
+//	go run ./cmd/benchguard -scenarios -baseline BENCH_scenarios.json -input sweep.json
 package main
 
 import (
@@ -268,7 +279,19 @@ func main() {
 	benchmark := flag.String("benchmark", "BenchmarkEstimateWorkers/workers=1", "benchmark whose µs/delay to check")
 	threshold := flag.Float64("threshold", 1.5, "maximum allowed measured/baseline ratio")
 	tiers := flag.Bool("tiers", false, "guard the estimator-tier claims (BenchmarkEstimatorTiers) instead of the workers=1 µs/delay")
+	scenarios := flag.Bool("scenarios", false, "guard the scenario sweep envelopes (-input is domo-bench -exp scenarios -format json output) against the committed BENCH_scenarios.json")
 	flag.Parse()
+	if *scenarios {
+		bl := *baseline
+		if bl == "BENCH_estimate.json" { // default: switch to the scenarios baseline
+			bl = "BENCH_scenarios.json"
+		}
+		if err := runScenarios(bl, *input); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *tiers {
 		bm := *benchmark
 		if bm == "BenchmarkEstimateWorkers/workers=1" { // default: switch to the tiers bench

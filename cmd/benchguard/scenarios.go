@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/domo-net/domo/internal/experiments"
+)
+
+// scenarioBaselineFile is the committed BENCH_scenarios.json: a full sweep
+// result captured at a fixed sizing plus the tolerances the guard enforces
+// against a fresh run of the same command.
+type scenarioBaselineFile struct {
+	Description string `json:"description"`
+	Command     string `json:"command"`
+	Baseline    struct {
+		Date string `json:"date"`
+		// MaxMAERatio caps measured/baseline for every per-tier MAE
+		// median; MaxWidthRatio does the same for the bound-width median.
+		// Ratios (not exact equality) because Go floating point may fuse
+		// differently across architectures even at a fixed seed.
+		MaxMAERatio   float64 `json:"max_mae_ratio"`
+		MaxWidthRatio float64 `json:"max_width_ratio"`
+		// ViolationSlack is the absolute headroom on each scenario's
+		// summed bound-violation count before the guard fails.
+		ViolationSlack int `json:"violation_slack"`
+	} `json:"baseline"`
+	Sweep experiments.SweepResult `json:"sweep"`
+}
+
+func readScenarioBaseline(path string) (*scenarioBaselineFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var bf scenarioBaselineFile
+	if err := json.NewDecoder(f).Decode(&bf); err != nil {
+		return nil, fmt.Errorf("%s: parsing scenario baseline: %w", path, err)
+	}
+	b := bf.Baseline
+	if b.MaxMAERatio <= 1 || b.MaxWidthRatio <= 1 {
+		return nil, fmt.Errorf("%s: baseline ratios (mae %g, width %g) must exceed 1", path, b.MaxMAERatio, b.MaxWidthRatio)
+	}
+	if b.ViolationSlack < 0 {
+		return nil, fmt.Errorf("%s: violation_slack %d must be >= 0", path, b.ViolationSlack)
+	}
+	if len(bf.Sweep.Scenarios) == 0 {
+		return nil, fmt.Errorf("%s: baseline sweep has no scenarios", path)
+	}
+	return &bf, nil
+}
+
+// readSweep decodes a measured sweep (domo-bench -exp scenarios -format
+// json output) from a file or stdin.
+func readSweep(path string) (*experiments.SweepResult, error) {
+	var in io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	var res experiments.SweepResult
+	if err := json.NewDecoder(in).Decode(&res); err != nil {
+		return nil, fmt.Errorf("parsing measured sweep: %w", err)
+	}
+	return &res, nil
+}
+
+// tierEnvelope finds one estimator's envelope in a scenario result.
+func tierEnvelope(sc experiments.ScenarioResult, estimator string) (experiments.TierEnvelope, error) {
+	for _, tier := range sc.Tiers {
+		if tier.Estimator == estimator {
+			return tier, nil
+		}
+	}
+	return experiments.TierEnvelope{}, fmt.Errorf("scenario %s has no %s tier envelope", sc.Name, estimator)
+}
+
+// runScenarios gates a measured scenario sweep against the committed
+// envelope baseline: the run configs must match exactly, the scenario sets
+// must match, every (scenario, tier) MAE median and every scenario's
+// bound-width median must stay within their ratio caps, and summed bound
+// violations may not grow past the absolute slack. Any drift fails loudly
+// so regressions (or silently resized CI runs) cannot land.
+func runScenarios(baselinePath, inputPath string) error {
+	bf, err := readScenarioBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	got, err := readSweep(inputPath)
+	if err != nil {
+		return err
+	}
+
+	if got.Config != bf.Sweep.Config {
+		return fmt.Errorf("measured sweep config %+v does not match baseline %+v — rerun the baseline command (%s) or re-baseline",
+			got.Config, bf.Sweep.Config, bf.Command)
+	}
+	if len(got.Scenarios) != len(bf.Sweep.Scenarios) {
+		return fmt.Errorf("measured sweep has %d scenarios, baseline %d", len(got.Scenarios), len(bf.Sweep.Scenarios))
+	}
+
+	for i, base := range bf.Sweep.Scenarios {
+		meas := got.Scenarios[i]
+		if meas.Name != base.Name {
+			return fmt.Errorf("scenario %d is %q in the measured sweep but %q in the baseline", i, meas.Name, base.Name)
+		}
+		for _, baseTier := range base.Tiers {
+			if baseTier.MAE.Median <= 0 {
+				return fmt.Errorf("%s: baseline %s MAE median is %g, want > 0 (re-baseline at a healthier sizing)",
+					base.Name, baseTier.Estimator, baseTier.MAE.Median)
+			}
+			measTier, err := tierEnvelope(meas, baseTier.Estimator)
+			if err != nil {
+				return err
+			}
+			ratio := measTier.MAE.Median / baseTier.MAE.Median
+			fmt.Printf("benchguard: %s/%s MAE median %.3fms vs baseline %.3fms (%s): %.2fx (cap %.2fx)\n",
+				base.Name, baseTier.Estimator, measTier.MAE.Median, baseTier.MAE.Median,
+				bf.Baseline.Date, ratio, bf.Baseline.MaxMAERatio)
+			if ratio > bf.Baseline.MaxMAERatio {
+				return fmt.Errorf("regression: %s/%s MAE median %.3fms is %.2fx the committed %.3fms (cap %.2fx)",
+					base.Name, baseTier.Estimator, measTier.MAE.Median, ratio, baseTier.MAE.Median, bf.Baseline.MaxMAERatio)
+			}
+		}
+		if base.BoundWidth.Median <= 0 {
+			return fmt.Errorf("%s: baseline bound-width median is %g, want > 0", base.Name, base.BoundWidth.Median)
+		}
+		ratio := meas.BoundWidth.Median / base.BoundWidth.Median
+		fmt.Printf("benchguard: %s bound width median %.3fms vs baseline %.3fms: %.2fx (cap %.2fx)\n",
+			base.Name, meas.BoundWidth.Median, base.BoundWidth.Median, ratio, bf.Baseline.MaxWidthRatio)
+		if ratio > bf.Baseline.MaxWidthRatio {
+			return fmt.Errorf("regression: %s bound width median %.3fms is %.2fx the committed %.3fms (cap %.2fx)",
+				base.Name, meas.BoundWidth.Median, ratio, base.BoundWidth.Median, bf.Baseline.MaxWidthRatio)
+		}
+		limit := base.Violations + bf.Baseline.ViolationSlack
+		fmt.Printf("benchguard: %s bound violations %d (baseline %d, slack %d)\n",
+			base.Name, meas.Violations, base.Violations, bf.Baseline.ViolationSlack)
+		if meas.Violations > limit {
+			return fmt.Errorf("regression: %s bound violations grew to %d, committed %d + slack %d",
+				base.Name, meas.Violations, base.Violations, bf.Baseline.ViolationSlack)
+		}
+	}
+	return nil
+}

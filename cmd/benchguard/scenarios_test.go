@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/domo-net/domo/internal/experiments"
+	"github.com/domo-net/domo/internal/scenario"
+)
+
+// sampleSweep builds a small two-scenario sweep result to stand in for
+// both the committed baseline and the measured run.
+func sampleSweep() experiments.SweepResult {
+	env := func(median float64) scenario.Envelope {
+		return scenario.Envelope{N: 3, Median: median, P5: median * 0.8, P95: median * 1.2, Mean: median}
+	}
+	mk := func(name string, mae, width float64, viol int) experiments.ScenarioResult {
+		return experiments.ScenarioResult{
+			Name:     name,
+			Desc:     name + " regime",
+			Replicas: 3,
+			Records:  env(500),
+			Tiers: []experiments.TierEnvelope{
+				{Estimator: "qp", MAE: env(mae), P90Err: env(mae * 2)},
+				{Estimator: "cs", MAE: env(mae * 1.5), P90Err: env(mae * 3)},
+				{Estimator: "tiered", MAE: env(mae * 1.1), P90Err: env(mae * 2.2)},
+			},
+			BoundWidth: env(width),
+			Violations: viol,
+		}
+	}
+	return experiments.SweepResult{
+		Config: experiments.SweepConfig{
+			NumNodes: 48, Duration: "6m0s", DataPeriod: "15s",
+			Seed: 1, Replicas: 3, BoundSample: 150,
+		},
+		Scenarios: []experiments.ScenarioResult{
+			mk("baseline", 1.1, 0.9, 0),
+			mk("churn", 1.8, 1.4, 200),
+		},
+	}
+}
+
+func writeScenarioBaseline(t *testing.T, dir string, sweep experiments.SweepResult) string {
+	t.Helper()
+	bf := scenarioBaselineFile{Sweep: sweep, Command: "domo-bench -exp scenarios"}
+	bf.Baseline.Date = "2026-08-07"
+	bf.Baseline.MaxMAERatio = 1.5
+	bf.Baseline.MaxWidthRatio = 1.3
+	bf.Baseline.ViolationSlack = 50
+	data, err := json.Marshal(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/BENCH_scenarios.json"
+	writeFile(t, path, string(data))
+	return path
+}
+
+func writeSweep(t *testing.T, dir string, sweep experiments.SweepResult) string {
+	t.Helper()
+	data, err := json.Marshal(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/sweep.json"
+	writeFile(t, path, string(data))
+	return path
+}
+
+func TestRunScenariosVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	baselinePath := writeScenarioBaseline(t, dir, sampleSweep())
+
+	// Identical sweep: pass.
+	if err := runScenarios(baselinePath, writeSweep(t, dir, sampleSweep())); err != nil {
+		t.Fatalf("at-baseline sweep failed the guard: %v", err)
+	}
+
+	// Small drift inside the caps: pass.
+	drift := sampleSweep()
+	drift.Scenarios[1].Tiers[0].MAE.Median *= 1.2
+	drift.Scenarios[1].BoundWidth.Median *= 1.1
+	drift.Scenarios[1].Violations += 30
+	if err := runScenarios(baselinePath, writeSweep(t, dir, drift)); err != nil {
+		t.Fatalf("in-tolerance drift failed the guard: %v", err)
+	}
+
+	// MAE regression past the 1.5x cap: fail.
+	bad := sampleSweep()
+	bad.Scenarios[0].Tiers[2].MAE.Median *= 2
+	if err := runScenarios(baselinePath, writeSweep(t, dir, bad)); err == nil {
+		t.Fatal("2x MAE regression passed the guard")
+	}
+
+	// Bound-width regression past the 1.3x cap: fail.
+	bad = sampleSweep()
+	bad.Scenarios[1].BoundWidth.Median *= 1.5
+	if err := runScenarios(baselinePath, writeSweep(t, dir, bad)); err == nil {
+		t.Fatal("1.5x bound-width regression passed the guard")
+	}
+
+	// Violation growth past the absolute slack: fail.
+	bad = sampleSweep()
+	bad.Scenarios[1].Violations += 51
+	if err := runScenarios(baselinePath, writeSweep(t, dir, bad)); err == nil {
+		t.Fatal("violation growth past the slack passed the guard")
+	}
+
+	// Resized run (config mismatch): fail, never a silent apples-to-oranges pass.
+	bad = sampleSweep()
+	bad.Config.Replicas = 5
+	if err := runScenarios(baselinePath, writeSweep(t, dir, bad)); err == nil {
+		t.Fatal("config mismatch passed the guard")
+	}
+
+	// Scenario set mismatch: fail.
+	bad = sampleSweep()
+	bad.Scenarios = bad.Scenarios[:1]
+	if err := runScenarios(baselinePath, writeSweep(t, dir, bad)); err == nil {
+		t.Fatal("missing scenario passed the guard")
+	}
+	bad = sampleSweep()
+	bad.Scenarios[1].Name = "renamed"
+	if err := runScenarios(baselinePath, writeSweep(t, dir, bad)); err == nil {
+		t.Fatal("renamed scenario passed the guard")
+	}
+
+	// Missing tier envelope in the measured sweep: fail.
+	bad = sampleSweep()
+	bad.Scenarios[0].Tiers = bad.Scenarios[0].Tiers[:2]
+	if err := runScenarios(baselinePath, writeSweep(t, dir, bad)); err == nil {
+		t.Fatal("missing tier envelope passed the guard")
+	}
+}
+
+func TestReadScenarioBaselineValidation(t *testing.T) {
+	dir := t.TempDir()
+
+	// Degenerate ratio caps are rejected.
+	bf := scenarioBaselineFile{Sweep: sampleSweep()}
+	bf.Baseline.MaxMAERatio = 1.0
+	bf.Baseline.MaxWidthRatio = 1.3
+	data, _ := json.Marshal(bf)
+	path := dir + "/b1.json"
+	writeFile(t, path, string(data))
+	if _, err := readScenarioBaseline(path); err == nil {
+		t.Fatal("ratio cap 1.0 accepted")
+	}
+
+	// An empty sweep is rejected.
+	bf = scenarioBaselineFile{}
+	bf.Baseline.MaxMAERatio = 1.5
+	bf.Baseline.MaxWidthRatio = 1.3
+	data, _ = json.Marshal(bf)
+	path = dir + "/b2.json"
+	writeFile(t, path, string(data))
+	if _, err := readScenarioBaseline(path); err == nil {
+		t.Fatal("empty baseline sweep accepted")
+	}
+
+	// A zero baseline MAE median fails at guard time (degenerate sizing).
+	sweep := sampleSweep()
+	sweep.Scenarios[0].Tiers[0].MAE.Median = 0
+	baselinePath := writeScenarioBaseline(t, dir, sweep)
+	if err := runScenarios(baselinePath, writeSweep(t, dir, sweep)); err == nil {
+		t.Fatal("zero baseline MAE median accepted")
+	}
+}

@@ -1,0 +1,157 @@
+// Command docslint checks the repository's markdown documentation: every
+// inline link target must resolve. Relative paths must exist on disk
+// (file or directory, resolved against the markdown file's directory),
+// fragment links must match a heading anchor in the target file
+// (GitHub-style slugs), and http(s) URLs are skipped — CI has no network
+// and external liveness is not this tool's job. Links inside fenced code
+// blocks are ignored.
+//
+// Usage:
+//
+//	go run ./cmd/docslint README.md DESIGN.md EXPERIMENTS.md
+//
+// Exits non-zero listing every broken link, so stale cross-references
+// (renumbered sections, moved files) cannot land silently.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target). The
+// target group stops at the first closing paren, which covers every link
+// in this repo (no nested-paren URLs).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// slugify converts a heading to its GitHub anchor: lowercased, spaces to
+// hyphens, punctuation dropped.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchors collects the GitHub-style anchors of a markdown file's
+// headings, including the -1, -2 suffixes duplicates get.
+func anchors(content string) map[string]bool {
+	got := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if heading == line || (heading != "" && heading[0] != ' ') {
+			continue // not a heading (e.g. a #include-ish line)
+		}
+		slug := slugify(heading)
+		if n := counts[slug]; n > 0 {
+			got[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			got[slug] = true
+		}
+		counts[slug]++
+	}
+	return got
+}
+
+// links extracts inline link targets outside fenced code blocks.
+func links(content string) []string {
+	var targets []string
+	inFence := false
+	for _, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			targets = append(targets, m[1])
+		}
+	}
+	return targets
+}
+
+// lintFile returns one message per broken link in the markdown file.
+func lintFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	content := string(data)
+	dir := filepath.Dir(path)
+	var broken []string
+	for _, target := range links(content) {
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+			strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		file, frag, _ := strings.Cut(target, "#")
+		checkContent := content
+		if file != "" {
+			resolved := filepath.Join(dir, file)
+			info, err := os.Stat(resolved)
+			if err != nil {
+				broken = append(broken, fmt.Sprintf("%s: link target %q does not exist", path, target))
+				continue
+			}
+			if frag == "" {
+				continue
+			}
+			if info.IsDir() {
+				broken = append(broken, fmt.Sprintf("%s: link %q has a fragment but targets a directory", path, target))
+				continue
+			}
+			data, err := os.ReadFile(resolved)
+			if err != nil {
+				return nil, err
+			}
+			checkContent = string(data)
+		}
+		if frag != "" && !anchors(checkContent)[frag] {
+			broken = append(broken, fmt.Sprintf("%s: link %q: no heading with anchor #%s", path, target, frag))
+		}
+	}
+	return broken, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docslint <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	var broken []string
+	for _, path := range os.Args[1:] {
+		msgs, err := lintFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docslint:", err)
+			os.Exit(2)
+		}
+		broken = append(broken, msgs...)
+	}
+	if len(broken) > 0 {
+		for _, msg := range broken {
+			fmt.Fprintln(os.Stderr, "docslint:", msg)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docslint: %d file(s) clean\n", len(os.Args)-1)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Scenario sweeps":             "scenario-sweeps",
+		"8. Scenario engine":          "8-scenario-engine",
+		"  Bounds (§IV-C)  ":          "bounds-iv-c",
+		"qp/cs speed-vs-accuracy":     "qpcs-speed-vs-accuracy",
+		"What Domo is_not, exactly?!": "what-domo-is_not-exactly",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	content := "# Title\n## Setup\n```\n# not a heading\n```\n## Setup\n#nope\n"
+	got := anchors(content)
+	for _, want := range []string{"title", "setup", "setup-1"} {
+		if !got[want] {
+			t.Errorf("anchor %q missing from %v", want, got)
+		}
+	}
+	if got["not-a-heading"] || got["nope"] {
+		t.Errorf("fenced or malformed heading leaked into %v", got)
+	}
+}
+
+func TestLinks(t *testing.T) {
+	content := "See [a](x.md) and ![img](pic.png).\n```\n[ignored](gone.md)\n```\n[b](y.md#frag)\n"
+	got := links(content)
+	want := []string{"x.md", "pic.png", "y.md#frag"}
+	if len(got) != len(want) {
+		t.Fatalf("links = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("links[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLintFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	write("other.md", "# Other\n## Real section\n")
+
+	// All-good file: existing file, valid cross-file and same-file
+	// fragments, a directory target, and a skipped external URL.
+	if err := os.Mkdir(filepath.Join(dir, "cmd"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	good := write("good.md", strings.Join([]string{
+		"# Good",
+		"## Here",
+		"[file](other.md)",
+		"[frag](other.md#real-section)",
+		"[self](#here)",
+		"[dir](cmd)",
+		"[ext](https://example.com/missing)",
+	}, "\n"))
+	if msgs, err := lintFile(good); err != nil || len(msgs) != 0 {
+		t.Fatalf("clean file flagged: %v, %v", msgs, err)
+	}
+
+	// Each breakage is reported.
+	bad := write("bad.md", strings.Join([]string{
+		"# Bad",
+		"[gone](missing.md)",
+		"[frag](other.md#no-such-section)",
+		"[self](#nowhere)",
+		"[dirfrag](cmd#x)",
+	}, "\n"))
+	msgs, err := lintFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 4 {
+		t.Fatalf("want 4 broken links, got %d: %v", len(msgs), msgs)
+	}
+	for i, frag := range []string{"missing.md", "no-such-section", "nowhere", "directory"} {
+		if !strings.Contains(msgs[i], frag) {
+			t.Errorf("message %d = %q, want mention of %q", i, msgs[i], frag)
+		}
+	}
+}

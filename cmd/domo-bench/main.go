@@ -15,6 +15,16 @@
 // experiment reconstructs with; -compare-tiers runs all three tiers over
 // the simulated and sparse-anomaly workloads and emits a speed-vs-accuracy
 // table in -format json|csv.
+//
+// Scenario sweeps: -exp scenarios runs -replicas seeded replicas of every
+// registered Monte-Carlo scenario (or just -scenario <name>) across all
+// estimator tiers and emits accuracy/bound-width envelopes (median with a
+// p5–p95 band) in -format json|csv|text. Unless -nodes/-duration/-period/
+// -sample are set explicitly, scenario sweeps default to a smaller sizing
+// (48 nodes, 6 simulated minutes, 15s period, 150-unknown bound sample)
+// because each sweep runs scenarios × replicas × tiers full
+// reconstructions; the envelope output is deterministic for a fixed -seed
+// at any -workers count.
 package main
 
 import (
@@ -61,7 +71,7 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|fig1|fig6|fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablations|ext-paths|ext-traffic|ext-failure|sparse-anomaly|all")
+		exp       = flag.String("exp", "all", "experiment: table1|fig1|fig6|fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablations|ext-paths|ext-traffic|ext-failure|sparse-anomaly|scenarios|all")
 		nodes     = flag.Int("nodes", 400, "network size (including the sink)")
 		duration  = flag.Duration("duration", 20*time.Minute, "simulated collection time")
 		period    = flag.Duration("period", 30*time.Second, "per-node data generation period")
@@ -70,7 +80,9 @@ func run() error {
 		workers   = flag.Int("workers", runtime.NumCPU(), "bound-solver and estimation-window goroutines (results identical for any count)")
 		estimator = flag.String("estimator", "", `estimation tier for every experiment: "qp" (default), "cs", "tiered"`)
 		cmpTiers  = flag.Bool("compare-tiers", false, "run all estimator tiers over the simulated and sparse-anomaly workloads and emit a speed-vs-accuracy table")
-		format    = flag.String("format", "json", "machine-readable output format for -compare-tiers: json|csv")
+		format    = flag.String("format", "json", "output format for -compare-tiers (json|csv) and -exp scenarios (json|csv|text)")
+		scenName  = flag.String("scenario", "", "restrict -exp scenarios to one named scenario (default: the whole registry)")
+		replicas  = flag.Int("replicas", 20, "seeded Monte-Carlo replicas per scenario for -exp scenarios")
 	)
 	flag.Parse()
 
@@ -85,6 +97,37 @@ func run() error {
 	}
 	w := os.Stdout
 	start := time.Now()
+
+	if *exp == "scenarios" {
+		// Scenario sweeps run scenarios × replicas × tiers full
+		// reconstructions, so unless the caller sized the run explicitly
+		// drop from the paper scale to a sweep-friendly one.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["nodes"] {
+			s.NumNodes = 48
+		}
+		if !explicit["duration"] {
+			s.Duration = 6 * time.Minute
+		}
+		if !explicit["period"] {
+			s.DataPeriod = 15 * time.Second
+		}
+		if !explicit["sample"] {
+			s.BoundSample = 150
+		}
+		var names []string
+		if *scenName != "" {
+			names = []string{*scenName}
+		}
+		if _, err := experiments.RunScenarioSweep(s, names, *replicas, w, *format); err != nil {
+			return err
+		}
+		// Keep stdout machine-readable: json/csv envelope output must
+		// stay parseable by cmd/benchguard -scenarios.
+		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start))
+		return nil
+	}
 
 	if *cmpTiers {
 		if _, err := experiments.RunCompareTiers(s, w, *format); err != nil {

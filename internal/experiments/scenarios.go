@@ -1,0 +1,408 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	domo "github.com/domo-net/domo"
+	"github.com/domo-net/domo/internal/scenario"
+)
+
+// ScenarioSpec names one Monte-Carlo regime. Build derives a replica's
+// full SimConfig from the base sizing; it must fold the replica index
+// into every process seed via scenario.StreamSeed so replicas are
+// independent and reproducible in isolation.
+type ScenarioSpec struct {
+	Name  string
+	Desc  string
+	Build func(base Scenario, seed int64, replica int) domo.SimConfig
+}
+
+// gapDist adapts a unitless scenario distribution to a duration sampler
+// (sample × unit).
+func gapDist(d scenario.Dist, unit time.Duration) func(*rand.Rand) time.Duration {
+	return func(rng *rand.Rand) time.Duration {
+		return time.Duration(d.Sample(rng) * float64(unit))
+	}
+}
+
+// simBase fills the sizing shared by every scenario; process seeds are
+// layered on top by each Build.
+func simBase(base Scenario, seed int64, name string, replica int) domo.SimConfig {
+	return domo.SimConfig{
+		NumNodes:   base.NumNodes,
+		Duration:   base.Duration,
+		DataPeriod: base.DataPeriod,
+		Seed:       scenario.StreamSeed(seed, name+"/sim", replica),
+	}
+}
+
+// Scenarios returns the registry in its stable reporting order.
+//
+// Distribution parameters are expressed relative to the base DataPeriod
+// so one registry serves every sizing: the mean arrival gap stays the
+// DataPeriod (load parity with the paper's periodic model) while the
+// gap's shape, the loss process, and the fleet dynamics change regime.
+func Scenarios() []ScenarioSpec {
+	return []ScenarioSpec{
+		{
+			Name: "baseline",
+			Desc: "the paper's fixed evaluation model: periodic arrivals, no churn, no bursts",
+			Build: func(base Scenario, seed int64, replica int) domo.SimConfig {
+				return simBase(base, seed, "baseline", replica)
+			},
+		},
+		{
+			Name: "heavy-tail",
+			Desc: "pareto(α=1.5) inter-arrival gaps at the same mean rate: self-similar bursty load",
+			Build: func(base Scenario, seed int64, replica int) domo.SimConfig {
+				cfg := simBase(base, seed, "heavy-tail", replica)
+				// Pareto mean = α·xm/(α−1); xm chosen so the mean gap is
+				// one DataPeriod.
+				gap := scenario.Pareto{Xm: 1.0 / 3.0, Alpha: 1.5}
+				cfg.Processes.Arrival = &domo.ArrivalProcess{
+					Gap:  gapDist(gap, base.DataPeriod),
+					Seed: scenario.StreamSeed(seed, "heavy-tail/arrival", replica),
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "lossy-bursts",
+			Desc: "correlated interference: lognormal quiet gaps, weibull burst lengths, beta-PERT severity",
+			Build: func(base Scenario, seed int64, replica int) domo.SimConfig {
+				cfg := simBase(base, seed, "lossy-bursts", replica)
+				pert := scenario.BetaPERT{Min: 0.15, Mode: 0.4, Max: 0.8}
+				cfg.Processes.Interference = &domo.InterferenceProcess{
+					Gap:     gapDist(scenario.LognormalFromMeanCV(2.5, 0.9), base.DataPeriod),
+					Length:  gapDist(scenario.Weibull{Lambda: 0.45, K: 0.8}, base.DataPeriod),
+					Penalty: pert.Sample,
+					Seed:    scenario.StreamSeed(seed, "lossy-bursts/interference", replica),
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "churn",
+			Desc: "node power cycles: weibull uptimes, lognormal repair times, volatile state lost",
+			Build: func(base Scenario, seed int64, replica int) domo.SimConfig {
+				cfg := simBase(base, seed, "churn", replica)
+				cfg.Processes.Churn = &domo.ChurnProcess{
+					Uptime:   gapDist(scenario.Weibull{Lambda: 9, K: 1.3}, base.DataPeriod),
+					Downtime: gapDist(scenario.LognormalFromMeanCV(1.5, 0.8), base.DataPeriod),
+					Seed:     scenario.StreamSeed(seed, "churn/churn", replica),
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "duty-cycle",
+			Desc: "60% of nodes sleep their radio 20% of every 2×DataPeriod, phase-staggered",
+			Build: func(base Scenario, seed int64, replica int) domo.SimConfig {
+				cfg := simBase(base, seed, "duty-cycle", replica)
+				cfg.Processes.DutyCycle = &domo.DutyCycleProcess{
+					Period:        2 * base.DataPeriod,
+					OffShare:      0.2,
+					Participation: 0.6,
+					Seed:          scenario.StreamSeed(seed, "duty-cycle/duty", replica),
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "mixed-stress",
+			Desc: "heavy-tail arrivals + interference bursts + churn together (soak regime)",
+			Build: func(base Scenario, seed int64, replica int) domo.SimConfig {
+				cfg := simBase(base, seed, "mixed-stress", replica)
+				gap := scenario.Pareto{Xm: 1.0 / 3.0, Alpha: 1.5}
+				cfg.Processes.Arrival = &domo.ArrivalProcess{
+					Gap:  gapDist(gap, base.DataPeriod),
+					Seed: scenario.StreamSeed(seed, "mixed-stress/arrival", replica),
+				}
+				cfg.Processes.Interference = &domo.InterferenceProcess{
+					Gap:    gapDist(scenario.LognormalFromMeanCV(3.5, 0.9), base.DataPeriod),
+					Length: gapDist(scenario.Weibull{Lambda: 0.35, K: 0.8}, base.DataPeriod),
+					Seed:   scenario.StreamSeed(seed, "mixed-stress/interference", replica),
+				}
+				cfg.Processes.Churn = &domo.ChurnProcess{
+					Uptime:   gapDist(scenario.Weibull{Lambda: 14, K: 1.3}, base.DataPeriod),
+					Downtime: gapDist(scenario.LognormalFromMeanCV(1.2, 0.8), base.DataPeriod),
+					Seed:     scenario.StreamSeed(seed, "mixed-stress/churn", replica),
+				}
+				return cfg
+			},
+		},
+	}
+}
+
+// LookupScenario resolves a registry name.
+func LookupScenario(name string) (ScenarioSpec, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ScenarioSpec{}, false
+}
+
+// ScenarioNames lists the registry in reporting order.
+func ScenarioNames() []string {
+	specs := Scenarios()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// scenarioTiers are the estimator tiers every scenario is evaluated under.
+var scenarioTiers = []string{"qp", "cs", "tiered"}
+
+// TierEnvelope is the accuracy envelope of one estimator tier across a
+// scenario's replicas.
+type TierEnvelope struct {
+	Estimator string            `json:"estimator"`
+	MAE       scenario.Envelope `json:"mae_ms"`
+	P90Err    scenario.Envelope `json:"p90_err_ms"`
+}
+
+// ScenarioResult aggregates one scenario's replicas: per-tier accuracy
+// envelopes plus the (tier-independent) §IV-C bound envelope and the
+// soundness violation count summed over replicas.
+type ScenarioResult struct {
+	Name       string            `json:"name"`
+	Desc       string            `json:"desc"`
+	Replicas   int               `json:"replicas"`
+	Records    scenario.Envelope `json:"records"`
+	Tiers      []TierEnvelope    `json:"tiers"`
+	BoundWidth scenario.Envelope `json:"bound_width_ms"`
+	Violations int               `json:"violations"`
+}
+
+// SweepConfig echoes the sizing a sweep ran at, so a committed envelope
+// file is self-describing and the guard can refuse mismatched configs.
+type SweepConfig struct {
+	NumNodes    int    `json:"nodes"`
+	Duration    string `json:"duration"`
+	DataPeriod  string `json:"period"`
+	Seed        int64  `json:"seed"`
+	Replicas    int    `json:"replicas"`
+	BoundSample int    `json:"bound_sample"`
+}
+
+// SweepResult is the full output of a scenario sweep.
+type SweepResult struct {
+	Config    SweepConfig      `json:"config"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// replicaMetrics carries one replica's raw numbers to the aggregator.
+type replicaMetrics struct {
+	records   float64
+	maeByTier map[string]float64
+	p90ByTier map[string]float64
+	meanWidth float64
+	violation int
+}
+
+// runReplica simulates and reconstructs one (scenario, replica) cell.
+func runReplica(spec ScenarioSpec, base Scenario, replica int) (*replicaMetrics, error) {
+	cfg := spec.Build(base, base.Seed, replica)
+	tr, err := domo.Simulate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s replica %d: simulating: %w", spec.Name, replica, err)
+	}
+	m := &replicaMetrics{
+		records:   float64(tr.NumRecords()),
+		maeByTier: make(map[string]float64, len(scenarioTiers)),
+		p90ByTier: make(map[string]float64, len(scenarioTiers)),
+	}
+	for _, tier := range scenarioTiers {
+		rec, err := domo.Estimate(tr, domo.Config{Estimator: tier})
+		if err != nil {
+			return nil, fmt.Errorf("%s replica %d: estimating %s: %w", spec.Name, replica, tier, err)
+		}
+		errs, err := domo.EstimateErrors(tr, rec)
+		if err != nil {
+			return nil, fmt.Errorf("%s replica %d: errors %s: %w", spec.Name, replica, tier, err)
+		}
+		s := domo.Summarize(errs)
+		m.maeByTier[tier] = s.Mean
+		m.p90ByTier[tier] = s.P90
+	}
+	bounds, err := domo.Bounds(tr, domo.Config{
+		BoundSample: base.BoundSample,
+		Seed:        scenario.StreamSeed(base.Seed, spec.Name+"/bounds", replica),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s replica %d: bounding: %w", spec.Name, replica, err)
+	}
+	widths, err := domo.BoundWidths(tr, bounds)
+	if err != nil {
+		return nil, fmt.Errorf("%s replica %d: widths: %w", spec.Name, replica, err)
+	}
+	m.meanWidth = domo.Summarize(widths).Mean
+	viol, err := domo.BoundViolations(tr, bounds, 10*time.Microsecond)
+	if err != nil {
+		return nil, fmt.Errorf("%s replica %d: violations: %w", spec.Name, replica, err)
+	}
+	m.violation = viol
+	return m, nil
+}
+
+// RunScenarioSweep runs replicas of every named scenario (nil names = the
+// whole registry), aggregates accuracy/bound envelopes, and renders them
+// to w in the requested format ("json", "csv", or "text"). Replicas are
+// distributed over base.Workers goroutines; because every replica's
+// randomness is pinned by (seed, scenario, replica) and aggregation runs
+// over index-ordered slots, the output is bit-identical for any worker
+// count.
+func RunScenarioSweep(base Scenario, names []string, replicas int, w io.Writer, format string) (*SweepResult, error) {
+	if err := base.validate(); err != nil {
+		return nil, err
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("replicas %d: %w", replicas, ErrBadScenario)
+	}
+	var specs []ScenarioSpec
+	if len(names) == 0 {
+		specs = Scenarios()
+	} else {
+		for _, name := range names {
+			spec, ok := LookupScenario(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown scenario %q (have %v): %w", name, ScenarioNames(), ErrBadScenario)
+			}
+			specs = append(specs, spec)
+		}
+	}
+
+	// Fan the (scenario, replica) grid over a bounded worker pool; slot
+	// results by index so aggregation order is fixed.
+	type cell struct{ spec, replica int }
+	cells := make([]cell, 0, len(specs)*replicas)
+	for si := range specs {
+		for r := 0; r < replicas; r++ {
+			cells = append(cells, cell{si, r})
+		}
+	}
+	results := make([]*replicaMetrics, len(cells))
+	errs := make([]error, len(cells))
+	workers := base.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				idx := next
+				next++
+				mu.Unlock()
+				if idx >= len(cells) {
+					return
+				}
+				c := cells[idx]
+				results[idx], errs[idx] = runReplica(specs[c.spec], base, c.replica)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &SweepResult{Config: SweepConfig{
+		NumNodes:    base.NumNodes,
+		Duration:    base.Duration.String(),
+		DataPeriod:  base.DataPeriod.String(),
+		Seed:        base.Seed,
+		Replicas:    replicas,
+		BoundSample: base.BoundSample,
+	}}
+	for si, spec := range specs {
+		sr := ScenarioResult{Name: spec.Name, Desc: spec.Desc, Replicas: replicas}
+		var records, widths []float64
+		perTier := make(map[string][]float64)
+		perTierP90 := make(map[string][]float64)
+		for r := 0; r < replicas; r++ {
+			m := results[si*replicas+r]
+			records = append(records, m.records)
+			widths = append(widths, m.meanWidth)
+			sr.Violations += m.violation
+			for _, tier := range scenarioTiers {
+				perTier[tier] = append(perTier[tier], m.maeByTier[tier])
+				perTierP90[tier] = append(perTierP90[tier], m.p90ByTier[tier])
+			}
+		}
+		sr.Records = scenario.ComputeEnvelope(records)
+		sr.BoundWidth = scenario.ComputeEnvelope(widths)
+		for _, tier := range scenarioTiers {
+			sr.Tiers = append(sr.Tiers, TierEnvelope{
+				Estimator: tier,
+				MAE:       scenario.ComputeEnvelope(perTier[tier]),
+				P90Err:    scenario.ComputeEnvelope(perTierP90[tier]),
+			})
+		}
+		out.Scenarios = append(out.Scenarios, sr)
+	}
+
+	if w != nil {
+		if err := renderSweep(out, w, format); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// renderSweep writes the sweep in one of the machine/human formats.
+func renderSweep(res *SweepResult, w io.Writer, format string) error {
+	switch format {
+	case "", "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	case "csv":
+		fmt.Fprintln(w, "scenario,estimator,replicas,mae_median_ms,mae_p5_ms,mae_p95_ms,p90err_median_ms,width_median_ms,width_p5_ms,width_p95_ms,violations")
+		for _, sc := range res.Scenarios {
+			for _, tier := range sc.Tiers {
+				fmt.Fprintf(w, "%s,%s,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n",
+					sc.Name, tier.Estimator, sc.Replicas,
+					tier.MAE.Median, tier.MAE.P5, tier.MAE.P95, tier.P90Err.Median,
+					sc.BoundWidth.Median, sc.BoundWidth.P5, sc.BoundWidth.P95, sc.Violations)
+			}
+		}
+		return nil
+	case "text":
+		for _, sc := range res.Scenarios {
+			fmt.Fprintf(w, "=== %s: %s ===\n", sc.Name, sc.Desc)
+			fmt.Fprintf(w, "  records/replica: median %.0f [p5 %.0f, p95 %.0f]\n",
+				sc.Records.Median, sc.Records.P5, sc.Records.P95)
+			for _, tier := range sc.Tiers {
+				fmt.Fprintf(w, "  %-7s MAE %6.2fms [%.2f, %.2f]   p90 err %6.2fms [%.2f, %.2f]\n",
+					tier.Estimator,
+					tier.MAE.Median, tier.MAE.P5, tier.MAE.P95,
+					tier.P90Err.Median, tier.P90Err.P5, tier.P90Err.P95)
+			}
+			fmt.Fprintf(w, "  bound width %6.2fms [%.2f, %.2f]   violations %d\n",
+				sc.BoundWidth.Median, sc.BoundWidth.P5, sc.BoundWidth.P95, sc.Violations)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown scenario output format %q (want json, csv, or text): %w", format, ErrBadScenario)
+	}
+}

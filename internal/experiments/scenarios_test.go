@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sweepTestBase is a tiny sizing so sweep tests stay in CI budget.
+func sweepTestBase() Scenario {
+	// Small but not degenerate: enough nodes and time that every replica
+	// has multi-hop traffic (interior arrivals) for the accuracy metrics.
+	return Scenario{
+		NumNodes:    40,
+		Duration:    3 * time.Minute,
+		DataPeriod:  8 * time.Second,
+		Seed:        1,
+		BoundSample: 60,
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	specs := Scenarios()
+	if len(specs) < 5 {
+		t.Fatalf("registry has only %d scenarios", len(specs))
+	}
+	seen := map[string]bool{}
+	base := sweepTestBase()
+	for _, spec := range specs {
+		if spec.Name == "" || spec.Desc == "" || spec.Build == nil {
+			t.Fatalf("incomplete spec %+v", spec)
+		}
+		if seen[spec.Name] {
+			t.Fatalf("duplicate scenario name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		// Replica index must change the simulator core's seed, and the
+		// same replica must reproduce it.
+		c0, c0b, c1 := spec.Build(base, 1, 0), spec.Build(base, 1, 0), spec.Build(base, 1, 1)
+		if c0.Seed != c0b.Seed {
+			t.Errorf("%s: same replica produced different sim seeds", spec.Name)
+		}
+		if c0.Seed == c1.Seed {
+			t.Errorf("%s: replicas 0 and 1 share sim seed %d", spec.Name, c0.Seed)
+		}
+		if c0.NumNodes != base.NumNodes || c0.Duration != base.Duration {
+			t.Errorf("%s: sizing not taken from base: %+v", spec.Name, c0)
+		}
+		if _, ok := LookupScenario(spec.Name); !ok {
+			t.Errorf("LookupScenario(%q) missed a registered name", spec.Name)
+		}
+	}
+	if _, ok := LookupScenario("no-such-regime"); ok {
+		t.Error("LookupScenario invented a scenario")
+	}
+}
+
+// TestScenarioSweepDeterministicAcrossWorkers is the regression test for
+// the determinism contract: the rendered envelope output must be
+// bit-identical for any -workers count.
+func TestScenarioSweepDeterministicAcrossWorkers(t *testing.T) {
+	names := []string{"baseline", "churn"}
+	render := func(workers int) []byte {
+		base := sweepTestBase()
+		base.Workers = workers
+		var buf bytes.Buffer
+		if _, err := RunScenarioSweep(base, names, 3, &buf, "json"); err != nil {
+			t.Fatalf("sweep (workers=%d): %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 5} {
+		if got := render(workers); !bytes.Equal(serial, got) {
+			t.Fatalf("sweep output differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+func TestScenarioSweepShapes(t *testing.T) {
+	base := sweepTestBase()
+	var buf bytes.Buffer
+	res, err := RunScenarioSweep(base, []string{"heavy-tail"}, 3, &buf, "csv")
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(res.Scenarios) != 1 || res.Scenarios[0].Name != "heavy-tail" {
+		t.Fatalf("unexpected scenarios: %+v", res.Scenarios)
+	}
+	sc := res.Scenarios[0]
+	if len(sc.Tiers) != 3 {
+		t.Fatalf("want 3 tier envelopes, got %d", len(sc.Tiers))
+	}
+	for _, tier := range sc.Tiers {
+		if tier.MAE.N != 3 {
+			t.Errorf("tier %s MAE envelope over %d replicas, want 3", tier.Estimator, tier.MAE.N)
+		}
+		if tier.MAE.Median <= 0 || tier.MAE.P5 > tier.MAE.Median || tier.MAE.Median > tier.MAE.P95 {
+			t.Errorf("tier %s malformed MAE envelope %+v", tier.Estimator, tier.MAE)
+		}
+	}
+	if sc.BoundWidth.Median <= 0 {
+		t.Errorf("bound width envelope %+v", sc.BoundWidth)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+3 { // header + one row per tier
+		t.Fatalf("csv has %d lines: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "heavy-tail,qp,3,") {
+		t.Errorf("csv row %q", lines[1])
+	}
+}
+
+func TestScenarioSweepErrors(t *testing.T) {
+	base := sweepTestBase()
+	if _, err := RunScenarioSweep(base, []string{"no-such"}, 2, nil, "json"); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("unknown scenario gave %v", err)
+	}
+	if _, err := RunScenarioSweep(base, []string{"baseline"}, 0, nil, "json"); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("zero replicas gave %v", err)
+	}
+	if _, err := RunScenarioSweep(base, []string{"baseline"}, 1, &bytes.Buffer{}, "yaml"); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("unknown format gave %v", err)
+	}
+}

@@ -2,6 +2,7 @@
 // experiments. Every fault is driven by a dedicated RNG stream so a seed
 // pins the exact same reboots, skews, duplications, and corruptions run
 // after run, independently of the MAC/application randomness.
+
 package node
 
 import (

@@ -84,6 +84,11 @@ type NetworkConfig struct {
 
 	// Faults selects the injected hardware failure modes (zero = none).
 	Faults FaultConfig
+
+	// Processes plugs scenario-driven stochastic drivers (arrival, churn,
+	// duty-cycle, interference) into the run; the zero value keeps the
+	// fixed evaluation model.
+	Processes Processes
 }
 
 func (c NetworkConfig) withDefaults() NetworkConfig {
@@ -129,6 +134,11 @@ type Network struct {
 	// configured), kept separate from the MAC/application randomness so a
 	// fault seed reproduces the same failure schedule on any workload.
 	faultRNG *rand.Rand
+
+	// arrivalRNG is the dedicated arrival-process stream (nil unless
+	// Processes.Arrival is set); churn/duty/interference streams are
+	// consumed up front in Run and need no retained state.
+	arrivalRNG *rand.Rand
 
 	records []*trace.Record
 }
@@ -179,6 +189,18 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	if c.Faults.Enabled() {
 		n.faultRNG = rand.New(rand.NewSource(c.Faults.faultSeed(c.Seed)))
 		n.assignSkews(n.faultRNG)
+	}
+	if ap := c.Processes.Arrival; ap != nil {
+		if ap.Gap == nil {
+			return nil, fmt.Errorf("arrival process without a Gap sampler: %w", ErrBadNetwork)
+		}
+		n.arrivalRNG = rand.New(rand.NewSource(processSeed(ap.Seed, c.Seed, 0x0a11_71fe)))
+	}
+	if ch := c.Processes.Churn; ch != nil && (ch.Uptime == nil || ch.Downtime == nil) {
+		return nil, fmt.Errorf("churn process needs Uptime and Downtime samplers: %w", ErrBadNetwork)
+	}
+	if ip := c.Processes.Interference; ip != nil && (ip.Gap == nil || ip.Length == nil) {
+		return nil, fmt.Errorf("interference process needs Gap and Length samplers: %w", ErrBadNetwork)
 	}
 	return n, nil
 }
@@ -249,6 +271,20 @@ func (n *Network) Run(duration time.Duration) (*trace.Trace, error) {
 	}
 	if n.faultRNG != nil {
 		n.scheduleReboots(n.faultRNG, duration)
+	}
+	// Scenario processes: each schedule is laid out up front from its own
+	// derived stream, so seeds pin schedules independently of event order.
+	if ch := n.cfg.Processes.Churn; ch != nil {
+		rng := rand.New(rand.NewSource(processSeed(ch.Seed, n.cfg.Seed, 0xc492)))
+		n.scheduleChurn(rng, duration)
+	}
+	if dc := n.cfg.Processes.DutyCycle; dc != nil {
+		rng := rand.New(rand.NewSource(processSeed(dc.Seed, n.cfg.Seed, 0xd07c)))
+		n.scheduleDutyCycle(rng, duration)
+	}
+	if ip := n.cfg.Processes.Interference; ip != nil {
+		rng := rand.New(rand.NewSource(processSeed(ip.Seed, n.cfg.Seed, 0x1f2b)))
+		n.scheduleInterference(rng, duration)
 	}
 	if n.cfg.Link.DriftStdDev > 0 {
 		pairs := n.connectedPairs()

@@ -1,3 +1,9 @@
+// Package node assembles the simulated deployment's node side: Domo's
+// Algorithm-1 instrumentation (the running sum-of-delays counter, the
+// RTSS'12 end-to-end delay field, path-header recording), an application
+// layer with periodic/Poisson/bursty traffic, duplicate suppression, and
+// the full Network wiring of radios, MAC, CTP routing, fault injection,
+// and scenario processes over the discrete-event engine.
 package node
 
 import (
@@ -18,6 +24,7 @@ type Stats struct {
 	NoParentSkips int // generations skipped because the node has no route
 	Duplicates    int // duplicate receptions suppressed
 	Reboots       int // injected watchdog reboots (fault experiments)
+	ChurnOutages  int // scenario churn outage episodes entered
 }
 
 // Node is one network participant: application, Domo instrumentation,
@@ -52,6 +59,10 @@ type Node struct {
 	clockSkew float64
 
 	dead bool
+	// out marks a scenario-churn outage: radio off and volatile state
+	// lost until the episode's scheduled repair (dead, by contrast, is
+	// permanent).
+	out bool
 
 	Stats Stats
 }
@@ -103,6 +114,20 @@ func (n *Node) start() {
 
 func (n *Node) scheduleGeneration(first bool) {
 	cfg := n.net.cfg
+	if ap := cfg.Processes.Arrival; ap != nil {
+		// Scenario arrival process: gaps come from the dedicated arrival
+		// stream, replacing the built-in Traffic pattern entirely. The
+		// first gap also desynchronizes sources across warmup.
+		delay := n.net.nextArrivalGap()
+		if first {
+			delay += cfg.Warmup
+		}
+		n.engine.Schedule(delay, func() {
+			n.generate()
+			n.scheduleGeneration(false)
+		})
+		return
+	}
 	if first {
 		// Desynchronize sources across the warmup boundary.
 		delay := cfg.Warmup + time.Duration(n.engine.RNG().Int63n(int64(cfg.DataPeriod)))
@@ -158,7 +183,7 @@ func (n *Node) scheduleGeneration(first bool) {
 
 // generate creates and enqueues one local data packet.
 func (n *Node) generate() {
-	if n.dead {
+	if n.dead || n.out {
 		return
 	}
 	if _, ok := n.router.Parent(); !ok {

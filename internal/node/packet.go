@@ -4,6 +4,7 @@
 // paper's Algorithm 1 — per-packet sojourn measurement from SFD interrupts
 // and the sum-of-delays field S(p) attached to every local packet. It also
 // assembles whole networks and produces the sink-side trace.
+
 package node
 
 import (

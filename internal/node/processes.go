@@ -1,0 +1,239 @@
+// Scenario processes: pluggable stochastic drivers that replace or overlay
+// the fixed traffic/fault model for Monte-Carlo sweeps. Each process owns
+// a dedicated seeded RNG stream and — like the fault injector — lays its
+// whole event schedule out before the run starts wherever possible, so a
+// (seed, process) pair pins the exact same arrivals, outages, sleep
+// windows, and interference bursts regardless of event interleaving.
+
+package node
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/domo-net/domo/internal/sim"
+	"github.com/domo-net/domo/internal/trace"
+)
+
+// ArrivalProcess replaces the built-in Traffic pattern: every node draws
+// its successive inter-arrival gaps from Gap using the shared arrival
+// stream. Heavy-tailed Gap distributions (pareto, lognormal) produce the
+// bursty, self-similar load real deployments exhibit.
+type ArrivalProcess struct {
+	// Gap returns the next inter-arrival delay; results ≤ 0 are clamped
+	// to 1ms so a degenerate distribution cannot wedge the event loop.
+	Gap func(rng *rand.Rand) time.Duration
+	// Seed drives the arrival stream; 0 derives it from the network seed.
+	Seed int64
+}
+
+// ChurnProcess cycles non-sink nodes through outage/repair episodes:
+// each node alternates Uptime of service with Downtime of total silence
+// (radio off, volatile Algorithm-1 state lost — a pulled battery, not a
+// quick watchdog reboot). The whole schedule is derived from the churn
+// stream before the run starts.
+type ChurnProcess struct {
+	Uptime   func(rng *rand.Rand) time.Duration
+	Downtime func(rng *rand.Rand) time.Duration
+	// Seed drives the churn stream; 0 derives it from the network seed.
+	Seed int64
+}
+
+// DutyCycleProcess powers participating non-sink radios down for OffShare
+// of every Period, with a per-node phase offset so sleep windows stagger
+// across the network. Sleeping radios neither receive nor ACK, so
+// upstream senders burn retransmissions — the low-power-listening stress
+// regime. Node RAM persists across sleep (it is a sleep, not a reboot).
+type DutyCycleProcess struct {
+	// Period is the duty cycle length; OffShare in (0,1) is the slice of
+	// each period spent with the radio off.
+	Period   time.Duration
+	OffShare float64
+	// Participation is the probability a given node duty-cycles at all
+	// (drawn once per node from the duty stream); 0 means every node
+	// participates.
+	Participation float64
+	// Seed drives the duty stream; 0 derives it from the network seed.
+	Seed int64
+}
+
+// InterferenceProcess injects network-wide correlated loss bursts: quiet
+// Gap, then a burst of Length during which every link's PRR is multiplied
+// by a per-burst Penalty factor. This models co-channel interferers that
+// hit the whole deployment at once, unlike the independent per-link drift.
+type InterferenceProcess struct {
+	Gap    func(rng *rand.Rand) time.Duration
+	Length func(rng *rand.Rand) time.Duration
+	// Penalty draws the burst's PRR multiplier in [0,1] (0 = total
+	// blackout, 1 = no effect); nil defaults to a fixed 0.3.
+	Penalty func(rng *rand.Rand) float64
+	// Seed drives the interference stream; 0 derives it from the network
+	// seed.
+	Seed int64
+}
+
+// Processes bundles the scenario drivers; nil members are inactive and the
+// zero value reproduces the fixed evaluation model exactly.
+type Processes struct {
+	Arrival      *ArrivalProcess
+	Churn        *ChurnProcess
+	DutyCycle    *DutyCycleProcess
+	Interference *InterferenceProcess
+}
+
+// Enabled reports whether any scenario process is active.
+func (p Processes) Enabled() bool {
+	return p.Arrival != nil || p.Churn != nil || p.DutyCycle != nil || p.Interference != nil
+}
+
+// processSeed resolves a process's stream seed against the network seed,
+// giving each process a distinct derived stream when unset.
+func processSeed(explicit, networkSeed, salt int64) int64 {
+	if explicit != 0 {
+		return explicit
+	}
+	return networkSeed ^ salt
+}
+
+// sampleDur draws one positive duration from a process sampler, clamping
+// degenerate results so schedules always advance.
+func sampleDur(rng *rand.Rand, f func(*rand.Rand) time.Duration) time.Duration {
+	d := f(rng)
+	if d < time.Millisecond {
+		return time.Millisecond
+	}
+	return d
+}
+
+// nextArrivalGap draws a node's next inter-arrival gap from the shared
+// arrival stream.
+func (n *Network) nextArrivalGap() time.Duration {
+	return sampleDur(n.arrivalRNG, n.cfg.Processes.Arrival.Gap)
+}
+
+// scheduleChurn lays out every node's outage/repair episodes for the whole
+// run up front from the churn stream.
+func (n *Network) scheduleChurn(rng *rand.Rand, duration time.Duration) {
+	ch := n.cfg.Processes.Churn
+	for _, nd := range n.nodes {
+		if nd.isSink {
+			continue
+		}
+		node := nd
+		at := sampleDur(rng, ch.Uptime)
+		for at < duration {
+			n.engine.ScheduleAt(at, node.churnDown)
+			up := at + sampleDur(rng, ch.Downtime)
+			if up >= duration {
+				break
+			}
+			n.engine.ScheduleAt(up, node.churnUp)
+			at = up + sampleDur(rng, ch.Uptime)
+		}
+	}
+}
+
+// scheduleDutyCycle lays out per-node sleep windows. Toggling starts
+// after warmup so tree formation sees the full radio set, mirroring how
+// deployments bring up routing before dropping into low-power operation.
+func (n *Network) scheduleDutyCycle(rng *rand.Rand, duration time.Duration) {
+	dc := n.cfg.Processes.DutyCycle
+	if dc.Period <= 0 || dc.OffShare <= 0 || dc.OffShare >= 1 {
+		return
+	}
+	off := time.Duration(float64(dc.Period) * dc.OffShare)
+	for _, nd := range n.nodes {
+		if nd.isSink {
+			continue
+		}
+		// Participation and phase are drawn for every node regardless of
+		// the participation outcome, so the stream stays aligned across
+		// parameter changes.
+		participates := dc.Participation <= 0 || rng.Float64() < dc.Participation
+		phase := time.Duration(rng.Int63n(int64(dc.Period)))
+		if !participates {
+			continue
+		}
+		node := nd
+		for at := n.cfg.Warmup + phase; at < duration; at += dc.Period {
+			n.engine.ScheduleAt(at, node.sleepRadio)
+			wake := at + off
+			if wake >= duration {
+				break
+			}
+			n.engine.ScheduleAt(wake, node.wakeRadio)
+		}
+	}
+}
+
+// scheduleInterference lays out the network-wide burst schedule up front
+// from the interference stream.
+func (n *Network) scheduleInterference(rng *rand.Rand, duration time.Duration) {
+	p := n.cfg.Processes.Interference
+	at := sampleDur(rng, p.Gap)
+	for at < duration {
+		length := sampleDur(rng, p.Length)
+		penalty := 0.3
+		if p.Penalty != nil {
+			penalty = p.Penalty(rng)
+			if penalty < 0 {
+				penalty = 0
+			} else if penalty > 1 {
+				penalty = 1
+			}
+		}
+		factor := penalty
+		n.engine.ScheduleAt(at, func() { n.links.SetInterference(factor) })
+		end := at + length
+		if end >= duration {
+			break
+		}
+		n.engine.ScheduleAt(end, func() { n.links.SetInterference(1) })
+		at = end + sampleDur(rng, p.Gap)
+	}
+}
+
+// churnDown takes the node out of service: radio off, queued frames lost,
+// volatile Algorithm-1 state gone. No-op for already-failed nodes.
+func (n *Node) churnDown() {
+	if n.dead || n.out {
+		return
+	}
+	n.out = true
+	n.Stats.ChurnOutages++
+	n.mac.SetDown(true)
+	// A power cycle loses the same volatile state a watchdog reboot does.
+	n.sumHopDelays = 0
+	n.arrivalAt = make(map[*Packet]sim.Time)
+	n.lastTxSFD = make(map[*Packet]sim.Time)
+	n.seen = make(map[trace.PacketID]bool)
+	n.seenOrder = nil
+}
+
+// churnUp returns the node to service. Routing state survives in RAM
+// terms but is stale; the next beacons refresh it.
+func (n *Node) churnUp() {
+	if n.dead || !n.out {
+		return
+	}
+	n.out = false
+	n.mac.SetDown(false)
+}
+
+// sleepRadio powers the radio down for a duty-cycle window. Unlike churn,
+// application and Algorithm-1 state persist; locally generated packets
+// simply fail to send and count as forward drops.
+func (n *Node) sleepRadio() {
+	if n.dead || n.out {
+		return
+	}
+	n.mac.SetDown(true)
+}
+
+// wakeRadio ends a duty-cycle sleep window.
+func (n *Node) wakeRadio() {
+	if n.dead || n.out {
+		return
+	}
+	n.mac.SetDown(false)
+}

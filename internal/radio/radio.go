@@ -193,6 +193,10 @@ type LinkModel struct {
 	cfg   LinkConfig
 	rng   *rand.Rand
 	drift map[uint64]float64
+	// interference scales every link's PRR; 1 outside bursts. Driven by
+	// the scenario interference process to model network-wide correlated
+	// loss (co-channel WiFi, microwave ovens, jamming sweeps).
+	interference float64
 }
 
 // NewLinkModel builds a link model over the topology.
@@ -203,10 +207,11 @@ func NewLinkModel(topo *Topology, cfg LinkConfig) (*LinkModel, error) {
 			c.ConnectedRadius, c.OutageRadius, ErrBadConfig)
 	}
 	return &LinkModel{
-		topo:  topo,
-		cfg:   c,
-		rng:   rand.New(rand.NewSource(c.Seed)),
-		drift: make(map[uint64]float64),
+		topo:         topo,
+		cfg:          c,
+		rng:          rand.New(rand.NewSource(c.Seed)),
+		drift:        make(map[uint64]float64),
+		interference: 1,
 	}, nil
 }
 
@@ -267,9 +272,20 @@ func (m *LinkModel) PRR(a, b NodeID) float64 {
 	if base == 0 {
 		return 0
 	}
-	p := base + m.drift[linkKey(a, b)]
+	p := (base + m.drift[linkKey(a, b)]) * m.interference
 	return clampFloat(p, 0, 1)
 }
+
+// SetInterference scales every link's PRR by factor (clamped to [0,1])
+// until the next call; pass 1 to end a burst. The scenario interference
+// process drives this to model correlated network-wide loss episodes, as
+// opposed to the independent per-link drift walk.
+func (m *LinkModel) SetInterference(factor float64) {
+	m.interference = clampFloat(factor, 0, 1)
+}
+
+// Interference returns the current network-wide PRR scale factor.
+func (m *LinkModel) Interference() float64 { return m.interference }
 
 // Connected reports whether the link can ever deliver (within outage range).
 func (m *LinkModel) Connected(a, b NodeID) bool {

@@ -1,0 +1,215 @@
+// Package scenario is the Monte-Carlo substrate of the evaluation: a
+// library of seeded probability distributions, a deterministic stream-seed
+// deriver, and the envelope (median / p5 / p95) statistics the sweep
+// harness reports per scenario.
+//
+// The package deliberately knows nothing about the simulator. It supplies
+// three building blocks the layers above compose:
+//
+//   - Dist: a sampler (pareto, lognormal, weibull, beta-PERT, bernoulli,
+//     exponential, uniform, constant) drawing from a *rand.Rand it is
+//     handed. Every Dist also reports its analytic Mean, which the
+//     moment-check tests pin against empirical averages.
+//   - StreamSeed / NewRNG: the determinism contract. Each stochastic
+//     process in a run (arrival, churn, duty-cycle, interference, the
+//     simulator core) owns one private stream whose seed is derived from
+//     (base seed, process name, replica index) by a splitmix64-style
+//     mixer. Replicas are therefore independent, processes within a
+//     replica are independent, and nothing depends on event interleaving
+//     or worker count.
+//   - Envelope / ComputeEnvelope: order statistics over per-replica
+//     metric values, giving the median with a p5–p95 confidence band
+//     instead of a single point run.
+//
+// internal/experiments composes these into named scenarios (heavy-tailed
+// traffic, churn, duty-cycled radios, correlated interference) and the
+// sweep harness behind `domo-bench -exp scenarios`.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a one-dimensional distribution. Sample draws one variate from
+// the supplied stream; Mean returns the analytic expectation (NaN when the
+// parameters put the mean out of existence, e.g. Pareto with alpha ≤ 1).
+type Dist interface {
+	Sample(rng *rand.Rand) float64
+	Mean() float64
+	String() string
+}
+
+// Constant is the degenerate point-mass distribution at V.
+type Constant struct{ V float64 }
+
+// Sample returns V.
+func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+
+// Mean returns V.
+func (c Constant) Mean() float64 { return c.V }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.V) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample draws uniformly from [Lo, Hi).
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.Lo + rng.Float64()*(u.Hi-u.Lo) }
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%g,%g)", u.Lo, u.Hi) }
+
+// Exponential is the exponential distribution with the given mean
+// (rate 1/M): memoryless gaps, the Poisson process's inter-arrival law.
+type Exponential struct{ M float64 }
+
+// Sample draws an exponential variate with mean M.
+func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() * e.M }
+
+// Mean returns M.
+func (e Exponential) Mean() float64 { return e.M }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(%g)", e.M) }
+
+// Pareto is the Pareto (power-law) distribution with scale Xm > 0 and
+// shape Alpha > 0: P(X > x) = (Xm/x)^Alpha for x ≥ Xm. Heavy-tailed for
+// small Alpha; the variance is infinite for Alpha ≤ 2 and the mean for
+// Alpha ≤ 1, which is exactly the bursty-traffic regime the heavy-tail
+// scenarios exercise.
+type Pareto struct{ Xm, Alpha float64 }
+
+// Sample draws by inversion: Xm · U^(−1/Alpha).
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	// 1−U avoids the U=0 pole while keeping U=1 (probability ~2^-53) safe.
+	u := 1 - rng.Float64()
+	return p.Xm * math.Pow(u, -1/p.Alpha)
+}
+
+// Mean returns Alpha·Xm/(Alpha−1), or +Inf when Alpha ≤ 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("pareto(xm=%g,α=%g)", p.Xm, p.Alpha) }
+
+// Lognormal is exp(N(Mu, Sigma²)): multiplicative noise, the classic model
+// for repair/downtime durations and service-time skew.
+type Lognormal struct{ Mu, Sigma float64 }
+
+// Sample draws exp(Mu + Sigma·Z).
+func (l Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Mean returns exp(Mu + Sigma²/2).
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+func (l Lognormal) String() string { return fmt.Sprintf("lognormal(µ=%g,σ=%g)", l.Mu, l.Sigma) }
+
+// LognormalFromMeanCV builds a Lognormal with the given mean and
+// coefficient of variation (stddev/mean) — the natural parameterization
+// when a scenario says "downtime averages 30s, spread ×2".
+func LognormalFromMeanCV(mean, cv float64) Lognormal {
+	s2 := math.Log(1 + cv*cv)
+	return Lognormal{Mu: math.Log(mean) - s2/2, Sigma: math.Sqrt(s2)}
+}
+
+// Weibull has scale Lambda > 0 and shape K > 0. K < 1 gives a
+// decreasing hazard (long quiet tails between interference bursts), K > 1
+// an increasing one (wear-out style churn).
+type Weibull struct{ Lambda, K float64 }
+
+// Sample draws by inversion: Lambda · (−ln U)^(1/K).
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	u := 1 - rng.Float64()
+	return w.Lambda * math.Pow(-math.Log(u), 1/w.K)
+}
+
+// Mean returns Lambda·Γ(1+1/K).
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+
+func (w Weibull) String() string { return fmt.Sprintf("weibull(λ=%g,k=%g)", w.Lambda, w.K) }
+
+// BetaPERT is the PERT three-point distribution on [Min, Max] with the
+// given Mode: a Beta(1+4(Mode−Min)/(Max−Min), 1+4(Max−Mode)/(Max−Min))
+// stretched onto the interval. Estimation folklore for "optimistic /
+// likely / pessimistic" quantities; the scenarios use it for bounded
+// factors like per-burst interference severity.
+type BetaPERT struct{ Min, Mode, Max float64 }
+
+// Sample draws a Beta variate via two Gamma draws and rescales it.
+func (b BetaPERT) Sample(rng *rand.Rand) float64 {
+	span := b.Max - b.Min
+	if span <= 0 {
+		return b.Min
+	}
+	a1 := 1 + 4*(b.Mode-b.Min)/span
+	a2 := 1 + 4*(b.Max-b.Mode)/span
+	ga := sampleGamma(rng, a1)
+	gb := sampleGamma(rng, a2)
+	if ga+gb == 0 {
+		return b.Mode
+	}
+	return b.Min + span*ga/(ga+gb)
+}
+
+// Mean returns the PERT expectation (Min + 4·Mode + Max)/6.
+func (b BetaPERT) Mean() float64 { return (b.Min + 4*b.Mode + b.Max) / 6 }
+
+func (b BetaPERT) String() string {
+	return fmt.Sprintf("pert(%g,%g,%g)", b.Min, b.Mode, b.Max)
+}
+
+// Bernoulli yields 1 with probability P and 0 otherwise — participation
+// flags (is this node duty-cycled? does this replica drop its uplink?).
+type Bernoulli struct{ P float64 }
+
+// Sample returns 0 or 1.
+func (b Bernoulli) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < b.P {
+		return 1
+	}
+	return 0
+}
+
+// Mean returns P.
+func (b Bernoulli) Mean() float64 { return b.P }
+
+func (b Bernoulli) String() string { return fmt.Sprintf("bernoulli(%g)", b.P) }
+
+// sampleGamma draws a Gamma(shape, 1) variate with the Marsaglia–Tsang
+// squeeze method (shape ≥ 1) and the standard boost for shape < 1.
+func sampleGamma(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := 1 - rng.Float64()
+		return sampleGamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDistMoments pins each sampler's empirical mean (and, where finite,
+// variance) against the analytic values within a tolerance scaled to the
+// distribution's spread.
+func TestDistMoments(t *testing.T) {
+	const n = 200_000
+	cases := []struct {
+		dist Dist
+		// wantVar is the analytic variance; NaN skips the variance check
+		// (heavy tails make the empirical variance useless at this n).
+		wantVar float64
+		// meanTol is the allowed relative error of the empirical mean.
+		meanTol float64
+	}{
+		{Constant{V: 3.25}, 0, 1e-12},
+		{Uniform{Lo: 2, Hi: 6}, 16.0 / 12, 0.01},
+		{Exponential{M: 7.5}, 7.5 * 7.5, 0.02},
+		// Pareto's empirical variance converges too slowly to pin (the
+		// fourth moment is infinite for Alpha ≤ 4); the mean check stands.
+		{Pareto{Xm: 1, Alpha: 3}, math.NaN(), 0.03},
+		{Lognormal{Mu: 0.5, Sigma: 0.4}, math.NaN(), 0.02},
+		{LognormalFromMeanCV(30, 1.0), math.NaN(), 0.05},
+		{Weibull{Lambda: 4, K: 0.8}, math.NaN(), 0.03},
+		{Weibull{Lambda: 2, K: 2.5}, math.NaN(), 0.02},
+		{BetaPERT{Min: 1, Mode: 2, Max: 6}, math.NaN(), 0.02},
+		{Bernoulli{P: 0.35}, 0.35 * 0.65, 0.02},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dist.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var sum, sumSq float64
+			for i := 0; i < n; i++ {
+				v := tc.dist.Sample(rng)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("sample %d is %v", i, v)
+				}
+				sum += v
+				sumSq += v * v
+			}
+			mean := sum / n
+			want := tc.dist.Mean()
+			if math.IsInf(want, 0) {
+				return // infinite-mean regimes have no moment to check
+			}
+			tol := tc.meanTol * math.Max(math.Abs(want), 1e-9)
+			if math.Abs(mean-want) > tol {
+				t.Errorf("empirical mean %.5f, analytic %.5f (tol %.5f)", mean, want, tol)
+			}
+			if !math.IsNaN(tc.wantVar) && tc.wantVar > 0 {
+				v := sumSq/n - mean*mean
+				if math.Abs(v-tc.wantVar) > 0.05*tc.wantVar {
+					t.Errorf("empirical variance %.5f, analytic %.5f", v, tc.wantVar)
+				}
+			}
+		})
+	}
+}
+
+// TestDistSupport checks hard support bounds: Pareto ≥ Xm, Weibull ≥ 0,
+// PERT within [Min, Max], Bernoulli in {0, 1}.
+func TestDistSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pareto := Pareto{Xm: 2, Alpha: 1.2}
+	pert := BetaPERT{Min: 0.1, Mode: 0.35, Max: 0.8}
+	bern := Bernoulli{P: 0.5}
+	weib := Weibull{Lambda: 3, K: 0.7}
+	for i := 0; i < 50_000; i++ {
+		if v := pareto.Sample(rng); v < pareto.Xm {
+			t.Fatalf("pareto sample %g below scale %g", v, pareto.Xm)
+		}
+		if v := pert.Sample(rng); v < pert.Min || v > pert.Max {
+			t.Fatalf("pert sample %g outside [%g,%g]", v, pert.Min, pert.Max)
+		}
+		if v := bern.Sample(rng); v != 0 && v != 1 {
+			t.Fatalf("bernoulli sample %g not in {0,1}", v)
+		}
+		if v := weib.Sample(rng); v < 0 {
+			t.Fatalf("weibull sample %g negative", v)
+		}
+	}
+}
+
+// TestStreamDeterminism: the same (base, process, replica) triple must
+// reproduce the exact sample sequence, and distinct replicas must differ.
+func TestStreamDeterminism(t *testing.T) {
+	dists := []Dist{
+		Pareto{Xm: 1, Alpha: 1.5},
+		Lognormal{Mu: 0, Sigma: 1},
+		Weibull{Lambda: 2, K: 0.9},
+		BetaPERT{Min: 0, Mode: 1, Max: 4},
+		Bernoulli{P: 0.3},
+	}
+	for _, d := range dists {
+		a := NewRNG(1, "arrival", 3)
+		b := NewRNG(1, "arrival", 3)
+		for i := 0; i < 1000; i++ {
+			va, vb := d.Sample(a), d.Sample(b)
+			if va != vb {
+				t.Fatalf("%s: replica-identical streams diverged at draw %d: %g vs %g", d, i, va, vb)
+			}
+		}
+		// A different replica index must change the sequence.
+		c := NewRNG(1, "arrival", 4)
+		same := 0
+		ref := NewRNG(1, "arrival", 3)
+		for i := 0; i < 1000; i++ {
+			if d.Sample(c) == d.Sample(ref) {
+				same++
+			}
+		}
+		if _, isBern := d.(Bernoulli); !isBern && same > 10 {
+			t.Errorf("%s: replica 3 and 4 share %d/1000 draws", d, same)
+		}
+	}
+}
+
+// TestStreamProcessIndependence: distinct process names over the same base
+// seed and replica must yield unrelated streams (no seed+1 correlation).
+func TestStreamProcessIndependence(t *testing.T) {
+	procs := []string{"sim", "arrival", "churn", "duty", "interference"}
+	seeds := map[int64]string{}
+	for _, p := range procs {
+		for replica := 0; replica < 50; replica++ {
+			s := StreamSeed(1, p, replica)
+			if prev, dup := seeds[s]; dup {
+				t.Fatalf("seed collision: (%s,%d) and %s both map to %d", p, replica, prev, s)
+			}
+			seeds[s] = p
+		}
+	}
+	// Correlation check: the raw uniform streams of two processes should
+	// agree about as often as independent uniforms quantized to 1e-3 do.
+	a := NewRNG(1, "arrival", 0)
+	b := NewRNG(1, "churn", 0)
+	close := 0
+	for i := 0; i < 10_000; i++ {
+		if math.Abs(a.Float64()-b.Float64()) < 1e-3 {
+			close++
+		}
+	}
+	if close > 100 { // E[close] ≈ 20 for independent streams
+		t.Errorf("arrival and churn streams track each other: %d/10000 draws within 1e-3", close)
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	e := ComputeEnvelope([]float64{5, 1, 3, 2, 4})
+	if e.N != 5 || e.Median != 3 || e.Min != 1 || e.Max != 5 || e.Mean != 3 {
+		t.Fatalf("envelope %+v", e)
+	}
+	// p5 of [1..5]: pos = 0.05*4 = 0.2 → 1.2; p95 → 4.8.
+	if math.Abs(e.P5-1.2) > 1e-12 || math.Abs(e.P95-4.8) > 1e-12 {
+		t.Fatalf("p5=%g p95=%g, want 1.2/4.8", e.P5, e.P95)
+	}
+	if got := ComputeEnvelope(nil); got != (Envelope{}) {
+		t.Fatalf("empty input gave %+v", got)
+	}
+	withNaN := ComputeEnvelope([]float64{math.NaN(), 2, math.NaN()})
+	if withNaN.N != 1 || withNaN.Median != 2 {
+		t.Fatalf("NaN filtering gave %+v", withNaN)
+	}
+	single := ComputeEnvelope([]float64{7})
+	if single.Median != 7 || single.P5 != 7 || single.P95 != 7 {
+		t.Fatalf("single-value envelope %+v", single)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20}, {-1, 10}, {2, 40},
+	}
+	for _, tc := range cases {
+		if got := Quantile(sorted, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty sample should be NaN")
+	}
+}

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"math"
+	"sort"
+)
+
+// Envelope summarizes one metric across a scenario's replicas: the median
+// with a p5–p95 confidence band, plus mean and extremes. The sweep
+// harness reports an Envelope per (scenario, estimator tier, metric)
+// instead of a single point run, so regime sensitivity and run-to-run
+// spread are visible and CI can gate on drift of the whole band.
+type Envelope struct {
+	N      int     `json:"n"`
+	Median float64 `json:"median"`
+	P5     float64 `json:"p5"`
+	P95    float64 `json:"p95"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// ComputeEnvelope builds the order statistics over per-replica values.
+// NaNs are dropped; an empty (or all-NaN) input yields the zero Envelope.
+func ComputeEnvelope(values []float64) Envelope {
+	clean := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return Envelope{}
+	}
+	sort.Float64s(clean)
+	var sum float64
+	for _, v := range clean {
+		sum += v
+	}
+	return Envelope{
+		N:      len(clean),
+		Median: Quantile(clean, 0.5),
+		P5:     Quantile(clean, 0.05),
+		P95:    Quantile(clean, 0.95),
+		Mean:   sum / float64(len(clean)),
+		Min:    clean[0],
+		Max:    clean[len(clean)-1],
+	}
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of an ascending-sorted
+// sample with linear interpolation between closest ranks (the same
+// "type 7" estimator numpy and R default to).
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

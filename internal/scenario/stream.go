@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"math/rand"
+)
+
+// StreamSeed derives the seed of one process's private random stream from
+// the sweep's base seed, the process name, and the replica index. The
+// derivation is a splitmix64-style avalanche over (base, fnv1a(process),
+// replica), so:
+//
+//   - distinct process names yield statistically independent streams even
+//     for adjacent base seeds (no "seed+1" correlation),
+//   - distinct replica indices yield independent streams per process, and
+//   - the mapping is pure: a (base, process, replica) triple pins the
+//     stream forever, independent of scheduling, worker count, or the
+//     order replicas run in.
+//
+// Every stochastic process in a scenario run draws from its own stream
+// seeded this way; nothing shares the simulator core's RNG.
+func StreamSeed(base int64, process string, replica int) int64 {
+	// FNV-1a over the process name.
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(process); i++ {
+		h ^= uint64(process[i])
+		h *= 0x100000001b3
+	}
+	x := uint64(base)
+	x ^= h
+	x ^= uint64(replica) * 0x9e3779b97f4a7c15 // golden-ratio spread per replica
+	// splitmix64 finalizer: full-avalanche mix so low-entropy inputs
+	// (base=1, replica=0..N) still land anywhere in the 64-bit space.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	seed := int64(x)
+	if seed == 0 {
+		// rand.NewSource(0) is legal but 0 doubles as "derive for me" in
+		// several configs downstream; sidestep it.
+		seed = 0x5eed
+	}
+	return seed
+}
+
+// NewRNG returns a freshly seeded deterministic stream for one process of
+// one replica. See StreamSeed for the derivation contract.
+func NewRNG(base int64, process string, replica int) *rand.Rand {
+	return rand.New(rand.NewSource(StreamSeed(base, process, replica)))
+}

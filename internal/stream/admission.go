@@ -10,6 +10,7 @@
 // (remote IP for per-connection limits, a network/deployment id for
 // multi-tenant quotas). Bucket state is bounded by MaxTenants; a fleet of
 // spoofed source addresses cannot grow the map without bound.
+
 package stream
 
 import (

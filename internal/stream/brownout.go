@@ -22,6 +22,7 @@
 // Recovering solves at full QP again but only returns to Healthy after
 // RecoverWindows consecutive calm windows, so one drained queue sample
 // cannot flap the state.
+
 package stream
 
 import (

@@ -9,6 +9,7 @@
 // version byte, a code byte, and a varint retry-after in nanoseconds — so
 // a sink-side microcontroller can parse it with a dozen lines of C, and a
 // server can write it in one syscall before closing the connection.
+
 package wire
 
 import (

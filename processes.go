@@ -1,0 +1,99 @@
+package domo
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/domo-net/domo/internal/node"
+)
+
+// Processes plugs scenario-driven stochastic drivers into a simulated
+// run, replacing or overlaying the paper's fixed evaluation model for
+// Monte-Carlo sweeps. The zero value keeps the fixed model. Every
+// process draws from its own seeded stream (derived from SimConfig.Seed
+// when the process seed is 0), and schedules are laid out before the run
+// starts, so a seed pins the exact arrivals, outages, sleep windows, and
+// interference bursts regardless of anything else in the run.
+type Processes struct {
+	// Arrival replaces SimConfig.Traffic with sampled inter-arrival gaps
+	// (heavy-tailed load, thinning, sub-second floods).
+	Arrival *ArrivalProcess
+	// Churn cycles nodes through outage/repair episodes (power cycles
+	// that lose volatile Algorithm-1 state and force rerouting).
+	Churn *ChurnProcess
+	// DutyCycle powers participating radios down for a slice of every
+	// period (low-power listening; sleeping radios neither hear nor ACK).
+	DutyCycle *DutyCycleProcess
+	// Interference overlays network-wide correlated PRR-penalty bursts
+	// (co-channel interferers hitting the whole deployment at once).
+	Interference *InterferenceProcess
+}
+
+// ArrivalProcess draws every node's successive inter-arrival gaps from
+// Gap on a dedicated seeded stream. Gaps ≤ 0 are clamped to 1ms.
+type ArrivalProcess struct {
+	Gap  func(rng *rand.Rand) time.Duration
+	Seed int64 // 0 derives the stream from SimConfig.Seed
+}
+
+// ChurnProcess alternates each non-sink node between Uptime in service
+// and Downtime of total silence (radio off, volatile state lost).
+type ChurnProcess struct {
+	Uptime   func(rng *rand.Rand) time.Duration
+	Downtime func(rng *rand.Rand) time.Duration
+	Seed     int64 // 0 derives the stream from SimConfig.Seed
+}
+
+// DutyCycleProcess powers participating non-sink radios down for
+// OffShare of every Period, phase-staggered per node. Participation is
+// the probability a node duty-cycles at all (0 = every node).
+type DutyCycleProcess struct {
+	Period        time.Duration
+	OffShare      float64
+	Participation float64
+	Seed          int64 // 0 derives the stream from SimConfig.Seed
+}
+
+// InterferenceProcess injects loss bursts: quiet Gap, then Length during
+// which every link's PRR is multiplied by a per-burst Penalty draw in
+// [0,1] (nil Penalty = fixed 0.3).
+type InterferenceProcess struct {
+	Gap     func(rng *rand.Rand) time.Duration
+	Length  func(rng *rand.Rand) time.Duration
+	Penalty func(rng *rand.Rand) float64
+	Seed    int64 // 0 derives the stream from SimConfig.Seed
+}
+
+// Enabled reports whether any scenario process is active.
+func (p Processes) Enabled() bool { return p.toNode().Enabled() }
+
+func (p Processes) toNode() node.Processes {
+	var out node.Processes
+	if p.Arrival != nil {
+		out.Arrival = &node.ArrivalProcess{Gap: p.Arrival.Gap, Seed: p.Arrival.Seed}
+	}
+	if p.Churn != nil {
+		out.Churn = &node.ChurnProcess{
+			Uptime:   p.Churn.Uptime,
+			Downtime: p.Churn.Downtime,
+			Seed:     p.Churn.Seed,
+		}
+	}
+	if p.DutyCycle != nil {
+		out.DutyCycle = &node.DutyCycleProcess{
+			Period:        p.DutyCycle.Period,
+			OffShare:      p.DutyCycle.OffShare,
+			Participation: p.DutyCycle.Participation,
+			Seed:          p.DutyCycle.Seed,
+		}
+	}
+	if p.Interference != nil {
+		out.Interference = &node.InterferenceProcess{
+			Gap:     p.Interference.Gap,
+			Length:  p.Interference.Length,
+			Penalty: p.Interference.Penalty,
+			Seed:    p.Interference.Seed,
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package domo
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// procTestConfig is a small deployment that finishes fast but still has
+// multi-hop paths for the processes to disturb.
+func procTestConfig(seed int64) SimConfig {
+	return SimConfig{
+		NumNodes:   30,
+		Duration:   3 * time.Minute,
+		DataPeriod: 10 * time.Second,
+		Warmup:     60 * time.Second,
+		Seed:       seed,
+	}
+}
+
+func expGap(mean time.Duration) func(*rand.Rand) time.Duration {
+	return func(rng *rand.Rand) time.Duration {
+		return time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+}
+
+// TestProcessesSimulate runs each scenario process (and all combined)
+// through a small simulation and checks the collected trace stays valid
+// and still delivers packets.
+func TestProcessesSimulate(t *testing.T) {
+	heavyTail := &ArrivalProcess{Gap: func(rng *rand.Rand) time.Duration {
+		// Pareto(α=1.6) scaled to a 10s mean gap: xm = mean·(α−1)/α.
+		u := 1 - rng.Float64()
+		xm := 10 * time.Second * 6 / 16
+		return time.Duration(float64(xm) * math.Pow(u, -1/1.6))
+	}}
+	cases := []struct {
+		name string
+		p    Processes
+	}{
+		{"arrival", Processes{Arrival: heavyTail}},
+		{"churn", Processes{Churn: &ChurnProcess{
+			Uptime:   expGap(70 * time.Second),
+			Downtime: expGap(20 * time.Second),
+		}}},
+		{"duty-cycle", Processes{DutyCycle: &DutyCycleProcess{
+			Period: 30 * time.Second, OffShare: 0.2, Participation: 0.7,
+		}}},
+		{"interference", Processes{Interference: &InterferenceProcess{
+			Gap:    expGap(40 * time.Second),
+			Length: expGap(8 * time.Second),
+			Penalty: func(rng *rand.Rand) float64 {
+				return 0.2 + 0.3*rng.Float64()
+			},
+		}}},
+		{"all", Processes{
+			Arrival: heavyTail,
+			Churn: &ChurnProcess{
+				Uptime:   expGap(80 * time.Second),
+				Downtime: expGap(15 * time.Second),
+			},
+			DutyCycle: &DutyCycleProcess{
+				Period: 30 * time.Second, OffShare: 0.15,
+			},
+			Interference: &InterferenceProcess{
+				Gap:    expGap(50 * time.Second),
+				Length: expGap(6 * time.Second),
+			},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := procTestConfig(11)
+			cfg.Processes = tc.p
+			tr, err := Simulate(cfg)
+			if err != nil {
+				t.Fatalf("Simulate: %v", err)
+			}
+			if tr.NumRecords() == 0 {
+				t.Fatal("no packets delivered under scenario processes")
+			}
+			// The collector's strict validation ran inside Simulate (no
+			// Faults configured), so reaching here means the trace held
+			// its invariants; reconstruct to prove it is solvable too.
+			rec, err := Estimate(tr, Config{})
+			if err != nil {
+				t.Fatalf("Estimate: %v", err)
+			}
+			if rec.Stats().Windows == 0 {
+				t.Fatal("estimation produced no windows")
+			}
+		})
+	}
+}
+
+// TestProcessesDeterministic: equal seeds must reproduce the exact trace
+// bytes; different seeds must not.
+func TestProcessesDeterministic(t *testing.T) {
+	build := func(seed int64) []byte {
+		cfg := procTestConfig(seed)
+		cfg.Processes = Processes{
+			Arrival: &ArrivalProcess{Gap: expGap(12 * time.Second)},
+			Churn: &ChurnProcess{
+				Uptime:   expGap(80 * time.Second),
+				Downtime: expGap(15 * time.Second),
+			},
+			Interference: &InterferenceProcess{
+				Gap:    expGap(45 * time.Second),
+				Length: expGap(5 * time.Second),
+			},
+		}
+		tr, err := Simulate(cfg)
+		if err != nil {
+			t.Fatalf("Simulate(seed=%d): %v", seed, err)
+		}
+		var buf bytes.Buffer
+		if err := tr.EncodeWire(&buf); err != nil {
+			t.Fatalf("EncodeWire: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(5), build(5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different traces under scenario processes")
+	}
+	if c := build(6); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestChurnActuallyDisrupts: a harsh churn process must cost deliveries
+// relative to the undisturbed run, and a harsh interference process must
+// cost link-layer frames — otherwise the hooks are dead code.
+func TestChurnActuallyDisrupts(t *testing.T) {
+	base := procTestConfig(3)
+	clean, err := Simulate(base)
+	if err != nil {
+		t.Fatalf("clean Simulate: %v", err)
+	}
+
+	churny := base
+	churny.Processes = Processes{Churn: &ChurnProcess{
+		Uptime:   expGap(40 * time.Second),
+		Downtime: expGap(40 * time.Second),
+	}}
+	disturbed, err := Simulate(churny)
+	if err != nil {
+		t.Fatalf("churn Simulate: %v", err)
+	}
+	if disturbed.NumRecords() >= clean.NumRecords() {
+		t.Errorf("churn (half the fleet down on average) did not reduce deliveries: %d vs %d",
+			disturbed.NumRecords(), clean.NumRecords())
+	}
+
+	jammed := base
+	jammed.Processes = Processes{Interference: &InterferenceProcess{
+		Gap:     expGap(20 * time.Second),
+		Length:  expGap(20 * time.Second),
+		Penalty: func(*rand.Rand) float64 { return 0.05 },
+	}}
+	n, err := NewNetwork(jammed)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	jtr, err := n.Run()
+	if err != nil {
+		t.Fatalf("jammed Run: %v", err)
+	}
+	if jtr.NumRecords() >= clean.NumRecords() {
+		t.Errorf("heavy interference did not reduce deliveries: %d vs %d",
+			jtr.NumRecords(), clean.NumRecords())
+	}
+	if st := n.Stats(); st.FramesDropped == 0 {
+		t.Error("heavy interference dropped zero frames")
+	}
+}

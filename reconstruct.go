@@ -114,9 +114,9 @@ func (c Config) toCore() core.Config {
 		kind = core.EstimatorQP // callers validate first; stay safe here
 	}
 	cc := core.Config{
-		Estimator:     kind,
-		CSGate:        c.CSGate,
-		CSMaxSparsity: c.CSMaxSparsity,
+		Estimator:                kind,
+		CSGate:                   c.CSGate,
+		CSMaxSparsity:            c.CSMaxSparsity,
 		EffectiveWindowRatio:     c.EffectiveWindowRatio,
 		WindowPackets:            c.WindowPackets,
 		EnableSDR:                c.EnableSDR,

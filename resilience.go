@@ -11,6 +11,7 @@
 // boundaries and indexes), suppressing regenerated windows below that
 // index is a complete duplicate filter — no content hashing, no persisted
 // dedup state.
+
 package domo
 
 import (

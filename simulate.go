@@ -51,6 +51,11 @@ type SimConfig struct {
 	// validation — pass the result through Trace.Sanitize before
 	// reconstruction, or set Config.AutoSanitize.
 	Faults FaultConfig
+	// Processes plugs scenario-driven stochastic drivers — sampled
+	// arrivals, churn, duty-cycled radios, interference bursts — into
+	// the run for Monte-Carlo sweeps; see Processes. Zero keeps the
+	// paper's fixed evaluation model.
+	Processes Processes
 }
 
 // FaultConfig selects which hardware failure modes the simulator injects,
@@ -186,6 +191,7 @@ func NewNetwork(cfg SimConfig) (*Network, error) {
 		GridJitter:     0.3,
 		EnableNodeLogs: c.NodeLogs,
 		Faults:         c.Faults.toNode(),
+		Processes:      c.Processes.toNode(),
 	}
 	if c.TrickleBeacons {
 		cfgNode.CTP.Trickle = &ctp.TrickleConfig{}
