@@ -54,6 +54,7 @@ type options struct {
 	workers    int
 	dropOldest bool
 	sanitize   bool
+	forensics  bool
 	verbose    bool
 
 	wal           string
@@ -91,6 +92,7 @@ func parseFlags(args []string) options {
 	fs.IntVar(&o.workers, "workers", 0, "estimation worker goroutines per window (0 = serial)")
 	fs.BoolVar(&o.dropOldest, "drop-oldest", false, "shed the oldest queued record when the queue is full instead of blocking ingest")
 	fs.BoolVar(&o.sanitize, "sanitize", true, "sanitize each record on admission, quarantining invariant violations")
+	fs.BoolVar(&o.forensics, "forensics", false, "run counter forensics on admission: segment each source's S(p) counter into reset epochs so no sum constraint spans a reboot wipe or 16-bit wraparound; requires -sanitize")
 	fs.BoolVar(&o.verbose, "v", false, "log each closed window")
 	fs.StringVar(&o.wal, "wal", "", "write-ahead-log directory: accepted frames are made durable and replayed after a crash (empty disables)")
 	fs.StringVar(&o.fsync, "fsync", "interval", "WAL fsync policy: always, interval, or off")
@@ -155,6 +157,9 @@ func newServer(opts options) (*server, error) {
 	if opts.watchdog > 0 && opts.wal == "" {
 		return nil, fmt.Errorf("-watchdog requires -wal: restarts resume from the last checkpoint")
 	}
+	if opts.forensics && !opts.sanitize {
+		return nil, fmt.Errorf("-forensics requires -sanitize: epochs are assigned by the admission sanitizer")
+	}
 	cfg := domo.StreamConfig{
 		NumNodes: opts.nodes,
 		Estimation: domo.Config{
@@ -169,6 +174,9 @@ func newServer(opts options) (*server, error) {
 			SolveLatencyTarget: opts.brownoutTarget,
 		},
 		Watchdog: domo.WatchdogConfig{Deadline: opts.watchdog},
+	}
+	if opts.forensics {
+		cfg.Sanitize = domo.SanitizeOptions{Forensics: true}
 	}
 	if opts.dropOldest {
 		cfg.Policy = domo.DropOldestWhenFull

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -237,5 +238,135 @@ func TestKillAndRestartRecovery(t *testing.T) {
 	}
 	if want := (int(N) + 7) / 8; len(indices) != want {
 		t.Fatalf("recovered %d windows, want %d", len(indices), want)
+	}
+}
+
+func expDur(mean time.Duration) func(*rand.Rand) time.Duration {
+	return func(rng *rand.Rand) time.Duration {
+		return time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+}
+
+// The churn chaos soak: nodes power-cycle mid-run under bursty
+// scenario-process load (outages wipe their volatile Algorithm-1
+// counters), the delivered stream is served with forensic sanitize on,
+// and the server is SIGKILLed mid-stream. Two guarantees end-to-end:
+// the epoch-segmented bounds admit zero Eq. 7 violations, and the
+// forensic state round-trips through the checkpoint so the recovered
+// window output is bit-for-bit the uninterrupted run's.
+func TestChurnChaosSoak(t *testing.T) {
+	cfg := domo.SimConfig{
+		NumNodes:   20,
+		Duration:   2 * time.Minute,
+		DataPeriod: 10 * time.Second,
+		Warmup:     60 * time.Second,
+		Seed:       9,
+	}
+	cfg.Processes = domo.Processes{
+		Arrival: &domo.ArrivalProcess{Gap: expDur(6 * time.Second)},
+		Churn: &domo.ChurnProcess{
+			Uptime:   expDur(50 * time.Second),
+			Downtime: expDur(8 * time.Second),
+		},
+	}
+	tr, err := domo.Simulate(cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+
+	// End-to-end soundness under churn: the forensic pass must have real
+	// wipes to segment, and the epoch-segmented bounds must hold every
+	// ground-truth arrival.
+	san, srep := tr.SanitizeWith(domo.SanitizeOptions{Forensics: true})
+	if srep.EpochBumps == 0 {
+		t.Fatalf("churn produced no epoch bumps; the soak is not stressing forensics: %+v", srep)
+	}
+	bounds, err := domo.Bounds(san, domo.Config{BoundSample: 200, Seed: 3})
+	if err != nil {
+		t.Fatalf("Bounds: %v", err)
+	}
+	viol, err := domo.BoundViolations(san, bounds, 10*time.Microsecond)
+	if err != nil {
+		t.Fatalf("BoundViolations: %v", err)
+	}
+	if viol != 0 {
+		t.Fatalf("%d Eq. 7 bound violations under churn with forensics on, want 0", viol)
+	}
+
+	var wireBuf bytes.Buffer
+	if err := tr.EncodeWire(&wireBuf); err != nil {
+		t.Fatalf("EncodeWire: %v", err)
+	}
+	wireBytes := wireBuf.Bytes()
+	hlen, frames := frameOffsets(t, wireBytes)
+	N := uint64(tr.NumRecords())
+	const fullFrames = 24 // three full 8-record windows
+	if len(frames) < fullFrames+8 {
+		t.Fatalf("churn trace too small for a mid-stream crash: %d frames", len(frames))
+	}
+	args := func(dir, ingest, httpAddr string) string {
+		return childArgs(tr.NumNodes(), dir, ingest, httpAddr) + " -forensics"
+	}
+
+	// Reference: an uninterrupted forensic run over the whole stream.
+	dirA := t.TempDir()
+	ingestA, httpA := freeAddr(t), freeAddr(t)
+	ref := startChild(t, args(dirA, ingestA, httpA))
+	sendBytes(t, ingestA, wireBytes)
+	pollStatus(t, httpA, "reference ingest", func(p statusPayload) bool { return p.Received == N })
+	if err := ref.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM reference: %v", err)
+	}
+	if err := ref.Wait(); err != nil {
+		t.Fatalf("reference run exited: %v", err)
+	}
+	refOut, err := os.ReadFile(filepath.Join(dirA, "out.jsonl"))
+	if err != nil {
+		t.Fatalf("reading reference output: %v", err)
+	}
+	if len(refOut) == 0 {
+		t.Fatal("reference run produced no windows")
+	}
+
+	// Crash run: stream a prefix ending mid-frame, wait for a checkpoint
+	// (which snapshots the forensic trackers), then SIGKILL.
+	cut := hlen + 3
+	for _, f := range frames[:fullFrames] {
+		cut += f
+	}
+	dirB := t.TempDir()
+	ingestB, httpB := freeAddr(t), freeAddr(t)
+	crash := startChild(t, args(dirB, ingestB, httpB))
+	sendBytes(t, ingestB, wireBytes[:cut])
+	pollStatus(t, httpB, "crash-run checkpoint", func(p statusPayload) bool {
+		return p.LastCheckpointSeq > 0 && p.Received == fullFrames
+	})
+	if err := crash.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	crash.Wait()
+
+	// Restart on the same WAL with a rewinding client: the checkpoint's
+	// forensic snapshot plus the replayed tail must reproduce the exact
+	// epoch assignments, hence bit-identical windows.
+	ingestC, httpC := freeAddr(t), freeAddr(t)
+	restarted := startChild(t, args(dirB, ingestC, httpC))
+	sendBytes(t, ingestC, wireBytes)
+	pollStatus(t, httpC, "restart ingest", func(p statusPayload) bool {
+		return p.ReplayedRecords > 0 && p.Received == p.ReplayedRecords+N
+	})
+	if err := restarted.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM restart: %v", err)
+	}
+	if err := restarted.Wait(); err != nil {
+		t.Fatalf("restarted run exited: %v", err)
+	}
+	gotOut, err := os.ReadFile(filepath.Join(dirB, "out.jsonl"))
+	if err != nil {
+		t.Fatalf("reading recovered output: %v", err)
+	}
+	if !bytes.Equal(gotOut, refOut) {
+		t.Fatalf("recovered output differs from uninterrupted run:\n got %d bytes: %.200s\nwant %d bytes: %.200s",
+			len(gotOut), gotOut, len(refOut), refOut)
 	}
 }

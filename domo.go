@@ -196,6 +196,16 @@ type SanitizeReport struct {
 	ByReason map[string]int
 	// Records lists the quarantined records in input order.
 	Records []QuarantinedRecord
+
+	// Forensics counters, populated only when the pass ran with
+	// SanitizeOptions.Forensics enabled (see Trace.SanitizeWith). The
+	// records they describe are kept and annotated, not quarantined.
+	// SumResets counts records whose S(p) field was flagged as
+	// reboot-wiped, SumWraps those classified as 16-bit wraparounds, and
+	// EpochBumps the per-source counter epoch boundaries introduced.
+	SumResets  int
+	SumWraps   int
+	EpochBumps int
 }
 
 // String renders the report as a one-line summary.
@@ -208,6 +218,10 @@ func (r *SanitizeReport) String() string {
 	sort.Strings(reasons)
 	for _, reason := range reasons {
 		s += fmt.Sprintf(" %s=%d", reason, r.ByReason[reason])
+	}
+	if r.SumResets > 0 || r.SumWraps > 0 || r.EpochBumps > 0 {
+		s += fmt.Sprintf(" sum-resets=%d sum-wraps=%d epoch-bumps=%d",
+			r.SumResets, r.SumWraps, r.EpochBumps)
 	}
 	return s
 }
@@ -231,6 +245,9 @@ func (r *SanitizeReport) Merge(o *SanitizeReport) {
 		r.ByReason[reason] += n
 	}
 	r.Records = append(r.Records, o.Records...)
+	r.SumResets += o.SumResets
+	r.SumWraps += o.SumWraps
+	r.EpochBumps += o.EpochBumps
 }
 
 func fromInternalReport(rep *trace.SanitizeReport) *SanitizeReport {
@@ -246,6 +263,9 @@ func fromInternalReport(rep *trace.SanitizeReport) *SanitizeReport {
 	for _, q := range rep.Records {
 		out.Records = append(out.Records, QuarantinedRecord{ID: fromInternalID(q.ID), Reason: q.Reason.String()})
 	}
+	out.SumResets = rep.SumResets
+	out.SumWraps = rep.SumWraps
+	out.EpochBumps = rep.EpochBumps
 	return out
 }
 
@@ -259,7 +279,72 @@ func fromInternalReport(rep *trace.SanitizeReport) *SanitizeReport {
 // Bounds, which are strict about their inputs. Sanitizing a clean trace is
 // a no-op that reports zero quarantined records.
 func (t *Trace) Sanitize() (*Trace, *SanitizeReport) {
-	inner, rep := t.inner.Sanitize(trace.SanitizeOptions{})
+	return t.SanitizeWith(SanitizeOptions{})
+}
+
+// SanitizeOptions tunes Trace.SanitizeWith beyond the plain quarantine
+// pass. The zero value reproduces Trace.Sanitize exactly.
+type SanitizeOptions struct {
+	// Forensics enables the counter-forensics pass: per-source
+	// monotonicity and activity tracking that detects S(p) resets (reboot
+	// and power-cycle wipes of the volatile Algorithm-1 node state) and
+	// 16-bit counter wraparounds from the delivered record stream itself.
+	// Implicated records are kept, not quarantined: they are annotated
+	// with a per-source counter epoch, and the reconstruction then refuses
+	// to build any Eq. 7 sum relation spanning two epochs (dropping or
+	// widening it instead — see EstimateStats.DroppedSumConstraints).
+	// Off by default so the clean path stays bit-identical.
+	Forensics bool
+	// GenGapFactor arms the generation-gap detector: an inter-generation
+	// gap above GenGapFactor × the source's rolling median gap is treated
+	// as an outage. Default 1.6.
+	GenGapFactor float64
+	// GenGapMinSamples is how many gap samples a source must accumulate
+	// before the generation-gap detector arms. Default 4.
+	GenGapMinSamples int
+	// E2EWipeSlack and E2EWipeSlackPerHop bound the legitimate excess of
+	// SinkArrival−GenTime over the node-measured end-to-end delay field;
+	// a larger discrepancy means some hop lost its arrival timestamp
+	// mid-flight (a reboot). Defaults 20ms + 10ms/hop.
+	E2EWipeSlack       time.Duration
+	E2EWipeSlackPerHop time.Duration
+	// WrapMargin classifies sum-field damage as a 16-bit wraparound rather
+	// than a wipe when the source's observable forwarding activity since
+	// its previous local packet comes within WrapMargin of the field's
+	// 65535ms range. Default 4s.
+	WrapMargin time.Duration
+	// DeficitSlack and DeficitMargin tune the buffer-deficit audit: every
+	// delivered 3-hop record proves a floor (its span minus the source's
+	// recorded S minus DeficitSlack) on the relay sojourn it deposited
+	// into the relay's counter, and the relay's next local packet must
+	// carry the accumulated floor (less its own sojourn) within
+	// DeficitMargin or the counter was wiped in between. This is the only
+	// detector that catches short quiet outages — ones that skip no
+	// generation and lose no in-flight packet still zero the buffer. Both
+	// knobs must exceed the S(p) quantization quantum; defaults 2ms each.
+	DeficitSlack  time.Duration
+	DeficitMargin time.Duration
+}
+
+func (o SanitizeOptions) toInternal() trace.SanitizeOptions {
+	return trace.SanitizeOptions{
+		Forensics:          o.Forensics,
+		GenGapFactor:       o.GenGapFactor,
+		GenGapMinSamples:   o.GenGapMinSamples,
+		E2EWipeSlack:       o.E2EWipeSlack,
+		E2EWipeSlackPerHop: o.E2EWipeSlackPerHop,
+		WrapMargin:         o.WrapMargin,
+		DeficitSlack:       o.DeficitSlack,
+		DeficitMargin:      o.DeficitMargin,
+	}
+}
+
+// SanitizeWith is Sanitize with explicit options — in particular the
+// counter-forensics pass that segments each source's S(p) counter into
+// reset epochs (SanitizeOptions.Forensics). With the zero options it is
+// identical to Sanitize.
+func (t *Trace) SanitizeWith(opts SanitizeOptions) (*Trace, *SanitizeReport) {
+	inner, rep := t.inner.Sanitize(opts.toInternal())
 	return &Trace{inner: inner}, fromInternalReport(rep)
 }
 

@@ -78,6 +78,9 @@ type StreamCheckpoint struct {
 	NextWindow int
 	SeqBase    int
 	Aux        int64
+	// Epochs is the counter-forensics snapshot persisted alongside (nil
+	// unless the stream sanitizes with SanitizeOptions.Forensics).
+	Epochs []byte
 }
 
 // Checkpoint durably records that every window up to and including w has
@@ -90,7 +93,10 @@ func (s *Stream) Checkpoint(w *StreamWindow, aux int64) error {
 	if s.log == nil {
 		return fmt.Errorf("stream checkpoint: stream has no WAL: %w", ErrBadInput)
 	}
-	cp := wal.Checkpoint{Cursor: w.Cursor, NextWindow: w.Index + 1, SeqBase: w.SeqEnd, Aux: aux}
+	cp := wal.Checkpoint{
+		Cursor: w.Cursor, NextWindow: w.Index + 1, SeqBase: w.SeqEnd, Aux: aux,
+		Epochs: w.ForensicState,
+	}
 	if err := wal.SaveCheckpoint(s.ckptPath, cp); err != nil {
 		return fmt.Errorf("stream checkpoint: %w", err)
 	}
@@ -127,7 +133,10 @@ func (s *Stream) LoadedCheckpoint() (StreamCheckpoint, bool) {
 		return StreamCheckpoint{}, false
 	}
 	cp := s.loadedCp
-	return StreamCheckpoint{Cursor: cp.Cursor, NextWindow: cp.NextWindow, SeqBase: cp.SeqBase, Aux: cp.Aux}, true
+	return StreamCheckpoint{
+		Cursor: cp.Cursor, NextWindow: cp.NextWindow, SeqBase: cp.SeqBase, Aux: cp.Aux,
+		Epochs: cp.Epochs,
+	}, true
 }
 
 // RetryConfig tunes SendWire's reconnect behavior. The zero value selects

@@ -1,0 +1,162 @@
+package domo
+
+import (
+	"testing"
+	"time"
+)
+
+// Forensics are strictly opt-in: with the zero options SanitizeWith is
+// Sanitize, no record is annotated, and the reconstruction stays
+// bit-identical at every worker count whether or not the forensic pass
+// ran on a trace it had nothing to flag.
+func TestForensicsOffBitIdentical(t *testing.T) {
+	tr, err := Simulate(procTestConfig(21))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	plain, prep := tr.Sanitize()
+	zero, zrep := tr.SanitizeWith(SanitizeOptions{})
+	if prep.String() != zrep.String() {
+		t.Fatalf("zero-options SanitizeWith diverged: %s vs %s", prep, zrep)
+	}
+	if zrep.SumResets != 0 || zrep.SumWraps != 0 || zrep.EpochBumps != 0 {
+		t.Fatalf("forensic counters nonzero with forensics off: %+v", zrep)
+	}
+
+	var baseline *Reconstruction
+	for _, workers := range []int{1, 2, 4} {
+		a, err := Estimate(plain, Config{EstimateWorkers: workers})
+		if err != nil {
+			t.Fatalf("Estimate(plain, %d workers): %v", workers, err)
+		}
+		b, err := Estimate(zero, Config{EstimateWorkers: workers})
+		if err != nil {
+			t.Fatalf("Estimate(zero-options, %d workers): %v", workers, err)
+		}
+		assertSameArrivals(t, plain, a, b)
+		if baseline == nil {
+			baseline = a
+		} else {
+			assertSameArrivals(t, plain, baseline, a)
+		}
+	}
+}
+
+// Forensics annotations must keep the reconstruction bit-identical across
+// worker counts too — epoch segmentation changes which constraints exist,
+// never the solve order's determinism.
+func TestForensicsOnDeterministicAcrossWorkers(t *testing.T) {
+	cfg := procTestConfig(22)
+	cfg.Processes = Processes{Churn: &ChurnProcess{
+		Uptime:   expGap(70 * time.Second),
+		Downtime: expGap(15 * time.Second),
+	}}
+	tr, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	san, rep := tr.SanitizeWith(SanitizeOptions{Forensics: true})
+	t.Logf("forensics: resets=%d wraps=%d bumps=%d", rep.SumResets, rep.SumWraps, rep.EpochBumps)
+	var baseline *Reconstruction
+	for _, workers := range []int{1, 2, 4} {
+		rec, err := Estimate(san, Config{EstimateWorkers: workers})
+		if err != nil {
+			t.Fatalf("Estimate(%d workers): %v", workers, err)
+		}
+		if baseline == nil {
+			baseline = rec
+		} else {
+			assertSameArrivals(t, san, baseline, rec)
+		}
+	}
+}
+
+// Wrap16 × reboot regression: with both fault modes on, the forensic pass
+// must classify damage, the estimator must surface the epoch segmentation
+// it induced, and the resulting bounds must never be less sound than the
+// un-forensic path.
+func TestWrap16RebootForensics(t *testing.T) {
+	cfg := SimConfig{
+		NumNodes:   100,
+		Duration:   4 * time.Minute,
+		DataPeriod: 15 * time.Second,
+		Seed:       11,
+		Faults: FaultConfig{
+			RebootMTBF: 4 * time.Minute,
+			Wrap16:     true,
+		},
+	}
+	tr, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	plain, _ := tr.Sanitize()
+	fore, frep := tr.SanitizeWith(SanitizeOptions{Forensics: true})
+	if frep.SumResets == 0 {
+		t.Fatalf("reboots produced no reset classifications: %+v", frep)
+	}
+	if frep.EpochBumps == 0 {
+		t.Fatalf("reboots produced no epoch bumps: %+v", frep)
+	}
+	t.Logf("forensics: resets=%d wraps=%d bumps=%d", frep.SumResets, frep.SumWraps, frep.EpochBumps)
+
+	rec, err := Estimate(fore, Config{})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	stats := rec.Stats()
+	if stats.ResetEpochs == 0 {
+		t.Fatalf("estimator saw no reset epochs: %+v", stats)
+	}
+	if stats.DroppedSumConstraints == 0 {
+		t.Fatalf("no Eq. 7 relations were dropped across epoch boundaries: %+v", stats)
+	}
+
+	bPlain, err := Bounds(plain, Config{BoundSample: 150, Seed: 7})
+	if err != nil {
+		t.Fatalf("Bounds(plain): %v", err)
+	}
+	bFore, err := Bounds(fore, Config{BoundSample: 150, Seed: 7})
+	if err != nil {
+		t.Fatalf("Bounds(forensic): %v", err)
+	}
+	vp, err := BoundViolations(plain, bPlain, time.Millisecond)
+	if err != nil {
+		t.Fatalf("BoundViolations(plain): %v", err)
+	}
+	vf, err := BoundViolations(fore, bFore, time.Millisecond)
+	if err != nil {
+		t.Fatalf("BoundViolations(forensic): %v", err)
+	}
+	t.Logf("bound violations: plain=%d forensic=%d", vp, vf)
+	if vf > vp {
+		t.Fatalf("forensics made bounds less sound: %d violations vs %d", vf, vp)
+	}
+	if vp > 0 && vf >= vp {
+		t.Fatalf("forensics did not improve soundness: %d violations vs %d", vf, vp)
+	}
+}
+
+// assertSameArrivals compares every packet's full reconstructed arrival
+// vector between two reconstructions, exactly.
+func assertSameArrivals(t *testing.T, tr *Trace, a, b *Reconstruction) {
+	t.Helper()
+	for _, id := range tr.Packets() {
+		av, err := a.Arrivals(id)
+		if err != nil {
+			t.Fatalf("Arrivals(%v): %v", id, err)
+		}
+		bv, err := b.Arrivals(id)
+		if err != nil {
+			t.Fatalf("Arrivals(%v): %v", id, err)
+		}
+		if len(av) != len(bv) {
+			t.Fatalf("arrival vector length differs for %v", id)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("reconstructions diverge at %v hop %d: %v vs %v", id, i, av[i], bv[i])
+			}
+		}
+	}
+}

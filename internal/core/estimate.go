@@ -63,7 +63,15 @@ type EstimateStats struct {
 	// EscalatedWindows counts tiered-mode windows whose CS residual
 	// failed the gate and were re-solved by the full QP ladder.
 	EscalatedWindows int
-	WallTime         time.Duration
+	// ResetEpochs is the number of sanitize-detected S(p) counter-reset
+	// boundaries in the dataset (summed per-source epoch increments); zero
+	// for clean traces or when forensics were not run.
+	ResetEpochs int
+	// DroppedSumConstraints counts Eq. 7 sum relations dropped outright or
+	// downgraded to the minimal own-sojourn form because of reset
+	// annotations, so estimation degradation under churn is observable.
+	DroppedSumConstraints int
+	WallTime              time.Duration
 	// PerWindow records one entry per completed window, in window order,
 	// for observability: where each window sat, how hard the solver worked,
 	// and whether fault isolation had to retry or degrade it.
@@ -102,6 +110,10 @@ type WindowStat struct {
 	// CSResidual is the CS pass's normalized residual (residual RMS over
 	// measurement RMS), recorded whenever the CS tier ran on the window.
 	CSResidual float64
+	// Epochs counts the reset boundaries visible in the solved record
+	// range: distinct (source, epoch) pairs beyond one per source. Zero
+	// when no reset epoch crosses the window.
+	Epochs int
 }
 
 // Arrivals returns the full reconstructed arrival-time vector
@@ -219,6 +231,8 @@ func initEstimatesCtx(ctx context.Context, d *Dataset) (*Estimates, error) {
 		byID:   make(map[trace.PacketID]int, len(d.records)),
 	}
 	est.Stats.Unknowns = len(d.unknowns)
+	est.Stats.ResetEpochs = d.resetEpochs
+	est.Stats.DroppedSumConstraints = d.droppedSum
 	for ri, r := range d.records {
 		est.byID[r.ID] = ri
 	}
@@ -458,6 +472,23 @@ func (e *Estimates) DegradeToProjection() {
 	e.Stats.DegradedWindows++
 }
 
+// windowEpochs counts reset boundaries visible in a record range: distinct
+// (source, epoch) pairs beyond one per source. Only consulted when the
+// dataset carries reset annotations, so the clean hot path pays nothing.
+func windowEpochs(d *Dataset, start, end int) int {
+	type srcEpoch struct {
+		src   radio.NodeID
+		epoch int32
+	}
+	pairs := make(map[srcEpoch]bool)
+	srcs := make(map[radio.NodeID]bool)
+	for _, r := range d.records[start:end] {
+		pairs[srcEpoch{src: r.ID.Source, epoch: r.Epoch}] = true
+		srcs[r.ID.Source] = true
+	}
+	return len(pairs) - len(srcs)
+}
+
 // mergeWindowStat folds one completed window into the aggregate counters.
 func (est *Estimates) mergeWindowStat(st WindowStat) {
 	est.Stats.Windows++
@@ -490,6 +521,9 @@ func (est *Estimates) mergeWindowStat(st WindowStat) {
 // context cancellation, every other failure degrades the window in place.
 func solveWindow(ctx context.Context, d *Dataset, snapshot, dst []float64, idx int, sp windowSpan, ws *solveWorkspace, run *runState) (WindowStat, error) {
 	st := WindowStat{Index: idx, Start: sp.Start, End: sp.End, KeepLo: sp.KeepLo, KeepHi: sp.KeepHi, Tier: TierQP}
+	if d.resetEpochs > 0 {
+		st.Epochs = windowEpochs(d, sp.Start, sp.End)
+	}
 	begin := time.Now()
 
 	// Compressed-sensing tier: try the cheap sparse-deviation solve

@@ -293,6 +293,16 @@ type Dataset struct {
 	// soft equality term: S(p) ≈ Σ star + ½·Σ maybe.
 	sumInfos []sumInfo
 
+	// resetEpochs is the number of sanitize-detected counter-reset
+	// boundaries present in the records (summed per-source epoch
+	// increments); zero for clean or un-forensicated traces.
+	resetEpochs int
+	// droppedSum counts Eq. 7 relations dropped outright or downgraded to
+	// the minimal own-sojourn form because of reset annotations
+	// (Record.SumReset/SumSuspect or an epoch boundary between a packet
+	// and its previous local packet).
+	droppedSum int
+
 	// failWindow, when non-nil, is consulted before each window solve
 	// attempt (attempt 0, then 1 for the retry) and a non-nil error is
 	// treated as the solve failing. Tests use it to exercise the
@@ -360,6 +370,7 @@ func NewDatasetCtx(ctx context.Context, tr *trace.Trace, cfg Config) (*Dataset, 
 	d.indexUnknowns()
 	d.indexPassages()
 	d.indexPrevLocal()
+	d.countResetEpochs()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -427,6 +438,20 @@ func (d *Dataset) indexPrevLocal() {
 	}
 }
 
+// countResetEpochs sums the per-source maximum epoch ids: the number of
+// counter-reset boundaries the sanitize forensics pass found in the trace.
+func (d *Dataset) countResetEpochs() {
+	maxEpoch := make(map[radio.NodeID]int32)
+	for _, r := range d.records {
+		if r.Epoch > maxEpoch[r.ID.Source] {
+			maxEpoch[r.ID.Source] = r.Epoch
+		}
+	}
+	for _, e := range maxEpoch {
+		d.resetEpochs += int(e)
+	}
+}
+
 // ref returns the varRef for arrival time t_hop of record ri.
 func (d *Dataset) ref(ri, hop int) varRef {
 	r := d.records[ri]
@@ -482,6 +507,13 @@ func (d *Dataset) buildSumConstraints(ctx context.Context) error {
 				return err
 			}
 		}
+		if r.SumReset {
+			// Sanitize flagged the S field itself as wiped or wrapped
+			// mid-flight: no relation — not even the minimal one — may use
+			// it. The drop is counted so the degradation stays observable.
+			d.droppedSum++
+			continue
+		}
 		qi := d.prevLocal[ri]
 		if qi < 0 {
 			// The previous local packet was lost, so C*(p) cannot be
@@ -497,6 +529,21 @@ func (d *Dataset) buildSumConstraints(ctx context.Context) error {
 			continue
 		}
 		q := d.records[qi]
+		if r.SumSuspect || r.Epoch != q.Epoch {
+			// A counter-reset boundary sits (or may sit) inside the
+			// accumulation interval (q, p): C* members committed before the
+			// wipe are missing from S, so the full Eq. 7 row would be
+			// unsound. Only the packet's own sojourn — written after the
+			// boundary — is certainly inside S; keep the minimal relation.
+			d.droppedSum++
+			d.constraints = append(d.constraints, linConstraint{
+				terms:      d.nodeDelayTerms(ri, 0),
+				lower:      -infMS,
+				upper:      toMS(r.SumDelays) + toMS(d.cfg.QuantizeSlack),
+				guaranteed: true,
+			})
+			continue
+		}
 		src := r.ID.Source
 
 		// D_{N0(p)}(p) = t_1(p) - t_0(p).

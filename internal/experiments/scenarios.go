@@ -114,6 +114,19 @@ func Scenarios() []ScenarioSpec {
 			},
 		},
 		{
+			Name: "service-time",
+			Desc: "70% of relays hold each forwarded packet for lognormal extra service time (mean 2% of DataPeriod)",
+			Build: func(base Scenario, seed int64, replica int) domo.SimConfig {
+				cfg := simBase(base, seed, "service-time", replica)
+				cfg.Processes.ServiceTime = &domo.ServiceTimeProcess{
+					Extra:         gapDist(scenario.LognormalFromMeanCV(0.02, 1.0), base.DataPeriod),
+					Participation: 0.7,
+					Seed:          scenario.StreamSeed(seed, "service-time/service", replica),
+				}
+				return cfg
+			},
+		},
+		{
 			Name: "mixed-stress",
 			Desc: "heavy-tail arrivals + interference bursts + churn together (soak regime)",
 			Build: func(base Scenario, seed int64, replica int) domo.SimConfig {
@@ -172,7 +185,10 @@ type TierEnvelope struct {
 
 // ScenarioResult aggregates one scenario's replicas: per-tier accuracy
 // envelopes plus the (tier-independent) §IV-C bound envelope and the
-// soundness violation count summed over replicas.
+// soundness violation count summed over replicas. The forensics counters
+// (reset/wrap classifications, epoch bumps, dropped Eq. 7 rows) are also
+// summed over replicas, making reset-detection coverage visible in the
+// committed envelope file.
 type ScenarioResult struct {
 	Name       string            `json:"name"`
 	Desc       string            `json:"desc"`
@@ -181,6 +197,10 @@ type ScenarioResult struct {
 	Tiers      []TierEnvelope    `json:"tiers"`
 	BoundWidth scenario.Envelope `json:"bound_width_ms"`
 	Violations int               `json:"violations"`
+	SumResets  int               `json:"sum_resets,omitempty"`
+	SumWraps   int               `json:"sum_wraps,omitempty"`
+	EpochBumps int               `json:"epoch_bumps,omitempty"`
+	DroppedSum int               `json:"dropped_sum_constraints,omitempty"`
 }
 
 // SweepConfig echoes the sizing a sweep ran at, so a committed envelope
@@ -202,29 +222,44 @@ type SweepResult struct {
 
 // replicaMetrics carries one replica's raw numbers to the aggregator.
 type replicaMetrics struct {
-	records   float64
-	maeByTier map[string]float64
-	p90ByTier map[string]float64
-	meanWidth float64
-	violation int
+	records    float64
+	maeByTier  map[string]float64
+	p90ByTier  map[string]float64
+	meanWidth  float64
+	violation  int
+	sumResets  int
+	sumWraps   int
+	epochBumps int
+	droppedSum int
 }
 
 // runReplica simulates and reconstructs one (scenario, replica) cell.
+// Reconstruction runs on the sanitized trace with counter forensics
+// enabled — the deployment posture — so reboot/wraparound-poisoned S(p)
+// values are epoch-segmented out of the Eq. 7 rows instead of silently
+// tightening §IV-C bounds past the truth.
 func runReplica(spec ScenarioSpec, base Scenario, replica int) (*replicaMetrics, error) {
 	cfg := spec.Build(base, base.Seed, replica)
-	tr, err := domo.Simulate(cfg)
+	raw, err := domo.Simulate(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s replica %d: simulating: %w", spec.Name, replica, err)
 	}
+	tr, srep := raw.SanitizeWith(domo.SanitizeOptions{Forensics: true})
 	m := &replicaMetrics{
-		records:   float64(tr.NumRecords()),
-		maeByTier: make(map[string]float64, len(scenarioTiers)),
-		p90ByTier: make(map[string]float64, len(scenarioTiers)),
+		records:    float64(tr.NumRecords()),
+		maeByTier:  make(map[string]float64, len(scenarioTiers)),
+		p90ByTier:  make(map[string]float64, len(scenarioTiers)),
+		sumResets:  srep.SumResets,
+		sumWraps:   srep.SumWraps,
+		epochBumps: srep.EpochBumps,
 	}
 	for _, tier := range scenarioTiers {
 		rec, err := domo.Estimate(tr, domo.Config{Estimator: tier})
 		if err != nil {
 			return nil, fmt.Errorf("%s replica %d: estimating %s: %w", spec.Name, replica, tier, err)
+		}
+		if tier == scenarioTiers[0] {
+			m.droppedSum = rec.Stats().DroppedSumConstraints
 		}
 		errs, err := domo.EstimateErrors(tr, rec)
 		if err != nil {
@@ -344,6 +379,10 @@ func RunScenarioSweep(base Scenario, names []string, replicas int, w io.Writer, 
 			records = append(records, m.records)
 			widths = append(widths, m.meanWidth)
 			sr.Violations += m.violation
+			sr.SumResets += m.sumResets
+			sr.SumWraps += m.sumWraps
+			sr.EpochBumps += m.epochBumps
+			sr.DroppedSum += m.droppedSum
 			for _, tier := range scenarioTiers {
 				perTier[tier] = append(perTier[tier], m.maeByTier[tier])
 				perTierP90[tier] = append(perTierP90[tier], m.p90ByTier[tier])

@@ -140,6 +140,12 @@ type Network struct {
 	// consumed up front in Run and need no retained state.
 	arrivalRNG *rand.Rand
 
+	// serviceRNG is the dedicated service-time stream and servicing the
+	// per-node participation outcomes, both nil unless
+	// Processes.ServiceTime is set.
+	serviceRNG *rand.Rand
+	servicing  []bool
+
 	records []*trace.Record
 }
 
@@ -201,6 +207,18 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	}
 	if ip := c.Processes.Interference; ip != nil && (ip.Gap == nil || ip.Length == nil) {
 		return nil, fmt.Errorf("interference process needs Gap and Length samplers: %w", ErrBadNetwork)
+	}
+	if sp := c.Processes.ServiceTime; sp != nil {
+		if sp.Extra == nil {
+			return nil, fmt.Errorf("service-time process without an Extra sampler: %w", ErrBadNetwork)
+		}
+		n.serviceRNG = rand.New(rand.NewSource(processSeed(sp.Seed, c.Seed, 0x5e71)))
+		// Participation is drawn for every node up front so the per-packet
+		// draws that follow stay aligned across participation changes.
+		n.servicing = make([]bool, c.NumNodes)
+		for i := 1; i < c.NumNodes; i++ {
+			n.servicing[i] = sp.Participation <= 0 || n.serviceRNG.Float64() < sp.Participation
+		}
 	}
 	return n, nil
 }

@@ -47,6 +47,13 @@ type Node struct {
 	// lastTxSFD is the most recent transmit-SFD time per in-flight packet.
 	lastTxSFD map[*Packet]sim.Time
 
+	// svcBusyUntil serializes the scenario service-time stage: the
+	// forwarding "server" is busy until this instant, and every data
+	// packet — forwarded or local — enters the MAC queue only after it.
+	// Releases therefore happen in entry order, preserving the per-node
+	// FIFO discipline the paper's §IV-A order witnesses assume.
+	svcBusyUntil sim.Time
+
 	// Duplicate suppression: recently seen packet ids, FIFO-evicted.
 	seen      map[trace.PacketID]bool
 	seenOrder []trace.PacketID
@@ -200,7 +207,10 @@ func (n *Node) generate() {
 	}
 	n.Stats.Generated++
 	n.arrivalAt[p] = now // t1 for a local packet is its generation time
-	n.forward(p, true)
+	// Local packets draw no service time, but they must still queue
+	// behind any forwarded packet the service stage is holding — letting
+	// them jump ahead would break the node's FIFO departure order.
+	n.admitService(p, 0)
 }
 
 // forward enqueues a packet toward the current parent.
@@ -309,7 +319,36 @@ func (n *Node) OnReceive(f *mac.Frame, sfdAt, at sim.Time) {
 	}
 	n.arrivalAt[p] = sfdAt // Algorithm 1 lines 4-5
 	p.e2eBase = p.E2EAccum // snapshot the carried end-to-end field
-	n.forward(p, false)
+	n.admitService(p, n.net.serviceExtra(n.id))
+}
+
+// admitService passes a data packet through the node's service stage: a
+// FIFO server whose per-packet service draw comes from the scenario
+// service-time process. The wait sits between t1 (RX SFD or generation)
+// and the TX SFD, so Algorithm 1 measures it as genuine sojourn — and
+// because releases are serialized through svcBusyUntil, departure order
+// equals entry order, keeping sink-arrival order a sound witness for
+// per-node arrival order (the FIFO assumption behind §IV-A bounds).
+// With no service-time process the release is immediate and the packet
+// forwards synchronously, leaving the event schedule untouched.
+func (n *Node) admitService(p *Packet, extra time.Duration) {
+	now := n.engine.Now()
+	release := now + sim.Time(extra)
+	if release < n.svcBusyUntil {
+		release = n.svcBusyUntil
+	}
+	if release <= now {
+		n.forward(p, false)
+		return
+	}
+	n.svcBusyUntil = release
+	n.engine.Schedule(release-now, func() {
+		if n.dead || n.out {
+			n.abandon(p)
+			return
+		}
+		n.forward(p, false)
+	})
 }
 
 // OnSendDone implements mac.Delegate: commit the packet's sojourn into the

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/domo-net/domo/internal/radio"
 	"github.com/domo-net/domo/internal/sim"
 	"github.com/domo-net/domo/internal/trace"
 )
@@ -57,6 +58,25 @@ type DutyCycleProcess struct {
 	Seed int64
 }
 
+// ServiceTimeProcess inflates per-node forwarding delay: a participating
+// non-sink node holds every packet it receives for an Extra draw before
+// queuing it toward its parent — modeling application-layer processing
+// (aggregation, encryption, flash writes) on top of MAC queuing. The hold
+// happens between the receive SFD and the transmit SFD, so it is real
+// observable sojourn: Algorithm 1 measures it, S(p) carries it, and the
+// reconstruction must recover it per node.
+type ServiceTimeProcess struct {
+	// Extra returns one packet's additional service time; results ≤ 0
+	// mean no hold for that packet.
+	Extra func(rng *rand.Rand) time.Duration
+	// Participation is the probability a given node inflates at all
+	// (drawn once per node from the service stream); 0 means every
+	// non-sink node participates.
+	Participation float64
+	// Seed drives the service stream; 0 derives it from the network seed.
+	Seed int64
+}
+
 // InterferenceProcess injects network-wide correlated loss bursts: quiet
 // Gap, then a burst of Length during which every link's PRR is multiplied
 // by a per-burst Penalty factor. This models co-channel interferers that
@@ -78,12 +98,14 @@ type Processes struct {
 	Arrival      *ArrivalProcess
 	Churn        *ChurnProcess
 	DutyCycle    *DutyCycleProcess
+	ServiceTime  *ServiceTimeProcess
 	Interference *InterferenceProcess
 }
 
 // Enabled reports whether any scenario process is active.
 func (p Processes) Enabled() bool {
-	return p.Arrival != nil || p.Churn != nil || p.DutyCycle != nil || p.Interference != nil
+	return p.Arrival != nil || p.Churn != nil || p.DutyCycle != nil ||
+		p.ServiceTime != nil || p.Interference != nil
 }
 
 // processSeed resolves a process's stream seed against the network seed,
@@ -109,6 +131,21 @@ func sampleDur(rng *rand.Rand, f func(*rand.Rand) time.Duration) time.Duration {
 // arrival stream.
 func (n *Network) nextArrivalGap() time.Duration {
 	return sampleDur(n.arrivalRNG, n.cfg.Processes.Arrival.Gap)
+}
+
+// serviceExtra draws one packet's extra service time for a forwarding
+// node, or 0 when the node does not participate in the service-time
+// process (or none is configured).
+func (n *Network) serviceExtra(id radio.NodeID) time.Duration {
+	sp := n.cfg.Processes.ServiceTime
+	if sp == nil || int(id) >= len(n.servicing) || !n.servicing[id] {
+		return 0
+	}
+	d := sp.Extra(n.serviceRNG)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // scheduleChurn lays out every node's outage/repair episodes for the whole

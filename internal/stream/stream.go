@@ -83,6 +83,12 @@ type Config struct {
 	// SanitizeOpts tunes the sanitizer when Sanitize is set (zero value =
 	// the batch Sanitize defaults).
 	SanitizeOpts trace.SanitizeOptions
+	// ForensicState restores the sanitizer's counter-forensics trackers
+	// from a checkpoint snapshot (WindowResult.ForensicState) before any
+	// record is admitted or primed, so epoch assignment survives a crash
+	// without replaying the whole stream. Ignored unless Sanitize and
+	// SanitizeOpts.Forensics are set.
+	ForensicState []byte
 	// ResultBuffer is the capacity of the results channel. Default 4.
 	ResultBuffer int
 	// SolveTimeout, when positive, bounds each window's solve wall time.
@@ -153,7 +159,13 @@ type WindowResult struct {
 	// State is the brownout tier the window was solved under. StateBrownout
 	// means Est came from the cheap degraded-tier solver, not the full QP.
 	State BrownoutState
-	Err   error
+	// ForensicState is a snapshot of the sanitizer's counter-forensics
+	// trackers covering exactly the admitted records up through this
+	// window (none of the next window's). A checkpoint taken after
+	// consuming this window should persist it and hand it back via
+	// Config.ForensicState on restart. Nil unless forensics are on.
+	ForensicState []byte
+	Err           error
 }
 
 // Stats is a snapshot of the engine's accounting. All counters are
@@ -268,6 +280,11 @@ func Open(ctx context.Context, cfg Config) (*Engine, error) {
 	e.bo = newBrownout(c.Brownout)
 	if c.Sanitize {
 		e.san = trace.NewSanitizer(c.NumNodes, c.SanitizeOpts)
+		if len(c.ForensicState) > 0 {
+			if err := e.san.ImportForensics(c.ForensicState); err != nil {
+				return nil, fmt.Errorf("stream: %w", err)
+			}
+		}
 	}
 	go e.run()
 	// A canceled context must wake a Push blocked on a full queue even if
@@ -341,12 +358,16 @@ func (e *Engine) PushSeq(r *trace.Record, seq uint64) error {
 // without admitting anything. Recovery replays pre-checkpoint WAL entries
 // through Prime so their ids still shadow duplicates (a client resending
 // its stream after a crash) even though their windows are not regenerated.
-// A no-op when sanitization is off.
+// When counter forensics are on, priming also evolves the reset/epoch
+// trackers (unless a Config.ForensicState snapshot already covers the
+// primed records), so post-recovery windows get the same epoch annotations
+// an uninterrupted run would have produced. A no-op when sanitization is
+// off.
 func (e *Engine) Prime(r *trace.Record) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.san != nil {
-		e.san.Prime(r.ID)
+		e.san.PrimeRecord(r)
 	}
 }
 
@@ -479,7 +500,10 @@ func (e *Engine) run() {
 		windowIx = e.cfg.FirstWindow
 		seqBase  = e.cfg.BaseSeq // admitted-record index of buf[0]
 	)
-	flush := func() bool {
+	// fsn is the forensic snapshot to attach to the flushed window: it must
+	// cover exactly buf's records, so mid-stream closures pass the snapshot
+	// exported just before the window-closing record was admitted.
+	flush := func(fsn []byte) bool {
 		if len(buf) == 0 {
 			return true
 		}
@@ -490,6 +514,7 @@ func (e *Engine) run() {
 		e.mu.Unlock()
 		res := e.solveWindow(windowIx, seqBase, buf, state)
 		res.Cursor = cursor
+		res.ForensicState = fsn
 		windowIx++
 		seqBase += len(buf)
 		// Evict the closed window's state before delivery blocks: the
@@ -511,7 +536,15 @@ func (e *Engine) run() {
 			break
 		}
 		r := ent.rec
+		// While the open window is closure-eligible, the next admitted
+		// record may close it — and that record's forensic evolution belongs
+		// to the NEXT window. Snapshot the trackers before admitting so a
+		// checkpoint of the closed window covers exactly its own records.
+		var preSnap []byte
 		if e.san != nil {
+			if len(buf) >= e.cfg.WindowRecords {
+				preSnap = e.exportForensics()
+			}
 			e.mu.Lock()
 			_, admitted := e.san.Admit(r)
 			if !admitted {
@@ -530,7 +563,7 @@ func (e *Engine) run() {
 			gap := r.SinkArrival - buf[len(buf)-1].SinkArrival
 			if gap > e.cfg.AlignGap ||
 				len(buf) >= e.cfg.WindowRecords+e.cfg.MaxWindowSlack {
-				if !flush() {
+				if !flush(preSnap) {
 					return
 				}
 			}
@@ -544,8 +577,27 @@ func (e *Engine) run() {
 		e.mu.Unlock()
 	}
 	if e.ctx.Err() == nil {
-		flush()
+		// Tail flush: no record beyond buf has been admitted, so the current
+		// tracker state covers exactly the flushed records.
+		flush(e.exportForensics())
 	}
+}
+
+// exportForensics snapshots the sanitizer's forensic trackers, or returns
+// nil when sanitization or forensics are off (or the export fails — a
+// missing snapshot only costs a longer replay on recovery, never
+// correctness).
+func (e *Engine) exportForensics() []byte {
+	if e.san == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, err := e.san.ExportForensics()
+	if err != nil {
+		return nil
+	}
+	return b
 }
 
 // solveWindow builds the window sub-trace and runs the estimation tier

@@ -1,0 +1,352 @@
+// Counter forensics: reconstructing S(p) reset/wraparound epochs from the
+// delivered record stream alone. The volatile Algorithm-1 state — the
+// running sum-hop-delays buffer and the per-packet SFD timestamps — is
+// wiped by watchdog reboots and churn power-cycles, and the on-air 16-bit
+// field wraps on very busy relays; a sum relation built across such a
+// boundary silently undercounts and produces bound violations downstream.
+// The sink cannot observe the wipe directly, so the pass triangulates from
+// what it can see:
+//
+//   - generation gaps: a source that skips scheduled generations was down
+//     (its volatile state did not survive);
+//   - sequence gaps: packets generated but never delivered mark an outage
+//     window on the nodes of the source's bracketing routes;
+//   - end-to-end field deficits: when SinkArrival−GenTime exceeds the
+//     node-measured end-to-end delay by more than airtime+quantization,
+//     some hop lost its arrival timestamp mid-flight;
+//   - wrap plausibility: when the observable forwarding activity of a
+//     source since its previous local packet approaches the 16-bit
+//     counter's range, the recorded S may have wrapped.
+//
+// Evidence windows are attributed per node and consumed by that node's
+// local packets: a local packet whose inter-generation interval overlaps
+// an evidence window starts a new epoch, and a source with latched
+// evidence is marked suspect so downstream keeps only the minimal
+// loss-tolerant relation for it. False positives only widen or drop sum
+// constraints (never unsound); the heuristics therefore lean toward
+// recall.
+
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/domo-net/domo/internal/radio"
+	"github.com/domo-net/domo/internal/sim"
+)
+
+// _gapWindow caps the per-source rolling gap-sample window.
+const _gapWindow = 32
+
+// evidInterval is one wipe-evidence window (simulated time).
+type evidInterval struct {
+	Lo sim.Time `json:"lo"`
+	Hi sim.Time `json:"hi"`
+	// Latch marks evidence strong enough to latch the source as suspect
+	// when consumed (generation-gap evidence: the node itself was down).
+	Latch bool `json:"latch,omitempty"`
+}
+
+// recFlags classifies one record's sum-field damage.
+type recFlags struct {
+	reset bool // S(p) untrustworthy: wiped mid-flight
+	wrap  bool // S(p) untrustworthy: plausibly wrapped the 16-bit field
+}
+
+// nodeForensics is one node's tracker state. Collection-side fields feed
+// the detectors in delivered order; assignment-side fields replay the
+// evidence into epoch ids (the batch path runs the two sides in separate
+// passes so evidence is complete before any epoch is assigned).
+type nodeForensics struct {
+	// Collection side (node as a source).
+	HaveLast bool           `json:"have_last,omitempty"`
+	LastGen  sim.Time       `json:"last_gen,omitempty"`
+	LastSeq  uint32         `json:"last_seq,omitempty"`
+	Gaps     []sim.Time     `json:"gaps,omitempty"`
+	LastPath []radio.NodeID `json:"last_path,omitempty"`
+	// Collection side (node as a forwarder): Σ end-to-end spans of
+	// delivered packets forwarded since the node's last local packet — an
+	// upper envelope of what its sum counter could have accumulated.
+	SpanSum sim.Time `json:"span_sum,omitempty"`
+	// Deficit is the buffer-deficit audit's lower envelope: Σ provable
+	// floors on relay sojourns deposited into this node's buffer since its
+	// last local packet. Its next local packet must carry at least this
+	// much (less its own sojourn) in S(p), or the buffer was wiped.
+	Deficit sim.Time `json:"deficit,omitempty"`
+	// Evidence windows pending consumption by this node's local packets.
+	Evidence []evidInterval `json:"evidence,omitempty"`
+	// Assignment side.
+	Epoch      int32    `json:"epoch,omitempty"`
+	AssignGen  sim.Time `json:"assign_gen,omitempty"`
+	AssignHave bool     `json:"assign_have,omitempty"`
+	Suspect    bool     `json:"suspect,omitempty"`
+}
+
+// forensics is the shared reset/wraparound state machine behind both the
+// batch (Trace.Sanitize) and streaming (Sanitizer) forensic paths.
+type forensics struct {
+	opts  SanitizeOptions
+	nodes []nodeForensics
+	// imported marks state restored from a checkpoint snapshot: primed
+	// records are then already covered and must not evolve the trackers.
+	imported bool
+}
+
+func newForensics(numNodes int, opts SanitizeOptions) *forensics {
+	return &forensics{opts: opts, nodes: make([]nodeForensics, numNodes)}
+}
+
+// observe runs the collection-side detectors on one kept record (records
+// must arrive in sink-arrival order) and returns the record's own
+// sum-field classification.
+func (f *forensics) observe(r *Record) (fl recFlags) {
+	src := r.ID.Source
+	if int(src) >= len(f.nodes) {
+		return fl // defensive: check() already rejected out-of-range ids
+	}
+	st := &f.nodes[src]
+	hops := len(r.Path)
+	span := r.SinkArrival - r.GenTime
+
+	// End-to-end field deficit: every hop's SFD-measured sojourn is inside
+	// E2EDelay unless the hop lost its arrival timestamp, so the span may
+	// legitimately exceed it only by frame airtimes plus quantization.
+	slack := f.opts.E2EWipeSlack + sim.Time(hops-1)*f.opts.E2EWipeSlackPerHop
+	if span-r.E2EDelay > slack {
+		fl.reset = true
+		for _, n := range r.Path[:hops-1] {
+			f.addEvidence(n, r.GenTime, r.SinkArrival, false)
+		}
+	}
+
+	// Wrap plausibility: forwarding activity since the previous local
+	// packet bounds the counter from above; near the 16-bit range the
+	// recorded S may have wrapped and cannot be trusted.
+	if f.opts.MaxSumDelays > 0 && st.SpanSum+span >= f.opts.MaxSumDelays-f.opts.WrapMargin {
+		fl.wrap = true
+		if st.HaveLast {
+			f.addEvidence(src, st.LastGen, r.GenTime, false)
+		}
+	}
+
+	if st.HaveLast {
+		// Sequence gap: packets generated in (LastGen, GenTime) were lost;
+		// an outage on either bracketing route explains them, so every
+		// non-sink hop of both routes inherits the evidence window.
+		if r.ID.Seq > st.LastSeq+1 {
+			if n := len(st.LastPath); n > 1 {
+				for _, id := range st.LastPath[:n-1] {
+					f.addEvidence(id, st.LastGen, r.GenTime, false)
+				}
+			}
+			for _, id := range r.Path[:hops-1] {
+				f.addEvidence(id, st.LastGen, r.GenTime, false)
+			}
+		}
+		// Generation gap: the source skipped scheduled generations — it
+		// was down, and its volatile state is gone. This is the strongest
+		// per-source signal, so it latches.
+		gap := r.GenTime - st.LastGen
+		if len(st.Gaps) >= f.opts.GenGapMinSamples && gap > gapThreshold(st.Gaps, f.opts.GenGapFactor) {
+			f.addEvidence(src, st.LastGen, r.GenTime, true)
+		}
+		st.Gaps = append(st.Gaps, gap)
+		if len(st.Gaps) > _gapWindow {
+			st.Gaps = st.Gaps[1:]
+		}
+	}
+
+	// Buffer-deficit audit: the delivered stream proves a floor on what
+	// this source's counter must have accumulated, and a recorded S below
+	// the floor convicts a wipe even when the outage skipped no generation
+	// and lost no in-flight packet (the only detector that sees short
+	// quiet power-cycles). For a 3-hop packet the span is exactly the
+	// source's own sojourn — at most its recorded S plus quantization —
+	// plus the relay's sojourn, so span − S − DeficitSlack lower-bounds
+	// what the packet deposited into the relay's buffer.
+	//
+	// Two guards keep the check sound on honest counters:
+	//
+	//   - It only fires on 2-hop local records. A 2-hop record's
+	//     sink-arrival SFD is the very instant its S was written, and the
+	//     source's radio is serial, so every deposit observed earlier was
+	//     committed into the counter before that write (or wiped along
+	//     with an intervening local record, which zeroes Deficit below).
+	//     A deeper local record's S-write precedes its sink arrival by
+	//     its downstream relays' sojourns, and deposits transmitted
+	//     inside that gap land in the observation window without being
+	//     in S — convicting honest counters whenever a scenario inflates
+	//     relay holding times.
+	//   - It only fires when the record is sequence-contiguous with the
+	//     source's previous delivered local packet. Line 11 zeroes the
+	//     counter on every local transmission whether or not the packet
+	//     survives to the sink, so a lost local packet is an invisible
+	//     reset inside the window: deposits committed before it are gone
+	//     from S without any observed record having zeroed Deficit.
+	if hops == 2 && !fl.reset && !fl.wrap &&
+		st.HaveLast && r.ID.Seq == st.LastSeq+1 {
+		ownLB := sim.Time(0)
+		if r.E2EDelay > 0 {
+			// A 2-hop record's E2E field is its own sojourn, floor-quantized.
+			ownLB = r.E2EDelay
+		}
+		if st.Deficit > r.SumDelays-ownLB+f.opts.DeficitMargin {
+			fl.reset = true
+			f.addEvidence(src, st.LastGen, r.GenTime, false)
+		}
+	}
+	// The local packet zeroes the buffer (line 11) whether or not its
+	// recorded S was trusted.
+	st.Deficit = 0
+	if hops == 3 && !fl.reset && !fl.wrap {
+		if lb := span - r.SumDelays - f.opts.DeficitSlack; lb > 0 {
+			if id := r.Path[1]; int(id) < len(f.nodes) {
+				f.nodes[id].Deficit += lb
+			}
+		}
+	}
+
+	// Credit this packet's span to every interior forwarder's activity
+	// envelope, then reset the source's own envelope: its next local
+	// packet carries a counter that restarted at this one (line 11).
+	for _, id := range r.Path[1 : hops-1] {
+		if int(id) < len(f.nodes) {
+			f.nodes[id].SpanSum += span
+		}
+	}
+	st.SpanSum = 0
+	st.HaveLast = true
+	st.LastGen = r.GenTime
+	st.LastSeq = r.ID.Seq
+	st.LastPath = r.Path
+	return fl
+}
+
+// place runs the assignment side for one record: consumes the source's
+// pending evidence against the record's inter-generation interval and
+// returns the record's epoch id. EpochBumps are tallied into report.
+func (f *forensics) place(r *Record, report *SanitizeReport) (int32, bool) {
+	src := r.ID.Source
+	if int(src) >= len(f.nodes) {
+		return 0, false
+	}
+	st := &f.nodes[src]
+	bumped := false
+	keep := st.Evidence[:0]
+	for _, iv := range st.Evidence {
+		if !st.AssignHave {
+			// First delivered record of the source: its counter has no
+			// delivered predecessor, so downstream already keeps only the
+			// minimal relation — consume past evidence without a bump.
+			if iv.Hi > r.GenTime {
+				keep = append(keep, iv)
+			}
+			continue
+		}
+		switch {
+		case iv.Hi <= st.AssignGen:
+			// Stale: the wipe predates the previous local packet, which has
+			// already been placed — the streaming path learned of it too
+			// late to bump that record. Latch the source so later records
+			// stop trusting its sums.
+			st.Suspect = true
+		case iv.Lo >= r.GenTime:
+			keep = append(keep, iv) // future interval, keep pending
+		default:
+			// Overlaps (prev gen, this gen]: a wipe boundary sits inside
+			// this record's accumulation interval.
+			bumped = true
+			if iv.Latch {
+				st.Suspect = true
+			}
+			if iv.Hi > r.GenTime {
+				keep = append(keep, iv) // spans into the next interval too
+			}
+		}
+	}
+	st.Evidence = keep
+	if bumped {
+		st.Epoch++
+		report.EpochBumps++
+	}
+	st.AssignGen = r.GenTime
+	st.AssignHave = true
+	return st.Epoch, bumped
+}
+
+// suspect reports whether the source has latched wipe evidence.
+func (f *forensics) suspect(src radio.NodeID) bool {
+	if int(src) >= len(f.nodes) {
+		return false
+	}
+	return f.nodes[src].Suspect
+}
+
+// addEvidence records one wipe-evidence window for a node, merging into
+// the previous window when they overlap (burst losses otherwise inflate
+// the pending list without adding information).
+func (f *forensics) addEvidence(id radio.NodeID, lo, hi sim.Time, latch bool) {
+	if int(id) >= len(f.nodes) || id == 0 || hi <= lo {
+		return // the sink keeps no counter
+	}
+	ev := f.nodes[id].Evidence
+	if n := len(ev); n > 0 {
+		last := &ev[n-1]
+		if lo <= last.Hi && hi >= last.Lo {
+			if lo < last.Lo {
+				last.Lo = lo
+			}
+			if hi > last.Hi {
+				last.Hi = hi
+			}
+			last.Latch = last.Latch || latch
+			return
+		}
+	}
+	f.nodes[id].Evidence = append(ev, evidInterval{Lo: lo, Hi: hi, Latch: latch})
+}
+
+// gapThreshold is the generation-gap detector's trigger: factor × the
+// rolling median gap.
+func gapThreshold(gaps []sim.Time, factor float64) sim.Time {
+	tmp := make([]sim.Time, len(gaps))
+	copy(tmp, gaps)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	med := tmp[len(tmp)/2]
+	return sim.Time(float64(med) * factor)
+}
+
+// forensicSnapshot is the serialized checkpoint form of the tracker state.
+type forensicSnapshot struct {
+	Version int             `json:"v"`
+	Nodes   []nodeForensics `json:"nodes"`
+}
+
+// export serializes the tracker state for checkpointing.
+func (f *forensics) export() ([]byte, error) {
+	b, err := json.Marshal(forensicSnapshot{Version: 1, Nodes: f.nodes})
+	if err != nil {
+		return nil, fmt.Errorf("exporting forensic state: %w", err)
+	}
+	return b, nil
+}
+
+// restore replaces the tracker state with a snapshot taken by export.
+func (f *forensics) restore(data []byte) error {
+	var snap forensicSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("restoring forensic state: %w: %v", ErrBadTrace, err)
+	}
+	if snap.Version != 1 {
+		return fmt.Errorf("forensic snapshot version %d: %w", snap.Version, ErrBadTrace)
+	}
+	if len(snap.Nodes) != len(f.nodes) {
+		return fmt.Errorf("forensic snapshot for %d nodes, deployment has %d: %w",
+			len(snap.Nodes), len(f.nodes), ErrBadTrace)
+	}
+	f.nodes = snap.Nodes
+	f.imported = true
+	return nil
+}

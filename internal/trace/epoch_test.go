@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"github.com/domo-net/domo/internal/radio"
+)
+
+// frec builds one forensics-test record with explicit counter fields.
+func frec(src radio.NodeID, seq uint32, path []radio.NodeID, genMs, sinkMs, sMs, e2eMs int) *Record {
+	return &Record{
+		ID:          PacketID{Source: src, Seq: seq},
+		Path:        path,
+		GenTime:     ms(genMs),
+		SinkArrival: ms(sinkMs),
+		SumDelays:   ms(sMs),
+		E2EDelay:    ms(e2eMs),
+	}
+}
+
+func ftrace(recs ...*Record) *Trace {
+	return &Trace{NumNodes: 12, Duration: time.Minute, Records: recs}
+}
+
+// annotate runs the batch forensic sanitize and returns outputs.
+func annotate(t *testing.T, tr *Trace) (*Trace, *SanitizeReport) {
+	t.Helper()
+	out, rep := tr.Sanitize(SanitizeOptions{Forensics: true})
+	if rep.Quarantined != 0 {
+		t.Fatalf("unexpected quarantines: %s", rep)
+	}
+	return out, rep
+}
+
+func TestForensicsCleanStreamUnannotated(t *testing.T) {
+	tr := ftrace(
+		frec(5, 1, []radio.NodeID{5, 0}, 0, 100, 100, 100),
+		frec(7, 1, []radio.NodeID{7, 5, 0}, 5000, 5400, 200, 400),
+		// Honest counter: own 100ms plus the ~200ms sojourn packet 7#1
+		// deposited into the buffer.
+		frec(5, 2, []radio.NodeID{5, 0}, 10000, 10100, 300, 100),
+		frec(5, 3, []radio.NodeID{5, 0}, 20000, 20100, 100, 100),
+	)
+	out, rep := annotate(t, tr)
+	if rep.SumResets != 0 || rep.SumWraps != 0 || rep.EpochBumps != 0 {
+		t.Fatalf("clean stream flagged: %+v", rep)
+	}
+	for i := range out.Records {
+		if out.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d was annotated (copied) on a clean stream", i)
+		}
+	}
+}
+
+// A short quiet outage — no skipped generation, no lost packet, no
+// end-to-end deficit — still zeroes the relay's buffer. Only the
+// buffer-deficit audit can convict it: the 398ms floor deposited by the
+// forwarded packet never shows up in the relay's next local counter.
+func TestForensicsBufferDeficitConvictsQuietWipe(t *testing.T) {
+	tr := ftrace(
+		frec(5, 1, []radio.NodeID{5, 0}, 500, 600, 100, 100),
+		frec(7, 1, []radio.NodeID{7, 5, 0}, 1000, 1500, 100, 500),
+		frec(5, 2, []radio.NodeID{5, 0}, 2000, 2100, 100, 100),
+	)
+	out, rep := annotate(t, tr)
+	if rep.SumResets != 1 || rep.EpochBumps != 1 || rep.SumWraps != 0 {
+		t.Fatalf("want one reset and one bump, got %+v", rep)
+	}
+	got := out.Records[2]
+	if !got.SumReset || got.Epoch != 1 {
+		t.Fatalf("deficient local record not convicted: reset=%v epoch=%d", got.SumReset, got.Epoch)
+	}
+	if out.Records[1].SumReset || out.Records[1].Epoch != 0 {
+		t.Fatalf("forwarded record should stay clean: %+v", out.Records[1])
+	}
+
+	// The streaming path must reach the same verdict prospectively.
+	s := NewSanitizer(tr.NumNodes, SanitizeOptions{Forensics: true})
+	for i, r := range tr.Records {
+		cp := *r
+		if _, ok := s.Admit(&cp); !ok {
+			t.Fatalf("record %d rejected", i)
+		}
+		if cp.SumReset != out.Records[i].SumReset || cp.Epoch != out.Records[i].Epoch {
+			t.Fatalf("streaming record %d: reset=%v epoch=%d, batch reset=%v epoch=%d",
+				i, cp.SumReset, cp.Epoch, out.Records[i].SumReset, out.Records[i].Epoch)
+		}
+	}
+}
+
+func TestForensicsDeficitSatisfiedByHonestCounter(t *testing.T) {
+	tr := ftrace(
+		frec(5, 1, []radio.NodeID{5, 0}, 500, 600, 100, 100),
+		frec(7, 1, []radio.NodeID{7, 5, 0}, 1000, 1500, 100, 500),
+		// S carries the deposited ~400ms relay sojourn plus own 100ms.
+		frec(5, 2, []radio.NodeID{5, 0}, 2000, 2100, 500, 100),
+	)
+	_, rep := annotate(t, tr)
+	if rep.SumResets != 0 || rep.EpochBumps != 0 {
+		t.Fatalf("honest counter convicted: %+v", rep)
+	}
+}
+
+// A forwarded record whose own sum field is untrusted (here: an
+// end-to-end wipe deficit) must not deposit a deficit floor — its span
+// minus S proves nothing.
+func TestForensicsDeficitIgnoresUntrustedDeposits(t *testing.T) {
+	tr := ftrace(
+		frec(5, 1, []radio.NodeID{5, 0}, 500, 600, 100, 100),
+		frec(7, 1, []radio.NodeID{7, 5, 0}, 1000, 1500, 100, 0), // E2E wiped in flight
+		frec(5, 2, []radio.NodeID{5, 0}, 2000, 2100, 100, 100),
+	)
+	out, rep := annotate(t, tr)
+	if !out.Records[1].SumReset {
+		t.Fatalf("wiped forwarded record not flagged: %+v", out.Records[1])
+	}
+	if out.Records[2].SumReset {
+		t.Fatal("relay's local record convicted from an untrusted deposit")
+	}
+	if rep.SumResets != 1 {
+		t.Fatalf("want exactly the forwarded record flagged, got %+v", rep)
+	}
+}
+
+func TestForensicsGenGapLatchesSuspect(t *testing.T) {
+	recs := []*Record{}
+	for i := 0; i < 5; i++ {
+		recs = append(recs, frec(3, uint32(i+1), []radio.NodeID{3, 0}, i*10000, i*10000+50, 50, 50))
+	}
+	// 50s gap against a 10s median: the node was down.
+	recs = append(recs, frec(3, 6, []radio.NodeID{3, 0}, 90000, 90050, 50, 50))
+	out, rep := annotate(t, ftrace(recs...))
+	if rep.EpochBumps != 1 {
+		t.Fatalf("want one epoch bump, got %+v", rep)
+	}
+	last := out.Records[len(out.Records)-1]
+	if last.Epoch != 1 || !last.SumSuspect {
+		t.Fatalf("post-outage record: epoch=%d suspect=%v", last.Epoch, last.SumSuspect)
+	}
+	// Batch annotation latches retroactively: earlier records of the
+	// suspect source are marked too.
+	if !out.Records[0].SumSuspect {
+		t.Fatal("retroactive suspect latch missing on earlier record")
+	}
+}
+
+func TestForensicsSeqGapImplicatesRoute(t *testing.T) {
+	tr := ftrace(
+		frec(5, 1, []radio.NodeID{5, 0}, 100, 200, 100, 100),
+		frec(7, 1, []radio.NodeID{7, 5, 0}, 1000, 1400, 100, 400),
+		frec(7, 3, []radio.NodeID{7, 5, 0}, 21000, 21400, 100, 400), // seq 2 lost
+		frec(5, 2, []radio.NodeID{5, 0}, 30000, 30100, 700, 100),
+	)
+	out, rep := annotate(t, tr)
+	if rep.EpochBumps != 2 {
+		t.Fatalf("want bumps on both source and relay, got %+v", rep)
+	}
+	if out.Records[2].Epoch != 1 {
+		t.Fatalf("source's post-gap record epoch = %d, want 1", out.Records[2].Epoch)
+	}
+	if out.Records[3].Epoch != 1 {
+		t.Fatalf("relay's local record epoch = %d, want 1", out.Records[3].Epoch)
+	}
+	if rep.SumResets != 0 {
+		t.Fatalf("seq gap alone should not flag sums: %+v", rep)
+	}
+}
+
+func TestForensicsWrapClassification(t *testing.T) {
+	tr := ftrace(
+		frec(9, 1, []radio.NodeID{9, 0}, 0, 100, 100, 100),
+		// Two ~31s spans forwarded through node 9 push its activity
+		// envelope within WrapMargin of the 16-bit range.
+		frec(11, 1, []radio.NodeID{11, 9, 0}, 1000, 32000, 30900, 31000),
+		frec(11, 2, []radio.NodeID{11, 9, 0}, 2000, 33000, 30900, 31000),
+		frec(9, 2, []radio.NodeID{9, 0}, 40000, 40100, 300, 100),
+	)
+	out, rep := annotate(t, tr)
+	if rep.SumWraps != 1 {
+		t.Fatalf("want one wrap, got %+v", rep)
+	}
+	last := out.Records[3]
+	if !last.SumReset || last.Epoch != 1 {
+		t.Fatalf("wrapped record: reset=%v epoch=%d", last.SumReset, last.Epoch)
+	}
+}
+
+// The deficit envelope must survive a checkpoint snapshot: a fresh
+// sanitizer that imports mid-stream state still convicts the quiet wipe,
+// while one that starts cold cannot.
+func TestForensicSnapshotCarriesDeficit(t *testing.T) {
+	first := []*Record{
+		frec(5, 1, []radio.NodeID{5, 0}, 500, 600, 100, 100),
+		frec(7, 1, []radio.NodeID{7, 5, 0}, 1000, 1500, 100, 500),
+	}
+	second := frec(5, 2, []radio.NodeID{5, 0}, 2000, 2100, 100, 100)
+
+	s1 := NewSanitizer(12, SanitizeOptions{Forensics: true})
+	for _, r := range first {
+		cp := *r
+		if _, ok := s1.Admit(&cp); !ok {
+			t.Fatal("rejected")
+		}
+	}
+	snap, err := s1.ExportForensics()
+	if err != nil || len(snap) == 0 {
+		t.Fatalf("export: %v (%d bytes)", err, len(snap))
+	}
+
+	s2 := NewSanitizer(12, SanitizeOptions{Forensics: true})
+	if err := s2.ImportForensics(snap); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	for _, r := range first {
+		cp := *r
+		s2.PrimeRecord(&cp) // must not double-evolve imported state
+	}
+	cp := *second
+	if _, ok := s2.Admit(&cp); !ok {
+		t.Fatal("rejected")
+	}
+	if !cp.SumReset || cp.Epoch != 1 {
+		t.Fatalf("recovered sanitizer missed the wipe: reset=%v epoch=%d", cp.SumReset, cp.Epoch)
+	}
+
+	cold := NewSanitizer(12, SanitizeOptions{Forensics: true})
+	cp2 := *second
+	cold.Admit(&cp2)
+	if cp2.SumReset {
+		t.Fatal("cold sanitizer has no deposit evidence yet convicted the record")
+	}
+}
+
+func TestForensicSnapshotRejectsMismatch(t *testing.T) {
+	s := NewSanitizer(12, SanitizeOptions{Forensics: true})
+	snap, err := s.ExportForensics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewSanitizer(7, SanitizeOptions{Forensics: true})
+	if err := other.ImportForensics(snap); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+	if err := s.ImportForensics([]byte(`{"v":99,"nodes":[]}`)); err == nil {
+		t.Fatal("unknown snapshot version accepted")
+	}
+	if err := s.ImportForensics([]byte(`garbage`)); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+// Batch and streaming annotation agree on epochs, flags, and counters for
+// the same (fault-laden) stream.
+func TestForensicsBatchMatchesStreaming(t *testing.T) {
+	recs := []*Record{
+		frec(5, 1, []radio.NodeID{5, 0}, 500, 600, 100, 100),
+		frec(7, 1, []radio.NodeID{7, 5, 0}, 1000, 1500, 100, 500),
+		frec(5, 2, []radio.NodeID{5, 0}, 2000, 2100, 100, 100),      // quiet wipe
+		frec(7, 3, []radio.NodeID{7, 5, 0}, 21000, 21400, 100, 400), // seq gap
+		frec(5, 3, []radio.NodeID{5, 0}, 30000, 30100, 400, 100),
+	}
+	tr := ftrace(recs...)
+	out, batch := annotate(t, tr)
+
+	s := NewSanitizer(tr.NumNodes, SanitizeOptions{Forensics: true})
+	for i, r := range recs {
+		cp := *r
+		if _, ok := s.Admit(&cp); !ok {
+			t.Fatalf("record %d rejected", i)
+		}
+		if cp.Epoch != out.Records[i].Epoch || cp.SumReset != out.Records[i].SumReset {
+			t.Fatalf("record %d: streaming epoch=%d reset=%v, batch epoch=%d reset=%v",
+				i, cp.Epoch, cp.SumReset, out.Records[i].Epoch, out.Records[i].SumReset)
+		}
+	}
+	stream := s.Report()
+	if stream.SumResets != batch.SumResets || stream.SumWraps != batch.SumWraps || stream.EpochBumps != batch.EpochBumps {
+		t.Fatalf("streaming counters %+v != batch %+v", stream, batch)
+	}
+}

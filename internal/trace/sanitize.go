@@ -94,6 +94,49 @@ type SanitizeOptions struct {
 	// SkipHashCheck disables the path-hash cross-check for traces whose
 	// collection stack does not populate PathHash.
 	SkipHashCheck bool
+
+	// Forensics enables the counter-forensics pass: per-source monotonicity
+	// and activity tracking that detects S(p) resets (reboot/power-cycle
+	// wipes of the volatile Algorithm-1 state) and 16-bit wraparounds from
+	// the delivered record stream itself, annotating kept records
+	// (Record.Epoch, Record.SumReset, Record.SumSuspect) instead of
+	// quarantining them. Off by default: the annotations change the
+	// downstream constraint system, so the clean path stays bit-identical
+	// unless a caller opts in.
+	Forensics bool
+	// GenGapFactor arms the generation-gap detector: a source's
+	// inter-generation gap above GenGapFactor × its rolling median gap is
+	// treated as an outage (skipped generations while the node was down).
+	// Default 1.6.
+	GenGapFactor float64
+	// GenGapMinSamples is how many gap samples a source must accumulate
+	// before the generation-gap detector arms. Default 4.
+	GenGapMinSamples int
+	// E2EWipeSlack and E2EWipeSlackPerHop bound the legitimate excess of
+	// SinkArrival−GenTime over the node-measured end-to-end field (frame
+	// airtimes plus per-hop quantization floors). A larger discrepancy
+	// means some hop lost its arrival timestamp mid-flight — a reboot — so
+	// the record's sum field cannot be trusted. Defaults 20ms + 10ms/hop.
+	E2EWipeSlack       time.Duration
+	E2EWipeSlackPerHop time.Duration
+	// WrapMargin classifies sum-field damage as a 16-bit wraparound rather
+	// than a wipe when the source's observable forwarding activity since
+	// its previous local packet comes within WrapMargin of MaxSumDelays —
+	// the counter plausibly overflowed. Default 4s.
+	WrapMargin time.Duration
+	// DeficitSlack and DeficitMargin tune the buffer-deficit audit, which
+	// catches wipes the other detectors cannot see (a short outage that
+	// skips no generation and loses no in-flight packet still zeroes the
+	// forwarding buffer). Every delivered 3-hop record proves a floor on
+	// the relay sojourn it deposited into the relay's buffer — span minus
+	// the source's own counter minus DeficitSlack — and the relay's next
+	// local packet must carry at least the accumulated floor in its own
+	// S(p) (less its own sojourn) plus DeficitMargin, or the buffer was
+	// wiped in between. Both must exceed the S(p) quantization quantum
+	// (plus any clock-skew allowance) for the audit to stay sound; the
+	// defaults of 2ms each are safe for millisecond quantization.
+	DeficitSlack  time.Duration
+	DeficitMargin time.Duration
 }
 
 func (o SanitizeOptions) withDefaults() SanitizeOptions {
@@ -105,6 +148,27 @@ func (o SanitizeOptions) withDefaults() SanitizeOptions {
 	}
 	if o.E2ETolerance == 0 {
 		o.E2ETolerance = 100 * time.Millisecond
+	}
+	if o.GenGapFactor <= 0 {
+		o.GenGapFactor = 1.6
+	}
+	if o.GenGapMinSamples <= 0 {
+		o.GenGapMinSamples = 4
+	}
+	if o.E2EWipeSlack <= 0 {
+		o.E2EWipeSlack = 20 * time.Millisecond
+	}
+	if o.E2EWipeSlackPerHop <= 0 {
+		o.E2EWipeSlackPerHop = 10 * time.Millisecond
+	}
+	if o.WrapMargin <= 0 {
+		o.WrapMargin = 4 * time.Second
+	}
+	if o.DeficitSlack <= 0 {
+		o.DeficitSlack = 2 * time.Millisecond
+	}
+	if o.DeficitMargin <= 0 {
+		o.DeficitMargin = 2 * time.Millisecond
 	}
 	return o
 }
@@ -127,6 +191,15 @@ type SanitizeReport struct {
 	ByReason map[QuarantineReason]int
 	// Records lists the quarantined records in input order.
 	Records []QuarantinedRecord
+
+	// Forensics counters (populated only when SanitizeOptions.Forensics is
+	// on; the records they describe are kept and annotated, not
+	// quarantined). SumResets counts records whose S(p) field was flagged
+	// as reboot-wiped, SumWraps those classified as 16-bit wraparounds,
+	// and EpochBumps the per-source epoch boundaries introduced.
+	SumResets  int
+	SumWraps   int
+	EpochBumps int
 }
 
 // Reasons returns the observed reasons sorted for deterministic reporting.
@@ -144,6 +217,10 @@ func (r *SanitizeReport) String() string {
 	s := fmt.Sprintf("sanitize: %d in, %d kept, %d quarantined", r.Input, r.Kept, r.Quarantined)
 	for _, reason := range r.Reasons() {
 		s += fmt.Sprintf(" %s=%d", reason, r.ByReason[reason])
+	}
+	if r.SumResets > 0 || r.SumWraps > 0 || r.EpochBumps > 0 {
+		s += fmt.Sprintf(" sum-resets=%d sum-wraps=%d epoch-bumps=%d",
+			r.SumResets, r.SumWraps, r.EpochBumps)
 	}
 	return s
 }
@@ -167,6 +244,9 @@ func (r *SanitizeReport) Merge(o *SanitizeReport) {
 		r.ByReason[reason] += n
 	}
 	r.Records = append(r.Records, o.Records...)
+	r.SumResets += o.SumResets
+	r.SumWraps += o.SumWraps
+	r.EpochBumps += o.EpochBumps
 }
 
 // Clone returns a deep copy of the report, safe to hand out while the
@@ -178,6 +258,9 @@ func (r *SanitizeReport) Clone() *SanitizeReport {
 		Quarantined: r.Quarantined,
 		ByReason:    make(map[QuarantineReason]int, len(r.ByReason)),
 		Records:     append([]QuarantinedRecord(nil), r.Records...),
+		SumResets:   r.SumResets,
+		SumWraps:    r.SumWraps,
+		EpochBumps:  r.EpochBumps,
 	}
 	for reason, n := range r.ByReason {
 		out.ByReason[reason] = n
@@ -195,17 +278,22 @@ type Sanitizer struct {
 	numNodes int
 	seen     map[PacketID]bool
 	report   SanitizeReport
+	fns      *forensics
 }
 
 // NewSanitizer returns a streaming sanitizer for a deployment of the given
 // size. Options are defaulted exactly like Trace.Sanitize.
 func NewSanitizer(numNodes int, opts SanitizeOptions) *Sanitizer {
-	return &Sanitizer{
+	s := &Sanitizer{
 		opts:     opts.withDefaults(),
 		numNodes: numNodes,
 		seen:     make(map[PacketID]bool),
 		report:   SanitizeReport{ByReason: make(map[QuarantineReason]int)},
 	}
+	if s.opts.Forensics {
+		s.fns = newForensics(numNodes, s.opts)
+	}
+	return s
 }
 
 // Admit checks one record. Admitted records (ok true) count as kept and
@@ -221,6 +309,18 @@ func (s *Sanitizer) Admit(r *Record) (QuarantineReason, bool) {
 	}
 	s.seen[r.ID] = true
 	s.report.Kept++
+	if s.fns != nil {
+		// Streaming forensics run prospectively: annotate the record in
+		// place from the evidence accumulated so far (the engine owns the
+		// decoded record, so in-place mutation is safe here, unlike the
+		// batch path's copy-on-annotate).
+		fl := s.fns.observe(r)
+		epoch, _ := s.fns.place(r, &s.report)
+		r.Epoch = epoch
+		r.SumReset = fl.reset || fl.wrap
+		r.SumSuspect = s.fns.suspect(r.ID.Source)
+		tallyForensics(&s.report, fl)
+	}
 	return 0, true
 }
 
@@ -230,6 +330,43 @@ func (s *Sanitizer) Admit(r *Record) (QuarantineReason, bool) {
 // their ids must still shadow later duplicates (e.g. a client that
 // reconnects and resends its stream from the beginning).
 func (s *Sanitizer) Prime(id PacketID) { s.seen[id] = true }
+
+// PrimeRecord is Prime plus forensic-state evolution: crash recovery feeds
+// every already-checkpointed record through it so the reset/epoch trackers
+// reach the same state an uninterrupted run would have — unless a forensic
+// snapshot was imported, in which case the snapshot already covers those
+// records and only the duplicate state is seeded.
+func (s *Sanitizer) PrimeRecord(r *Record) {
+	s.seen[r.ID] = true
+	if s.fns == nil || s.fns.imported {
+		return
+	}
+	var scratch SanitizeReport
+	s.fns.observe(r)
+	s.fns.place(r, &scratch)
+}
+
+// ExportForensics snapshots the forensic tracker state (per-node epochs,
+// gap statistics, pending wipe evidence) for checkpointing. Returns nil
+// when forensics are disabled. Importing the snapshot into a fresh
+// sanitizer and admitting the same subsequent records reproduces the same
+// annotations.
+func (s *Sanitizer) ExportForensics() ([]byte, error) {
+	if s.fns == nil {
+		return nil, nil
+	}
+	return s.fns.export()
+}
+
+// ImportForensics restores a snapshot taken by ExportForensics. It must be
+// called before any records are admitted or primed; primed records are then
+// assumed to be covered by the snapshot and do not evolve the trackers.
+func (s *Sanitizer) ImportForensics(data []byte) error {
+	if s.fns == nil || len(data) == 0 {
+		return nil
+	}
+	return s.fns.restore(data)
+}
 
 // Report returns a snapshot of the accumulated report; the sanitizer keeps
 // accumulating independently of the returned copy.
@@ -275,7 +412,54 @@ func (t *Trace) Sanitize(opts SanitizeOptions) (*Trace, *SanitizeReport) {
 	// real fix for hand-assembled traces.
 	out.SortBySinkArrival()
 	report.Kept = len(out.Records)
+	if o.Forensics {
+		annotateForensics(out, o, report)
+	}
 	return out, report
+}
+
+// annotateForensics runs the batch counter-forensics passes over the kept
+// records (sink-arrival order). Unlike the streaming path it is
+// retroactive: evidence discovered anywhere in the trace reaches every
+// record of the implicated source. Annotated records are cloned so the
+// caller's trace keeps the record-sharing contract.
+func annotateForensics(out *Trace, o SanitizeOptions, report *SanitizeReport) {
+	f := newForensics(out.NumNodes, o)
+	// Pass A: evidence collection plus per-record wipe/wrap flags.
+	flags := make([]recFlags, len(out.Records))
+	for i, r := range out.Records {
+		flags[i] = f.observe(r)
+	}
+	// Pass B: epoch assignment against the complete evidence set.
+	epochs := make([]int32, len(out.Records))
+	for i, r := range out.Records {
+		epochs[i], _ = f.place(r, report)
+	}
+	// Pass C: retroactive suspect latch and copy-on-annotate.
+	for i, r := range out.Records {
+		sus := f.suspect(r.ID.Source)
+		fl := flags[i]
+		if epochs[i] == 0 && !fl.reset && !fl.wrap && !sus {
+			continue
+		}
+		cp := *r
+		cp.Epoch = epochs[i]
+		cp.SumReset = fl.reset || fl.wrap
+		cp.SumSuspect = sus
+		out.Records[i] = &cp
+		tallyForensics(report, fl)
+	}
+}
+
+// tallyForensics folds one annotated record's classification into the
+// report counters.
+func tallyForensics(report *SanitizeReport, fl recFlags) {
+	switch {
+	case fl.wrap:
+		report.SumWraps++
+	case fl.reset:
+		report.SumResets++
+	}
 }
 
 // check returns the first violated invariant of the record, if any.

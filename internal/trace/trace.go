@@ -49,6 +49,22 @@ type Record struct {
 	FirstHop radio.NodeID `json:"first_hop"`
 	PathHash uint16       `json:"path_hash"`
 
+	// Epoch is the per-source S(p)-counter epoch assigned by the sanitize
+	// forensics pass: it starts at 0 and increments every time the pass
+	// finds evidence that the source's volatile Algorithm-1 state was wiped
+	// (reboot, power cycle) or wrapped between two of its local packets.
+	// Sum relations must never span two epochs. Zero for clean traces and
+	// whenever forensics is disabled.
+	Epoch int32 `json:"epoch,omitempty"`
+	// SumReset marks a record whose S(p) field itself is untrustworthy —
+	// the wipe or wraparound hit this packet's own measurement — so no sum
+	// relation, not even the minimal own-sojourn one, may use it.
+	SumReset bool `json:"sum_reset,omitempty"`
+	// SumSuspect marks a record from a source with reset evidence whose
+	// exact wipe placement is unknown; downstream consumers keep only the
+	// loss-tolerant minimal relation for it.
+	SumSuspect bool `json:"sum_suspect,omitempty"`
+
 	// E2EDelay is the node-measured end-to-end delay field of Wang et al.
 	// (RTSS'12), the paper's reference [7]: every hop adds its SFD-measured
 	// sojourn into a 2-byte millisecond field, which the sink reads to

@@ -20,6 +20,11 @@ type Checkpoint struct {
 	NextWindow int    `json:"next_window"`
 	SeqBase    int    `json:"seq_base"`
 	Aux        int64  `json:"aux,omitempty"`
+	// Epochs is the sanitizer's counter-forensics snapshot covering every
+	// record folded into checkpointed windows (opaque to the WAL layer; see
+	// trace.Sanitizer.ExportForensics). Restoring it on restart spares the
+	// epoch trackers a full-history replay. Absent when forensics are off.
+	Epochs json.RawMessage `json:"epochs,omitempty"`
 }
 
 // SaveCheckpoint atomically persists c at path: the JSON is written to a

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -221,19 +222,19 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if _, ok, err := LoadCheckpoint(path); err != nil || ok {
 		t.Fatalf("LoadCheckpoint(missing) = ok=%v err=%v", ok, err)
 	}
-	want := Checkpoint{Cursor: 42, NextWindow: 7, SeqBase: 300, Aux: 9001}
+	want := Checkpoint{Cursor: 42, NextWindow: 7, SeqBase: 300, Aux: 9001, Epochs: []byte(`{"v":1}`)}
 	if err := SaveCheckpoint(path, want); err != nil {
 		t.Fatalf("SaveCheckpoint: %v", err)
 	}
 	got, ok, err := LoadCheckpoint(path)
-	if err != nil || !ok || got != want {
+	if err != nil || !ok || !reflect.DeepEqual(got, want) {
 		t.Fatalf("LoadCheckpoint = %+v ok=%v err=%v", got, ok, err)
 	}
 	want2 := Checkpoint{Cursor: 43, NextWindow: 8, SeqBase: 340}
 	if err := SaveCheckpoint(path, want2); err != nil {
 		t.Fatalf("SaveCheckpoint(2): %v", err)
 	}
-	if got, _, _ := LoadCheckpoint(path); got != want2 {
+	if got, _, _ := LoadCheckpoint(path); !reflect.DeepEqual(got, want2) {
 		t.Fatalf("LoadCheckpoint(2) = %+v", got)
 	}
 	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {

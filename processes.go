@@ -24,6 +24,10 @@ type Processes struct {
 	// DutyCycle powers participating radios down for a slice of every
 	// period (low-power listening; sleeping radios neither hear nor ACK).
 	DutyCycle *DutyCycleProcess
+	// ServiceTime holds forwarded packets on participating nodes for a
+	// sampled extra service time before re-queuing (application-layer
+	// processing inflating real, Algorithm-1-observable sojourn).
+	ServiceTime *ServiceTimeProcess
 	// Interference overlays network-wide correlated PRR-penalty bursts
 	// (co-channel interferers hitting the whole deployment at once).
 	Interference *InterferenceProcess
@@ -50,6 +54,18 @@ type ChurnProcess struct {
 type DutyCycleProcess struct {
 	Period        time.Duration
 	OffShare      float64
+	Participation float64
+	Seed          int64 // 0 derives the stream from SimConfig.Seed
+}
+
+// ServiceTimeProcess holds every packet a participating non-sink node
+// receives for an Extra draw before forwarding it — application-layer
+// processing time on top of MAC queuing. The hold lands between the
+// receive SFD and the transmit SFD, so it is genuine sojourn the
+// reconstruction must recover. Participation is the probability a node
+// inflates at all (0 = every non-sink node); draws ≤ 0 mean no hold.
+type ServiceTimeProcess struct {
+	Extra         func(rng *rand.Rand) time.Duration
 	Participation float64
 	Seed          int64 // 0 derives the stream from SimConfig.Seed
 }
@@ -85,6 +101,13 @@ func (p Processes) toNode() node.Processes {
 			OffShare:      p.DutyCycle.OffShare,
 			Participation: p.DutyCycle.Participation,
 			Seed:          p.DutyCycle.Seed,
+		}
+	}
+	if p.ServiceTime != nil {
+		out.ServiceTime = &node.ServiceTimeProcess{
+			Extra:         p.ServiceTime.Extra,
+			Participation: p.ServiceTime.Participation,
+			Seed:          p.ServiceTime.Seed,
 		}
 	}
 	if p.Interference != nil {

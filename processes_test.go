@@ -48,6 +48,10 @@ func TestProcessesSimulate(t *testing.T) {
 		{"duty-cycle", Processes{DutyCycle: &DutyCycleProcess{
 			Period: 30 * time.Second, OffShare: 0.2, Participation: 0.7,
 		}}},
+		{"service-time", Processes{ServiceTime: &ServiceTimeProcess{
+			Extra:         expGap(80 * time.Millisecond),
+			Participation: 0.7,
+		}}},
 		{"interference", Processes{Interference: &InterferenceProcess{
 			Gap:    expGap(40 * time.Second),
 			Length: expGap(8 * time.Second),
@@ -154,6 +158,18 @@ func TestChurnActuallyDisrupts(t *testing.T) {
 			disturbed.NumRecords(), clean.NumRecords())
 	}
 
+	slowed := base
+	slowed.Processes = Processes{ServiceTime: &ServiceTimeProcess{
+		Extra: func(*rand.Rand) time.Duration { return 200 * time.Millisecond },
+	}}
+	str, err := Simulate(slowed)
+	if err != nil {
+		t.Fatalf("service-time Simulate: %v", err)
+	}
+	if grew := meanMultiHopSpanMS(t, str) - meanMultiHopSpanMS(t, clean); grew < 100 {
+		t.Errorf("200ms forwarding holds grew mean multi-hop span by only %.1f ms", grew)
+	}
+
 	jammed := base
 	jammed.Processes = Processes{Interference: &InterferenceProcess{
 		Gap:     expGap(20 * time.Second),
@@ -175,4 +191,24 @@ func TestChurnActuallyDisrupts(t *testing.T) {
 	if st := n.Stats(); st.FramesDropped == 0 {
 		t.Error("heavy interference dropped zero frames")
 	}
+}
+
+// meanMultiHopSpanMS averages the ground-truth generation-to-sink span of
+// every packet that crossed at least one relay, in milliseconds.
+func meanMultiHopSpanMS(t *testing.T, tr *Trace) float64 {
+	t.Helper()
+	var sum float64
+	var n int
+	for _, id := range tr.Packets() {
+		arr, err := tr.GroundTruthArrivals(id)
+		if err != nil || len(arr) < 3 {
+			continue
+		}
+		sum += float64(arr[len(arr)-1]-arr[0]) / float64(time.Millisecond)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no multi-hop packets with ground truth")
+	}
+	return sum / float64(n)
 }

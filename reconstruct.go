@@ -161,7 +161,15 @@ type EstimateStats struct {
 	// EscalatedWindows counts tiered-mode windows whose CS residual
 	// failed the gate and were re-solved by the full QP.
 	EscalatedWindows int
-	WallTime         time.Duration
+	// ResetEpochs is the total number of S(p)-counter epoch boundaries the
+	// sanitize forensics pass marked across all sources (zero unless the
+	// trace was sanitized with forensics enabled — see Trace.SanitizeWith).
+	ResetEpochs int
+	// DroppedSumConstraints counts Eq. 7 sum relations the dataset dropped
+	// or downgraded to the minimal own-sojourn form because they would have
+	// spanned a counter-reset epoch boundary.
+	DroppedSumConstraints int
+	WallTime              time.Duration
 	// PerWindow holds one entry per completed window, in window order.
 	PerWindow []WindowStat
 }
@@ -195,6 +203,10 @@ type WindowStat struct {
 	// CSResidual is the CS pass's normalized residual (residual RMS over
 	// measurement RMS), recorded whenever the CS tier ran on the window.
 	CSResidual float64
+	// Epochs counts distinct (source, epoch) pairs beyond one per source in
+	// the window's solved range — how many counter-reset boundaries fall
+	// inside this window. Zero unless the trace carries forensic epochs.
+	Epochs int
 }
 
 // Reconstruction holds per-packet arrival-time estimates.
@@ -271,16 +283,18 @@ func (r *Reconstruction) Uncertainty(id PacketID) ([]time.Duration, error) {
 // collected by the window scheduler.
 func (r *Reconstruction) Stats() EstimateStats {
 	s := EstimateStats{
-		Unknowns:           r.est.Stats.Unknowns,
-		Windows:            r.est.Stats.Windows,
-		SDRWindows:         r.est.Stats.SDRWindows,
-		RetriedWindows:     r.est.Stats.RetriedWindows,
-		DegradedWindows:    r.est.Stats.DegradedWindows,
-		PrunedRows:         r.est.Stats.PrunedRows,
-		WarmStartedWindows: r.est.Stats.WarmStartedWindows,
-		CSWindows:          r.est.Stats.CSWindows,
-		EscalatedWindows:   r.est.Stats.EscalatedWindows,
-		WallTime:           r.est.Stats.WallTime,
+		Unknowns:              r.est.Stats.Unknowns,
+		Windows:               r.est.Stats.Windows,
+		SDRWindows:            r.est.Stats.SDRWindows,
+		RetriedWindows:        r.est.Stats.RetriedWindows,
+		DegradedWindows:       r.est.Stats.DegradedWindows,
+		PrunedRows:            r.est.Stats.PrunedRows,
+		WarmStartedWindows:    r.est.Stats.WarmStartedWindows,
+		CSWindows:             r.est.Stats.CSWindows,
+		EscalatedWindows:      r.est.Stats.EscalatedWindows,
+		ResetEpochs:           r.est.Stats.ResetEpochs,
+		DroppedSumConstraints: r.est.Stats.DroppedSumConstraints,
+		WallTime:              r.est.Stats.WallTime,
 	}
 	if len(r.est.Stats.PerWindow) > 0 {
 		s.PerWindow = make([]WindowStat, len(r.est.Stats.PerWindow))
@@ -303,6 +317,7 @@ func (r *Reconstruction) Stats() EstimateStats {
 				Tier:        w.Tier,
 				Escalated:   w.Escalated,
 				CSResidual:  w.CSResidual,
+				Epochs:      w.Epochs,
 			}
 		}
 	}

@@ -258,15 +258,16 @@ func (s *Stream) Failed() error {
 // toWindow translates one engine result into the public shape.
 func (s *Stream) toWindow(res *stream.WindowResult) *StreamWindow {
 	w := &StreamWindow{
-		Index:     res.Index,
-		SeqStart:  res.SeqStart,
-		SeqEnd:    res.SeqEnd,
-		Trace:     &Trace{inner: res.Trace},
-		SolveTime: res.SolveTime,
-		Err:       res.Err,
-		Cursor:    res.Cursor,
-		TimedOut:  res.TimedOut,
-		State:     BrownoutState(res.State),
+		Index:         res.Index,
+		SeqStart:      res.SeqStart,
+		SeqEnd:        res.SeqEnd,
+		Trace:         &Trace{inner: res.Trace},
+		SolveTime:     res.SolveTime,
+		Err:           res.Err,
+		Cursor:        res.Cursor,
+		TimedOut:      res.TimedOut,
+		State:         BrownoutState(res.State),
+		ForensicState: res.ForensicState,
 	}
 	if res.Est != nil {
 		w.Reconstruction = &Reconstruction{est: res.Est}
@@ -435,7 +436,7 @@ func (s *Stream) restartEngine(old *stream.Engine, wd WatchdogConfig, consecutiv
 		return nil, fmt.Errorf("stream restart: %w (cause: %w)", err, cause)
 	}
 	ectx, ecancel := context.WithCancel(s.ctx)
-	eng, err := stream.Open(ectx, s.engineConfig(cp.NextWindow, cp.SeqBase))
+	eng, err := stream.Open(ectx, s.engineConfig(cp.NextWindow, cp.SeqBase, cp.Epochs))
 	if err != nil {
 		ecancel()
 		s.walMu.Unlock()

@@ -68,6 +68,14 @@ type StreamConfig struct {
 	// the last Checkpoint, if any) so a crashed process regenerates every
 	// undelivered window exactly as an uninterrupted run would have.
 	WAL WALConfig
+	// Sanitize tunes the per-record sanitizer beyond its defaults when
+	// Estimation.AutoSanitize is set — notably SanitizeOptions.Forensics,
+	// which segments each source's S(p) counter into reset epochs as
+	// records are admitted. The forensic trackers are snapshotted into
+	// every checkpoint (StreamWindow.ForensicState) and restored on
+	// restart, so epoch assignment survives crashes without a full-history
+	// replay. Ignored when AutoSanitize is off.
+	Sanitize SanitizeOptions
 	// Brownout arms pressure-driven degradation: under overload, window
 	// solves fall back to the cheap order-projected tier instead of the
 	// stream falling unboundedly behind. Off (full fidelity) by default.
@@ -108,6 +116,12 @@ type StreamWindow struct {
 	// StreamBrownout means the reconstruction came from the cheap
 	// order-projected tier, not the full QP.
 	State BrownoutState
+	// ForensicState is the sanitizer's counter-forensics snapshot covering
+	// exactly the admitted records up through this window; Checkpoint
+	// persists it so recovery restores the epoch trackers instead of
+	// replaying the whole stream. Nil unless StreamConfig.Sanitize enables
+	// Forensics.
+	ForensicState []byte
 }
 
 // StreamStats is a cumulative snapshot of a Stream's accounting.
@@ -301,7 +315,7 @@ func OpenStream(ctx context.Context, cfg StreamConfig) (*Stream, error) {
 		}
 	}
 	ectx, ecancel := context.WithCancel(ctx)
-	eng, err := stream.Open(ectx, s.engineConfig(s.loadedCp.NextWindow, s.loadedCp.SeqBase))
+	eng, err := stream.Open(ectx, s.engineConfig(s.loadedCp.NextWindow, s.loadedCp.SeqBase, s.loadedCp.Epochs))
 	if err != nil {
 		ecancel()
 		if s.log != nil {
@@ -319,9 +333,10 @@ func OpenStream(ctx context.Context, cfg StreamConfig) (*Stream, error) {
 	return s, nil
 }
 
-// engineConfig builds one engine incarnation's config; firstWindow and
-// baseSeq come from the checkpoint the incarnation resumes from.
-func (s *Stream) engineConfig(firstWindow, baseSeq int) stream.Config {
+// engineConfig builds one engine incarnation's config; firstWindow,
+// baseSeq, and the forensic snapshot come from the checkpoint the
+// incarnation resumes from.
+func (s *Stream) engineConfig(firstWindow, baseSeq int, forensic []byte) stream.Config {
 	cfg := s.cfg
 	sc := stream.Config{
 		NumNodes:       cfg.NumNodes,
@@ -332,6 +347,8 @@ func (s *Stream) engineConfig(firstWindow, baseSeq int) stream.Config {
 		QueueCap:       cfg.QueueCap,
 		ResultBuffer:   cfg.ResultBuffer,
 		Sanitize:       cfg.Estimation.AutoSanitize,
+		SanitizeOpts:   cfg.Sanitize.toInternal(),
+		ForensicState:  forensic,
 		SolveTimeout:   cfg.SolveTimeout,
 		FirstWindow:    firstWindow,
 		BaseSeq:        baseSeq,

@@ -245,3 +245,88 @@ func TestSanitizeReportMergePublic(t *testing.T) {
 		t.Fatalf("merged detail: %+v", total)
 	}
 }
+
+// The streaming soak under a scenario-process load generator: churned,
+// bursty traffic (not the fixed periodic feed) streamed through a live
+// engine with forensic sanitize on. Every window must solve, the stream
+// must cover every record, and the prospective per-record forensics must
+// reach exactly the batch pass's classification counters.
+func TestStreamChurnSoak(t *testing.T) {
+	cfg := SimConfig{
+		NumNodes:   30,
+		Duration:   3 * time.Minute,
+		DataPeriod: 10 * time.Second,
+		Warmup:     60 * time.Second,
+		Seed:       17,
+	}
+	cfg.Processes = Processes{
+		Arrival: &ArrivalProcess{Gap: expGap(6 * time.Second)},
+		Churn: &ChurnProcess{
+			Uptime:   expGap(70 * time.Second),
+			Downtime: expGap(10 * time.Second),
+		},
+	}
+	tr, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	_, batch := tr.SanitizeWith(SanitizeOptions{Forensics: true})
+	if batch.EpochBumps == 0 {
+		t.Fatalf("churn produced no epoch bumps; the soak load is not stressing forensics: %+v", batch)
+	}
+
+	var wire bytes.Buffer
+	if err := tr.EncodeWire(&wire); err != nil {
+		t.Fatalf("EncodeWire: %v", err)
+	}
+	s, err := OpenStream(context.Background(), StreamConfig{
+		NumNodes:      tr.NumNodes(),
+		Estimation:    Config{WindowPackets: 8, AutoSanitize: true},
+		WindowRecords: 16,
+		QueueCap:      256,
+		Sanitize:      SanitizeOptions{Forensics: true},
+	})
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	go func() {
+		if err := s.Feed(bytes.NewReader(wire.Bytes())); err != nil {
+			t.Errorf("Feed: %v", err)
+		}
+		s.Close()
+	}()
+
+	covered, windows := 0, 0
+	for w := range s.Results() {
+		windows++
+		if w.Err != nil {
+			t.Fatalf("window %d failed under churn load: %v", w.Index, w.Err)
+		}
+		if w.SeqStart != covered {
+			t.Fatalf("window %d starts at %d, want %d", w.Index, w.SeqStart, covered)
+		}
+		covered = w.SeqEnd
+	}
+	if windows < 2 {
+		t.Fatalf("only %d windows closed; soak needs a multi-window stream", windows)
+	}
+	if covered != tr.NumRecords() {
+		t.Fatalf("windows covered %d of %d records", covered, tr.NumRecords())
+	}
+	srep := s.SanitizeReport()
+	if srep == nil {
+		t.Fatal("streaming sanitize report missing")
+	}
+	// Per-record reset/wrap flags are computed in arrival order by both
+	// paths and must agree exactly. Epoch bumps cannot: the batch pass is
+	// retroactive (evidence discovered later in the trace can bump an
+	// earlier record), while the streaming pass latches such late evidence
+	// as suspect instead — so it can only bump at most as often.
+	if srep.SumResets != batch.SumResets || srep.SumWraps != batch.SumWraps {
+		t.Fatalf("streaming forensics (resets=%d wraps=%d) != batch (resets=%d wraps=%d)",
+			srep.SumResets, srep.SumWraps, batch.SumResets, batch.SumWraps)
+	}
+	if srep.EpochBumps == 0 || srep.EpochBumps > batch.EpochBumps {
+		t.Fatalf("streaming epoch bumps %d outside (0, batch=%d]", srep.EpochBumps, batch.EpochBumps)
+	}
+}
